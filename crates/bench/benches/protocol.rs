@@ -1,0 +1,86 @@
+//! Criterion microbenches of the protocol substrates: HPACK, framing and
+//! the priority scheduler. These gauge the raw cost of the from-scratch
+//! HTTP/2 stack that every replay run pays.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use h2push_h2proto::{
+    DefaultScheduler, Frame, PrioritySpec, PriorityTree, Scheduler, StreamSnapshot,
+    DEFAULT_MAX_FRAME_SIZE,
+};
+use h2push_hpack::{Decoder, Encoder, Header};
+
+fn typical_request() -> Vec<Header> {
+    vec![
+        Header::new(":method", "GET"),
+        Header::new(":scheme", "https"),
+        Header::new(":authority", "www.example.com"),
+        Header::new(":path", "/static/css/main.3f2a1b.css"),
+        Header::new("accept", "text/css,*/*;q=0.1"),
+        Header::new("accept-encoding", "gzip, deflate, br"),
+        Header::new("user-agent", "Mozilla/5.0 (X11; Linux x86_64) Chrome/64.0"),
+    ]
+}
+
+fn bench_hpack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hpack");
+    g.bench_function("encode_request", |b| {
+        let headers = typical_request();
+        let mut enc = Encoder::new();
+        b.iter(|| black_box(enc.encode(&headers)));
+    });
+    g.bench_function("decode_request", |b| {
+        let headers = typical_request();
+        let mut enc = Encoder::new();
+        let block = enc.encode(&headers);
+        let mut dec = Decoder::new();
+        // Warm the dynamic table so decode exercises indexed fields.
+        let _ = dec.decode(&block);
+        let block2 = enc.encode(&headers);
+        b.iter(|| black_box(dec.decode(&block2).unwrap()));
+    });
+    g.bench_function("huffman_encode_1k", |b| {
+        let data: Vec<u8> = (0..1024u32).map(|i| (i % 96 + 32) as u8).collect();
+        b.iter(|| {
+            let mut out = Vec::new();
+            h2push_hpack::huffman::encode(black_box(&data), &mut out);
+            black_box(out)
+        });
+    });
+    g.finish();
+}
+
+fn bench_frames(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frames");
+    g.throughput(Throughput::Bytes(16_384));
+    g.bench_function("encode_data_16k", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(16_393);
+            Frame::Data { stream: 1, len: 16_384, end_stream: false }.encode(&mut out);
+            black_box(out)
+        });
+    });
+    g.bench_function("decode_data_16k", |b| {
+        let mut buf = Vec::new();
+        Frame::Data { stream: 1, len: 16_384, end_stream: false }.encode(&mut buf);
+        b.iter(|| black_box(Frame::decode(&buf, DEFAULT_MAX_FRAME_SIZE).unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("scheduler_pick_50_streams", |b| {
+        let mut tree = PriorityTree::new();
+        tree.insert(1, PrioritySpec { depends_on: 0, weight: 256, exclusive: false });
+        let mut snaps = Vec::new();
+        for i in 0..50u32 {
+            let id = 2 + i * 2;
+            tree.insert(id, PrioritySpec { depends_on: 1, weight: 16, exclusive: false });
+            snaps.push(StreamSnapshot { id, sendable: 1000, sent: 0, is_push: true });
+        }
+        let mut sched = DefaultScheduler::new();
+        b.iter(|| black_box(sched.pick(&snaps, &tree)));
+    });
+}
+
+criterion_group!(benches, bench_hpack, bench_frames, bench_scheduler);
+criterion_main!(benches);

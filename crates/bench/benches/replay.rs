@@ -1,0 +1,43 @@
+//! Criterion benches of whole replays: how fast the testbed can evaluate a
+//! strategy on a site. This is the figure of merit for the §6 CDN use case
+//! (exploring many candidate strategies per site).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use h2push_strategies::{paper_strategy, PaperStrategy, Strategy};
+use h2push_testbed::{replay, ReplayConfig};
+use h2push_webmodel::{generate_site, realworld_site, synthetic_site, CorpusKind};
+
+fn bench_replays(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replay");
+    g.sample_size(20);
+
+    g.bench_function("synthetic_s7_no_push", |b| {
+        let page = synthetic_site(7);
+        let cfg = ReplayConfig::testbed(Strategy::NoPush);
+        b.iter(|| black_box(replay(&page, &cfg).unwrap()));
+    });
+
+    g.bench_function("random_site_no_push", |b| {
+        let page = generate_site(CorpusKind::Random, 7);
+        let cfg = ReplayConfig::testbed(Strategy::NoPush);
+        b.iter(|| black_box(replay(&page, &cfg).unwrap()));
+    });
+
+    g.bench_function("w1_wikipedia_interleaved", |b| {
+        let page = realworld_site(1);
+        let (variant, strategy) = paper_strategy(&page, PaperStrategy::PushCriticalOptimized);
+        let cfg = ReplayConfig::testbed(strategy);
+        b.iter(|| black_box(replay(&variant, &cfg).unwrap()));
+    });
+
+    g.bench_function("w17_cnn_369_requests", |b| {
+        let page = realworld_site(17);
+        let cfg = ReplayConfig::testbed(Strategy::NoPush);
+        b.iter(|| black_box(replay(&page, &cfg).unwrap()));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_replays);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Ablation: Server Push vs the client cache (§2.1, §4.3).
+//!
+//! "Pushing everything can be wasteful in terms of bandwidth, e.g., if the
+//! resource is already cached" — and the standard offers no cache
+//! signaling, only post-hoc RST_STREAM cancellation; the cache-digest
+//! draft \[29\] is the proposed fix. This bench measures all three worlds on
+//! a warm revisit.
+
+use h2push_bench::scale_from_args;
+use h2push_metrics::RunStats;
+use h2push_strategies::push_all;
+use h2push_testbed::{replay, ReplayConfig};
+use h2push_webmodel::{generate_site, CorpusKind};
+
+fn main() {
+    let scale = scale_from_args();
+    println!(
+        "{:34} {:>10} {:>10} {:>10} {:>10}",
+        "scenario", "SI [ms]", "PLT [ms]", "pushed KB", "cancelled"
+    );
+    struct Row {
+        label: String,
+        sis: Vec<f64>,
+        plts: Vec<f64>,
+        pushed_kb: f64,
+        cancelled: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for s in 0..scale.sites.min(10) as u64 {
+        let page = generate_site(CorpusKind::Random, 4000 + s);
+        // Warm cache: everything pushable (a same-day revisit).
+        let cached = page.pushable();
+        for (label, warm, honor) in [
+            ("cold + push all", false, true),
+            ("warm + digest-aware push", true, true),
+            ("warm + digest-oblivious push", true, false),
+        ] {
+            let mut cfg = ReplayConfig::testbed(push_all(&page, &[]));
+            if warm {
+                cfg.warm_cache = cached.clone();
+            }
+            cfg.server_honors_digest = honor;
+            let out = replay(&page, &cfg).expect("replay completes");
+            match rows.iter_mut().find(|r| r.label == label) {
+                Some(r) => {
+                    r.sis.push(out.load.speed_index());
+                    r.plts.push(out.load.plt());
+                    r.pushed_kb += out.server_pushed_bytes as f64 / 1024.0;
+                    r.cancelled += out.load.cancelled_pushes as f64;
+                }
+                None => rows.push(Row {
+                    label: label.to_string(),
+                    sis: vec![out.load.speed_index()],
+                    plts: vec![out.load.plt()],
+                    pushed_kb: out.server_pushed_bytes as f64 / 1024.0,
+                    cancelled: out.load.cancelled_pushes as f64,
+                }),
+            }
+        }
+    }
+    let n = scale.sites.min(10) as f64;
+    for r in rows {
+        println!(
+            "{:34} {:>10.0} {:>10.0} {:>10.0} {:>10.1}",
+            r.label,
+            RunStats::of(&r.sis).mean,
+            RunStats::of(&r.plts).mean,
+            r.pushed_kb / n,
+            r.cancelled / n
+        );
+    }
+    println!("\nA digest-aware server pushes ~nothing on a warm revisit; a digest-");
+    println!("oblivious one ships the full push budget only for the client to cancel.");
+}

@@ -1,0 +1,40 @@
+//! Ablation: the interleave switch offset (§5).
+//!
+//! The paper switches "after `</head>` and first bytes of `<body>`" (4 KB on
+//! w1, 12 KB on w16). This sweep shows why: switching too early starves
+//! the preload scanner of the head; switching too late re-creates the
+//! no-push behaviour (the whole document before the CSS).
+
+use h2push_bench::scale_from_args;
+use h2push_metrics::RunStats;
+use h2push_strategies::{critical_set, Strategy};
+use h2push_testbed::{run_many, Mode};
+use h2push_webmodel::realworld_site;
+
+fn main() {
+    let scale = scale_from_args();
+    let page = realworld_site(1); // w1: 236 KB document
+    let critical = critical_set(&page);
+    println!(
+        "Interleave-offset ablation on {} (critical set: {} resources), {} runs",
+        page.name,
+        critical.len(),
+        scale.runs
+    );
+    println!("{:>10} {:>14} {:>14}", "offset", "SpeedIndex", "PLT");
+    let base = run_many(&page, Strategy::NoPush, Mode::Testbed, scale.runs, scale.seed);
+    let base_si =
+        RunStats::of(&base.iter().map(|o| o.load.speed_index()).collect::<Vec<_>>()).mean;
+    for offset in [1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072, page.html_size()] {
+        let strategy = Strategy::Interleaved {
+            offset,
+            critical: critical.clone(),
+            after: Vec::new(),
+        };
+        let outs = run_many(&page, strategy, Mode::Testbed, scale.runs, scale.seed);
+        let si = RunStats::of(&outs.iter().map(|o| o.load.speed_index()).collect::<Vec<_>>());
+        let plt = RunStats::of(&outs.iter().map(|o| o.load.plt()).collect::<Vec<_>>());
+        println!("{:>8}KB {:>10.0} ms {:>10.0} ms", offset / 1024, si.mean, plt.mean);
+    }
+    println!("{:>10} {:>10.0} ms   (no push baseline)", "—", base_si);
+}

@@ -1,0 +1,59 @@
+//! The §6 deployment matrix: strategy performance across access profiles.
+//!
+//! "Several (interleaving) push strategies for different versions of a
+//! website and network settings, e.g., mobile, desktop, cable or cellular,
+//! could be analyzed in our testbed" — this is that analysis for one site.
+
+use h2push_bench::scale_from_args;
+use h2push_metrics::RunStats;
+use h2push_netsim::NetworkSpec;
+use h2push_strategies::{paper_strategy, PaperStrategy};
+use h2push_testbed::{replay, ReplayConfig};
+use h2push_webmodel::realworld_site;
+
+fn main() {
+    let scale = scale_from_args();
+    let page = realworld_site(2); // apple
+    println!(
+        "Push strategies across access profiles on {} ({} runs; SpeedIndex ms)",
+        page.name, scale.runs
+    );
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>10}",
+        "profile", "no push", "np-optimized", "pc-optimized", "pco gain"
+    );
+    // A mobile device is also CPU-slower (the §6 matrix crosses device and
+    // network); pair cellular with a 3× CPU factor.
+    let profiles: [(&str, NetworkSpec, f64); 4] = [
+        ("fibre", NetworkSpec::fibre(), 1.0),
+        ("cable", NetworkSpec::cable(), 1.0),
+        ("dsl", NetworkSpec::dsl_testbed(), 1.0),
+        ("cellular", NetworkSpec::cellular(), 3.0),
+    ];
+    for (name, net, cpu) in profiles {
+        let mut sis = Vec::new();
+        for which in
+            [PaperStrategy::NoPush, PaperStrategy::NoPushOptimized, PaperStrategy::PushCriticalOptimized]
+        {
+            let (variant, strategy) = paper_strategy(&page, which);
+            let mut runs = Vec::new();
+            for r in 0..scale.runs as u64 {
+                let mut cfg = ReplayConfig::testbed(strategy.clone());
+                cfg.network = net.clone();
+                cfg.network.seed = scale.seed + r;
+                cfg.browser.cpu_scale = cpu;
+                runs.push(replay(&variant, &cfg).expect("replay completes").load.speed_index());
+            }
+            sis.push(RunStats::of(&runs).mean);
+        }
+        println!(
+            "{:>10} {:>10.0} {:>12.0} {:>12.0} {:>9.1}%",
+            name,
+            sis[0],
+            sis[1],
+            sis[2],
+            (sis[2] - sis[0]) / sis[0] * 100.0
+        );
+    }
+    println!("\nThe right strategy is profile-specific: a CDN would pick per class (§6).");
+}

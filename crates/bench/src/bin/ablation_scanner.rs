@@ -1,0 +1,51 @@
+//! Ablation: the preload scanner vs Server Push.
+//!
+//! Push's original promise was "save the discovery round trips". Modern
+//! browsers already claw most of that back with the preload scanner, which
+//! requests references straight out of the byte stream while the parser is
+//! blocked — one reason the paper finds push-all barely helps. Turning the
+//! scanner off shows the world the push guidelines implicitly assumed.
+
+use h2push_bench::scale_from_args;
+use h2push_metrics::RunStats;
+use h2push_strategies::{push_all, Strategy};
+use h2push_testbed::{replay, ReplayConfig};
+use h2push_webmodel::{generate_site, CorpusKind};
+
+fn main() {
+    let scale = scale_from_args();
+    println!(
+        "Push-all benefit with and without the preload scanner ({} sites × {} runs)",
+        scale.sites.min(10),
+        scale.runs
+    );
+    println!("{:24} {:>16} {:>16}", "site", "scanner ΔSI", "no-scanner ΔSI");
+    let mut with = Vec::new();
+    let mut without = Vec::new();
+    for i in 0..scale.sites.min(10) as u64 {
+        let page = generate_site(CorpusKind::Random, 6200 + i);
+        let mut cells = [0.0f64; 2];
+        for (j, scanner) in [true, false].iter().enumerate() {
+            let mut deltas = Vec::new();
+            for r in 0..scale.runs as u64 {
+                let si = |strategy: Strategy| {
+                    let mut cfg = ReplayConfig::testbed(strategy);
+                    cfg.browser.preload_scanner = *scanner;
+                    cfg.network.seed = scale.seed + r;
+                    replay(&page, &cfg).expect("replay completes").load.speed_index()
+                };
+                deltas.push(si(push_all(&page, &[])) - si(Strategy::NoPush));
+            }
+            cells[j] = RunStats::of(&deltas).mean;
+        }
+        println!("{:24} {:>14.1}ms {:>14.1}ms", page.name, cells[0], cells[1]);
+        with.push(cells[0]);
+        without.push(cells[1]);
+    }
+    println!(
+        "\nmean ΔSI: {:+.1} ms with scanner vs {:+.1} ms without — push mostly\n\
+         re-delivers what the scanner already finds; without one, push shines.",
+        RunStats::of(&with).mean,
+        RunStats::of(&without).mean
+    );
+}

@@ -1,0 +1,20 @@
+//! Fig. 1 — monthly H2 and Server Push adoption on a 1 M-domain
+//! population (§1).
+use h2push_testbed::adoption::AdoptionModel;
+
+fn main() {
+    let model = AdoptionModel::new(1_000_000, 2017);
+    println!("Fig. 1 — adoption of HTTP/2 and Server Push over 2017 (synthetic Alexa-1M scan)");
+    println!("{:>5} {:>12} {:>12}", "month", "HTTP/2", "Server Push");
+    for scan in model.year() {
+        println!("{:>5} {:>12} {:>12}", scan.month + 1, scan.h2_domains, scan.push_domains);
+    }
+    let year = model.year();
+    let (first, last) = (&year[0], &year[year.len() - 1]);
+    println!(
+        "\nH2 grew {:.1}x; push grew {:.1}x; push is {:.0}x rarer than H2 in December.",
+        last.h2_domains as f64 / first.h2_domains as f64,
+        last.push_domains as f64 / first.push_domains.max(1) as f64,
+        last.h2_domains as f64 / last.push_domains.max(1) as f64
+    );
+}

@@ -1,0 +1,20 @@
+//! Fig. 2b — Δ(PLT/SpeedIndex) of push-as-deployed vs no push in the
+//! testbed (§4.1).
+use h2push_bench::{cdf_summary, scale_from_args};
+use h2push_metrics::share_below;
+use h2push_testbed::experiments::fig2::fig2b_push_vs_nopush;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Fig. 2b — push (as recorded) vs no push, {} sites × {} runs", scale.sites, scale.runs);
+    let rows = fig2b_push_vs_nopush(scale);
+    let d_plt: Vec<f64> = rows.iter().map(|r| r.d_plt).collect();
+    let d_si: Vec<f64> = rows.iter().map(|r| r.d_si).collect();
+    cdf_summary("ΔPLT [ms]", &d_plt, &[-100.0, 0.0, 100.0]);
+    cdf_summary("ΔSpeedIndex [ms]", &d_si, &[-100.0, 0.0, 100.0]);
+    println!(
+        "\nno benefit (Δ ≥ 0): PLT {:.0}%  SI {:.0}%   (paper: 49% / 35%)",
+        (1.0 - share_below(&d_plt, 0.0)) * 100.0,
+        (1.0 - share_below(&d_si, 0.0)) * 100.0
+    );
+}

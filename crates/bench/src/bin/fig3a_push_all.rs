@@ -1,0 +1,24 @@
+//! Fig. 3a — push all (computed order) vs no push on both corpora (§4.2.1).
+use h2push_bench::{cdf_summary, scale_from_args};
+use h2push_metrics::share_below;
+use h2push_testbed::experiments::fig3::fig3a_push_all;
+use h2push_webmodel::CorpusKind;
+
+fn main() {
+    let scale = scale_from_args();
+    for (kind, label, paper_benefit) in [
+        (CorpusKind::Top, "top-100", 58.0),
+        (CorpusKind::Random, "random-100", 45.0),
+    ] {
+        println!("Fig. 3a [{label}] — push all in computed order vs no push");
+        let rows = fig3a_push_all(kind, scale);
+        let d_si: Vec<f64> = rows.iter().map(|r| r.d_si).collect();
+        let d_plt: Vec<f64> = rows.iter().map(|r| r.d_plt).collect();
+        cdf_summary("ΔSpeedIndex [ms]", &d_si, &[-100.0, 0.0, 100.0]);
+        cdf_summary("ΔPLT [ms]", &d_plt, &[-100.0, 0.0, 100.0]);
+        println!(
+            "  → sites benefiting (ΔSI<0): {:.0}%   (paper: {paper_benefit:.0}%)\n",
+            share_below(&d_si, 0.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Fig. 4 — custom strategies on the synthetic sites s1–s10 (§4.3).
+use h2push_bench::scale_from_args;
+use h2push_testbed::experiments::fig4::fig4_custom;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Fig. 4 — s1..s10, {} runs each (avg relative change vs no push; Δ<0 better)", scale.runs);
+    println!(
+        "{:22} {:>9} {:>9} | {:>9} {:>9} | {:>10} {:>10} | {:>8}",
+        "site", "all ΔPLT%", "all ΔSI%", "cust ΔPLT%", "cust ΔSI%", "cust KB", "all KB", "±CI95 SI"
+    );
+    for r in fig4_custom(scale) {
+        println!(
+            "{:22} {:>9.1} {:>9.1} | {:>10.1} {:>9.1} | {:>10.0} {:>10.0} | {:>8.1}",
+            r.site,
+            r.push_all_plt_pct,
+            r.push_all_si_pct,
+            r.custom_plt_pct,
+            r.custom_si_pct,
+            r.custom_bytes / 1024.0,
+            r.push_all_bytes / 1024.0,
+            r.custom.speed_index.ci_half_width(0.95)
+        );
+    }
+}

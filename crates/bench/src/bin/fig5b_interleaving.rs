@@ -1,0 +1,24 @@
+//! Fig. 5b — the Interleaving Push motivating example (§5).
+use h2push_bench::scale_from_args;
+use h2push_testbed::experiments::fig5::{fig5b_interleaving, Fig5Strategy};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Fig. 5b — SpeedIndex [ms] vs HTML size; mean ± std over {} runs", scale.runs);
+    println!("{:>9} {:>18} {:>18} {:>18}", "HTML", "no push", "push", "interleaving");
+    let points = fig5b_interleaving(scale);
+    for size in h2push_testbed::experiments::fig5::fig5_sizes() {
+        let cell = |s: Fig5Strategy| {
+            let p = points.iter().find(|p| p.html_size == size && p.strategy == s).unwrap();
+            format!("{:8.1} ±{:5.1}", p.metrics.speed_index.mean, p.metrics.speed_index.std_dev)
+        };
+        println!(
+            "{:>6} KB {:>18} {:>18} {:>18}",
+            size / 1024,
+            cell(Fig5Strategy::NoPush),
+            cell(Fig5Strategy::Push),
+            cell(Fig5Strategy::Interleaving)
+        );
+    }
+    println!("\npaper: no push and push grow with the document; interleaving stays flat.");
+}

@@ -1,0 +1,36 @@
+//! Fig. 6 — the six §5 strategies on the Table-1 sites w1–w20.
+use h2push_bench::scale_from_args;
+use h2push_strategies::PaperStrategy;
+use h2push_testbed::experiments::fig6::{fig6_realworld, winners};
+
+fn main() {
+    let scale = scale_from_args();
+    println!(
+        "Fig. 6 — avg relative ΔSpeedIndex vs no push [%], ±99.5% CI half-width, {} runs",
+        scale.runs
+    );
+    println!(
+        "{:18} {:>8} | {:>8} {:>8} {:>8} {:>8} {:>8} | {:>9} {:>7}",
+        "site", "base SI", "np-opt", "push all", "pa-opt", "push crit", "pc-opt", "pushed KB", "CI"
+    );
+    let rows = fig6_realworld(scale);
+    for r in &rows {
+        let c = |s: PaperStrategy| r.cell(s).si_pct;
+        let pco = r.cell(PaperStrategy::PushCriticalOptimized);
+        println!(
+            "{:18} {:>8.0} | {:>8.1} {:>8.1} {:>8.1} {:>9.1} {:>8.1} | {:>9.0} {:>7.1}",
+            r.site,
+            r.cell(PaperStrategy::NoPush).metrics.speed_index.mean,
+            c(PaperStrategy::NoPushOptimized),
+            c(PaperStrategy::PushAll),
+            c(PaperStrategy::PushAllOptimized),
+            c(PaperStrategy::PushCritical),
+            c(PaperStrategy::PushCriticalOptimized),
+            pco.pushed_bytes / 1024.0,
+            pco.metrics.speed_index.ci_half_width(0.995)
+        );
+    }
+    let w: Vec<&str> = winners(&rows).iter().map(|r| r.site.as_str()).collect();
+    println!("\nFig. 6a winners (≥20% SI improvement under push critical optimized): {w:?}");
+    println!("paper: five winners, led by w1-wikipedia (−68.9%), w2-apple (−29.7%), w16-twitter (−19.7%).");
+}

@@ -1,0 +1,24 @@
+//! Table 1 — the w1–w20 site inventory (structural view of our specs).
+use h2push_webmodel::{realworld_set, ResourceType};
+
+fn main() {
+    println!("Table 1 — modelled structure of the interleaving-push site set");
+    println!(
+        "{:18} {:>8} {:>9} {:>8} {:>10} {:>10} {:>9}",
+        "site", "HTML KB", "requests", "servers", "pushable", "push KB", "inline ms"
+    );
+    for p in realworld_set() {
+        let inline_ms: u64 = p.inline_scripts.iter().map(|s| s.exec_us).sum::<u64>() / 1000;
+        println!(
+            "{:18} {:>8} {:>9} {:>8} {:>9.0}% {:>10.0} {:>9}",
+            p.name,
+            p.html_size() / 1024,
+            p.resources.len(),
+            p.server_group_count(),
+            p.pushable_fraction() * 100.0,
+            p.pushable_bytes() as f64 / 1024.0,
+            inline_ms
+        );
+        let _ = p.by_type(ResourceType::Css);
+    }
+}

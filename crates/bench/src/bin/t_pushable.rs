@@ -1,0 +1,20 @@
+//! §4.2 "Pushable Objects" — share of sites with < 20 % pushable objects.
+use h2push_bench::{cdf_summary, scale_from_args};
+use h2push_testbed::experiments::fig3::pushable_stats;
+use h2push_webmodel::CorpusKind;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Pushable objects per site ({} sites per corpus)", scale.sites);
+    for (kind, label, paper) in [
+        (CorpusKind::Top, "top-100", 52.0),
+        (CorpusKind::Random, "random-100", 24.0),
+    ] {
+        let stats = pushable_stats(kind, scale);
+        cdf_summary(&format!("{label} pushable fraction"), &stats.fractions, &[0.2, 0.5]);
+        println!(
+            "  → {:.0}% of {label} sites have <20% pushable (paper: {paper:.0}%)",
+            stats.share_below_20pct * 100.0
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! §4.2.1 — pushing specific object types on the random corpus.
+use h2push_bench::scale_from_args;
+use h2push_metrics::RunStats;
+use h2push_testbed::experiments::types_study::{type_study, TypeSelection};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Type study — random-100, {} sites × {} runs", scale.sites, scale.runs);
+    let study = type_study(scale);
+    println!("{:>12} {:>14} {:>14} {:>18}", "type", "mean ΔSI [ms]", "median ΔSI", "sites worse (SI)");
+    for sel in TypeSelection::ALL {
+        let d: Vec<f64> = study
+            .rows
+            .iter()
+            .filter_map(|r| r.deltas.iter().find(|(s, _, _)| *s == sel).map(|&(_, dsi, _)| dsi))
+            .collect();
+        let s = RunStats::of(&d);
+        let worse = d.iter().filter(|&&x| x > 0.0).count() as f64 / d.len() as f64 * 100.0;
+        println!("{:>12} {:>14.1} {:>14.1} {:>17.0}%", sel.label(), s.mean, s.median, worse);
+    }
+    println!(
+        "\nimages worsen SI for {:.0}% of sites (paper: 74%); best-type improves SI for {:.0}% (paper: 24%), PLT for {:.0}% (paper: 20%)",
+        study.images_worse_share * 100.0,
+        study.best_type_improves_si * 100.0,
+        study.best_type_improves_plt * 100.0
+    );
+}

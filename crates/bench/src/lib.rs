@@ -1,0 +1,65 @@
+//! # h2push-bench — regenerate every table and figure
+//!
+//! One binary per experiment (see `DESIGN.md` §3 for the index); shared
+//! argument handling and table printing live here. All binaries accept
+//! `--quick` (reduced scale), `--paper` (100 sites × 31 runs — the
+//! default is an intermediate scale), and `--sites N` / `--runs N` /
+//! `--seed N` overrides.
+
+use h2push_testbed::experiments::Scale;
+
+/// Parse the common CLI arguments into a [`Scale`].
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = Scale { sites: 40, runs: 11, seed: 42 };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--paper" => scale = Scale::paper(),
+            "--sites" => {
+                i += 1;
+                scale.sites = args[i].parse().expect("--sites N");
+            }
+            "--runs" => {
+                i += 1;
+                scale.runs = args[i].parse().expect("--runs N");
+            }
+            "--seed" => {
+                i += 1;
+                scale.seed = args[i].parse().expect("--seed N");
+            }
+            other => panic!("unknown argument {other} (try --quick/--paper/--sites/--runs/--seed)"),
+        }
+        i += 1;
+    }
+    scale
+}
+
+/// Render CDF summary lines: the share of values below the given
+/// thresholds plus key percentiles — enough to redraw the paper's CDFs.
+pub fn cdf_summary(label: &str, values: &[f64], thresholds: &[f64]) {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    print!("{label:28}");
+    for &t in thresholds {
+        let share = h2push_metrics::share_below(values, t) * 100.0;
+        print!("  P[x<{t:>6}]={share:5.1}%");
+    }
+    for p in [10.0, 50.0, 90.0] {
+        print!("  p{p:.0}={:8.1}", h2push_metrics::percentile(values, p));
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_moderate() {
+        // Can't inject argv easily; just exercise cdf_summary.
+        cdf_summary("test", &[1.0, 2.0, 3.0], &[2.5]);
+        let _ = Scale { sites: 1, runs: 1, seed: 1 };
+    }
+}

@@ -1,0 +1,1056 @@
+//! The browser model: Chromium-64-like load and render behaviour (§2.2,
+//! §4.2, §5 of the paper).
+//!
+//! What is modelled — exactly the mechanisms the paper's analysis leans on:
+//!
+//! * **Incremental HTML parsing** over the bytes received so far; the
+//!   parser stops at classic `<script src>` tags (execution additionally
+//!   waits for every stylesheet appearing earlier — the CSSOM rule that
+//!   makes w2/w5 computation-bound) and at inline scripts.
+//! * **Preload scanning**: references are discovered the moment the bytes
+//!   containing them arrive, even while the parser is blocked.
+//! * **Request priorities**: Chromium's exclusive dependency chain. Each
+//!   request is spliced into a linear H2 priority chain ordered by class
+//!   (HTML ≻ CSS/font ≻ blocking JS ≻ async/defer/other ≻ images), so an
+//!   h2o-style server delivers responses *sequentially* in priority order —
+//!   the very behaviour that makes a large HTML starve its own CSS (the
+//!   paper's w1/Fig. 5 observation).
+//! * **Server Push**: PUSH_PROMISEs are accepted (or cancelled with
+//!   RST_STREAM CANCEL when the resource was already requested), and
+//!   `SETTINGS_ENABLE_PUSH=0` implements the paper's *no push* baseline.
+//! * **Rendering**: render-blocking CSS gates first paint; text paints
+//!   progressively with parser progress; above-the-fold images paint when
+//!   decoded. The resulting visual-progress curve feeds SpeedIndex.
+//! * **A single main thread**: script execution, CSS parsing and decoding
+//!   contend for it (`main_free_at`), reproducing the computation-bound
+//!   pages where push cannot help (s5, w5).
+
+use crate::result::{LoadResult, PaintSample, ResourceTiming};
+use h2push_h2proto::{
+    CacheDigest, Connection, ErrorCode, Event, FifoScheduler, PrioritySpec, Settings,
+};
+use h2push_hpack::Header;
+use h2push_netsim::{SimDuration, SimTime};
+use h2push_webmodel::{Discovery, Page, ResourceId, ResourceType, ScriptMode};
+use std::collections::HashMap;
+
+/// Request priority classes, highest first (Chromium's five buckets).
+const CLASS_WEIGHTS: [u16; 5] = [256, 220, 183, 147, 110];
+
+/// Maximum parallel HTTP/1.1 connections per origin (the classic browser
+/// limit the paper's §1 motivation assumes).
+const H1_POOL_SIZE: usize = 6;
+
+/// Which protocol the browser speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportMode {
+    /// HTTP/2: one multiplexed connection per server group.
+    #[default]
+    H2,
+    /// HTTP/1.1: up to six keep-alive connections per group, one request
+    /// outstanding per connection — the baseline the paper motivates
+    /// against.
+    H1,
+}
+
+/// Browser configuration for one load.
+#[derive(Debug, Clone)]
+pub struct BrowserConfig {
+    /// Advertise SETTINGS_ENABLE_PUSH (false ⇒ the paper's "no push").
+    pub enable_push: bool,
+    /// Per-stream receive window (Chromium uses ~6 MB).
+    pub initial_window: u32,
+    /// Multiplies all CPU times; models per-run client-side processing
+    /// variance (the residual noise the paper's testbed still observes).
+    pub cpu_scale: f64,
+    /// Protocol to load over.
+    pub transport: TransportMode,
+    /// Whether the preload scanner runs (discovering references in
+    /// received-but-unparsed bytes). All modern browsers have one; turning
+    /// it off shows how much of Server Push's promise is really just
+    /// "discover earlier" — the ablation behind the guidelines' "push
+    /// saves discovery time" argument.
+    pub preload_scanner: bool,
+    /// Resources already in the browser cache (a warm revisit). Cached
+    /// resources load instantly, and the browser advertises them in a
+    /// `cache-digest` header (draft-ietf-httpbis-cache-digest) so a
+    /// digest-aware server can skip pushing them; pushes that slip through
+    /// are cancelled (§2.1 of the paper).
+    pub warm_cache: Vec<ResourceId>,
+}
+
+impl Default for BrowserConfig {
+    fn default() -> Self {
+        BrowserConfig {
+            enable_push: true,
+            initial_window: 6 * 1024 * 1024,
+            cpu_scale: 1.0,
+            transport: TransportMode::H2,
+            preload_scanner: true,
+            warm_cache: Vec::new(),
+        }
+    }
+}
+
+/// What the browser asks its environment (the testbed) to do.
+#[derive(Debug)]
+pub enum BrowserAction {
+    /// Open a TCP+TLS connection to this server group. HTTP/2 uses a
+    /// single connection (slot 0); HTTP/1.1 opens up to six slots.
+    OpenConnection { group: usize, slot: usize },
+    /// Write bytes on connection `slot` of this group.
+    SendBytes { group: usize, slot: usize, bytes: Vec<u8> },
+    /// Wake the browser at `at` with `token`.
+    SetTimer { at: SimTime, token: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ResState {
+    Undiscovered,
+    /// Requested or promised; transfer in progress.
+    Fetching,
+    /// All bytes received; evaluation not finished.
+    Loaded,
+    /// Fully processed (executed / parsed / decoded).
+    Evaluated,
+}
+
+#[derive(Debug)]
+struct ResInfo {
+    state: ResState,
+    discovered: bool,
+    pushed: bool,
+    received: usize,
+    eval_scheduled: bool,
+    timing: ResourceTiming,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum StopKind {
+    /// External parser-blocking script.
+    Script(ResourceId),
+    /// Inline script block (index into `Page::inline_scripts`).
+    Inline(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Blocked {
+    /// Waiting for an external script to load/execute.
+    Script(ResourceId),
+    /// Inline script waiting for earlier stylesheets.
+    InlineCss(usize),
+    /// Inline script executing on the main thread.
+    InlineExec(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TimerKind {
+    EvalDone(ResourceId),
+    InlineDone(usize),
+}
+
+/// One HTTP/1.1 connection slot in a per-group pool.
+struct H1Slot {
+    conn: h2push_h1::H1ClientConn,
+    current: Option<ResourceId>,
+}
+
+/// The per-group HTTP/1.1 connection pool with its priority-ordered
+/// request queue.
+#[derive(Default)]
+struct H1Pool {
+    slots: Vec<H1Slot>,
+    /// Pending fetches: (class, discovery sequence, resource).
+    queue: Vec<(u8, u64, ResourceId)>,
+}
+
+struct ConnState {
+    conn: Connection,
+    /// The priority chain: streams in dependency order (root-most first)
+    /// with their class.
+    chain: Vec<(u32, u8)>,
+    /// Whether the cache digest was already sent on this connection.
+    digest_sent: bool,
+}
+
+/// Splice `stream` of priority `class` into the connection's exclusive
+/// dependency chain (Chromium's scheme): it becomes an exclusive child of
+/// the deepest live stream of equal-or-higher class, adopting everything
+/// below. Returns the PRIORITY spec to signal.
+fn splice_into_chain(cs: &mut ConnState, stream: u32, class: u8) -> PrioritySpec {
+    let parent = cs.chain.iter().rev().find(|&&(_, c)| c <= class).map(|&(s, _)| s).unwrap_or(0);
+    let spec = PrioritySpec {
+        depends_on: parent,
+        weight: CLASS_WEIGHTS[class as usize],
+        exclusive: true,
+    };
+    let pos = cs.chain.iter().position(|&(s, _)| s == parent).map(|i| i + 1).unwrap_or(0);
+    cs.chain.insert(pos, (stream, class));
+    spec
+}
+
+/// The browser: drive it with `on_connected` / `on_bytes` / `on_timer`,
+/// collect [`BrowserAction`]s, read the [`LoadResult`] when done.
+pub struct Browser {
+    page: Page,
+    cfg: BrowserConfig,
+    conns: HashMap<usize, ConnState>,
+    h1: HashMap<usize, H1Pool>,
+    h1_seq: u64,
+    res: Vec<ResInfo>,
+    stream_map: HashMap<(usize, u32), ResourceId>,
+    // Parser state.
+    available: usize,
+    parsed: usize,
+    stops: Vec<(usize, StopKind)>,
+    stop_idx: usize,
+    blocked: Option<Blocked>,
+    inline_done: Vec<bool>,
+    parser_done: bool,
+    // HTML references sorted by offset, for the preload scanner.
+    html_refs: Vec<(usize, ResourceId)>,
+    next_ref: usize,
+    // Main thread.
+    main_free_at: SimTime,
+    timers: HashMap<u64, TimerKind>,
+    next_token: u64,
+    // Deferred scripts pending execution after parse end.
+    defer_queue: Vec<ResourceId>,
+    // Timeline.
+    connect_end: Option<SimTime>,
+    first_paint: Option<SimTime>,
+    dcl: Option<SimTime>,
+    onload: Option<SimTime>,
+    paints: Vec<PaintSample>,
+    last_completeness: f64,
+    total_weight: f64,
+    // Stats.
+    pushed_bytes: u64,
+    pushed_count: u32,
+    cancelled_pushes: u32,
+    requests: u32,
+    actions: Vec<BrowserAction>,
+}
+
+impl Browser {
+    /// Create a browser for one load of `page`.
+    pub fn new(page: Page, cfg: BrowserConfig) -> Self {
+        let n = page.resources.len();
+        // Parser stop points: external blocking scripts + inline scripts.
+        let mut stops: Vec<(usize, StopKind)> = page
+            .resources
+            .iter()
+            .filter(|r| r.is_parser_blocking_script())
+            .filter_map(|r| match r.discovery {
+                Discovery::Html { offset } => Some((offset, StopKind::Script(r.id))),
+                _ => None,
+            })
+            .chain(
+                page.inline_scripts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.offset, StopKind::Inline(i))),
+            )
+            .collect();
+        stops.sort_by_key(|&(off, _)| off);
+        let mut html_refs: Vec<(usize, ResourceId)> = page
+            .resources
+            .iter()
+            .skip(1)
+            .filter_map(|r| match r.discovery {
+                Discovery::Html { offset } => Some((offset, r.id)),
+                _ => None,
+            })
+            .collect();
+        html_refs.sort_by_key(|&(off, id)| (off, id));
+        let inline_count = page.inline_scripts.len();
+        let total_weight = page.total_visual_weight();
+        Browser {
+            res: (0..n)
+                .map(|_| ResInfo {
+                    state: ResState::Undiscovered,
+                    discovered: false,
+                    pushed: false,
+                    received: 0,
+                    eval_scheduled: false,
+                    timing: ResourceTiming::default(),
+                })
+                .collect(),
+            page,
+            cfg,
+            conns: HashMap::new(),
+            h1: HashMap::new(),
+            h1_seq: 0,
+            stream_map: HashMap::new(),
+            available: 0,
+            parsed: 0,
+            stops,
+            stop_idx: 0,
+            blocked: None,
+            inline_done: vec![false; inline_count],
+            parser_done: false,
+            html_refs,
+            next_ref: 0,
+            main_free_at: SimTime::ZERO,
+            timers: HashMap::new(),
+            next_token: 1,
+            defer_queue: Vec::new(),
+            connect_end: None,
+            first_paint: None,
+            dcl: None,
+            onload: None,
+            paints: Vec::new(),
+            last_completeness: 0.0,
+            total_weight,
+            pushed_bytes: 0,
+            pushed_count: 0,
+            cancelled_pushes: 0,
+            requests: 0,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Begin navigation: opens the main connection and requests the
+    /// document. Returns the initial actions.
+    pub fn start(&mut self, now: SimTime) -> Vec<BrowserAction> {
+        self.discover(ResourceId(0), now);
+        self.flush_conns();
+        std::mem::take(&mut self.actions)
+    }
+
+    /// The handshake of connection `slot` to `group` finished.
+    pub fn on_connected(&mut self, group: usize, slot: usize, now: SimTime) -> Vec<BrowserAction> {
+        let _ = slot;
+        if group == self.page.server_group_of(ResourceId(0)) && self.connect_end.is_none() {
+            self.connect_end = Some(now);
+        }
+        self.flush_conns();
+        std::mem::take(&mut self.actions)
+    }
+
+    /// Wire bytes arrived on connection `slot` of `group`.
+    pub fn on_bytes(
+        &mut self,
+        group: usize,
+        slot: usize,
+        bytes: &[u8],
+        now: SimTime,
+    ) -> Vec<BrowserAction> {
+        match self.cfg.transport {
+            TransportMode::H2 => {
+                if let Some(cs) = self.conns.get_mut(&group) {
+                    cs.conn.receive(bytes);
+                }
+                self.drain_events(group, now);
+            }
+            TransportMode::H1 => self.h1_on_bytes(group, slot, bytes, now),
+        }
+        self.flush_conns();
+        std::mem::take(&mut self.actions)
+    }
+
+    /// A timer set earlier fired.
+    pub fn on_timer(&mut self, token: u64, now: SimTime) -> Vec<BrowserAction> {
+        match self.timers.remove(&token) {
+            Some(TimerKind::EvalDone(rid)) => self.finish_eval(rid, now),
+            Some(TimerKind::InlineDone(idx)) => {
+                self.inline_done[idx] = true;
+                if self.blocked == Some(Blocked::InlineExec(idx)) {
+                    self.blocked = None;
+                    self.stop_idx += 1;
+                    self.advance_parser(now);
+                    if !self.cfg.preload_scanner {
+                        self.scan(now);
+                    }
+                }
+                self.after_state_change(now);
+            }
+            None => {}
+        }
+        self.flush_conns();
+        std::mem::take(&mut self.actions)
+    }
+
+    /// Whether onload has fired.
+    pub fn done(&self) -> bool {
+        self.onload.is_some()
+    }
+
+    /// Collect the measurements (valid once [`Browser::done`]).
+    pub fn result(&self) -> LoadResult {
+        LoadResult {
+            site: self.page.name.clone(),
+            connect_end: self.connect_end.unwrap_or(SimTime::ZERO),
+            first_paint: self.first_paint,
+            dom_content_loaded: self.dcl,
+            onload: self.onload,
+            paints: self.paints.clone(),
+            pushed_bytes: self.pushed_bytes,
+            pushed_count: self.pushed_count,
+            cancelled_pushes: self.cancelled_pushes,
+            requests: self.requests,
+            waterfall: self.res.iter().map(|i| i.timing).collect(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Requests and connections
+    // ------------------------------------------------------------------
+
+    fn class_of(&self, rid: ResourceId) -> u8 {
+        let r = self.page.resource(rid);
+        match r.rtype {
+            ResourceType::Html => 0,
+            // Deferred (non-render-blocking) stylesheets are fetched like
+            // async scripts, not like critical CSS — that is the whole
+            // point of the critical-CSS rewrite.
+            ResourceType::Css if !r.render_blocking => 3,
+            ResourceType::Css | ResourceType::Font => 1,
+            ResourceType::Js if r.script_mode == ScriptMode::Blocking => 2,
+            ResourceType::Js | ResourceType::Other => 3,
+            ResourceType::Image => 4,
+        }
+    }
+
+    fn ensure_conn(&mut self, group: usize) {
+        if self.conns.contains_key(&group) {
+            return;
+        }
+        let conn = Connection::client(Settings {
+            enable_push: Some(self.cfg.enable_push),
+            initial_window_size: Some(self.cfg.initial_window),
+            ..Default::default()
+        });
+        self.conns.insert(group, ConnState { conn, chain: Vec::new(), digest_sent: false });
+        self.actions.push(BrowserAction::OpenConnection { group, slot: 0 });
+    }
+
+    fn discover(&mut self, rid: ResourceId, now: SimTime) {
+        if self.res[rid.0].discovered {
+            return;
+        }
+        self.res[rid.0].discovered = true;
+        self.res[rid.0].timing.discovered.get_or_insert(now);
+        if self.res[rid.0].state != ResState::Undiscovered {
+            // Already being pushed.
+            return;
+        }
+        if rid.0 != 0 && self.cfg.warm_cache.contains(&rid) {
+            // Cache hit: no network, straight to evaluation.
+            let info = &mut self.res[rid.0];
+            info.state = ResState::Loaded;
+            info.received = self.page.resource(rid).size;
+            info.timing.loaded.get_or_insert(now);
+            self.try_schedule_eval(rid, now);
+            return;
+        }
+        self.res[rid.0].state = ResState::Fetching;
+        let group = self.page.server_group_of(rid);
+        if self.cfg.transport == TransportMode::H1 {
+            // HTTP/1.1: queue on the group pool, highest class first.
+            let class = self.class_of(rid);
+            let seq = self.h1_seq;
+            self.h1_seq += 1;
+            let pool = self.h1.entry(group).or_default();
+            pool.queue.push((class, seq, rid));
+            pool.queue.sort();
+            self.requests += 1;
+            self.h1_dispatch(group);
+            return;
+        }
+        self.ensure_conn(group);
+        let host = self.page.host_of(rid).to_string();
+        let path = self.page.resource(rid).path.clone();
+        let class = self.class_of(rid);
+        let cs = self.conns.get_mut(&group).expect("just ensured");
+        let headers = vec![
+            Header::new(":method", "GET"),
+            Header::new(":scheme", "https"),
+            Header::new(":authority", &host),
+            Header::new(":path", &path),
+        ];
+        // Reserve the id the connection will assign, then splice it into
+        // the Chromium-style exclusive chain and send HEADERS with that
+        // priority.
+        let spec_stream = cs.conn.peek_next_stream_id();
+        let spec = splice_into_chain(cs, spec_stream, class);
+        let mut headers = headers;
+        if !cs.digest_sent && !self.cfg.warm_cache.is_empty() {
+            cs.digest_sent = true;
+            let urls: Vec<String> = self
+                .cfg
+                .warm_cache
+                .iter()
+                .map(|&c| self.page.resource(c).url(self.page.host_of(c)))
+                .collect();
+            let digest = CacheDigest::build(&urls, 7);
+            headers.push(Header::new("cache-digest", &digest.to_hex()));
+        }
+        let stream = cs.conn.request(&headers, Some(spec));
+        debug_assert_eq!(stream, spec_stream);
+        self.stream_map.insert((group, stream), rid);
+        self.requests += 1;
+        let _ = now;
+    }
+
+    /// Assign queued HTTP/1.1 fetches to idle pool slots, opening new
+    /// connections up to the per-origin limit.
+    fn h1_dispatch(&mut self, group: usize) {
+        loop {
+            let pool = self.h1.entry(group).or_default();
+            if pool.queue.is_empty() {
+                return;
+            }
+            let idle = pool.slots.iter().position(|s| s.current.is_none() && s.conn.is_idle());
+            let slot = match idle {
+                Some(i) => i,
+                None if pool.slots.len() < H1_POOL_SIZE => {
+                    pool.slots.push(H1Slot { conn: h2push_h1::H1ClientConn::new(), current: None });
+                    let slot = pool.slots.len() - 1;
+                    self.actions.push(BrowserAction::OpenConnection { group, slot });
+                    slot
+                }
+                None => return, // all six busy; ResponseComplete re-dispatches
+            };
+            let (_, _, rid) = pool.queue.remove(0);
+            let host = self.page.host_of(rid).to_string();
+            let path = self.page.resource(rid).path.clone();
+            let pool = self.h1.get_mut(&group).expect("pool exists");
+            let s = &mut pool.slots[slot];
+            s.current = Some(rid);
+            // Real HTTP/1.1 requests carry the full header set on every
+            // request (≈ 400–700 bytes in 2018 traffic) — the repetition
+            // HPACK exists to remove (§2.1). These are what an H2-vs-H1
+            // comparison actually compared.
+            s.conn.send_request(
+                &host,
+                &path,
+                &[
+                    (
+                        "user-agent",
+                        "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/64.0.3282.140 Safari/537.36",
+                    ),
+                    (
+                        "accept",
+                        "text/html,application/xhtml+xml,application/xml;q=0.9,image/webp,image/apng,*/*;q=0.8",
+                    ),
+                    ("accept-encoding", "gzip, deflate, br"),
+                    ("accept-language", "en-US,en;q=0.9,de;q=0.8"),
+                    (
+                        "cookie",
+                        "session=8f14e45fceea167a5a36dedd4bea2543; consent=1; ab_bucket=B; _ga=GA1.2.1234567890.1512345678; _gid=GA1.2.987654321.1512345678",
+                    ),
+                ],
+            );
+            let bytes = s.conn.produce();
+            if !bytes.is_empty() {
+                self.actions.push(BrowserAction::SendBytes { group, slot, bytes });
+            }
+        }
+    }
+
+    fn h1_on_bytes(&mut self, group: usize, slot: usize, bytes: &[u8], now: SimTime) {
+        let Some(pool) = self.h1.get_mut(&group) else { return };
+        let Some(s) = pool.slots.get_mut(slot) else { return };
+        s.conn.receive(bytes);
+        loop {
+            let pool = self.h1.get_mut(&group).expect("pool exists");
+            let s = &mut pool.slots[slot];
+            let Some(ev) = s.conn.poll_event() else { break };
+            let rid = s.current;
+            match ev {
+                h2push_h1::H1ClientEvent::ResponseHead { .. } => {}
+                h2push_h1::H1ClientEvent::BodyData { len } => {
+                    if let Some(rid) = rid {
+                        self.body_arrived(rid, len, now);
+                    }
+                }
+                h2push_h1::H1ClientEvent::ResponseComplete => {
+                    let pool = self.h1.get_mut(&group).expect("pool exists");
+                    let rid = pool.slots[slot].current.take();
+                    if let Some(rid) = rid {
+                        self.response_finished(rid, now);
+                    }
+                    self.h1_dispatch(group);
+                    self.after_state_change(now);
+                }
+                h2push_h1::H1ClientEvent::Error { reason } => {
+                    panic!("HTTP/1.1 replay error: {reason}");
+                }
+            }
+        }
+    }
+
+    fn flush_conns(&mut self) {
+        let mut sched = FifoScheduler;
+        for (&group, cs) in self.conns.iter_mut() {
+            loop {
+                let bytes = cs.conn.produce(usize::MAX, &mut sched);
+                if bytes.is_empty() {
+                    break;
+                }
+                self.actions.push(BrowserAction::SendBytes { group, slot: 0, bytes });
+            }
+        }
+    }
+
+    fn drain_events(&mut self, group: usize, now: SimTime) {
+        loop {
+            let ev = match self.conns.get_mut(&group) {
+                Some(cs) => cs.conn.poll_event(),
+                None => None,
+            };
+            let Some(ev) = ev else { break };
+            match ev {
+                Event::Headers { .. } | Event::Settings(_) | Event::SettingsAck => {}
+                Event::PushPromise { parent: _, promised, headers } => {
+                    self.handle_push_promise(group, promised, &headers);
+                }
+                Event::Data { stream, len, end_stream } => {
+                    self.handle_data(group, stream, len, end_stream, now);
+                }
+                Event::Reset { stream, .. } => {
+                    // Server refused/cancelled: treat the resource as failed
+                    // ⇒ re-request it plainly.
+                    if let Some(rid) = self.stream_map.remove(&(group, stream)) {
+                        if self.res[rid.0].state == ResState::Fetching {
+                            self.res[rid.0].state = ResState::Undiscovered;
+                            self.res[rid.0].discovered = false;
+                            self.discover(rid, now);
+                        }
+                    }
+                }
+                Event::Priority { .. } | Event::GoAway { .. } => {}
+                Event::ConnectionError { reason } => {
+                    panic!("browser connection error: {reason}");
+                }
+            }
+        }
+    }
+
+    fn handle_push_promise(&mut self, group: usize, promised: u32, headers: &[Header]) {
+        let get = |name: &str| {
+            headers
+                .iter()
+                .find(|h| h.name == name.as_bytes())
+                .map(|h| String::from_utf8_lossy(&h.value).to_string())
+                .unwrap_or_default()
+        };
+        let authority = get(":authority");
+        let path = get(":path");
+        let rid = self
+            .page
+            .resources
+            .iter()
+            .find(|r| r.path == path && self.page.origins[r.origin].host == authority)
+            .map(|r| r.id);
+        match rid {
+            Some(id)
+                if self.res[id.0].state == ResState::Undiscovered
+                    && self.cfg.warm_cache.contains(&id) =>
+            {
+                // Already cached: cancel, like real clients do — by which
+                // time the object may be in flight (§2.1).
+                let cs = self.conns.get_mut(&group).expect("push on unknown group");
+                cs.conn.reset(promised, ErrorCode::Cancel);
+                self.cancelled_pushes += 1;
+            }
+            Some(id) if self.res[id.0].state == ResState::Undiscovered => {
+                self.res[id.0].state = ResState::Fetching;
+                self.res[id.0].pushed = true;
+                self.stream_map.insert((group, promised), id);
+                // Chromium reprioritizes accepted pushes into its exclusive
+                // dependency chain by resource type, exactly like its own
+                // requests — otherwise later requests (which splice
+                // *exclusively* under the document, adopting the pushes as
+                // children) would starve pushed critical resources behind
+                // low-priority content.
+                let class = self.class_of(id);
+                let cs = self.conns.get_mut(&group).expect("push on unknown group");
+                let spec = splice_into_chain(cs, promised, class);
+                cs.conn.send_priority(promised, spec);
+            }
+            _ => {
+                // Duplicate (already requested) or unknown: cancel. Bytes
+                // already in flight still arrive and are discarded — the
+                // paper's §2.1 "can be already in flight" caveat.
+                let cs = self.conns.get_mut(&group).expect("push on unknown group");
+                cs.conn.reset(promised, ErrorCode::Cancel);
+                self.cancelled_pushes += 1;
+            }
+        }
+    }
+
+    fn handle_data(&mut self, group: usize, stream: u32, len: usize, end: bool, now: SimTime) {
+        let Some(&rid) = self.stream_map.get(&(group, stream)) else {
+            return; // discarded push data after cancel
+        };
+        self.body_arrived(rid, len, now);
+        if end {
+            // Retire the stream from the priority chain.
+            if let Some(cs) = self.conns.get_mut(&group) {
+                cs.chain.retain(|&(s, _)| s != stream);
+            }
+            self.response_finished(rid, now);
+        }
+        self.after_state_change(now);
+    }
+
+    /// Transport-independent: body bytes of `rid` arrived.
+    fn body_arrived(&mut self, rid: ResourceId, len: usize, now: SimTime) {
+        let info = &mut self.res[rid.0];
+        info.received += len;
+        if info.pushed {
+            self.pushed_bytes += len as u64;
+        }
+        if rid.0 == 0 {
+            self.available = info.received.min(self.page.html_size());
+            self.scan(now);
+            self.advance_parser(now);
+        }
+    }
+
+    /// Transport-independent: the response for `rid` completed.
+    fn response_finished(&mut self, rid: ResourceId, now: SimTime) {
+        let info = &mut self.res[rid.0];
+        if info.state == ResState::Fetching {
+            info.state = ResState::Loaded;
+            info.timing.loaded.get_or_insert(now);
+            info.timing.pushed = info.pushed;
+        }
+        if info.pushed {
+            self.pushed_count += 1;
+        }
+        self.try_schedule_eval(rid, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Preload scanner and parser
+    // ------------------------------------------------------------------
+
+    /// Discover HTML references. With the preload scanner, everything in
+    /// the *received* bytes is found immediately (even while the parser is
+    /// blocked); without it, only references the *parser* has passed are
+    /// seen.
+    fn scan(&mut self, now: SimTime) {
+        // Without the scanner the parser still *reads* the tag it is
+        // standing on, hence the +1.
+        let horizon = if self.cfg.preload_scanner {
+            self.available
+        } else {
+            self.parsed.saturating_add(1).min(self.available)
+        };
+        while self.next_ref < self.html_refs.len() && self.html_refs[self.next_ref].0 < horizon {
+            let (_, rid) = self.html_refs[self.next_ref];
+            self.next_ref += 1;
+            self.discover(rid, now);
+        }
+    }
+
+    fn cssom_ready_before(&self, offset: usize) -> bool {
+        // Every render-blocking stylesheet appearing earlier in the
+        // document must be evaluated.
+        self.page.resources.iter().all(|r| {
+            let gating = r.rtype == ResourceType::Css
+                && r.render_blocking
+                && matches!(r.discovery, Discovery::Html { offset: o } if o < offset);
+            !gating || self.res[r.id.0].state == ResState::Evaluated
+        })
+    }
+
+    fn advance_parser(&mut self, now: SimTime) {
+        loop {
+            if self.parser_done || self.blocked.is_some() {
+                return;
+            }
+            let limit = self.available;
+            let stop = self.stops.get(self.stop_idx).copied();
+            match stop {
+                Some((off, kind)) if off < limit => {
+                    self.parsed = self.parsed.max(off);
+                    if !self.cfg.preload_scanner {
+                        // The parser has now read everything up to (and
+                        // including) this tag.
+                        self.scan(now);
+                    }
+                    match kind {
+                        StopKind::Script(rid) => {
+                            if self.res[rid.0].state == ResState::Evaluated {
+                                self.stop_idx += 1;
+                                continue;
+                            }
+                            self.blocked = Some(Blocked::Script(rid));
+                            self.try_schedule_eval(rid, now);
+                            return;
+                        }
+                        StopKind::Inline(idx) => {
+                            if self.inline_done[idx] {
+                                self.stop_idx += 1;
+                                continue;
+                            }
+                            let s = self.page.inline_scripts[idx];
+                            if s.needs_cssom && !self.cssom_ready_before(s.offset) {
+                                self.blocked = Some(Blocked::InlineCss(idx));
+                                return;
+                            }
+                            self.blocked = Some(Blocked::InlineExec(idx));
+                            let dur = SimDuration::from_micros(
+                                (s.exec_us as f64 * self.cfg.cpu_scale) as u64,
+                            );
+                            let done = self.schedule_main_thread(now, dur);
+                            let token = self.set_timer(done, TimerKind::InlineDone(idx));
+                            let _ = token;
+                            return;
+                        }
+                    }
+                }
+                _ => {
+                    self.parsed = limit;
+                    if !self.cfg.preload_scanner {
+                        self.scan(now);
+                    }
+                    if self.parsed >= self.page.html_size()
+                        && self.res[0].state != ResState::Fetching
+                        && self.res[0].state != ResState::Undiscovered
+                    {
+                        self.parser_done = true;
+                        self.build_defer_queue();
+                        self.process_defers(now);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn build_defer_queue(&mut self) {
+        let mut q: Vec<(usize, ResourceId)> = self
+            .page
+            .resources
+            .iter()
+            .filter(|r| {
+                r.rtype == ResourceType::Js
+                    && r.script_mode == ScriptMode::Defer
+                    && self.res[r.id.0].discovered
+            })
+            .filter_map(|r| match r.discovery {
+                Discovery::Html { offset } => Some((offset, r.id)),
+                _ => None,
+            })
+            .collect();
+        q.sort();
+        self.defer_queue = q.into_iter().map(|(_, id)| id).collect();
+    }
+
+    fn process_defers(&mut self, now: SimTime) {
+        // Execute deferred scripts in order; DCL after the last.
+        for i in 0..self.defer_queue.len() {
+            let rid = self.defer_queue[i];
+            match self.res[rid.0].state {
+                ResState::Evaluated => continue,
+                ResState::Loaded => {
+                    self.try_schedule_eval(rid, now);
+                    return;
+                }
+                _ => return, // still fetching; resumes on load
+            }
+        }
+        if self.dcl.is_none() {
+            self.dcl = Some(now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Main-thread evaluation
+    // ------------------------------------------------------------------
+
+    fn schedule_main_thread(&mut self, now: SimTime, dur: SimDuration) -> SimTime {
+        let start = self.main_free_at.max(now);
+        let done = start + dur;
+        self.main_free_at = done;
+        done
+    }
+
+    fn set_timer(&mut self, at: SimTime, kind: TimerKind) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.timers.insert(token, kind);
+        self.actions.push(BrowserAction::SetTimer { at, token });
+        token
+    }
+
+    /// Schedule the evaluation (exec/parse/decode) of a loaded resource if
+    /// its gating conditions hold.
+    fn try_schedule_eval(&mut self, rid: ResourceId, now: SimTime) {
+        if rid.0 == 0 {
+            // The document has no evaluation of its own.
+            if self.res[0].state == ResState::Loaded {
+                self.res[0].state = ResState::Evaluated;
+                self.advance_parser(now);
+            }
+            return;
+        }
+        let r = self.page.resource(rid).clone();
+        let info = &mut self.res[rid.0];
+        if info.state != ResState::Loaded || info.eval_scheduled {
+            return;
+        }
+        let ready = match r.rtype {
+            ResourceType::Js => match r.script_mode {
+                ScriptMode::Blocking => {
+                    // Executes only at parser position, after earlier CSSOM.
+                    let at_parser = self.blocked == Some(Blocked::Script(rid));
+                    let off = match r.discovery {
+                        Discovery::Html { offset } => offset,
+                        _ => 0,
+                    };
+                    at_parser && self.cssom_ready_before(off)
+                }
+                ScriptMode::Async => true,
+                ScriptMode::Defer => {
+                    // Only as the head of the defer queue after parsing.
+                    self.parser_done
+                        && self
+                            .defer_queue
+                            .iter()
+                            .find(|&&d| self.res[d.0].state != ResState::Evaluated)
+                            == Some(&rid)
+                }
+            },
+            _ => true,
+        };
+        if !ready {
+            return;
+        }
+        self.res[rid.0].eval_scheduled = true;
+        let dur = SimDuration::from_micros((r.exec_us as f64 * self.cfg.cpu_scale) as u64);
+        let done = self.schedule_main_thread(now, dur);
+        self.set_timer(done, TimerKind::EvalDone(rid));
+    }
+
+    fn finish_eval(&mut self, rid: ResourceId, now: SimTime) {
+        self.res[rid.0].state = ResState::Evaluated;
+        self.res[rid.0].timing.evaluated.get_or_insert(now);
+        let r = self.page.resource(rid).clone();
+        // Children discovered by this resource.
+        let children: Vec<ResourceId> = self
+            .page
+            .resources
+            .iter()
+            .filter(|c| match c.discovery {
+                Discovery::Css { parent } => {
+                    parent == rid && r.rtype == ResourceType::Css
+                }
+                Discovery::Script { parent } => parent == rid,
+                _ => false,
+            })
+            .map(|c| c.id)
+            .collect();
+        for c in children {
+            self.discover(c, now);
+        }
+        // Unblock the parser.
+        match self.blocked {
+            Some(Blocked::Script(b)) if b == rid => {
+                self.blocked = None;
+                self.stop_idx += 1;
+                self.advance_parser(now);
+            }
+            Some(Blocked::Script(b)) => {
+                // A stylesheet finishing may satisfy the CSSOM condition of
+                // the blocking script we're parked on.
+                self.try_schedule_eval(b, now);
+            }
+            Some(Blocked::InlineCss(idx)) => {
+                let s = self.page.inline_scripts[idx];
+                if self.cssom_ready_before(s.offset) {
+                    self.blocked = Some(Blocked::InlineExec(idx));
+                    let dur =
+                        SimDuration::from_micros((s.exec_us as f64 * self.cfg.cpu_scale) as u64);
+                    let done = self.schedule_main_thread(now, dur);
+                    self.set_timer(done, TimerKind::InlineDone(idx));
+                }
+            }
+            _ => {}
+        }
+        if self.parser_done {
+            self.process_defers(now);
+        }
+        self.after_state_change(now);
+    }
+
+    // ------------------------------------------------------------------
+    // Rendering and completion
+    // ------------------------------------------------------------------
+
+    fn render_unblocked(&self) -> bool {
+        if self.parsed < self.page.head_end {
+            return false;
+        }
+        self.page.resources.iter().all(|r| {
+            let gating = r.rtype == ResourceType::Css
+                && r.render_blocking
+                && matches!(r.discovery, Discovery::Html { offset } if offset <= self.parsed);
+            !gating || self.res[r.id.0].state == ResState::Evaluated
+        })
+    }
+
+    fn completeness(&self) -> f64 {
+        if self.total_weight <= 0.0 {
+            return 1.0;
+        }
+        let mut done = 0.0;
+        for t in &self.page.text_paints {
+            if t.offset <= self.parsed {
+                done += t.weight;
+            }
+        }
+        for r in &self.page.resources {
+            if !r.above_fold || r.visual_weight <= 0.0 {
+                continue;
+            }
+            if self.res[r.id.0].state != ResState::Evaluated {
+                continue;
+            }
+            // Layout must have reached an HTML-referenced resource.
+            let laid_out = match r.discovery {
+                Discovery::Html { offset } => offset <= self.parsed,
+                _ => true,
+            };
+            if laid_out {
+                done += r.visual_weight;
+            }
+        }
+        (done / self.total_weight).min(1.0)
+    }
+
+    fn after_state_change(&mut self, now: SimTime) {
+        // Paint.
+        if self.render_unblocked() {
+            let c = self.completeness();
+            if c > self.last_completeness + 1e-12 {
+                self.last_completeness = c;
+                self.first_paint.get_or_insert(now);
+                self.paints.push(PaintSample { time: now, completeness: c });
+            }
+        }
+        // Loads done?
+        if self.onload.is_none()
+            && self.parser_done
+            && self.dcl.is_some()
+            && self
+                .res
+                .iter()
+                .all(|i| i.state == ResState::Evaluated || i.state == ResState::Undiscovered)
+        {
+            self.onload = Some(now);
+            // Whatever is painted by onload is the final frame: close the
+            // visual progress curve.
+            if self.last_completeness < 1.0 {
+                self.last_completeness = 1.0;
+                self.first_paint.get_or_insert(now);
+                self.paints.push(PaintSample { time: now, completeness: 1.0 });
+            }
+        }
+    }
+}

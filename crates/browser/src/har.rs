@@ -1,0 +1,177 @@
+//! HAR 1.2 export of a replayed page load.
+//!
+//! Turns a [`LoadResult`] plus its [`Page`] into an HTTP-Archive document
+//! that standard waterfall viewers (browser devtools, HAR analyzers) can
+//! open — the replay-testbed equivalent of saving a devtools capture, and
+//! a convenient way to eyeball what a push strategy did to the load.
+
+use crate::result::LoadResult;
+use h2push_netsim::SimTime;
+use h2push_webmodel::Page;
+use serde_json::{json, Value};
+
+fn iso(t: SimTime) -> String {
+    // Nominal wall-clock epoch of every replay (the sim clock starts at
+    // 0): December 4 2018, the first day of CoNEXT '18.
+    let total_ms = t.as_micros() / 1000;
+    let (s, ms) = (total_ms / 1000, total_ms % 1000);
+    let (m, s) = (s / 60, s % 60);
+    format!("2018-12-04T00:{m:02}:{s:02}.{ms:03}Z")
+}
+
+/// Build the HAR document.
+pub fn to_har(page: &Page, load: &LoadResult) -> Value {
+    let t0 = SimTime::ZERO;
+    let rel = |t: Option<SimTime>| -> Value {
+        match t {
+            Some(t) => json!(t.since(t0).as_millis_f64()),
+            None => json!(-1),
+        }
+    };
+    let entries: Vec<Value> = page
+        .resources
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| {
+            let w = load.waterfall.get(i)?;
+            let started = w.discovered?;
+            let loaded = w.loaded;
+            let time = loaded.map(|l| l.since(started).as_millis_f64()).unwrap_or(-1.0);
+            Some(json!({
+                "pageref": "page_1",
+                "startedDateTime": iso(started),
+                "time": time,
+                "request": {
+                    "method": "GET",
+                    "url": r.url(page.host_of(r.id)),
+                    "httpVersion": "HTTP/2",
+                    "headers": [],
+                    "queryString": [],
+                    "cookies": [],
+                    "headersSize": -1,
+                    "bodySize": 0,
+                },
+                "response": {
+                    "status": 200,
+                    "statusText": "OK",
+                    "httpVersion": "HTTP/2",
+                    "headers": [],
+                    "cookies": [],
+                    "content": { "size": r.size, "mimeType": r.rtype.mime() },
+                    "redirectURL": "",
+                    "headersSize": -1,
+                    "bodySize": r.size,
+                },
+                "cache": {},
+                "timings": {
+                    "blocked": -1,
+                    "dns": -1,
+                    "connect": -1,
+                    "send": 0,
+                    "wait": -1,
+                    "receive": time,
+                },
+                // Custom fields (underscore-prefixed per the HAR spec).
+                "_resourceType": r.rtype.label(),
+                "_pushed": w.pushed,
+                "_evaluatedAt": rel(w.evaluated),
+            }))
+        })
+        .collect();
+    json!({
+        "log": {
+            "version": "1.2",
+            "creator": { "name": "h2push", "version": env!("CARGO_PKG_VERSION") },
+            "pages": [{
+                "startedDateTime": iso(SimTime::ZERO),
+                "id": "page_1",
+                "title": page.name,
+                "pageTimings": {
+                    "onContentLoad": rel(load.dom_content_loaded),
+                    "onLoad": rel(load.onload),
+                    "_firstPaint": rel(load.first_paint),
+                    "_connectEnd": json!(load.connect_end.as_millis_f64()),
+                    "_speedIndex": json!(load.speed_index()),
+                }
+            }],
+            "entries": entries,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::{PaintSample, ResourceTiming};
+    use h2push_webmodel::{PageBuilder, ResourceSpec};
+
+    fn fixture() -> (Page, LoadResult) {
+        let mut b = PageBuilder::new("har-test", "har.test", 10_000, 1_000);
+        b.resource(ResourceSpec::css(0, 4_000, 100, 0.5));
+        let page = b.build();
+        let t = SimTime::from_millis;
+        let load = LoadResult {
+            site: page.name.clone(),
+            connect_end: t(150),
+            first_paint: Some(t(300)),
+            dom_content_loaded: Some(t(350)),
+            onload: Some(t(400)),
+            paints: vec![PaintSample { time: t(300), completeness: 1.0 }],
+            pushed_bytes: 4_000,
+            pushed_count: 1,
+            cancelled_pushes: 0,
+            requests: 1,
+            waterfall: vec![
+                ResourceTiming {
+                    discovered: Some(t(0)),
+                    loaded: Some(t(280)),
+                    evaluated: None,
+                    pushed: false,
+                },
+                ResourceTiming {
+                    discovered: Some(t(200)),
+                    loaded: Some(t(290)),
+                    evaluated: Some(t(295)),
+                    pushed: true,
+                },
+            ],
+        };
+        (page, load)
+    }
+
+    #[test]
+    fn har_has_pages_and_entries() {
+        let (page, load) = fixture();
+        let har = to_har(&page, &load);
+        assert_eq!(har["log"]["version"], "1.2");
+        assert_eq!(har["log"]["entries"].as_array().unwrap().len(), 2);
+        assert_eq!(har["log"]["pages"][0]["title"], "har-test");
+        assert_eq!(har["log"]["pages"][0]["pageTimings"]["onLoad"], 400.0);
+    }
+
+    #[test]
+    fn pushed_entries_are_marked() {
+        let (page, load) = fixture();
+        let har = to_har(&page, &load);
+        let entries = har["log"]["entries"].as_array().unwrap();
+        assert_eq!(entries[0]["_pushed"], false);
+        assert_eq!(entries[1]["_pushed"], true);
+        assert_eq!(entries[1]["response"]["content"]["mimeType"], "text/css");
+    }
+
+    #[test]
+    fn timestamps_are_iso_like() {
+        let (page, load) = fixture();
+        let har = to_har(&page, &load);
+        let s = har["log"]["entries"][1]["startedDateTime"].as_str().unwrap();
+        assert!(s.starts_with("2018-12-04T00:"), "got {s}");
+        assert!(s.ends_with('Z'));
+    }
+
+    #[test]
+    fn serializes_to_valid_json_string() {
+        let (page, load) = fixture();
+        let text = serde_json::to_string_pretty(&to_har(&page, &load)).unwrap();
+        let _: Value = serde_json::from_str(&text).unwrap();
+    }
+}

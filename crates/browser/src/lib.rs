@@ -1,0 +1,325 @@
+//! # h2push-browser — a deterministic browser load/render model
+//!
+//! The testbed's stand-in for the automated Chromium 64 the paper drives
+//! with browsertime: an event-driven model of page loading (incremental
+//! parsing, preload scanning, request prioritization via Chromium's
+//! exclusive H2 dependency chains, CSSOM/script blocking, a single
+//! contended main thread) and rendering (render-blocking CSS, progressive
+//! text paint, above-the-fold images), producing the W3C-timing events and
+//! the visual-progress curve that PLT and SpeedIndex are computed from.
+
+pub mod engine;
+pub mod har;
+pub mod result;
+
+pub use engine::{Browser, BrowserAction, BrowserConfig, TransportMode};
+pub use har::to_har;
+pub use result::{LoadResult, PaintSample, ResourceTiming};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2push_h2proto::{Connection, DefaultScheduler, Event, Settings};
+    use h2push_hpack::Header;
+    use h2push_netsim::{SimDuration, SimTime};
+    use h2push_webmodel::{Page, PageBuilder, RecordDb, ResourceId, ResourceSpec};
+    use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+    /// A zero-latency in-memory harness: instant network, per-group replay
+    /// servers answering from a RecordDb, timers honored on a virtual
+    /// clock. (The full latency/bandwidth testbed lives in
+    /// `h2push-testbed`; this harness isolates browser semantics.)
+    struct MiniBed {
+        page: Page,
+        db: RecordDb,
+        push_on_html: Vec<ResourceId>,
+        /// Which resource's request triggers the pushes (default: the HTML).
+        push_trigger: ResourceId,
+        servers: HashMap<usize, (Connection, DefaultScheduler)>,
+        timers: BinaryHeap<std::cmp::Reverse<(SimTime, u64)>>,
+        now: SimTime,
+        connect_latency: SimDuration,
+    }
+
+    impl MiniBed {
+        fn new(page: Page, push_on_html: Vec<ResourceId>) -> Self {
+            MiniBed {
+                db: RecordDb::record(&page),
+                page,
+                push_on_html,
+                push_trigger: ResourceId(0),
+                servers: HashMap::new(),
+                timers: BinaryHeap::new(),
+                now: SimTime::ZERO,
+                connect_latency: SimDuration::from_millis(30),
+            }
+        }
+
+        fn run(&mut self, cfg: BrowserConfig) -> LoadResult {
+            let mut browser = Browser::new(self.page.clone(), cfg);
+            let mut pending: VecDeque<BrowserAction> = browser.start(self.now).into();
+            let mut connects: Vec<(SimTime, usize)> = Vec::new();
+            for _ in 0..1_000_000 {
+                // Apply all actions, possibly cascading.
+                while let Some(a) = pending.pop_front() {
+                    match a {
+                        BrowserAction::OpenConnection { group, .. } => {
+                            self.servers.insert(
+                                group,
+                                (Connection::server(Settings::default()), DefaultScheduler::new()),
+                            );
+                            connects.push((self.now + self.connect_latency, group));
+                        }
+                        BrowserAction::SendBytes { group, bytes, .. } => {
+                            let (server, _) = self.servers.get_mut(&group).unwrap();
+                            server.receive(&bytes);
+                            self.serve(group);
+                            let out = self.pump_server(group);
+                            if !out.is_empty() {
+                                pending.extend(browser.on_bytes(group, 0, &out, self.now));
+                            }
+                        }
+                        BrowserAction::SetTimer { at, token } => {
+                            self.timers.push(std::cmp::Reverse((at, token)));
+                        }
+                    }
+                }
+                if browser.done() {
+                    return browser.result();
+                }
+                // Advance the clock: earliest of timer or pending connect.
+                let next_timer = self.timers.peek().map(|r| r.0 .0);
+                let next_conn = connects.iter().map(|c| c.0).min();
+                match (next_timer, next_conn) {
+                    (Some(t), Some(c)) if c <= t => {
+                        self.now = c;
+                        let i = connects.iter().position(|x| x.0 == c).unwrap();
+                        let (_, group) = connects.remove(i);
+                        pending.extend(browser.on_connected(group, 0, self.now));
+                    }
+                    (Some(t), _) => {
+                        self.now = t;
+                        let std::cmp::Reverse((_, token)) = self.timers.pop().unwrap();
+                        pending.extend(browser.on_timer(token, self.now));
+                    }
+                    (None, Some(c)) => {
+                        self.now = c;
+                        let i = connects.iter().position(|x| x.0 == c).unwrap();
+                        let (_, group) = connects.remove(i);
+                        pending.extend(browser.on_connected(group, 0, self.now));
+                    }
+                    (None, None) => panic!("harness stalled before onload"),
+                }
+            }
+            panic!("harness did not converge");
+        }
+
+        /// Answer any newly arrived requests on `group`'s server.
+        fn serve(&mut self, group: usize) {
+            let page = self.page.clone();
+            let (server, _) = self.servers.get_mut(&group).unwrap();
+            while let Some(ev) = server.poll_event() {
+                if let Event::Headers { stream, headers, .. } = ev {
+                    let get = |n: &str| {
+                        headers
+                            .iter()
+                            .find(|h| h.name == n.as_bytes())
+                            .map(|h| String::from_utf8_lossy(&h.value).to_string())
+                            .unwrap_or_default()
+                    };
+                    let (host, path) = (get(":authority"), get(":path"));
+                    let rec = self
+                        .db
+                        .lookup(&host, &path)
+                        .unwrap_or_else(|| panic!("404 {host}{path}"))
+                        .clone();
+                    if rec.resource == self.push_trigger {
+                        for &pid in &self.push_on_html {
+                            let r = page.resource(pid);
+                            let req = vec![
+                                Header::new(":method", "GET"),
+                                Header::new(":scheme", "https"),
+                                Header::new(":authority", &page.origins[r.origin].host),
+                                Header::new(":path", &r.path),
+                            ];
+                            if let Some(sid) = server.push_promise(stream, &req) {
+                                server.respond(sid, &[Header::new(":status", "200")], false);
+                                server.queue_body(sid, r.size, true);
+                            }
+                        }
+                    }
+                    server.respond(stream, &[Header::new(":status", "200")], false);
+                    server.queue_body(stream, rec.body_len, true);
+                }
+            }
+        }
+
+        fn pump_server(&mut self, group: usize) -> Vec<u8> {
+            let (server, sched) = self.servers.get_mut(&group).unwrap();
+            let mut out = Vec::new();
+            loop {
+                let bytes = server.produce(usize::MAX, sched);
+                if bytes.is_empty() {
+                    break;
+                }
+                out.extend_from_slice(&bytes);
+            }
+            out
+        }
+    }
+
+    fn simple_page() -> Page {
+        let mut b = PageBuilder::new("unit", "unit.test", 30_000, 3_000);
+        b.resource(ResourceSpec::css(0, 10_000, 200, 0.4));
+        b.resource(ResourceSpec::js(0, 15_000, 5_000, 20_000));
+        b.resource(ResourceSpec::image(0, 20_000, 10_000, true, 2.0));
+        b.text_paint(8_000, 1.0);
+        b.text_paint(25_000, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn full_load_completes_and_orders_events() {
+        let page = simple_page();
+        let mut bed = MiniBed::new(page, vec![]);
+        let r = bed.run(BrowserConfig::default());
+        assert!(r.finished());
+        let fp = r.first_paint.unwrap();
+        let dcl = r.dom_content_loaded.unwrap();
+        let onload = r.onload.unwrap();
+        assert!(r.connect_end <= fp);
+        assert!(fp <= onload);
+        assert!(dcl <= onload);
+        assert!(r.plt() > 0.0);
+        assert!(r.speed_index() > 0.0);
+        assert_eq!(r.requests, 4); // html + css + js + image
+        assert_eq!(r.pushed_count, 0);
+    }
+
+    #[test]
+    fn visual_progress_is_monotone_and_complete() {
+        let page = simple_page();
+        let r = MiniBed::new(page, vec![]).run(BrowserConfig::default());
+        let mut last = 0.0;
+        for p in &r.paints {
+            assert!(p.completeness >= last, "monotone");
+            assert!(p.completeness <= 1.0 + 1e-9);
+            last = p.completeness;
+        }
+        assert!((last - 1.0).abs() < 1e-9, "curve ends complete");
+    }
+
+    #[test]
+    fn push_delivers_without_request() {
+        let page = simple_page();
+        let css = ResourceId(1);
+        let r = MiniBed::new(page, vec![css]).run(BrowserConfig::default());
+        assert!(r.finished());
+        assert_eq!(r.pushed_count, 1);
+        assert_eq!(r.pushed_bytes, 10_000);
+        // CSS no longer requested: html + js + image.
+        assert_eq!(r.requests, 3);
+        assert_eq!(r.cancelled_pushes, 0);
+    }
+
+    #[test]
+    fn no_push_setting_suppresses_pushes() {
+        let page = simple_page();
+        let css = ResourceId(1);
+        let cfg = BrowserConfig { enable_push: false, ..Default::default() };
+        let r = MiniBed::new(page, vec![css]).run(cfg);
+        assert!(r.finished());
+        assert_eq!(r.pushed_count, 0, "server honored SETTINGS_ENABLE_PUSH=0");
+        assert_eq!(r.requests, 4);
+    }
+
+    #[test]
+    fn blocking_script_delays_dcl_by_execution_time() {
+        // Same page with slow vs fast script execution: DCL must move by
+        // roughly the difference.
+        let mk = |exec_us: u64| {
+            let mut b = PageBuilder::new("exec", "exec.test", 20_000, 2_000);
+            b.resource(ResourceSpec::js(0, 5_000, 1_000, exec_us));
+            b.text_paint(10_000, 1.0);
+            b.build()
+        };
+        let fast = MiniBed::new(mk(1_000), vec![]).run(BrowserConfig::default());
+        let slow = MiniBed::new(mk(301_000), vec![]).run(BrowserConfig::default());
+        let delta = slow.dom_content_loaded.unwrap().since(fast.dom_content_loaded.unwrap());
+        assert!(
+            (280.0..330.0).contains(&delta.as_millis_f64()),
+            "expected ~300 ms, got {delta}"
+        );
+    }
+
+    #[test]
+    fn cpu_scale_slows_the_load() {
+        let page = simple_page();
+        let r1 = MiniBed::new(page.clone(), vec![]).run(BrowserConfig::default());
+        let r2 =
+            MiniBed::new(page, vec![]).run(BrowserConfig { cpu_scale: 3.0, ..Default::default() });
+        assert!(r2.plt() > r1.plt());
+    }
+
+    #[test]
+    fn hidden_font_loads_after_css() {
+        let mut b = PageBuilder::new("font", "font.test", 20_000, 2_000);
+        let css = b.resource(ResourceSpec::css(0, 8_000, 200, 0.5));
+        b.resource(ResourceSpec::font(0, 12_000, css));
+        b.text_paint(10_000, 1.0);
+        let page = b.build();
+        let r = MiniBed::new(page, vec![]).run(BrowserConfig::default());
+        assert!(r.finished());
+        assert_eq!(r.requests, 3, "font was discovered through the stylesheet");
+    }
+
+    #[test]
+    fn script_discovered_resource_extends_onload() {
+        let mut b = PageBuilder::new("hidden", "hidden.test", 20_000, 2_000);
+        let js = b.resource(ResourceSpec::js(0, 5_000, 1_000, 10_000));
+        b.resource(ResourceSpec::script_loaded(
+            0,
+            30_000,
+            js,
+            h2push_webmodel::ResourceType::Other,
+        ));
+        b.text_paint(10_000, 1.0);
+        let page = b.build();
+        let r = MiniBed::new(page, vec![]).run(BrowserConfig::default());
+        assert!(r.finished());
+        assert_eq!(r.requests, 3);
+        // onload strictly after DCL: the hidden resource arrives late.
+        assert!(r.onload.unwrap() >= r.dom_content_loaded.unwrap());
+    }
+
+    #[test]
+    fn third_party_resources_use_separate_connections() {
+        let mut b = PageBuilder::new("tp", "tp.test", 20_000, 2_000);
+        let third = b.origin("ads.example.net", 1, false);
+        b.resource(ResourceSpec::css(0, 5_000, 200, 0.5));
+        b.resource(ResourceSpec::js_async(third, 8_000, 10_000, 2_000));
+        b.text_paint(9_000, 1.0);
+        let page = b.build();
+        let r = MiniBed::new(page, vec![]).run(BrowserConfig::default());
+        assert!(r.finished());
+        assert_eq!(r.requests, 3);
+    }
+
+    #[test]
+    fn duplicate_push_is_cancelled() {
+        // The server pushes the CSS only when the JS is requested — but by
+        // then the browser's preload scanner has already requested the CSS
+        // itself, so the promise duplicates an in-flight request and must
+        // be cancelled (the paper's §2.1 cancellation caveat).
+        let mut b = PageBuilder::new("dup", "dup.test", 20_000, 2_000);
+        let css = b.resource(ResourceSpec::css(0, 9_000, 100, 0.5));
+        let js = b.resource(ResourceSpec::js(0, 5_000, 300, 2_000));
+        b.text_paint(5_000, 1.0);
+        let page = b.build();
+        let mut bed = MiniBed::new(page, vec![css]);
+        bed.push_trigger = js;
+        let r = bed.run(BrowserConfig::default());
+        assert!(r.finished());
+        assert_eq!(r.cancelled_pushes, 1, "duplicate push must be reset");
+    }
+}

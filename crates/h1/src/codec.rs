@@ -1,0 +1,222 @@
+//! HTTP/1.1 message framing (RFC 7230, the subset a replay needs).
+//!
+//! The paper's testbed records *HTTP/1.1* traffic ("record H1 traffic to a
+//! database … captured in a browsing session", §4.1) and its motivation
+//! rests on H1's inefficiencies (§1: head-of-line blocking, one request at
+//! a time per connection). This codec frames requests and responses as
+//! text heads plus `Content-Length` bodies — enough to replay recorded
+//! sites over the baseline protocol.
+
+/// A parsed HTTP/1.1 request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct H1Request {
+    /// Request method (always GET in replays).
+    pub method: String,
+    /// Request target (origin-form path).
+    pub path: String,
+    /// `Host` header.
+    pub host: String,
+    /// Remaining headers (lowercased names).
+    pub headers: Vec<(String, String)>,
+}
+
+/// A parsed HTTP/1.1 response head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct H1Response {
+    /// Status code.
+    pub status: u16,
+    /// Declared body length.
+    pub content_length: usize,
+    /// `Content-Type` value, if present.
+    pub content_type: Option<String>,
+}
+
+/// Serialize a GET request.
+pub fn encode_request(host: &str, path: &str, extra: &[(&str, &str)]) -> Vec<u8> {
+    let mut s = format!("GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: keep-alive\r\n");
+    for (k, v) in extra {
+        s.push_str(&format!("{k}: {v}\r\n"));
+    }
+    s.push_str("\r\n");
+    s.into_bytes()
+}
+
+/// Serialize a response head; the body (filler bytes) follows separately.
+/// Carries the typical 2018 response header set (server, date, caching
+/// validators) — several hundred bytes that HTTP/1.1 repeats on every
+/// response.
+pub fn encode_response_head(status: u16, content_length: usize, content_type: &str) -> Vec<u8> {
+    format!(
+        concat!(
+            "HTTP/1.1 {status} {reason}\r\n",
+            "Content-Length: {len}\r\n",
+            "Content-Type: {ctype}\r\n",
+            "Connection: keep-alive\r\n",
+            "Server: h2o/2.2.3\r\n",
+            "Date: Tue, 04 Dec 2018 09:00:00 GMT\r\n",
+            "Last-Modified: Mon, 03 Dec 2018 17:30:00 GMT\r\n",
+            "Etag: \"5c0563f8-{len:x}\"\r\n",
+            "Cache-Control: public, max-age=3600\r\n",
+            "Vary: Accept-Encoding\r\n\r\n"
+        ),
+        status = status,
+        reason = reason(status),
+        len = content_length,
+        ctype = content_type,
+    )
+    .into_bytes()
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        404 => "Not Found",
+        _ => "Unknown",
+    }
+}
+
+/// Find the end of a message head (`\r\n\r\n`); returns the offset *past*
+/// the terminator.
+pub fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Parse a request head (excluding any body). Returns the request and the
+/// bytes consumed, or `None` if the head is not yet complete.
+///
+/// Errors (malformed heads) are reported as `Some(Err(..))` so callers can
+/// distinguish "need more bytes" from "broken peer".
+pub fn parse_request(buf: &[u8]) -> Option<Result<(H1Request, usize), &'static str>> {
+    let end = head_end(buf)?;
+    let text = match std::str::from_utf8(&buf[..end]) {
+        Ok(t) => t,
+        Err(_) => return Some(Err("request head is not UTF-8")),
+    };
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, path, version) =
+        (parts.next().unwrap_or(""), parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Some(Err("malformed request line"));
+    }
+    let mut host = String::new();
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let Some((k, v)) = line.split_once(':') else {
+            return Some(Err("malformed header line"));
+        };
+        let (k, v) = (k.trim().to_ascii_lowercase(), v.trim().to_string());
+        if k == "host" {
+            host = v;
+        } else {
+            headers.push((k, v));
+        }
+    }
+    if host.is_empty() {
+        return Some(Err("missing Host header"));
+    }
+    Some(Ok((
+        H1Request { method: method.to_string(), path: path.to_string(), host, headers },
+        end,
+    )))
+}
+
+/// Parse a response head. Same completion/err semantics as
+/// [`parse_request`].
+pub fn parse_response(buf: &[u8]) -> Option<Result<(H1Response, usize), &'static str>> {
+    let end = head_end(buf)?;
+    let text = match std::str::from_utf8(&buf[..end]) {
+        Ok(t) => t,
+        Err(_) => return Some(Err("response head is not UTF-8")),
+    };
+    let mut lines = text.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let mut parts = status_line.split(' ');
+    let version = parts.next().unwrap_or("");
+    let status: u16 = match parts.next().unwrap_or("").parse() {
+        Ok(s) => s,
+        Err(_) => return Some(Err("malformed status line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Some(Err("not an HTTP/1.x response"));
+    }
+    let mut content_length = 0usize;
+    let mut content_type = None;
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let Some((k, v)) = line.split_once(':') else {
+            return Some(Err("malformed header line"));
+        };
+        match k.trim().to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = match v.trim().parse() {
+                    Ok(n) => n,
+                    Err(_) => return Some(Err("bad Content-Length")),
+                }
+            }
+            "content-type" => content_type = Some(v.trim().to_string()),
+            _ => {}
+        }
+    }
+    Some(Ok((H1Response { status, content_length, content_type }, end)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let wire = encode_request("example.org", "/a/b.css", &[("accept", "text/css")]);
+        let (req, used) = parse_request(&wire).unwrap().unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/a/b.css");
+        assert_eq!(req.host, "example.org");
+        assert!(req.headers.iter().any(|(k, v)| k == "accept" && v == "text/css"));
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let wire = encode_response_head(200, 12345, "text/html");
+        let (resp, used) = parse_response(&wire).unwrap().unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_length, 12345);
+        assert_eq!(resp.content_type.as_deref(), Some("text/html"));
+    }
+
+    #[test]
+    fn incomplete_head_returns_none() {
+        let wire = encode_request("example.org", "/", &[]);
+        for cut in [0, 5, wire.len() - 1] {
+            assert!(parse_request(&wire[..cut]).is_none(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn malformed_heads_error() {
+        assert!(parse_request(b"BROKEN\r\n\r\n").unwrap().is_err());
+        assert!(parse_request(b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n").unwrap().is_err());
+        assert!(parse_request(b"GET / HTTP/1.1\r\n\r\n").unwrap().is_err()); // no Host
+        assert!(parse_response(b"HTTP/1.1 abc OK\r\n\r\n").unwrap().is_err());
+    }
+
+    #[test]
+    fn pipelined_heads_report_consumed_bytes() {
+        let mut wire = encode_request("a.test", "/1", &[]);
+        let second = encode_request("a.test", "/2", &[]);
+        wire.extend_from_slice(&second);
+        let (req1, used) = parse_request(&wire).unwrap().unwrap();
+        assert_eq!(req1.path, "/1");
+        let (req2, used2) = parse_request(&wire[used..]).unwrap().unwrap();
+        assert_eq!(req2.path, "/2");
+        assert_eq!(used + used2, wire.len());
+    }
+}

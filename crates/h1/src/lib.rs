@@ -1,0 +1,14 @@
+//! # h2push-h1 — the HTTP/1.1 baseline
+//!
+//! The protocol the paper's testbed records (§4.1) and the baseline all of
+//! its H2 motivation is measured against (§1–§3: head-of-line blocking,
+//! one request per connection, six-connection client pools). A text codec
+//! (RFC 7230 subset) plus poll-style client/server connection state
+//! machines, mirroring the HTTP/2 stack's architecture so the browser and
+//! testbed can replay the same sites over either protocol.
+
+pub mod codec;
+pub mod conn;
+
+pub use codec::{encode_request, encode_response_head, H1Request, H1Response};
+pub use conn::{H1ClientConn, H1ClientEvent, H1ServerConn};

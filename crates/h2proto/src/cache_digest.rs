@@ -1,0 +1,283 @@
+//! Cache Digests for HTTP/2 (draft-ietf-httpbis-cache-digest-02).
+//!
+//! The paper notes (§2.1) that HTTP/2 has no way to signal the client's
+//! cache state, so servers push objects the browser already has — the
+//! client can only cancel after bytes are in flight — and cites the
+//! cache-digest draft as the proposed remedy. This module implements the
+//! draft's Golomb-compressed set so the replay testbed can quantify what
+//! the proposal would save (see the `ablation_cache` bench).
+//!
+//! Substitution note: the draft hashes URLs with SHA-256; we use FNV-1a 64
+//! (documented, deterministic, dependency-free). The digest's statistical
+//! behaviour — membership, false-positive rate 2⁻ᵖ — is unchanged.
+
+/// A Golomb-compressed set of URL hashes.
+///
+/// ```
+/// use h2push_h2proto::CacheDigest;
+///
+/// let digest = CacheDigest::build(&["https://example.org/app.css"], 7);
+/// assert!(digest.contains("https://example.org/app.css"));
+/// assert!(!digest.contains("https://example.org/other.js"));
+/// // Round-trips through its compact header form.
+/// let wire = digest.to_hex();
+/// assert_eq!(CacheDigest::from_hex(&wire).unwrap(), digest);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheDigest {
+    /// log₂ of the (power-of-two rounded) number of entries.
+    log_n: u8,
+    /// log₂ of the inverse false-positive probability.
+    p_bits: u8,
+    /// Sorted, deduplicated hash values in `[0, 2^(log_n + p_bits))`.
+    hashes: Vec<u64>,
+}
+
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct BitWriter {
+    out: Vec<u8>,
+    cur: u8,
+    used: u8,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter { out: Vec::new(), cur: 0, used: 0 }
+    }
+
+    fn push_bit(&mut self, bit: bool) {
+        self.cur = (self.cur << 1) | bit as u8;
+        self.used += 1;
+        if self.used == 8 {
+            self.out.push(self.cur);
+            self.cur = 0;
+            self.used = 0;
+        }
+    }
+
+    fn push_bits(&mut self, value: u64, count: u8) {
+        for i in (0..count).rev() {
+            self.push_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        // Pad with ones (a padding quotient never terminates, so decoders
+        // reading exactly N entries ignore it).
+        while self.used != 0 {
+            self.push_bit(true);
+        }
+        self.out
+    }
+}
+
+struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0 }
+    }
+
+    fn read_bit(&mut self) -> Option<bool> {
+        let byte = *self.data.get(self.pos / 8)?;
+        let bit = (byte >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    fn read_bits(&mut self, count: u8) -> Option<u64> {
+        let mut v = 0u64;
+        for _ in 0..count {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Some(v)
+    }
+}
+
+impl CacheDigest {
+    /// Build a digest of `urls` with false-positive probability `2^-p_bits`
+    /// (the draft default is p = 7 ⇒ <1 % false positives).
+    pub fn build<S: AsRef<str>>(urls: &[S], p_bits: u8) -> CacheDigest {
+        let count = urls.len().max(1) as u64;
+        let log_n = (64 - (count - 1).leading_zeros()) as u8; // ceil(log2)
+        let n2 = 1u64 << log_n;
+        let modulus = n2 << p_bits;
+        let mut hashes: Vec<u64> =
+            urls.iter().map(|u| fnv1a64(u.as_ref().as_bytes()) % modulus).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        CacheDigest { log_n, p_bits, hashes }
+    }
+
+    /// An empty digest (nothing cached).
+    pub fn empty() -> CacheDigest {
+        CacheDigest { log_n: 0, p_bits: 7, hashes: Vec::new() }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// True when no URLs are in the digest.
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// Probabilistic membership: false negatives never occur; false
+    /// positives with probability ≈ 2^-p_bits.
+    pub fn contains(&self, url: &str) -> bool {
+        if self.hashes.is_empty() {
+            return false;
+        }
+        let modulus = (1u64 << self.log_n) << self.p_bits;
+        let h = fnv1a64(url.as_bytes()) % modulus;
+        self.hashes.binary_search(&h).is_ok()
+    }
+
+    /// Serialize: one header byte each for log-N and P, then Golomb-Rice
+    /// coded deltas (unary quotient, `p_bits` remainder bits).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![self.log_n, self.p_bits, self.hashes.len() as u8];
+        debug_assert!(self.hashes.len() < 256, "digest entry count fits a byte");
+        let mut w = BitWriter::new();
+        let mut prev = 0u64;
+        for &h in &self.hashes {
+            let delta = h - prev;
+            prev = h + 1;
+            let q = delta >> self.p_bits;
+            for _ in 0..q {
+                w.push_bit(true);
+            }
+            w.push_bit(false);
+            w.push_bits(delta & ((1 << self.p_bits) - 1), self.p_bits);
+        }
+        out.extend(w.finish());
+        out
+    }
+
+    /// Deserialize a digest produced by [`CacheDigest::encode`].
+    pub fn decode(data: &[u8]) -> Option<CacheDigest> {
+        if data.len() < 3 {
+            return None;
+        }
+        let (log_n, p_bits, count) = (data[0], data[1], data[2] as usize);
+        if log_n > 40 || p_bits > 16 {
+            return None;
+        }
+        let mut r = BitReader::new(&data[3..]);
+        let mut hashes = Vec::with_capacity(count);
+        let mut prev = 0u64;
+        for _ in 0..count {
+            let mut q = 0u64;
+            while r.read_bit()? {
+                q += 1;
+                if q > 1 << 24 {
+                    return None; // corrupt
+                }
+            }
+            let rem = r.read_bits(p_bits)?;
+            let delta = (q << p_bits) | rem;
+            let h = prev + delta;
+            hashes.push(h);
+            prev = h + 1;
+        }
+        Some(CacheDigest { log_n, p_bits, hashes })
+    }
+
+    /// Hex representation for transport in a header value.
+    pub fn to_hex(&self) -> String {
+        self.encode().iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Parse the hex header value form.
+    pub fn from_hex(s: &str) -> Option<CacheDigest> {
+        if !s.len().is_multiple_of(2) {
+            return None;
+        }
+        let bytes: Option<Vec<u8>> =
+            (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok()).collect();
+        Self::decode(&bytes?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn urls(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("https://example.org/asset/{i}.css")).collect()
+    }
+
+    #[test]
+    fn membership_has_no_false_negatives() {
+        let u = urls(50);
+        let d = CacheDigest::build(&u, 7);
+        for url in &u {
+            assert!(d.contains(url), "false negative for {url}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_bounded() {
+        let cached = urls(64);
+        let d = CacheDigest::build(&cached, 7);
+        let probes: Vec<String> =
+            (0..4000).map(|i| format!("https://other.net/probe/{i}.js")).collect();
+        let fp = probes.iter().filter(|p| d.contains(p)).count() as f64 / probes.len() as f64;
+        // Expected ≈ 2^-7 ≈ 0.78 %; allow generous slack.
+        assert!(fp < 0.03, "false positive rate {fp}");
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for n in [1, 2, 7, 63, 200] {
+            let u = urls(n);
+            let d = CacheDigest::build(&u, 7);
+            let back = CacheDigest::decode(&d.encode()).expect("decodes");
+            assert_eq!(back, d, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let d = CacheDigest::build(&urls(20), 7);
+        let h = d.to_hex();
+        assert_eq!(CacheDigest::from_hex(&h).unwrap(), d);
+        assert!(CacheDigest::from_hex("zz").is_none());
+        assert!(CacheDigest::from_hex("abc").is_none());
+    }
+
+    #[test]
+    fn digest_is_compact() {
+        // The draft's point: N entries cost ≈ N·(p+2) bits, far below
+        // URL lists. 64 URLs at p=7 ⇒ ~72 bytes.
+        let d = CacheDigest::build(&urls(64), 7);
+        assert!(d.encode().len() < 120, "digest too large: {}", d.encode().len());
+    }
+
+    #[test]
+    fn empty_digest() {
+        let d = CacheDigest::empty();
+        assert!(d.is_empty());
+        assert!(!d.contains("https://example.org/"));
+    }
+
+    #[test]
+    fn garbage_decode_is_safe() {
+        assert!(CacheDigest::decode(&[]).is_none());
+        assert!(CacheDigest::decode(&[50, 99, 10, 0xff]).is_none());
+        let _ = CacheDigest::decode(&[3, 7, 200, 0xff, 0xff]); // may be None, must not panic
+    }
+}

@@ -1,0 +1,27 @@
+//! # h2push-h2proto — HTTP/2 wire protocol (RFC 7540)
+//!
+//! From-scratch HTTP/2: the binary framing layer (all ten frame types),
+//! SETTINGS negotiation (including `SETTINGS_ENABLE_PUSH`, the paper's
+//! "no push" switch), stream lifecycle states, connection- and stream-level
+//! flow control, the §5.3 priority dependency tree, and a pluggable stream
+//! scheduler — the policy surface on which the paper builds Interleaving
+//! Push.
+//!
+//! The [`connection::Connection`] endpoint is a synchronous poll-style
+//! state machine: wire bytes in/out plus an event queue, designed to sit on
+//! top of the deterministic `h2push-netsim` byte pipes.
+
+pub mod cache_digest;
+pub mod connection;
+pub mod frame;
+pub mod priority;
+pub mod scheduler;
+
+pub use cache_digest::CacheDigest;
+pub use connection::{Connection, Event, Role, StreamState};
+pub use frame::{
+    ErrorCode, Frame, FrameError, PrioritySpec, Settings, DEFAULT_MAX_FRAME_SIZE, DEFAULT_WINDOW,
+    PREFACE,
+};
+pub use priority::{PriorityTree, ROOT};
+pub use scheduler::{DefaultScheduler, FairScheduler, FifoScheduler, Scheduler, StreamSnapshot};

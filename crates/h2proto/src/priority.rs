@@ -1,0 +1,356 @@
+//! The HTTP/2 stream dependency tree (RFC 7540 §5.3).
+//!
+//! Chromium 64 — the browser the paper automates — expresses resource
+//! priorities through this tree, and the paper's testbed reconstructs each
+//! page's *dependency tree* from the PRIORITY information observed on the
+//! wire (§4.2 "Computing the Push Order"). h2o's default scheduler, which
+//! the paper modifies for Interleaving Push, walks this tree as well: a
+//! pushed stream is inserted as a **child of its parent stream**, so its
+//! frames are only scheduled when the parent has nothing to send (Fig. 5a).
+
+use crate::frame::PrioritySpec;
+use std::collections::HashMap;
+
+/// The root pseudo-stream id.
+pub const ROOT: u32 = 0;
+
+#[derive(Debug, Clone)]
+struct Node {
+    parent: u32,
+    weight: u16,
+    children: Vec<u32>,
+}
+
+/// A priority dependency tree over stream ids.
+///
+/// ```
+/// use h2push_h2proto::{PriorityTree, PrioritySpec};
+///
+/// let mut tree = PriorityTree::new();
+/// tree.insert(1, PrioritySpec { depends_on: 0, weight: 256, exclusive: false });
+/// tree.insert(2, PrioritySpec { depends_on: 1, weight: 16, exclusive: false }); // a push
+/// assert_eq!(tree.parent(2), Some(1));
+/// tree.remove(1); // document finished: the push is promoted
+/// assert_eq!(tree.parent(2), Some(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PriorityTree {
+    nodes: HashMap<u32, Node>,
+}
+
+impl PriorityTree {
+    /// Tree containing only the root.
+    pub fn new() -> Self {
+        let mut nodes = HashMap::new();
+        nodes.insert(ROOT, Node { parent: ROOT, weight: 256, children: Vec::new() });
+        PriorityTree { nodes }
+    }
+
+    /// Whether `id` is in the tree.
+    pub fn contains(&self, id: u32) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// Number of streams (excluding the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// True if only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Parent of `id` (None for the root or unknown ids).
+    pub fn parent(&self, id: u32) -> Option<u32> {
+        if id == ROOT {
+            return None;
+        }
+        self.nodes.get(&id).map(|n| n.parent)
+    }
+
+    /// Weight of `id`.
+    pub fn weight(&self, id: u32) -> Option<u16> {
+        self.nodes.get(&id).map(|n| n.weight)
+    }
+
+    /// Children of `id` in insertion order.
+    pub fn children(&self, id: u32) -> &[u32] {
+        self.nodes.get(&id).map(|n| n.children.as_slice()).unwrap_or(&[])
+    }
+
+    /// Insert stream `id` with the given priority (§5.3.1).
+    ///
+    /// A dependency on an unknown stream falls back to the root with default
+    /// weight, as §5.3.1 prescribes for streams absent from the tree.
+    pub fn insert(&mut self, id: u32, spec: PrioritySpec) {
+        if self.nodes.contains_key(&id) {
+            self.reprioritize(id, spec);
+            return;
+        }
+        let spec = self.sanitize(id, spec);
+        if spec.exclusive {
+            // All children of the new parent become children of `id`.
+            let moved = std::mem::take(&mut self.nodes.get_mut(&spec.depends_on).unwrap().children);
+            for c in &moved {
+                self.nodes.get_mut(c).unwrap().parent = id;
+            }
+            self.nodes.insert(id, Node { parent: spec.depends_on, weight: spec.weight, children: moved });
+        } else {
+            self.nodes.insert(id, Node { parent: spec.depends_on, weight: spec.weight, children: Vec::new() });
+        }
+        self.nodes.get_mut(&spec.depends_on).unwrap().children.push(id);
+    }
+
+    /// Change the priority of an existing stream (§5.3.3).
+    pub fn reprioritize(&mut self, id: u32, spec: PrioritySpec) {
+        if !self.nodes.contains_key(&id) {
+            self.insert(id, spec);
+            return;
+        }
+        let mut spec = self.sanitize(id, spec);
+        // §5.3.3: if the new parent is a descendant of `id`, first move that
+        // descendant to `id`'s current parent (non-exclusively), keeping its
+        // weight.
+        if self.is_descendant(spec.depends_on, id) {
+            let old_parent = self.nodes[&id].parent;
+            self.detach(spec.depends_on);
+            self.attach(spec.depends_on, old_parent);
+            spec = self.sanitize(id, spec); // parent may have been clamped
+        }
+        self.detach(id);
+        self.nodes.get_mut(&id).unwrap().weight = spec.weight;
+        if spec.exclusive {
+            let moved = std::mem::take(&mut self.nodes.get_mut(&spec.depends_on).unwrap().children);
+            for c in &moved {
+                self.nodes.get_mut(c).unwrap().parent = id;
+            }
+            self.nodes.get_mut(&id).unwrap().children.extend(moved);
+        }
+        self.attach(id, spec.depends_on);
+    }
+
+    /// Remove a closed stream (§5.3.4): its children move to its parent,
+    /// weights scaled proportionally (we keep the child's own weight — the
+    /// proportional redistribution of the RFC is advisory and h2o keeps it
+    /// simple the same way).
+    pub fn remove(&mut self, id: u32) {
+        if id == ROOT || !self.nodes.contains_key(&id) {
+            return;
+        }
+        let node = self.nodes.remove(&id).unwrap();
+        let parent = node.parent;
+        // Replace `id` in the parent's child list with `id`'s children,
+        // preserving position (keeps sibling order deterministic).
+        let pc = &mut self.nodes.get_mut(&parent).unwrap().children;
+        let pos = pc.iter().position(|&c| c == id).unwrap();
+        pc.splice(pos..=pos, node.children.iter().copied());
+        for c in &node.children {
+            self.nodes.get_mut(c).unwrap().parent = parent;
+        }
+    }
+
+    /// Depth-first order of all streams, parents before children, siblings
+    /// by descending weight then insertion order. This is the traversal the
+    /// testbed uses to linearize a page's dependency tree into a push order
+    /// (§4.2).
+    pub fn traversal(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut stack = vec![ROOT];
+        while let Some(n) = stack.pop() {
+            if n != ROOT {
+                out.push(n);
+            }
+            // Sort children by weight descending (stable on insertion order),
+            // pushed reversed so the heaviest pops first.
+            let mut kids: Vec<u32> = self.children(n).to_vec();
+            kids.sort_by_key(|&c| std::cmp::Reverse(self.nodes[&c].weight));
+            for &k in kids.iter().rev() {
+                stack.push(k);
+            }
+        }
+        out
+    }
+
+    /// Is `a` a descendant of `b`?
+    pub fn is_descendant(&self, a: u32, b: u32) -> bool {
+        let mut cur = a;
+        while cur != ROOT {
+            match self.nodes.get(&cur) {
+                Some(n) => {
+                    if n.parent == b {
+                        return true;
+                    }
+                    cur = n.parent;
+                }
+                None => return false,
+            }
+        }
+        false
+    }
+
+    /// Unlink `id` from its parent's child list (the node itself stays).
+    fn detach(&mut self, id: u32) {
+        let parent = self.nodes[&id].parent;
+        let pc = &mut self.nodes.get_mut(&parent).unwrap().children;
+        pc.retain(|&c| c != id);
+    }
+
+    /// Link `id` under `parent` (appended to the child list).
+    fn attach(&mut self, id: u32, parent: u32) {
+        self.nodes.get_mut(&id).unwrap().parent = parent;
+        self.nodes.get_mut(&parent).unwrap().children.push(id);
+    }
+
+    fn sanitize(&self, id: u32, mut spec: PrioritySpec) -> PrioritySpec {
+        // §5.3.1: a stream cannot depend on itself; treat like default.
+        if spec.depends_on == id || !self.nodes.contains_key(&spec.depends_on) {
+            spec.depends_on = ROOT;
+        }
+        spec.weight = spec.weight.clamp(1, 256);
+        spec
+    }
+}
+
+impl Default for PriorityTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(dep: u32, weight: u16, excl: bool) -> PrioritySpec {
+        PrioritySpec { depends_on: dep, weight, exclusive: excl }
+    }
+
+    #[test]
+    fn insert_chain() {
+        let mut t = PriorityTree::new();
+        t.insert(1, spec(0, 256, false));
+        t.insert(3, spec(1, 16, false));
+        t.insert(5, spec(3, 16, false));
+        assert_eq!(t.parent(3), Some(1));
+        assert_eq!(t.parent(5), Some(3));
+        assert_eq!(t.traversal(), vec![1, 3, 5]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn exclusive_insertion_adopts_children() {
+        let mut t = PriorityTree::new();
+        t.insert(1, spec(0, 16, false));
+        t.insert(3, spec(0, 16, false));
+        // Stream 5 exclusively depends on root: 1 and 3 become its children.
+        t.insert(5, spec(0, 16, true));
+        assert_eq!(t.parent(5), Some(0));
+        assert_eq!(t.parent(1), Some(5));
+        assert_eq!(t.parent(3), Some(5));
+        assert_eq!(t.children(0), &[5]);
+    }
+
+    #[test]
+    fn unknown_parent_falls_back_to_root() {
+        let mut t = PriorityTree::new();
+        t.insert(7, spec(99, 8, false));
+        assert_eq!(t.parent(7), Some(0));
+    }
+
+    #[test]
+    fn self_dependency_falls_back_to_root() {
+        let mut t = PriorityTree::new();
+        t.insert(3, spec(3, 8, false));
+        assert_eq!(t.parent(3), Some(0));
+    }
+
+    #[test]
+    fn remove_promotes_children_in_place() {
+        let mut t = PriorityTree::new();
+        t.insert(1, spec(0, 16, false));
+        t.insert(3, spec(0, 16, false));
+        t.insert(5, spec(1, 16, false));
+        t.insert(7, spec(1, 16, false));
+        t.remove(1);
+        assert_eq!(t.children(0), &[5, 7, 3]);
+        assert_eq!(t.parent(5), Some(0));
+        assert!(!t.contains(1));
+    }
+
+    #[test]
+    fn reprioritize_moves_subtree() {
+        let mut t = PriorityTree::new();
+        t.insert(1, spec(0, 16, false));
+        t.insert(3, spec(1, 16, false));
+        t.insert(5, spec(3, 16, false));
+        // Move 3 (and its subtree) under root.
+        t.reprioritize(3, spec(0, 32, false));
+        assert_eq!(t.parent(3), Some(0));
+        assert_eq!(t.parent(5), Some(3));
+        assert_eq!(t.weight(3), Some(32));
+    }
+
+    #[test]
+    fn reprioritize_onto_own_descendant() {
+        // §5.3.3 example: moving a stream under its own descendant first
+        // hoists the descendant.
+        let mut t = PriorityTree::new();
+        t.insert(1, spec(0, 16, false));
+        t.insert(3, spec(1, 16, false));
+        t.insert(5, spec(3, 16, false));
+        // Make 1 depend on 5 (a descendant of 1).
+        t.reprioritize(1, spec(5, 16, false));
+        // 5 must have been moved to 1's old parent (root) first.
+        assert_eq!(t.parent(5), Some(0));
+        assert_eq!(t.parent(1), Some(5));
+        assert_eq!(t.parent(3), Some(1));
+        // No cycles: traversal terminates and covers all nodes.
+        assert_eq!(t.traversal().len(), 3);
+    }
+
+    #[test]
+    fn exclusive_reprioritize() {
+        let mut t = PriorityTree::new();
+        t.insert(1, spec(0, 16, false));
+        t.insert(3, spec(0, 16, false));
+        t.insert(5, spec(0, 16, false));
+        t.reprioritize(5, spec(0, 16, true));
+        assert_eq!(t.children(0), &[5]);
+        assert_eq!(t.parent(1), Some(5));
+        assert_eq!(t.parent(3), Some(5));
+    }
+
+    #[test]
+    fn traversal_orders_siblings_by_weight() {
+        let mut t = PriorityTree::new();
+        t.insert(1, spec(0, 8, false));
+        t.insert(3, spec(0, 255, false));
+        t.insert(5, spec(0, 32, false));
+        assert_eq!(t.traversal(), vec![3, 5, 1]);
+    }
+
+    #[test]
+    fn chromium_style_exclusive_chain() {
+        // Chromium builds an exclusive chain: each new stream depends
+        // exclusively on the previous most-important one.
+        let mut t = PriorityTree::new();
+        t.insert(1, spec(0, 256, true)); // HTML
+        t.insert(3, spec(1, 220, true)); // CSS
+        t.insert(5, spec(3, 183, true)); // JS
+        t.insert(7, spec(5, 110, true)); // image
+        assert_eq!(t.traversal(), vec![1, 3, 5, 7]);
+        // Finishing the HTML promotes the chain.
+        t.remove(1);
+        assert_eq!(t.traversal(), vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn weight_is_clamped() {
+        let mut t = PriorityTree::new();
+        t.insert(1, spec(0, 0, false));
+        assert_eq!(t.weight(1), Some(1));
+        t.insert(3, spec(0, 300, false));
+        assert_eq!(t.weight(3), Some(256));
+    }
+}

@@ -1,0 +1,371 @@
+//! Stream scheduling: which stream's DATA goes on the wire next?
+//!
+//! This is the axis the paper turns on. The [`Scheduler`] trait lets a
+//! server swap scheduling policies; [`DefaultScheduler`] reproduces h2o's
+//! stock behaviour (strict dependency order over the RFC 7540 priority
+//! tree, weight-ordered siblings with FIFO per class), under which a
+//! pushed response — a *child* of the stream that triggered it — is only
+//! sent when the parent is idle or finished (Fig. 5a of the paper).
+//! [`FairScheduler`] is a byte-level weighted-fair variant for ablations.
+//! The paper's Interleaving Push scheduler lives in the `h2push-server`
+//! crate.
+
+use crate::priority::{PriorityTree, ROOT};
+use std::collections::HashMap;
+
+/// Per-stream view handed to schedulers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSnapshot {
+    /// Stream id.
+    pub id: u32,
+    /// Body bytes queued and currently sendable (flow-control permitting).
+    pub sendable: usize,
+    /// Body bytes already sent on this stream.
+    pub sent: u64,
+    /// Whether this is a server-pushed stream (even id).
+    pub is_push: bool,
+}
+
+/// A stream scheduling policy.
+pub trait Scheduler {
+    /// Choose the stream to send the next DATA chunk on. `streams` lists
+    /// only streams that can make progress right now.
+    fn pick(&mut self, streams: &[StreamSnapshot], tree: &PriorityTree) -> Option<u32>;
+
+    /// Account `bytes` sent on `stream` (used by weighted round-robin).
+    fn charge(&mut self, _stream: u32, _bytes: usize, _tree: &PriorityTree) {}
+
+    /// A stream finished or was reset.
+    fn stream_closed(&mut self, _stream: u32) {}
+}
+
+/// h2o-style default scheduler:
+///
+/// * strict parent-before-descendants over the priority tree (a pushed
+///   stream, child of the triggering stream, is served only when its
+///   parent has nothing to send — the paper's Fig. 5a);
+/// * strictly higher weight classes first among siblings, FIFO by stream
+///   id within a class, so pushes drain in promise order — which is why
+///   the §4.2 push order matters.
+///
+/// A weighted-fair variant ([`FairScheduler`]) that shares bandwidth
+/// *proportionally* across sibling weight classes (closer to h2o's
+/// byte-level weighted fair queuing) is provided for ablation; with the
+/// Chromium-style exclusive request chains the browser builds, the two
+/// mostly coincide — they differ when low-weight pushed streams coexist
+/// with the chain as siblings.
+#[derive(Debug, Default)]
+pub struct DefaultScheduler {
+    /// Bytes charged per tree node (including traffic of its subtree).
+    charged: HashMap<u32, u64>,
+    /// Bytes charged per (parent node, child weight class).
+    class_charged: HashMap<(u32, u16), u64>,
+}
+
+impl DefaultScheduler {
+    /// New scheduler with empty accounting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn subtree_sendable(
+        &self,
+        node: u32,
+        tree: &PriorityTree,
+        ready: &HashMap<u32, usize>,
+    ) -> bool {
+        if node != ROOT && ready.contains_key(&node) {
+            return true;
+        }
+        tree.children(node).iter().any(|&c| self.subtree_sendable(c, tree, ready))
+    }
+
+    fn pick_rec(&self, node: u32, tree: &PriorityTree, ready: &HashMap<u32, usize>) -> Option<u32> {
+        // Strict dependency order: a sendable stream outranks its whole
+        // subtree.
+        if node != ROOT && ready.contains_key(&node) {
+            return Some(node);
+        }
+        // Among children with sendable descendants: strictly higher weight
+        // first; equal weights serve in stream-id order — i.e. pushes
+        // drain sequentially in the order they were promised, like h2o's
+        // per-class FIFO queues.
+        let best = tree
+            .children(node)
+            .iter()
+            .copied()
+            .filter(|&c| self.subtree_sendable(c, tree, ready))
+            .min_by(|&a, &b| {
+                let wa = tree.weight(a).unwrap_or(16);
+                let wb = tree.weight(b).unwrap_or(16);
+                wb.cmp(&wa).then(a.cmp(&b))
+            })?;
+        self.pick_rec(best, tree, ready)
+    }
+}
+
+impl Scheduler for DefaultScheduler {
+    fn pick(&mut self, streams: &[StreamSnapshot], tree: &PriorityTree) -> Option<u32> {
+        let ready: HashMap<u32, usize> = streams
+            .iter()
+            .filter(|s| s.sendable > 0)
+            .map(|s| (s.id, s.sendable))
+            .collect();
+        if ready.is_empty() {
+            return None;
+        }
+        // Streams the tree doesn't know (e.g. no HEADERS seen yet) are
+        // treated as root children implicitly by falling back to any ready
+        // stream if the walk finds nothing.
+        self.pick_rec(ROOT, tree, &ready)
+            .or_else(|| ready.keys().min().copied())
+    }
+
+    fn charge(&mut self, stream: u32, bytes: usize, tree: &PriorityTree) {
+        // Charge the stream and every ancestor link so sibling WFQ is fair
+        // at each level of the tree.
+        let mut cur = stream;
+        loop {
+            *self.charged.entry(cur).or_insert(0) += bytes as u64;
+            match tree.parent(cur) {
+                Some(p) if cur != ROOT => {
+                    let w = tree.weight(cur).unwrap_or(16);
+                    *self.class_charged.entry((p, w)).or_insert(0) += bytes as u64;
+                    cur = p;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn stream_closed(&mut self, stream: u32) {
+        self.charged.remove(&stream);
+    }
+}
+
+/// Weighted-fair variant of the default scheduler: among sibling weight
+/// classes, bandwidth is shared *proportionally* to aggregate class weight
+/// (byte-level weighted fair queuing, h2o's documented long-run behaviour)
+/// instead of strictly by weight; FIFO by stream id within a class. Used
+/// by the scheduler ablation bench.
+#[derive(Debug, Default)]
+pub struct FairScheduler {
+    charged: HashMap<u32, u64>,
+    class_charged: HashMap<(u32, u16), u64>,
+}
+
+impl FairScheduler {
+    /// New scheduler with empty accounting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn subtree_sendable(
+        &self,
+        node: u32,
+        tree: &PriorityTree,
+        ready: &HashMap<u32, usize>,
+    ) -> bool {
+        if node != ROOT && ready.contains_key(&node) {
+            return true;
+        }
+        tree.children(node).iter().any(|&c| self.subtree_sendable(c, tree, ready))
+    }
+
+    fn pick_rec(&self, node: u32, tree: &PriorityTree, ready: &HashMap<u32, usize>) -> Option<u32> {
+        if node != ROOT && ready.contains_key(&node) {
+            return Some(node);
+        }
+        let eligible: Vec<u32> = tree
+            .children(node)
+            .iter()
+            .copied()
+            .filter(|&c| self.subtree_sendable(c, tree, ready))
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        // Weighted fair queuing across classes: the class with the least
+        // virtual time (bytes per unit of aggregate weight) goes next.
+        let mut classes: Vec<(u16, usize)> = Vec::new();
+        for &c in &eligible {
+            let w = tree.weight(c).unwrap_or(16);
+            match classes.iter_mut().find(|(cw, _)| *cw == w) {
+                Some((_, n)) => *n += 1,
+                None => classes.push((w, 1)),
+            }
+        }
+        let best_class = classes
+            .iter()
+            .min_by(|&&(wa, na), &&(wb, nb)| {
+                let va = *self.class_charged.get(&(node, wa)).unwrap_or(&0) as f64
+                    / (wa as u64 * na as u64) as f64;
+                let vb = *self.class_charged.get(&(node, wb)).unwrap_or(&0) as f64
+                    / (wb as u64 * nb as u64) as f64;
+                va.partial_cmp(&vb).unwrap().then(wb.cmp(&wa))
+            })
+            .map(|&(w, _)| w)?;
+        let best = eligible
+            .into_iter()
+            .filter(|&c| tree.weight(c).unwrap_or(16) == best_class)
+            .min()?;
+        self.pick_rec(best, tree, ready)
+    }
+}
+
+impl Scheduler for FairScheduler {
+    fn pick(&mut self, streams: &[StreamSnapshot], tree: &PriorityTree) -> Option<u32> {
+        let ready: HashMap<u32, usize> = streams
+            .iter()
+            .filter(|s| s.sendable > 0)
+            .map(|s| (s.id, s.sendable))
+            .collect();
+        if ready.is_empty() {
+            return None;
+        }
+        self.pick_rec(ROOT, tree, &ready).or_else(|| ready.keys().min().copied())
+    }
+
+    fn charge(&mut self, stream: u32, bytes: usize, tree: &PriorityTree) {
+        let mut cur = stream;
+        loop {
+            *self.charged.entry(cur).or_insert(0) += bytes as u64;
+            match tree.parent(cur) {
+                Some(p) if cur != ROOT => {
+                    let w = tree.weight(cur).unwrap_or(16);
+                    *self.class_charged.entry((p, w)).or_insert(0) += bytes as u64;
+                    cur = p;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn stream_closed(&mut self, stream: u32) {
+        self.charged.remove(&stream);
+    }
+}
+
+/// A trivial FIFO scheduler: always the lowest stream id. Useful as a
+/// baseline and in tests.
+#[derive(Debug, Default)]
+pub struct FifoScheduler;
+
+impl Scheduler for FifoScheduler {
+    fn pick(&mut self, streams: &[StreamSnapshot], _tree: &PriorityTree) -> Option<u32> {
+        streams.iter().filter(|s| s.sendable > 0).map(|s| s.id).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::PrioritySpec;
+
+    fn snap(id: u32, sendable: usize) -> StreamSnapshot {
+        StreamSnapshot { id, sendable, sent: 0, is_push: id % 2 == 0 }
+    }
+
+    fn spec(dep: u32, weight: u16, excl: bool) -> PrioritySpec {
+        PrioritySpec { depends_on: dep, weight, exclusive: excl }
+    }
+
+    #[test]
+    fn parent_preempts_child() {
+        let mut tree = PriorityTree::new();
+        tree.insert(1, spec(0, 16, false));
+        tree.insert(2, spec(1, 16, false)); // push, child of 1
+        let mut s = DefaultScheduler::new();
+        // Both have data: the parent (HTML) wins.
+        assert_eq!(s.pick(&[snap(1, 100), snap(2, 100)], &tree), Some(1));
+        // Parent has nothing: the push flows.
+        assert_eq!(s.pick(&[snap(1, 0), snap(2, 100)], &tree), Some(2));
+    }
+
+    #[test]
+    fn heavier_sibling_is_served_strictly_first() {
+        let mut tree = PriorityTree::new();
+        tree.insert(1, spec(0, 100, false));
+        tree.insert(3, spec(0, 200, false));
+        let mut s = DefaultScheduler::new();
+        // The heavier stream drains completely before the lighter one.
+        assert_eq!(s.pick(&[snap(1, 1000), snap(3, 1000)], &tree), Some(3));
+        s.charge(3, 1000, &tree);
+        assert_eq!(s.pick(&[snap(1, 1000), snap(3, 1000)], &tree), Some(3));
+        assert_eq!(s.pick(&[snap(1, 1000)], &tree), Some(1));
+    }
+
+    #[test]
+    fn fair_scheduler_shares_bandwidth_by_weight() {
+        // The WFQ ablation variant: 200-weight and 100-weight siblings
+        // share the link 2:1 over time.
+        let mut tree = PriorityTree::new();
+        tree.insert(1, spec(0, 200, false));
+        tree.insert(3, spec(0, 100, false));
+        let mut s = FairScheduler::new();
+        let mut sent = HashMap::new();
+        for _ in 0..300 {
+            let pick = s.pick(&[snap(1, 1000), snap(3, 1000)], &tree).unwrap();
+            s.charge(pick, 1000, &tree);
+            *sent.entry(pick).or_insert(0u64) += 1000;
+        }
+        let ratio = sent[&1] as f64 / sent[&3] as f64;
+        assert!((1.8..2.2).contains(&ratio), "weight ratio violated: {ratio}");
+    }
+
+    #[test]
+    fn equal_weight_pushes_drain_in_promise_order() {
+        // h2o-style sequential delivery: pushes (even ids, ascending in
+        // promise order) as children of the HTML drain one after another.
+        let mut tree = PriorityTree::new();
+        tree.insert(1, spec(0, 256, false));
+        for id in [2u32, 4, 6] {
+            tree.insert(id, spec(1, 16, false));
+        }
+        let mut s = DefaultScheduler::new();
+        let all = [snap(2, 100), snap(4, 100), snap(6, 100)];
+        assert_eq!(s.pick(&all, &tree), Some(2));
+        s.charge(2, 100, &tree);
+        // Still stream 2 while it has data; then 4; then 6.
+        assert_eq!(s.pick(&all, &tree), Some(2));
+        assert_eq!(s.pick(&all[1..], &tree), Some(4));
+        assert_eq!(s.pick(&all[2..], &tree), Some(6));
+    }
+
+    #[test]
+    fn deep_tree_walk() {
+        // root → 1 → {2 (push), 3} ; 3 → 5
+        let mut tree = PriorityTree::new();
+        tree.insert(1, spec(0, 16, false));
+        tree.insert(2, spec(1, 16, false));
+        tree.insert(3, spec(1, 16, false));
+        tree.insert(5, spec(3, 16, false));
+        let mut s = DefaultScheduler::new();
+        // Only the leaf has data.
+        assert_eq!(s.pick(&[snap(5, 10)], &tree), Some(5));
+        // Mid-level stream 3 outranks its child 5.
+        assert_eq!(s.pick(&[snap(3, 10), snap(5, 10)], &tree), Some(3));
+    }
+
+    #[test]
+    fn unknown_stream_still_schedulable() {
+        let tree = PriorityTree::new();
+        let mut s = DefaultScheduler::new();
+        assert_eq!(s.pick(&[snap(9, 10)], &tree), Some(9));
+    }
+
+    #[test]
+    fn nothing_ready_returns_none() {
+        let tree = PriorityTree::new();
+        let mut s = DefaultScheduler::new();
+        assert_eq!(s.pick(&[snap(1, 0)], &tree), None);
+        assert_eq!(s.pick(&[], &tree), None);
+    }
+
+    #[test]
+    fn fifo_picks_lowest_id() {
+        let tree = PriorityTree::new();
+        let mut s = FifoScheduler;
+        assert_eq!(s.pick(&[snap(5, 1), snap(3, 1), snap(7, 1)], &tree), Some(3));
+    }
+}

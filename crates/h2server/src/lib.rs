@@ -1,0 +1,16 @@
+//! # h2push-server — the replay web server
+//!
+//! The h2o-equivalent of the paper's testbed (§4.1): servers that answer
+//! requests from a Mahimahi-style record database over our own HTTP/2
+//! stack, execute configurable Server-Push strategies, and — the paper's
+//! §5 contribution — can run the modified *interleaving* stream scheduler
+//! that suspends the document after a byte offset to push critical
+//! resources (Fig. 5a).
+
+pub mod h1server;
+pub mod interleave;
+pub mod server;
+
+pub use h1server::H1ReplayServer;
+pub use interleave::InterleavingScheduler;
+pub use server::{ReplayServer, RequestObservation};

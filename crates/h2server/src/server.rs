@@ -1,0 +1,458 @@
+//! The replay server: h2o + FastCGI-record-matching equivalent (§4.1).
+//!
+//! One [`ReplayServer`] instance stands in for one server group of the
+//! recorded deployment (Mahimahi spawns one server per origin IP; origins
+//! coalesced by certificate share a group). It answers requests from the
+//! record database, and — on the group hosting the base document — executes
+//! the configured push strategy, either with the stock child-of-parent
+//! scheduler or with the paper's interleaving scheduler.
+
+use crate::interleave::InterleavingScheduler;
+use h2push_h2proto::{CacheDigest, Connection, DefaultScheduler, Event, Scheduler, Settings};
+use h2push_hpack::Header;
+use h2push_netsim::SimTime;
+use h2push_strategies::Strategy;
+use h2push_webmodel::{Page, RecordDb, ResourceId};
+
+/// A request observation (for computing push orders, §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestObservation {
+    /// Which resource was requested.
+    pub resource: ResourceId,
+    /// When the request arrived at the server.
+    pub at: SimTime,
+}
+
+/// The scheduler variants a replay server can run.
+enum Sched {
+    /// h2o stock behaviour.
+    Default(DefaultScheduler),
+    /// The paper's modified scheduler.
+    Interleaving(InterleavingScheduler),
+}
+
+impl Sched {
+    fn as_dyn(&mut self) -> &mut dyn Scheduler {
+        match self {
+            Sched::Default(s) => s,
+            Sched::Interleaving(s) => s,
+        }
+    }
+
+    fn interleaving(&mut self) -> Option<&mut InterleavingScheduler> {
+        match self {
+            Sched::Interleaving(s) => Some(s),
+            Sched::Default(_) => None,
+        }
+    }
+}
+
+/// One replay server (= one server group).
+pub struct ReplayServer {
+    page: Page,
+    db: RecordDb,
+    group: usize,
+    conn: Connection,
+    sched: Sched,
+    strategy: Strategy,
+    html_stream: Option<u32>,
+    observations: Vec<RequestObservation>,
+    pushed_bytes: u64,
+    /// Whether a received `cache-digest` header suppresses pushes of
+    /// cached resources (the draft behaviour); configurable so the waste
+    /// of digest-oblivious deployments can be measured.
+    honor_cache_digest: bool,
+    client_digest: Option<CacheDigest>,
+    digest_suppressed: u32,
+}
+
+impl ReplayServer {
+    /// Create the server for `group`. The strategy only fires on the group
+    /// serving the document (group of origin 0); other groups never push.
+    pub fn new(page: &Page, group: usize, strategy: Strategy) -> Self {
+        let main_group = page.server_group_of(ResourceId(0));
+        let effective =
+            if group == main_group { strategy } else { Strategy::NoPush };
+        let sched = match &effective {
+            Strategy::Interleaved { offset, .. } => {
+                Sched::Interleaving(InterleavingScheduler::new(*offset))
+            }
+            _ => Sched::Default(DefaultScheduler::new()),
+        };
+        ReplayServer {
+            page: page.clone(),
+            db: RecordDb::record(page),
+            group,
+            conn: Connection::server(Settings::default()),
+            sched,
+            strategy: effective,
+            html_stream: None,
+            observations: Vec::new(),
+            pushed_bytes: 0,
+            honor_cache_digest: true,
+            client_digest: None,
+            digest_suppressed: 0,
+        }
+    }
+
+    /// Control whether `cache-digest` headers suppress pushes (on by
+    /// default; turn off to model digest-oblivious deployments).
+    pub fn set_honor_cache_digest(&mut self, honor: bool) {
+        self.honor_cache_digest = honor;
+    }
+
+    /// Pushes skipped because the client's digest already covered them.
+    pub fn digest_suppressed(&self) -> u32 {
+        self.digest_suppressed
+    }
+
+    /// The server group this instance answers for.
+    pub fn group(&self) -> usize {
+        self.group
+    }
+
+    /// Requests observed so far (arrival order).
+    pub fn observations(&self) -> &[RequestObservation] {
+        &self.observations
+    }
+
+    /// Bytes of response bodies queued for push streams.
+    pub fn pushed_bytes(&self) -> u64 {
+        self.pushed_bytes
+    }
+
+    /// Feed wire bytes from the client; handles any completed requests.
+    pub fn on_bytes(&mut self, bytes: &[u8], now: SimTime) {
+        self.conn.receive(bytes);
+        while let Some(ev) = self.conn.poll_event() {
+            match ev {
+                Event::Headers { stream, headers, .. } => {
+                    self.handle_request(stream, &headers, now);
+                }
+                Event::Reset { .. }
+                | Event::Settings(_)
+                | Event::SettingsAck
+                | Event::Priority { .. }
+                | Event::GoAway { .. } => {}
+                Event::Data { .. } | Event::PushPromise { .. } => {
+                    // Clients send neither bodies nor pushes in the replay.
+                }
+                Event::ConnectionError { reason } => {
+                    panic!("replay server protocol error: {reason}")
+                }
+            }
+        }
+    }
+
+    /// True when the connection has bytes to transmit.
+    pub fn wants_send(&self) -> bool {
+        self.conn.wants_send()
+    }
+
+    /// Produce up to `max` wire bytes under the configured scheduler.
+    pub fn produce(&mut self, max: usize) -> Vec<u8> {
+        self.conn.produce(max, self.sched.as_dyn())
+    }
+
+    fn handle_request(&mut self, stream: u32, headers: &[Header], now: SimTime) {
+        let get = |n: &str| {
+            headers
+                .iter()
+                .find(|h| h.name == n.as_bytes())
+                .map(|h| String::from_utf8_lossy(&h.value).to_string())
+                .unwrap_or_default()
+        };
+        let host = get(":authority");
+        let path = get(":path");
+        if let Some(d) = headers
+            .iter()
+            .find(|h| h.name == b"cache-digest")
+            .and_then(|h| CacheDigest::from_hex(&String::from_utf8_lossy(&h.value)))
+        {
+            self.client_digest = Some(d);
+        }
+        let Some(rec) = self.db.lookup(&host, &path) else {
+            // Mahimahi aborts on unmatched requests; we answer 404 so a
+            // broken strategy surfaces as a failed load, not a hang.
+            self.conn.respond(
+                stream,
+                &[Header::new(":status", "404"), Header::new("content-length", "0")],
+                true,
+            );
+            return;
+        };
+        let rec = rec.clone();
+        self.observations.push(RequestObservation { resource: rec.resource, at: now });
+
+        let is_html = rec.resource == ResourceId(0);
+        if is_html {
+            self.html_stream = Some(stream);
+            if let Some(il) = self.sched.interleaving() {
+                il.set_parent(stream);
+            }
+            // Fire the strategy: promises go out before the document's
+            // response so the client cannot race requests for them.
+            match self.strategy.clone() {
+                Strategy::NoPush => {}
+                Strategy::PushList { order } => {
+                    for rid in order {
+                        self.start_push(stream, rid, false);
+                    }
+                }
+                Strategy::Interleaved { critical, after, .. } => {
+                    // All promises go out up front (h2o promises before the
+                    // referencing bytes); only the critical list takes part
+                    // in the hard switch. The `after` pushes stay ordinary
+                    // children of the document stream, so the stock tree
+                    // scheduling delivers them once the document finished.
+                    for rid in critical {
+                        self.start_push(stream, rid, true);
+                    }
+                    for rid in after {
+                        self.start_push(stream, rid, false);
+                    }
+                }
+            }
+        }
+
+        // The response itself.
+        self.conn.respond(
+            stream,
+            &[
+                Header::new(":status", "200"),
+                Header::new("content-type", &rec.content_type),
+                Header::new("content-length", &rec.body_len.to_string()),
+            ],
+            false,
+        );
+        self.conn.queue_body(stream, rec.body_len, true);
+    }
+
+    fn start_push(&mut self, parent: u32, rid: ResourceId, critical: bool) {
+        let r = self.page.resource(rid).clone();
+        let host = self.page.origins[r.origin].host.clone();
+        if self.honor_cache_digest {
+            if let Some(d) = &self.client_digest {
+                if d.contains(&r.url(&host)) {
+                    self.digest_suppressed += 1;
+                    return;
+                }
+            }
+        }
+        let req = vec![
+            Header::new(":method", "GET"),
+            Header::new(":scheme", "https"),
+            Header::new(":authority", &host),
+            Header::new(":path", &r.path),
+        ];
+        let Some(promised) = self.conn.push_promise(parent, &req) else {
+            return; // peer disabled push, or parent gone
+        };
+        if critical {
+            if let Some(il) = self.sched.interleaving() {
+                il.add_critical(promised);
+            }
+        }
+        self.conn.respond(
+            promised,
+            &[
+                Header::new(":status", "200"),
+                Header::new("content-type", r.rtype.mime()),
+                Header::new("content-length", &r.size.to_string()),
+            ],
+            false,
+        );
+        self.conn.queue_body(promised, r.size, true);
+        self.pushed_bytes += r.size as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2push_h2proto::{Connection, FifoScheduler, Settings, StreamState};
+    use h2push_webmodel::{PageBuilder, ResourceSpec};
+
+    fn page() -> Page {
+        let mut b = PageBuilder::new("srv-test", "srv.test", 20_000, 2_000);
+        let third = b.origin("cdn.third.net", 1, false);
+        b.resource(ResourceSpec::css(0, 6_000, 200, 0.5)); // 1
+        b.resource(ResourceSpec::image(0, 9_000, 8_000, true, 1.0)); // 2
+        b.resource(ResourceSpec::js_async(third, 4_000, 9_000, 1_000)); // 3
+        b.text_paint(5_000, 1.0);
+        b.build()
+    }
+
+    /// Drive a raw h2proto client against the server; returns collected
+    /// client events.
+    fn converse(
+        server: &mut ReplayServer,
+        client: &mut Connection,
+        rounds: usize,
+    ) -> Vec<h2push_h2proto::Event> {
+        let mut sched = FifoScheduler;
+        let mut events = Vec::new();
+        for _ in 0..rounds {
+            let up = client.produce(usize::MAX, &mut sched);
+            if !up.is_empty() {
+                server.on_bytes(&up, SimTime::ZERO);
+            }
+            let mut moved = false;
+            while server.wants_send() {
+                let down = server.produce(usize::MAX);
+                if down.is_empty() {
+                    break;
+                }
+                moved = true;
+                client.receive(&down);
+            }
+            while let Some(e) = client.poll_event() {
+                events.push(e);
+            }
+            if !moved && client.produce(usize::MAX, &mut sched).is_empty() {
+                break;
+            }
+        }
+        events
+    }
+
+    fn get(path: &str) -> Vec<Header> {
+        vec![
+            Header::new(":method", "GET"),
+            Header::new(":scheme", "https"),
+            Header::new(":authority", "srv.test"),
+            Header::new(":path", path),
+        ]
+    }
+
+    #[test]
+    fn serves_recorded_response() {
+        let p = page();
+        let mut server = ReplayServer::new(&p, 0, Strategy::NoPush);
+        let mut client = Connection::client(Settings {
+            initial_window_size: Some(1 << 20),
+            ..Default::default()
+        });
+        let s = client.request(&get("/"), None);
+        let events = converse(&mut server, &mut client, 20);
+        let body: usize = events
+            .iter()
+            .filter_map(|e| match e {
+                h2push_h2proto::Event::Data { stream, len, .. } if *stream == s => Some(*len),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(body, 20_000, "full document body served");
+        assert_eq!(server.observations().len(), 1);
+        assert_eq!(server.observations()[0].resource, ResourceId(0));
+    }
+
+    #[test]
+    fn unknown_path_gets_404() {
+        let p = page();
+        let mut server = ReplayServer::new(&p, 0, Strategy::NoPush);
+        let mut client = Connection::client(Settings::default());
+        client.request(&get("/not-recorded"), None);
+        let events = converse(&mut server, &mut client, 10);
+        let status = events.iter().find_map(|e| match e {
+            h2push_h2proto::Event::Headers { headers, end_stream, .. } => Some((
+                String::from_utf8_lossy(&headers[0].value).to_string(),
+                *end_stream,
+            )),
+            _ => None,
+        });
+        assert_eq!(status, Some(("404".to_string(), true)));
+    }
+
+    #[test]
+    fn strategy_fires_only_on_document_request() {
+        let p = page();
+        let mut server =
+            ReplayServer::new(&p, 0, Strategy::PushList { order: vec![ResourceId(1)] });
+        let mut client = Connection::client(Settings {
+            initial_window_size: Some(1 << 20),
+            ..Default::default()
+        });
+        // Request the image first: no pushes may fire.
+        let img_path = p.resource(ResourceId(2)).path.clone();
+        client.request(&get(&img_path), None);
+        let events = converse(&mut server, &mut client, 10);
+        assert!(
+            !events.iter().any(|e| matches!(e, h2push_h2proto::Event::PushPromise { .. })),
+            "subresource request must not trigger pushes"
+        );
+        assert_eq!(server.pushed_bytes(), 0);
+        // Now the document: the CSS is promised and delivered.
+        client.request(&get("/"), None);
+        let events = converse(&mut server, &mut client, 30);
+        assert!(events.iter().any(|e| matches!(e, h2push_h2proto::Event::PushPromise { .. })));
+        assert_eq!(server.pushed_bytes(), 6_000);
+    }
+
+    #[test]
+    fn third_party_group_never_pushes() {
+        let p = page();
+        // The strategy is configured, but this instance serves group 1.
+        let mut server =
+            ReplayServer::new(&p, 1, Strategy::PushList { order: vec![ResourceId(1)] });
+        let mut client = Connection::client(Settings::default());
+        let js = p.resource(ResourceId(3));
+        client.request(
+            &[
+                Header::new(":method", "GET"),
+                Header::new(":scheme", "https"),
+                Header::new(":authority", "cdn.third.net"),
+                Header::new(":path", &js.path),
+            ],
+            None,
+        );
+        let events = converse(&mut server, &mut client, 10);
+        assert!(!events.iter().any(|e| matches!(e, h2push_h2proto::Event::PushPromise { .. })));
+        let body: usize = events
+            .iter()
+            .filter_map(|e| match e {
+                h2push_h2proto::Event::Data { len, .. } => Some(*len),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(body, 4_000);
+    }
+
+    #[test]
+    fn disabled_push_client_gets_plain_responses() {
+        let p = page();
+        let mut server = ReplayServer::new(&p, 0, Strategy::PushList { order: vec![ResourceId(1)] });
+        let mut client =
+            Connection::client(Settings { enable_push: Some(false), ..Default::default() });
+        client.request(&get("/"), None);
+        let events = converse(&mut server, &mut client, 20);
+        assert!(!events.iter().any(|e| matches!(e, h2push_h2proto::Event::PushPromise { .. })));
+        assert_eq!(server.pushed_bytes(), 0, "SETTINGS_ENABLE_PUSH=0 honored");
+    }
+
+    #[test]
+    fn interleaved_strategy_marks_parent_and_closes_cleanly() {
+        let p = page();
+        let mut server = ReplayServer::new(
+            &p,
+            0,
+            Strategy::Interleaved { offset: 4_096, critical: vec![ResourceId(1)], after: vec![ResourceId(2)] },
+        );
+        let mut client = Connection::client(Settings {
+            initial_window_size: Some(1 << 20),
+            ..Default::default()
+        });
+        let html = client.request(&get("/"), None);
+        let events = converse(&mut server, &mut client, 50);
+        // Both the critical and the after push arrive completely.
+        let push_bytes: usize = events
+            .iter()
+            .filter_map(|e| match e {
+                h2push_h2proto::Event::Data { stream, len, .. } if stream % 2 == 0 => Some(*len),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(push_bytes, 6_000 + 9_000);
+        assert_eq!(client.stream_state(html), Some(StreamState::Closed));
+    }
+}

@@ -1,0 +1,459 @@
+//! HPACK block encoder and decoder (RFC 7541 §6).
+
+use crate::huffman;
+use crate::integer;
+use crate::table::{Header, IndexTable, Match};
+use crate::Error;
+
+/// When the encoder applies Huffman coding to string literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HuffmanPolicy {
+    /// Huffman-encode when strictly shorter (what real encoders do and what
+    /// the RFC Appendix C.4/C.6 examples assume).
+    #[default]
+    Auto,
+    /// Never Huffman-encode (Appendix C.2/C.3 examples).
+    Never,
+    /// Always Huffman-encode.
+    Always,
+}
+
+/// Stateful header block encoder.
+///
+/// Strategy: exact matches are emitted as indexed fields; everything else is
+/// emitted as "literal with incremental indexing" (indexing the name when
+/// possible) so subsequent blocks on the connection compress well — the same
+/// policy as the RFC examples and mainstream servers.
+///
+/// ```
+/// use h2push_hpack::{Encoder, Decoder, Header};
+///
+/// let mut enc = Encoder::new();
+/// let mut dec = Decoder::new();
+/// let headers = vec![Header::new(":method", "GET"), Header::new(":path", "/app.css")];
+/// let block = enc.encode(&headers);
+/// assert_eq!(dec.decode(&block).unwrap(), headers);
+/// // The second occurrence compresses to two indexed bytes.
+/// assert!(enc.encode(&headers).len() <= 2);
+/// ```
+#[derive(Debug)]
+pub struct Encoder {
+    table: IndexTable,
+    policy: HuffmanPolicy,
+    /// Pending dynamic-table size updates to emit at the start of the next
+    /// block (§4.2).
+    pending_size_updates: Vec<usize>,
+}
+
+impl Encoder {
+    /// Encoder with the default 4096-octet table.
+    pub fn new() -> Self {
+        Encoder { table: IndexTable::new(), policy: HuffmanPolicy::Auto, pending_size_updates: Vec::new() }
+    }
+
+    /// Set the Huffman policy.
+    pub fn with_policy(mut self, policy: HuffmanPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Change the dynamic table size; the update is signalled in the next
+    /// encoded block.
+    pub fn set_table_size(&mut self, size: usize) {
+        self.table.set_capacity_limit(size);
+        self.table.set_max_size(size).expect("limit was just raised");
+        self.pending_size_updates.push(size);
+    }
+
+    /// Dynamic table size (for tests / diagnostics).
+    pub fn table(&self) -> &IndexTable {
+        &self.table
+    }
+
+    /// Encode one header block.
+    pub fn encode(&mut self, headers: &[Header]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for size in self.pending_size_updates.drain(..) {
+            integer::encode(size as u64, 5, 0x20, &mut out);
+        }
+        for h in headers {
+            self.encode_header(h, &mut out);
+        }
+        out
+    }
+
+    fn encode_header(&mut self, h: &Header, out: &mut Vec<u8>) {
+        match self.table.find(h) {
+            Match::Full(i) => {
+                // Indexed header field (§6.1): '1' + 7-bit index.
+                integer::encode(i as u64, 7, 0x80, out);
+            }
+            Match::Name(i) => {
+                // Literal with incremental indexing, indexed name (§6.2.1).
+                integer::encode(i as u64, 6, 0x40, out);
+                self.encode_string(&h.value, out);
+                self.table.insert(h.clone());
+            }
+            Match::None => {
+                // Literal with incremental indexing, new name.
+                out.push(0x40);
+                self.encode_string(&h.name, out);
+                self.encode_string(&h.value, out);
+                self.table.insert(h.clone());
+            }
+        }
+    }
+
+    fn encode_string(&self, s: &[u8], out: &mut Vec<u8>) {
+        let use_huffman = match self.policy {
+            HuffmanPolicy::Never => false,
+            HuffmanPolicy::Always => true,
+            // "No shorter" rather than "strictly shorter": the RFC C.6.2
+            // example Huffman-encodes "307" although both forms are 3
+            // octets.
+            HuffmanPolicy::Auto => !s.is_empty() && huffman::encoded_len(s) <= s.len(),
+        };
+        if use_huffman {
+            integer::encode(huffman::encoded_len(s) as u64, 7, 0x80, out);
+            huffman::encode(s, out);
+        } else {
+            integer::encode(s.len() as u64, 7, 0, out);
+            out.extend_from_slice(s);
+        }
+    }
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Stateful header block decoder.
+#[derive(Debug)]
+pub struct Decoder {
+    table: IndexTable,
+    /// Guard against header bombs: maximum decoded size of one block
+    /// (sum of name+value+32 per field, like SETTINGS_MAX_HEADER_LIST_SIZE).
+    max_header_list_size: usize,
+}
+
+impl Decoder {
+    /// Decoder with the default 4096-octet table.
+    pub fn new() -> Self {
+        Decoder { table: IndexTable::new(), max_header_list_size: 1 << 20 }
+    }
+
+    /// Raise or lower the protocol ceiling on the peer's table size.
+    pub fn set_capacity_limit(&mut self, limit: usize) {
+        self.table.set_capacity_limit(limit);
+    }
+
+    /// Dynamic table (for tests / diagnostics).
+    pub fn table(&self) -> &IndexTable {
+        &self.table
+    }
+
+    /// Decode one complete header block.
+    pub fn decode(&mut self, buf: &[u8]) -> Result<Vec<Header>, Error> {
+        let mut headers = Vec::new();
+        let mut listed = 0usize;
+        let mut seen_field = false;
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let b = buf[pos];
+            if b & 0x80 != 0 {
+                // Indexed header field.
+                let idx = integer::decode(buf, &mut pos, 7)?;
+                let h = self.table.get(idx as usize)?;
+                listed += h.table_size();
+                headers.push(h);
+                seen_field = true;
+            } else if b & 0xc0 == 0x40 {
+                // Literal with incremental indexing.
+                let idx = integer::decode(buf, &mut pos, 6)?;
+                let h = self.read_literal(buf, &mut pos, idx as usize)?;
+                listed += h.table_size();
+                self.table.insert(h.clone());
+                headers.push(h);
+                seen_field = true;
+            } else if b & 0xe0 == 0x20 {
+                // Dynamic table size update — must precede fields (§4.2).
+                if seen_field {
+                    return Err(Error::SizeUpdateTooLarge);
+                }
+                let size = integer::decode(buf, &mut pos, 5)?;
+                self.table.set_max_size(size as usize)?;
+            } else {
+                // Literal without indexing (0000) or never indexed (0001):
+                // both decode identically and do not touch the table.
+                let idx = integer::decode(buf, &mut pos, 4)?;
+                let h = self.read_literal(buf, &mut pos, idx as usize)?;
+                listed += h.table_size();
+                headers.push(h);
+                seen_field = true;
+            }
+            if listed > self.max_header_list_size {
+                return Err(Error::IntegerOverflow);
+            }
+        }
+        Ok(headers)
+    }
+
+    fn read_literal(&self, buf: &[u8], pos: &mut usize, name_idx: usize) -> Result<Header, Error> {
+        let name = if name_idx == 0 {
+            self.read_string(buf, pos)?
+        } else {
+            self.table.get(name_idx)?.name
+        };
+        let value = self.read_string(buf, pos)?;
+        Ok(Header { name, value })
+    }
+
+    fn read_string(&self, buf: &[u8], pos: &mut usize) -> Result<Vec<u8>, Error> {
+        let huff = *buf.get(*pos).ok_or(Error::Truncated)? & 0x80 != 0;
+        let len = integer::decode(buf, pos, 7)? as usize;
+        let end = pos.checked_add(len).ok_or(Error::Truncated)?;
+        let raw = buf.get(*pos..end).ok_or(Error::Truncated)?;
+        *pos = end;
+        if huff {
+            huffman::decode(raw)
+        } else {
+            Ok(raw.to_vec())
+        }
+    }
+}
+
+impl Default for Decoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(n: &str, v: &str) -> Header {
+        Header::new(n, v)
+    }
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // ----- RFC 7541 Appendix C.2 / C.3 (no Huffman) -----
+
+    #[test]
+    fn c_2_1_literal_with_indexing() {
+        let mut e = Encoder::new().with_policy(HuffmanPolicy::Never);
+        let out = e.encode(&[h("custom-key", "custom-header")]);
+        assert_eq!(
+            hex(&out),
+            "400a637573746f6d2d6b65790d637573746f6d2d686561646572"
+        );
+        assert_eq!(e.table().size(), 55);
+        let mut d = Decoder::new();
+        assert_eq!(d.decode(&out).unwrap(), vec![h("custom-key", "custom-header")]);
+        assert_eq!(d.table().size(), 55);
+    }
+
+    #[test]
+    fn c_3_request_sequence_without_huffman() {
+        let mut e = Encoder::new().with_policy(HuffmanPolicy::Never);
+        let mut d = Decoder::new();
+
+        // C.3.1 first request.
+        let req1 = [
+            h(":method", "GET"),
+            h(":scheme", "http"),
+            h(":path", "/"),
+            h(":authority", "www.example.com"),
+        ];
+        let out = e.encode(&req1);
+        assert_eq!(hex(&out), "828684410f7777772e6578616d706c652e636f6d");
+        assert_eq!(d.decode(&out).unwrap(), req1);
+        assert_eq!(d.table().len(), 1);
+        assert_eq!(d.table().size(), 57);
+
+        // C.3.2 second request: :authority now in the dynamic table.
+        let req2 = [
+            h(":method", "GET"),
+            h(":scheme", "http"),
+            h(":path", "/"),
+            h(":authority", "www.example.com"),
+            h("cache-control", "no-cache"),
+        ];
+        let out = e.encode(&req2);
+        assert_eq!(hex(&out), "828684be58086e6f2d6361636865");
+        assert_eq!(d.decode(&out).unwrap(), req2);
+        assert_eq!(d.table().len(), 2);
+
+        // C.3.3 third request.
+        let req3 = [
+            h(":method", "GET"),
+            h(":scheme", "https"),
+            h(":path", "/index.html"),
+            h(":authority", "www.example.com"),
+            h("custom-key", "custom-value"),
+        ];
+        let out = e.encode(&req3);
+        assert_eq!(hex(&out), "828785bf400a637573746f6d2d6b65790c637573746f6d2d76616c7565");
+        assert_eq!(d.decode(&out).unwrap(), req3);
+        assert_eq!(d.table().len(), 3);
+        assert_eq!(d.table().size(), 164);
+    }
+
+    // ----- RFC 7541 Appendix C.4 (with Huffman) -----
+
+    #[test]
+    fn c_4_request_sequence_with_huffman() {
+        let mut e = Encoder::new(); // Auto policy
+        let mut d = Decoder::new();
+
+        let req1 = [
+            h(":method", "GET"),
+            h(":scheme", "http"),
+            h(":path", "/"),
+            h(":authority", "www.example.com"),
+        ];
+        let out = e.encode(&req1);
+        assert_eq!(hex(&out), "828684418cf1e3c2e5f23a6ba0ab90f4ff");
+        assert_eq!(d.decode(&out).unwrap(), req1);
+
+        let req2 = [
+            h(":method", "GET"),
+            h(":scheme", "http"),
+            h(":path", "/"),
+            h(":authority", "www.example.com"),
+            h("cache-control", "no-cache"),
+        ];
+        let out = e.encode(&req2);
+        assert_eq!(hex(&out), "828684be5886a8eb10649cbf");
+        assert_eq!(d.decode(&out).unwrap(), req2);
+
+        let req3 = [
+            h(":method", "GET"),
+            h(":scheme", "https"),
+            h(":path", "/index.html"),
+            h(":authority", "www.example.com"),
+            h("custom-key", "custom-value"),
+        ];
+        let out = e.encode(&req3);
+        assert_eq!(hex(&out), "828785bf408825a849e95ba97d7f8925a849e95bb8e8b4bf");
+        assert_eq!(d.decode(&out).unwrap(), req3);
+        assert_eq!(d.table().size(), 164);
+    }
+
+    // ----- RFC 7541 Appendix C.6 (responses, Huffman, 256-octet table) -----
+
+    #[test]
+    fn c_6_response_sequence_with_eviction() {
+        let mut e = Encoder::new();
+        e.set_table_size(256);
+        let mut d = Decoder::new();
+        d.set_capacity_limit(256);
+
+        let resp1 = [
+            h(":status", "302"),
+            h("cache-control", "private"),
+            h("date", "Mon, 21 Oct 2013 20:13:21 GMT"),
+            h("location", "https://www.example.com"),
+        ];
+        let out = e.encode(&resp1);
+        assert_eq!(
+            hex(&out),
+            // 0x3f 0xe1 0x01 = size update to 256 (31 + 225 with one
+            // continuation octet), then exactly the C.6.1 block.
+            "3fe101488264025885aec3771a4b6196d07abe941054d444a8200595040b8166e082a62d1bff6e919d29ad171863c78f0b97c8e9ae82ae43d3"
+        );
+        assert_eq!(d.decode(&out).unwrap(), resp1);
+        assert_eq!(d.table().len(), 4);
+        assert_eq!(d.table().size(), 222);
+
+        // C.6.2: ":status: 307" evicts ":status: 302".
+        let resp2 = [
+            h(":status", "307"),
+            h("cache-control", "private"),
+            h("date", "Mon, 21 Oct 2013 20:13:21 GMT"),
+            h("location", "https://www.example.com"),
+        ];
+        let out = e.encode(&resp2);
+        assert_eq!(hex(&out), "4883640effc1c0bf");
+        assert_eq!(d.decode(&out).unwrap(), resp2);
+        assert_eq!(d.table().len(), 4);
+        assert_eq!(d.table().size(), 222);
+
+        // C.6.3.
+        let resp3 = [
+            h(":status", "200"),
+            h("cache-control", "private"),
+            h("date", "Mon, 21 Oct 2013 20:13:22 GMT"),
+            h("location", "https://www.example.com"),
+            h("content-encoding", "gzip"),
+            h(
+                "set-cookie",
+                "foo=ASDJKHQKBZXOQWEOPIUAXQWEOIU; max-age=3600; version=1",
+            ),
+        ];
+        let out = e.encode(&resp3);
+        assert_eq!(
+            hex(&out),
+            "88c16196d07abe941054d444a8200595040b8166e084a62d1bffc05a839bd9ab77ad94e7821dd7f2e6c7b335dfdfcd5b3960d5af27087f3672c1ab270fb5291f9587316065c003ed4ee5b1063d5007"
+        );
+        assert_eq!(d.decode(&out).unwrap(), resp3);
+        assert_eq!(d.table().len(), 3);
+        assert_eq!(d.table().size(), 215);
+    }
+
+    #[test]
+    fn size_update_after_field_rejected() {
+        let mut d = Decoder::new();
+        // 0x82 (:method GET) followed by a size update 0x20.
+        assert!(d.decode(&[0x82, 0x20]).is_err());
+    }
+
+    #[test]
+    fn invalid_index_rejected() {
+        let mut d = Decoder::new();
+        // Indexed field 70 with empty dynamic table.
+        let mut buf = Vec::new();
+        integer::encode(70, 7, 0x80, &mut buf);
+        assert_eq!(d.decode(&buf), Err(Error::InvalidIndex));
+        // Index 0 is never valid.
+        assert_eq!(d.decode(&[0x80]), Err(Error::InvalidIndex));
+    }
+
+    #[test]
+    fn never_indexed_literal_decodes_and_skips_table() {
+        // 0001xxxx: never-indexed literal, new name "a" value "b".
+        let buf = [0x10, 0x01, b'a', 0x01, b'b'];
+        let mut d = Decoder::new();
+        assert_eq!(d.decode(&buf).unwrap(), vec![h("a", "b")]);
+        assert_eq!(d.table().len(), 0);
+    }
+
+    #[test]
+    fn truncated_literal_rejected() {
+        let mut d = Decoder::new();
+        // Literal with indexing, new name, claims a 10-byte name but ends.
+        assert_eq!(d.decode(&[0x40, 0x0a, b'x']), Err(Error::Truncated));
+    }
+
+    #[test]
+    fn encoder_decoder_state_stays_synchronized() {
+        let mut e = Encoder::new();
+        let mut d = Decoder::new();
+        for i in 0..50 {
+            let hs = vec![
+                h(":method", "GET"),
+                h(":path", &format!("/resource/{i}")),
+                h("x-trace", &format!("run-{}", i % 7)),
+            ];
+            let block = e.encode(&hs);
+            assert_eq!(d.decode(&block).unwrap(), hs);
+        }
+        assert_eq!(e.table().size(), d.table().size());
+        assert_eq!(e.table().len(), d.table().len());
+    }
+}

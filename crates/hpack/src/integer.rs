@@ -1,0 +1,133 @@
+//! HPACK prefix integers (RFC 7541 §5.1).
+//!
+//! An integer is encoded into the low `prefix` bits of the first octet; if
+//! it does not fit, the prefix is filled with ones and the remainder follows
+//! in little-endian base-128 groups with a continuation bit.
+
+use crate::Error;
+
+/// Encode `value` with an `prefix`-bit prefix, OR-ing `first_byte_flags`
+/// into the first octet's high bits.
+pub fn encode(value: u64, prefix: u8, first_byte_flags: u8, out: &mut Vec<u8>) {
+    debug_assert!((1..=8).contains(&prefix));
+    let max_prefix = (1u64 << prefix) - 1;
+    if value < max_prefix {
+        out.push(first_byte_flags | value as u8);
+        return;
+    }
+    out.push(first_byte_flags | max_prefix as u8);
+    let mut rest = value - max_prefix;
+    while rest >= 128 {
+        out.push((rest % 128) as u8 | 0x80);
+        rest /= 128;
+    }
+    out.push(rest as u8);
+}
+
+/// Decode an integer with an `prefix`-bit prefix from `buf` starting at
+/// `*pos`; advances `*pos` past the integer.
+pub fn decode(buf: &[u8], pos: &mut usize, prefix: u8) -> Result<u64, Error> {
+    debug_assert!((1..=8).contains(&prefix));
+    let first = *buf.get(*pos).ok_or(Error::Truncated)?;
+    *pos += 1;
+    let max_prefix = (1u64 << prefix) - 1;
+    let mut value = (first as u64) & max_prefix;
+    if value < max_prefix {
+        return Ok(value);
+    }
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(Error::Truncated)?;
+        *pos += 1;
+        let group = (byte & 0x7f) as u64;
+        value = value
+            .checked_add(group.checked_shl(shift).ok_or(Error::IntegerOverflow)?)
+            .ok_or(Error::IntegerOverflow)?;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 56 {
+            return Err(Error::IntegerOverflow);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(value: u64, prefix: u8) {
+        let mut buf = Vec::new();
+        encode(value, prefix, 0, &mut buf);
+        let mut pos = 0;
+        assert_eq!(decode(&buf, &mut pos, prefix).unwrap(), value);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn rfc7541_c_1_1_ten_with_5bit_prefix() {
+        // C.1.1: encoding 10 with a 5-bit prefix ⇒ 0b01010.
+        let mut buf = Vec::new();
+        encode(10, 5, 0, &mut buf);
+        assert_eq!(buf, [0b01010]);
+    }
+
+    #[test]
+    fn rfc7541_c_1_2_1337_with_5bit_prefix() {
+        // C.1.2: 1337 ⇒ 1f 9a 0a.
+        let mut buf = Vec::new();
+        encode(1337, 5, 0, &mut buf);
+        assert_eq!(buf, [0x1f, 0x9a, 0x0a]);
+        let mut pos = 0;
+        assert_eq!(decode(&buf, &mut pos, 5).unwrap(), 1337);
+    }
+
+    #[test]
+    fn rfc7541_c_1_3_42_on_octet_boundary() {
+        // C.1.3: 42 with an 8-bit prefix ⇒ 0x2a.
+        let mut buf = Vec::new();
+        encode(42, 8, 0, &mut buf);
+        assert_eq!(buf, [0x2a]);
+    }
+
+    #[test]
+    fn flags_are_preserved() {
+        let mut buf = Vec::new();
+        encode(3, 4, 0x80, &mut buf);
+        assert_eq!(buf, [0x83]);
+        let mut pos = 0;
+        assert_eq!(decode(&buf, &mut pos, 4).unwrap(), 3);
+    }
+
+    #[test]
+    fn boundary_values_round_trip() {
+        for prefix in 1..=8 {
+            let max_prefix = (1u64 << prefix) - 1;
+            for v in [0, 1, max_prefix - 1, max_prefix, max_prefix + 1, 127, 128, 16384, u32::MAX as u64]
+            {
+                if v == 0 && max_prefix == 0 {
+                    continue;
+                }
+                round_trip(v, prefix);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let buf = [0x1f]; // prefix filled, continuation missing
+        let mut pos = 0;
+        assert_eq!(decode(&buf, &mut pos, 5), Err(Error::Truncated));
+        let mut pos = 0;
+        assert_eq!(decode(&[], &mut pos, 5), Err(Error::Truncated));
+    }
+
+    #[test]
+    fn unbounded_continuation_errors() {
+        let mut buf = vec![0x1f];
+        buf.extend([0xff; 12]);
+        let mut pos = 0;
+        assert_eq!(decode(&buf, &mut pos, 5), Err(Error::IntegerOverflow));
+    }
+}

@@ -1,0 +1,45 @@
+//! # h2push-hpack — HPACK header compression (RFC 7541)
+//!
+//! A from-scratch implementation of HPACK, the header compression used by
+//! the HTTP/2 connections the paper's testbed replays (§2.1): prefix
+//! integers, the canonical Huffman code of Appendix B, the static table of
+//! Appendix A, a size-bounded dynamic table, and an encoder/decoder pair
+//! validated against the RFC's Appendix C test vectors.
+
+pub mod codec;
+pub mod huffman;
+pub mod integer;
+pub mod table;
+
+pub use codec::{Decoder, Encoder, HuffmanPolicy};
+pub use table::{Header, IndexTable, Match, STATIC_TABLE};
+
+/// HPACK processing error; all of these are connection errors of type
+/// COMPRESSION_ERROR at the HTTP/2 layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// Input ended in the middle of a field.
+    Truncated,
+    /// A prefix integer exceeded the implementation limit.
+    IntegerOverflow,
+    /// Invalid Huffman padding, an EOS symbol, or an undefined code.
+    InvalidHuffman,
+    /// A (static or dynamic) table index was out of range.
+    InvalidIndex,
+    /// A dynamic table size update exceeded the protocol maximum.
+    SizeUpdateTooLarge,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "truncated HPACK block"),
+            Error::IntegerOverflow => write!(f, "HPACK integer overflow"),
+            Error::InvalidHuffman => write!(f, "invalid Huffman data"),
+            Error::InvalidIndex => write!(f, "invalid table index"),
+            Error::SizeUpdateTooLarge => write!(f, "dynamic table size update above limit"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,332 @@
+//! HPACK indexing tables (RFC 7541 §2.3, Appendix A).
+
+use std::collections::VecDeque;
+
+/// A header field: name and value as byte strings.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Header {
+    /// Field name (lowercase for HTTP/2).
+    pub name: Vec<u8>,
+    /// Field value.
+    pub value: Vec<u8>,
+}
+
+impl Header {
+    /// Convenience constructor from string slices.
+    pub fn new(name: &str, value: &str) -> Self {
+        Header { name: name.as_bytes().to_vec(), value: value.as_bytes().to_vec() }
+    }
+
+    /// The size of an entry per §4.1: name length + value length + 32.
+    pub fn table_size(&self) -> usize {
+        self.name.len() + self.value.len() + 32
+    }
+}
+
+/// The 61-entry static table of Appendix A, 1-indexed.
+pub const STATIC_TABLE: [(&str, &str); 61] = [
+    (":authority", ""),
+    (":method", "GET"),
+    (":method", "POST"),
+    (":path", "/"),
+    (":path", "/index.html"),
+    (":scheme", "http"),
+    (":scheme", "https"),
+    (":status", "200"),
+    (":status", "204"),
+    (":status", "206"),
+    (":status", "304"),
+    (":status", "400"),
+    (":status", "404"),
+    (":status", "500"),
+    ("accept-charset", ""),
+    ("accept-encoding", "gzip, deflate"),
+    ("accept-language", ""),
+    ("accept-ranges", ""),
+    ("accept", ""),
+    ("access-control-allow-origin", ""),
+    ("age", ""),
+    ("allow", ""),
+    ("authorization", ""),
+    ("cache-control", ""),
+    ("content-disposition", ""),
+    ("content-encoding", ""),
+    ("content-language", ""),
+    ("content-length", ""),
+    ("content-location", ""),
+    ("content-range", ""),
+    ("content-type", ""),
+    ("cookie", ""),
+    ("date", ""),
+    ("etag", ""),
+    ("expect", ""),
+    ("expires", ""),
+    ("from", ""),
+    ("host", ""),
+    ("if-match", ""),
+    ("if-modified-since", ""),
+    ("if-none-match", ""),
+    ("if-range", ""),
+    ("if-unmodified-since", ""),
+    ("last-modified", ""),
+    ("link", ""),
+    ("location", ""),
+    ("max-forwards", ""),
+    ("proxy-authenticate", ""),
+    ("proxy-authorization", ""),
+    ("range", ""),
+    ("referer", ""),
+    ("refresh", ""),
+    ("retry-after", ""),
+    ("server", ""),
+    ("set-cookie", ""),
+    ("strict-transport-security", ""),
+    ("transfer-encoding", ""),
+    ("user-agent", ""),
+    ("vary", ""),
+    ("via", ""),
+    ("www-authenticate", ""),
+];
+
+/// Result of searching the combined index space for a header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Match {
+    /// Exact name+value match at this index.
+    Full(usize),
+    /// Name-only match at this index.
+    Name(usize),
+    /// No match.
+    None,
+}
+
+/// The dynamic table plus the combined (static ∥ dynamic) index space.
+///
+/// Indices are 1-based; 1..=61 address the static table, 62.. address the
+/// dynamic table newest-first (§2.3.3).
+#[derive(Debug, Clone)]
+pub struct IndexTable {
+    entries: VecDeque<Header>,
+    size: usize,
+    max_size: usize,
+    /// The protocol ceiling for `max_size` (SETTINGS_HEADER_TABLE_SIZE on
+    /// the decoder side).
+    capacity_limit: usize,
+}
+
+impl IndexTable {
+    /// Create a table with the HTTP/2 default size of 4096 octets.
+    pub fn new() -> Self {
+        Self::with_limit(4096)
+    }
+
+    /// Create a table whose size and ceiling are both `limit`.
+    pub fn with_limit(limit: usize) -> Self {
+        IndexTable { entries: VecDeque::new(), size: 0, max_size: limit, capacity_limit: limit }
+    }
+
+    /// Current dynamic table size in octets (§4.1 accounting).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Current maximum size.
+    pub fn max_size(&self) -> usize {
+        self.max_size
+    }
+
+    /// Number of dynamic entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the dynamic table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Change the maximum size (a "dynamic table size update"), evicting as
+    /// needed. Fails if above the protocol ceiling.
+    pub fn set_max_size(&mut self, new_max: usize) -> Result<(), crate::Error> {
+        if new_max > self.capacity_limit {
+            return Err(crate::Error::SizeUpdateTooLarge);
+        }
+        self.max_size = new_max;
+        self.evict();
+        Ok(())
+    }
+
+    /// Raise or lower the protocol ceiling (SETTINGS change).
+    pub fn set_capacity_limit(&mut self, limit: usize) {
+        self.capacity_limit = limit;
+        if self.max_size > limit {
+            self.max_size = limit;
+            self.evict();
+        }
+    }
+
+    /// Insert a header at the front of the dynamic table (§4.4). An entry
+    /// larger than the whole table empties it.
+    pub fn insert(&mut self, header: Header) {
+        let esize = header.table_size();
+        self.size += esize;
+        self.entries.push_front(header);
+        self.evict();
+    }
+
+    fn evict(&mut self) {
+        while self.size > self.max_size {
+            match self.entries.pop_back() {
+                Some(h) => self.size -= h.table_size(),
+                None => {
+                    // Inserting an oversized entry leaves an empty table.
+                    self.size = 0;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Resolve a 1-based index in the combined space.
+    pub fn get(&self, index: usize) -> Result<Header, crate::Error> {
+        if index == 0 {
+            return Err(crate::Error::InvalidIndex);
+        }
+        if index <= STATIC_TABLE.len() {
+            let (n, v) = STATIC_TABLE[index - 1];
+            return Ok(Header::new(n, v));
+        }
+        self.entries
+            .get(index - STATIC_TABLE.len() - 1)
+            .cloned()
+            .ok_or(crate::Error::InvalidIndex)
+    }
+
+    /// Find the best index for `header`: an exact match if one exists,
+    /// otherwise a name match. Static entries win ties (smaller indices
+    /// compress better).
+    pub fn find(&self, header: &Header) -> Match {
+        let mut name_match: Option<usize> = None;
+        for (i, (n, v)) in STATIC_TABLE.iter().enumerate() {
+            if n.as_bytes() == header.name.as_slice() {
+                if v.as_bytes() == header.value.as_slice() {
+                    return Match::Full(i + 1);
+                }
+                name_match.get_or_insert(i + 1);
+            }
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.name == header.name {
+                let idx = STATIC_TABLE.len() + i + 1;
+                if e.value == header.value {
+                    return Match::Full(idx);
+                }
+                name_match.get_or_insert(idx);
+            }
+        }
+        match name_match {
+            Some(i) => Match::Name(i),
+            None => Match::None,
+        }
+    }
+}
+
+impl Default for IndexTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_table_sanity() {
+        assert_eq!(STATIC_TABLE.len(), 61);
+        assert_eq!(STATIC_TABLE[0].0, ":authority");
+        assert_eq!(STATIC_TABLE[1], (":method", "GET"));
+        assert_eq!(STATIC_TABLE[60].0, "www-authenticate");
+    }
+
+    #[test]
+    fn get_static_and_dynamic() {
+        let mut t = IndexTable::new();
+        assert_eq!(t.get(2).unwrap(), Header::new(":method", "GET"));
+        t.insert(Header::new("x-a", "1"));
+        t.insert(Header::new("x-b", "2"));
+        // Newest entry is index 62.
+        assert_eq!(t.get(62).unwrap(), Header::new("x-b", "2"));
+        assert_eq!(t.get(63).unwrap(), Header::new("x-a", "1"));
+        assert!(t.get(64).is_err());
+        assert!(t.get(0).is_err());
+    }
+
+    #[test]
+    fn entry_size_accounting() {
+        // §4.1: size = len(name) + len(value) + 32.
+        let h = Header::new("custom-key", "custom-header");
+        assert_eq!(h.table_size(), 10 + 13 + 32);
+        let mut t = IndexTable::new();
+        t.insert(h);
+        assert_eq!(t.size(), 55);
+    }
+
+    #[test]
+    fn eviction_on_overflow() {
+        let mut t = IndexTable::with_limit(100);
+        t.insert(Header::new("aaaa", "bbbb")); // 40
+        t.insert(Header::new("cccc", "dddd")); // 40
+        assert_eq!(t.len(), 2);
+        t.insert(Header::new("eeee", "ffff")); // 40 → evicts oldest
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.size(), 80);
+        assert_eq!(t.get(62).unwrap(), Header::new("eeee", "ffff"));
+        assert_eq!(t.get(63).unwrap(), Header::new("cccc", "dddd"));
+    }
+
+    #[test]
+    fn oversized_entry_empties_table() {
+        let mut t = IndexTable::with_limit(50);
+        t.insert(Header::new("a", "b"));
+        assert_eq!(t.len(), 1);
+        t.insert(Header::new("name", &"v".repeat(100)));
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.size(), 0);
+    }
+
+    #[test]
+    fn size_update_evicts() {
+        let mut t = IndexTable::with_limit(4096);
+        for i in 0..10 {
+            t.insert(Header::new(&format!("h{i}"), "v"));
+        }
+        t.set_max_size(70).unwrap();
+        assert!(t.size() <= 70);
+        assert_eq!(t.len(), 2);
+        assert!(t.set_max_size(5000).is_err());
+    }
+
+    #[test]
+    fn find_prefers_full_match() {
+        let mut t = IndexTable::new();
+        assert_eq!(t.find(&Header::new(":method", "GET")), Match::Full(2));
+        assert_eq!(t.find(&Header::new(":method", "PATCH")), Match::Name(2));
+        assert_eq!(t.find(&Header::new("x-new", "v")), Match::None);
+        t.insert(Header::new("x-new", "v"));
+        assert_eq!(t.find(&Header::new("x-new", "v")), Match::Full(62));
+        // Static name match beats dynamic full match? No — full match wins.
+        t.insert(Header::new(":method", "PATCH"));
+        assert_eq!(t.find(&Header::new(":method", "PATCH")), Match::Full(62));
+    }
+
+    #[test]
+    fn capacity_limit_shrinks_max() {
+        let mut t = IndexTable::with_limit(4096);
+        for i in 0..20 {
+            t.insert(Header::new(&format!("header-{i}"), "value"));
+        }
+        t.set_capacity_limit(100);
+        assert!(t.size() <= 100);
+        assert_eq!(t.max_size(), 100);
+    }
+}

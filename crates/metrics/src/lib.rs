@@ -1,0 +1,73 @@
+//! # h2push-metrics — statistics for the paper's evaluation
+//!
+//! PLT and SpeedIndex come from the browser model; this crate supplies the
+//! statistics the paper reports them with: medians over 31 runs, standard
+//! errors (Fig. 2a), CDFs over site sets (Figs. 2b/3), means with Student-t
+//! confidence intervals at 95 % (Fig. 4) and 99.5 % (Fig. 6), and relative
+//! deltas against a baseline (Δ < 0 is better throughout the paper).
+
+pub mod stats;
+
+pub use stats::{cdf_points, percentile, RunStats};
+
+/// Relative change in percent of `value` against `baseline`
+/// (−50 ⇒ halved; the paper plots these as "avg. relative changes").
+pub fn relative_change_pct(value: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        return 0.0;
+    }
+    (value - baseline) / baseline * 100.0
+}
+
+/// Absolute delta `value − baseline` (the paper's Δ plots, Δ < 0 better).
+pub fn delta(value: f64, baseline: f64) -> f64 {
+    value - baseline
+}
+
+/// Share of observations strictly below `threshold` (for statements like
+/// "52 % of sites have < 20 % pushable objects").
+pub fn share_below(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v < threshold).count() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_change() {
+        assert_eq!(relative_change_pct(50.0, 100.0), -50.0);
+        assert_eq!(relative_change_pct(150.0, 100.0), 50.0);
+        assert_eq!(relative_change_pct(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn delta_sign_convention() {
+        assert!(delta(90.0, 100.0) < 0.0, "faster is negative");
+    }
+
+    #[test]
+    fn share_below_counts_strictly() {
+        let v = [0.1, 0.2, 0.3];
+        assert!((share_below(&v, 0.2) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(share_below(&[], 1.0), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod helper_tests {
+    use crate::stats::{cdf_points, percentile};
+
+    #[test]
+    fn cdf_and_percentile_agree_on_median() {
+        let v = [5.0, 1.0, 9.0, 3.0, 7.0];
+        let p50 = percentile(&v, 50.0);
+        assert_eq!(p50, 5.0);
+        let cdf = cdf_points(&v);
+        let below: usize = cdf.iter().filter(|&&(x, _)| x <= p50).count();
+        assert_eq!(below, 3);
+    }
+}

@@ -1,0 +1,258 @@
+//! Descriptive statistics over repeated measurements.
+
+/// Summary statistics of one metric over repeated runs (the paper uses 31
+/// repetitions per configuration, §4.1).
+///
+/// ```
+/// use h2push_metrics::RunStats;
+///
+/// let s = RunStats::of(&[120.0, 118.0, 122.0, 119.0, 121.0]);
+/// assert_eq!(s.median, 120.0);
+/// assert!(s.std_err < 1.0);
+/// assert!(s.ci_half_width(0.995) > s.ci_half_width(0.95));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (the paper's default reporting statistic).
+    pub median: f64,
+    /// Sample standard deviation (n−1).
+    pub std_dev: f64,
+    /// Standard error of the mean σ/√n — the Fig. 2a statistic σx̄.
+    pub std_err: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl RunStats {
+    /// Compute the summary of `values`. Panics on an empty slice.
+    pub fn of(values: &[f64]) -> RunStats {
+        assert!(!values.is_empty(), "no observations");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let std_dev = var.sqrt();
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        RunStats {
+            n,
+            mean,
+            median: percentile_sorted(&sorted, 50.0),
+            std_dev,
+            std_err: std_dev / (n as f64).sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+        }
+    }
+
+    /// Student-t confidence interval of the mean at `level` ∈ {0.95,
+    /// 0.995} (the paper's Fig. 4 and Fig. 6 bars): returns the half-width.
+    pub fn ci_half_width(&self, level: f64) -> f64 {
+        t_critical(level, self.n.saturating_sub(1)) * self.std_err
+    }
+}
+
+/// Two-sided Student-t critical value for confidence `level` and `df`
+/// degrees of freedom. Exact values are tabulated for the paper's run
+/// counts; other dfs interpolate or fall back to the normal quantile.
+fn t_critical(level: f64, df: usize) -> f64 {
+    // (df, t_95, t_99.5) — two-sided.
+    const TABLE: &[(usize, f64, f64)] = &[
+        (1, 12.706, 127.32),
+        (2, 4.303, 14.089),
+        (3, 3.182, 7.453),
+        (4, 2.776, 5.598),
+        (5, 2.571, 4.773),
+        (10, 2.228, 3.581),
+        (15, 2.131, 3.286),
+        (20, 2.086, 3.153),
+        (30, 2.042, 3.030),
+        (60, 2.000, 2.915),
+        (120, 1.980, 2.860),
+    ];
+    let pick = |t95: f64, t995: f64| -> f64 {
+        if (level - 0.95).abs() < 1e-9 {
+            t95
+        } else if (level - 0.995).abs() < 1e-9 {
+            t995
+        } else {
+            // Normal fallback for other levels.
+            normal_quantile(0.5 + level / 2.0)
+        }
+    };
+    if df == 0 {
+        return f64::INFINITY;
+    }
+    let mut prev = TABLE[0];
+    for &row in TABLE {
+        if df == row.0 {
+            return pick(row.1, row.2);
+        }
+        if df < row.0 {
+            // Linear interpolation between brackets.
+            let f = (df - prev.0) as f64 / (row.0 - prev.0) as f64;
+            return pick(prev.1 + f * (row.1 - prev.1), prev.2 + f * (row.2 - prev.2));
+        }
+        prev = row;
+    }
+    pick(1.96, 2.807)
+}
+
+/// Acklam-style rational approximation of the standard normal quantile.
+fn normal_quantile(p: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p));
+    // Beasley-Springer-Moro.
+    let a = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    let b = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    let c = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.93816398269878e+00,
+    ];
+    let d = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let plow = 0.02425;
+    if p < plow {
+        let q = (-2.0 * p.ln()).sqrt();
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5])
+            / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if p > 1.0 - plow {
+        return -normal_quantile(1.0 - p);
+    }
+    let q = p - 0.5;
+    let r = q * q;
+    (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q
+        / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+}
+
+/// `p`-th percentile (0..=100) by linear interpolation.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    percentile_sorted(&sorted, p)
+}
+
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Empirical CDF as `(value, fraction ≤ value)` points, ready for the
+/// paper's "CDF (sites)" plots.
+pub fn cdf_points(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len();
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = RunStats::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+        assert!((s.std_err - (2.5f64).sqrt() / 5.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = RunStats::of(&[7.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn median_of_even_count_interpolates() {
+        let s = RunStats::of(&[1.0, 2.0, 3.0, 10.0]);
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn ci_uses_t_for_31_runs() {
+        // 31 runs ⇒ df 30 ⇒ t95 = 2.042.
+        let values: Vec<f64> = (0..31).map(|i| i as f64).collect();
+        let s = RunStats::of(&values);
+        let hw = s.ci_half_width(0.95);
+        assert!((hw / s.std_err - 2.042).abs() < 1e-9);
+        let hw995 = s.ci_half_width(0.995);
+        assert!((hw995 / s.std_err - 3.030).abs() < 1e-9);
+        assert!(hw995 > hw);
+    }
+
+    #[test]
+    fn t_interpolates_between_rows() {
+        // df 25 lies between 20 (2.086) and 30 (2.042).
+        let t = t_critical(0.95, 25);
+        assert!((2.042..2.086).contains(&t));
+    }
+
+    #[test]
+    fn percentile_interpolation() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 100.0), 40.0);
+        assert_eq!(percentile(&v, 50.0), 25.0);
+    }
+
+    #[test]
+    fn cdf_shape() {
+        let pts = cdf_points(&[3.0, 1.0, 2.0]);
+        assert_eq!(pts, vec![(1.0, 1.0 / 3.0), (2.0, 2.0 / 3.0), (3.0, 1.0)]);
+    }
+
+    #[test]
+    fn normal_quantile_sanity() {
+        assert!((normal_quantile(0.975) - 1.95996).abs() < 1e-3);
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.025) + 1.95996).abs() < 1e-3);
+    }
+}

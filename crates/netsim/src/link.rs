@@ -1,0 +1,231 @@
+//! Bottleneck link model.
+//!
+//! A [`Link`] is a unidirectional FIFO pipe with a fixed bit rate, a fixed
+//! propagation delay and a drop-tail queue, mirroring the paper's `tc`
+//! emulated DSL profile (§4.1: 50 ms RTT, 16 Mbit/s downlink, 1 Mbit/s
+//! uplink).
+//!
+//! Rather than modelling an explicit dequeue process, the link tracks the
+//! virtual time at which its transmitter becomes free (`busy_until`). A
+//! packet handed to the link at time `t` finishes serializing at
+//! `max(t, busy_until) + size/rate` and arrives `delay` later. Because every
+//! packet passes through the same `busy_until` accounting, concurrent
+//! connections sharing the link contend for its capacity exactly as they
+//! would in a FIFO queue.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Static description of a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Transmission rate in bits per second. `None` means infinitely fast
+    /// (used for well-provisioned server uplinks in the testbed).
+    pub rate_bps: Option<u64>,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Drop-tail queue capacity in bytes. Packets that would push the queue
+    /// beyond this limit are dropped.
+    pub queue_bytes: usize,
+}
+
+impl LinkSpec {
+    /// An effectively infinite link (no serialization delay, no loss) with
+    /// the given propagation delay.
+    pub fn infinite(delay: SimDuration) -> Self {
+        LinkSpec { rate_bps: None, delay, queue_bytes: usize::MAX }
+    }
+
+    /// A rate-limited link with a generous default queue (256 KB — large
+    /// enough that the paper's loss-free DSL setting never drops).
+    pub fn rated(rate_bps: u64, delay: SimDuration) -> Self {
+        LinkSpec { rate_bps: Some(rate_bps), delay, queue_bytes: 256 * 1024 }
+    }
+
+    /// The paper's DSL downlink: 16 Mbit/s, half the 50 ms RTT as one-way
+    /// propagation delay.
+    pub fn dsl_downlink() -> Self {
+        Self::rated(16_000_000, SimDuration::from_micros(25_000))
+    }
+
+    /// The paper's DSL uplink: 1 Mbit/s.
+    pub fn dsl_uplink() -> Self {
+        Self::rated(1_000_000, SimDuration::from_micros(25_000))
+    }
+}
+
+/// Outcome of handing a packet to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transmit {
+    /// The packet will arrive at the far end at this instant.
+    Delivered(SimTime),
+    /// The drop-tail queue was full; the packet is lost.
+    Dropped,
+}
+
+/// Runtime state of a link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    spec: LinkSpec,
+    /// Instant at which the transmitter finishes the last accepted packet.
+    busy_until: SimTime,
+    /// Total bytes ever accepted (for diagnostics / tests).
+    bytes_accepted: u64,
+    /// Total packets dropped by the queue.
+    drops: u64,
+}
+
+impl Link {
+    /// Create a link from its spec.
+    pub fn new(spec: LinkSpec) -> Self {
+        Link { spec, busy_until: SimTime::ZERO, bytes_accepted: 0, drops: 0 }
+    }
+
+    /// The link's static spec.
+    pub fn spec(&self) -> &LinkSpec {
+        &self.spec
+    }
+
+    /// Serialization time for `bytes` on this link.
+    pub fn serialization(&self, bytes: usize) -> SimDuration {
+        match self.spec.rate_bps {
+            None => SimDuration::ZERO,
+            Some(rate) => SimDuration::from_secs_f64(bytes as f64 * 8.0 / rate as f64),
+        }
+    }
+
+    /// Bytes currently sitting in the queue at `now` (i.e. accepted but not
+    /// yet serialized), in units of transmission time converted back to
+    /// bytes.
+    pub fn queued_bytes(&self, now: SimTime) -> usize {
+        match self.spec.rate_bps {
+            None => 0,
+            Some(rate) => {
+                let backlog = self.busy_until.since(now);
+                (backlog.as_micros() as f64 * rate as f64 / 8e6) as usize
+            }
+        }
+    }
+
+    /// Hand a packet of `bytes` to the link at time `now`.
+    pub fn transmit(&mut self, now: SimTime, bytes: usize) -> Transmit {
+        if self.queued_bytes(now).saturating_add(bytes) > self.spec.queue_bytes {
+            self.drops += 1;
+            return Transmit::Dropped;
+        }
+        let start = self.busy_until.max(now);
+        let done = start + self.serialization(bytes);
+        self.busy_until = done;
+        self.bytes_accepted += bytes as u64;
+        Transmit::Delivered(done + self.spec.delay)
+    }
+
+    /// Total packets dropped so far.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Total bytes accepted so far.
+    pub fn bytes_accepted(&self) -> u64 {
+        self.bytes_accepted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbit(m: u64) -> u64 {
+        m * 1_000_000
+    }
+
+    #[test]
+    fn serialization_plus_propagation() {
+        let mut l = Link::new(LinkSpec::rated(mbit(16), SimDuration::from_millis(25)));
+        // 1500 B at 16 Mbit/s = 750 µs, plus 25 ms propagation.
+        match l.transmit(SimTime::ZERO, 1500) {
+            Transmit::Delivered(t) => assert_eq!(t.as_micros(), 750 + 25_000),
+            Transmit::Dropped => panic!("unexpected drop"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_packets_queue() {
+        let mut l = Link::new(LinkSpec::rated(mbit(16), SimDuration::ZERO));
+        let t1 = match l.transmit(SimTime::ZERO, 1500) {
+            Transmit::Delivered(t) => t,
+            _ => panic!(),
+        };
+        let t2 = match l.transmit(SimTime::ZERO, 1500) {
+            Transmit::Delivered(t) => t,
+            _ => panic!(),
+        };
+        assert_eq!(t2.as_micros(), 2 * t1.as_micros());
+    }
+
+    #[test]
+    fn fifo_sharing_between_flows() {
+        // Two flows handing packets alternately share capacity 50/50.
+        let mut l = Link::new(LinkSpec::rated(mbit(8), SimDuration::ZERO));
+        let mut last = SimTime::ZERO;
+        for _ in 0..10 {
+            for _flow in 0..2 {
+                match l.transmit(SimTime::ZERO, 1000) {
+                    Transmit::Delivered(t) => {
+                        assert!(t > last);
+                        last = t;
+                    }
+                    _ => panic!(),
+                }
+            }
+        }
+        // 20 packets × 1000 B × 8 bits at 8 Mbit/s = 20 ms.
+        assert_eq!(last.as_micros(), 20_000);
+    }
+
+    #[test]
+    fn droptail_queue_drops() {
+        let mut l = Link::new(LinkSpec {
+            rate_bps: Some(mbit(1)),
+            delay: SimDuration::ZERO,
+            queue_bytes: 3000,
+        });
+        let mut delivered = 0;
+        let mut dropped = 0;
+        for _ in 0..10 {
+            match l.transmit(SimTime::ZERO, 1500) {
+                Transmit::Delivered(_) => delivered += 1,
+                Transmit::Dropped => dropped += 1,
+            }
+        }
+        assert!(delivered >= 2, "first packets fit in the queue");
+        assert!(dropped > 0, "later packets overflow");
+        assert_eq!(l.drops(), dropped as u64);
+    }
+
+    #[test]
+    fn infinite_link_only_propagates() {
+        let mut l = Link::new(LinkSpec::infinite(SimDuration::from_millis(5)));
+        match l.transmit(SimTime::from_millis(1), 1_000_000) {
+            Transmit::Delivered(t) => assert_eq!(t, SimTime::from_millis(6)),
+            _ => panic!(),
+        }
+        assert_eq!(l.queued_bytes(SimTime::ZERO), 0);
+    }
+
+    #[test]
+    fn queue_drains_over_time() {
+        let mut l = Link::new(LinkSpec {
+            rate_bps: Some(mbit(1)),
+            delay: SimDuration::ZERO,
+            queue_bytes: 4500,
+        });
+        for _ in 0..3 {
+            assert!(matches!(l.transmit(SimTime::ZERO, 1500), Transmit::Delivered(_)));
+        }
+        assert!(matches!(l.transmit(SimTime::ZERO, 1500), Transmit::Dropped));
+        // 1500 B at 1 Mbit/s = 12 ms per packet; after 24 ms two have left.
+        let later = SimTime::from_millis(24);
+        assert!(l.queued_bytes(later) <= 1500);
+        assert!(matches!(l.transmit(later, 1500), Transmit::Delivered(_)));
+    }
+}

@@ -1,0 +1,245 @@
+//! # h2push-strategies — Server Push strategies
+//!
+//! Everything the paper varies in §4 and §5: *what* to push, *in which
+//! order*, and *when* (plain child-of-parent pushes vs the Interleaving
+//! Push hard switch). Also the §4.2 computed push order: linearizing the
+//! browser's dependency tree observed over repeated no-push runs with a
+//! majority vote.
+
+pub mod order;
+pub mod paper;
+
+pub use order::{majority_order, RunTrace};
+pub use paper::{paper_strategy, PaperStrategy};
+
+use h2push_webmodel::{Page, ResourceId, ResourceType};
+
+/// A concrete push strategy as executed by the replay server for one page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Strategy {
+    /// The client disables push (`SETTINGS_ENABLE_PUSH = 0`), §2.1.
+    NoPush,
+    /// Push these resources (in order) upon the request for the document;
+    /// h2o default scheduling applies (children of the HTML stream).
+    PushList {
+        /// Resources to push, in announcement order.
+        order: Vec<ResourceId>,
+    },
+    /// The paper's §5 Interleaving Push: send `offset` bytes of the
+    /// document, hard-switch to pushing `critical` (in order), resume the
+    /// document, and push `after` once the document has finished.
+    Interleaved {
+        /// Document bytes to send before the switch.
+        offset: usize,
+        /// Resources pushed during the switch.
+        critical: Vec<ResourceId>,
+        /// Resources pushed after the document completes.
+        after: Vec<ResourceId>,
+    },
+}
+
+impl Strategy {
+    /// Does this strategy push anything at all?
+    pub fn pushes(&self) -> bool {
+        match self {
+            Strategy::NoPush => false,
+            Strategy::PushList { order } => !order.is_empty(),
+            Strategy::Interleaved { critical, after, .. } => {
+                !critical.is_empty() || !after.is_empty()
+            }
+        }
+    }
+
+    /// All resources this strategy pushes, in announcement order.
+    pub fn pushed_resources(&self) -> Vec<ResourceId> {
+        match self {
+            Strategy::NoPush => Vec::new(),
+            Strategy::PushList { order } => order.clone(),
+            Strategy::Interleaved { critical, after, .. } => {
+                critical.iter().chain(after.iter()).copied().collect()
+            }
+        }
+    }
+
+    /// Total bytes this strategy would push on `page`.
+    pub fn pushed_bytes(&self, page: &Page) -> usize {
+        self.pushed_resources().iter().map(|&id| page.resource(id).size).sum()
+    }
+}
+
+/// "Push all" (§4.2.1): every pushable resource in the given order
+/// (resources not in `order` are appended in id order).
+pub fn push_all(page: &Page, order: &[ResourceId]) -> Strategy {
+    let pushable = page.pushable();
+    let mut list: Vec<ResourceId> =
+        order.iter().copied().filter(|id| pushable.contains(id)).collect();
+    for id in pushable {
+        if !list.contains(&id) {
+            list.push(id);
+        }
+    }
+    Strategy::PushList { order: list }
+}
+
+/// "Push n" (§4.2.1, Fig. 3b): the first `n` of the push-all order.
+pub fn push_first_n(page: &Page, order: &[ResourceId], n: usize) -> Strategy {
+    match push_all(page, order) {
+        Strategy::PushList { mut order } => {
+            order.truncate(n);
+            Strategy::PushList { order }
+        }
+        s => s,
+    }
+}
+
+/// "Push by type" (§4.2.1): only pushable resources of the given types,
+/// keeping the given order.
+pub fn push_by_type(page: &Page, order: &[ResourceId], types: &[ResourceType]) -> Strategy {
+    match push_all(page, order) {
+        Strategy::PushList { order } => Strategy::PushList {
+            order: order
+                .into_iter()
+                .filter(|&id| types.contains(&page.resource(id).rtype))
+                .collect(),
+        },
+        s => s,
+    }
+}
+
+/// "Push as recorded" (§4.1, Fig. 2b): replay the live deployment's list.
+pub fn push_as_recorded(page: &Page) -> Strategy {
+    let pushable = page.pushable();
+    Strategy::PushList {
+        order: page.recorded_push.iter().copied().filter(|id| pushable.contains(id)).collect(),
+    }
+}
+
+/// The critical above-the-fold set used by the §5 "push critical"
+/// strategies: render-blocking CSS, parser-blocking scripts referenced in
+/// the head, fonts, and heavyweight above-the-fold images — restricted to
+/// pushable resources.
+pub fn critical_set(page: &Page) -> Vec<ResourceId> {
+    let pushable = page.pushable();
+    let mut set: Vec<ResourceId> = page
+        .subresources()
+        .iter()
+        .filter(|r| pushable.contains(&r.id))
+        .filter(|r| {
+            let head_ref = matches!(
+                r.discovery,
+                h2push_webmodel::Discovery::Html { offset } if offset < page.head_end
+            );
+            (r.rtype == ResourceType::Css && r.render_blocking)
+                || (r.is_parser_blocking_script() && head_ref)
+                || r.rtype == ResourceType::Font
+                || (r.rtype == ResourceType::Image && r.above_fold && r.visual_weight >= 1.5)
+        })
+        .map(|r| r.id)
+        .collect();
+    // Render-blocking CSS first, then blocking JS, fonts, images — the
+    // order the renderer needs them.
+    set.sort_by_key(|&id| {
+        let r = page.resource(id);
+        let class = match r.rtype {
+            ResourceType::Css => 0,
+            ResourceType::Js => 1,
+            ResourceType::Font => 2,
+            _ => 3,
+        };
+        (class, id)
+    });
+    set
+}
+
+/// The interleave switch point: just past `</head>` plus the first bytes
+/// of `<body>` (the paper switches after 4 KB of wikipedia's HTML whose
+/// head ends around there, and after 12 KB on twitter).
+pub fn interleave_offset(page: &Page) -> usize {
+    (page.head_end + 1024).max(4096).min(page.html_size())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2push_webmodel::{PageBuilder, ResourceSpec};
+
+    fn page() -> Page {
+        let mut b = PageBuilder::new("s", "s.test", 50_000, 5_000);
+        let third = b.origin("ads.x.net", 1, false);
+        b.resource(ResourceSpec::css(0, 20_000, 300, 0.3)); // 1
+        b.resource(ResourceSpec::js(0, 30_000, 1_000, 10_000)); // 2 head JS
+        b.resource(ResourceSpec::image(0, 40_000, 10_000, true, 2.0)); // 3
+        b.resource(ResourceSpec::image(0, 15_000, 20_000, false, 0.0)); // 4
+        b.resource(ResourceSpec::js_async(third, 8_000, 30_000, 1_000)); // 5 third-party
+        b.recorded_push(&[ResourceId(1), ResourceId(4)]);
+        b.build()
+    }
+
+    #[test]
+    fn push_all_respects_authority() {
+        let p = page();
+        let s = push_all(&p, &[]);
+        let pushed = s.pushed_resources();
+        assert_eq!(pushed.len(), 4, "third-party resource must not be pushed");
+        assert!(!pushed.contains(&ResourceId(5)));
+    }
+
+    #[test]
+    fn push_all_preserves_given_order() {
+        let p = page();
+        let s = push_all(&p, &[ResourceId(3), ResourceId(1)]);
+        let pushed = s.pushed_resources();
+        assert_eq!(&pushed[..2], &[ResourceId(3), ResourceId(1)]);
+        assert_eq!(pushed.len(), 4);
+    }
+
+    #[test]
+    fn first_n_truncates() {
+        let p = page();
+        let s = push_first_n(&p, &[ResourceId(1), ResourceId(2), ResourceId(3)], 2);
+        assert_eq!(s.pushed_resources(), vec![ResourceId(1), ResourceId(2)]);
+    }
+
+    #[test]
+    fn by_type_filters() {
+        let p = page();
+        let s = push_by_type(&p, &[], &[ResourceType::Css]);
+        assert_eq!(s.pushed_resources(), vec![ResourceId(1)]);
+        let s = push_by_type(&p, &[], &[ResourceType::Css, ResourceType::Image]);
+        assert_eq!(s.pushed_resources().len(), 3);
+    }
+
+    #[test]
+    fn as_recorded_uses_page_list() {
+        let p = page();
+        let s = push_as_recorded(&p);
+        assert_eq!(s.pushed_resources(), vec![ResourceId(1), ResourceId(4)]);
+    }
+
+    #[test]
+    fn critical_set_orders_css_first() {
+        let p = page();
+        let set = critical_set(&p);
+        assert_eq!(set, vec![ResourceId(1), ResourceId(2), ResourceId(3)]);
+    }
+
+    #[test]
+    fn pushed_bytes_sums() {
+        let p = page();
+        let s = push_as_recorded(&p);
+        assert_eq!(s.pushed_bytes(&p), 35_000);
+        assert!(Strategy::NoPush.pushed_bytes(&p) == 0);
+        assert!(!Strategy::NoPush.pushes());
+    }
+
+    #[test]
+    fn interleave_offset_covers_head() {
+        let p = page();
+        assert_eq!(interleave_offset(&p), 6_024);
+        // Tiny page: clamped to document size.
+        let mut b = PageBuilder::new("tiny", "t.test", 2_000, 500);
+        b.resource(ResourceSpec::css(0, 1_000, 100, 0.5));
+        let tiny = b.build();
+        assert_eq!(interleave_offset(&tiny), 2_000);
+    }
+}

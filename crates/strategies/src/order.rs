@@ -1,0 +1,119 @@
+//! Computed push order (§4.2 "Computing the Push Order").
+//!
+//! The paper replays each site 31 times *without* push, traces the requests
+//! and their priorities, builds the dependency tree, and linearizes it into
+//! a push order. Because client-side processing makes the order unstable
+//! across runs, a **majority vote** fixes the final order. Here the testbed
+//! hands us one request-order trace per run (already the linearization of
+//! the browser's priority tree as the server observed it); the vote ranks
+//! resources by their median observed position.
+
+use h2push_webmodel::ResourceId;
+use std::collections::HashMap;
+
+/// The (server-observed) request order of one replay run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunTrace {
+    /// Resources in the order their requests arrived.
+    pub order: Vec<ResourceId>,
+}
+
+/// Majority-vote linearization over several runs: resources are ranked by
+/// the median position at which they were requested; resources missing
+/// from a run are placed at the end for that run. Ties break by the order
+/// in the first trace (then by id), keeping the result deterministic.
+pub fn majority_order(traces: &[RunTrace]) -> Vec<ResourceId> {
+    if traces.is_empty() {
+        return Vec::new();
+    }
+    let mut positions: HashMap<ResourceId, Vec<usize>> = HashMap::new();
+    let mut universe: Vec<ResourceId> = Vec::new();
+    for t in traces {
+        for (pos, &id) in t.order.iter().enumerate() {
+            if !positions.contains_key(&id) {
+                universe.push(id);
+            }
+            positions.entry(id).or_default().push(pos);
+        }
+    }
+    // Missing observations count as "last".
+    let sentinel = universe.len();
+    for v in positions.values_mut() {
+        while v.len() < traces.len() {
+            v.push(sentinel);
+        }
+        v.sort_unstable();
+    }
+    let first_trace_pos: HashMap<ResourceId, usize> =
+        traces[0].order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let median = |v: &Vec<usize>| -> f64 {
+        let n = v.len();
+        if n % 2 == 1 {
+            v[n / 2] as f64
+        } else {
+            (v[n / 2 - 1] + v[n / 2]) as f64 / 2.0
+        }
+    };
+    universe.sort_by(|a, b| {
+        let ma = median(&positions[a]);
+        let mb = median(&positions[b]);
+        ma.partial_cmp(&mb)
+            .unwrap()
+            .then_with(|| {
+                let fa = first_trace_pos.get(a).copied().unwrap_or(usize::MAX);
+                let fb = first_trace_pos.get(b).copied().unwrap_or(usize::MAX);
+                fa.cmp(&fb)
+            })
+            .then(a.cmp(b))
+    });
+    universe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ids: &[usize]) -> RunTrace {
+        RunTrace { order: ids.iter().map(|&i| ResourceId(i)).collect() }
+    }
+
+    fn ids(v: &[usize]) -> Vec<ResourceId> {
+        v.iter().map(|&i| ResourceId(i)).collect()
+    }
+
+    #[test]
+    fn identical_traces_pass_through() {
+        let out = majority_order(&[t(&[1, 2, 3]), t(&[1, 2, 3]), t(&[1, 2, 3])]);
+        assert_eq!(out, ids(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn majority_wins_over_outlier() {
+        // Two runs say 1 before 2; one run (client jitter) says 2 before 1.
+        let out = majority_order(&[t(&[1, 2, 3]), t(&[2, 1, 3]), t(&[1, 2, 3])]);
+        assert_eq!(out, ids(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn missing_resources_sort_last() {
+        // Resource 9 (script-injected, only sometimes loaded) appears in
+        // one of three runs.
+        let out = majority_order(&[t(&[1, 2]), t(&[1, 2, 9]), t(&[1, 2])]);
+        assert_eq!(out, ids(&[1, 2, 9]));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(majority_order(&[]).is_empty());
+        assert!(majority_order(&[t(&[])]).is_empty());
+    }
+
+    #[test]
+    fn deterministic_tiebreak() {
+        // 1 and 2 perfectly alternate: tie on median; first trace decides.
+        let a = majority_order(&[t(&[1, 2]), t(&[2, 1])]);
+        let b = majority_order(&[t(&[1, 2]), t(&[2, 1])]);
+        assert_eq!(a, b);
+        assert_eq!(a, ids(&[1, 2]));
+    }
+}

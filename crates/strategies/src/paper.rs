@@ -1,0 +1,181 @@
+//! The six §5 strategies of the paper, as (page variant, strategy) recipes.
+//!
+//! | # | name | page | pushes |
+//! |---|------|------|--------|
+//! | i | no push | original | — |
+//! | ii | no push optimized | critical-CSS rewrite | — |
+//! | iii | push all | original | everything pushable (child-of-parent) |
+//! | iv | push all optimized | rewrite | critical set interleaved, rest after the HTML |
+//! | v | push critical | original | critical set (child-of-parent) |
+//! | vi | push critical optimized | rewrite | critical set interleaved |
+//!
+//! "Optimized" always means: the penthouse-style critical-CSS rewrite is
+//! applied *and* the modified (interleaving) scheduler is used; the others
+//! run on the stock h2o scheduler (§5 "Strategies").
+
+use crate::{critical_set, interleave_offset, push_all, Strategy};
+use h2push_webmodel::{rewrite_critical_css, Page, ResourceId};
+
+/// The paper's named §5 strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperStrategy {
+    /// (i) Baseline: push disabled.
+    NoPush,
+    /// (ii) Critical-CSS rewrite, no push.
+    NoPushOptimized,
+    /// (iii) Push every pushable resource (default scheduler).
+    PushAll,
+    /// (iv) Rewrite + interleave the critical set, push the rest after the
+    /// document.
+    PushAllOptimized,
+    /// (v) Push only the critical set (default scheduler).
+    PushCritical,
+    /// (vi) Rewrite + interleave the critical set only.
+    PushCriticalOptimized,
+}
+
+impl PaperStrategy {
+    /// All six, in the paper's order.
+    pub const ALL: [PaperStrategy; 6] = [
+        PaperStrategy::NoPush,
+        PaperStrategy::NoPushOptimized,
+        PaperStrategy::PushAll,
+        PaperStrategy::PushAllOptimized,
+        PaperStrategy::PushCritical,
+        PaperStrategy::PushCriticalOptimized,
+    ];
+
+    /// Label used in reports (matches Fig. 6 legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            PaperStrategy::NoPush => "no push",
+            PaperStrategy::NoPushOptimized => "no push optimized",
+            PaperStrategy::PushAll => "push all",
+            PaperStrategy::PushAllOptimized => "push all optimized",
+            PaperStrategy::PushCritical => "push critical",
+            PaperStrategy::PushCriticalOptimized => "push critical optimized",
+        }
+    }
+}
+
+/// Materialize a paper strategy for `page`: returns the page variant to
+/// deploy (possibly critical-CSS-rewritten) and the push strategy to run
+/// on it.
+pub fn paper_strategy(page: &Page, which: PaperStrategy) -> (Page, Strategy) {
+    match which {
+        PaperStrategy::NoPush => (page.clone(), Strategy::NoPush),
+        PaperStrategy::NoPushOptimized => {
+            let rw = rewrite_critical_css(page);
+            (rw.page, Strategy::NoPush)
+        }
+        PaperStrategy::PushAll => (page.clone(), push_all(page, &[])),
+        PaperStrategy::PushAllOptimized => {
+            let rw = rewrite_critical_css(page);
+            let critical = critical_set(&rw.page);
+            let rest: Vec<ResourceId> = rw
+                .page
+                .pushable()
+                .into_iter()
+                .filter(|id| !critical.contains(id))
+                .collect();
+            let offset = interleave_offset(&rw.page);
+            (rw.page, Strategy::Interleaved { offset, critical, after: rest })
+        }
+        PaperStrategy::PushCritical => {
+            (page.clone(), Strategy::PushList { order: critical_set(page) })
+        }
+        PaperStrategy::PushCriticalOptimized => {
+            let rw = rewrite_critical_css(page);
+            let critical = critical_set(&rw.page);
+            let offset = interleave_offset(&rw.page);
+            (rw.page, Strategy::Interleaved { offset, critical, after: Vec::new() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2push_webmodel::{PageBuilder, ResourceSpec, ResourceType};
+
+    fn page() -> Page {
+        let mut b = PageBuilder::new("p", "p.test", 100_000, 4_000);
+        b.resource(ResourceSpec::css(0, 40_000, 300, 0.2));
+        b.resource(ResourceSpec::js(0, 25_000, 1_000, 20_000));
+        b.resource(ResourceSpec::image(0, 60_000, 30_000, true, 1.0));
+        b.resource(ResourceSpec::image(0, 30_000, 60_000, false, 0.0));
+        b.resource(ResourceSpec::image(0, 45_000, 70_000, false, 0.0));
+        b.text_paint(20_000, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn six_distinct_strategies() {
+        let p = page();
+        for which in PaperStrategy::ALL {
+            let (variant, strategy) = paper_strategy(&p, which);
+            variant.validate().unwrap();
+            match which {
+                PaperStrategy::NoPush | PaperStrategy::NoPushOptimized => {
+                    assert!(!strategy.pushes())
+                }
+                _ => assert!(strategy.pushes(), "{} must push", which.label()),
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_variants_rewrite_the_css() {
+        let p = page();
+        let (v, _) = paper_strategy(&p, PaperStrategy::NoPushOptimized);
+        // The 40 KB sheet was split: critical part (8 KB) + deferred rest.
+        let css: Vec<_> =
+            v.resources.iter().filter(|r| r.rtype == ResourceType::Css).collect();
+        assert_eq!(css.len(), 2);
+        assert!(css.iter().any(|r| r.render_blocking && r.size == 8_000));
+        assert!(css.iter().any(|r| !r.render_blocking && r.size == 32_000));
+    }
+
+    #[test]
+    fn push_critical_optimized_pushes_less_than_push_all_optimized() {
+        // The paper's headline saving: w1 pushes 78 KB instead of 1123 KB.
+        let p = page();
+        let (v_all, s_all) = paper_strategy(&p, PaperStrategy::PushAllOptimized);
+        let (v_crit, s_crit) = paper_strategy(&p, PaperStrategy::PushCriticalOptimized);
+        assert!(s_crit.pushed_bytes(&v_crit) < s_all.pushed_bytes(&v_all) / 2);
+    }
+
+    #[test]
+    fn interleaved_strategies_switch_after_the_head() {
+        let p = page();
+        let (v, s) = paper_strategy(&p, PaperStrategy::PushCriticalOptimized);
+        match s {
+            Strategy::Interleaved { offset, critical, after } => {
+                assert!(offset >= v.head_end);
+                assert!(offset < v.html_size());
+                assert!(!critical.is_empty());
+                assert!(after.is_empty());
+            }
+            other => panic!("expected Interleaved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn push_all_optimized_pushes_everything() {
+        let p = page();
+        let (v, s) = paper_strategy(&p, PaperStrategy::PushAllOptimized);
+        let pushed = s.pushed_resources();
+        assert_eq!(pushed.len(), v.pushable().len(), "all pushable resources covered");
+        // No duplicates.
+        let mut dedup = pushed.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), pushed.len());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(PaperStrategy::PushCriticalOptimized.label(), "push critical optimized");
+        assert_eq!(PaperStrategy::ALL.len(), 6);
+    }
+}

@@ -1,0 +1,106 @@
+//! Fig. 2 — testbed validation (§4.1).
+//!
+//! * Fig. 2a: per-site standard error σx̄ of PLT and SpeedIndex over 31
+//!   runs, testbed vs Internet. The paper finds σx̄ < 100 ms for 95 % of
+//!   sites in the testbed but only 14 % in the Internet.
+//! * Fig. 2b: Δ (push-as-recorded − no-push) of the median PLT and
+//!   SpeedIndex per site, in the testbed; 49 % (PLT) / 35 % (SI) of sites
+//!   see no benefit.
+
+use super::{measure, parallel_map, Scale};
+use crate::harness::Mode;
+use h2push_strategies::{push_as_recorded, Strategy};
+use h2push_webmodel::{generate_set, CorpusKind};
+
+/// One site's variability numbers.
+#[derive(Debug, Clone)]
+pub struct VariabilityRow {
+    /// Site name.
+    pub site: String,
+    /// σx̄ of PLT in the testbed.
+    pub tb_plt_stderr: f64,
+    /// σx̄ of SpeedIndex in the testbed.
+    pub tb_si_stderr: f64,
+    /// σx̄ of PLT in the Internet.
+    pub inet_plt_stderr: f64,
+    /// σx̄ of SpeedIndex in the Internet.
+    pub inet_si_stderr: f64,
+}
+
+/// Fig. 2a data: variability per site, with and without push conditions
+/// folded together as in the paper (the push configuration is used).
+pub fn fig2a_variability(scale: Scale) -> Vec<VariabilityRow> {
+    let sites = generate_set(CorpusKind::PushUsers, scale.sites, scale.seed);
+    parallel_map(sites, |page| {
+        let strategy = push_as_recorded(page);
+        let tb = measure(page, strategy.clone(), Mode::Testbed, scale.runs, scale.seed);
+        let inet = measure(page, strategy, Mode::Internet, scale.runs, scale.seed ^ 0xA5A5);
+        VariabilityRow {
+            site: page.name.clone(),
+            tb_plt_stderr: tb.plt.std_err,
+            tb_si_stderr: tb.speed_index.std_err,
+            inet_plt_stderr: inet.plt.std_err,
+            inet_si_stderr: inet.speed_index.std_err,
+        }
+    })
+}
+
+/// One site's push-vs-no-push deltas (medians, ms; Δ < 0 is better).
+#[derive(Debug, Clone)]
+pub struct DeltaRow {
+    /// Site name.
+    pub site: String,
+    /// Δ median PLT.
+    pub d_plt: f64,
+    /// Δ median SpeedIndex.
+    pub d_si: f64,
+}
+
+/// Fig. 2b data: push-as-recorded vs no-push in the testbed.
+pub fn fig2b_push_vs_nopush(scale: Scale) -> Vec<DeltaRow> {
+    let sites = generate_set(CorpusKind::PushUsers, scale.sites, scale.seed);
+    parallel_map(sites, |page| {
+        let base = measure(page, Strategy::NoPush, Mode::Testbed, scale.runs, scale.seed);
+        let push =
+            measure(page, push_as_recorded(page), Mode::Testbed, scale.runs, scale.seed ^ 0x77);
+        DeltaRow {
+            site: page.name.clone(),
+            d_plt: push.plt.median - base.plt.median,
+            d_si: push.speed_index.median - base.speed_index.median,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2push_metrics::share_below;
+
+    #[test]
+    fn testbed_removes_variability() {
+        let rows = fig2a_variability(Scale { sites: 8, runs: 7, seed: 11 });
+        assert_eq!(rows.len(), 8);
+        let tb: Vec<f64> = rows.iter().map(|r| r.tb_plt_stderr).collect();
+        let inet: Vec<f64> = rows.iter().map(|r| r.inet_plt_stderr).collect();
+        // The paper's claim in miniature: testbed σx̄ below Internet σx̄
+        // for the vast majority of sites.
+        let lower =
+            rows.iter().filter(|r| r.tb_plt_stderr < r.inet_plt_stderr).count() as f64
+                / rows.len() as f64;
+        assert!(lower >= 0.7, "testbed not calmer: {tb:?} vs {inet:?}");
+        // Most testbed sites sit below 100 ms stderr.
+        assert!(share_below(&tb, 100.0) >= 0.6, "testbed σ too large: {tb:?}");
+    }
+
+    #[test]
+    fn push_vs_nopush_has_both_signs() {
+        let rows = fig2b_push_vs_nopush(Scale { sites: 10, runs: 5, seed: 3 });
+        assert_eq!(rows.len(), 10);
+        let improved = rows.iter().filter(|r| r.d_si < 0.0).count();
+        let hurt = rows.iter().filter(|r| r.d_si > 0.0).count();
+        // The paper's point: real-world push lists help some sites and
+        // hurt others.
+        assert!(improved > 0, "no site improved: {rows:?}");
+        assert!(hurt > 0, "no site degraded: {rows:?}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Experiment drivers: one function per table/figure of the paper.
+//!
+//! Each driver returns plain data that the `h2push-bench` binaries print;
+//! integration tests run them at reduced scale. See `DESIGN.md` §3 for the
+//! experiment index.
+
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod types_study;
+
+use crate::harness::{run_many, Mode};
+use crate::replay::ReplayOutcome;
+use h2push_metrics::RunStats;
+use h2push_strategies::Strategy;
+use h2push_webmodel::Page;
+
+/// How big to run an experiment (the paper: 100 sites × 31 runs).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Number of sites per corpus.
+    pub sites: usize,
+    /// Repetitions per configuration.
+    pub runs: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The paper's full scale.
+    pub fn paper() -> Self {
+        Scale { sites: 100, runs: 31, seed: 42 }
+    }
+
+    /// A reduced scale for quick runs and integration tests.
+    pub fn quick() -> Self {
+        Scale { sites: 12, runs: 5, seed: 42 }
+    }
+}
+
+/// Per-configuration summary of a site: median PLT and SpeedIndex over the
+/// repetitions, plus dispersion (for Fig. 2a) and push accounting.
+#[derive(Debug, Clone)]
+pub struct SiteMetrics {
+    /// Site name.
+    pub site: String,
+    /// Summary of PLT (ms) over runs.
+    pub plt: RunStats,
+    /// Summary of SpeedIndex (ms) over runs.
+    pub speed_index: RunStats,
+    /// Mean bytes pushed per run.
+    pub pushed_bytes: f64,
+    /// Runs that completed.
+    pub completed: usize,
+}
+
+/// Run `page` × `strategy` × `mode` `runs` times and summarize.
+pub fn measure(page: &Page, strategy: Strategy, mode: Mode, runs: usize, seed: u64) -> SiteMetrics {
+    let outcomes = run_many(page, strategy, mode, runs, seed);
+    summarize(&page.name, &outcomes)
+}
+
+/// Summarize a set of outcomes of the same configuration.
+pub fn summarize(site: &str, outcomes: &[ReplayOutcome]) -> SiteMetrics {
+    let plts: Vec<f64> = outcomes.iter().map(|o| o.load.plt()).collect();
+    let sis: Vec<f64> = outcomes.iter().map(|o| o.load.speed_index()).collect();
+    let pushed: f64 = outcomes.iter().map(|o| o.server_pushed_bytes as f64).sum::<f64>()
+        / outcomes.len().max(1) as f64;
+    assert!(!plts.is_empty(), "site {site}: all runs failed");
+    SiteMetrics {
+        site: site.to_string(),
+        plt: RunStats::of(&plts),
+        speed_index: RunStats::of(&sis),
+        pushed_bytes: pushed,
+        completed: outcomes.len(),
+    }
+}
+
+/// Map `f` over `items` on all available cores (replays are independent).
+pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send + Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let n = items.len();
+    let mut results: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(&items[i]);
+                results_mutex.lock().unwrap()[i] = Some(out);
+            });
+        }
+    });
+    results.into_iter().map(|o| o.expect("worker finished")).collect()
+}

@@ -1,0 +1,104 @@
+//! The repetition harness: 31 runs per configuration, testbed vs internet
+//! conditions (§4.1).
+//!
+//! * **Testbed mode** keeps the network deterministic; the only per-run
+//!   variation is the seeded micro-jitter of packet timing and a small
+//!   client-side CPU factor — exactly the residual variability the paper's
+//!   controlled testbed still exhibits (Fig. 2a: σx̄ < 50 ms for 85 % of
+//!   sites).
+//! * **Internet mode** additionally varies RTT, bandwidth, per-origin
+//!   distance and server think time per run, and adds a little loss —
+//!   recreating the wild-measurement variance the testbed removes.
+
+use crate::replay::{replay, ReplayConfig, ReplayError, ReplayOutcome};
+use h2push_netsim::SimDuration;
+use h2push_strategies::{majority_order, RunTrace, Strategy};
+use h2push_webmodel::{Page, ResourceId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Where the measurement runs: the controlled testbed or "the Internet".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Deterministic replay (the paper's contribution).
+    Testbed,
+    /// Stochastic conditions approximating live measurements.
+    Internet,
+}
+
+/// The paper repeats every configuration 31 times.
+pub const PAPER_RUNS: usize = 31;
+
+/// Build the per-run replay configuration for `(mode, run_seed)`.
+pub fn run_config(strategy: Strategy, mode: Mode, run_seed: u64, page: &Page) -> ReplayConfig {
+    let mut cfg = ReplayConfig::testbed(strategy);
+    let mut rng = StdRng::seed_from_u64(run_seed);
+    cfg.network.seed = run_seed;
+    match mode {
+        Mode::Testbed => {
+            // Client-side processing is the only real variance left.
+            cfg.browser.cpu_scale = rng.gen_range(0.97..1.03);
+        }
+        Mode::Internet => {
+            // RTT varies run to run (routing, queueing); bandwidth too.
+            let rtt_factor: f64 = rng.gen_range(0.8..2.2);
+            let bw_factor: f64 = rng.gen_range(0.55..1.25);
+            let scale_delay = |d: SimDuration| {
+                SimDuration::from_micros((d.as_micros() as f64 * rtt_factor) as u64)
+            };
+            cfg.network.client_down.delay = scale_delay(cfg.network.client_down.delay);
+            cfg.network.client_up.delay = scale_delay(cfg.network.client_up.delay);
+            cfg.network.client_down.rate_bps = cfg
+                .network
+                .client_down
+                .rate_bps
+                .map(|r| (r as f64 * bw_factor) as u64);
+            cfg.network.loss = rng.gen_range(0.0..0.004);
+            // Third parties are scattered across the planet.
+            for g in 0..page.server_group_count() {
+                if g != page.server_group_of(ResourceId(0)) {
+                    cfg.server_extra_delay
+                        .insert(g, SimDuration::from_micros(rng.gen_range(0..90_000)));
+                }
+            }
+            cfg.server_think = SimDuration::from_micros(rng.gen_range(0..15_000));
+            cfg.browser.cpu_scale = rng.gen_range(0.9..1.25);
+        }
+    }
+    cfg
+}
+
+/// Replay `page` `runs` times under `strategy`; failed runs are dropped
+/// (and must be rare — callers may assert on the count).
+pub fn run_many(
+    page: &Page,
+    strategy: Strategy,
+    mode: Mode,
+    runs: usize,
+    seed: u64,
+) -> Vec<ReplayOutcome> {
+    (0..runs)
+        .filter_map(|r| {
+            let cfg = run_config(strategy.clone(), mode, seed.wrapping_add(r as u64), page);
+            replay(page, &cfg).ok()
+        })
+        .collect()
+}
+
+/// Replay once in deterministic testbed conditions (seed 0).
+pub fn run_once(page: &Page, strategy: Strategy) -> Result<ReplayOutcome, ReplayError> {
+    replay(page, &ReplayConfig::testbed(strategy))
+}
+
+/// §4.2 "Computing the Push Order": replay without push `runs` times,
+/// trace the requests the main server sees, majority-vote the order.
+/// Returns only pushable resources (the order is computed on the initial
+/// connection to the origin server, so everything in it is pushable).
+pub fn compute_push_order(page: &Page, runs: usize, seed: u64) -> Vec<ResourceId> {
+    let outcomes = run_many(page, Strategy::NoPush, Mode::Testbed, runs, seed);
+    let traces: Vec<RunTrace> = outcomes.into_iter().map(|o| o.trace).collect();
+    majority_order(&traces)
+        .into_iter()
+        .filter(|&id| id != ResourceId(0))
+        .collect()
+}

@@ -1,0 +1,16 @@
+//! # h2push-testbed — the record-and-replay testbed (§4.1)
+//!
+//! The paper's central methodological contribution, rebuilt on simulation:
+//! replay any recorded website deterministically, with its original
+//! multi-server deployment, under any Server-Push strategy, over an
+//! emulated DSL access link — then repeat 31× and compare PLT/SpeedIndex
+//! distributions between strategies and against stochastic "Internet"
+//! conditions.
+
+pub mod adoption;
+pub mod experiments;
+pub mod harness;
+pub mod replay;
+
+pub use harness::{compute_push_order, run_config, run_many, run_once, Mode, PAPER_RUNS};
+pub use replay::{replay, Protocol, ReplayConfig, ReplayError, ReplayOutcome};

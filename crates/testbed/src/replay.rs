@@ -1,0 +1,568 @@
+//! One replay: browser + per-group servers + the simulated network.
+//!
+//! This is the Mahimahi-equivalent core of the paper's testbed (§4.1): the
+//! page's server groups become independent replay servers behind the
+//! emulated DSL access link, the browser loads the page, and we collect the
+//! timing metrics plus the server-side request trace.
+
+use h2push_browser::{Browser, BrowserAction, BrowserConfig, LoadResult, TransportMode};
+use h2push_netsim::{
+    ConnId, Dir, NetEvent, Network, NetworkSpec, ServerId, ServerSpec, SimDuration, SimTime,
+};
+use h2push_server::{H1ReplayServer, ReplayServer};
+use h2push_strategies::{RunTrace, Strategy};
+use h2push_webmodel::{Page, RecordDb, ResourceId};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Which protocol the replay runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Protocol {
+    /// HTTP/2 (with whatever push strategy is configured).
+    #[default]
+    H2,
+    /// HTTP/1.1 baseline: six connections per origin, no push (any push
+    /// strategy is ignored).
+    H1,
+}
+
+/// Configuration of one replay.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Access-link profile (defaults to the paper's DSL).
+    pub network: NetworkSpec,
+    /// Browser knobs (push enablement is derived from the strategy).
+    pub browser: BrowserConfig,
+    /// The push strategy under test.
+    pub strategy: Strategy,
+    /// Protocol to replay over.
+    pub protocol: Protocol,
+    /// Extra one-way delay per server group (internet mode gives far-away
+    /// third parties their real distance; the testbed leaves this empty).
+    pub server_extra_delay: HashMap<usize, SimDuration>,
+    /// Per-request think time on the servers (zero in the testbed, §4.1).
+    pub server_think: SimDuration,
+    /// Resources already in the browser cache (warm revisit).
+    pub warm_cache: Vec<ResourceId>,
+    /// Whether servers honor `cache-digest` headers (suppressing pushes of
+    /// cached resources). Irrelevant on cold loads.
+    pub server_honors_digest: bool,
+    /// Abort the replay after this much simulated time.
+    pub deadline: SimDuration,
+}
+
+impl ReplayConfig {
+    /// The paper's deterministic testbed profile for `strategy`.
+    pub fn testbed(strategy: Strategy) -> Self {
+        ReplayConfig {
+            network: NetworkSpec::dsl_testbed(),
+            browser: BrowserConfig::default(),
+            strategy,
+            protocol: Protocol::H2,
+            server_extra_delay: HashMap::new(),
+            server_think: SimDuration::ZERO,
+            warm_cache: Vec::new(),
+            server_honors_digest: true,
+            deadline: SimDuration::from_millis(180_000),
+        }
+    }
+}
+
+/// What a replay produced.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Browser-side measurements.
+    pub load: LoadResult,
+    /// Request order observed by the main server (for §4.2 push-order
+    /// computation).
+    pub trace: RunTrace,
+    /// Body bytes the main server pushed.
+    pub server_pushed_bytes: u64,
+}
+
+/// Replay failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The simulation quiesced before onload (a wiring bug or an
+    /// unservable page).
+    Stalled { at: SimTime },
+    /// The deadline passed.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Stalled { at } => write!(f, "replay stalled at {at}"),
+            ReplayError::DeadlineExceeded => write!(f, "replay deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+struct ConnCtx {
+    group: usize,
+    slot: usize,
+    /// Bytes handed to netsim (up = client→server) not yet delivered.
+    up: VecDeque<u8>,
+    down: VecDeque<u8>,
+}
+
+/// A per-connection replay server of either protocol. (Boxed: the H2
+/// server carries the page, record DB and scheduler state and is much
+/// larger than the H1 half.)
+enum AnyServer {
+    H2(Box<ReplayServer>),
+    H1(H1ReplayServer),
+}
+
+impl AnyServer {
+    fn on_bytes(&mut self, bytes: &[u8], now: SimTime) {
+        match self {
+            AnyServer::H2(s) => s.on_bytes(bytes, now),
+            AnyServer::H1(s) => s.on_bytes(bytes, now),
+        }
+    }
+
+    fn wants_send(&self) -> bool {
+        match self {
+            AnyServer::H2(s) => s.wants_send(),
+            AnyServer::H1(s) => s.wants_send(),
+        }
+    }
+
+    fn produce(&mut self, max: usize) -> Vec<u8> {
+        match self {
+            AnyServer::H2(s) => s.produce(max),
+            AnyServer::H1(s) => s.produce(max),
+        }
+    }
+}
+
+/// Replay `page` once under `cfg`.
+pub fn replay(page: &Page, cfg: &ReplayConfig) -> Result<ReplayOutcome, ReplayError> {
+    let mut net = Network::new(cfg.network.clone());
+    let mut browser_cfg = cfg.browser.clone();
+    browser_cfg.enable_push =
+        cfg.protocol == Protocol::H2 && !matches!(cfg.strategy, Strategy::NoPush);
+    browser_cfg.warm_cache = cfg.warm_cache.clone();
+    browser_cfg.transport = match cfg.protocol {
+        Protocol::H2 => TransportMode::H2,
+        Protocol::H1 => TransportMode::H1,
+    };
+    let mut browser = Browser::new(page.clone(), browser_cfg);
+    let shared_db = Arc::new(RecordDb::record(page));
+    let mut servers: HashMap<(usize, usize), AnyServer> = HashMap::new();
+    let mut conn_of_slot: HashMap<(usize, usize), ConnId> = HashMap::new();
+    let mut ctx: HashMap<ConnId, ConnCtx> = HashMap::new();
+    let main_group = page.server_group_of(ResourceId(0));
+    let deadline = SimTime::ZERO + cfg.deadline;
+
+    let actions = browser.start(net.now());
+    let mut queue: VecDeque<BrowserAction> = actions.into();
+
+    // Process browser actions; may enqueue more via the closure-free loop.
+    macro_rules! drain_actions {
+        () => {
+            while let Some(a) = queue.pop_front() {
+                match a {
+                    BrowserAction::OpenConnection { group, slot } => {
+                        let spec = match cfg.server_extra_delay.get(&group) {
+                            Some(&d) => ServerSpec::with_extra_delay(d),
+                            None => ServerSpec { think: cfg.server_think, ..Default::default() },
+                        };
+                        let sid: ServerId = net.add_server(spec);
+                        let conn = net.connect(sid);
+                        conn_of_slot.insert((group, slot), conn);
+                        ctx.insert(
+                            conn,
+                            ConnCtx { group, slot, up: VecDeque::new(), down: VecDeque::new() },
+                        );
+                        let server = match cfg.protocol {
+                            Protocol::H2 => {
+                                let mut s = ReplayServer::new(page, group, cfg.strategy.clone());
+                                s.set_honor_cache_digest(cfg.server_honors_digest);
+                                AnyServer::H2(Box::new(s))
+                            }
+                            Protocol::H1 => AnyServer::H1(H1ReplayServer::new(shared_db.clone())),
+                        };
+                        servers.insert((group, slot), server);
+                    }
+                    BrowserAction::SendBytes { group, slot, bytes } => {
+                        let conn = conn_of_slot[&(group, slot)];
+                        let c = ctx.get_mut(&conn).expect("unknown conn");
+                        c.up.extend(bytes.iter().copied());
+                        net.send(conn, Dir::Up, bytes.len());
+                    }
+                    BrowserAction::SetTimer { at, token } => {
+                        net.schedule(at, token);
+                    }
+                }
+            }
+        };
+    }
+
+    // Pull response bytes from a server while the TCP window has room.
+    macro_rules! pump_server {
+        ($conn:expr, $key:expr) => {{
+            loop {
+                let server = servers.get_mut(&$key).expect("server exists");
+                if !server.wants_send() {
+                    net.set_hungry($conn, Dir::Down, false);
+                    break;
+                }
+                match net.set_hungry($conn, Dir::Down, true) {
+                    Some(window) => {
+                        let bytes = server.produce(window);
+                        if bytes.is_empty() {
+                            // Flow-control (H2-level) blocked: wait for
+                            // client window updates.
+                            net.set_hungry($conn, Dir::Down, false);
+                            break;
+                        }
+                        let c = ctx.get_mut(&$conn).expect("ctx");
+                        c.down.extend(bytes.iter().copied());
+                        net.send($conn, Dir::Down, bytes.len());
+                    }
+                    None => break, // TCP window full; SendReady will fire
+                }
+            }
+        }};
+    }
+
+    drain_actions!();
+
+    loop {
+        if browser.done() {
+            break;
+        }
+        let Some((t, ev)) = net.step() else {
+            return Err(ReplayError::Stalled { at: net.now() });
+        };
+        if t > deadline {
+            return Err(ReplayError::DeadlineExceeded);
+        }
+        match ev {
+            NetEvent::Connected { conn } => {
+                let (group, slot) = (ctx[&conn].group, ctx[&conn].slot);
+                queue.extend(browser.on_connected(group, slot, t));
+                drain_actions!();
+                pump_server!(conn, (group, slot));
+            }
+            NetEvent::Delivered { conn, dir: Dir::Up, bytes } => {
+                let (group, slot) = (ctx[&conn].group, ctx[&conn].slot);
+                let chunk: Vec<u8> = {
+                    let c = ctx.get_mut(&conn).expect("ctx");
+                    c.up.drain(..bytes.min(c.up.len())).collect()
+                };
+                servers.get_mut(&(group, slot)).expect("server").on_bytes(&chunk, t);
+                pump_server!(conn, (group, slot));
+            }
+            NetEvent::Delivered { conn, dir: Dir::Down, bytes } => {
+                let (group, slot) = (ctx[&conn].group, ctx[&conn].slot);
+                let chunk: Vec<u8> = {
+                    let c = ctx.get_mut(&conn).expect("ctx");
+                    c.down.drain(..bytes.min(c.down.len())).collect()
+                };
+                queue.extend(browser.on_bytes(group, slot, &chunk, t));
+                drain_actions!();
+                // The browser may have ACKed at the H2 level (window
+                // updates) — give the server a chance to continue.
+                pump_server!(conn, (group, slot));
+            }
+            NetEvent::SendReady { conn, dir: Dir::Down, .. } => {
+                let (group, slot) = (ctx[&conn].group, ctx[&conn].slot);
+                pump_server!(conn, (group, slot));
+            }
+            NetEvent::SendReady { .. } => {
+                // The browser sends eagerly; it never registers hunger.
+            }
+            NetEvent::App { token } => {
+                queue.extend(browser.on_timer(token, t));
+                drain_actions!();
+                // Timers can trigger new requests on any connection; make
+                // sure all servers with pending output are pulling.
+                for (&key, &conn) in conn_of_slot.iter() {
+                    if servers.get(&key).map(|s| s.wants_send()).unwrap_or(false) {
+                        pump_server!(conn, key);
+                    }
+                }
+            }
+        }
+    }
+
+    let main_server = servers.get(&(main_group, 0)).and_then(|s| match s {
+        AnyServer::H2(s) => Some(s),
+        AnyServer::H1(_) => None,
+    });
+    let trace = RunTrace {
+        order: main_server
+            .map(|s| s.observations().iter().map(|o| o.resource).collect())
+            .unwrap_or_default(),
+    };
+    Ok(ReplayOutcome {
+        load: browser.result(),
+        server_pushed_bytes: main_server.map(|s| s.pushed_bytes()).unwrap_or(0),
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2push_webmodel::{PageBuilder, ResourceSpec};
+
+    fn page() -> Page {
+        let mut b = PageBuilder::new("replay-test", "r.test", 60_000, 5_000);
+        let third = b.origin("cdn.other.net", 1, false);
+        b.resource(ResourceSpec::css(0, 20_000, 300, 0.3));
+        b.resource(ResourceSpec::js(0, 25_000, 1_000, 30_000));
+        b.resource(ResourceSpec::image(0, 40_000, 20_000, true, 2.0));
+        b.resource(ResourceSpec::js_async(third, 10_000, 30_000, 5_000));
+        b.text_paint(10_000, 1.0);
+        b.text_paint(40_000, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn no_push_replay_completes() {
+        let out = replay(&page(), &ReplayConfig::testbed(Strategy::NoPush)).unwrap();
+        assert!(out.load.finished());
+        // connectEnd ≈ 3 RTT (DNS local, TCP+TLS1.2) = ~150 ms.
+        let ce = out.load.connect_end.as_millis_f64();
+        assert!((145.0..165.0).contains(&ce), "connectEnd {ce}");
+        // PLT plausible: several RTTs + transfer + exec, well under 5 s.
+        let plt = out.load.plt();
+        assert!((200.0..5_000.0).contains(&plt), "plt {plt}");
+        assert_eq!(out.server_pushed_bytes, 0);
+        // The main server saw the html + 3 same-group requests.
+        assert_eq!(out.trace.order.len(), 4);
+        assert_eq!(out.trace.order[0], ResourceId(0));
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let cfg = ReplayConfig::testbed(Strategy::NoPush);
+        let a = replay(&page(), &cfg).unwrap();
+        let b = replay(&page(), &cfg).unwrap();
+        assert_eq!(a.load.plt(), b.load.plt());
+        assert_eq!(a.load.speed_index(), b.load.speed_index());
+        assert_eq!(a.trace.order, b.trace.order);
+    }
+
+    #[test]
+    fn push_list_transfers_push_bytes() {
+        let p = page();
+        let strategy = Strategy::PushList { order: vec![ResourceId(1), ResourceId(2)] };
+        let out = replay(&p, &ReplayConfig::testbed(strategy)).unwrap();
+        assert!(out.load.finished());
+        assert_eq!(out.server_pushed_bytes, 45_000);
+        assert_eq!(out.load.pushed_count, 2);
+        // Pushed resources are not requested: html + image only.
+        assert_eq!(out.trace.order.len(), 2);
+    }
+
+    #[test]
+    fn interleaved_strategy_completes_and_pushes() {
+        let p = page();
+        let strategy = Strategy::Interleaved {
+            offset: 6_000,
+            critical: vec![ResourceId(1)],
+            after: vec![ResourceId(3)],
+        };
+        let out = replay(&p, &ReplayConfig::testbed(strategy)).unwrap();
+        assert!(out.load.finished());
+        assert_eq!(out.load.pushed_count, 2);
+    }
+
+    #[test]
+    fn push_helps_late_referenced_css_on_large_html() {
+        // A large document whose CSS is referenced late: push should beat
+        // no-push on first paint substantially (the paper's premise).
+        let mut b = PageBuilder::new("late-css", "l.test", 150_000, 3_000);
+        b.resource(ResourceSpec::css(0, 30_000, 2_000, 0.3));
+        b.text_paint(10_000, 1.0);
+        let p = b.build();
+        let no_push = replay(&p, &ReplayConfig::testbed(Strategy::NoPush)).unwrap();
+        let push = replay(
+            &p,
+            &ReplayConfig::testbed(Strategy::Interleaved {
+                offset: 4_096,
+                critical: vec![ResourceId(1)],
+                after: vec![],
+            }),
+        )
+        .unwrap();
+        let fp_no = no_push.load.first_paint.unwrap().since(no_push.load.connect_end);
+        let fp_push = push.load.first_paint.unwrap().since(push.load.connect_end);
+        assert!(
+            fp_push.as_millis_f64() < fp_no.as_millis_f64() * 0.8,
+            "interleaving must speed first paint: {fp_push} vs {fp_no}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+    use h2push_strategies::push_all;
+    use h2push_webmodel::{PageBuilder, ResourceSpec};
+
+    fn page() -> Page {
+        let mut b = PageBuilder::new("warm", "warm.test", 40_000, 4_000);
+        b.resource(ResourceSpec::css(0, 20_000, 300, 0.4)); // 1
+        b.resource(ResourceSpec::js(0, 30_000, 1_000, 10_000)); // 2
+        b.resource(ResourceSpec::image(0, 25_000, 10_000, true, 1.5)); // 3
+        b.text_paint(8_000, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn warm_cache_speeds_up_the_load() {
+        let p = page();
+        let cold = replay(&p, &ReplayConfig::testbed(Strategy::NoPush)).unwrap();
+        let mut cfg = ReplayConfig::testbed(Strategy::NoPush);
+        cfg.warm_cache = vec![ResourceId(1), ResourceId(2), ResourceId(3)];
+        let warm = replay(&p, &cfg).unwrap();
+        assert!(
+            warm.load.plt() < cold.load.plt() * 0.8,
+            "warm {} vs cold {}",
+            warm.load.plt(),
+            cold.load.plt()
+        );
+        // Cached resources never hit the network: only the HTML request.
+        assert_eq!(warm.trace.order.len(), 1);
+    }
+
+    #[test]
+    fn digest_aware_server_skips_cached_pushes() {
+        let p = page();
+        let mut cfg = ReplayConfig::testbed(push_all(&p, &[]));
+        cfg.warm_cache = vec![ResourceId(1), ResourceId(2)];
+        let out = replay(&p, &cfg).unwrap();
+        // Only the (uncached) image is pushed.
+        assert_eq!(out.server_pushed_bytes, 25_000);
+        assert_eq!(out.load.cancelled_pushes, 0, "nothing to cancel — never promised");
+    }
+
+    #[test]
+    fn digest_oblivious_server_wastes_push_bytes() {
+        let p = page();
+        let mut cfg = ReplayConfig::testbed(push_all(&p, &[]));
+        cfg.warm_cache = vec![ResourceId(1), ResourceId(2)];
+        cfg.server_honors_digest = false;
+        let out = replay(&p, &cfg).unwrap();
+        // The server queues everything; the client cancels the cached two
+        // (bytes may already be in flight — the §2.1 waste).
+        assert_eq!(out.server_pushed_bytes, 75_000);
+        assert_eq!(out.load.cancelled_pushes, 2);
+        assert!(out.load.finished());
+    }
+
+    #[test]
+    fn warm_cache_with_digest_is_not_slower_than_cold_push() {
+        let p = page();
+        let cold = replay(&p, &ReplayConfig::testbed(push_all(&p, &[]))).unwrap();
+        let mut cfg = ReplayConfig::testbed(push_all(&p, &[]));
+        cfg.warm_cache = vec![ResourceId(1), ResourceId(2), ResourceId(3)];
+        let warm = replay(&p, &cfg).unwrap();
+        assert!(warm.load.speed_index() <= cold.load.speed_index() + 1.0);
+    }
+}
+
+#[cfg(test)]
+mod h1_tests {
+    use super::*;
+    use h2push_webmodel::{PageBuilder, ResourceSpec};
+
+    fn page() -> Page {
+        let mut b = PageBuilder::new("h1-replay", "h1r.test", 50_000, 4_000);
+        let third = b.origin("cdn.other.net", 1, false);
+        b.resource(ResourceSpec::css(0, 15_000, 300, 0.4));
+        b.resource(ResourceSpec::js(0, 20_000, 1_000, 15_000));
+        for i in 0..8 {
+            b.resource(ResourceSpec::image(0, 18_000, 10_000 + i * 4_000, i < 3, 1.0));
+        }
+        b.resource(ResourceSpec::js_async(third, 8_000, 30_000, 3_000));
+        b.text_paint(8_000, 1.0);
+        b.text_paint(35_000, 1.0);
+        b.build()
+    }
+
+    fn h1_config() -> ReplayConfig {
+        let mut cfg = ReplayConfig::testbed(Strategy::NoPush);
+        cfg.protocol = Protocol::H1;
+        cfg
+    }
+
+    #[test]
+    fn h1_replay_completes() {
+        let out = replay(&page(), &h1_config()).unwrap();
+        assert!(out.load.finished());
+        assert_eq!(out.load.pushed_count, 0, "no push over HTTP/1.1");
+        assert_eq!(out.server_pushed_bytes, 0);
+        // 12 resources requested (html + 11 subresources).
+        assert_eq!(out.load.requests, 12);
+    }
+
+    #[test]
+    fn h1_is_deterministic() {
+        let a = replay(&page(), &h1_config()).unwrap();
+        let b = replay(&page(), &h1_config()).unwrap();
+        assert_eq!(a.load.plt(), b.load.plt());
+        assert_eq!(a.load.speed_index(), b.load.speed_index());
+    }
+
+    #[test]
+    fn h2_beats_h1_on_a_many_object_page() {
+        // The paper's motivating context (§1–§3, Varvello et al.): H2's
+        // multiplexing beats H1's six-connection pool on pages with many
+        // small objects at a non-trivial RTT.
+        let p = page();
+        let h1 = replay(&p, &h1_config()).unwrap();
+        let h2 = replay(&p, &ReplayConfig::testbed(Strategy::NoPush)).unwrap();
+        assert!(
+            h2.load.plt() < h1.load.plt(),
+            "H2 {} ms should beat H1 {} ms",
+            h2.load.plt(),
+            h1.load.plt()
+        );
+    }
+
+    #[test]
+    fn h1_ignores_push_strategies() {
+        let p = page();
+        let mut cfg = h1_config();
+        cfg.strategy = h2push_strategies::push_all(&p, &[]);
+        let out = replay(&p, &cfg).unwrap();
+        assert!(out.load.finished());
+        assert_eq!(out.load.pushed_count, 0);
+    }
+}
+
+#[cfg(test)]
+mod warm_h1_tests {
+    use super::*;
+    use h2push_webmodel::{PageBuilder, ResourceSpec};
+
+    #[test]
+    fn h1_with_warm_cache_skips_cached_fetches() {
+        let mut b = PageBuilder::new("h1-warm", "hw.test", 30_000, 3_000);
+        b.resource(ResourceSpec::css(0, 10_000, 200, 0.5));
+        b.resource(ResourceSpec::image(0, 15_000, 8_000, true, 1.0));
+        b.text_paint(6_000, 1.0);
+        let p = b.build();
+        let mut cfg = ReplayConfig::testbed(Strategy::NoPush);
+        cfg.protocol = Protocol::H1;
+        cfg.warm_cache = vec![ResourceId(1), ResourceId(2)];
+        let warm = replay(&p, &cfg).unwrap();
+        assert!(warm.load.finished());
+        // Only the document goes over the wire.
+        assert_eq!(warm.load.requests, 1);
+        let mut cold_cfg = ReplayConfig::testbed(Strategy::NoPush);
+        cold_cfg.protocol = Protocol::H1;
+        let cold = replay(&p, &cold_cfg).unwrap();
+        assert!(warm.load.plt() < cold.load.plt());
+    }
+}

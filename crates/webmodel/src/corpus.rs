@@ -1,0 +1,439 @@
+//! Seeded random website corpora (§4.2).
+//!
+//! The paper draws two disjoint 100-site sets from the Alexa list: one from
+//! the top 500 ("top-100") and one from the full top 1M ("random-100"), and
+//! additionally replays 100 push-using sites for the testbed validation
+//! (Fig. 2). We cannot fetch the 2018 pages, so this module generates
+//! *structurally calibrated* sites from a seed:
+//!
+//! * object counts, sizes and type mixes follow log-normal-ish
+//!   distributions in the ranges reported by web measurement studies of the
+//!   era (the paper cites \[13, 16\] on complexity and third-party share);
+//! * the *pushable fraction* per site is calibrated so that ~52 % of
+//!   top-100 sites and ~24 % of random-100 sites have < 20 % pushable
+//!   objects — the paper's §4.2 "Pushable Objects" statistic;
+//! * push-using sites carry a `recorded_push` list of heterogeneous quality
+//!   (some push a sensible head set, some push images or everything),
+//!   matching the paper's observation that real deployments often push
+//!   suboptimally.
+//!
+//! Everything is deterministic given `(kind, seed)`.
+
+use crate::page::Page;
+use crate::types::{
+    Discovery, InlineScript, Origin, Resource, ResourceId, ResourceType, ScriptMode, TextPaint,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which population a site is drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusKind {
+    /// Alexa top 500: large, complex, third-party heavy.
+    Top,
+    /// Alexa top 1M: smaller, more self-hosted.
+    Random,
+    /// Sites observed using Server Push (the Fig. 2 validation set):
+    /// structurally like `Random` but always with a recorded push list.
+    PushUsers,
+}
+
+fn lognormal(rng: &mut StdRng, median: f64, sigma: f64, lo: f64, hi: f64) -> f64 {
+    // Box–Muller.
+    let u1: f64 = rng.gen_range(1e-9..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (median * (sigma * z).exp()).clamp(lo, hi)
+}
+
+/// Generate one site deterministically from `(kind, seed)`.
+pub fn generate_site(kind: CorpusKind, seed: u64) -> Page {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0000 ^ kind_tag(kind));
+    let name = format!("{}-{seed}", kind_label(kind));
+    let host = format!("site{seed}.{}", kind_label(kind));
+
+    // --- global shape ---------------------------------------------------
+    let (obj_median, obj_lo, obj_hi) = match kind {
+        CorpusKind::Top => (80.0, 20.0, 280.0),
+        CorpusKind::Random | CorpusKind::PushUsers => (35.0, 5.0, 140.0),
+    };
+    let n_objects = lognormal(&mut rng, obj_median, 0.6, obj_lo, obj_hi) as usize;
+    let html_size = lognormal(
+        &mut rng,
+        if kind == CorpusKind::Top { 45_000.0 } else { 28_000.0 },
+        0.8,
+        6_000.0,
+        260_000.0,
+    ) as usize;
+    let head_end = (html_size / 12).clamp(800, 20_000).min(html_size / 2);
+
+    // Pushable fraction, calibrated to the paper's §4.2 statistic.
+    let p_low = match kind {
+        CorpusKind::Top => 0.52,
+        CorpusKind::Random | CorpusKind::PushUsers => 0.24,
+    };
+    let pushable_frac: f64 = if rng.gen_bool(p_low) {
+        rng.gen_range(0.02..0.20)
+    } else {
+        match kind {
+            CorpusKind::Top => rng.gen_range(0.20..0.75),
+            _ => rng.gen_range(0.20..0.95),
+        }
+    };
+
+    // CPU character of the page: multiplies JS execution times; some pages
+    // are computation-bound (the paper's s5 / w5 cases).
+    let cpu_factor: f64 = lognormal(&mut rng, 1.0, 0.5, 0.3, 4.0);
+
+    // --- origins ----------------------------------------------------------
+    // Group 0 is the site's own infrastructure; third parties get their own
+    // groups (one group may host a couple of hosts).
+    let n_third_groups = match kind {
+        CorpusKind::Top => rng.gen_range(4..30usize),
+        _ => rng.gen_range(1..12usize),
+    };
+    let mut origins = vec![Origin { host: host.clone(), server_group: 0, same_infra: true }];
+    // A same-infra CDN host, coalesced with the main group (cf. §5
+    // "img.bbystatic.com and bestbuy.com").
+    origins.push(Origin {
+        host: format!("static.{host}"),
+        server_group: 0,
+        same_infra: true,
+    });
+    for g in 0..n_third_groups {
+        origins.push(Origin {
+            host: format!("third{g}.{}", ["ads.net", "cdn.io", "tag.org", "apis.com"][g % 4]),
+            server_group: g + 1,
+            same_infra: false,
+        });
+    }
+
+    // --- the document -----------------------------------------------------
+    let mut resources = vec![Resource {
+        id: ResourceId(0),
+        origin: 0,
+        path: "/".into(),
+        rtype: ResourceType::Html,
+        size: html_size,
+        exec_us: 0,
+        discovery: Discovery::Html { offset: 0 },
+        script_mode: ScriptMode::Blocking,
+        render_blocking: false,
+        above_fold: false,
+        visual_weight: 0.0,
+        critical_fraction: 0.0,
+    }];
+
+    let pick_origin = |rng: &mut StdRng, pushable: bool, origins: &[Origin]| -> usize {
+        if pushable {
+            if rng.gen_bool(0.6) {
+                0
+            } else {
+                1
+            }
+        } else {
+            rng.gen_range(2..origins.len().max(3)).min(origins.len() - 1)
+        }
+    };
+
+    // Type mix per the measurement literature.
+    let mut css_ids: Vec<ResourceId> = Vec::new();
+    let mut js_ids: Vec<ResourceId> = Vec::new();
+    for i in 0..n_objects {
+        let roll: f64 = rng.gen();
+        let rtype = if roll < 0.55 {
+            ResourceType::Image
+        } else if roll < 0.77 {
+            ResourceType::Js
+        } else if roll < 0.84 {
+            ResourceType::Css
+        } else if roll < 0.89 {
+            ResourceType::Font
+        } else {
+            ResourceType::Other
+        };
+        let pushable = rng.gen_bool(pushable_frac);
+        let origin = pick_origin(&mut rng, pushable, &origins);
+        let id = ResourceId(resources.len());
+        let r = match rtype {
+            ResourceType::Css => {
+                let size = lognormal(&mut rng, 16_000.0, 0.9, 1_200.0, 120_000.0) as usize;
+                let offset = rng.gen_range(50..head_end);
+                css_ids.push(id);
+                Resource {
+                    id,
+                    origin,
+                    path: format!("/css/{i}.css"),
+                    rtype,
+                    size,
+                    exec_us: (size as u64 / 80).max(300),
+                    discovery: Discovery::Html { offset },
+                    script_mode: ScriptMode::Blocking,
+                    render_blocking: true,
+                    above_fold: true,
+                    visual_weight: 0.0,
+                    critical_fraction: rng.gen_range(0.08..0.5),
+                }
+            }
+            ResourceType::Js => {
+                let size = lognormal(&mut rng, 26_000.0, 0.9, 1_500.0, 250_000.0) as usize;
+                let in_head = rng.gen_bool(0.35);
+                let offset = if in_head {
+                    rng.gen_range(50..head_end)
+                } else {
+                    rng.gen_range(head_end..html_size - 1)
+                };
+                let mode = match rng.gen_range(0..10) {
+                    0..=4 => ScriptMode::Blocking,
+                    5..=7 => ScriptMode::Async,
+                    _ => ScriptMode::Defer,
+                };
+                js_ids.push(id);
+                Resource {
+                    id,
+                    origin,
+                    path: format!("/js/{i}.js"),
+                    rtype,
+                    size,
+                    exec_us: ((size as f64 / 1000.0) * 400.0 * cpu_factor) as u64,
+                    discovery: Discovery::Html { offset },
+                    script_mode: mode,
+                    render_blocking: false,
+                    above_fold: false,
+                    visual_weight: 0.0,
+                    critical_fraction: 0.0,
+                }
+            }
+            ResourceType::Image => {
+                let size = lognormal(&mut rng, 15_000.0, 1.1, 800.0, 400_000.0) as usize;
+                let offset = rng.gen_range(head_end..html_size - 1);
+                let above_fold = rng.gen_bool(0.35);
+                Resource {
+                    id,
+                    origin,
+                    path: format!("/img/{i}.webp"),
+                    rtype,
+                    size,
+                    exec_us: 300,
+                    discovery: Discovery::Html { offset },
+                    script_mode: ScriptMode::Blocking,
+                    render_blocking: false,
+                    above_fold,
+                    visual_weight: if above_fold { rng.gen_range(0.4..3.0) } else { 0.0 },
+                    critical_fraction: 0.0,
+                }
+            }
+            ResourceType::Font => {
+                let size = lognormal(&mut rng, 28_000.0, 0.5, 8_000.0, 90_000.0) as usize;
+                // Fonts come from CSS when any exists, else from the head.
+                let discovery = if let Some(&parent) = css_ids.last() {
+                    Discovery::Css { parent }
+                } else {
+                    Discovery::Html { offset: rng.gen_range(50..head_end) }
+                };
+                Resource {
+                    id,
+                    origin,
+                    path: format!("/font/{i}.woff2"),
+                    rtype,
+                    size,
+                    exec_us: 200,
+                    discovery,
+                    script_mode: ScriptMode::Blocking,
+                    render_blocking: false,
+                    above_fold: true,
+                    visual_weight: 0.4,
+                    critical_fraction: 0.0,
+                }
+            }
+            _ => {
+                let size = lognormal(&mut rng, 6_000.0, 1.0, 300.0, 80_000.0) as usize;
+                // A tenth of "other" resources hide behind scripts.
+                let discovery = if !js_ids.is_empty() && rng.gen_bool(0.4) {
+                    Discovery::Script { parent: js_ids[rng.gen_range(0..js_ids.len())] }
+                } else {
+                    Discovery::Html { offset: rng.gen_range(head_end..html_size - 1) }
+                };
+                Resource {
+                    id,
+                    origin,
+                    path: format!("/api/{i}.json"),
+                    rtype,
+                    size,
+                    exec_us: 100,
+                    discovery,
+                    script_mode: ScriptMode::Async,
+                    render_blocking: false,
+                    above_fold: false,
+                    visual_weight: 0.0,
+                    critical_fraction: 0.0,
+                }
+            }
+        };
+        resources.push(r);
+    }
+
+    // --- document paint points and inline scripts -------------------------
+    let mut text_paints = Vec::new();
+    let n_paints = rng.gen_range(3..8usize);
+    for i in 0..n_paints {
+        let offset = head_end + (html_size - head_end) * (i + 1) / (n_paints + 1);
+        text_paints.push(TextPaint { offset, weight: rng.gen_range(0.5..2.0) });
+    }
+    let mut inline_scripts = Vec::new();
+    for _ in 0..rng.gen_range(0..4usize) {
+        inline_scripts.push(InlineScript {
+            offset: rng.gen_range(head_end..html_size),
+            exec_us: (lognormal(&mut rng, 4_000.0, 1.0, 300.0, 60_000.0) * cpu_factor) as u64,
+            needs_cssom: rng.gen_bool(0.7),
+        });
+    }
+
+    // --- the recorded (live) push configuration ---------------------------
+    let mut recorded_push = Vec::new();
+    let uses_push = kind == CorpusKind::PushUsers;
+    if uses_push {
+        // Real deployments vary wildly in quality (the paper's Fig. 2b):
+        // some push a sensible critical set, some push images, some push
+        // everything pushable.
+        let pushable: Vec<ResourceId> = resources[1..]
+            .iter()
+            .filter(|r| origins[r.origin].server_group == 0)
+            .map(|r| r.id)
+            .collect();
+        let style = rng.gen_range(0..3u8);
+        for &id in &pushable {
+            let r = &resources[id.0];
+            let take = match style {
+                0 => r.rtype == ResourceType::Css || r.rtype == ResourceType::Js, // sensible
+                1 => true,                                                        // everything
+                _ => rng.gen_bool(0.4),                                           // haphazard
+            };
+            if take {
+                recorded_push.push(id);
+            }
+            if recorded_push.len() >= 25 {
+                break;
+            }
+        }
+        // A site observed pushing must actually push something: fall back
+        // to its first pushable resource, creating one if the generator
+        // left the main group empty.
+        if recorded_push.is_empty() {
+            if let Some(&first) = pushable.first() {
+                recorded_push.push(first);
+            } else if resources.len() > 1 {
+                resources[1].origin = 0;
+                recorded_push.push(resources[1].id);
+            }
+        }
+    }
+
+    let page = Page {
+        name,
+        resources,
+        origins,
+        text_paints,
+        inline_scripts,
+        head_end,
+        recorded_push,
+    };
+    debug_assert!(page.validate().is_ok(), "generated page invalid: {:?}", page.validate());
+    page
+}
+
+/// Generate a whole set of `n` sites.
+pub fn generate_set(kind: CorpusKind, n: usize, seed: u64) -> Vec<Page> {
+    (0..n as u64).map(|i| generate_site(kind, seed.wrapping_mul(1000).wrapping_add(i))).collect()
+}
+
+fn kind_label(kind: CorpusKind) -> &'static str {
+    match kind {
+        CorpusKind::Top => "top",
+        CorpusKind::Random => "random",
+        CorpusKind::PushUsers => "pushuser",
+    }
+}
+
+fn kind_tag(kind: CorpusKind) -> u64 {
+    match kind {
+        CorpusKind::Top => 0x1000_0000,
+        CorpusKind::Random => 0x2000_0000,
+        CorpusKind::PushUsers => 0x3000_0000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_site(CorpusKind::Top, 42);
+        let b = generate_site(CorpusKind::Top, 42);
+        assert_eq!(a, b);
+        let c = generate_site(CorpusKind::Top, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn kinds_are_disjoint_namespaces() {
+        let a = generate_site(CorpusKind::Top, 7);
+        let b = generate_site(CorpusKind::Random, 7);
+        assert_ne!(a.name, b.name);
+    }
+
+    #[test]
+    fn all_generated_pages_validate() {
+        for kind in [CorpusKind::Top, CorpusKind::Random, CorpusKind::PushUsers] {
+            for p in generate_set(kind, 40, 1) {
+                p.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            }
+        }
+    }
+
+    #[test]
+    fn pushable_fraction_matches_paper_statistic() {
+        // §4.2: 52 % of top-100 and 24 % of random-100 sites have < 20 %
+        // pushable objects. Check the calibration over a large sample with
+        // generous tolerance (it is a Bernoulli estimate).
+        let top = generate_set(CorpusKind::Top, 300, 99);
+        let frac_low =
+            top.iter().filter(|p| p.pushable_fraction() < 0.2).count() as f64 / top.len() as f64;
+        assert!((0.40..0.64).contains(&frac_low), "top low-pushable share {frac_low}");
+
+        let random = generate_set(CorpusKind::Random, 300, 99);
+        let frac_low = random.iter().filter(|p| p.pushable_fraction() < 0.2).count() as f64
+            / random.len() as f64;
+        assert!((0.14..0.36).contains(&frac_low), "random low-pushable share {frac_low}");
+    }
+
+    #[test]
+    fn push_users_have_recorded_lists() {
+        let set = generate_set(CorpusKind::PushUsers, 50, 5);
+        let with_push = set.iter().filter(|p| !p.recorded_push.is_empty()).count();
+        assert!(with_push >= 45, "only {with_push}/50 push users actually push");
+        for p in &set {
+            for id in &p.recorded_push {
+                // Recorded pushes must be pushable (same server group).
+                assert_eq!(p.server_group_of(*id), 0, "{}: pushed third-party {id:?}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn top_sites_are_bigger() {
+        let top = generate_set(CorpusKind::Top, 100, 3);
+        let random = generate_set(CorpusKind::Random, 100, 3);
+        let avg = |s: &[Page]| {
+            s.iter().map(|p| p.subresources().len()).sum::<usize>() as f64 / s.len() as f64
+        };
+        assert!(avg(&top) > 1.5 * avg(&random), "top {} vs random {}", avg(&top), avg(&random));
+    }
+
+    #[test]
+    fn sites_have_multiple_server_groups() {
+        let p = generate_site(CorpusKind::Top, 11);
+        assert!(p.server_group_count() > 2);
+    }
+}

@@ -1,0 +1,184 @@
+//! Critical-CSS extraction and HTML restructuring (the paper's
+//! "optimized" page variants, §5).
+//!
+//! The paper uses penthouse to compute, for each stylesheet, the subset of
+//! rules needed to render above-the-fold content; the page is then rewritten
+//! so the critical CSS is referenced in `<head>` and everything else moves
+//! to the end of `<body>` (no longer render-blocking). Our model carries a
+//! `critical_fraction` per stylesheet, so the transform splits each
+//! render-blocking CSS resource into:
+//!
+//! * a *critical* stylesheet of `size × critical_fraction` bytes referenced
+//!   at the original offset (still render-blocking), and
+//! * a *deferred* remainder referenced at the very end of the document,
+//!   not render-blocking.
+//!
+//! Resources discovered *from* the stylesheet (fonts, background images)
+//! follow the critical part when they are above-the-fold, else the
+//! deferred part. Sites that already inline/critical-optimize (w16 in the
+//! paper, `critical_fraction = 1.0`) come out unchanged — matching the
+//! paper's observation that a critical-CSS rewrite cannot help them.
+
+use crate::page::Page;
+use crate::types::{Discovery, Resource, ResourceId, ResourceType};
+
+/// Minimum bytes for a split-off stylesheet; below this the split is not
+/// worth a request and the stylesheet is left alone.
+const MIN_SPLIT_BYTES: usize = 1024;
+
+/// Outcome of the rewrite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalCssRewrite {
+    /// The rewritten page.
+    pub page: Page,
+    /// Ids (in the *new* page) of the critical stylesheets.
+    pub critical_css: Vec<ResourceId>,
+    /// Ids (in the new page) of the deferred remainders.
+    pub deferred_css: Vec<ResourceId>,
+    /// Mapping from old resource ids to new ones (critical part for split
+    /// stylesheets).
+    pub id_map: Vec<ResourceId>,
+}
+
+/// Apply the critical-CSS rewrite to `page`.
+pub fn rewrite_critical_css(page: &Page) -> CriticalCssRewrite {
+    let mut new_page = page.clone();
+    new_page.name = format!("{}-crit", page.name);
+    let mut critical = Vec::new();
+    let mut deferred = Vec::new();
+    let id_map: Vec<ResourceId> = page.resources.iter().map(|r| r.id).collect();
+
+    // Collect the render-blocking stylesheets eligible for a split.
+    let targets: Vec<ResourceId> = page
+        .resources
+        .iter()
+        .filter(|r| {
+            r.rtype == ResourceType::Css
+                && r.render_blocking
+                && r.critical_fraction < 1.0
+                && ((r.size as f64 * (1.0 - r.critical_fraction)) as usize) >= MIN_SPLIT_BYTES
+        })
+        .map(|r| r.id)
+        .collect();
+
+    let doc_end = page.html_size().saturating_sub(1);
+    for id in targets {
+        let crit_size =
+            ((page.resource(id).size as f64 * page.resource(id).critical_fraction) as usize)
+                .max(MIN_SPLIT_BYTES.min(page.resource(id).size / 2).max(256));
+        let rest_size = page.resource(id).size - crit_size.min(page.resource(id).size);
+        if rest_size < MIN_SPLIT_BYTES {
+            continue;
+        }
+        // Shrink the original into the critical part (keeps its offset and
+        // render-blocking role; everything referencing it stays valid).
+        {
+            let r = &mut new_page.resources[id.0];
+            r.size = crit_size;
+            r.critical_fraction = 1.0;
+            r.exec_us = (r.exec_us as f64 * crit_size as f64
+                / (crit_size + rest_size) as f64) as u64;
+            r.path = format!("{}.crit.css", r.path.trim_end_matches(".css"));
+        }
+        critical.push(id);
+        // Append the deferred remainder at the end of the document.
+        let deferred_id = ResourceId(new_page.resources.len());
+        let orig = page.resource(id);
+        new_page.resources.push(Resource {
+            id: deferred_id,
+            origin: orig.origin,
+            path: format!("{}.rest.css", orig.path.trim_end_matches(".css")),
+            rtype: ResourceType::Css,
+            size: rest_size,
+            exec_us: orig.exec_us.saturating_sub(new_page.resources[id.0].exec_us),
+            discovery: Discovery::Html { offset: doc_end },
+            script_mode: orig.script_mode,
+            render_blocking: false,
+            above_fold: false,
+            visual_weight: 0.0,
+            critical_fraction: 0.0,
+        });
+        deferred.push(deferred_id);
+    }
+
+    debug_assert!(new_page.validate().is_ok(), "rewrite kept the page valid");
+    CriticalCssRewrite { page: new_page, critical_css: critical, deferred_css: deferred, id_map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{PageBuilder, ResourceSpec};
+
+    fn page_with_css(critical_fraction: f64, size: usize) -> Page {
+        let mut b = PageBuilder::new("t", "example.org", 50_000, 5_000);
+        b.resource(ResourceSpec::css(0, size, 400, critical_fraction));
+        b.resource(ResourceSpec::image(0, 10_000, 20_000, true, 1.0));
+        b.text_paint(10_000, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn splits_blocking_css() {
+        let p = page_with_css(0.25, 40_000);
+        let rw = rewrite_critical_css(&p);
+        assert_eq!(rw.critical_css.len(), 1);
+        assert_eq!(rw.deferred_css.len(), 1);
+        let crit = rw.page.resource(rw.critical_css[0]);
+        let rest = rw.page.resource(rw.deferred_css[0]);
+        assert_eq!(crit.size, 10_000);
+        assert_eq!(rest.size, 30_000);
+        assert!(crit.render_blocking);
+        assert!(!rest.render_blocking);
+        // Total bytes conserved.
+        assert_eq!(crit.size + rest.size, 40_000);
+        assert!(rw.page.validate().is_ok());
+    }
+
+    #[test]
+    fn already_optimized_css_untouched() {
+        // critical_fraction = 1.0 models a site that already ships critical
+        // CSS (w16/twitter in the paper).
+        let p = page_with_css(1.0, 40_000);
+        let rw = rewrite_critical_css(&p);
+        assert!(rw.critical_css.is_empty());
+        assert_eq!(rw.page.resources.len(), p.resources.len());
+        assert_eq!(rw.page.resource(ResourceId(1)).size, 40_000);
+    }
+
+    #[test]
+    fn tiny_css_not_split() {
+        let p = page_with_css(0.5, 1500);
+        let rw = rewrite_critical_css(&p);
+        assert!(rw.critical_css.is_empty(), "a 750-byte remainder is not worth a request");
+    }
+
+    #[test]
+    fn non_blocking_css_untouched() {
+        let mut b = PageBuilder::new("t", "example.org", 50_000, 5_000);
+        let mut spec = ResourceSpec::css(0, 40_000, 49_000, 0.2);
+        spec.render_blocking = false;
+        b.resource(spec);
+        let p = b.build();
+        let rw = rewrite_critical_css(&p);
+        assert!(rw.critical_css.is_empty());
+    }
+
+    #[test]
+    fn fonts_keep_their_parent() {
+        let mut b = PageBuilder::new("t", "example.org", 50_000, 5_000);
+        let css = b.resource(ResourceSpec::css(0, 40_000, 400, 0.25));
+        b.resource(ResourceSpec::font(0, 20_000, css));
+        let p = b.build();
+        let rw = rewrite_critical_css(&p);
+        // The font's parent (the critical part) still exists and is CSS.
+        let font = rw.page.resources.iter().find(|r| r.rtype == ResourceType::Font).unwrap();
+        match font.discovery {
+            Discovery::Css { parent } => {
+                assert_eq!(rw.page.resource(parent).rtype, ResourceType::Css)
+            }
+            other => panic!("font discovery changed: {other:?}"),
+        }
+        assert!(rw.page.validate().is_ok());
+    }
+}

@@ -1,0 +1,507 @@
+//! The page: a complete structural description of one recorded website.
+
+use crate::types::{
+    Discovery, InlineScript, Origin, Resource, ResourceId, ResourceType, ScriptMode, TextPaint,
+};
+use serde::{Deserialize, Serialize};
+
+/// A recorded website ready for replay.
+///
+/// Invariants (checked by [`Page::validate`]):
+/// * resource 0 is the HTML document, served by origin 0;
+/// * every discovery offset lies within the document;
+/// * discovery parents exist and are of the right type;
+/// * origins referenced by resources exist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Page {
+    /// Site label (e.g. `"w1-wikipedia"`).
+    pub name: String,
+    /// All resources; index 0 is the HTML document.
+    pub resources: Vec<Resource>,
+    /// All origins; index 0 is the main origin serving the HTML.
+    pub origins: Vec<Origin>,
+    /// Progressive paint points of the document's own text/layout.
+    pub text_paints: Vec<TextPaint>,
+    /// Inline script blocks inside the document.
+    pub inline_scripts: Vec<InlineScript>,
+    /// Byte offset where `</head>` ends and `<body>` begins.
+    pub head_end: usize,
+    /// Push list observed on the live deployment (empty if the site did not
+    /// use push) — replayed by the `PushAsRecorded` strategy (§4.1).
+    pub recorded_push: Vec<ResourceId>,
+}
+
+impl Page {
+    /// The HTML document resource.
+    pub fn html(&self) -> &Resource {
+        &self.resources[0]
+    }
+
+    /// Size of the HTML document in (wire) bytes.
+    pub fn html_size(&self) -> usize {
+        self.resources[0].size
+    }
+
+    /// Look up a resource.
+    pub fn resource(&self, id: ResourceId) -> &Resource {
+        &self.resources[id.0]
+    }
+
+    /// All subresources (everything but the document).
+    pub fn subresources(&self) -> &[Resource] {
+        &self.resources[1..]
+    }
+
+    /// Host of a resource's origin.
+    pub fn host_of(&self, id: ResourceId) -> &str {
+        &self.origins[self.resource(id).origin].host
+    }
+
+    /// Server group answering for a resource.
+    pub fn server_group_of(&self, id: ResourceId) -> usize {
+        self.origins[self.resource(id).origin].server_group
+    }
+
+    /// Number of distinct server groups (≈ distinct servers contacted).
+    pub fn server_group_count(&self) -> usize {
+        self.origins.iter().map(|o| o.server_group).max().unwrap_or(0) + 1
+    }
+
+    /// Resources *pushable* from the main connection: those answered by the
+    /// HTML's own server group (§2.1 authority rule plus §4.1 coalescing).
+    pub fn pushable(&self) -> Vec<ResourceId> {
+        let main = self.server_group_of(ResourceId(0));
+        self.subresources()
+            .iter()
+            .filter(|r| self.origins[r.origin].server_group == main)
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// Fraction of subresources that are pushable (the §4.2 "Pushable
+    /// Objects" statistic).
+    pub fn pushable_fraction(&self) -> f64 {
+        if self.subresources().is_empty() {
+            return 1.0;
+        }
+        self.pushable().len() as f64 / self.subresources().len() as f64
+    }
+
+    /// Subresources of a given type.
+    pub fn by_type(&self, t: ResourceType) -> Vec<ResourceId> {
+        self.subresources().iter().filter(|r| r.rtype == t).map(|r| r.id).collect()
+    }
+
+    /// Total visual weight of the page (document text + above-fold
+    /// resources); the denominator for visual completeness.
+    pub fn total_visual_weight(&self) -> f64 {
+        let text: f64 = self.text_paints.iter().map(|t| t.weight).sum();
+        let res: f64 =
+            self.resources.iter().filter(|r| r.above_fold).map(|r| r.visual_weight).sum();
+        text + res
+    }
+
+    /// Total transfer size of all pushable subresources in bytes.
+    pub fn pushable_bytes(&self) -> usize {
+        self.pushable().iter().map(|&id| self.resource(id).size).sum()
+    }
+
+    /// Check the structural invariants; returns a human-readable error.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.resources.is_empty() {
+            return Err("page has no resources".into());
+        }
+        if self.resources[0].rtype != ResourceType::Html {
+            return Err("resource 0 must be the HTML document".into());
+        }
+        if self.origins.is_empty() {
+            return Err("page has no origins".into());
+        }
+        if self.resources[0].origin != 0 {
+            return Err("the document must be served by origin 0".into());
+        }
+        let html_size = self.resources[0].size;
+        if self.head_end > html_size {
+            return Err(format!("head_end {} beyond document size {html_size}", self.head_end));
+        }
+        for (i, r) in self.resources.iter().enumerate() {
+            if r.id.0 != i {
+                return Err(format!("resource {i} has mismatched id {:?}", r.id));
+            }
+            if r.origin >= self.origins.len() {
+                return Err(format!("resource {i} references unknown origin {}", r.origin));
+            }
+            if r.size == 0 {
+                return Err(format!("resource {i} has zero size"));
+            }
+            if !(0.0..=1.0).contains(&r.critical_fraction) {
+                return Err(format!("resource {i} critical_fraction out of range"));
+            }
+            match r.discovery {
+                Discovery::Html { offset } => {
+                    if i == 0 {
+                        continue;
+                    }
+                    if offset >= html_size {
+                        return Err(format!(
+                            "resource {i} referenced at {offset}, beyond document size {html_size}"
+                        ));
+                    }
+                }
+                Discovery::Css { parent } | Discovery::Script { parent } => {
+                    let Some(p) = self.resources.get(parent.0) else {
+                        return Err(format!("resource {i} has unknown parent {:?}", parent));
+                    };
+                    let want = if matches!(r.discovery, Discovery::Css { .. }) {
+                        ResourceType::Css
+                    } else {
+                        ResourceType::Js
+                    };
+                    // Inline-script-discovered resources hang off the HTML.
+                    if p.rtype != want && p.rtype != ResourceType::Html {
+                        return Err(format!(
+                            "resource {i} discovered by {:?} of wrong type {:?}",
+                            parent, p.rtype
+                        ));
+                    }
+                    if parent.0 == i {
+                        return Err(format!("resource {i} discovers itself"));
+                    }
+                }
+            }
+        }
+        for t in &self.text_paints {
+            if t.offset > html_size {
+                return Err("text paint beyond document".into());
+            }
+        }
+        for s in &self.inline_scripts {
+            if s.offset > html_size {
+                return Err("inline script beyond document".into());
+            }
+        }
+        for p in &self.recorded_push {
+            if p.0 == 0 || p.0 >= self.resources.len() {
+                return Err(format!("recorded push of invalid resource {:?}", p));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for hand-written site specs (used for s1–s10 and w1–w20).
+///
+/// ```
+/// use h2push_webmodel::{PageBuilder, ResourceSpec};
+///
+/// let mut b = PageBuilder::new("demo", "demo.test", 40_000, 4_000);
+/// let css = b.resource(ResourceSpec::css(0, 12_000, 300, 0.4));
+/// b.resource(ResourceSpec::font(0, 20_000, css));
+/// b.text_paint(10_000, 1.0);
+/// let page = b.build(); // panics on invalid specs
+/// assert_eq!(page.pushable().len(), 2);
+/// ```
+pub struct PageBuilder {
+    name: String,
+    resources: Vec<Resource>,
+    origins: Vec<Origin>,
+    text_paints: Vec<TextPaint>,
+    inline_scripts: Vec<InlineScript>,
+    head_end: usize,
+    recorded_push: Vec<ResourceId>,
+}
+
+impl PageBuilder {
+    /// Start a page: `html_size` wire bytes served from `host`, with the
+    /// head ending at `head_end`.
+    pub fn new(name: &str, host: &str, html_size: usize, head_end: usize) -> Self {
+        let html = Resource {
+            id: ResourceId(0),
+            origin: 0,
+            path: "/".into(),
+            rtype: ResourceType::Html,
+            size: html_size,
+            exec_us: 0,
+            discovery: Discovery::Html { offset: 0 },
+            script_mode: ScriptMode::Blocking,
+            render_blocking: false,
+            above_fold: false,
+            visual_weight: 0.0,
+            critical_fraction: 0.0,
+        };
+        PageBuilder {
+            name: name.into(),
+            resources: vec![html],
+            origins: vec![Origin { host: host.into(), server_group: 0, same_infra: true }],
+            text_paints: Vec::new(),
+            inline_scripts: Vec::new(),
+            head_end,
+            recorded_push: Vec::new(),
+        }
+    }
+
+    /// Add an origin; returns its index.
+    pub fn origin(&mut self, host: &str, server_group: usize, same_infra: bool) -> usize {
+        self.origins.push(Origin { host: host.into(), server_group, same_infra });
+        self.origins.len() - 1
+    }
+
+    /// Add a resource; returns its id. The path gets a stable default if
+    /// empty.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resource(&mut self, r: ResourceSpec) -> ResourceId {
+        let id = ResourceId(self.resources.len());
+        let path = if r.path.is_empty() {
+            format!("/{}/{}.{}", r.rtype.label(), id.0, r.rtype.label())
+        } else {
+            r.path
+        };
+        self.resources.push(Resource {
+            id,
+            origin: r.origin,
+            path,
+            rtype: r.rtype,
+            size: r.size,
+            exec_us: r.exec_us,
+            discovery: r.discovery,
+            script_mode: r.script_mode,
+            render_blocking: r.render_blocking,
+            above_fold: r.above_fold,
+            visual_weight: r.visual_weight,
+            critical_fraction: r.critical_fraction,
+        });
+        id
+    }
+
+    /// Add a progressive text paint point.
+    pub fn text_paint(&mut self, offset: usize, weight: f64) -> &mut Self {
+        self.text_paints.push(TextPaint { offset, weight });
+        self
+    }
+
+    /// Add an inline script block.
+    pub fn inline_script(&mut self, offset: usize, exec_us: u64, needs_cssom: bool) -> &mut Self {
+        self.inline_scripts.push(InlineScript { offset, exec_us, needs_cssom });
+        self
+    }
+
+    /// Record the live deployment's push list.
+    pub fn recorded_push(&mut self, ids: &[ResourceId]) -> &mut Self {
+        self.recorded_push.extend_from_slice(ids);
+        self
+    }
+
+    /// Finish; panics on invariant violations (specs are code, not input).
+    pub fn build(self) -> Page {
+        let page = Page {
+            name: self.name,
+            resources: self.resources,
+            origins: self.origins,
+            text_paints: self.text_paints,
+            inline_scripts: self.inline_scripts,
+            head_end: self.head_end,
+            recorded_push: self.recorded_push,
+        };
+        if let Err(e) = page.validate() {
+            panic!("invalid page spec '{}': {e}", page.name);
+        }
+        page
+    }
+}
+
+/// Parameters for [`PageBuilder::resource`].
+#[derive(Debug, Clone)]
+pub struct ResourceSpec {
+    /// Origin index.
+    pub origin: usize,
+    /// URL path ("" for an auto-generated one).
+    pub path: String,
+    /// Content type.
+    pub rtype: ResourceType,
+    /// Transfer size in bytes.
+    pub size: usize,
+    /// Evaluation CPU time in µs.
+    pub exec_us: u64,
+    /// Discovery path.
+    pub discovery: Discovery,
+    /// Script mode (scripts only).
+    pub script_mode: ScriptMode,
+    /// Render-blocking (CSS in head).
+    pub render_blocking: bool,
+    /// In the initial viewport.
+    pub above_fold: bool,
+    /// Visual weight when painted.
+    pub visual_weight: f64,
+    /// Critical fraction (CSS only).
+    pub critical_fraction: f64,
+}
+
+impl ResourceSpec {
+    /// A head stylesheet: render-blocking, above-the-fold relevant.
+    pub fn css(origin: usize, size: usize, offset: usize, critical_fraction: f64) -> Self {
+        ResourceSpec {
+            origin,
+            path: String::new(),
+            rtype: ResourceType::Css,
+            size,
+            exec_us: (size as u64 / 100).max(200), // ~10 µs per KB, min 0.2 ms
+            discovery: Discovery::Html { offset },
+            script_mode: ScriptMode::Blocking,
+            render_blocking: true,
+            above_fold: true,
+            visual_weight: 0.0,
+            critical_fraction,
+        }
+    }
+
+    /// A classic blocking script.
+    pub fn js(origin: usize, size: usize, offset: usize, exec_us: u64) -> Self {
+        ResourceSpec {
+            origin,
+            path: String::new(),
+            rtype: ResourceType::Js,
+            size,
+            exec_us,
+            discovery: Discovery::Html { offset },
+            script_mode: ScriptMode::Blocking,
+            render_blocking: false,
+            above_fold: false,
+            visual_weight: 0.0,
+            critical_fraction: 0.0,
+        }
+    }
+
+    /// An async script.
+    pub fn js_async(origin: usize, size: usize, offset: usize, exec_us: u64) -> Self {
+        ResourceSpec { script_mode: ScriptMode::Async, ..Self::js(origin, size, offset, exec_us) }
+    }
+
+    /// An image referenced in the body.
+    pub fn image(origin: usize, size: usize, offset: usize, above_fold: bool, weight: f64) -> Self {
+        ResourceSpec {
+            origin,
+            path: String::new(),
+            rtype: ResourceType::Image,
+            size,
+            exec_us: 300,
+            discovery: Discovery::Html { offset },
+            script_mode: ScriptMode::Blocking,
+            render_blocking: false,
+            above_fold,
+            visual_weight: weight,
+            critical_fraction: 0.0,
+        }
+    }
+
+    /// A font referenced from a stylesheet.
+    pub fn font(origin: usize, size: usize, css_parent: ResourceId) -> Self {
+        ResourceSpec {
+            origin,
+            path: String::new(),
+            rtype: ResourceType::Font,
+            size,
+            exec_us: 200,
+            discovery: Discovery::Css { parent: css_parent },
+            script_mode: ScriptMode::Blocking,
+            render_blocking: false,
+            above_fold: true,
+            visual_weight: 0.5,
+            critical_fraction: 0.0,
+        }
+    }
+
+    /// A resource loaded by a script (hidden from the preload scanner).
+    pub fn script_loaded(origin: usize, size: usize, js_parent: ResourceId, rtype: ResourceType) -> Self {
+        ResourceSpec {
+            origin,
+            path: String::new(),
+            rtype,
+            size,
+            exec_us: 300,
+            discovery: Discovery::Script { parent: js_parent },
+            script_mode: ScriptMode::Async,
+            render_blocking: false,
+            above_fold: false,
+            visual_weight: 0.0,
+            critical_fraction: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_page() -> Page {
+        let mut b = PageBuilder::new("demo", "example.org", 40_000, 4_000);
+        let cdn = b.origin("cdn.example.org", 0, true); // coalesced with main
+        let third = b.origin("ads.tracker.net", 1, false);
+        let css = b.resource(ResourceSpec::css(0, 20_000, 500, 0.3));
+        b.resource(ResourceSpec::js(cdn, 30_000, 1_000, 15_000));
+        b.resource(ResourceSpec::image(0, 50_000, 10_000, true, 3.0));
+        b.resource(ResourceSpec::font(0, 25_000, css));
+        b.resource(ResourceSpec::js_async(third, 15_000, 20_000, 5_000));
+        b.text_paint(8_000, 1.0);
+        b.text_paint(30_000, 2.0);
+        b.inline_script(12_000, 3_000, true);
+        b.build()
+    }
+
+    #[test]
+    fn builder_produces_valid_page() {
+        let p = demo_page();
+        assert_eq!(p.resources.len(), 6);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn pushable_respects_server_groups() {
+        let p = demo_page();
+        // css, js (cdn coalesced), image, font are pushable; the ad is not.
+        assert_eq!(p.pushable().len(), 4);
+        assert!((p.pushable_fraction() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn by_type_filters() {
+        let p = demo_page();
+        assert_eq!(p.by_type(ResourceType::Js).len(), 2);
+        assert_eq!(p.by_type(ResourceType::Css).len(), 1);
+        assert_eq!(p.by_type(ResourceType::Html).len(), 0); // subresources only
+    }
+
+    #[test]
+    fn total_visual_weight_sums_text_and_resources() {
+        let p = demo_page();
+        // text 3.0 + image 3.0 + font 0.5 (css has weight 0).
+        assert!((p.total_visual_weight() - 6.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_catches_bad_offsets() {
+        let mut p = demo_page();
+        p.resources[2].discovery = Discovery::Html { offset: 1_000_000 };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_parent() {
+        let mut p = demo_page();
+        p.resources[2].discovery = Discovery::Css { parent: ResourceId(99) };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = demo_page();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Page = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn pushable_bytes_counts_sizes() {
+        let p = demo_page();
+        assert_eq!(p.pushable_bytes(), 20_000 + 30_000 + 50_000 + 25_000);
+    }
+}

@@ -1,0 +1,147 @@
+//! Mahimahi-style record database (§4.1).
+//!
+//! Mahimahi records HTTP request/response pairs in per-site databases and
+//! later serves replays by matching requests against them. This module is
+//! the equivalent: a [`RecordDb`] maps `(host, path)` to a recorded
+//! response. Databases serialize to JSON so recorded corpora can be stored,
+//! inspected and shared like Mahimahi record directories.
+
+use crate::page::Page;
+use crate::types::ResourceId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A recorded response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordedResponse {
+    /// HTTP status.
+    pub status: u16,
+    /// `content-type` value.
+    pub content_type: String,
+    /// Body length in (wire) bytes.
+    pub body_len: usize,
+    /// The page resource this response corresponds to.
+    pub resource: ResourceId,
+}
+
+/// A request key: authority plus path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RequestKey {
+    /// `:authority`.
+    pub host: String,
+    /// `:path`.
+    pub path: String,
+}
+
+/// The record database for one site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordDb {
+    /// Site name (matches [`Page::name`]).
+    pub site: String,
+    entries: Vec<(RequestKey, RecordedResponse)>,
+    #[serde(skip)]
+    index: HashMap<RequestKey, usize>,
+}
+
+impl RecordDb {
+    /// Record a page: one entry per resource, keyed by its origin host and
+    /// path.
+    pub fn record(page: &Page) -> Self {
+        let mut db = RecordDb { site: page.name.clone(), entries: Vec::new(), index: HashMap::new() };
+        for r in &page.resources {
+            let key = RequestKey {
+                host: page.origins[r.origin].host.clone(),
+                path: r.path.clone(),
+            };
+            let resp = RecordedResponse {
+                status: 200,
+                content_type: r.rtype.mime().to_string(),
+                body_len: r.size,
+                resource: r.id,
+            };
+            db.index.insert(key.clone(), db.entries.len());
+            db.entries.push((key, resp));
+        }
+        db
+    }
+
+    /// Number of recorded pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Match a request, Mahimahi-style: exact host+path.
+    pub fn lookup(&self, host: &str, path: &str) -> Option<&RecordedResponse> {
+        let key = RequestKey { host: host.to_string(), path: path.to_string() };
+        self.index.get(&key).map(|&i| &self.entries[i].1)
+    }
+
+    /// Rebuild the lookup index (needed after deserialization).
+    pub fn reindex(&mut self) {
+        self.index =
+            self.entries.iter().enumerate().map(|(i, (k, _))| (k.clone(), i)).collect();
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("record DB serializes")
+    }
+
+    /// Deserialize from JSON (and reindex).
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        let mut db: RecordDb = serde_json::from_str(s)?;
+        db.reindex();
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{PageBuilder, ResourceSpec};
+
+    fn page() -> Page {
+        let mut b = PageBuilder::new("rdb-test", "example.org", 10_000, 1_000);
+        let cdn = b.origin("cdn.example.org", 0, true);
+        b.resource(ResourceSpec::css(0, 5_000, 100, 0.5));
+        b.resource(ResourceSpec::js(cdn, 8_000, 200, 1_000));
+        b.build()
+    }
+
+    #[test]
+    fn record_and_lookup() {
+        let db = RecordDb::record(&page());
+        assert_eq!(db.len(), 3);
+        let root = db.lookup("example.org", "/").unwrap();
+        assert_eq!(root.body_len, 10_000);
+        assert_eq!(root.content_type, "text/html");
+        assert!(db.lookup("example.org", "/missing").is_none());
+        assert!(db.lookup("evil.org", "/").is_none());
+    }
+
+    #[test]
+    fn cdn_resources_match_their_host() {
+        let p = page();
+        let db = RecordDb::record(&p);
+        let js_path = p.resources[2].path.clone();
+        assert!(db.lookup("cdn.example.org", &js_path).is_some());
+        assert!(db.lookup("example.org", &js_path).is_none());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_lookup() {
+        let db = RecordDb::record(&page());
+        let json = db.to_json();
+        let db2 = RecordDb::from_json(&json).unwrap();
+        assert_eq!(db2.len(), db.len());
+        assert_eq!(
+            db2.lookup("example.org", "/").unwrap().body_len,
+            db.lookup("example.org", "/").unwrap().body_len
+        );
+    }
+}

@@ -1,0 +1,581 @@
+//! The paper's real-world interleaving-push sites w1–w20 (Table 1, §5).
+//!
+//! We cannot re-crawl the 2018 pages, so each site is encoded from the
+//! structural facts the paper itself reports:
+//!
+//! * w1 (wikipedia, article): 236 KB compressed HTML; in the no-push case
+//!   the browser prioritizes the HTML over the CSS, so the server sends the
+//!   entire document before any stylesheet — the flagship interleaving win
+//!   (−68.85 % SpeedIndex, pushing 78.43 KB of 1123 KB pushable).
+//! * w2 (apple): several stylesheets requested after the HTML block script
+//!   execution and hence DOM construction; critical CSS alone gives
+//!   −19.22 %.
+//! * w5 (craigslist): 8 requests, one server.
+//! * w7 (reddit) / w8 (bestbuy): a large blocking script in the head
+//!   dominates the critical render path; removing 87 KB of CSS from the
+//!   CRP barely moves the visual progress.
+//! * w9 (paypal): no blocking code until the end of the HTML; push-all
+//!   helps, a critical CSS does not add much.
+//! * w10 (walmart): image-heavy (push-all causes bandwidth contention)
+//!   with a large share of inlined JS (interleaving has little to bite on).
+//! * w16 (twitter, profile): 45 KB HTML, critical CSS already inlined by
+//!   the site; interleaving pushes just 10.2 KB for −19.67 %.
+//! * w17 (cnn): 369 requests to 81 servers; whatever push does is diluted
+//!   by third-party complexity.
+//!
+//! The remaining sites are encoded as their archetypes (storefronts, news
+//! portals, banks, portals) with sizes consistent with Table 1's breadth.
+
+use crate::page::{Page, PageBuilder, ResourceSpec};
+use crate::types::{ResourceId, ResourceType, ScriptMode};
+
+const KB: usize = 1024;
+const MS: u64 = 1000;
+
+/// Compact per-site structural spec.
+struct Spec {
+    /// wN index (1-based).
+    n: usize,
+    /// Site label from Table 1.
+    label: &'static str,
+    /// Compressed HTML size in KB.
+    html_kb: usize,
+    /// Head size in KB.
+    head_kb: usize,
+    /// Stylesheets: (KB, critical fraction, render-blocking).
+    css: &'static [(usize, f64, bool)],
+    /// Scripts: (KB, exec ms, offset as % of HTML, mode).
+    js: &'static [(usize, u64, usize, ScriptMode)],
+    /// First-party images: (count, avg KB, above-fold count).
+    images: (usize, usize, usize),
+    /// Fonts (count, KB) hanging off the first stylesheet (or head).
+    fonts: (usize, usize),
+    /// Third-party objects: (count, avg KB, distinct server groups).
+    third: (usize, usize, usize),
+    /// How many third-party objects render above the fold (ads/embeds in
+    /// the viewport — they dilute what first-party push can improve).
+    tp_af: usize,
+    /// Inline scripts: (offset % of HTML, exec ms, needs CSSOM).
+    inline_js: &'static [(usize, u64, bool)],
+    /// Text paint points: (offset % of HTML, weight).
+    text: &'static [(usize, f64)],
+}
+
+const B: ScriptMode = ScriptMode::Blocking;
+const A: ScriptMode = ScriptMode::Async;
+const D: ScriptMode = ScriptMode::Defer;
+
+static SPECS: &[Spec] = &[
+    Spec {
+        n: 1,
+        label: "wikipedia",
+        html_kb: 236,
+        head_kb: 4,
+        // Large sitewide CSS, small critical share (the paper pushes
+        // 78.43 KB total: critical CSS + one blocking JS + two images).
+        css: &[(65, 0.18, true), (38, 0.10, true)],
+        js: &[(40, 30, 1, B), (130, 80, 97, D)],
+        images: (25, 30, 3),
+        fonts: (0, 0),
+        third: (2, 10, 1),
+        tp_af: 0,
+        inline_js: &[],
+        text: &[(3, 2.5), (20, 2.0), (50, 1.5), (80, 1.0)],
+    },
+    Spec {
+        n: 2,
+        label: "apple",
+        html_kb: 55,
+        head_kb: 7,
+        // Several CSS files block JS execution and DOM construction.
+        css: &[(88, 0.22, true), (64, 0.18, true), (41, 0.25, true)],
+        js: &[(95, 60, 3, B), (120, 90, 90, D)],
+        images: (14, 38, 4),
+        fonts: (2, 30),
+        third: (4, 12, 2),
+        tp_af: 0,
+        inline_js: &[(40, 8, true)],
+        text: &[(10, 1.5), (45, 1.0)],
+    },
+    Spec {
+        n: 3,
+        label: "yahoo",
+        html_kb: 120,
+        head_kb: 10,
+        css: &[(72, 0.2, true)],
+        js: &[(150, 140, 4, B), (90, 60, 50, A), (60, 30, 85, A)],
+        images: (30, 18, 6),
+        fonts: (1, 25),
+        third: (40, 14, 14),
+        tp_af: 8,
+        inline_js: &[(25, 20, true), (60, 15, false)],
+        text: &[(8, 1.5), (30, 1.2), (70, 1.0)],
+    },
+    Spec {
+        n: 4,
+        label: "amazon",
+        html_kb: 180,
+        head_kb: 14,
+        css: &[(95, 0.25, true), (30, 0.3, true)],
+        js: &[(60, 40, 5, B), (200, 150, 92, D)],
+        images: (45, 25, 8),
+        fonts: (0, 0),
+        third: (12, 10, 5),
+        tp_af: 4,
+        inline_js: &[(20, 25, true), (55, 30, true), (80, 15, false)],
+        text: &[(10, 1.5), (40, 1.5), (75, 1.0)],
+    },
+    Spec {
+        n: 5,
+        label: "craigslist",
+        // 8 requests served by one server (the paper's own count).
+        html_kb: 30,
+        head_kb: 2,
+        css: &[(9, 0.6, true)],
+        js: &[(14, 8, 6, B)],
+        images: (5, 6, 2),
+        fonts: (0, 0),
+        third: (0, 0, 0),
+        tp_af: 0,
+        inline_js: &[],
+        text: &[(10, 2.5), (50, 2.0)],
+    },
+    Spec {
+        n: 6,
+        label: "chase",
+        html_kb: 70,
+        head_kb: 9,
+        css: &[(110, 0.2, true)],
+        js: &[(170, 120, 4, B), (80, 50, 88, D)],
+        images: (8, 30, 3),
+        fonts: (2, 35),
+        third: (6, 8, 3),
+        tp_af: 1,
+        inline_js: &[(30, 10, true)],
+        text: &[(12, 1.5), (50, 1.0)],
+    },
+    Spec {
+        n: 7,
+        label: "reddit",
+        html_kb: 85,
+        head_kb: 8,
+        // 87 KB of CSS can leave the CRP, but the huge blocking JS in the
+        // head dominates anyway.
+        css: &[(87, 0.15, true)],
+        js: &[(260, 620, 2, B), (90, 60, 80, A)],
+        images: (22, 16, 5),
+        fonts: (1, 28),
+        third: (10, 12, 4),
+        tp_af: 3,
+        inline_js: &[(40, 15, true)],
+        text: &[(10, 1.2), (45, 1.2)],
+    },
+    Spec {
+        n: 8,
+        label: "bestbuy",
+        html_kb: 110,
+        head_kb: 12,
+        css: &[(75, 0.2, true), (25, 0.25, true)],
+        js: &[(230, 520, 3, B), (110, 70, 85, D)],
+        images: (35, 22, 7),
+        fonts: (1, 32),
+        third: (14, 10, 6),
+        tp_af: 4,
+        inline_js: &[(30, 20, true)],
+        text: &[(12, 1.2), (55, 1.0)],
+    },
+    Spec {
+        n: 9,
+        label: "paypal",
+        // No blocking code until the end of the HTML; the stylesheet is
+        // small and mostly critical already.
+        html_kb: 48,
+        head_kb: 5,
+        css: &[(28, 0.85, true)],
+        js: &[(140, 90, 95, B)],
+        images: (10, 28, 4),
+        fonts: (2, 30),
+        third: (5, 9, 2),
+        tp_af: 2,
+        inline_js: &[],
+        text: &[(15, 1.8), (60, 1.2)],
+    },
+    Spec {
+        n: 10,
+        label: "walmart",
+        // Image-heavy + lots of inlined JS.
+        html_kb: 160,
+        head_kb: 12,
+        css: &[(70, 0.25, true)],
+        js: &[(90, 60, 4, B)],
+        images: (60, 35, 10),
+        fonts: (1, 30),
+        third: (15, 14, 6),
+        tp_af: 5,
+        inline_js: &[(15, 50, true), (35, 60, true), (60, 45, true), (85, 40, false)],
+        text: &[(10, 1.2), (45, 1.2), (80, 0.8)],
+    },
+    Spec {
+        n: 11,
+        label: "aliexpress",
+        html_kb: 95,
+        head_kb: 10,
+        css: &[(55, 0.25, true), (20, 0.3, true)],
+        js: &[(130, 100, 5, B), (85, 55, 70, A)],
+        images: (40, 20, 8),
+        fonts: (0, 0),
+        third: (18, 11, 7),
+        tp_af: 5,
+        inline_js: &[(30, 25, true)],
+        text: &[(10, 1.3), (50, 1.0)],
+    },
+    Spec {
+        n: 12,
+        label: "ebay",
+        html_kb: 140,
+        head_kb: 11,
+        css: &[(80, 0.22, true)],
+        js: &[(100, 70, 4, B), (150, 100, 90, D)],
+        images: (38, 24, 7),
+        fonts: (1, 26),
+        third: (16, 12, 6),
+        tp_af: 4,
+        inline_js: &[(25, 20, true), (65, 25, true)],
+        text: &[(8, 1.4), (40, 1.2), (75, 0.8)],
+    },
+    Spec {
+        n: 13,
+        label: "yelp",
+        html_kb: 175,
+        head_kb: 13,
+        css: &[(120, 0.18, true)],
+        js: &[(180, 130, 3, B), (70, 40, 80, A)],
+        images: (28, 26, 6),
+        fonts: (2, 30),
+        third: (12, 10, 5),
+        tp_af: 4,
+        inline_js: &[(35, 30, true)],
+        text: &[(10, 1.3), (50, 1.2)],
+    },
+    Spec {
+        n: 14,
+        label: "youtube",
+        html_kb: 210,
+        head_kb: 16,
+        css: &[(90, 0.2, true)],
+        js: &[(320, 260, 5, B), (110, 70, 90, D)],
+        images: (32, 20, 9),
+        fonts: (1, 24),
+        third: (8, 10, 3),
+        tp_af: 2,
+        inline_js: &[(20, 40, true), (55, 35, true)],
+        text: &[(8, 1.0), (40, 1.0)],
+    },
+    Spec {
+        n: 15,
+        label: "microsoft",
+        html_kb: 62,
+        head_kb: 7,
+        css: &[(48, 0.3, true), (22, 0.35, true)],
+        js: &[(75, 50, 4, B), (60, 35, 85, D)],
+        images: (16, 30, 5),
+        fonts: (2, 34),
+        third: (7, 9, 3),
+        tp_af: 1,
+        inline_js: &[],
+        text: &[(12, 1.8), (55, 1.2)],
+    },
+    Spec {
+        n: 16,
+        label: "twitter",
+        // Profile page: 45 KB HTML, critical CSS already inlined by the
+        // site (critical_fraction 1.0 ⇒ the rewrite is a no-op), CSS made
+        // dependent on the HTML. Interleaving pushes ~10 KB.
+        html_kb: 45,
+        head_kb: 6,
+        css: &[(6, 1.0, true), (80, 0.0, false)],
+        js: &[(150, 110, 93, D)],
+        images: (12, 18, 4),
+        fonts: (1, 28),
+        third: (3, 8, 1),
+        tp_af: 1,
+        inline_js: &[(14, 12, false)],
+        text: &[(15, 2.0), (55, 1.5)],
+    },
+    Spec {
+        n: 17,
+        label: "cnn",
+        // 369 requests to 81 servers: overwhelming third-party complexity.
+        html_kb: 155,
+        head_kb: 12,
+        css: &[(95, 0.15, true)],
+        js: &[(160, 120, 3, B), (120, 80, 60, A), (90, 50, 88, A)],
+        images: (70, 18, 4),
+        fonts: (2, 28),
+        third: (210, 9, 80),
+        tp_af: 40,
+        inline_js: &[(20, 30, true), (50, 25, true), (80, 20, false)],
+        text: &[(8, 1.2), (35, 1.2), (70, 0.8)],
+    },
+    Spec {
+        n: 18,
+        label: "wellsfargo",
+        html_kb: 58,
+        head_kb: 7,
+        css: &[(65, 0.3, true)],
+        js: &[(120, 80, 4, B)],
+        images: (9, 26, 3),
+        fonts: (2, 32),
+        third: (4, 8, 2),
+        tp_af: 1,
+        inline_js: &[(40, 10, true)],
+        text: &[(14, 1.8), (60, 1.0)],
+    },
+    Spec {
+        n: 19,
+        label: "bankofamerica",
+        html_kb: 92,
+        head_kb: 10,
+        css: &[(85, 0.25, true), (30, 0.3, true)],
+        js: &[(150, 100, 5, B), (60, 40, 85, D)],
+        images: (11, 24, 4),
+        fonts: (2, 30),
+        third: (6, 9, 3),
+        tp_af: 2,
+        inline_js: &[(30, 15, true)],
+        text: &[(12, 1.6), (55, 1.0)],
+    },
+    Spec {
+        n: 20,
+        label: "nytimes",
+        html_kb: 130,
+        head_kb: 11,
+        css: &[(70, 0.2, true)],
+        js: &[(190, 150, 4, B), (100, 60, 75, A)],
+        images: (34, 22, 6),
+        fonts: (3, 30),
+        third: (60, 11, 20),
+        tp_af: 10,
+        inline_js: &[(25, 25, true), (60, 20, true)],
+        text: &[(10, 1.5), (40, 1.3), (75, 0.8)],
+    },
+];
+
+fn build(spec: &Spec) -> Page {
+    let html = spec.html_kb * KB;
+    let mut b = PageBuilder::new(
+        &format!("w{}-{}", spec.n, spec.label),
+        &format!("{}.com", spec.label),
+        html,
+        spec.head_kb * KB,
+    );
+    // A coalesced static host of the same infrastructure (the paper's §5
+    // domain unification step merges these before the experiments).
+    let static_origin = b.origin(&format!("static.{}.com", spec.label), 0, true);
+
+    let mut first_css: Option<ResourceId> = None;
+    for (i, &(kb, crit, blocking)) in spec.css.iter().enumerate() {
+        let offset = if blocking {
+            200 + i * 600
+        } else {
+            html - 600 - i
+        };
+        let mut s = ResourceSpec::css(
+            if i % 2 == 0 { 0 } else { static_origin },
+            kb * KB,
+            offset.min(html - 1),
+            crit,
+        );
+        s.render_blocking = blocking;
+        s.above_fold = blocking;
+        let id = b.resource(s);
+        first_css.get_or_insert(id);
+    }
+    for &(kb, exec_ms, pos_pct, mode) in spec.js {
+        let offset = (html * pos_pct / 100).clamp(100, html - 1);
+        let mut s = ResourceSpec::js(static_origin, kb * KB, offset, exec_ms * MS);
+        s.script_mode = mode;
+        b.resource(s);
+    }
+    let (n_img, img_kb, n_af) = spec.images;
+    for i in 0..n_img {
+        let offset =
+            (spec.head_kb * KB + (html - spec.head_kb * KB) * (i + 1) / (n_img + 2)).min(html - 1);
+        // The first above-the-fold image is the hero: several times the
+        // average size and a large share of the viewport. Its multi-RTT
+        // transfer dominates the visual tail on image-led pages.
+        let (size, weight) = if i == 0 && n_af > 0 {
+            (img_kb * KB * 4, 3.0)
+        } else if i < n_af {
+            (img_kb * KB, 1.6)
+        } else {
+            (img_kb * KB, 0.0)
+        };
+        b.resource(ResourceSpec::image(static_origin, size, offset, i < n_af, weight));
+    }
+    let (n_fonts, font_kb) = spec.fonts;
+    for _ in 0..n_fonts {
+        match first_css {
+            Some(css) => {
+                b.resource(ResourceSpec::font(0, font_kb * KB, css));
+            }
+            None => {
+                let mut s = ResourceSpec::font(0, font_kb * KB, ResourceId(0));
+                s.discovery = crate::types::Discovery::Html { offset: 150 };
+                b.resource(s);
+            }
+        }
+    }
+    let (n_third, third_kb, groups) = spec.third;
+    let mut group_origins = Vec::new();
+    for g in 0..groups {
+        group_origins.push(b.origin(&format!("tp{g}.{}.net", spec.label), g + 1, false));
+    }
+    for i in 0..n_third {
+        let origin = group_origins[i % group_origins.len().max(1)];
+        let offset = (spec.head_kb * KB + i * 913) % (html - 200) + 100;
+        if i < spec.tp_af {
+            // Above-the-fold third-party content loads the way ads do: a
+            // loader script discovered from the markup pulls an auction
+            // script which pulls the creative — a multi-hop, network-bound
+            // chain whose latency the first-party server cannot push away.
+            // This is precisely why heavy third-party pages dilute push
+            // gains (w17/cnn).
+            let loader = b.resource(ResourceSpec::js_async(origin, 16 * KB, offset, 2 * MS));
+            let auction = b.resource(ResourceSpec::script_loaded(
+                origin,
+                12 * KB,
+                loader,
+                ResourceType::Js,
+            ));
+            // Creatives are heavy (rich media) — several times the site's
+            // ordinary third-party objects.
+            let mut creative = ResourceSpec::script_loaded(
+                origin,
+                3 * third_kb * KB,
+                auction,
+                ResourceType::Image,
+            );
+            creative.above_fold = true;
+            creative.visual_weight = 1.1;
+            b.resource(creative);
+            continue;
+        }
+        let roll = i % 5;
+        let r = if roll < 3 {
+            ResourceSpec::image(origin, third_kb * KB, offset, false, 0.0)
+        } else {
+            ResourceSpec::js_async(origin, third_kb * KB, offset, 5 * MS)
+        };
+        b.resource(r);
+    }
+    for &(pos_pct, ms, cssom) in spec.inline_js {
+        b.inline_script(html * pos_pct / 100, ms * MS, cssom);
+    }
+    for &(pos_pct, w) in spec.text {
+        b.text_paint(html * pos_pct / 100, w * 0.6);
+    }
+    b.build()
+}
+
+/// Build real-world site wN (1-based). Panics outside 1..=20.
+pub fn realworld_site(n: usize) -> Page {
+    let spec = SPECS.iter().find(|s| s.n == n).unwrap_or_else(|| panic!("no site w{n}"));
+    build(spec)
+}
+
+/// All twenty Table-1 sites in order.
+pub fn realworld_set() -> Vec<Page> {
+    SPECS.iter().map(build).collect()
+}
+
+/// The table-1 labels in order (for reports).
+pub fn realworld_labels() -> Vec<&'static str> {
+    SPECS.iter().map(|s| s.label).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_twenty_build_and_validate() {
+        let set = realworld_set();
+        assert_eq!(set.len(), 20);
+        for p in &set {
+            p.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn w1_matches_paper_structure() {
+        let p = realworld_site(1);
+        assert_eq!(p.html_size(), 236 * KB, "wikipedia HTML is 236 KB compressed");
+        // Pushable budget near the paper's 1123 KB (within a factor).
+        let pb = p.pushable_bytes();
+        assert!((700 * KB..1600 * KB).contains(&pb), "pushable bytes {pb}");
+    }
+
+    #[test]
+    fn w5_is_small_and_single_server() {
+        let p = realworld_site(5);
+        // 8 requests total in the paper: HTML + 7 subresources here.
+        assert!(p.resources.len() <= 9, "craigslist has {} resources", p.resources.len());
+        assert_eq!(p.server_group_count(), 1);
+    }
+
+    #[test]
+    fn w16_ships_its_own_critical_css() {
+        let p = realworld_site(16);
+        let blocking: Vec<_> = p
+            .subresources()
+            .iter()
+            .filter(|r| r.rtype == ResourceType::Css && r.render_blocking)
+            .collect();
+        assert_eq!(blocking.len(), 1);
+        assert_eq!(blocking[0].critical_fraction, 1.0, "already optimized");
+        assert!(blocking[0].size <= 8 * KB);
+        assert_eq!(p.html_size(), 45 * KB);
+    }
+
+    #[test]
+    fn w17_is_enormous_and_scattered() {
+        let p = realworld_site(17);
+        assert!(p.resources.len() > 300, "cnn had 369 requests; got {}", p.resources.len());
+        assert!(p.server_group_count() > 60, "cnn hit 81 servers; got {}", p.server_group_count());
+        assert!(p.pushable_fraction() < 0.4);
+    }
+
+    #[test]
+    fn w7_has_dominant_blocking_head_script() {
+        let p = realworld_site(7);
+        let js = p
+            .subresources()
+            .iter()
+            .filter(|r| r.is_parser_blocking_script())
+            .max_by_key(|r| r.size)
+            .unwrap();
+        assert!(js.size >= 200 * KB);
+        assert!(js.exec_us >= 300_000, "exec {}", js.exec_us);
+    }
+
+    #[test]
+    fn w10_is_image_heavy_with_inline_js() {
+        let p = realworld_site(10);
+        let img_bytes: usize =
+            p.by_type(ResourceType::Image).iter().map(|&i| p.resource(i).size).sum();
+        let total: usize = p.subresources().iter().map(|r| r.size).sum();
+        assert!(img_bytes * 2 > total, "images must dominate: {img_bytes}/{total}");
+        let inline_ms: u64 = p.inline_scripts.iter().map(|s| s.exec_us).sum::<u64>() / 1000;
+        assert!(inline_ms >= 150, "walmart inlines a lot of JS ({inline_ms} ms)");
+    }
+
+    #[test]
+    fn labels_match_table_1() {
+        let l = realworld_labels();
+        assert_eq!(l[0], "wikipedia");
+        assert_eq!(l[4], "craigslist");
+        assert_eq!(l[15], "twitter");
+        assert_eq!(l[19], "nytimes");
+    }
+}

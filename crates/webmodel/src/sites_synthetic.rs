@@ -1,0 +1,304 @@
+//! The paper's synthetic sites s1–s10 (§4.3).
+//!
+//! These are single-server sites ("we relocate content"), each an archetype
+//! the paper uses to study custom push strategies in isolation. s1, s5 and
+//! s8 are described in detail in the paper's case studies and are encoded
+//! faithfully; the remaining sites are the surrounding template archetypes
+//! (blog, shop, gallery, …) with diverse structure.
+
+use crate::page::{Page, PageBuilder, ResourceSpec};
+use crate::types::{ResourceId, ResourceType, ScriptMode};
+
+const KB: usize = 1024;
+const MS: u64 = 1000;
+
+/// Build synthetic site `sN` (1-based). Panics outside 1..=10.
+pub fn synthetic_site(n: usize) -> Page {
+    match n {
+        1 => s1_loading_icon(),
+        2 => s2_landing(),
+        3 => s3_blog(),
+        4 => s4_shop(),
+        5 => s5_late_blocking_js(),
+        6 => s6_gallery(),
+        7 => s7_docs(),
+        8 => s8_early_refs_long_html(),
+        9 => s9_font_heavy(),
+        10 => s10_inline_optimized(),
+        other => panic!("synthetic sites are s1..=s10, got s{other}"),
+    }
+}
+
+/// All ten synthetic sites.
+pub fn synthetic_set() -> Vec<Page> {
+    (1..=10).map(synthetic_site).collect()
+}
+
+/// The custom push strategy the paper crafts per site (§4.3): resources
+/// that appear above-the-fold or are required to paint it.
+pub fn custom_strategy(page: &Page) -> Vec<ResourceId> {
+    page.subresources()
+        .iter()
+        .filter(|r| {
+            r.render_blocking
+                || r.is_parser_blocking_script() && matches!(r.discovery, crate::types::Discovery::Html { offset } if offset < page.head_end)
+                || (r.above_fold && r.rtype != ResourceType::Image)
+                || (r.above_fold && r.rtype == ResourceType::Image && r.visual_weight >= 1.5)
+        })
+        .map(|r| r.id)
+        .collect()
+}
+
+/// s1 — a single-page app showing a loading icon until the DOM is ready:
+/// content appears only once DOM-blocking JS + CSS have run; the CSS
+/// references hidden fonts. The custom strategy pushes the blocking set
+/// (~309 KB) instead of everything (~1057 KB).
+fn s1_loading_icon() -> Page {
+    let mut b = PageBuilder::new("s1-loading-icon", "s1.test", 28 * KB, 3 * KB);
+    // Blocking set: app CSS + framework JS + app JS ≈ 309 KB with fonts.
+    let css = b.resource(ResourceSpec::css(0, 48 * KB, 400, 0.35));
+    b.resource(ResourceSpec::js(0, 95 * KB, 900, 120 * MS));
+    b.resource(ResourceSpec::js(0, 78 * KB, 1400, 60 * MS));
+    // Hidden fonts referenced in the CSS.
+    b.resource(ResourceSpec::font(0, 44 * KB, css));
+    b.resource(ResourceSpec::font(0, 44 * KB, css));
+    // The rest: images and deferred assets only visible after boot.
+    for i in 0..12 {
+        b.resource(ResourceSpec::image(0, 52 * KB, 4 * KB + i * 2 * KB, i < 4, 1.2));
+    }
+    b.resource(ResourceSpec::js_async(0, 60 * KB, 20 * KB, 25 * MS));
+    // Almost no static text: the page paints late, via the app.
+    b.text_paint(27 * KB, 0.3);
+    b.build()
+}
+
+/// s2 — a typical product landing page.
+fn s2_landing() -> Page {
+    let mut b = PageBuilder::new("s2-landing", "s2.test", 46 * KB, 5 * KB);
+    b.resource(ResourceSpec::css(0, 30 * KB, 300, 0.25));
+    b.resource(ResourceSpec::css(0, 12 * KB, 700, 0.4));
+    b.resource(ResourceSpec::js(0, 55 * KB, 1500, 35 * MS));
+    let hero = b.resource(ResourceSpec::image(0, 180 * KB, 6 * KB, true, 4.0));
+    let _ = hero;
+    for i in 0..8 {
+        b.resource(ResourceSpec::image(0, 30 * KB, 10 * KB + i * 4 * KB, i < 2, 0.8));
+    }
+    b.resource(ResourceSpec::js_async(0, 40 * KB, 40 * KB, 15 * MS));
+    b.text_paint(8 * KB, 1.5);
+    b.text_paint(30 * KB, 1.0);
+    b.build()
+}
+
+/// s3 — a text-heavy blog.
+fn s3_blog() -> Page {
+    let mut b = PageBuilder::new("s3-blog", "s3.test", 64 * KB, 4 * KB);
+    let css = b.resource(ResourceSpec::css(0, 22 * KB, 250, 0.3));
+    b.resource(ResourceSpec::font(0, 35 * KB, css));
+    b.resource(ResourceSpec::js_async(0, 25 * KB, 50 * KB, 8 * MS));
+    for i in 0..5 {
+        b.resource(ResourceSpec::image(0, 45 * KB, 12 * KB + i * 9 * KB, i == 0, 1.0));
+    }
+    for (off, w) in [(6, 2.0), (20, 1.5), (40, 1.5), (60, 1.0)] {
+        b.text_paint(off * KB, w);
+    }
+    b.build()
+}
+
+/// s4 — a shop category page with a blocking tag manager in the head.
+fn s4_shop() -> Page {
+    let mut b = PageBuilder::new("s4-shop", "s4.test", 90 * KB, 8 * KB);
+    b.resource(ResourceSpec::js(0, 34 * KB, 300, 45 * MS)); // tag manager
+    b.resource(ResourceSpec::css(0, 55 * KB, 900, 0.2));
+    b.resource(ResourceSpec::js(0, 120 * KB, 88 * KB, 90 * MS)); // app bundle at end
+    for i in 0..20 {
+        b.resource(ResourceSpec::image(0, 22 * KB, 10 * KB + i * 3 * KB, i < 6, 0.7));
+    }
+    b.text_paint(12 * KB, 1.0);
+    b.text_paint(50 * KB, 1.0);
+    b.inline_script(30 * KB, 12 * MS, true);
+    b.build()
+}
+
+/// s5 — the paper's computation-bound case: a large HTML with a blocking
+/// JS referenced *late* in the body which must wait for the CSSOM. The
+/// transfer finishes faster with push (692 ms vs 1038 ms) but metrics do
+/// not improve: the browser is computation- not network-bound, and the
+/// large HTML leaves no network idle time.
+fn s5_late_blocking_js() -> Page {
+    let mut b = PageBuilder::new("s5-late-blocking-js", "s5.test", 175 * KB, 6 * KB);
+    // Render-critical set (the custom strategy pushes these four).
+    b.resource(ResourceSpec::css(0, 60 * KB, 400, 0.3));
+    b.resource(ResourceSpec::css(0, 25 * KB, 800, 0.3));
+    let mut logo = ResourceSpec::image(0, 18 * KB, 7 * KB, true, 2.0);
+    logo.visual_weight = 2.0;
+    b.resource(logo);
+    b.resource(ResourceSpec::image(0, 26 * KB, 9 * KB, true, 1.5));
+    // The late blocking script: CSSOM construction takes longer than its
+    // transfer, so the browser is CPU-bound here.
+    b.resource(ResourceSpec::js(0, 80 * KB, 168 * KB, 220 * MS));
+    for i in 0..10 {
+        b.resource(ResourceSpec::image(0, 35 * KB, 20 * KB + i * 12 * KB, false, 0.0));
+    }
+    for (off, w) in [(10, 1.5), (60, 1.0), (120, 1.0), (165, 0.5)] {
+        b.text_paint(off * KB, w);
+    }
+    // Heavy style recalculation while parsing.
+    b.inline_script(100 * KB, 60 * MS, true);
+    b.build()
+}
+
+/// s6 — an image gallery (most bytes are below-the-fold images).
+fn s6_gallery() -> Page {
+    let mut b = PageBuilder::new("s6-gallery", "s6.test", 30 * KB, 3 * KB);
+    b.resource(ResourceSpec::css(0, 14 * KB, 300, 0.5));
+    b.resource(ResourceSpec::js(0, 28 * KB, 1200, 12 * MS));
+    for i in 0..24 {
+        b.resource(ResourceSpec::image(0, 65 * KB, 4 * KB + i * KB, i < 4, 1.4));
+    }
+    b.text_paint(5 * KB, 0.6);
+    b.build()
+}
+
+/// s7 — documentation site: small, fast, a single stylesheet.
+fn s7_docs() -> Page {
+    let mut b = PageBuilder::new("s7-docs", "s7.test", 38 * KB, 2 * KB);
+    b.resource(ResourceSpec::css(0, 9 * KB, 200, 0.6));
+    b.resource(ResourceSpec::js_async(0, 12 * KB, 30 * KB, 4 * MS));
+    b.resource(ResourceSpec::image(0, 8 * KB, 6 * KB, true, 0.8));
+    for (off, w) in [(4, 2.0), (15, 1.5), (28, 1.0)] {
+        b.text_paint(off * KB, w);
+    }
+    b.build()
+}
+
+/// s8 — the paper's "multi-RTT HTML with early references" case: the HTML
+/// needs several round trips; after the first chunk the browser can already
+/// request the six render-critical resources referenced early, so push
+/// cannot beat the requests (no network idle time).
+fn s8_early_refs_long_html() -> Page {
+    let mut b = PageBuilder::new("s8-early-refs", "s8.test", 130 * KB, 5 * KB);
+    // Six render-critical resources, all referenced within the first 4 KB
+    // (inside the first TCP flight of the document).
+    b.resource(ResourceSpec::css(0, 35 * KB, 500, 0.3));
+    b.resource(ResourceSpec::css(0, 18 * KB, 900, 0.3));
+    b.resource(ResourceSpec::js(0, 48 * KB, 1400, 40 * MS));
+    b.resource(ResourceSpec::js(0, 30 * KB, 1900, 25 * MS));
+    b.resource(ResourceSpec::image(0, 24 * KB, 2500, true, 2.0));
+    b.resource(ResourceSpec::image(0, 20 * KB, 3200, true, 1.5));
+    for i in 0..9 {
+        b.resource(ResourceSpec::image(0, 40 * KB, 20 * KB + i * 11 * KB, false, 0.0));
+    }
+    for (off, w) in [(8, 1.5), (48, 1.0), (100, 1.0)] {
+        b.text_paint(off * KB, w);
+    }
+    b.build()
+}
+
+/// s9 — font-heavy editorial page: hidden fonts gate the headline paint.
+fn s9_font_heavy() -> Page {
+    let mut b = PageBuilder::new("s9-fonts", "s9.test", 52 * KB, 4 * KB);
+    let css = b.resource(ResourceSpec::css(0, 26 * KB, 300, 0.4));
+    for _ in 0..4 {
+        b.resource(ResourceSpec::font(0, 38 * KB, css));
+    }
+    b.resource(ResourceSpec::js(0, 20 * KB, 1000, 10 * MS));
+    b.resource(ResourceSpec::image(0, 95 * KB, 8 * KB, true, 2.5));
+    b.text_paint(10 * KB, 2.0);
+    b.text_paint(40 * KB, 1.0);
+    b.build()
+}
+
+/// s10 — an already-optimized page: critical CSS inlined (no external
+/// blocking CSS), tiny deferred assets. Push has almost nothing to win.
+fn s10_inline_optimized() -> Page {
+    let mut b = PageBuilder::new("s10-optimized", "s10.test", 42 * KB, 6 * KB);
+    // All CSS at end of body, non-blocking.
+    let mut css = ResourceSpec::css(0, 28 * KB, 40 * KB, 1.0);
+    css.render_blocking = false;
+    css.above_fold = false;
+    b.resource(css);
+    let mut js = ResourceSpec::js(0, 35 * KB, 41 * KB, 20 * MS);
+    js.script_mode = ScriptMode::Defer;
+    b.resource(js);
+    for i in 0..6 {
+        b.resource(ResourceSpec::image(0, 25 * KB, 8 * KB + i * 5 * KB, i < 2, 1.0));
+    }
+    b.text_paint(7 * KB, 2.0);
+    b.text_paint(25 * KB, 1.0);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sites_build_and_validate() {
+        let set = synthetic_set();
+        assert_eq!(set.len(), 10);
+        for p in &set {
+            p.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            // §4.3: single server — every resource is pushable.
+            assert_eq!(p.server_group_count(), 1, "{} not single-server", p.name);
+            assert!((p.pushable_fraction() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn s1_custom_strategy_is_much_smaller_than_push_all() {
+        // The paper: 309 KB custom vs 1057 KB push-all on s1.
+        let p = synthetic_site(1);
+        let custom = custom_strategy(&p);
+        let custom_bytes: usize = custom.iter().map(|&id| p.resource(id).size).sum();
+        let all_bytes = p.pushable_bytes();
+        assert!(
+            custom_bytes * 2 < all_bytes,
+            "custom {custom_bytes} not ≪ all {all_bytes}"
+        );
+        // Roughly the paper's magnitudes (within a factor).
+        assert!((200 * KB..400 * KB).contains(&custom_bytes), "custom = {custom_bytes}");
+        assert!((800 * KB..1400 * KB).contains(&all_bytes), "all = {all_bytes}");
+    }
+
+    #[test]
+    fn s5_has_late_blocking_js() {
+        let p = synthetic_site(5);
+        let late_js = p
+            .subresources()
+            .iter()
+            .find(|r| r.is_parser_blocking_script())
+            .expect("s5 has a blocking script");
+        match late_js.discovery {
+            crate::types::Discovery::Html { offset } => {
+                assert!(offset > p.html_size() * 9 / 10, "blocking JS must be near the end")
+            }
+            _ => panic!("blocking JS must be referenced from HTML"),
+        }
+    }
+
+    #[test]
+    fn s8_critical_resources_in_first_flight() {
+        let p = synthetic_site(8);
+        let early: Vec<_> = p
+            .subresources()
+            .iter()
+            .filter(|r| matches!(r.discovery, crate::types::Discovery::Html { offset } if offset < 4096))
+            .collect();
+        assert_eq!(early.len(), 6, "six render-critical resources referenced early");
+        assert!(p.html_size() > 100 * KB, "HTML must need multiple RTTs");
+    }
+
+    #[test]
+    fn s10_has_no_render_blocking_css() {
+        let p = synthetic_site(10);
+        assert!(p.subresources().iter().all(|r| !r.render_blocking));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let set = synthetic_set();
+        let mut names: Vec<_> = set.iter().map(|p| p.name.clone()).collect();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+}

@@ -1,0 +1,233 @@
+//! Core website model types.
+//!
+//! A [`Page`](crate::page::Page) is a structural description of a recorded
+//! website: the HTML document, every subresource, which origin serves what,
+//! and — crucially for the paper — *where* in the HTML each resource is
+//! referenced, whether it blocks parsing or rendering, and what it
+//! contributes to the above-the-fold viewport. These are exactly the
+//! structural properties §4–§5 of the paper identify as deciding whether
+//! Server Push helps.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a resource within its page (`0` is always the HTML document).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ResourceId(pub usize);
+
+/// Coarse content types, mirroring the paper's §4.2.1 type study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceType {
+    /// The base document.
+    Html,
+    /// Stylesheets (render-blocking when referenced in `<head>`).
+    Css,
+    /// Scripts.
+    Js,
+    /// Images.
+    Image,
+    /// Web fonts (typically referenced from CSS).
+    Font,
+    /// Anything else (XHR payloads, JSON, media, …).
+    Other,
+}
+
+impl ResourceType {
+    /// File-extension-ish label used in URLs and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ResourceType::Html => "html",
+            ResourceType::Css => "css",
+            ResourceType::Js => "js",
+            ResourceType::Image => "img",
+            ResourceType::Font => "font",
+            ResourceType::Other => "other",
+        }
+    }
+
+    /// The `content-type` header value the replay server answers with.
+    pub fn mime(self) -> &'static str {
+        match self {
+            ResourceType::Html => "text/html",
+            ResourceType::Css => "text/css",
+            ResourceType::Js => "application/javascript",
+            ResourceType::Image => "image/webp",
+            ResourceType::Font => "font/woff2",
+            ResourceType::Other => "application/octet-stream",
+        }
+    }
+}
+
+/// How the browser discovers a resource — the discovery path bounds how
+/// early a request can possibly be issued, which is what push shortcuts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Discovery {
+    /// Referenced by a tag in the HTML at this byte offset.
+    Html {
+        /// Byte offset of the reference within the (wire-sized) document.
+        offset: usize,
+    },
+    /// Referenced from within a CSS file (fonts, background images): only
+    /// discoverable once that CSS has arrived and been parsed — the
+    /// "hidden resources" the push guidelines worry about.
+    Css {
+        /// The stylesheet that references this resource.
+        parent: ResourceId,
+    },
+    /// Inserted by a script: discoverable only after the script executes.
+    Script {
+        /// The script that loads this resource.
+        parent: ResourceId,
+    },
+}
+
+/// Script scheduling flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ScriptMode {
+    /// Classic `<script src>`: blocks the parser; execution additionally
+    /// waits for every pending stylesheet (CSSOM) above it.
+    #[default]
+    Blocking,
+    /// `async`: fetched in parallel, executed when ready, never blocks.
+    Async,
+    /// `defer`: executed after parsing, before DOMContentLoaded.
+    Defer,
+}
+
+/// One subresource (or the HTML document itself).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Resource {
+    /// Identity within the page.
+    pub id: ResourceId,
+    /// Origin index into [`Page::origins`](crate::page::Page::origins).
+    pub origin: usize,
+    /// URL path (unique within the origin).
+    pub path: String,
+    /// Content type.
+    pub rtype: ResourceType,
+    /// Transfer size in bytes (compressed, as observed on the wire).
+    pub size: usize,
+    /// CPU time to evaluate the resource once fetched: script execution,
+    /// stylesheet parse, image decode. Microseconds.
+    pub exec_us: u64,
+    /// How the browser finds it.
+    pub discovery: Discovery,
+    /// For scripts: scheduling mode. Ignored for other types.
+    pub script_mode: ScriptMode,
+    /// For CSS: does it block rendering (i.e. referenced in `<head>`)? CSS
+    /// referenced at the end of `<body>` (the "no push optimized" rewrite)
+    /// does not.
+    pub render_blocking: bool,
+    /// Painted inside the initial viewport?
+    pub above_fold: bool,
+    /// Contribution to visual completeness once painted (arbitrary units,
+    /// normalized per page by the metrics crate).
+    pub visual_weight: f64,
+    /// For CSS: fraction of its rules needed to style above-the-fold
+    /// content (what a penthouse-style critical-CSS extraction keeps).
+    pub critical_fraction: f64,
+}
+
+impl Resource {
+    /// The resource's URL as `https://host/path`.
+    pub fn url(&self, host: &str) -> String {
+        format!("https://{}{}", host, self.path)
+    }
+
+    /// Whether this is a script that blocks the parser.
+    pub fn is_parser_blocking_script(&self) -> bool {
+        self.rtype == ResourceType::Js && self.script_mode == ScriptMode::Blocking
+    }
+}
+
+/// An origin (scheme+host) and the server group that answers for it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Origin {
+    /// Host name.
+    pub host: String,
+    /// Server-group id: origins sharing a group share an IP and a TLS
+    /// certificate listing both hosts as SANs, so HTTP/2 connection
+    /// coalescing applies and content is *pushable* across them (§4.1).
+    pub server_group: usize,
+    /// True if this origin belongs to the site's own infrastructure (the
+    /// §5 "unify domains of the same infrastructure" preprocessing may
+    /// merge it into the main group).
+    pub same_infra: bool,
+}
+
+/// A progressive paint point of the base document's own content: when the
+/// renderer has laid out the HTML up to `offset` (and rendering is
+/// unblocked), `weight` units of visual completeness appear.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TextPaint {
+    /// Byte offset in the document.
+    pub offset: usize,
+    /// Visual weight contributed.
+    pub weight: f64,
+}
+
+/// An inline `<script>` block embedded in the HTML: the parser stalls at
+/// `offset` for `exec_us` (after waiting for pending CSSOM), with no
+/// network fetch. w10 (walmart) in the paper inlines much of its JS, which
+/// is why interleaving cannot help it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InlineScript {
+    /// Byte offset in the document.
+    pub offset: usize,
+    /// Execution time in microseconds.
+    pub exec_us: u64,
+    /// Whether execution must wait for pending stylesheets (true for real
+    /// DOM-touching scripts; false for e.g. analytics stubs).
+    pub needs_cssom: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_url_formatting() {
+        let r = Resource {
+            id: ResourceId(1),
+            origin: 0,
+            path: "/static/app.js".into(),
+            rtype: ResourceType::Js,
+            size: 1000,
+            exec_us: 500,
+            discovery: Discovery::Html { offset: 100 },
+            script_mode: ScriptMode::Blocking,
+            render_blocking: false,
+            above_fold: false,
+            visual_weight: 0.0,
+            critical_fraction: 0.0,
+        };
+        assert_eq!(r.url("cdn.example.com"), "https://cdn.example.com/static/app.js");
+        assert!(r.is_parser_blocking_script());
+    }
+
+    #[test]
+    fn mime_types() {
+        assert_eq!(ResourceType::Html.mime(), "text/html");
+        assert_eq!(ResourceType::Css.label(), "css");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = Resource {
+            id: ResourceId(2),
+            origin: 1,
+            path: "/a.css".into(),
+            rtype: ResourceType::Css,
+            size: 4096,
+            exec_us: 200,
+            discovery: Discovery::Css { parent: ResourceId(1) },
+            script_mode: ScriptMode::Async,
+            render_blocking: true,
+            above_fold: true,
+            visual_weight: 2.0,
+            critical_fraction: 0.3,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Resource = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

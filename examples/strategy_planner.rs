@@ -1,0 +1,38 @@
+//! The §6 CDN scenario: measure all six paper strategies on a site and
+//! let the planner choose (preferring fewer pushed bytes among ties).
+//!
+//! ```sh
+//! cargo run --release --example strategy_planner [site-number 1..20]
+//! ```
+
+use h2push::core::PushPlanner;
+use h2push::webmodel::realworld_site;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let page = realworld_site(n);
+    println!("planning push strategy for {} …", page.name);
+
+    let planner = PushPlanner { runs: 5, ..Default::default() };
+    let plan = planner.plan(&page);
+
+    println!(
+        "{:26} {:>12} {:>10} {:>11}",
+        "candidate", "SpeedIndex", "PLT [ms]", "pushed KB"
+    );
+    for (i, c) in plan.candidates.iter().enumerate() {
+        let marker = if i == plan.chosen { "→" } else { " " };
+        println!(
+            "{marker}{:25} {:>12.0} {:>10.0} {:>11.0}",
+            c.which.label(),
+            c.speed_index,
+            c.plt,
+            c.pushed_bytes / 1024.0
+        );
+    }
+    println!(
+        "\nchosen: {} ({:+.1}% SpeedIndex vs no push)",
+        plan.winner().which.label(),
+        plan.improvement_pct()
+    );
+}

@@ -1,0 +1,51 @@
+//! Print a resource waterfall with and without Interleaving Push — the
+//! per-resource view behind the paper's Fig. 5/Fig. 6 analysis.
+//!
+//! ```sh
+//! cargo run --release --example waterfall [site-number 1..20]
+//! ```
+
+use h2push::strategies::{paper_strategy, PaperStrategy};
+use h2push::testbed::{replay, ReplayConfig};
+use h2push::webmodel::Discovery;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let page = h2push::webmodel::realworld_site(n);
+    for which in [PaperStrategy::NoPush, PaperStrategy::PushCriticalOptimized] {
+        let (variant, strategy) = paper_strategy(&page, which);
+        let out = replay(&variant, &ReplayConfig::testbed(strategy)).unwrap();
+        let l = &out.load;
+        println!(
+            "\n=== {} — {} === first paint {:.0} ms, SI {:.0} ms, PLT {:.0} ms",
+            variant.name,
+            which.label(),
+            l.first_paint.unwrap().since(l.connect_end).as_millis_f64(),
+            l.speed_index(),
+            l.plt()
+        );
+        println!("{:>4} {:>6} {:>9} {:>6} {:>9} {:>9} {:>9}", "id", "type", "size KB", "push", "disc ms", "loaded", "done");
+        for (i, r) in variant.resources.iter().enumerate().take(18) {
+            let w = l.waterfall[i];
+            let ms = |t: Option<h2push::netsim::SimTime>| {
+                t.map(|t| format!("{:.0}", t.as_millis_f64())).unwrap_or_else(|| "-".into())
+            };
+            let disc = match r.discovery {
+                Discovery::Html { .. } => "html",
+                Discovery::Css { .. } => "css",
+                Discovery::Script { .. } => "js",
+            };
+            println!(
+                "{:>4} {:>6} {:>9.1} {:>6} {:>9} {:>9} {:>9}  via {}",
+                i,
+                r.rtype.label(),
+                r.size as f64 / 1024.0,
+                if w.pushed { "yes" } else { "" },
+                ms(w.discovered),
+                ms(w.loaded),
+                ms(w.evaluated),
+                disc
+            );
+        }
+    }
+}
