@@ -4,7 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use h2push_strategies::{paper_strategy, PaperStrategy, Strategy};
-use h2push_testbed::{replay, ReplayConfig};
+use h2push_testbed::{replay, replay_shared, ReplayConfig, ReplayInputs};
 use h2push_webmodel::{generate_site, realworld_site, synthetic_site, CorpusKind};
 
 fn bench_replays(c: &mut Criterion) {
@@ -34,6 +34,20 @@ fn bench_replays(c: &mut Criterion) {
         let page = realworld_site(17);
         let cfg = ReplayConfig::testbed(Strategy::NoPush);
         b.iter(|| black_box(replay(&page, &cfg).unwrap()));
+    });
+
+    // The repetition-loop setup cost: clone + re-record the page on every
+    // run (the pre-overhaul shape) vs sharing one ReplayInputs.
+    g.bench_function("setup_clone_per_run", |b| {
+        let page = realworld_site(1);
+        let cfg = ReplayConfig::testbed(Strategy::NoPush);
+        b.iter(|| black_box(replay(&page, &cfg).unwrap()));
+    });
+
+    g.bench_function("setup_shared_page", |b| {
+        let inputs = ReplayInputs::new(realworld_site(1));
+        let cfg = ReplayConfig::testbed(Strategy::NoPush);
+        b.iter(|| black_box(replay_shared(&inputs, &cfg).unwrap()));
     });
 
     g.finish();

@@ -24,11 +24,9 @@ fn main() {
         let mut reversed = order.clone();
         reversed.reverse();
         let mut images_first = order.clone();
-        images_first.sort_by_key(|&id| {
-            (page.resource(id).rtype != ResourceType::Image, id)
-        });
+        images_first.sort_by_key(|&id| (page.resource(id).rtype != ResourceType::Image, id));
         let si = |strategy: Strategy| {
-            let outs = run_many(&page, strategy, Mode::Testbed, scale.runs, scale.seed);
+            let outs = run_many(&page, &strategy, Mode::Testbed, scale.runs, scale.seed);
             RunStats::of(&outs.iter().map(|o| o.load.speed_index()).collect::<Vec<_>>()).mean
         };
         let base = si(Strategy::NoPush);

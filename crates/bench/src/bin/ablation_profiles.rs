@@ -32,9 +32,11 @@ fn main() {
     ];
     for (name, net, cpu) in profiles {
         let mut sis = Vec::new();
-        for which in
-            [PaperStrategy::NoPush, PaperStrategy::NoPushOptimized, PaperStrategy::PushCriticalOptimized]
-        {
+        for which in [
+            PaperStrategy::NoPush,
+            PaperStrategy::NoPushOptimized,
+            PaperStrategy::PushCriticalOptimized,
+        ] {
             let (variant, strategy) = paper_strategy(&page, which);
             let mut runs = Vec::new();
             for r in 0..scale.runs as u64 {

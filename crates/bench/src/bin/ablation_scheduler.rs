@@ -7,7 +7,7 @@
 //! coexisting with the request chain.
 
 use h2push_bench::scale_from_args;
-use h2push_h2proto::{FairScheduler, PriorityTree, PrioritySpec, Scheduler, StreamSnapshot};
+use h2push_h2proto::{FairScheduler, PrioritySpec, PriorityTree, Scheduler, StreamSnapshot};
 
 fn main() {
     let _ = scale_from_args();

@@ -6,7 +6,10 @@ use h2push_testbed::experiments::fig2::fig2b_push_vs_nopush;
 
 fn main() {
     let scale = scale_from_args();
-    println!("Fig. 2b — push (as recorded) vs no push, {} sites × {} runs", scale.sites, scale.runs);
+    println!(
+        "Fig. 2b — push (as recorded) vs no push, {} sites × {} runs",
+        scale.sites, scale.runs
+    );
     let rows = fig2b_push_vs_nopush(scale);
     let d_plt: Vec<f64> = rows.iter().map(|r| r.d_plt).collect();
     let d_si: Vec<f64> = rows.iter().map(|r| r.d_si).collect();

@@ -6,10 +6,9 @@ use h2push_webmodel::CorpusKind;
 
 fn main() {
     let scale = scale_from_args();
-    for (kind, label, paper_benefit) in [
-        (CorpusKind::Top, "top-100", 58.0),
-        (CorpusKind::Random, "random-100", 45.0),
-    ] {
+    for (kind, label, paper_benefit) in
+        [(CorpusKind::Top, "top-100", 58.0), (CorpusKind::Random, "random-100", 45.0)]
+    {
         println!("Fig. 3a [{label}] — push all in computed order vs no push");
         let rows = fig3a_push_all(kind, scale);
         let d_si: Vec<f64> = rows.iter().map(|r| r.d_si).collect();

@@ -4,15 +4,17 @@ use h2push_testbed::experiments::fig3::{fig3b_push_limit, LIMITS};
 
 fn main() {
     let scale = scale_from_args();
-    println!("Fig. 3b — limited push amounts, random-100, {} sites × {} runs", scale.sites, scale.runs);
+    println!(
+        "Fig. 3b — limited push amounts, random-100, {} sites × {} runs",
+        scale.sites, scale.runs
+    );
     let rows = fig3b_push_limit(scale);
     for &limit in &LIMITS {
         let label = match limit {
             Some(n) => format!("push {n}"),
             None => "push all".to_string(),
         };
-        let d_plt: Vec<f64> =
-            rows.iter().filter(|r| r.limit == limit).map(|r| r.d_plt).collect();
+        let d_plt: Vec<f64> = rows.iter().filter(|r| r.limit == limit).map(|r| r.d_plt).collect();
         let d_si: Vec<f64> = rows.iter().filter(|r| r.limit == limit).map(|r| r.d_si).collect();
         cdf_summary(&format!("{label}: ΔPLT [ms]"), &d_plt, &[0.0]);
         cdf_summary(&format!("{label}: ΔSI  [ms]"), &d_si, &[0.0]);

@@ -4,7 +4,10 @@ use h2push_testbed::experiments::fig4::fig4_custom;
 
 fn main() {
     let scale = scale_from_args();
-    println!("Fig. 4 — s1..s10, {} runs each (avg relative change vs no push; Δ<0 better)", scale.runs);
+    println!(
+        "Fig. 4 — s1..s10, {} runs each (avg relative change vs no push; Δ<0 better)",
+        scale.runs
+    );
     println!(
         "{:22} {:>9} {:>9} | {:>9} {:>9} | {:>10} {:>10} | {:>8}",
         "site", "all ΔPLT%", "all ΔSI%", "cust ΔPLT%", "cust ΔSI%", "cust KB", "all KB", "±CI95 SI"

@@ -1,0 +1,113 @@
+//! Replay hot-path baseline: serial-cold vs serial-shared vs
+//! parallel-shared over a fixed seeded corpus.
+//!
+//! The three paths must produce identical PLT / SpeedIndex / traces — this
+//! binary asserts that — so the only difference is wall time. Results go to
+//! `BENCH_replay.json` at the repo root:
+//! `{wall_ms, runs_per_sec, speedup_vs_serial}` per path.
+
+use h2push_bench::scale_from_args;
+use h2push_strategies::Strategy;
+use h2push_testbed::{
+    replay, run_config, run_many_serial, run_many_shared, Mode, ReplayInputs, ReplayOutcome,
+};
+use h2push_webmodel::{generate_site, CorpusKind, Page};
+use std::time::Instant;
+
+struct PathResult {
+    label: &'static str,
+    wall_ms: f64,
+    runs_per_sec: f64,
+    speedup_vs_serial: f64,
+}
+
+fn outcomes_equal(a: &[Vec<ReplayOutcome>], b: &[Vec<ReplayOutcome>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.len() == y.len()
+                && x.iter().zip(y).all(|(p, q)| {
+                    p.load.plt() == q.load.plt()
+                        && p.load.speed_index() == q.load.speed_index()
+                        && p.trace.order == q.trace.order
+                        && p.server_pushed_bytes == q.server_pushed_bytes
+                })
+        })
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let sites = scale.sites.min(12);
+    let runs = scale.runs;
+    let pages: Vec<Page> =
+        (0..sites).map(|i| generate_site(CorpusKind::Random, scale.seed ^ i as u64)).collect();
+    let strategy = Strategy::NoPush;
+    let total_runs = sites * runs;
+    println!("perf_replay: {sites} sites x {runs} runs (seed {})", scale.seed);
+
+    // Serial-cold: the pre-overhaul shape — every run re-clones the page
+    // and re-records the response DB through the public replay().
+    let t = Instant::now();
+    let cold: Vec<Vec<ReplayOutcome>> = pages
+        .iter()
+        .map(|p| {
+            (0..runs)
+                .filter_map(|r| {
+                    let cfg =
+                        run_config(&strategy, Mode::Testbed, scale.seed.wrapping_add(r as u64), p);
+                    replay(p, &cfg).ok()
+                })
+                .collect()
+        })
+        .collect();
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Serial-shared: inputs built once per site, same run loop.
+    let inputs: Vec<ReplayInputs> = pages.iter().map(|p| ReplayInputs::new(p.clone())).collect();
+    let t = Instant::now();
+    let serial: Vec<Vec<ReplayOutcome>> = inputs
+        .iter()
+        .map(|i| run_many_serial(i, &strategy, Mode::Testbed, runs, scale.seed))
+        .collect();
+    let serial_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Parallel-shared: the production path (pool-scheduled repetitions).
+    let t = Instant::now();
+    let parallel: Vec<Vec<ReplayOutcome>> = inputs
+        .iter()
+        .map(|i| run_many_shared(i, &strategy, Mode::Testbed, runs, scale.seed))
+        .collect();
+    let parallel_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    assert!(outcomes_equal(&cold, &serial), "shared inputs changed replay outputs");
+    assert!(outcomes_equal(&serial, &parallel), "parallel run_many changed replay outputs");
+
+    let results =
+        [("serial_cold", cold_ms), ("serial_shared", serial_ms), ("parallel_shared", parallel_ms)]
+            .map(|(label, wall_ms)| PathResult {
+                label,
+                wall_ms,
+                runs_per_sec: total_runs as f64 / (wall_ms / 1e3),
+                speedup_vs_serial: cold_ms / wall_ms,
+            });
+
+    let mut json = String::from("{\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "  \"{}\": {{\"wall_ms\": {:.1}, \"runs_per_sec\": {:.2}, \"speedup_vs_serial\": {:.2}}}{}\n",
+            r.label,
+            r.wall_ms,
+            r.runs_per_sec,
+            r.speedup_vs_serial,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+        println!(
+            "{:16} {:9.1} ms  {:7.2} runs/s  {:5.2}x vs serial-cold",
+            r.label, r.wall_ms, r.runs_per_sec, r.speedup_vs_serial
+        );
+    }
+    json.push('}');
+    json.push('\n');
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replay.json");
+    std::fs::write(path, json).expect("write BENCH_replay.json");
+    println!("wrote {path}");
+}

@@ -6,10 +6,9 @@ use h2push_webmodel::CorpusKind;
 fn main() {
     let scale = scale_from_args();
     println!("Pushable objects per site ({} sites per corpus)", scale.sites);
-    for (kind, label, paper) in [
-        (CorpusKind::Top, "top-100", 52.0),
-        (CorpusKind::Random, "random-100", 24.0),
-    ] {
+    for (kind, label, paper) in
+        [(CorpusKind::Top, "top-100", 52.0), (CorpusKind::Random, "random-100", 24.0)]
+    {
         let stats = pushable_stats(kind, scale);
         cdf_summary(&format!("{label} pushable fraction"), &stats.fractions, &[0.2, 0.5]);
         println!(

@@ -7,7 +7,10 @@ fn main() {
     let scale = scale_from_args();
     println!("Type study — random-100, {} sites × {} runs", scale.sites, scale.runs);
     let study = type_study(scale);
-    println!("{:>12} {:>14} {:>14} {:>18}", "type", "mean ΔSI [ms]", "median ΔSI", "sites worse (SI)");
+    println!(
+        "{:>12} {:>14} {:>14} {:>18}",
+        "type", "mean ΔSI [ms]", "median ΔSI", "sites worse (SI)"
+    );
     for sel in TypeSelection::ALL {
         let d: Vec<f64> = study
             .rows

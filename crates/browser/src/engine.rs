@@ -26,13 +26,15 @@
 //!   pages where push cannot help (s5, w5).
 
 use crate::result::{LoadResult, PaintSample, ResourceTiming};
+use bytes::Bytes;
 use h2push_h2proto::{
     CacheDigest, Connection, ErrorCode, Event, FifoScheduler, PrioritySpec, Settings,
 };
 use h2push_hpack::Header;
 use h2push_netsim::{SimDuration, SimTime};
 use h2push_webmodel::{Discovery, Page, ResourceId, ResourceType, ScriptMode};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Request priority classes, highest first (Chromium's five buckets).
 const CLASS_WEIGHTS: [u16; 5] = [256, 220, 183, 147, 110];
@@ -98,8 +100,9 @@ pub enum BrowserAction {
     /// Open a TCP+TLS connection to this server group. HTTP/2 uses a
     /// single connection (slot 0); HTTP/1.1 opens up to six slots.
     OpenConnection { group: usize, slot: usize },
-    /// Write bytes on connection `slot` of this group.
-    SendBytes { group: usize, slot: usize, bytes: Vec<u8> },
+    /// Write bytes on connection `slot` of this group. The payload is a
+    /// shared slice handed through to the network layer without copying.
+    SendBytes { group: usize, slot: usize, bytes: Bytes },
     /// Wake the browser at `at` with `token`.
     SetTimer { at: SimTime, token: u64 },
 }
@@ -179,11 +182,8 @@ struct ConnState {
 /// below. Returns the PRIORITY spec to signal.
 fn splice_into_chain(cs: &mut ConnState, stream: u32, class: u8) -> PrioritySpec {
     let parent = cs.chain.iter().rev().find(|&&(_, c)| c <= class).map(|&(s, _)| s).unwrap_or(0);
-    let spec = PrioritySpec {
-        depends_on: parent,
-        weight: CLASS_WEIGHTS[class as usize],
-        exclusive: true,
-    };
+    let spec =
+        PrioritySpec { depends_on: parent, weight: CLASS_WEIGHTS[class as usize], exclusive: true };
     let pos = cs.chain.iter().position(|&(s, _)| s == parent).map(|i| i + 1).unwrap_or(0);
     cs.chain.insert(pos, (stream, class));
     spec
@@ -192,9 +192,9 @@ fn splice_into_chain(cs: &mut ConnState, stream: u32, class: u8) -> PrioritySpec
 /// The browser: drive it with `on_connected` / `on_bytes` / `on_timer`,
 /// collect [`BrowserAction`]s, read the [`LoadResult`] when done.
 pub struct Browser {
-    page: Page,
+    page: Arc<Page>,
     cfg: BrowserConfig,
-    conns: HashMap<usize, ConnState>,
+    conns: BTreeMap<usize, ConnState>,
     h1: HashMap<usize, H1Pool>,
     h1_seq: u64,
     res: Vec<ResInfo>,
@@ -233,8 +233,10 @@ pub struct Browser {
 }
 
 impl Browser {
-    /// Create a browser for one load of `page`.
-    pub fn new(page: Page, cfg: BrowserConfig) -> Self {
+    /// Create a browser for one load of `page`. The page is a shared
+    /// immutable input: repeated loads of the same page reuse one
+    /// allocation instead of deep-cloning per run.
+    pub fn new(page: Arc<Page>, cfg: BrowserConfig) -> Self {
         let n = page.resources.len();
         // Parser stop points: external blocking scripts + inline scripts.
         let mut stops: Vec<(usize, StopKind)> = page
@@ -278,7 +280,7 @@ impl Browser {
                 .collect(),
             page,
             cfg,
-            conns: HashMap::new(),
+            conns: BTreeMap::new(),
             h1: HashMap::new(),
             h1_seq: 0,
             stream_map: HashMap::new(),
@@ -544,7 +546,11 @@ impl Browser {
             );
             let bytes = s.conn.produce();
             if !bytes.is_empty() {
-                self.actions.push(BrowserAction::SendBytes { group, slot, bytes });
+                self.actions.push(BrowserAction::SendBytes {
+                    group,
+                    slot,
+                    bytes: Bytes::from(bytes),
+                });
             }
         }
     }
@@ -890,7 +896,8 @@ impl Browser {
             }
             return;
         }
-        let r = self.page.resource(rid).clone();
+        let page = Arc::clone(&self.page);
+        let r = page.resource(rid);
         let info = &mut self.res[rid.0];
         if info.state != ResState::Loaded || info.eval_scheduled {
             return;
@@ -931,16 +938,15 @@ impl Browser {
     fn finish_eval(&mut self, rid: ResourceId, now: SimTime) {
         self.res[rid.0].state = ResState::Evaluated;
         self.res[rid.0].timing.evaluated.get_or_insert(now);
-        let r = self.page.resource(rid).clone();
+        let page = Arc::clone(&self.page);
+        let r = page.resource(rid);
         // Children discovered by this resource.
         let children: Vec<ResourceId> = self
             .page
             .resources
             .iter()
             .filter(|c| match c.discovery {
-                Discovery::Css { parent } => {
-                    parent == rid && r.rtype == ResourceType::Css
-                }
+                Discovery::Css { parent } => parent == rid && r.rtype == ResourceType::Css,
                 Discovery::Script { parent } => parent == rid,
                 _ => false,
             })

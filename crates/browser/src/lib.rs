@@ -24,13 +24,14 @@ mod tests {
     use h2push_netsim::{SimDuration, SimTime};
     use h2push_webmodel::{Page, PageBuilder, RecordDb, ResourceId, ResourceSpec};
     use std::collections::{BinaryHeap, HashMap, VecDeque};
+    use std::sync::Arc;
 
     /// A zero-latency in-memory harness: instant network, per-group replay
     /// servers answering from a RecordDb, timers honored on a virtual
     /// clock. (The full latency/bandwidth testbed lives in
     /// `h2push-testbed`; this harness isolates browser semantics.)
     struct MiniBed {
-        page: Page,
+        page: Arc<Page>,
         db: RecordDb,
         push_on_html: Vec<ResourceId>,
         /// Which resource's request triggers the pushes (default: the HTML).
@@ -45,7 +46,7 @@ mod tests {
         fn new(page: Page, push_on_html: Vec<ResourceId>) -> Self {
             MiniBed {
                 db: RecordDb::record(&page),
-                page,
+                page: Arc::new(page),
                 push_on_html,
                 push_trigger: ResourceId(0),
                 servers: HashMap::new(),
@@ -246,10 +247,7 @@ mod tests {
         let fast = MiniBed::new(mk(1_000), vec![]).run(BrowserConfig::default());
         let slow = MiniBed::new(mk(301_000), vec![]).run(BrowserConfig::default());
         let delta = slow.dom_content_loaded.unwrap().since(fast.dom_content_loaded.unwrap());
-        assert!(
-            (280.0..330.0).contains(&delta.as_millis_f64()),
-            "expected ~300 ms, got {delta}"
-        );
+        assert!((280.0..330.0).contains(&delta.as_millis_f64()), "expected ~300 ms, got {delta}");
     }
 
     #[test]

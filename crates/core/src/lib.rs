@@ -27,7 +27,7 @@ pub mod planner;
 pub use planner::{Candidate, Plan, PushPlanner};
 
 use h2push_strategies::Strategy;
-use h2push_testbed::{run_once, ReplayError};
+use h2push_testbed::{replay_shared, run_once, ReplayConfig, ReplayError, ReplayInputs};
 use h2push_webmodel::Page;
 
 /// Headline metrics of one deterministic replay.
@@ -46,8 +46,23 @@ pub struct Evaluation {
 }
 
 /// Replay `page` once under `strategy` in the paper's testbed conditions.
+///
+/// Builds the replay inputs on every call; to evaluate several strategies
+/// on the same page, build [`ReplayInputs`] once and use
+/// [`evaluate_shared`].
 pub fn evaluate(page: &Page, strategy: Strategy) -> Result<Evaluation, ReplayError> {
-    let out = run_once(page, strategy)?;
+    summarize_outcome(run_once(page, strategy)?)
+}
+
+/// [`evaluate`] over pre-built shared inputs (no page clone, no re-record).
+pub fn evaluate_shared(
+    inputs: &ReplayInputs,
+    strategy: Strategy,
+) -> Result<Evaluation, ReplayError> {
+    summarize_outcome(replay_shared(inputs, &ReplayConfig::testbed(strategy))?)
+}
+
+fn summarize_outcome(out: h2push_testbed::ReplayOutcome) -> Result<Evaluation, ReplayError> {
     let l = &out.load;
     Ok(Evaluation {
         plt: l.plt(),
@@ -76,5 +91,14 @@ mod tests {
         let rec = PushPlanner::static_recommendation(&page);
         let e2 = evaluate(&page, rec).unwrap();
         assert!(e2.pushed_bytes > 0);
+    }
+
+    #[test]
+    fn evaluate_shared_matches_evaluate() {
+        let page = synthetic_site(7);
+        let cold = evaluate(&page, Strategy::NoPush).unwrap();
+        let inputs = ReplayInputs::new(page);
+        let shared = evaluate_shared(&inputs, Strategy::NoPush).unwrap();
+        assert_eq!(cold, shared);
     }
 }

@@ -6,9 +6,7 @@
 //! testbed, and pick the winner. [`PushPlanner`] implements exactly that
 //! loop on top of the replay testbed.
 
-use h2push_strategies::{
-    critical_set, interleave_offset, paper_strategy, PaperStrategy, Strategy,
-};
+use h2push_strategies::{critical_set, interleave_offset, paper_strategy, PaperStrategy, Strategy};
 use h2push_testbed::{run_many, Mode};
 use h2push_webmodel::Page;
 
@@ -84,7 +82,7 @@ impl PushPlanner {
             .iter()
             .map(|&which| {
                 let (variant, strategy) = paper_strategy(page, which);
-                let outcomes = run_many(&variant, strategy.clone(), Mode::Testbed, self.runs, self.seed);
+                let outcomes = run_many(&variant, &strategy, Mode::Testbed, self.runs, self.seed);
                 assert!(!outcomes.is_empty(), "all validation runs failed for {}", which.label());
                 let mut sis: Vec<f64> = outcomes.iter().map(|o| o.load.speed_index()).collect();
                 let mut plts: Vec<f64> = outcomes.iter().map(|o| o.load.plt()).collect();
@@ -104,8 +102,7 @@ impl PushPlanner {
             .collect();
         // Choose: best SpeedIndex; among candidates within `byte_tolerance`
         // of it, the one pushing the fewest bytes.
-        let best_si =
-            candidates.iter().map(|c| c.speed_index).fold(f64::INFINITY, f64::min);
+        let best_si = candidates.iter().map(|c| c.speed_index).fold(f64::INFINITY, f64::min);
         let chosen = candidates
             .iter()
             .enumerate()

@@ -119,10 +119,7 @@ pub fn parse_request(buf: &[u8]) -> Option<Result<(H1Request, usize), &'static s
     if host.is_empty() {
         return Some(Err("missing Host header"));
     }
-    Some(Ok((
-        H1Request { method: method.to_string(), path: path.to_string(), host, headers },
-        end,
-    )))
+    Some(Ok((H1Request { method: method.to_string(), path: path.to_string(), host, headers }, end)))
 }
 
 /// Parse a response head. Same completion/err semantics as

@@ -14,8 +14,9 @@ use crate::frame::{
 };
 use crate::priority::PriorityTree;
 use crate::scheduler::{Scheduler, StreamSnapshot};
+use bytes::{Bytes, BytesMut};
 use h2push_hpack::{Decoder as HpackDecoder, Encoder as HpackEncoder, Header};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Which side of the connection this endpoint is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,7 +99,7 @@ struct PendingHeaders {
     promised: Option<u32>,
     end_stream: bool,
     priority: Option<PrioritySpec>,
-    block: Vec<u8>,
+    block: Bytes,
 }
 
 /// One endpoint of an HTTP/2 connection.
@@ -106,10 +107,13 @@ pub struct Connection {
     role: Role,
     hpack_enc: HpackEncoder,
     hpack_dec: HpackDecoder,
-    streams: HashMap<u32, Stream>,
+    streams: BTreeMap<u32, Stream>,
     tree: PriorityTree,
-    control: VecDeque<Vec<u8>>,
+    control: VecDeque<Bytes>,
     recv_buf: Vec<u8>,
+    /// Consumed prefix of `recv_buf`; compacted once per [`Connection::receive`]
+    /// call instead of an O(n) drain per decoded frame.
+    recv_pos: usize,
     events: VecDeque<Event>,
     next_stream_id: u32,
     next_push_id: u32,
@@ -134,10 +138,8 @@ impl Connection {
     pub fn client(settings: Settings) -> Self {
         let mut c = Self::new(Role::Client, settings);
         let mut preface = PREFACE.to_vec();
-        let mut f = Vec::new();
-        Frame::Settings { ack: false, settings: c.local_settings }.encode(&mut f);
-        preface.extend_from_slice(&f);
-        c.control.push_back(preface);
+        Frame::Settings { ack: false, settings: c.local_settings }.encode(&mut preface);
+        c.control.push_back(Bytes::from(preface));
         c.preface_sent = true;
         // Mirror Chromium: open the connection-level window generously so
         // stream windows are the effective limit.
@@ -159,10 +161,11 @@ impl Connection {
             role,
             hpack_enc: HpackEncoder::new(),
             hpack_dec: HpackDecoder::new(),
-            streams: HashMap::new(),
+            streams: BTreeMap::new(),
             tree: PriorityTree::new(),
             control: VecDeque::new(),
             recv_buf: Vec::new(),
+            recv_pos: 0,
             events: VecDeque::new(),
             next_stream_id: 1,
             next_push_id: 2,
@@ -172,7 +175,10 @@ impl Connection {
             peer_max_frame_size: DEFAULT_MAX_FRAME_SIZE,
             peer_initial_window: DEFAULT_WINDOW,
             conn_send_window: DEFAULT_WINDOW,
-            local_initial_window: settings.initial_window_size.map(|v| v as i64).unwrap_or(DEFAULT_WINDOW),
+            local_initial_window: settings
+                .initial_window_size
+                .map(|v| v as i64)
+                .unwrap_or(DEFAULT_WINDOW),
             local_settings: settings,
             conn_recv_consumed: 0,
             goaway_received: false,
@@ -218,7 +224,7 @@ impl Connection {
     fn queue_frame(&mut self, frame: Frame) {
         let mut buf = Vec::new();
         frame.encode(&mut buf);
-        self.control.push_back(buf);
+        self.control.push_back(Bytes::from(buf));
     }
 
     // ----- client API -----
@@ -234,10 +240,11 @@ impl Connection {
         assert_eq!(self.role, Role::Client, "only clients open requests");
         let id = self.next_stream_id;
         self.next_stream_id += 2;
-        let block = self.hpack_enc.encode(headers);
+        let block = Bytes::from(self.hpack_enc.encode(headers));
         self.queue_header_block(id, block, true, priority, None);
         // Requests in the replay have no body: half-closed (local) at once.
-        self.streams.insert(id, Stream::new(StreamState::HalfClosedLocal, self.peer_initial_window));
+        self.streams
+            .insert(id, Stream::new(StreamState::HalfClosedLocal, self.peer_initial_window));
         self.tree.insert(id, priority.unwrap_or_default());
         id
     }
@@ -279,7 +286,7 @@ impl Connection {
         }
         let id = self.next_push_id;
         self.next_push_id += 2;
-        let block = self.hpack_enc.encode(request_headers);
+        let block = Bytes::from(self.hpack_enc.encode(request_headers));
         self.queue_push_promise(parent, id, block);
         self.streams.insert(id, Stream::new(StreamState::ReservedLocal, self.peer_initial_window));
         // h2o treats the pushed stream as a child of the stream that
@@ -292,7 +299,7 @@ impl Connection {
     /// response has no body.
     pub fn respond(&mut self, stream: u32, headers: &[Header], end_stream: bool) {
         assert_eq!(self.role, Role::Server);
-        let block = self.hpack_enc.encode(headers);
+        let block = Bytes::from(self.hpack_enc.encode(headers));
         self.queue_header_block(stream, block, end_stream, None, None);
         if let Some(s) = self.streams.get_mut(&stream) {
             s.out.headers_sent = true;
@@ -333,30 +340,45 @@ impl Connection {
     fn queue_header_block(
         &mut self,
         stream: u32,
-        block: Vec<u8>,
+        block: Bytes,
         end_stream: bool,
         priority: Option<PrioritySpec>,
         _promised: Option<u32>,
     ) {
         let limit = self.peer_max_frame_size - 16; // room for priority section
         if block.len() <= limit {
-            self.queue_frame(Frame::Headers { stream, block, end_stream, end_headers: true, priority });
+            self.queue_frame(Frame::Headers {
+                stream,
+                block,
+                end_stream,
+                end_headers: true,
+                priority,
+            });
             return;
         }
-        let mut chunks = block.chunks(limit);
-        let first = chunks.next().unwrap().to_vec();
-        self.queue_frame(Frame::Headers { stream, block: first, end_stream, end_headers: false, priority });
-        let rest: Vec<&[u8]> = chunks.collect();
-        for (i, c) in rest.iter().enumerate() {
+        // Every HEADERS/CONTINUATION chunk is an O(1) slice of the shared
+        // block: chunking copies no payload bytes.
+        let total = block.len();
+        self.queue_frame(Frame::Headers {
+            stream,
+            block: block.slice(..limit),
+            end_stream,
+            end_headers: false,
+            priority,
+        });
+        let mut pos = limit;
+        while pos < total {
+            let end = (pos + limit).min(total);
             self.queue_frame(Frame::Continuation {
                 stream,
-                block: c.to_vec(),
-                end_headers: i == rest.len() - 1,
+                block: block.slice(pos..end),
+                end_headers: end == total,
             });
+            pos = end;
         }
     }
 
-    fn queue_push_promise(&mut self, parent: u32, promised: u32, block: Vec<u8>) {
+    fn queue_push_promise(&mut self, parent: u32, promised: u32, block: Bytes) {
         // Push promise blocks are small in practice; single frame.
         self.queue_frame(Frame::PushPromise { stream: parent, promised, block, end_headers: true });
     }
@@ -381,15 +403,14 @@ impl Connection {
         if !s.out.headers_sent || s.state == StreamState::Closed {
             return 0;
         }
-        s.out
-            .queued
-            .min(self.conn_send_window.max(0) as usize)
-            .min(s.send_window.max(0) as usize)
+        s.out.queued.min(self.conn_send_window.max(0) as usize).min(s.send_window.max(0) as usize)
     }
 
     /// Produce up to roughly `max` wire bytes: pending control frames first,
-    /// then DATA chunks chosen by `scheduler`.
-    pub fn produce(&mut self, max: usize, scheduler: &mut dyn Scheduler) -> Vec<u8> {
+    /// then DATA chunks chosen by `scheduler`. The returned [`Bytes`] is
+    /// moved (not copied) out of the assembly buffer, so downstream layers
+    /// can queue and re-slice it without further copies.
+    pub fn produce(&mut self, max: usize, scheduler: &mut dyn Scheduler) -> Bytes {
         let mut out = Vec::new();
         while let Some(front) = self.control.front() {
             if !out.is_empty() && out.len() + front.len() > max {
@@ -405,7 +426,12 @@ impl Connection {
                 .filter_map(|(&id, s)| {
                     let sendable = self.sendable(s);
                     if sendable > 0 {
-                        Some(StreamSnapshot { id, sendable, sent: s.out.sent, is_push: id % 2 == 0 })
+                        Some(StreamSnapshot {
+                            id,
+                            sendable,
+                            sent: s.out.sent,
+                            is_push: id % 2 == 0,
+                        })
                     } else {
                         None
                     }
@@ -438,7 +464,7 @@ impl Connection {
                 scheduler.stream_closed(id);
             }
         }
-        out
+        Bytes::from(out)
     }
 
     // ----- receive path -----
@@ -457,7 +483,7 @@ impl Connection {
                 self.fatal("bad connection preface");
                 return;
             }
-            self.recv_buf.drain(..PREFACE.len());
+            self.recv_pos = PREFACE.len();
             self.preface_received = true;
         }
         let mut pending: Option<PendingHeaders> = None;
@@ -467,9 +493,9 @@ impl Connection {
                 .max_frame_size
                 .map(|v| v as usize)
                 .unwrap_or(DEFAULT_MAX_FRAME_SIZE);
-            match Frame::decode(&self.recv_buf, local_max) {
+            match Frame::decode(&self.recv_buf[self.recv_pos..], local_max) {
                 Ok((frame, used)) => {
-                    self.recv_buf.drain(..used);
+                    self.recv_pos += used;
                     if let Err(reason) = self.handle_frame(frame, &mut pending) {
                         self.fatal(reason);
                         return;
@@ -477,7 +503,7 @@ impl Connection {
                 }
                 Err(FrameError::Incomplete) => break,
                 Err(FrameError::UnknownType { skip }) => {
-                    self.recv_buf.drain(..skip);
+                    self.recv_pos += skip;
                 }
                 Err(FrameError::TooLarge) => {
                     self.fatal("frame exceeds SETTINGS_MAX_FRAME_SIZE");
@@ -488,6 +514,12 @@ impl Connection {
                     return;
                 }
             }
+        }
+        // One compaction per receive() batch (instead of an O(n) drain per
+        // frame); retains the buffer's capacity for the next batch.
+        if self.recv_pos > 0 {
+            self.recv_buf.drain(..self.recv_pos);
+            self.recv_pos = 0;
         }
         if pending.is_some() {
             // A header block is split across a TCP segment boundary mid
@@ -502,6 +534,8 @@ impl Connection {
 
     fn fatal(&mut self, reason: &'static str) {
         self.dead = true;
+        self.recv_buf.clear();
+        self.recv_pos = 0;
         self.queue_frame(Frame::GoAway { last_stream: 0, code: ErrorCode::ProtocolError });
         self.events.push_back(Event::ConnectionError { reason });
     }
@@ -583,7 +617,12 @@ impl Connection {
                 if ph.stream != stream {
                     return Err("CONTINUATION on wrong stream");
                 }
-                ph.block.extend_from_slice(&block);
+                // Reassembly concatenates only on the (rare) multi-frame
+                // header-block path; single-frame blocks stay zero-copy.
+                let mut buf = BytesMut::with_capacity(ph.block.len() + block.len());
+                buf.extend_from_slice(&ph.block);
+                buf.extend_from_slice(&block);
+                ph.block = buf.freeze();
                 if end_headers {
                     self.finish_header_block(ph)?;
                 } else {
@@ -615,9 +654,8 @@ impl Connection {
                                 let s = self.streams.get_mut(&stream).unwrap();
                                 s.state = match s.state {
                                     StreamState::Open => StreamState::HalfClosedRemote,
-                                    StreamState::HalfClosedLocal | StreamState::HalfClosedRemote => {
-                                        StreamState::Closed
-                                    }
+                                    StreamState::HalfClosedLocal
+                                    | StreamState::HalfClosedRemote => StreamState::Closed,
                                     other => other,
                                 };
                             }
@@ -655,17 +693,15 @@ impl Connection {
         let headers = self.hpack_dec.decode(&ph.block).map_err(|_| "HPACK decode error")?;
         match ph.promised {
             Some(promised) => {
-                self.streams
-                    .insert(promised, Stream::new(StreamState::ReservedRemote, self.peer_initial_window));
+                self.streams.insert(
+                    promised,
+                    Stream::new(StreamState::ReservedRemote, self.peer_initial_window),
+                );
                 self.tree.insert(
                     promised,
                     PrioritySpec { depends_on: ph.stream, weight: 16, exclusive: false },
                 );
-                self.events.push_back(Event::PushPromise {
-                    parent: ph.stream,
-                    promised,
-                    headers,
-                });
+                self.events.push_back(Event::PushPromise { parent: ph.stream, promised, headers });
             }
             None => {
                 let entry = self.streams.entry(ph.stream).or_insert_with(|| {
@@ -675,8 +711,11 @@ impl Connection {
                 match entry.state {
                     StreamState::ReservedRemote => {
                         // Push response headers.
-                        entry.state =
-                            if ph.end_stream { StreamState::Closed } else { StreamState::HalfClosedLocal };
+                        entry.state = if ph.end_stream {
+                            StreamState::Closed
+                        } else {
+                            StreamState::HalfClosedLocal
+                        };
                     }
                     StreamState::Open if ph.end_stream => {
                         entry.state = StreamState::HalfClosedRemote;
@@ -766,7 +805,9 @@ mod tests {
         assert_eq!(id, 1);
         let (_, sev) = pump(&mut c, &mut s, &mut cs, &mut ss);
         let req = sev.iter().find_map(|e| match e {
-            Event::Headers { stream, headers, end_stream } => Some((*stream, headers.clone(), *end_stream)),
+            Event::Headers { stream, headers, end_stream } => {
+                Some((*stream, headers.clone(), *end_stream))
+            }
             _ => None,
         });
         let (stream, headers, end) = req.expect("server saw the request");
@@ -958,8 +999,14 @@ mod tests {
         let mut s = Connection::server(Settings::default());
         let mut cs = FifoScheduler;
         let mut ss = FifoScheduler;
-        let a = c.request(&get_headers("/a"), Some(PrioritySpec { depends_on: 0, weight: 256, exclusive: false }));
-        let b = c.request(&get_headers("/b"), Some(PrioritySpec { depends_on: a, weight: 100, exclusive: false }));
+        let a = c.request(
+            &get_headers("/a"),
+            Some(PrioritySpec { depends_on: 0, weight: 256, exclusive: false }),
+        );
+        let b = c.request(
+            &get_headers("/b"),
+            Some(PrioritySpec { depends_on: a, weight: 100, exclusive: false }),
+        );
         pump(&mut c, &mut s, &mut cs, &mut ss);
         assert_eq!(s.tree().parent(b), Some(a));
         c.send_priority(b, PrioritySpec { depends_on: 0, weight: 50, exclusive: false });
@@ -1104,19 +1151,13 @@ mod edge_tests {
     fn header_table_size_setting_shrinks_encoder() {
         // Client announces a small HPACK table; the server's encoder must
         // honor it (responses still decode on the client).
-        let mut c = Connection::client(Settings {
-            header_table_size: Some(64),
-            ..Default::default()
-        });
+        let mut c =
+            Connection::client(Settings { header_table_size: Some(64), ..Default::default() });
         let mut s = Connection::server(Settings::default());
         let id = c.request(&request_headers(), None);
         exchange(&mut c, &mut s);
         while s.poll_event().is_some() {}
-        s.respond(
-            id,
-            &[h(":status", "200"), h("x-large-header", &"v".repeat(200))],
-            true,
-        );
+        s.respond(id, &[h(":status", "200"), h("x-large-header", &"v".repeat(200))], true);
         exchange(&mut c, &mut s);
         let mut saw = false;
         while let Some(ev) = c.poll_event() {
@@ -1171,7 +1212,7 @@ mod edge_tests {
         let mut buf = Vec::new();
         Frame::Headers {
             stream: 1,
-            block: vec![0x82],
+            block: vec![0x82].into(),
             end_stream: false,
             end_headers: false,
             priority: None,

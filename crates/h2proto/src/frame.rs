@@ -4,7 +4,11 @@
 //! plain byte buffers; DATA payloads are carried as *lengths* plus opaque
 //! filler, because the testbed replays body bytes as counted placeholders
 //! (the record database knows the real sizes; the wire never needs the
-//! content itself).
+//! content itself). Header-block fragments are carried as [`Bytes`] so a
+//! block can be chunked into CONTINUATION frames — and re-queued on the
+//! connection's control queue — without copying the fragment payloads.
+
+use bytes::Bytes;
 
 /// The 9-octet frame header length.
 pub const FRAME_HEADER_LEN: usize = 9;
@@ -168,7 +172,7 @@ pub enum Frame {
     /// HEADERS with an (already reassembled) header block fragment.
     Headers {
         stream: u32,
-        block: Vec<u8>,
+        block: Bytes,
         end_stream: bool,
         end_headers: bool,
         priority: Option<PrioritySpec>,
@@ -180,7 +184,7 @@ pub enum Frame {
     /// SETTINGS (ack == true ⇒ empty payload).
     Settings { ack: bool, settings: Settings },
     /// PUSH_PROMISE reserving `promised` with a request header block.
-    PushPromise { stream: u32, promised: u32, block: Vec<u8>, end_headers: bool },
+    PushPromise { stream: u32, promised: u32, block: Bytes, end_headers: bool },
     /// PING.
     Ping { ack: bool, payload: [u8; 8] },
     /// GOAWAY.
@@ -188,7 +192,7 @@ pub enum Frame {
     /// WINDOW_UPDATE.
     WindowUpdate { stream: u32, increment: u32 },
     /// CONTINUATION of a header block.
-    Continuation { stream: u32, block: Vec<u8>, end_headers: bool },
+    Continuation { stream: u32, block: Bytes, end_headers: bool },
 }
 
 /// Frame decode errors; most are connection errors per §4.
@@ -246,8 +250,8 @@ impl Frame {
                 };
                 header(out, block.len() + extra, FrameType::Headers, flags, *stream);
                 if let Some(p) = priority {
-                    let dep = (p.depends_on & 0x7fff_ffff)
-                        | if p.exclusive { 0x8000_0000 } else { 0 };
+                    let dep =
+                        (p.depends_on & 0x7fff_ffff) | if p.exclusive { 0x8000_0000 } else { 0 };
                     put_u32(out, dep);
                     out.push((p.weight - 1) as u8);
                 }
@@ -255,8 +259,8 @@ impl Frame {
             }
             Frame::Priority { stream, spec } => {
                 header(out, 5, FrameType::Priority, 0, *stream);
-                let dep = (spec.depends_on & 0x7fff_ffff)
-                    | if spec.exclusive { 0x8000_0000 } else { 0 };
+                let dep =
+                    (spec.depends_on & 0x7fff_ffff) | if spec.exclusive { 0x8000_0000 } else { 0 };
                 put_u32(out, dep);
                 out.push((spec.weight - 1) as u8);
             }
@@ -388,7 +392,7 @@ impl Frame {
                 };
                 Frame::Headers {
                     stream,
-                    block: body.to_vec(),
+                    block: Bytes::copy_from_slice(body),
                     end_stream: flags & 0x1 != 0,
                     end_headers: flags & 0x4 != 0,
                     priority,
@@ -442,13 +446,12 @@ impl Frame {
                 if len < 4 {
                     return Err(FrameError::Protocol("short PUSH_PROMISE"));
                 }
-                let promised =
-                    u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]])
-                        & 0x7fff_ffff;
+                let promised = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]])
+                    & 0x7fff_ffff;
                 Frame::PushPromise {
                     stream,
                     promised,
-                    block: payload[4..].to_vec(),
+                    block: Bytes::copy_from_slice(&payload[4..]),
                     end_headers: flags & 0x4 != 0,
                 }
             }
@@ -482,7 +485,7 @@ impl Frame {
             }
             FrameType::Continuation => Frame::Continuation {
                 stream,
-                block: payload.to_vec(),
+                block: Bytes::copy_from_slice(payload),
                 end_headers: flags & 0x4 != 0,
             },
         };
@@ -512,14 +515,14 @@ mod tests {
     fn headers_round_trip_with_priority() {
         round_trip(Frame::Headers {
             stream: 5,
-            block: vec![0x82, 0x86],
+            block: vec![0x82, 0x86].into(),
             end_stream: false,
             end_headers: true,
             priority: Some(PrioritySpec { depends_on: 3, weight: 256, exclusive: true }),
         });
         round_trip(Frame::Headers {
             stream: 1,
-            block: vec![],
+            block: Bytes::new(),
             end_stream: true,
             end_headers: false,
             priority: None,
@@ -557,14 +560,18 @@ mod tests {
         round_trip(Frame::PushPromise {
             stream: 1,
             promised: 2,
-            block: vec![0x82, 0x84, 0x87],
+            block: vec![0x82, 0x84, 0x87].into(),
             end_headers: true,
         });
     }
 
     #[test]
     fn continuation_round_trip() {
-        round_trip(Frame::Continuation { stream: 1, block: vec![9; 100], end_headers: true });
+        round_trip(Frame::Continuation {
+            stream: 1,
+            block: vec![9; 100].into(),
+            end_headers: true,
+        });
     }
 
     #[test]

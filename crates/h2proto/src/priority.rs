@@ -95,9 +95,13 @@ impl PriorityTree {
             for c in &moved {
                 self.nodes.get_mut(c).unwrap().parent = id;
             }
-            self.nodes.insert(id, Node { parent: spec.depends_on, weight: spec.weight, children: moved });
+            self.nodes
+                .insert(id, Node { parent: spec.depends_on, weight: spec.weight, children: moved });
         } else {
-            self.nodes.insert(id, Node { parent: spec.depends_on, weight: spec.weight, children: Vec::new() });
+            self.nodes.insert(
+                id,
+                Node { parent: spec.depends_on, weight: spec.weight, children: Vec::new() },
+            );
         }
         self.nodes.get_mut(&spec.depends_on).unwrap().children.push(id);
     }

@@ -106,19 +106,15 @@ impl DefaultScheduler {
 
 impl Scheduler for DefaultScheduler {
     fn pick(&mut self, streams: &[StreamSnapshot], tree: &PriorityTree) -> Option<u32> {
-        let ready: HashMap<u32, usize> = streams
-            .iter()
-            .filter(|s| s.sendable > 0)
-            .map(|s| (s.id, s.sendable))
-            .collect();
+        let ready: HashMap<u32, usize> =
+            streams.iter().filter(|s| s.sendable > 0).map(|s| (s.id, s.sendable)).collect();
         if ready.is_empty() {
             return None;
         }
         // Streams the tree doesn't know (e.g. no HEADERS seen yet) are
         // treated as root children implicitly by falling back to any ready
         // stream if the walk finds nothing.
-        self.pick_rec(ROOT, tree, &ready)
-            .or_else(|| ready.keys().min().copied())
+        self.pick_rec(ROOT, tree, &ready).or_else(|| ready.keys().min().copied())
     }
 
     fn charge(&mut self, stream: u32, bytes: usize, tree: &PriorityTree) {
@@ -205,21 +201,16 @@ impl FairScheduler {
                 va.partial_cmp(&vb).unwrap().then(wb.cmp(&wa))
             })
             .map(|&(w, _)| w)?;
-        let best = eligible
-            .into_iter()
-            .filter(|&c| tree.weight(c).unwrap_or(16) == best_class)
-            .min()?;
+        let best =
+            eligible.into_iter().filter(|&c| tree.weight(c).unwrap_or(16) == best_class).min()?;
         self.pick_rec(best, tree, ready)
     }
 }
 
 impl Scheduler for FairScheduler {
     fn pick(&mut self, streams: &[StreamSnapshot], tree: &PriorityTree) -> Option<u32> {
-        let ready: HashMap<u32, usize> = streams
-            .iter()
-            .filter(|s| s.sendable > 0)
-            .map(|s| (s.id, s.sendable))
-            .collect();
+        let ready: HashMap<u32, usize> =
+            streams.iter().filter(|s| s.sendable > 0).map(|s| (s.id, s.sendable)).collect();
         if ready.is_empty() {
             return None;
         }

@@ -5,6 +5,7 @@
 //! One instance per *connection* (H1 state is per-connection); the record
 //! database is shared across the pool through an `Arc`.
 
+use bytes::Bytes;
 use h2push_h1::H1ServerConn;
 use h2push_netsim::SimTime;
 use h2push_webmodel::RecordDb;
@@ -48,8 +49,8 @@ impl H1ReplayServer {
     }
 
     /// Produce up to `max` wire bytes.
-    pub fn produce(&mut self, max: usize) -> Vec<u8> {
-        self.conn.produce(max)
+    pub fn produce(&mut self, max: usize) -> Bytes {
+        Bytes::from(self.conn.produce(max))
     }
 }
 

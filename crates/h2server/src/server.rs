@@ -8,11 +8,13 @@
 //! scheduler or with the paper's interleaving scheduler.
 
 use crate::interleave::InterleavingScheduler;
+use bytes::Bytes;
 use h2push_h2proto::{CacheDigest, Connection, DefaultScheduler, Event, Scheduler, Settings};
 use h2push_hpack::Header;
 use h2push_netsim::SimTime;
 use h2push_strategies::Strategy;
 use h2push_webmodel::{Page, RecordDb, ResourceId};
+use std::sync::Arc;
 
 /// A request observation (for computing push orders, §4.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,9 +50,14 @@ impl Sched {
 }
 
 /// One replay server (= one server group).
+///
+/// The page and record database are shared immutable inputs: every server
+/// group of every connection of every repetition points at the same
+/// [`Arc`]s, so opening a connection no longer clones the page or rebuilds
+/// the database.
 pub struct ReplayServer {
-    page: Page,
-    db: RecordDb,
+    page: Arc<Page>,
+    db: Arc<RecordDb>,
     group: usize,
     conn: Connection,
     sched: Sched,
@@ -69,10 +76,11 @@ pub struct ReplayServer {
 impl ReplayServer {
     /// Create the server for `group`. The strategy only fires on the group
     /// serving the document (group of origin 0); other groups never push.
-    pub fn new(page: &Page, group: usize, strategy: Strategy) -> Self {
+    /// `page` and `db` are shared, pre-built inputs; the strategy is cloned
+    /// only when this group actually executes it.
+    pub fn new(page: Arc<Page>, db: Arc<RecordDb>, group: usize, strategy: &Strategy) -> Self {
         let main_group = page.server_group_of(ResourceId(0));
-        let effective =
-            if group == main_group { strategy } else { Strategy::NoPush };
+        let effective = if group == main_group { strategy.clone() } else { Strategy::NoPush };
         let sched = match &effective {
             Strategy::Interleaved { offset, .. } => {
                 Sched::Interleaving(InterleavingScheduler::new(*offset))
@@ -80,8 +88,8 @@ impl ReplayServer {
             _ => Sched::Default(DefaultScheduler::new()),
         };
         ReplayServer {
-            page: page.clone(),
-            db: RecordDb::record(page),
+            page,
+            db,
             group,
             conn: Connection::server(Settings::default()),
             sched,
@@ -150,7 +158,7 @@ impl ReplayServer {
     }
 
     /// Produce up to `max` wire bytes under the configured scheduler.
-    pub fn produce(&mut self, max: usize) -> Vec<u8> {
+    pub fn produce(&mut self, max: usize) -> Bytes {
         self.conn.produce(max, self.sched.as_dyn())
     }
 
@@ -171,7 +179,10 @@ impl ReplayServer {
         {
             self.client_digest = Some(d);
         }
-        let Some(rec) = self.db.lookup(&host, &path) else {
+        // Borrow the record through a local Arc handle so the response can
+        // be queued without cloning the record.
+        let db = Arc::clone(&self.db);
+        let Some(rec) = db.lookup(&host, &path) else {
             // Mahimahi aborts on unmatched requests; we answer 404 so a
             // broken strategy surfaces as a failed load, not a hang.
             self.conn.respond(
@@ -181,7 +192,6 @@ impl ReplayServer {
             );
             return;
         };
-        let rec = rec.clone();
         self.observations.push(RequestObservation { resource: rec.resource, at: now });
 
         let is_html = rec.resource == ResourceId(0);
@@ -229,11 +239,12 @@ impl ReplayServer {
     }
 
     fn start_push(&mut self, parent: u32, rid: ResourceId, critical: bool) {
-        let r = self.page.resource(rid).clone();
-        let host = self.page.origins[r.origin].host.clone();
+        let page = Arc::clone(&self.page);
+        let r = page.resource(rid);
+        let host = &page.origins[r.origin].host;
         if self.honor_cache_digest {
             if let Some(d) = &self.client_digest {
-                if d.contains(&r.url(&host)) {
+                if d.contains(&r.url(host)) {
                     self.digest_suppressed += 1;
                     return;
                 }
@@ -242,7 +253,7 @@ impl ReplayServer {
         let req = vec![
             Header::new(":method", "GET"),
             Header::new(":scheme", "https"),
-            Header::new(":authority", &host),
+            Header::new(":authority", host),
             Header::new(":path", &r.path),
         ];
         let Some(promised) = self.conn.push_promise(parent, &req) else {
@@ -273,14 +284,18 @@ mod tests {
     use h2push_h2proto::{Connection, FifoScheduler, Settings, StreamState};
     use h2push_webmodel::{PageBuilder, ResourceSpec};
 
-    fn page() -> Page {
+    fn page() -> Arc<Page> {
         let mut b = PageBuilder::new("srv-test", "srv.test", 20_000, 2_000);
         let third = b.origin("cdn.third.net", 1, false);
         b.resource(ResourceSpec::css(0, 6_000, 200, 0.5)); // 1
         b.resource(ResourceSpec::image(0, 9_000, 8_000, true, 1.0)); // 2
         b.resource(ResourceSpec::js_async(third, 4_000, 9_000, 1_000)); // 3
         b.text_paint(5_000, 1.0);
-        b.build()
+        Arc::new(b.build())
+    }
+
+    fn server_for(p: &Arc<Page>, group: usize, strategy: Strategy) -> ReplayServer {
+        ReplayServer::new(Arc::clone(p), Arc::new(RecordDb::record(p)), group, &strategy)
     }
 
     /// Drive a raw h2proto client against the server; returns collected
@@ -328,7 +343,7 @@ mod tests {
     #[test]
     fn serves_recorded_response() {
         let p = page();
-        let mut server = ReplayServer::new(&p, 0, Strategy::NoPush);
+        let mut server = server_for(&p, 0, Strategy::NoPush);
         let mut client = Connection::client(Settings {
             initial_window_size: Some(1 << 20),
             ..Default::default()
@@ -350,15 +365,14 @@ mod tests {
     #[test]
     fn unknown_path_gets_404() {
         let p = page();
-        let mut server = ReplayServer::new(&p, 0, Strategy::NoPush);
+        let mut server = server_for(&p, 0, Strategy::NoPush);
         let mut client = Connection::client(Settings::default());
         client.request(&get("/not-recorded"), None);
         let events = converse(&mut server, &mut client, 10);
         let status = events.iter().find_map(|e| match e {
-            h2push_h2proto::Event::Headers { headers, end_stream, .. } => Some((
-                String::from_utf8_lossy(&headers[0].value).to_string(),
-                *end_stream,
-            )),
+            h2push_h2proto::Event::Headers { headers, end_stream, .. } => {
+                Some((String::from_utf8_lossy(&headers[0].value).to_string(), *end_stream))
+            }
             _ => None,
         });
         assert_eq!(status, Some(("404".to_string(), true)));
@@ -367,8 +381,7 @@ mod tests {
     #[test]
     fn strategy_fires_only_on_document_request() {
         let p = page();
-        let mut server =
-            ReplayServer::new(&p, 0, Strategy::PushList { order: vec![ResourceId(1)] });
+        let mut server = server_for(&p, 0, Strategy::PushList { order: vec![ResourceId(1)] });
         let mut client = Connection::client(Settings {
             initial_window_size: Some(1 << 20),
             ..Default::default()
@@ -393,8 +406,7 @@ mod tests {
     fn third_party_group_never_pushes() {
         let p = page();
         // The strategy is configured, but this instance serves group 1.
-        let mut server =
-            ReplayServer::new(&p, 1, Strategy::PushList { order: vec![ResourceId(1)] });
+        let mut server = server_for(&p, 1, Strategy::PushList { order: vec![ResourceId(1)] });
         let mut client = Connection::client(Settings::default());
         let js = p.resource(ResourceId(3));
         client.request(
@@ -421,7 +433,7 @@ mod tests {
     #[test]
     fn disabled_push_client_gets_plain_responses() {
         let p = page();
-        let mut server = ReplayServer::new(&p, 0, Strategy::PushList { order: vec![ResourceId(1)] });
+        let mut server = server_for(&p, 0, Strategy::PushList { order: vec![ResourceId(1)] });
         let mut client =
             Connection::client(Settings { enable_push: Some(false), ..Default::default() });
         client.request(&get("/"), None);
@@ -433,10 +445,14 @@ mod tests {
     #[test]
     fn interleaved_strategy_marks_parent_and_closes_cleanly() {
         let p = page();
-        let mut server = ReplayServer::new(
+        let mut server = server_for(
             &p,
             0,
-            Strategy::Interleaved { offset: 4_096, critical: vec![ResourceId(1)], after: vec![ResourceId(2)] },
+            Strategy::Interleaved {
+                offset: 4_096,
+                critical: vec![ResourceId(1)],
+                after: vec![ResourceId(2)],
+            },
         );
         let mut client = Connection::client(Settings {
             initial_window_size: Some(1 << 20),

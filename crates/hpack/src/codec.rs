@@ -48,7 +48,11 @@ pub struct Encoder {
 impl Encoder {
     /// Encoder with the default 4096-octet table.
     pub fn new() -> Self {
-        Encoder { table: IndexTable::new(), policy: HuffmanPolicy::Auto, pending_size_updates: Vec::new() }
+        Encoder {
+            table: IndexTable::new(),
+            policy: HuffmanPolicy::Auto,
+            pending_size_updates: Vec::new(),
+        }
     }
 
     /// Set the Huffman policy.
@@ -248,10 +252,7 @@ mod tests {
     fn c_2_1_literal_with_indexing() {
         let mut e = Encoder::new().with_policy(HuffmanPolicy::Never);
         let out = e.encode(&[h("custom-key", "custom-header")]);
-        assert_eq!(
-            hex(&out),
-            "400a637573746f6d2d6b65790d637573746f6d2d686561646572"
-        );
+        assert_eq!(hex(&out), "400a637573746f6d2d6b65790d637573746f6d2d686561646572");
         assert_eq!(e.table().size(), 55);
         let mut d = Decoder::new();
         assert_eq!(d.decode(&out).unwrap(), vec![h("custom-key", "custom-header")]);
@@ -391,10 +392,7 @@ mod tests {
             h("date", "Mon, 21 Oct 2013 20:13:22 GMT"),
             h("location", "https://www.example.com"),
             h("content-encoding", "gzip"),
-            h(
-                "set-cookie",
-                "foo=ASDJKHQKBZXOQWEOPIUAXQWEOIU; max-age=3600; version=1",
-            ),
+            h("set-cookie", "foo=ASDJKHQKBZXOQWEOPIUAXQWEOIU; max-age=3600; version=1"),
         ];
         let out = e.encode(&resp3);
         assert_eq!(

@@ -218,10 +218,7 @@ mod tests {
     fn rfc_c4_1_www_example_com() {
         let mut out = Vec::new();
         encode(b"www.example.com", &mut out);
-        assert_eq!(
-            out,
-            [0xf1, 0xe3, 0xc2, 0xe5, 0xf2, 0x3a, 0x6b, 0xa0, 0xab, 0x90, 0xf4, 0xff]
-        );
+        assert_eq!(out, [0xf1, 0xe3, 0xc2, 0xe5, 0xf2, 0x3a, 0x6b, 0xa0, 0xab, 0x90, 0xf4, 0xff]);
         assert_eq!(decode(&out).unwrap(), b"www.example.com");
     }
 

@@ -104,7 +104,8 @@ mod tests {
     fn boundary_values_round_trip() {
         for prefix in 1..=8 {
             let max_prefix = (1u64 << prefix) - 1;
-            for v in [0, 1, max_prefix - 1, max_prefix, max_prefix + 1, 127, 128, 16384, u32::MAX as u64]
+            for v in
+                [0, 1, max_prefix - 1, max_prefix, max_prefix + 1, 127, 128, 16384, u32::MAX as u64]
             {
                 if v == 0 && max_prefix == 0 {
                     continue;

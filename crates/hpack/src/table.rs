@@ -195,10 +195,7 @@ impl IndexTable {
             let (n, v) = STATIC_TABLE[index - 1];
             return Ok(Header::new(n, v));
         }
-        self.entries
-            .get(index - STATIC_TABLE.len() - 1)
-            .cloned()
-            .ok_or(crate::Error::InvalidIndex)
+        self.entries.get(index - STATIC_TABLE.len() - 1).cloned().ok_or(crate::Error::InvalidIndex)
     }
 
     /// Find the best index for `header`: an exact match if one exists,

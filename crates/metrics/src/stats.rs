@@ -180,11 +180,7 @@ pub fn cdf_points(values: &[f64]) -> Vec<(f64, f64)> {
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let n = sorted.len();
-    sorted
-        .into_iter()
-        .enumerate()
-        .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
-        .collect()
+    sorted.into_iter().enumerate().map(|(i, v)| (v, (i + 1) as f64 / n as f64)).collect()
 }
 
 #[cfg(test)]

@@ -485,9 +485,12 @@ impl Network {
                     self.try_transmit(conn, Dir::Down);
                     Some(NetEvent::Connected { conn: ConnId(conn) })
                 } else {
-                    self.transmit_path(conn, dir.reverse(), SYN_SIZE, Kind::Handshake {
-                        left: left - 1,
-                    });
+                    self.transmit_path(
+                        conn,
+                        dir.reverse(),
+                        SYN_SIZE,
+                        Kind::Handshake { left: left - 1 },
+                    );
                     None
                 }
             }
@@ -496,9 +499,7 @@ impl Network {
                 let d = &mut self.conns[conn].dirs[dir.reverse().idx()];
                 d.srtt = Some(match d.srtt {
                     None => rtt,
-                    Some(s) => SimDuration::from_micros(
-                        (s.as_micros() * 7 + rtt.as_micros()) / 8,
-                    ),
+                    Some(s) => SimDuration::from_micros((s.as_micros() * 7 + rtt.as_micros()) / 8),
                 });
                 d.on_ack(acked);
                 let data_dir = dir.reverse();
@@ -509,10 +510,12 @@ impl Network {
                 // Receiver immediately ACKs on the reverse path; the ACK
                 // echoes the original send timestamp for RTT estimation.
                 self.delivered_total += bytes as u64;
-                self.transmit_path(conn, dir.reverse(), ACK_SIZE, Kind::Ack {
-                    acked: bytes,
-                    sent_at,
-                });
+                self.transmit_path(
+                    conn,
+                    dir.reverse(),
+                    ACK_SIZE,
+                    Kind::Ack { acked: bytes, sent_at },
+                );
                 // Server think time: the transport ACKs on arrival (above),
                 // but the application sees the request only after the
                 // server's processing delay.
@@ -534,10 +537,8 @@ impl Network {
     /// can recover.
     fn loss_recovery_delay(&self, conn: usize, dir: Dir) -> SimDuration {
         let d = &self.conns[conn].dirs[dir.idx()];
-        let base = d
-            .srtt
-            .unwrap_or(self.spec.client_down.delay + self.spec.client_up.delay)
-            .as_micros();
+        let base =
+            d.srtt.unwrap_or(self.spec.client_down.delay + self.spec.client_up.delay).as_micros();
         if d.in_flight >= 4 * MSS {
             // Fast retransmit: ~1 smoothed RTT.
             SimDuration::from_micros(base.clamp(30_000, 3_000_000))
@@ -602,9 +603,8 @@ impl Network {
         };
         let is_data = matches!(kind, Kind::Data { .. });
         let wire = bytes + if is_data { HEADER_OVERHEAD } else { 0 };
-        let random_loss = lossy && is_data && self.spec.loss > 0.0 && {
-            self.rng.next_f64() < self.spec.loss
-        };
+        let random_loss =
+            lossy && is_data && self.spec.loss > 0.0 && { self.rng.next_f64() < self.spec.loss };
         let outcome = if random_loss { Transmit::Dropped } else { link.transmit(self.now, wire) };
         match outcome {
             Transmit::Delivered(at) => {
@@ -850,10 +850,8 @@ mod think_tests {
     #[test]
     fn server_think_delays_request_delivery_only() {
         let mut net = Network::new(NetworkSpec::dsl_testbed());
-        let s = net.add_server(ServerSpec {
-            think: SimDuration::from_millis(40),
-            ..Default::default()
-        });
+        let s = net
+            .add_server(ServerSpec { think: SimDuration::from_millis(40), ..Default::default() });
         let c = net.connect(s);
         let (t0, _) = net.step().unwrap(); // Connected
         net.send(c, Dir::Up, 300);

@@ -72,12 +72,8 @@ pub fn paper_strategy(page: &Page, which: PaperStrategy) -> (Page, Strategy) {
         PaperStrategy::PushAllOptimized => {
             let rw = rewrite_critical_css(page);
             let critical = critical_set(&rw.page);
-            let rest: Vec<ResourceId> = rw
-                .page
-                .pushable()
-                .into_iter()
-                .filter(|id| !critical.contains(id))
-                .collect();
+            let rest: Vec<ResourceId> =
+                rw.page.pushable().into_iter().filter(|id| !critical.contains(id)).collect();
             let offset = interleave_offset(&rw.page);
             (rw.page, Strategy::Interleaved { offset, critical, after: rest })
         }
@@ -129,8 +125,7 @@ mod tests {
         let p = page();
         let (v, _) = paper_strategy(&p, PaperStrategy::NoPushOptimized);
         // The 40 KB sheet was split: critical part (8 KB) + deferred rest.
-        let css: Vec<_> =
-            v.resources.iter().filter(|r| r.rtype == ResourceType::Css).collect();
+        let css: Vec<_> = v.resources.iter().filter(|r| r.rtype == ResourceType::Css).collect();
         assert_eq!(css.len(), 2);
         assert!(css.iter().any(|r| r.render_blocking && r.size == 8_000));
         assert!(css.iter().any(|r| !r.render_blocking && r.size == 32_000));

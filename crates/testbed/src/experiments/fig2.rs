@@ -33,8 +33,8 @@ pub fn fig2a_variability(scale: Scale) -> Vec<VariabilityRow> {
     let sites = generate_set(CorpusKind::PushUsers, scale.sites, scale.seed);
     parallel_map(sites, |page| {
         let strategy = push_as_recorded(page);
-        let tb = measure(page, strategy.clone(), Mode::Testbed, scale.runs, scale.seed);
-        let inet = measure(page, strategy, Mode::Internet, scale.runs, scale.seed ^ 0xA5A5);
+        let tb = measure(page, &strategy, Mode::Testbed, scale.runs, scale.seed);
+        let inet = measure(page, &strategy, Mode::Internet, scale.runs, scale.seed ^ 0xA5A5);
         VariabilityRow {
             site: page.name.clone(),
             tb_plt_stderr: tb.plt.std_err,
@@ -60,9 +60,9 @@ pub struct DeltaRow {
 pub fn fig2b_push_vs_nopush(scale: Scale) -> Vec<DeltaRow> {
     let sites = generate_set(CorpusKind::PushUsers, scale.sites, scale.seed);
     parallel_map(sites, |page| {
-        let base = measure(page, Strategy::NoPush, Mode::Testbed, scale.runs, scale.seed);
+        let base = measure(page, &Strategy::NoPush, Mode::Testbed, scale.runs, scale.seed);
         let push =
-            measure(page, push_as_recorded(page), Mode::Testbed, scale.runs, scale.seed ^ 0x77);
+            measure(page, &push_as_recorded(page), Mode::Testbed, scale.runs, scale.seed ^ 0x77);
         DeltaRow {
             site: page.name.clone(),
             d_plt: push.plt.median - base.plt.median,
@@ -84,9 +84,8 @@ mod tests {
         let inet: Vec<f64> = rows.iter().map(|r| r.inet_plt_stderr).collect();
         // The paper's claim in miniature: testbed σx̄ below Internet σx̄
         // for the vast majority of sites.
-        let lower =
-            rows.iter().filter(|r| r.tb_plt_stderr < r.inet_plt_stderr).count() as f64
-                / rows.len() as f64;
+        let lower = rows.iter().filter(|r| r.tb_plt_stderr < r.inet_plt_stderr).count() as f64
+            / rows.len() as f64;
         assert!(lower >= 0.7, "testbed not calmer: {tb:?} vs {inet:?}");
         // Most testbed sites sit below 100 ms stderr.
         assert!(share_below(&tb, 100.0) >= 0.6, "testbed σ too large: {tb:?}");

@@ -46,9 +46,9 @@ pub fn fig3a_push_all(kind: CorpusKind, scale: Scale) -> Vec<Fig3aRow> {
     let sites = generate_set(kind, scale.sites, scale.seed);
     parallel_map(sites, |page| {
         let order = compute_push_order(page, order_runs(scale), scale.seed);
-        let base = measure(page, Strategy::NoPush, Mode::Testbed, scale.runs, scale.seed);
+        let base = measure(page, &Strategy::NoPush, Mode::Testbed, scale.runs, scale.seed);
         let push =
-            measure(page, push_all(page, &order), Mode::Testbed, scale.runs, scale.seed ^ 0x33);
+            measure(page, &push_all(page, &order), Mode::Testbed, scale.runs, scale.seed ^ 0x33);
         Fig3aRow {
             site: page.name.clone(),
             d_si: push.speed_index.median - base.speed_index.median,
@@ -76,15 +76,12 @@ pub const LIMITS: [Option<usize>; 5] = [Some(1), Some(5), Some(10), Some(15), No
 /// Fig. 3b: vary the number of pushed objects on the random set.
 pub fn fig3b_push_limit(scale: Scale) -> Vec<Fig3bRow> {
     let sites = generate_set(CorpusKind::Random, scale.sites, scale.seed);
-    parallel_map(sites, |page| per_site_limits(page, scale))
-        .into_iter()
-        .flatten()
-        .collect()
+    parallel_map(sites, |page| per_site_limits(page, scale)).into_iter().flatten().collect()
 }
 
 fn per_site_limits(page: &Page, scale: Scale) -> Vec<Fig3bRow> {
     let order = compute_push_order(page, order_runs(scale), scale.seed);
-    let base = measure(page, Strategy::NoPush, Mode::Testbed, scale.runs, scale.seed);
+    let base = measure(page, &Strategy::NoPush, Mode::Testbed, scale.runs, scale.seed);
     LIMITS
         .iter()
         .map(|&limit| {
@@ -92,7 +89,7 @@ fn per_site_limits(page: &Page, scale: Scale) -> Vec<Fig3bRow> {
                 Some(n) => push_first_n(page, &order, n),
                 None => push_all(page, &order),
             };
-            let m = measure(page, strategy, Mode::Testbed, scale.runs, scale.seed ^ 0x44);
+            let m = measure(page, &strategy, Mode::Testbed, scale.runs, scale.seed ^ 0x44);
             Fig3bRow {
                 site: page.name.clone(),
                 limit,

@@ -40,10 +40,10 @@ pub struct Fig4Row {
 pub fn fig4_custom(scale: Scale) -> Vec<Fig4Row> {
     let sites = synthetic_set();
     parallel_map(sites, |page| {
-        let base = measure(page, Strategy::NoPush, Mode::Testbed, scale.runs, scale.seed);
-        let pa = measure(page, push_all(page, &[]), Mode::Testbed, scale.runs, scale.seed ^ 1);
+        let base = measure(page, &Strategy::NoPush, Mode::Testbed, scale.runs, scale.seed);
+        let pa = measure(page, &push_all(page, &[]), Mode::Testbed, scale.runs, scale.seed ^ 1);
         let custom = Strategy::PushList { order: custom_strategy(page) };
-        let cu = measure(page, custom, Mode::Testbed, scale.runs, scale.seed ^ 2);
+        let cu = measure(page, &custom, Mode::Testbed, scale.runs, scale.seed ^ 2);
         Fig4Row {
             site: page.name.clone(),
             push_all_si_pct: relative_change_pct(pa.speed_index.mean, base.speed_index.mean),

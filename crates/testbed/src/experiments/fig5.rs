@@ -41,7 +41,8 @@ impl Fig5Strategy {
 /// The Fig. 5b test page: `html_size` bytes of document with one CSS
 /// referenced in the head.
 pub fn fig5_page(html_size: usize) -> Page {
-    let mut b = PageBuilder::new(&format!("fig5-{}k", html_size / 1024), "fig5.test", html_size, 2_048);
+    let mut b =
+        PageBuilder::new(&format!("fig5-{}k", html_size / 1024), "fig5.test", html_size, 2_048);
     b.resource(ResourceSpec::css(0, 24_576, 256, 1.0));
     // The viewport content sits at the top of the body; the varying
     // padding below it is below the fold (the paper "varies the size of
@@ -77,13 +78,11 @@ pub fn fig5b_interleaving(scale: Scale) -> Vec<Fig5Point> {
             let strategy = match s {
                 Fig5Strategy::NoPush => Strategy::NoPush,
                 Fig5Strategy::Push => Strategy::PushList { order: vec![css] },
-                Fig5Strategy::Interleaving => Strategy::Interleaved {
-                    offset: 4_096,
-                    critical: vec![css],
-                    after: Vec::new(),
-                },
+                Fig5Strategy::Interleaving => {
+                    Strategy::Interleaved { offset: 4_096, critical: vec![css], after: Vec::new() }
+                }
             };
-            let metrics = measure(&page, strategy, Mode::Testbed, scale.runs, scale.seed);
+            let metrics = measure(&page, &strategy, Mode::Testbed, scale.runs, scale.seed);
             out.push(Fig5Point { html_size: size, strategy: s, metrics });
         }
     }
@@ -116,16 +115,18 @@ mod tests {
             assert!(growth > 15.0, "{}: expected growth, got {growth}", s.label());
         }
         // Interleaving stays nearly constant.
-        let il_growth =
-            si(&points, Fig5Strategy::Interleaving, large) - si(&points, Fig5Strategy::Interleaving, small);
-        let np_growth = si(&points, Fig5Strategy::NoPush, large) - si(&points, Fig5Strategy::NoPush, small);
+        let il_growth = si(&points, Fig5Strategy::Interleaving, large)
+            - si(&points, Fig5Strategy::Interleaving, small);
+        let np_growth =
+            si(&points, Fig5Strategy::NoPush, large) - si(&points, Fig5Strategy::NoPush, small);
         assert!(
             il_growth < np_growth / 2.0,
             "interleaving grew {il_growth} vs no-push {np_growth}"
         );
         // And interleaving beats no push on the largest document.
         assert!(
-            si(&points, Fig5Strategy::Interleaving, large) < si(&points, Fig5Strategy::NoPush, large)
+            si(&points, Fig5Strategy::Interleaving, large)
+                < si(&points, Fig5Strategy::NoPush, large)
         );
     }
 

@@ -51,7 +51,7 @@ pub fn fig6_realworld(scale: Scale) -> Vec<Fig6Row> {
         let mut cells = Vec::new();
         for which in PaperStrategy::ALL {
             let (variant, strategy) = paper_strategy(page, which);
-            let m = measure(&variant, strategy, Mode::Testbed, scale.runs, scale.seed);
+            let m = measure(&variant, &strategy, Mode::Testbed, scale.runs, scale.seed);
             if which == PaperStrategy::NoPush {
                 base = Some(m.clone());
             }
@@ -71,9 +71,7 @@ pub fn fig6_realworld(scale: Scale) -> Vec<Fig6Row> {
 /// The paper's Fig. 6a winner criterion: ≥ 20 % SpeedIndex improvement
 /// under push critical optimized.
 pub fn winners(rows: &[Fig6Row]) -> Vec<&Fig6Row> {
-    rows.iter()
-        .filter(|r| r.cell(PaperStrategy::PushCriticalOptimized).si_pct <= -20.0)
-        .collect()
+    rows.iter().filter(|r| r.cell(PaperStrategy::PushCriticalOptimized).si_pct <= -20.0).collect()
 }
 
 #[cfg(test)]

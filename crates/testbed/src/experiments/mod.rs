@@ -57,7 +57,13 @@ pub struct SiteMetrics {
 }
 
 /// Run `page` × `strategy` × `mode` `runs` times and summarize.
-pub fn measure(page: &Page, strategy: Strategy, mode: Mode, runs: usize, seed: u64) -> SiteMetrics {
+pub fn measure(
+    page: &Page,
+    strategy: &Strategy,
+    mode: Mode,
+    runs: usize,
+    seed: u64,
+) -> SiteMetrics {
     let outcomes = run_many(page, strategy, mode, runs, seed);
     summarize(&page.name, &outcomes)
 }
@@ -79,28 +85,16 @@ pub fn summarize(site: &str, outcomes: &[ReplayOutcome]) -> SiteMetrics {
 }
 
 /// Map `f` over `items` on all available cores (replays are independent).
+///
+/// Built on the global worker-token pool: results land in per-worker
+/// buffers and are merged in index order, with no lock around the output,
+/// and a `run_many` nested inside `f` shares the same core budget instead
+/// of oversubscribing.
 pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
     T: Send + Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let n = items.len();
-    let mut results: Vec<Option<U>> = (0..n).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = std::sync::Mutex::new(&mut results);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = f(&items[i]);
-                results_mutex.lock().unwrap()[i] = Some(out);
-            });
-        }
-    });
-    results.into_iter().map(|o| o.expect("worker finished")).collect()
+    crate::pool::parallel_indexed(items.len(), |i| f(&items[i]))
 }

@@ -86,12 +86,12 @@ pub fn type_study(scale: Scale) -> TypeStudy {
     let sites = generate_set(CorpusKind::Random, scale.sites, scale.seed);
     let rows: Vec<TypeRow> = parallel_map(sites, |page| {
         let order = compute_push_order(page, scale.runs.min(7), scale.seed);
-        let base = measure(page, Strategy::NoPush, Mode::Testbed, scale.runs, scale.seed);
+        let base = measure(page, &Strategy::NoPush, Mode::Testbed, scale.runs, scale.seed);
         let deltas = TypeSelection::ALL
             .iter()
             .map(|&sel| {
                 let s = push_by_type(page, &order, sel.types());
-                let m = measure(page, s, Mode::Testbed, scale.runs, scale.seed ^ 0x99);
+                let m = measure(page, &s, Mode::Testbed, scale.runs, scale.seed ^ 0x99);
                 (
                     sel,
                     m.speed_index.median - base.speed_index.median,

@@ -10,7 +10,8 @@
 //!   distance and server think time per run, and adds a little loss —
 //!   recreating the wild-measurement variance the testbed removes.
 
-use crate::replay::{replay, ReplayConfig, ReplayError, ReplayOutcome};
+use crate::pool::parallel_indexed;
+use crate::replay::{replay_shared, ReplayConfig, ReplayError, ReplayInputs, ReplayOutcome};
 use h2push_netsim::SimDuration;
 use h2push_strategies::{majority_order, RunTrace, Strategy};
 use h2push_webmodel::{Page, ResourceId};
@@ -30,8 +31,9 @@ pub enum Mode {
 pub const PAPER_RUNS: usize = 31;
 
 /// Build the per-run replay configuration for `(mode, run_seed)`.
-pub fn run_config(strategy: Strategy, mode: Mode, run_seed: u64, page: &Page) -> ReplayConfig {
-    let mut cfg = ReplayConfig::testbed(strategy);
+/// The strategy is cloned exactly once, here — callers keep theirs.
+pub fn run_config(strategy: &Strategy, mode: Mode, run_seed: u64, page: &Page) -> ReplayConfig {
+    let mut cfg = ReplayConfig::testbed(strategy.clone());
     let mut rng = StdRng::seed_from_u64(run_seed);
     cfg.network.seed = run_seed;
     match mode {
@@ -48,11 +50,8 @@ pub fn run_config(strategy: Strategy, mode: Mode, run_seed: u64, page: &Page) ->
             };
             cfg.network.client_down.delay = scale_delay(cfg.network.client_down.delay);
             cfg.network.client_up.delay = scale_delay(cfg.network.client_up.delay);
-            cfg.network.client_down.rate_bps = cfg
-                .network
-                .client_down
-                .rate_bps
-                .map(|r| (r as f64 * bw_factor) as u64);
+            cfg.network.client_down.rate_bps =
+                cfg.network.client_down.rate_bps.map(|r| (r as f64 * bw_factor) as u64);
             cfg.network.loss = rng.gen_range(0.0..0.004);
             // Third parties are scattered across the planet.
             for g in 0..page.server_group_count() {
@@ -70,24 +69,62 @@ pub fn run_config(strategy: Strategy, mode: Mode, run_seed: u64, page: &Page) ->
 
 /// Replay `page` `runs` times under `strategy`; failed runs are dropped
 /// (and must be rare — callers may assert on the count).
+///
+/// Records the page once, then runs the repetitions in parallel (see
+/// [`run_many_shared`]); results are identical to the serial path.
 pub fn run_many(
     page: &Page,
-    strategy: Strategy,
+    strategy: &Strategy,
+    mode: Mode,
+    runs: usize,
+    seed: u64,
+) -> Vec<ReplayOutcome> {
+    run_many_shared(&ReplayInputs::new(page.clone()), strategy, mode, runs, seed)
+}
+
+/// The parallel repetition loop over pre-built shared inputs.
+///
+/// Every run is seeded independently (`seed + r`) and each replay is a
+/// pure function of `(inputs, cfg)`, so executing the repetitions on
+/// worker threads and collecting them in run order is bit-identical to
+/// [`run_many_serial`]. Nested under a site-level `parallel_map`, the pool
+/// budget flattens (site × run) work onto the cores without
+/// oversubscription.
+pub fn run_many_shared(
+    inputs: &ReplayInputs,
+    strategy: &Strategy,
+    mode: Mode,
+    runs: usize,
+    seed: u64,
+) -> Vec<ReplayOutcome> {
+    parallel_indexed(runs, |r| {
+        let cfg = run_config(strategy, mode, seed.wrapping_add(r as u64), &inputs.page);
+        replay_shared(inputs, &cfg).ok()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// The serial reference loop (determinism tests, benchmark baseline).
+pub fn run_many_serial(
+    inputs: &ReplayInputs,
+    strategy: &Strategy,
     mode: Mode,
     runs: usize,
     seed: u64,
 ) -> Vec<ReplayOutcome> {
     (0..runs)
         .filter_map(|r| {
-            let cfg = run_config(strategy.clone(), mode, seed.wrapping_add(r as u64), page);
-            replay(page, &cfg).ok()
+            let cfg = run_config(strategy, mode, seed.wrapping_add(r as u64), &inputs.page);
+            replay_shared(inputs, &cfg).ok()
         })
         .collect()
 }
 
 /// Replay once in deterministic testbed conditions (seed 0).
 pub fn run_once(page: &Page, strategy: Strategy) -> Result<ReplayOutcome, ReplayError> {
-    replay(page, &ReplayConfig::testbed(strategy))
+    replay_shared(&ReplayInputs::new(page.clone()), &ReplayConfig::testbed(strategy))
 }
 
 /// §4.2 "Computing the Push Order": replay without push `runs` times,
@@ -95,10 +132,61 @@ pub fn run_once(page: &Page, strategy: Strategy) -> Result<ReplayOutcome, Replay
 /// Returns only pushable resources (the order is computed on the initial
 /// connection to the origin server, so everything in it is pushable).
 pub fn compute_push_order(page: &Page, runs: usize, seed: u64) -> Vec<ResourceId> {
-    let outcomes = run_many(page, Strategy::NoPush, Mode::Testbed, runs, seed);
+    let outcomes = run_many(page, &Strategy::NoPush, Mode::Testbed, runs, seed);
     let traces: Vec<RunTrace> = outcomes.into_iter().map(|o| o.trace).collect();
-    majority_order(&traces)
-        .into_iter()
-        .filter(|&id| id != ResourceId(0))
-        .collect()
+    majority_order(&traces).into_iter().filter(|&id| id != ResourceId(0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2push_webmodel::{PageBuilder, ResourceSpec};
+
+    fn page() -> Page {
+        let mut b = PageBuilder::new("harness-par", "hp.test", 45_000, 4_000);
+        let third = b.origin("cdn.other.net", 1, false);
+        b.resource(ResourceSpec::css(0, 15_000, 300, 0.4));
+        b.resource(ResourceSpec::js(0, 20_000, 1_000, 12_000));
+        b.resource(ResourceSpec::image(0, 25_000, 9_000, true, 1.5));
+        b.resource(ResourceSpec::js_async(third, 8_000, 25_000, 4_000));
+        b.text_paint(8_000, 1.0);
+        b.build()
+    }
+
+    fn assert_identical(par: &[ReplayOutcome], ser: &[ReplayOutcome]) {
+        assert_eq!(par.len(), ser.len());
+        for (p, s) in par.iter().zip(ser) {
+            assert_eq!(p.load.plt(), s.load.plt());
+            assert_eq!(p.load.speed_index(), s.load.speed_index());
+            assert_eq!(p.trace.order, s.trace.order);
+            assert_eq!(p.server_pushed_bytes, s.server_pushed_bytes);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_in_testbed_mode() {
+        let inputs = ReplayInputs::new(page());
+        let strategy = Strategy::NoPush;
+        let par = run_many_shared(&inputs, &strategy, Mode::Testbed, 9, 42);
+        let ser = run_many_serial(&inputs, &strategy, Mode::Testbed, 9, 42);
+        assert_identical(&par, &ser);
+    }
+
+    #[test]
+    fn parallel_matches_serial_in_internet_mode() {
+        let inputs = ReplayInputs::new(page());
+        let strategy = Strategy::PushList { order: vec![ResourceId(1), ResourceId(2)] };
+        let par = run_many_shared(&inputs, &strategy, Mode::Internet, 9, 7);
+        let ser = run_many_serial(&inputs, &strategy, Mode::Internet, 9, 7);
+        assert_identical(&par, &ser);
+    }
+
+    #[test]
+    fn run_many_equals_shared_path() {
+        let p = page();
+        let via_page = run_many(&p, &Strategy::NoPush, Mode::Testbed, 3, 0);
+        let inputs = ReplayInputs::new(p);
+        let via_inputs = run_many_shared(&inputs, &Strategy::NoPush, Mode::Testbed, 3, 0);
+        assert_identical(&via_page, &via_inputs);
+    }
 }

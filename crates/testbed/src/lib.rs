@@ -10,7 +10,14 @@
 pub mod adoption;
 pub mod experiments;
 pub mod harness;
+pub mod pool;
 pub mod replay;
 
-pub use harness::{compute_push_order, run_config, run_many, run_once, Mode, PAPER_RUNS};
-pub use replay::{replay, Protocol, ReplayConfig, ReplayError, ReplayOutcome};
+pub use harness::{
+    compute_push_order, run_config, run_many, run_many_serial, run_many_shared, run_once, Mode,
+    PAPER_RUNS,
+};
+pub use pool::parallel_indexed;
+pub use replay::{
+    replay, replay_shared, Protocol, ReplayConfig, ReplayError, ReplayInputs, ReplayOutcome,
+};

@@ -1,0 +1,144 @@
+//! A tiny scoped-thread worker pool with a *global* concurrency budget.
+//!
+//! Experiment drivers nest parallelism two deep: `parallel_map` fans out
+//! over sites while `run_many` fans out over the 31 repetitions of each
+//! site. A naive nested spawn would oversubscribe the machine quadratically;
+//! instead every `parallel_indexed` call claims worker tokens from one
+//! process-wide budget (`available_parallelism`), and a call that gets no
+//! tokens simply runs serially on its caller's thread. The effect is a
+//! flattened (site × run) schedule that saturates the cores exactly once.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Extra worker threads currently alive across all `parallel_indexed`
+/// calls (the calling threads themselves are not counted).
+static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+fn cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// A claim on `0..=want` worker slots; dropping it returns them.
+struct WorkerTokens(usize);
+
+impl Drop for WorkerTokens {
+    fn drop(&mut self) {
+        if self.0 > 0 {
+            ACTIVE_WORKERS.fetch_sub(self.0, Ordering::Relaxed);
+        }
+    }
+}
+
+fn claim(want: usize) -> WorkerTokens {
+    // Each claimant's own thread works too, so the extra-thread budget is
+    // one less than the core count.
+    let cap = cores().saturating_sub(1);
+    let mut cur = ACTIVE_WORKERS.load(Ordering::Relaxed);
+    loop {
+        let take = want.min(cap.saturating_sub(cur));
+        if take == 0 {
+            return WorkerTokens(0);
+        }
+        match ACTIVE_WORKERS.compare_exchange_weak(
+            cur,
+            cur + take,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return WorkerTokens(take),
+            Err(c) => cur = c,
+        }
+    }
+}
+
+/// Run `f(0..n)` across the available cores and return the results in
+/// index order.
+///
+/// Work items are handed out through an atomic counter; each worker
+/// (including the calling thread) accumulates `(index, result)` pairs in a
+/// private vector, and the pairs are merged into their final slots after
+/// the scope joins — no locks, no shared mutable buffer. When the global
+/// budget is already spent (nested call) the whole loop runs serially on
+/// the caller, which is exactly the flattening that prevents
+/// oversubscription.
+pub fn parallel_indexed<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let tokens = if n > 1 { claim(n - 1) } else { WorkerTokens(0) };
+    if tokens.0 == 0 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let run = |local: &mut Vec<(usize, U)>| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        local.push((i, f(i)));
+    };
+    let parts = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..tokens.0)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    run(&mut local);
+                    local
+                })
+            })
+            .collect();
+        let mut local = Vec::new();
+        run(&mut local);
+        let mut parts = vec![local];
+        for h in handles {
+            parts.push(h.join().expect("pool worker panicked"));
+        }
+        parts
+    });
+    drop(tokens);
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    for part in parts {
+        for (i, u) in part {
+            slots[i] = Some(u);
+        }
+    }
+    slots.into_iter().map(|o| o.expect("every index ran exactly once")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let out = parallel_indexed(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_calls_degrade_to_serial_not_deadlock() {
+        let out = parallel_indexed(8, |i| {
+            let inner = parallel_indexed(8, move |j| i * 8 + j);
+            inner.iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..8).map(|i| (0..8).map(|j| i * 8 + j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(parallel_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_indexed(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn claims_never_exceed_request_or_budget() {
+        let cap = cores().saturating_sub(1);
+        let t = claim(1_000);
+        assert!(t.0 <= 1_000.min(cap));
+        // A second claim on top of the first stays within the budget too.
+        let t2 = claim(1_000);
+        assert!(t.0 + t2.0 <= cap);
+    }
+}

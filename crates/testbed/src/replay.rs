@@ -5,6 +5,7 @@
 //! emulated DSL access link, the browser loads the page, and we collect the
 //! timing metrics plus the server-side request trace.
 
+use bytes::{Bytes, BytesMut};
 use h2push_browser::{Browser, BrowserAction, BrowserConfig, LoadResult, TransportMode};
 use h2push_netsim::{
     ConnId, Dir, NetEvent, Network, NetworkSpec, ServerId, ServerSpec, SimDuration, SimTime,
@@ -101,12 +102,84 @@ impl std::fmt::Display for ReplayError {
 
 impl std::error::Error for ReplayError {}
 
+/// The immutable inputs of a replay: the page model and the record-and-
+/// replay response database derived from it. Built once per page (the DB
+/// walk is the expensive part) and shared by reference across every
+/// repetition, connection and thread — `Arc` clones are pointer bumps.
+#[derive(Debug, Clone)]
+pub struct ReplayInputs {
+    /// The page under replay.
+    pub page: Arc<Page>,
+    /// Recorded responses for every resource of `page`.
+    pub db: Arc<RecordDb>,
+}
+
+impl ReplayInputs {
+    /// Record `page` once and wrap both halves for sharing.
+    pub fn new(page: Page) -> Self {
+        Self::from_arc(Arc::new(page))
+    }
+
+    /// Same, for a page that is already shared.
+    pub fn from_arc(page: Arc<Page>) -> Self {
+        let db = Arc::new(RecordDb::record(&page));
+        ReplayInputs { page, db }
+    }
+}
+
+/// One direction of an in-flight TCP stream: a FIFO of `Bytes` chunks.
+/// Producers queue their output buffers as-is (no copy); deliveries pop
+/// by byte count, slicing the front chunk in place via O(1) `split_to`.
+#[derive(Default)]
+struct ByteFifo {
+    chunks: VecDeque<Bytes>,
+    len: usize,
+}
+
+impl ByteFifo {
+    fn push(&mut self, b: Bytes) {
+        self.len += b.len();
+        self.chunks.push_back(b);
+    }
+
+    /// Pop up to `max` bytes as one contiguous buffer. A delivery that
+    /// spans queued chunks concatenates them so the receiver still sees
+    /// exactly one `on_bytes` call per network delivery.
+    fn pop(&mut self, max: usize) -> Bytes {
+        let take = max.min(self.len);
+        if take == 0 {
+            return Bytes::new();
+        }
+        self.len -= take;
+        let front = self.chunks.front_mut().expect("non-empty fifo");
+        if take <= front.len() {
+            let out = front.split_to(take);
+            if front.is_empty() {
+                self.chunks.pop_front();
+            }
+            return out;
+        }
+        let mut buf = BytesMut::with_capacity(take);
+        let mut rem = take;
+        while rem > 0 {
+            let front = self.chunks.front_mut().expect("non-empty fifo");
+            let n = rem.min(front.len());
+            buf.extend_from_slice(&front.split_to(n));
+            if front.is_empty() {
+                self.chunks.pop_front();
+            }
+            rem -= n;
+        }
+        buf.freeze()
+    }
+}
+
 struct ConnCtx {
     group: usize,
     slot: usize,
     /// Bytes handed to netsim (up = client→server) not yet delivered.
-    up: VecDeque<u8>,
-    down: VecDeque<u8>,
+    up: ByteFifo,
+    down: ByteFifo,
 }
 
 /// A per-connection replay server of either protocol. (Boxed: the H2
@@ -132,7 +205,7 @@ impl AnyServer {
         }
     }
 
-    fn produce(&mut self, max: usize) -> Vec<u8> {
+    fn produce(&mut self, max: usize) -> Bytes {
         match self {
             AnyServer::H2(s) => s.produce(max),
             AnyServer::H1(s) => s.produce(max),
@@ -141,7 +214,21 @@ impl AnyServer {
 }
 
 /// Replay `page` once under `cfg`.
+///
+/// Convenience wrapper that records the page on every call; repeated runs
+/// of the same page should build [`ReplayInputs`] once and use
+/// [`replay_shared`].
 pub fn replay(page: &Page, cfg: &ReplayConfig) -> Result<ReplayOutcome, ReplayError> {
+    replay_shared(&ReplayInputs::new(page.clone()), cfg)
+}
+
+/// Replay `inputs` once under `cfg`, sharing (not cloning) the page and
+/// response database with the browser and every server connection.
+pub fn replay_shared(
+    inputs: &ReplayInputs,
+    cfg: &ReplayConfig,
+) -> Result<ReplayOutcome, ReplayError> {
+    let page = &inputs.page;
     let mut net = Network::new(cfg.network.clone());
     let mut browser_cfg = cfg.browser.clone();
     browser_cfg.enable_push =
@@ -151,8 +238,7 @@ pub fn replay(page: &Page, cfg: &ReplayConfig) -> Result<ReplayOutcome, ReplayEr
         Protocol::H2 => TransportMode::H2,
         Protocol::H1 => TransportMode::H1,
     };
-    let mut browser = Browser::new(page.clone(), browser_cfg);
-    let shared_db = Arc::new(RecordDb::record(page));
+    let mut browser = Browser::new(Arc::clone(page), browser_cfg);
     let mut servers: HashMap<(usize, usize), AnyServer> = HashMap::new();
     let mut conn_of_slot: HashMap<(usize, usize), ConnId> = HashMap::new();
     let mut ctx: HashMap<ConnId, ConnCtx> = HashMap::new();
@@ -177,23 +263,35 @@ pub fn replay(page: &Page, cfg: &ReplayConfig) -> Result<ReplayOutcome, ReplayEr
                         conn_of_slot.insert((group, slot), conn);
                         ctx.insert(
                             conn,
-                            ConnCtx { group, slot, up: VecDeque::new(), down: VecDeque::new() },
+                            ConnCtx {
+                                group,
+                                slot,
+                                up: ByteFifo::default(),
+                                down: ByteFifo::default(),
+                            },
                         );
                         let server = match cfg.protocol {
                             Protocol::H2 => {
-                                let mut s = ReplayServer::new(page, group, cfg.strategy.clone());
+                                let mut s = ReplayServer::new(
+                                    Arc::clone(&inputs.page),
+                                    Arc::clone(&inputs.db),
+                                    group,
+                                    &cfg.strategy,
+                                );
                                 s.set_honor_cache_digest(cfg.server_honors_digest);
                                 AnyServer::H2(Box::new(s))
                             }
-                            Protocol::H1 => AnyServer::H1(H1ReplayServer::new(shared_db.clone())),
+                            Protocol::H1 => {
+                                AnyServer::H1(H1ReplayServer::new(Arc::clone(&inputs.db)))
+                            }
                         };
                         servers.insert((group, slot), server);
                     }
                     BrowserAction::SendBytes { group, slot, bytes } => {
                         let conn = conn_of_slot[&(group, slot)];
                         let c = ctx.get_mut(&conn).expect("unknown conn");
-                        c.up.extend(bytes.iter().copied());
                         net.send(conn, Dir::Up, bytes.len());
+                        c.up.push(bytes);
                     }
                     BrowserAction::SetTimer { at, token } => {
                         net.schedule(at, token);
@@ -222,8 +320,8 @@ pub fn replay(page: &Page, cfg: &ReplayConfig) -> Result<ReplayOutcome, ReplayEr
                             break;
                         }
                         let c = ctx.get_mut(&$conn).expect("ctx");
-                        c.down.extend(bytes.iter().copied());
                         net.send($conn, Dir::Down, bytes.len());
+                        c.down.push(bytes);
                     }
                     None => break, // TCP window full; SendReady will fire
                 }
@@ -252,19 +350,13 @@ pub fn replay(page: &Page, cfg: &ReplayConfig) -> Result<ReplayOutcome, ReplayEr
             }
             NetEvent::Delivered { conn, dir: Dir::Up, bytes } => {
                 let (group, slot) = (ctx[&conn].group, ctx[&conn].slot);
-                let chunk: Vec<u8> = {
-                    let c = ctx.get_mut(&conn).expect("ctx");
-                    c.up.drain(..bytes.min(c.up.len())).collect()
-                };
+                let chunk = ctx.get_mut(&conn).expect("ctx").up.pop(bytes);
                 servers.get_mut(&(group, slot)).expect("server").on_bytes(&chunk, t);
                 pump_server!(conn, (group, slot));
             }
             NetEvent::Delivered { conn, dir: Dir::Down, bytes } => {
                 let (group, slot) = (ctx[&conn].group, ctx[&conn].slot);
-                let chunk: Vec<u8> = {
-                    let c = ctx.get_mut(&conn).expect("ctx");
-                    c.down.drain(..bytes.min(c.down.len())).collect()
-                };
+                let chunk = ctx.get_mut(&conn).expect("ctx").down.pop(bytes);
                 queue.extend(browser.on_bytes(group, slot, &chunk, t));
                 drain_actions!();
                 // The browser may have ACKed at the H2 level (window
@@ -282,8 +374,13 @@ pub fn replay(page: &Page, cfg: &ReplayConfig) -> Result<ReplayOutcome, ReplayEr
                 queue.extend(browser.on_timer(token, t));
                 drain_actions!();
                 // Timers can trigger new requests on any connection; make
-                // sure all servers with pending output are pulling.
-                for (&key, &conn) in conn_of_slot.iter() {
+                // sure all servers with pending output are pulling. Pump in
+                // (group, slot) order — HashMap iteration order varies per
+                // instance and must not leak into the simulation.
+                let mut pending: Vec<((usize, usize), ConnId)> =
+                    conn_of_slot.iter().map(|(&k, &c)| (k, c)).collect();
+                pending.sort_unstable_by_key(|&(k, _)| k);
+                for (key, conn) in pending {
                     if servers.get(&key).map(|s| s.wants_send()).unwrap_or(false) {
                         pump_server!(conn, key);
                     }
@@ -348,6 +445,22 @@ mod tests {
         let b = replay(&page(), &cfg).unwrap();
         assert_eq!(a.load.plt(), b.load.plt());
         assert_eq!(a.load.speed_index(), b.load.speed_index());
+        assert_eq!(a.trace.order, b.trace.order);
+    }
+
+    #[test]
+    fn replay_shared_matches_cold_replay() {
+        // Sharing the page/DB through Arc must not change a single output.
+        let p = page();
+        let cfg = ReplayConfig::testbed(Strategy::NoPush);
+        let cold = replay(&p, &cfg).unwrap();
+        let inputs = ReplayInputs::new(p);
+        let a = replay_shared(&inputs, &cfg).unwrap();
+        let b = replay_shared(&inputs, &cfg).unwrap();
+        assert_eq!(cold.load.plt(), a.load.plt());
+        assert_eq!(cold.load.speed_index(), a.load.speed_index());
+        assert_eq!(cold.trace.order, a.trace.order);
+        assert_eq!(a.load.plt(), b.load.plt());
         assert_eq!(a.trace.order, b.trace.order);
     }
 

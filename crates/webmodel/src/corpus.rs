@@ -95,11 +95,7 @@ pub fn generate_site(kind: CorpusKind, seed: u64) -> Page {
     let mut origins = vec![Origin { host: host.clone(), server_group: 0, same_infra: true }];
     // A same-infra CDN host, coalesced with the main group (cf. §5
     // "img.bbystatic.com and bestbuy.com").
-    origins.push(Origin {
-        host: format!("static.{host}"),
-        server_group: 0,
-        same_infra: true,
-    });
+    origins.push(Origin { host: format!("static.{host}"), server_group: 0, same_infra: true });
     for g in 0..n_third_groups {
         origins.push(Origin {
             host: format!("third{g}.{}", ["ads.net", "cdn.io", "tag.org", "apis.com"][g % 4]),
@@ -329,15 +325,8 @@ pub fn generate_site(kind: CorpusKind, seed: u64) -> Page {
         }
     }
 
-    let page = Page {
-        name,
-        resources,
-        origins,
-        text_paints,
-        inline_scripts,
-        head_end,
-        recorded_push,
-    };
+    let page =
+        Page { name, resources, origins, text_paints, inline_scripts, head_end, recorded_push };
     debug_assert!(page.validate().is_ok(), "generated page invalid: {:?}", page.validate());
     page
 }

@@ -63,9 +63,9 @@ pub fn rewrite_critical_css(page: &Page) -> CriticalCssRewrite {
 
     let doc_end = page.html_size().saturating_sub(1);
     for id in targets {
-        let crit_size =
-            ((page.resource(id).size as f64 * page.resource(id).critical_fraction) as usize)
-                .max(MIN_SPLIT_BYTES.min(page.resource(id).size / 2).max(256));
+        let crit_size = ((page.resource(id).size as f64 * page.resource(id).critical_fraction)
+            as usize)
+            .max(MIN_SPLIT_BYTES.min(page.resource(id).size / 2).max(256));
         let rest_size = page.resource(id).size - crit_size.min(page.resource(id).size);
         if rest_size < MIN_SPLIT_BYTES {
             continue;
@@ -76,8 +76,8 @@ pub fn rewrite_critical_css(page: &Page) -> CriticalCssRewrite {
             let r = &mut new_page.resources[id.0];
             r.size = crit_size;
             r.critical_fraction = 1.0;
-            r.exec_us = (r.exec_us as f64 * crit_size as f64
-                / (crit_size + rest_size) as f64) as u64;
+            r.exec_us =
+                (r.exec_us as f64 * crit_size as f64 / (crit_size + rest_size) as f64) as u64;
             r.path = format!("{}.crit.css", r.path.trim_end_matches(".css"));
         }
         critical.push(id);

@@ -411,7 +411,12 @@ impl ResourceSpec {
     }
 
     /// A resource loaded by a script (hidden from the preload scanner).
-    pub fn script_loaded(origin: usize, size: usize, js_parent: ResourceId, rtype: ResourceType) -> Self {
+    pub fn script_loaded(
+        origin: usize,
+        size: usize,
+        js_parent: ResourceId,
+        rtype: ResourceType,
+    ) -> Self {
         ResourceSpec {
             origin,
             path: String::new(),

@@ -47,12 +47,11 @@ impl RecordDb {
     /// Record a page: one entry per resource, keyed by its origin host and
     /// path.
     pub fn record(page: &Page) -> Self {
-        let mut db = RecordDb { site: page.name.clone(), entries: Vec::new(), index: HashMap::new() };
+        let mut db =
+            RecordDb { site: page.name.clone(), entries: Vec::new(), index: HashMap::new() };
         for r in &page.resources {
-            let key = RequestKey {
-                host: page.origins[r.origin].host.clone(),
-                path: r.path.clone(),
-            };
+            let key =
+                RequestKey { host: page.origins[r.origin].host.clone(), path: r.path.clone() };
             let resp = RecordedResponse {
                 status: 200,
                 content_type: r.rtype.mime().to_string(),
@@ -83,8 +82,7 @@ impl RecordDb {
 
     /// Rebuild the lookup index (needed after deserialization).
     pub fn reindex(&mut self) {
-        self.index =
-            self.entries.iter().enumerate().map(|(i, (k, _))| (k.clone(), i)).collect();
+        self.index = self.entries.iter().enumerate().map(|(i, (k, _))| (k.clone(), i)).collect();
     }
 
     /// Serialize to JSON.

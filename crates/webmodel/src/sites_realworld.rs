@@ -375,11 +375,7 @@ fn build(spec: &Spec) -> Page {
 
     let mut first_css: Option<ResourceId> = None;
     for (i, &(kb, crit, blocking)) in spec.css.iter().enumerate() {
-        let offset = if blocking {
-            200 + i * 600
-        } else {
-            html - 600 - i
-        };
+        let offset = if blocking { 200 + i * 600 } else { html - 600 - i };
         let mut s = ResourceSpec::css(
             if i % 2 == 0 { 0 } else { static_origin },
             kb * KB,
@@ -442,12 +438,8 @@ fn build(spec: &Spec) -> Page {
             // This is precisely why heavy third-party pages dilute push
             // gains (w17/cnn).
             let loader = b.resource(ResourceSpec::js_async(origin, 16 * KB, offset, 2 * MS));
-            let auction = b.resource(ResourceSpec::script_loaded(
-                origin,
-                12 * KB,
-                loader,
-                ResourceType::Js,
-            ));
+            let auction =
+                b.resource(ResourceSpec::script_loaded(origin, 12 * KB, loader, ResourceType::Js));
             // Creatives are heavy (rich media) — several times the site's
             // ordinary third-party objects.
             let mut creative = ResourceSpec::script_loaded(

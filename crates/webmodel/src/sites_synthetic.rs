@@ -251,10 +251,7 @@ mod tests {
         let custom = custom_strategy(&p);
         let custom_bytes: usize = custom.iter().map(|&id| p.resource(id).size).sum();
         let all_bytes = p.pushable_bytes();
-        assert!(
-            custom_bytes * 2 < all_bytes,
-            "custom {custom_bytes} not ≪ all {all_bytes}"
-        );
+        assert!(custom_bytes * 2 < all_bytes, "custom {custom_bytes} not ≪ all {all_bytes}");
         // Roughly the paper's magnitudes (within a factor).
         assert!((200 * KB..400 * KB).contains(&custom_bytes), "custom = {custom_bytes}");
         assert!((800 * KB..1400 * KB).contains(&all_bytes), "all = {all_bytes}");

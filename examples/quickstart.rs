@@ -11,7 +11,12 @@ use h2push::webmodel::synthetic_site;
 fn main() {
     // s2 is the paper's product-landing-page archetype (§4.3).
     let page = synthetic_site(2);
-    println!("site: {} — {} resources, {} KB pushable", page.name, page.resources.len(), page.pushable_bytes() / 1024);
+    println!(
+        "site: {} — {} resources, {} KB pushable",
+        page.name,
+        page.resources.len(),
+        page.pushable_bytes() / 1024
+    );
 
     let strategies = [
         ("no push", Strategy::NoPush),

@@ -16,10 +16,7 @@ fn main() {
     let planner = PushPlanner { runs: 5, ..Default::default() };
     let plan = planner.plan(&page);
 
-    println!(
-        "{:26} {:>12} {:>10} {:>11}",
-        "candidate", "SpeedIndex", "PLT [ms]", "pushed KB"
-    );
+    println!("{:26} {:>12} {:>10} {:>11}", "candidate", "SpeedIndex", "PLT [ms]", "pushed KB");
     for (i, c) in plan.candidates.iter().enumerate() {
         let marker = if i == plan.chosen { "→" } else { " " };
         println!(

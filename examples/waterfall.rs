@@ -24,7 +24,10 @@ fn main() {
             l.speed_index(),
             l.plt()
         );
-        println!("{:>4} {:>6} {:>9} {:>6} {:>9} {:>9} {:>9}", "id", "type", "size KB", "push", "disc ms", "loaded", "done");
+        println!(
+            "{:>4} {:>6} {:>9} {:>6} {:>9} {:>9} {:>9}",
+            "id", "type", "size KB", "push", "disc ms", "loaded", "done"
+        );
         for (i, r) in variant.resources.iter().enumerate().take(18) {
             let w = l.waterfall[i];
             let ms = |t: Option<h2push::netsim::SimTime>| {

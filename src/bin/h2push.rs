@@ -36,12 +36,10 @@ fn usage() -> ! {
 
 fn parse_site(spec: &str) -> Option<Page> {
     if let Some(path) = spec.strip_prefix("file:") {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| eprintln!("cannot read {path}: {e}"))
-            .ok()?;
-        let page: Page = serde_json::from_str(&text)
-            .map_err(|e| eprintln!("cannot parse {path}: {e}"))
-            .ok()?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| eprintln!("cannot read {path}: {e}")).ok()?;
+        let page: Page =
+            serde_json::from_str(&text).map_err(|e| eprintln!("cannot parse {path}: {e}")).ok()?;
         if let Err(e) = page.validate() {
             eprintln!("invalid page in {path}: {e}");
             return None;
@@ -176,7 +174,7 @@ fn cmd_replay(page: &Page, o: &Opts) {
     let mut cancelled = 0u32;
     for r in 0..o.runs {
         let mut cfg: ReplayConfig =
-            run_config(strategy.clone(), o.mode, o.seed.wrapping_add(r as u64), &variant);
+            run_config(&strategy, o.mode, o.seed.wrapping_add(r as u64), &variant);
         cfg.protocol = o.protocol;
         if o.warm {
             cfg.warm_cache = variant.pushable();
@@ -256,7 +254,11 @@ fn cmd_plan(page: &Page, o: &Opts) {
             c.pushed_bytes / 1024.0
         );
     }
-    println!("winner: {} ({:+.1}% SI vs no push)", plan.winner().which.label(), plan.improvement_pct());
+    println!(
+        "winner: {} ({:+.1}% SI vs no push)",
+        plan.winner().which.label(),
+        plan.improvement_pct()
+    );
 }
 
 fn cmd_order(page: &Page, o: &Opts) {

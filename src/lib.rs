@@ -24,14 +24,14 @@
 //! println!("SpeedIndex {:.0} → {:.0} ms", baseline.speed_index, plan.speed_index);
 //! ```
 
-/// The paper's contribution: evaluation API, interleaving push, planning.
-pub use h2push_core as core;
 /// Chromium-64-like browser load/render model.
 pub use h2push_browser as browser;
-/// HTTP/2 wire protocol (RFC 7540).
-pub use h2push_h2proto as h2proto;
+/// The paper's contribution: evaluation API, interleaving push, planning.
+pub use h2push_core as core;
 /// The HTTP/1.1 baseline protocol.
 pub use h2push_h1 as h1;
+/// HTTP/2 wire protocol (RFC 7540).
+pub use h2push_h2proto as h2proto;
 /// HPACK header compression (RFC 7541).
 pub use h2push_hpack as hpack;
 /// PLT / SpeedIndex statistics.

@@ -6,9 +6,7 @@ use h2push::strategies::{
     critical_set, interleave_offset, paper_strategy, push_all, PaperStrategy, Strategy,
 };
 use h2push::testbed::{compute_push_order, replay, run_many, Mode, ReplayConfig};
-use h2push::webmodel::{
-    generate_site, realworld_site, synthetic_site, CorpusKind, RecordDb, ResourceId,
-};
+use h2push::webmodel::{generate_site, realworld_site, synthetic_site, CorpusKind, RecordDb};
 
 #[test]
 fn paper_strategy_suite_runs_on_w16() {
@@ -92,8 +90,8 @@ fn record_db_round_trip_preserves_replay() {
 #[test]
 fn testbed_mode_is_far_less_variable_than_internet_mode() {
     let page = generate_site(CorpusKind::PushUsers, 5);
-    let tb = run_many(&page, Strategy::NoPush, Mode::Testbed, 9, 3);
-    let inet = run_many(&page, Strategy::NoPush, Mode::Internet, 9, 3);
+    let tb = run_many(&page, &Strategy::NoPush, Mode::Testbed, 9, 3);
+    let inet = run_many(&page, &Strategy::NoPush, Mode::Internet, 9, 3);
     assert!(tb.len() >= 8 && inet.len() >= 8, "runs must complete");
     let spread = |outs: &[h2push::testbed::ReplayOutcome]| {
         let p: Vec<f64> = outs.iter().map(|o| o.load.plt()).collect();
@@ -113,11 +111,7 @@ fn interleaving_beats_default_push_on_late_css_large_html() {
     // The Fig. 5 mechanism end-to-end through the public API.
     let page = realworld_site(1); // wikipedia: 236 KB HTML
     let base = evaluate(&page, Strategy::NoPush).unwrap();
-    let plain_push = evaluate(
-        &page,
-        Strategy::PushList { order: critical_set(&page) },
-    )
-    .unwrap();
+    let plain_push = evaluate(&page, Strategy::PushList { order: critical_set(&page) }).unwrap();
     let interleaved = evaluate(
         &page,
         Strategy::Interleaved {
@@ -154,11 +148,7 @@ fn planner_prefers_cheaper_strategy_among_ties() {
     let planner = PushPlanner { runs: 3, byte_tolerance: 0.05, ..Default::default() };
     let plan = planner.plan(&page);
     assert_eq!(plan.winner().which, PaperStrategy::PushCriticalOptimized);
-    let pao = plan
-        .candidates
-        .iter()
-        .find(|c| c.which == PaperStrategy::PushAllOptimized)
-        .unwrap();
+    let pao = plan.candidates.iter().find(|c| c.which == PaperStrategy::PushAllOptimized).unwrap();
     assert!(plan.winner().pushed_bytes < pao.pushed_bytes / 2.0);
     assert!(plan.improvement_pct() < -15.0, "got {}%", plan.improvement_pct());
 }

@@ -18,7 +18,10 @@ fn header_strategy() -> impl Strategy<Value = Header> {
         proptest::collection::vec(proptest::char::range('a', 'z'), 1..24),
         proptest::collection::vec(any::<u8>(), 0..64),
     )
-        .prop_map(|(n, v)| Header { name: n.into_iter().collect::<String>().into_bytes(), value: v })
+        .prop_map(|(n, v)| Header {
+            name: n.into_iter().collect::<String>().into_bytes(),
+            value: v,
+        })
 }
 
 proptest! {
@@ -83,16 +86,20 @@ proptest! {
 fn frame_strategy() -> impl Strategy<Value = Frame> {
     let stream = 1u32..1000;
     prop_oneof![
-        (stream.clone(), 0usize..20_000, any::<bool>())
-            .prop_map(|(s, len, fin)| Frame::Data { stream: s, len, end_stream: fin }),
-        (stream.clone(), proptest::collection::vec(any::<u8>(), 0..200), any::<bool>())
-            .prop_map(|(s, block, fin)| Frame::Headers {
+        (stream.clone(), 0usize..20_000, any::<bool>()).prop_map(|(s, len, fin)| Frame::Data {
+            stream: s,
+            len,
+            end_stream: fin
+        }),
+        (stream.clone(), proptest::collection::vec(any::<u8>(), 0..200), any::<bool>()).prop_map(
+            |(s, block, fin)| Frame::Headers {
                 stream: s,
-                block,
+                block: block.into(),
                 end_stream: fin,
                 end_headers: true,
                 priority: None,
-            }),
+            }
+        ),
         (stream.clone(), 0u32..100, 1u16..=256, any::<bool>()).prop_map(|(s, dep, w, e)| {
             Frame::Priority {
                 stream: s,
@@ -106,7 +113,7 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
             |(s, p, block)| Frame::PushPromise {
                 stream: s,
                 promised: p * 2,
-                block,
+                block: block.into(),
                 end_headers: true
             }
         ),
@@ -170,8 +177,11 @@ enum TreeOp {
 }
 
 fn tree_op_strategy() -> impl Strategy<Value = TreeOp> {
-    let spec = (0u32..40, 1u16..=256, any::<bool>())
-        .prop_map(|(dep, w, e)| PrioritySpec { depends_on: dep, weight: w, exclusive: e });
+    let spec = (0u32..40, 1u16..=256, any::<bool>()).prop_map(|(dep, w, e)| PrioritySpec {
+        depends_on: dep,
+        weight: w,
+        exclusive: e,
+    });
     prop_oneof![
         (1u32..40, spec.clone()).prop_map(|(id, s)| TreeOp::Insert(id, s)),
         (1u32..40, spec).prop_map(|(id, s)| TreeOp::Reprioritize(id, s)),

@@ -1,0 +1,173 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Provides the macros and types the workspace benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion`, `BenchmarkGroup`,
+//! `Bencher::iter`, `black_box`, `Throughput`) backed by a plain
+//! wall-clock timer: warm up, run a fixed number of samples, report the
+//! median per-iteration time. No statistics engine, plots, or comparison
+//! baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (accepted, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.sample_size, None, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`iter`](Bencher::iter).
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, recording one sample per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call.
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, tp: Option<Throughput>, mut f: F) {
+    let mut b = Bencher { samples: Vec::new(), sample_size };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let min = b.samples[0];
+    let max = b.samples[b.samples.len() - 1];
+    let extra = match tp {
+        Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+            let gib = n as f64 / median.as_secs_f64() / (1 << 30) as f64;
+            format!("  {gib:.2} GiB/s")
+        }
+        Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+            let meps = n as f64 / median.as_secs_f64() / 1e6;
+            format!("  {meps:.2} Melem/s")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<40} median {:>12?}  (min {:?} .. max {:?}, {} samples){extra}",
+        median,
+        min,
+        max,
+        b.samples.len()
+    );
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+}

@@ -1,0 +1,180 @@
+//! The regex subset string strategies generate from.
+//!
+//! Supports: literal characters, `\`-escapes, character classes with
+//! ranges (`[a-z0-9]`), groups with alternation (`(com|org|test)`), and
+//! `{m}` / `{m,n}` repetition of the preceding atom.
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+pub enum Node {
+    Lit(char),
+    /// Expanded set of candidate characters.
+    Class(Vec<char>),
+    /// Alternation between sequences.
+    Group(Vec<Vec<Node>>),
+    /// `{m,n}` applied to an atom.
+    Repeat(Box<Node>, usize, usize),
+}
+
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    seq: Vec<Node>,
+}
+
+impl Pattern {
+    pub fn parse(pattern: &str) -> Result<Pattern, String> {
+        let mut chars = pattern.chars().peekable();
+        let seq = parse_seq(&mut chars, false)?;
+        if chars.next().is_some() {
+            return Err("unbalanced `)`".into());
+        }
+        Ok(Pattern { seq })
+    }
+
+    pub fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for node in &self.seq {
+            sample_node(node, rng, &mut out);
+        }
+        out
+    }
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn parse_seq(chars: &mut Chars, in_group: bool) -> Result<Vec<Node>, String> {
+    let mut seq = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if in_group && (c == ')' || c == '|') {
+            break;
+        }
+        match c {
+            '[' => {
+                chars.next();
+                seq.push(parse_class(chars)?);
+            }
+            '(' => {
+                chars.next();
+                let mut alts = vec![parse_seq(chars, true)?];
+                loop {
+                    match chars.peek() {
+                        Some(')') => {
+                            chars.next();
+                            break;
+                        }
+                        Some('|') => {
+                            chars.next();
+                            alts.push(parse_seq(chars, true)?);
+                        }
+                        _ => return Err("unterminated group".into()),
+                    }
+                }
+                seq.push(Node::Group(alts));
+            }
+            '{' => {
+                chars.next();
+                let (m, n) = parse_counts(chars)?;
+                let prev = seq.pop().ok_or("`{` with no preceding atom")?;
+                seq.push(Node::Repeat(Box::new(prev), m, n));
+            }
+            '\\' => {
+                chars.next();
+                let esc = chars.next().ok_or("trailing backslash")?;
+                seq.push(Node::Lit(esc));
+            }
+            _ => {
+                chars.next();
+                seq.push(Node::Lit(c));
+            }
+        }
+    }
+    Ok(seq)
+}
+
+fn parse_class(chars: &mut Chars) -> Result<Node, String> {
+    let mut set = Vec::new();
+    loop {
+        let c = chars.next().ok_or("unterminated character class")?;
+        if c == ']' {
+            break;
+        }
+        let c = if c == '\\' { chars.next().ok_or("trailing backslash in class")? } else { c };
+        if chars.peek() == Some(&'-') {
+            let mut ahead = chars.clone();
+            ahead.next();
+            match ahead.peek() {
+                Some(&hi) if hi != ']' => {
+                    chars.next();
+                    chars.next();
+                    if hi < c {
+                        return Err(format!("bad range {c}-{hi}"));
+                    }
+                    for ch in c..=hi {
+                        set.push(ch);
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        set.push(c);
+    }
+    if set.is_empty() {
+        return Err("empty character class".into());
+    }
+    Ok(Node::Class(set))
+}
+
+fn parse_counts(chars: &mut Chars) -> Result<(usize, usize), String> {
+    let mut m = String::new();
+    let mut n = String::new();
+    let mut in_n = false;
+    loop {
+        let c = chars.next().ok_or("unterminated `{`")?;
+        match c {
+            '}' => break,
+            ',' => in_n = true,
+            d if d.is_ascii_digit() => {
+                if in_n {
+                    n.push(d)
+                } else {
+                    m.push(d)
+                }
+            }
+            other => return Err(format!("bad repetition character `{other}`")),
+        }
+    }
+    let m: usize = m.parse().map_err(|_| "bad repetition lower bound")?;
+    let n: usize = if !in_n {
+        m
+    } else {
+        n.parse().map_err(|_| "bad repetition upper bound")?
+    };
+    if n < m {
+        return Err(format!("bad repetition {{{m},{n}}}"));
+    }
+    Ok((m, n))
+}
+
+fn sample_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(set) => {
+            let idx = rng.below(set.len() as u64) as usize;
+            out.push(set[idx]);
+        }
+        Node::Group(alts) => {
+            let idx = rng.below(alts.len() as u64) as usize;
+            for n in &alts[idx] {
+                sample_node(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, m, n) => {
+            let count = m + rng.below((n - m + 1) as u64) as usize;
+            for _ in 0..count {
+                sample_node(inner, rng, out);
+            }
+        }
+    }
+}

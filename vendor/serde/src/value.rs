@@ -1,0 +1,276 @@
+//! The JSON-shaped value tree all (de)serialization goes through.
+
+use std::fmt;
+
+/// A JSON value. Objects preserve insertion order so serialized output is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object (ordered key → value pairs).
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// As string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value coerced to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            Value::F64(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Numeric value coerced to `u64` (must be a non-negative integer).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) if n >= 0 => Some(n as u64),
+            Value::F64(n) if n >= 0.0 && n.fract() == 0.0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric value coerced to `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::U64(n) if n <= i64::MAX as u64 => Some(n as i64),
+            Value::I64(n) => Some(n),
+            Value::F64(n) if n.fract() == 0.0 => Some(n as i64),
+            _ => None,
+        }
+    }
+
+    /// `true` for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Externally tagged enum view: a single-entry object as
+    /// `(variant_name, payload)`.
+    pub fn as_variant(&self) -> Option<(&str, &Value)> {
+        match self {
+            Value::Object(pairs) if pairs.len() == 1 => {
+                Some((pairs[0].0.as_str(), &pairs[0].1))
+            }
+            _ => None,
+        }
+    }
+
+    /// Write JSON text into `out`. `indent = Some(n)` pretty-prints with
+    /// `n`-space indentation; `None` is compact.
+    pub fn write_json(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        use fmt::Write;
+        let newline = |out: &mut String, level: usize| {
+            if let Some(n) = indent {
+                out.push('\n');
+                for _ in 0..n * level {
+                    out.push(' ');
+                }
+            }
+        };
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::F64(f) if f.is_finite() => {
+                // `{:?}` prints the shortest representation that round-trips.
+                let _ = write!(out, "{f:?}");
+            }
+            Value::F64(_) => out.push_str("null"),
+            Value::Str(s) => write_json_string(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, level + 1);
+                    item.write_json(out, indent, level + 1);
+                }
+                newline(out, level);
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, item)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, level + 1);
+                    write_json_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    item.write_json(out, indent, level + 1);
+                }
+                newline(out, level);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    use fmt::Write;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON text.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write_json(&mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(v) => v.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_f64() == Some(*other as f64)
+            }
+        }
+    )*};
+}
+eq_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// (De)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

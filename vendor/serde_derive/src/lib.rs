@@ -1,0 +1,413 @@
+//! Derive macros for the vendored serde subset.
+//!
+//! `syn`/`quote` are unavailable offline, so these derives walk the raw
+//! `proc_macro::TokenTree` stream directly. Supported shapes — which cover
+//! every serde-derived type in this workspace:
+//!
+//! * structs with named fields (`#[serde(skip)]` honored: skipped on
+//!   serialize, `Default::default()` on deserialize);
+//! * tuple structs (newtypes serialize transparently, wider ones as arrays);
+//! * enums with unit variants (as strings) and struct variants (externally
+//!   tagged objects), matching upstream serde's default representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+enum Kind {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated Deserialize impl parses")
+}
+
+type Iter = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip any `#[...]` attributes; report whether one was `#[serde(skip)]`.
+fn skip_attrs(iter: &mut Iter) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next();
+        if let Some(TokenTree::Group(g)) = iter.next() {
+            let mut inner = g.stream().into_iter();
+            if let Some(TokenTree::Ident(id)) = inner.next() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.next() {
+                        let has_skip = args
+                            .stream()
+                            .into_iter()
+                            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"));
+                        skip = skip || has_skip;
+                    }
+                }
+            }
+        }
+    }
+    skip
+}
+
+/// Skip `pub`, `pub(crate)`, etc.
+fn skip_visibility(iter: &mut Iter) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(
+            iter.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            iter.next();
+        }
+    }
+}
+
+/// Consume tokens of one type, up to (and including) a top-level comma.
+/// Tracks `<`/`>` depth so commas between generic arguments don't split.
+fn skip_type(iter: &mut Iter) {
+    let mut depth = 0i32;
+    while let Some(tt) = iter.peek() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    iter.next();
+                    return;
+                }
+                _ => {}
+            }
+        }
+        iter.next();
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = ts.into_iter().peekable();
+    loop {
+        let skip = skip_attrs(&mut iter);
+        skip_visibility(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(tt) => panic!("serde_derive: unexpected token `{tt}` in struct fields"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&mut iter);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut iter = ts.into_iter().peekable();
+    let mut count = 0usize;
+    while iter.peek().is_some() {
+        skip_attrs(&mut iter);
+        skip_visibility(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_type(&mut iter);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = ts.into_iter().peekable();
+    loop {
+        skip_attrs(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(tt) => panic!("serde_derive: unexpected token `{tt}` in enum body"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                iter.next();
+                Some(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive: tuple enum variants are not supported (variant `{name}`)")
+            }
+            _ => None,
+        };
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        skip_attrs(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => match id.to_string().as_str() {
+                "pub" => {
+                    if matches!(
+                        iter.peek(),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                    ) {
+                        iter.next();
+                    }
+                }
+                "struct" => {
+                    let name = match iter.next() {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => panic!("serde_derive: expected struct name, got {other:?}"),
+                    };
+                    return match iter.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            Item { name, kind: Kind::Named(parse_named_fields(g.stream())) }
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            Item { name, kind: Kind::Tuple(count_tuple_fields(g.stream())) }
+                        }
+                        other => {
+                            panic!("serde_derive: unsupported struct body for `{name}`: {other:?}")
+                        }
+                    };
+                }
+                "enum" => {
+                    let name = match iter.next() {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => panic!("serde_derive: expected enum name, got {other:?}"),
+                    };
+                    return match iter.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            Item { name, kind: Kind::Enum(parse_variants(g.stream())) }
+                        }
+                        other => panic!("serde_derive: expected enum body for `{name}`: {other:?}"),
+                    };
+                }
+                _ => {}
+            },
+            Some(_) => {}
+            None => panic!("serde_derive: no struct or enum found in derive input"),
+        }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl ::serde::Serialize for {name} {{\n    \
+         fn serialize_value(&self) -> ::serde::value::Value {{\n"
+    ));
+    match &item.kind {
+        Kind::Named(fields) => {
+            out.push_str(
+                "        let mut obj: ::std::vec::Vec<(::std::string::String, \
+                 ::serde::value::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                let fname = &f.name;
+                out.push_str(&format!(
+                    "        obj.push((\"{fname}\".to_string(), \
+                     ::serde::Serialize::serialize_value(&self.{fname})));\n"
+                ));
+            }
+            out.push_str("        ::serde::value::Value::Object(obj)\n");
+        }
+        Kind::Tuple(1) => {
+            out.push_str("        ::serde::Serialize::serialize_value(&self.0)\n");
+        }
+        Kind::Tuple(n) => {
+            out.push_str("        ::serde::value::Value::Array(vec![\n");
+            for i in 0..*n {
+                out.push_str(&format!(
+                    "            ::serde::Serialize::serialize_value(&self.{i}),\n"
+                ));
+            }
+            out.push_str("        ])\n");
+        }
+        Kind::Enum(variants) => {
+            out.push_str("        match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    None => out.push_str(&format!(
+                        "            {name}::{vname} => \
+                         ::serde::value::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    Some(fields) => {
+                        let bindings: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        out.push_str(&format!(
+                            "            {name}::{vname} {{ {} }} => {{\n",
+                            bindings.join(", ")
+                        ));
+                        out.push_str(
+                            "                let mut inner: \
+                             ::std::vec::Vec<(::std::string::String, \
+                             ::serde::value::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            let fname = &f.name;
+                            out.push_str(&format!(
+                                "                inner.push((\"{fname}\".to_string(), \
+                                 ::serde::Serialize::serialize_value({fname})));\n"
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "                ::serde::value::Value::Object(vec![\
+                             (\"{vname}\".to_string(), \
+                             ::serde::value::Value::Object(inner))])\n            }}\n"
+                        ));
+                    }
+                }
+            }
+            out.push_str("        }\n");
+        }
+    }
+    out.push_str("    }\n}\n");
+    out
+}
+
+fn field_expr(fname: &str, source: &str, owner: &str) -> String {
+    format!(
+        "{fname}: ::serde::Deserialize::deserialize_value({source}.get(\"{fname}\")\
+         .ok_or_else(|| ::serde::value::Error::custom(\
+         \"missing field `{fname}` in {owner}\"))?)?,\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl ::serde::Deserialize for {name} {{\n    \
+         fn deserialize_value(v: &::serde::value::Value) \
+         -> ::std::result::Result<Self, ::serde::value::Error> {{\n"
+    ));
+    match &item.kind {
+        Kind::Named(fields) => {
+            out.push_str(&format!("        ::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                if f.skip {
+                    out.push_str(&format!(
+                        "            {}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    out.push_str("            ");
+                    out.push_str(&field_expr(&f.name, "v", name));
+                }
+            }
+            out.push_str("        })\n");
+        }
+        Kind::Tuple(1) => {
+            out.push_str(&format!(
+                "        ::std::result::Result::Ok({name}(\
+                 ::serde::Deserialize::deserialize_value(v)?))\n"
+            ));
+        }
+        Kind::Tuple(n) => {
+            out.push_str(
+                "        let arr = v.as_array().ok_or_else(|| \
+                 ::serde::value::Error::custom(\"expected array\"))?;\n",
+            );
+            out.push_str(&format!("        ::std::result::Result::Ok({name}(\n"));
+            for i in 0..*n {
+                out.push_str(&format!(
+                    "            ::serde::Deserialize::deserialize_value(arr.get({i})\
+                     .ok_or_else(|| ::serde::value::Error::custom(\"tuple too short\"))?)?,\n"
+                ));
+            }
+            out.push_str("        ))\n");
+        }
+        Kind::Enum(variants) => {
+            let units: Vec<&Variant> = variants.iter().filter(|v| v.fields.is_none()).collect();
+            let structs: Vec<&Variant> = variants.iter().filter(|v| v.fields.is_some()).collect();
+            if !units.is_empty() {
+                out.push_str("        if let Some(s) = v.as_str() {\n");
+                out.push_str("            return match s {\n");
+                for v in &units {
+                    let vname = &v.name;
+                    out.push_str(&format!(
+                        "                \"{vname}\" => \
+                         ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+                out.push_str(&format!(
+                    "                other => ::std::result::Result::Err(\
+                     ::serde::value::Error::custom(format!(\
+                     \"unknown variant `{{other}}` of {name}\"))),\n"
+                ));
+                out.push_str("            };\n        }\n");
+            }
+            if !structs.is_empty() {
+                out.push_str("        if let Some((tag, inner)) = v.as_variant() {\n");
+                out.push_str("            return match tag {\n");
+                for v in &structs {
+                    let vname = &v.name;
+                    out.push_str(&format!(
+                        "                \"{vname}\" => \
+                         ::std::result::Result::Ok({name}::{vname} {{\n"
+                    ));
+                    for f in v.fields.as_ref().unwrap() {
+                        if f.skip {
+                            out.push_str(&format!(
+                                "                    {}: ::std::default::Default::default(),\n",
+                                f.name
+                            ));
+                        } else {
+                            out.push_str("                    ");
+                            out.push_str(&field_expr(&f.name, "inner", name));
+                        }
+                    }
+                    out.push_str("                }),\n");
+                }
+                out.push_str(&format!(
+                    "                other => ::std::result::Result::Err(\
+                     ::serde::value::Error::custom(format!(\
+                     \"unknown variant `{{other}}` of {name}\"))),\n"
+                ));
+                out.push_str("            };\n        }\n");
+            }
+            out.push_str(&format!(
+                "        ::std::result::Result::Err(::serde::value::Error::custom(\
+                 \"expected enum {name}\"))\n"
+            ));
+        }
+    }
+    out.push_str("    }\n}\n");
+    out
+}

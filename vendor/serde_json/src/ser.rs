@@ -1,0 +1,9 @@
+//! JSON text output (delegates to the value tree's own writer).
+
+use serde::value::Value;
+
+/// Write `v` as JSON into `out`. `indent = Some(n)` pretty-prints with
+/// `n`-space indentation; `None` is compact.
+pub fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    v.write_json(out, indent, level)
+}
