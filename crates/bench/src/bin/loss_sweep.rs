@@ -1,0 +1,59 @@
+//! Chaos sweep: push strategies under bursty loss.
+//!
+//! The paper evaluates push over a clean emulated DSL link; related work
+//! (the lossy-cellular domain-sharding line) argues that loss is where
+//! HTTP/2's single connection — and therefore push — is most exposed.
+//! This sweep injects Gilbert–Elliott burst loss at increasing rates and
+//! reruns the strategy matrix on one realworld page, reporting median PLT
+//! alongside the observed loss/recovery counters. Fully deterministic:
+//! same `--seed`, same table.
+
+use h2push_bench::scale_from_args;
+use h2push_strategies::{critical_set, interleave_offset, push_all, Strategy};
+use h2push_testbed::{run_fault_matrix, FaultProfile, ReplayInputs};
+use h2push_webmodel::realworld_site;
+
+fn main() {
+    let scale = scale_from_args();
+    let page = realworld_site(1); // wikipedia: large document, late CSS
+    let strategies = vec![
+        Strategy::NoPush,
+        push_all(&page, &[]),
+        Strategy::Interleaved {
+            offset: interleave_offset(&page),
+            critical: critical_set(&page),
+            after: Vec::new(),
+        },
+    ];
+    let profiles: Vec<FaultProfile> = std::iter::once(FaultProfile::none())
+        .chain([0.005, 0.01, 0.02, 0.05].into_iter().map(FaultProfile::gilbert_elliott))
+        .collect();
+    let inputs = ReplayInputs::new(page);
+
+    println!(
+        "Gilbert–Elliott loss sweep on {} ({} runs/cell, seed {})",
+        inputs.page.name, scale.runs, scale.seed
+    );
+    println!(
+        "{:>14} {:>12} | {:>10} {:>9} {:>9} {:>8} {:>8}",
+        "profile", "strategy", "PLT [ms]", "loss", "rexmit", "retries", "partial"
+    );
+    let cells = run_fault_matrix(&inputs, &strategies, &profiles, scale.runs, scale.seed);
+    let mut current = String::new();
+    for cell in &cells {
+        if cell.profile != current {
+            current.clone_from(&cell.profile);
+            println!("{:-<78}", "");
+        }
+        println!(
+            "{:>14} {:>12} | {:>10.0} {:>8.2}% {:>8.2}% {:>8.2} {:>7.0}%",
+            cell.profile,
+            cell.strategy,
+            cell.median_plt,
+            cell.recovery.loss_rate() * 100.0,
+            cell.recovery.retransmit_rate() * 100.0,
+            cell.recovery.mean_retries(),
+            cell.recovery.partial_share() * 100.0,
+        );
+    }
+}

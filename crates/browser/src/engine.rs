@@ -79,6 +79,23 @@ pub struct BrowserConfig {
     /// digest-aware server can skip pushing them; pushes that slip through
     /// are cancelled (§2.1 of the paper).
     pub warm_cache: Vec<ResourceId>,
+    /// Per-resource fetch timeout. `None` (the default) schedules no
+    /// timers at all, keeping fault-free loads byte-identical; under fault
+    /// injection a stalled transfer is cancelled and retried after this
+    /// long.
+    pub resource_timeout: Option<SimDuration>,
+    /// How many times a failed or timed-out fetch is re-issued before the
+    /// resource is given up on. Only reachable under faults — fault-free
+    /// loads never time out or see transport errors.
+    pub max_retries: u32,
+    /// Base delay before a retry; doubles per attempt (exponential
+    /// backoff).
+    pub retry_backoff: SimDuration,
+    /// Hard deadline for the whole load. `None` (the default) schedules
+    /// nothing; when set, a load still unfinished at the deadline is
+    /// closed out as a *partial* result — PLT and SpeedIndex over what
+    /// actually rendered.
+    pub load_deadline: Option<SimDuration>,
 }
 
 impl Default for BrowserConfig {
@@ -90,6 +107,10 @@ impl Default for BrowserConfig {
             transport: TransportMode::H2,
             preload_scanner: true,
             warm_cache: Vec::new(),
+            resource_timeout: None,
+            max_retries: 2,
+            retry_backoff: SimDuration::from_millis(500),
+            load_deadline: None,
         }
     }
 }
@@ -116,6 +137,10 @@ enum ResState {
     Loaded,
     /// Fully processed (executed / parsed / decoded).
     Evaluated,
+    /// Given up on after exhausting retries. Terminal: the load completes
+    /// around the hole (failed CSS stops gating render, failed scripts
+    /// unblock the parser) instead of hanging.
+    Failed,
 }
 
 #[derive(Debug)]
@@ -125,6 +150,8 @@ struct ResInfo {
     pushed: bool,
     received: usize,
     eval_scheduled: bool,
+    /// Fetch attempts so far (0 until the first timeout/error).
+    attempts: u32,
     timing: ResourceTiming,
 }
 
@@ -150,12 +177,25 @@ enum Blocked {
 enum TimerKind {
     EvalDone(ResourceId),
     InlineDone(usize),
+    /// The fetch of this resource (at this attempt number) ran out of
+    /// time. Stamped with the attempt so a stale timer from a superseded
+    /// attempt is ignored.
+    ResourceTimeout(ResourceId, u32),
+    /// Re-issue the fetch of this resource (after backoff).
+    RetryFetch(ResourceId),
+    /// The whole-page deadline: close out a partial load.
+    LoadDeadline,
 }
 
 /// One HTTP/1.1 connection slot in a per-group pool.
 struct H1Slot {
     conn: h2push_h1::H1ClientConn,
     current: Option<ResourceId>,
+    /// The connection died (protocol error or cancelled mid-response —
+    /// HTTP/1.1 cannot abort a response without closing). Dead slots keep
+    /// their index (the testbed addresses connections by slot) but take no
+    /// further work.
+    dead: bool,
 }
 
 /// The per-group HTTP/1.1 connection pool with its priority-ordered
@@ -174,6 +214,11 @@ struct ConnState {
     chain: Vec<(u32, u8)>,
     /// Whether the cache digest was already sent on this connection.
     digest_sent: bool,
+    /// Testbed slot this connection lives on. The first HTTP/2 connection
+    /// to a group is slot 0; a replacement opened after a connection error
+    /// takes the next slot, so bytes still in flight on the dead
+    /// connection can no longer reach the new one.
+    slot: usize,
 }
 
 /// Splice `stream` of priority `class` into the connection's exclusive
@@ -229,6 +274,13 @@ pub struct Browser {
     pushed_count: u32,
     cancelled_pushes: u32,
     requests: u32,
+    // Fault handling.
+    /// Next slot for a replacement HTTP/2 connection, per group.
+    next_h2_slot: HashMap<usize, usize>,
+    partial: bool,
+    retries: u32,
+    timeouts: u32,
+    conn_errors: u32,
     actions: Vec<BrowserAction>,
 }
 
@@ -275,6 +327,7 @@ impl Browser {
                     pushed: false,
                     received: 0,
                     eval_scheduled: false,
+                    attempts: 0,
                     timing: ResourceTiming::default(),
                 })
                 .collect(),
@@ -308,6 +361,11 @@ impl Browser {
             pushed_count: 0,
             cancelled_pushes: 0,
             requests: 0,
+            next_h2_slot: HashMap::new(),
+            partial: false,
+            retries: 0,
+            timeouts: 0,
+            conn_errors: 0,
             actions: Vec::new(),
         }
     }
@@ -315,6 +373,9 @@ impl Browser {
     /// Begin navigation: opens the main connection and requests the
     /// document. Returns the initial actions.
     pub fn start(&mut self, now: SimTime) -> Vec<BrowserAction> {
+        if let Some(deadline) = self.cfg.load_deadline {
+            self.set_timer(now + deadline, TimerKind::LoadDeadline);
+        }
         self.discover(ResourceId(0), now);
         self.flush_conns();
         std::mem::take(&mut self.actions)
@@ -340,8 +401,13 @@ impl Browser {
     ) -> Vec<BrowserAction> {
         match self.cfg.transport {
             TransportMode::H2 => {
+                // Bytes from a connection abandoned after an error still
+                // drain out of the network on the old slot; only the live
+                // connection's slot is fed to the state machine.
                 if let Some(cs) = self.conns.get_mut(&group) {
-                    cs.conn.receive(bytes);
+                    if cs.slot == slot {
+                        cs.conn.receive(bytes);
+                    }
                 }
                 self.drain_events(group, now);
             }
@@ -367,7 +433,25 @@ impl Browser {
                 }
                 self.after_state_change(now);
             }
-            None => {}
+            // Only the timer armed for the *current* attempt counts; a
+            // stale one from a superseded attempt falls through as a no-op.
+            Some(TimerKind::ResourceTimeout(rid, attempt))
+                if self.res[rid.0].state == ResState::Fetching
+                    && self.res[rid.0].attempts == attempt =>
+            {
+                self.timeouts += 1;
+                self.cancel_inflight(rid);
+                self.retry_or_fail(rid, now);
+            }
+            Some(TimerKind::ResourceTimeout(..)) => {}
+            Some(TimerKind::RetryFetch(rid)) if self.res[rid.0].state == ResState::Fetching => {
+                self.fetch(rid, now);
+            }
+            Some(TimerKind::RetryFetch(_)) => {}
+            Some(TimerKind::LoadDeadline) if self.onload.is_none() => {
+                self.give_up(now);
+            }
+            Some(TimerKind::LoadDeadline) | None => {}
         }
         self.flush_conns();
         std::mem::take(&mut self.actions)
@@ -380,6 +464,7 @@ impl Browser {
 
     /// Collect the measurements (valid once [`Browser::done`]).
     pub fn result(&self) -> LoadResult {
+        let failed = self.res.iter().filter(|i| i.state == ResState::Failed).count() as u32;
         LoadResult {
             site: self.page.name.clone(),
             connect_end: self.connect_end.unwrap_or(SimTime::ZERO),
@@ -391,6 +476,11 @@ impl Browser {
             pushed_count: self.pushed_count,
             cancelled_pushes: self.cancelled_pushes,
             requests: self.requests,
+            partial: self.partial || failed > 0,
+            failed_resources: failed,
+            retries: self.retries,
+            timeouts: self.timeouts,
+            conn_errors: self.conn_errors,
             waterfall: self.res.iter().map(|i| i.timing).collect(),
         }
     }
@@ -418,13 +508,14 @@ impl Browser {
         if self.conns.contains_key(&group) {
             return;
         }
+        let slot = self.next_h2_slot.get(&group).copied().unwrap_or(0);
         let conn = Connection::client(Settings {
             enable_push: Some(self.cfg.enable_push),
             initial_window_size: Some(self.cfg.initial_window),
             ..Default::default()
         });
-        self.conns.insert(group, ConnState { conn, chain: Vec::new(), digest_sent: false });
-        self.actions.push(BrowserAction::OpenConnection { group, slot: 0 });
+        self.conns.insert(group, ConnState { conn, chain: Vec::new(), digest_sent: false, slot });
+        self.actions.push(BrowserAction::OpenConnection { group, slot });
     }
 
     fn discover(&mut self, rid: ResourceId, now: SimTime) {
@@ -446,7 +537,18 @@ impl Browser {
             self.try_schedule_eval(rid, now);
             return;
         }
+        self.fetch(rid, now);
+    }
+
+    /// Issue (or re-issue) the network fetch of `rid`. Shared between
+    /// first discovery and retries after a timeout or transport error; a
+    /// retry requests the resource afresh on a live connection.
+    fn fetch(&mut self, rid: ResourceId, now: SimTime) {
         self.res[rid.0].state = ResState::Fetching;
+        if let Some(timeout) = self.cfg.resource_timeout {
+            let attempt = self.res[rid.0].attempts;
+            self.set_timer(now + timeout, TimerKind::ResourceTimeout(rid, attempt));
+        }
         let group = self.page.server_group_of(rid);
         if self.cfg.transport == TransportMode::H1 {
             // HTTP/1.1: queue on the group pool, highest class first.
@@ -503,11 +605,19 @@ impl Browser {
             if pool.queue.is_empty() {
                 return;
             }
-            let idle = pool.slots.iter().position(|s| s.current.is_none() && s.conn.is_idle());
+            let idle =
+                pool.slots.iter().position(|s| !s.dead && s.current.is_none() && s.conn.is_idle());
+            // Dead slots keep their index but free up their place in the
+            // six-connection budget.
+            let live = pool.slots.iter().filter(|s| !s.dead).count();
             let slot = match idle {
                 Some(i) => i,
-                None if pool.slots.len() < H1_POOL_SIZE => {
-                    pool.slots.push(H1Slot { conn: h2push_h1::H1ClientConn::new(), current: None });
+                None if live < H1_POOL_SIZE => {
+                    pool.slots.push(H1Slot {
+                        conn: h2push_h1::H1ClientConn::new(),
+                        current: None,
+                        dead: false,
+                    });
                     let slot = pool.slots.len() - 1;
                     self.actions.push(BrowserAction::OpenConnection { group, slot });
                     slot
@@ -558,6 +668,9 @@ impl Browser {
     fn h1_on_bytes(&mut self, group: usize, slot: usize, bytes: &[u8], now: SimTime) {
         let Some(pool) = self.h1.get_mut(&group) else { return };
         let Some(s) = pool.slots.get_mut(slot) else { return };
+        if s.dead {
+            return; // late bytes for an abandoned connection
+        }
         s.conn.receive(bytes);
         loop {
             let pool = self.h1.get_mut(&group).expect("pool exists");
@@ -580,8 +693,22 @@ impl Browser {
                     self.h1_dispatch(group);
                     self.after_state_change(now);
                 }
-                h2push_h1::H1ClientEvent::Error { reason } => {
-                    panic!("HTTP/1.1 replay error: {reason}");
+                h2push_h1::H1ClientEvent::Error { .. } => {
+                    // A malformed response kills the connection, not the
+                    // load: retire the slot and retry its resource.
+                    self.conn_errors += 1;
+                    let pool = self.h1.get_mut(&group).expect("pool exists");
+                    let s = &mut pool.slots[slot];
+                    s.dead = true;
+                    let rid = s.current.take();
+                    if let Some(rid) = rid {
+                        if self.res[rid.0].state == ResState::Fetching {
+                            self.retry_or_fail(rid, now);
+                        }
+                    }
+                    self.h1_dispatch(group);
+                    self.after_state_change(now);
+                    break;
                 }
             }
         }
@@ -595,7 +722,7 @@ impl Browser {
                 if bytes.is_empty() {
                     break;
                 }
-                self.actions.push(BrowserAction::SendBytes { group, slot: 0, bytes });
+                self.actions.push(BrowserAction::SendBytes { group, slot: cs.slot, bytes });
             }
         }
     }
@@ -626,12 +753,146 @@ impl Browser {
                         }
                     }
                 }
+                Event::StreamError { stream, .. } => {
+                    // One stream failed; the connection lives. Retry the
+                    // resource (with backoff) or give up on it.
+                    if let Some(cs) = self.conns.get_mut(&group) {
+                        cs.chain.retain(|&(s, _)| s != stream);
+                    }
+                    if let Some(rid) = self.stream_map.remove(&(group, stream)) {
+                        if self.res[rid.0].state == ResState::Fetching {
+                            self.retry_or_fail(rid, now);
+                        }
+                    }
+                }
                 Event::Priority { .. } | Event::GoAway { .. } => {}
-                Event::ConnectionError { reason } => {
-                    panic!("browser connection error: {reason}");
+                Event::ConnectionError { .. } => {
+                    // Fatal protocol error: abandon the connection, retry
+                    // every in-flight resource on a fresh one.
+                    self.conn_errors += 1;
+                    self.conn_failed(group, now);
                 }
             }
         }
+    }
+
+    /// The HTTP/2 connection to `group` died: drop it (a later fetch
+    /// reopens on the next slot) and retry or fail every resource that was
+    /// in flight on it.
+    fn conn_failed(&mut self, group: usize, now: SimTime) {
+        if let Some(cs) = self.conns.remove(&group) {
+            self.next_h2_slot.insert(group, cs.slot + 1);
+        }
+        let orphaned: Vec<(usize, u32)> =
+            self.stream_map.keys().filter(|&&(g, _)| g == group).copied().collect();
+        let mut rids: Vec<ResourceId> =
+            orphaned.iter().filter_map(|k| self.stream_map.remove(k)).collect();
+        // HashMap iteration order is arbitrary; sort so retry timers and
+        // main-thread slots are assigned deterministically.
+        rids.sort_unstable();
+        rids.dedup();
+        for rid in rids {
+            if self.res[rid.0].state == ResState::Fetching {
+                self.retry_or_fail(rid, now);
+            }
+        }
+        self.after_state_change(now);
+    }
+
+    /// Book another attempt for `rid`: schedule a backed-off re-fetch, or
+    /// fail the resource once the retry budget is spent.
+    fn retry_or_fail(&mut self, rid: ResourceId, now: SimTime) {
+        self.res[rid.0].attempts += 1;
+        if self.res[rid.0].attempts > self.cfg.max_retries {
+            self.fail_resource(rid, now);
+            return;
+        }
+        self.retries += 1;
+        let shift = (self.res[rid.0].attempts - 1).min(16);
+        let delay = SimDuration::from_micros(self.cfg.retry_backoff.as_micros() << shift);
+        self.set_timer(now + delay, TimerKind::RetryFetch(rid));
+    }
+
+    /// Cancel whatever transfer currently carries `rid`: reset its HTTP/2
+    /// stream, or retire the HTTP/1.1 connection serving it (H1 cannot
+    /// abandon a response without closing), and drop any queued fetch.
+    fn cancel_inflight(&mut self, rid: ResourceId) {
+        if let Some(key) = self.stream_map.iter().find(|&(_, &r)| r == rid).map(|(&k, _)| k) {
+            self.stream_map.remove(&key);
+            if let Some(cs) = self.conns.get_mut(&key.0) {
+                cs.conn.reset(key.1, ErrorCode::Cancel);
+                cs.chain.retain(|&(s, _)| s != key.1);
+            }
+        }
+        let group = self.page.server_group_of(rid);
+        if let Some(pool) = self.h1.get_mut(&group) {
+            for s in pool.slots.iter_mut() {
+                if s.current == Some(rid) {
+                    s.current = None;
+                    s.dead = true;
+                }
+            }
+            pool.queue.retain(|&(_, _, r)| r != rid);
+        }
+    }
+
+    /// Give up on `rid` for good. The load completes *around* the hole:
+    /// anything gated on this resource (parser, CSSOM, defer queue,
+    /// onload) treats it as settled.
+    fn fail_resource(&mut self, rid: ResourceId, now: SimTime) {
+        self.cancel_inflight(rid);
+        if matches!(self.res[rid.0].state, ResState::Evaluated | ResState::Failed) {
+            return;
+        }
+        self.res[rid.0].state = ResState::Failed;
+        if rid.0 == 0 {
+            // The document itself is unrecoverable: keep whatever rendered.
+            self.give_up(now);
+            return;
+        }
+        // Unblock the parser, mirroring finish_eval minus child discovery.
+        match self.blocked {
+            Some(Blocked::Script(b)) if b == rid => {
+                self.blocked = None;
+                self.stop_idx += 1;
+                self.advance_parser(now);
+            }
+            Some(Blocked::Script(b)) => {
+                // A failed stylesheet may satisfy the CSSOM condition of
+                // the blocking script we're parked on.
+                self.try_schedule_eval(b, now);
+            }
+            Some(Blocked::InlineCss(idx)) => {
+                let s = self.page.inline_scripts[idx];
+                if self.cssom_ready_before(s.offset) {
+                    self.blocked = Some(Blocked::InlineExec(idx));
+                    let dur =
+                        SimDuration::from_micros((s.exec_us as f64 * self.cfg.cpu_scale) as u64);
+                    let done = self.schedule_main_thread(now, dur);
+                    self.set_timer(done, TimerKind::InlineDone(idx));
+                }
+            }
+            _ => {}
+        }
+        if self.parser_done {
+            self.process_defers(now);
+        }
+        self.after_state_change(now);
+    }
+
+    /// Close out the load as partial: whatever rendered by now is the
+    /// result. The paint curve is *not* forced to 1.0 — SpeedIndex and PLT
+    /// measure what actually made it to the screen.
+    fn give_up(&mut self, now: SimTime) {
+        if self.onload.is_some() {
+            return;
+        }
+        self.partial = true;
+        self.parser_done = true;
+        if self.dcl.is_none() {
+            self.dcl = Some(now);
+        }
+        self.onload = Some(now);
     }
 
     fn handle_push_promise(&mut self, group: usize, promised: u32, headers: &[Header]) {
@@ -755,12 +1016,13 @@ impl Browser {
 
     fn cssom_ready_before(&self, offset: usize) -> bool {
         // Every render-blocking stylesheet appearing earlier in the
-        // document must be evaluated.
+        // document must be evaluated (a failed one stops gating — real
+        // browsers proceed without the sheet).
         self.page.resources.iter().all(|r| {
             let gating = r.rtype == ResourceType::Css
                 && r.render_blocking
                 && matches!(r.discovery, Discovery::Html { offset: o } if o < offset);
-            !gating || self.res[r.id.0].state == ResState::Evaluated
+            !gating || matches!(self.res[r.id.0].state, ResState::Evaluated | ResState::Failed)
         })
     }
 
@@ -853,7 +1115,7 @@ impl Browser {
         for i in 0..self.defer_queue.len() {
             let rid = self.defer_queue[i];
             match self.res[rid.0].state {
-                ResState::Evaluated => continue,
+                ResState::Evaluated | ResState::Failed => continue,
                 ResState::Loaded => {
                     self.try_schedule_eval(rid, now);
                     return;
@@ -915,13 +1177,12 @@ impl Browser {
                 }
                 ScriptMode::Async => true,
                 ScriptMode::Defer => {
-                    // Only as the head of the defer queue after parsing.
+                    // Only as the head of the defer queue after parsing
+                    // (failed defers are skipped over, not waited on).
                     self.parser_done
-                        && self
-                            .defer_queue
-                            .iter()
-                            .find(|&&d| self.res[d.0].state != ResState::Evaluated)
-                            == Some(&rid)
+                        && self.defer_queue.iter().find(|&&d| {
+                            !matches!(self.res[d.0].state, ResState::Evaluated | ResState::Failed)
+                        }) == Some(&rid)
                 }
             },
             _ => true,
@@ -997,7 +1258,7 @@ impl Browser {
             let gating = r.rtype == ResourceType::Css
                 && r.render_blocking
                 && matches!(r.discovery, Discovery::Html { offset } if offset <= self.parsed);
-            !gating || self.res[r.id.0].state == ResState::Evaluated
+            !gating || matches!(self.res[r.id.0].state, ResState::Evaluated | ResState::Failed)
         })
     }
 
@@ -1044,15 +1305,17 @@ impl Browser {
         if self.onload.is_none()
             && self.parser_done
             && self.dcl.is_some()
-            && self
-                .res
-                .iter()
-                .all(|i| i.state == ResState::Evaluated || i.state == ResState::Undiscovered)
+            && self.res.iter().all(|i| {
+                matches!(i.state, ResState::Evaluated | ResState::Undiscovered | ResState::Failed)
+            })
         {
             self.onload = Some(now);
             // Whatever is painted by onload is the final frame: close the
-            // visual progress curve.
-            if self.last_completeness < 1.0 {
+            // visual progress curve — unless resources failed, in which
+            // case the curve honestly stays below 1.0 (SpeedIndex then
+            // integrates the missing fraction up to onload).
+            let any_failed = self.res.iter().any(|i| i.state == ResState::Failed);
+            if !any_failed && self.last_completeness < 1.0 {
                 self.last_completeness = 1.0;
                 self.first_paint.get_or_insert(now);
                 self.paints.push(PaintSample { time: now, completeness: 1.0 });

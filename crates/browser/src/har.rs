@@ -121,6 +121,11 @@ mod tests {
             pushed_count: 1,
             cancelled_pushes: 0,
             requests: 1,
+            partial: false,
+            failed_resources: 0,
+            retries: 0,
+            timeouts: 0,
+            conn_errors: 0,
             waterfall: vec![
                 ResourceTiming {
                     discovered: Some(t(0)),

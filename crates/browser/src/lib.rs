@@ -36,6 +36,9 @@ mod tests {
         push_on_html: Vec<ResourceId>,
         /// Which resource's request triggers the pushes (default: the HTML).
         push_trigger: ResourceId,
+        /// Resources whose requests the server swallows without answering
+        /// (a stalled origin, for exercising timeouts and retries).
+        blackhole: Vec<ResourceId>,
         servers: HashMap<usize, (Connection, DefaultScheduler)>,
         timers: BinaryHeap<std::cmp::Reverse<(SimTime, u64)>>,
         now: SimTime,
@@ -49,6 +52,7 @@ mod tests {
                 page: Arc::new(page),
                 push_on_html,
                 push_trigger: ResourceId(0),
+                blackhole: Vec::new(),
                 servers: HashMap::new(),
                 timers: BinaryHeap::new(),
                 now: SimTime::ZERO,
@@ -134,6 +138,9 @@ mod tests {
                         .lookup(&host, &path)
                         .unwrap_or_else(|| panic!("404 {host}{path}"))
                         .clone();
+                    if self.blackhole.contains(&rec.resource) {
+                        continue; // swallow the request: the stream stalls
+                    }
                     if rec.resource == self.push_trigger {
                         for &pid in &self.push_on_html {
                             let r = page.resource(pid);
@@ -319,5 +326,159 @@ mod tests {
         let r = bed.run(BrowserConfig::default());
         assert!(r.finished());
         assert_eq!(r.cancelled_pushes, 1, "duplicate push must be reset");
+    }
+
+    // ------------------------------------------------------------------
+    // Fault handling: timeouts, retries, partial loads, dead connections
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn fault_free_loads_are_unaffected_by_retry_config() {
+        // Timeout/retry/deadline knobs must be inert on a clean load: no
+        // extra timers, no behaviour change (the byte-identity guarantee
+        // the testbed's zero-fault acceptance check relies on).
+        let r1 = MiniBed::new(simple_page(), vec![]).run(BrowserConfig::default());
+        let r2 = MiniBed::new(simple_page(), vec![]).run(BrowserConfig {
+            max_retries: 99,
+            retry_backoff: SimDuration::from_millis(1),
+            ..Default::default()
+        });
+        assert_eq!(r1, r2);
+        assert!(!r1.partial);
+        assert_eq!((r1.retries, r1.timeouts, r1.conn_errors, r1.failed_resources), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn stalled_resource_times_out_retries_then_fails_partial() {
+        // A render-blocking stylesheet whose origin never answers: the
+        // fetch times out, is retried once, fails — and the load completes
+        // *around* the hole instead of hanging, flagged partial.
+        let mut b = PageBuilder::new("stall", "stall.test", 20_000, 2_000);
+        let css = b.resource(ResourceSpec::css(0, 8_000, 200, 0.5));
+        b.text_paint(10_000, 1.0);
+        let page = b.build();
+        let mut bed = MiniBed::new(page, vec![]);
+        bed.blackhole.push(css);
+        let r = bed.run(BrowserConfig {
+            resource_timeout: Some(SimDuration::from_millis(200)),
+            max_retries: 1,
+            retry_backoff: SimDuration::from_millis(100),
+            ..Default::default()
+        });
+        assert!(r.finished());
+        assert!(r.partial);
+        assert_eq!(r.failed_resources, 1);
+        assert_eq!(r.timeouts, 2, "original attempt + one retry both timed out");
+        assert_eq!(r.retries, 1);
+        assert!(r.first_paint.is_some(), "render proceeded without the failed sheet");
+        assert!(r.plt() > 0.0);
+    }
+
+    #[test]
+    fn load_deadline_closes_out_a_stalled_load() {
+        // No per-resource timeout: only the page deadline rescues the load
+        // when a parser-blocking script never arrives.
+        let mut b = PageBuilder::new("deadline", "deadline.test", 20_000, 2_000);
+        let js = b.resource(ResourceSpec::js(0, 5_000, 300, 2_000));
+        b.text_paint(3_000, 1.0);
+        let page = b.build();
+        let mut bed = MiniBed::new(page, vec![]);
+        bed.blackhole.push(js);
+        let r = bed.run(BrowserConfig {
+            load_deadline: Some(SimDuration::from_millis(3_000)),
+            ..Default::default()
+        });
+        assert!(r.finished());
+        assert!(r.partial);
+        assert_eq!(r.onload.unwrap(), SimTime::from_millis(3_000));
+        assert_eq!(r.failed_resources, 0, "the fetch was still in flight, not failed");
+        assert!(r.plt() > 0.0);
+        assert!(r.speed_index() > 0.0);
+    }
+
+    #[test]
+    fn h2_connection_error_retries_on_a_fresh_slot() {
+        // A fatal protocol error from the "server" (an oversized frame
+        // header) must not panic: the browser drops the connection,
+        // schedules a backed-off retry, and reopens on the next slot so
+        // stale bytes from the dead connection cannot reach the new one.
+        let page = Arc::new(simple_page());
+        let mut browser = Browser::new(page, BrowserConfig::default());
+        let acts = browser.start(SimTime::ZERO);
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, BrowserAction::OpenConnection { group: 0, slot: 0 })));
+        let _ = browser.on_connected(0, 0, SimTime::from_millis(30));
+        // Frame header announcing a 16 MB frame: FRAME_SIZE_ERROR, fatal.
+        let junk = [0xFF, 0xFF, 0xFF, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00];
+        let acts = browser.on_bytes(0, 0, &junk, SimTime::from_millis(40));
+        let (at, token) = acts
+            .iter()
+            .find_map(|a| match a {
+                BrowserAction::SetTimer { at, token } => Some((*at, *token)),
+                _ => None,
+            })
+            .expect("a retry timer is scheduled");
+        // Late bytes on the dead slot are ignored, not fed to anything.
+        let _ = browser.on_bytes(0, 0, &junk, SimTime::from_millis(45));
+        let acts = browser.on_timer(token, at);
+        assert!(
+            acts.iter().any(|a| matches!(a, BrowserAction::OpenConnection { group: 0, slot: 1 })),
+            "retry reopens on the next slot"
+        );
+        let r = browser.result();
+        assert_eq!(r.conn_errors, 1);
+        assert_eq!(r.retries, 1);
+    }
+
+    #[test]
+    fn h1_error_kills_the_slot_and_retries_on_a_new_connection() {
+        let mut b = PageBuilder::new("h1err", "h1err.test", 10_000, 1_000);
+        b.text_paint(5_000, 1.0);
+        let page = Arc::new(b.build());
+        let cfg =
+            BrowserConfig { transport: TransportMode::H1, max_retries: 1, ..Default::default() };
+        let mut browser = Browser::new(page, cfg);
+        let acts = browser.start(SimTime::ZERO);
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, BrowserAction::OpenConnection { group: 0, slot: 0 })));
+        // A garbage status line kills the connection, not the load.
+        let acts = browser.on_bytes(0, 0, b"BOGUS/9.9 garbage\r\n\r\n", SimTime::from_millis(10));
+        let (at, token) = acts
+            .iter()
+            .find_map(|a| match a {
+                BrowserAction::SetTimer { at, token } => Some((*at, *token)),
+                _ => None,
+            })
+            .expect("a retry timer is scheduled");
+        let acts = browser.on_timer(token, at);
+        assert!(
+            acts.iter().any(|a| matches!(a, BrowserAction::OpenConnection { group: 0, slot: 1 })),
+            "the dead slot keeps its index; the retry opens the next one"
+        );
+        let r = browser.result();
+        assert_eq!(r.conn_errors, 1);
+        assert_eq!(r.retries, 1);
+    }
+
+    #[test]
+    fn document_failure_gives_up_with_partial_result() {
+        // The document itself never arrives and exhausts its retries: the
+        // load closes out as partial instead of hanging forever.
+        let page = simple_page();
+        let mut bed = MiniBed::new(page, vec![]);
+        bed.blackhole.push(ResourceId(0));
+        let r = bed.run(BrowserConfig {
+            resource_timeout: Some(SimDuration::from_millis(100)),
+            max_retries: 0,
+            ..Default::default()
+        });
+        assert!(r.finished());
+        assert!(r.partial);
+        assert_eq!(r.timeouts, 1);
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.failed_resources, 1);
+        assert!(r.first_paint.is_none(), "nothing ever rendered");
     }
 }

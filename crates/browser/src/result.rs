@@ -53,6 +53,22 @@ pub struct LoadResult {
     pub cancelled_pushes: u32,
     /// Requests the browser issued itself.
     pub requests: u32,
+    /// The load ended without every discovered resource arriving: the
+    /// page-load deadline fired, the document itself failed, or some
+    /// subresources exhausted their retries. PLT and SpeedIndex then
+    /// measure what actually rendered.
+    pub partial: bool,
+    /// Resources that exhausted retries (or failed fatally) and were
+    /// given up on.
+    pub failed_resources: u32,
+    /// Re-issued fetches (after a timeout, stream error or connection
+    /// error).
+    pub retries: u32,
+    /// Per-resource timeouts that fired.
+    pub timeouts: u32,
+    /// Transport connections lost to protocol errors (HTTP/2 GOAWAY-level
+    /// failures and dead HTTP/1.1 connections).
+    pub conn_errors: u32,
     /// Per-resource waterfall (indexed like `Page::resources`).
     pub waterfall: Vec<ResourceTiming>,
 }
@@ -117,6 +133,11 @@ mod tests {
             pushed_count: 0,
             cancelled_pushes: 0,
             requests: 1,
+            partial: false,
+            failed_resources: 0,
+            retries: 0,
+            timeouts: 0,
+            conn_errors: 0,
             waterfall: Vec::new(),
         }
     }

@@ -8,6 +8,7 @@
 //! to a [`Scheduler`] — the policy surface the
 //! paper's Interleaving Push modifies.
 
+use crate::error::{ConnError, StreamError};
 use crate::frame::{
     ErrorCode, Frame, FrameError, PrioritySpec, Settings, DEFAULT_MAX_FRAME_SIZE, DEFAULT_WINDOW,
     PREFACE,
@@ -90,8 +91,10 @@ pub enum Event {
     Priority { stream: u32, spec: PrioritySpec },
     /// Peer is going away.
     GoAway { last_stream: u32, code: ErrorCode },
-    /// A fatal protocol violation was observed.
-    ConnectionError { reason: &'static str },
+    /// A single stream failed; the connection survives.
+    StreamError { stream: u32, error: StreamError },
+    /// A fatal protocol violation was observed; the connection is dead.
+    ConnectionError { error: ConnError },
 }
 
 struct PendingHeaders {
@@ -270,11 +273,13 @@ impl Connection {
     // ----- server API -----
 
     /// Promise a push in response to `parent` (server). Returns the
-    /// promised stream id, or `None` if the peer disabled push or the
-    /// parent is gone.
+    /// promised stream id, or `None` if the peer disabled push, sent
+    /// GOAWAY, the connection died, or the parent is gone.
     pub fn push_promise(&mut self, parent: u32, request_headers: &[Header]) -> Option<u32> {
         assert_eq!(self.role, Role::Server, "only servers push");
-        if !self.peer_enable_push {
+        // A peer that disabled push, announced departure (GOAWAY), or
+        // killed the connection will never accept the promise.
+        if !self.peer_enable_push || self.goaway_received || self.dead {
             return None;
         }
         let parent_alive = matches!(
@@ -441,7 +446,18 @@ impl Connection {
                 break;
             }
             let Some(id) = scheduler.pick(&snapshots, &self.tree) else { break };
-            let s = self.streams.get_mut(&id).expect("scheduler picked unknown stream");
+            let Some(s) = self.streams.get_mut(&id) else {
+                // The scheduler picked an id the connection no longer
+                // tracks (stale policy state). Fail the pick, tell the
+                // scheduler the stream is gone, and keep the connection —
+                // and this produce() batch — alive.
+                scheduler.stream_closed(id);
+                self.events.push_back(Event::StreamError {
+                    stream: id,
+                    error: StreamError::UnknownScheduled,
+                });
+                break;
+            };
             let sendable = s
                 .out
                 .queued
@@ -480,7 +496,7 @@ impl Connection {
                 return;
             }
             if &self.recv_buf[..PREFACE.len()] != PREFACE {
-                self.fatal("bad connection preface");
+                self.fatal(ConnError::BadPreface);
                 return;
             }
             self.recv_pos = PREFACE.len();
@@ -496,8 +512,8 @@ impl Connection {
             match Frame::decode(&self.recv_buf[self.recv_pos..], local_max) {
                 Ok((frame, used)) => {
                     self.recv_pos += used;
-                    if let Err(reason) = self.handle_frame(frame, &mut pending) {
-                        self.fatal(reason);
+                    if let Err(error) = self.handle_frame(frame, &mut pending) {
+                        self.fatal(error);
                         return;
                     }
                 }
@@ -506,11 +522,11 @@ impl Connection {
                     self.recv_pos += skip;
                 }
                 Err(FrameError::TooLarge) => {
-                    self.fatal("frame exceeds SETTINGS_MAX_FRAME_SIZE");
+                    self.fatal(ConnError::FrameTooLarge);
                     return;
                 }
                 Err(FrameError::Protocol(reason)) => {
-                    self.fatal(reason);
+                    self.fatal(ConnError::Frame(reason));
                     return;
                 }
             }
@@ -528,25 +544,25 @@ impl Connection {
             // fragmented across CONTINUATION frames *and* segments. In the
             // testbed header blocks are far below one segment, so this is a
             // non-issue; fail loudly if it ever changes.
-            self.fatal("header block fragmented across receive boundary");
+            self.fatal(ConnError::HeaderBlockFragmented);
         }
     }
 
-    fn fatal(&mut self, reason: &'static str) {
+    fn fatal(&mut self, error: ConnError) {
         self.dead = true;
         self.recv_buf.clear();
         self.recv_pos = 0;
-        self.queue_frame(Frame::GoAway { last_stream: 0, code: ErrorCode::ProtocolError });
-        self.events.push_back(Event::ConnectionError { reason });
+        self.queue_frame(Frame::GoAway { last_stream: 0, code: error.code() });
+        self.events.push_back(Event::ConnectionError { error });
     }
 
     fn handle_frame(
         &mut self,
         frame: Frame,
         pending: &mut Option<PendingHeaders>,
-    ) -> Result<(), &'static str> {
+    ) -> Result<(), ConnError> {
         if pending.is_some() && !matches!(frame, Frame::Continuation { .. }) {
-            return Err("expected CONTINUATION");
+            return Err(ConnError::ExpectedContinuation);
         }
         match frame {
             Frame::Settings { ack, settings } => {
@@ -594,10 +610,10 @@ impl Connection {
             }
             Frame::PushPromise { stream, promised, block, end_headers } => {
                 if self.role == Role::Client && self.local_settings.enable_push == Some(false) {
-                    return Err("PUSH_PROMISE with push disabled");
+                    return Err(ConnError::PushDisabled);
                 }
                 if promised % 2 != 0 {
-                    return Err("odd promised stream id");
+                    return Err(ConnError::OddPromisedStream);
                 }
                 let ph = PendingHeaders {
                     stream,
@@ -613,9 +629,9 @@ impl Connection {
                 }
             }
             Frame::Continuation { stream, block, end_headers } => {
-                let mut ph = pending.take().ok_or("CONTINUATION without HEADERS")?;
+                let mut ph = pending.take().ok_or(ConnError::ContinuationWithoutHeaders)?;
                 if ph.stream != stream {
-                    return Err("CONTINUATION on wrong stream");
+                    return Err(ConnError::ContinuationWrongStream);
                 }
                 // Reassembly concatenates only on the (rare) multi-frame
                 // header-block path; single-frame blocks stay zero-copy.
@@ -638,32 +654,38 @@ impl Connection {
                     self.conn_recv_consumed = 0;
                     self.queue_frame(Frame::WindowUpdate { stream: 0, increment: inc });
                 }
-                let known = match self.streams.get_mut(&stream) {
-                    Some(s) => {
-                        if s.state == StreamState::Closed {
-                            // Data raced our RST; ignore at stream level.
-                            false
-                        } else {
-                            s.recv_consumed += len;
-                            if s.recv_consumed as i64 * 2 >= self.local_initial_window {
-                                let inc = s.recv_consumed as u32;
-                                s.recv_consumed = 0;
-                                self.queue_frame(Frame::WindowUpdate { stream, increment: inc });
-                            }
-                            if end_stream {
-                                let s = self.streams.get_mut(&stream).unwrap();
-                                s.state = match s.state {
-                                    StreamState::Open => StreamState::HalfClosedRemote,
-                                    StreamState::HalfClosedLocal
-                                    | StreamState::HalfClosedRemote => StreamState::Closed,
-                                    other => other,
-                                };
-                            }
-                            true
-                        }
+                // Single borrow of the stream: the WINDOW_UPDATE is queued
+                // after it ends, so no re-lookup (and no unwrap) is needed.
+                let (known, window_inc) = match self.streams.get_mut(&stream) {
+                    Some(s) if s.state == StreamState::Closed => {
+                        // Data raced our RST; ignore at stream level.
+                        (false, None)
                     }
-                    None => return Err("DATA on unknown stream"),
+                    Some(s) => {
+                        s.recv_consumed += len;
+                        let inc = if s.recv_consumed as i64 * 2 >= self.local_initial_window {
+                            let inc = s.recv_consumed as u32;
+                            s.recv_consumed = 0;
+                            Some(inc)
+                        } else {
+                            None
+                        };
+                        if end_stream {
+                            s.state = match s.state {
+                                StreamState::Open => StreamState::HalfClosedRemote,
+                                StreamState::HalfClosedLocal | StreamState::HalfClosedRemote => {
+                                    StreamState::Closed
+                                }
+                                other => other,
+                            };
+                        }
+                        (true, inc)
+                    }
+                    None => return Err(ConnError::DataOnUnknownStream),
                 };
+                if let Some(increment) = window_inc {
+                    self.queue_frame(Frame::WindowUpdate { stream, increment });
+                }
                 if known {
                     self.events.push_back(Event::Data { stream, len, end_stream });
                 }
@@ -689,8 +711,8 @@ impl Connection {
         Ok(())
     }
 
-    fn finish_header_block(&mut self, ph: PendingHeaders) -> Result<(), &'static str> {
-        let headers = self.hpack_dec.decode(&ph.block).map_err(|_| "HPACK decode error")?;
+    fn finish_header_block(&mut self, ph: PendingHeaders) -> Result<(), ConnError> {
+        let headers = self.hpack_dec.decode(&ph.block).map_err(|_| ConnError::HpackDecode)?;
         match ph.promised {
             Some(promised) => {
                 self.streams.insert(
@@ -1199,6 +1221,86 @@ mod edge_tests {
         }
         s.receive(&buf);
         while s.poll_event().is_some() {}
+    }
+
+    /// A hostile scheduler that always picks a stream id nobody opened.
+    struct RogueScheduler;
+
+    impl crate::scheduler::Scheduler for RogueScheduler {
+        fn pick(
+            &mut self,
+            _streams: &[crate::scheduler::StreamSnapshot],
+            _tree: &crate::priority::PriorityTree,
+        ) -> Option<u32> {
+            Some(4242)
+        }
+    }
+
+    #[test]
+    fn rogue_scheduler_pick_is_a_stream_error_not_a_panic() {
+        let mut c = Connection::client(Settings::default());
+        let mut s = Connection::server(Settings::default());
+        c.request(&request_headers(), None);
+        exchange(&mut c, &mut s);
+        while s.poll_event().is_some() {}
+        s.respond(1, &[h(":status", "200")], false);
+        s.queue_body(1, 5_000, true);
+        let wire = s.produce(usize::MAX, &mut RogueScheduler);
+        // The control frames (response HEADERS) still go out; the bogus
+        // DATA pick is surfaced as a recoverable per-stream error.
+        assert!(!wire.is_empty());
+        let mut saw = false;
+        while let Some(ev) = s.poll_event() {
+            if let Event::StreamError { stream, error } = ev {
+                assert_eq!(stream, 4242);
+                assert_eq!(error, crate::error::StreamError::UnknownScheduled);
+                saw = true;
+            }
+        }
+        assert!(saw, "unknown pick must surface a StreamError");
+        // The connection is alive: a sane scheduler drains the body.
+        let mut sched = crate::scheduler::DefaultScheduler::new();
+        let rest = s.produce(usize::MAX, &mut sched);
+        assert!(!rest.is_empty(), "connection must survive the rogue pick");
+    }
+
+    #[test]
+    fn push_refused_after_goaway() {
+        let mut c = Connection::client(Settings::default());
+        let mut s = Connection::server(Settings::default());
+        c.request(&request_headers(), None);
+        exchange(&mut c, &mut s);
+        while s.poll_event().is_some() {}
+        assert!(s.push_promise(1, &request_headers()).is_some());
+        let mut buf = Vec::new();
+        Frame::GoAway { last_stream: 1, code: ErrorCode::NoError }.encode(&mut buf);
+        s.receive(&buf);
+        assert!(s.push_promise(1, &request_headers()).is_none(), "no pushes after GOAWAY");
+    }
+
+    #[test]
+    fn connection_error_carries_typed_cause_and_matching_goaway() {
+        let mut s = Connection::server(Settings::default());
+        s.receive(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+        let mut found = None;
+        while let Some(ev) = s.poll_event() {
+            if let Event::ConnectionError { error } = ev {
+                found = Some(error);
+            }
+        }
+        assert_eq!(found, Some(crate::error::ConnError::BadPreface));
+        // The queued GOAWAY carries the error's code.
+        let wire = s.produce(usize::MAX, &mut FifoScheduler);
+        let mut pos = 0;
+        let mut goaway = None;
+        while pos < wire.len() {
+            let (frame, used) = Frame::decode(&wire[pos..], 1 << 24).unwrap();
+            if let Frame::GoAway { code, .. } = frame {
+                goaway = Some(code);
+            }
+            pos += used;
+        }
+        assert_eq!(goaway, Some(ErrorCode::ProtocolError));
     }
 
     #[test]

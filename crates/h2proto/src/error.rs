@@ -1,0 +1,138 @@
+//! Typed protocol errors.
+//!
+//! Under fault injection the replay path sees malformed, truncated or
+//! unexpected frames that the fault-free testbed never produces. Those
+//! conditions are *data*, not bugs: the connection surfaces a
+//! [`ConnError`] (fatal, connection-level — answered with GOAWAY) or a
+//! [`StreamError`] (recoverable, per-stream — the stream fails, the
+//! connection lives), and the layers above decide whether to retry,
+//! reopen or give up. Nothing on this path may `panic!`.
+
+use crate::frame::ErrorCode;
+use std::fmt;
+
+/// A fatal connection-level protocol violation (RFC 7540 §5.4.1).
+///
+/// Every variant maps to the GOAWAY [`ErrorCode`] the endpoint sends via
+/// [`ConnError::code`] and to a human-readable reason via
+/// [`ConnError::reason`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnError {
+    /// The client connection preface did not match (RFC 7540 §3.5).
+    BadPreface,
+    /// A header block was left open but the next frame was not
+    /// CONTINUATION (§6.10).
+    ExpectedContinuation,
+    /// CONTINUATION arrived with no header block open.
+    ContinuationWithoutHeaders,
+    /// CONTINUATION arrived on a different stream than its HEADERS.
+    ContinuationWrongStream,
+    /// PUSH_PROMISE received although we disabled push (§8.2).
+    PushDisabled,
+    /// PUSH_PROMISE promised an odd (client-initiated) stream id (§5.1.1).
+    OddPromisedStream,
+    /// DATA addressed a stream this endpoint never knew (§6.1).
+    DataOnUnknownStream,
+    /// The peer's header block did not decode (§4.3).
+    HpackDecode,
+    /// A frame exceeded SETTINGS_MAX_FRAME_SIZE (§4.2).
+    FrameTooLarge,
+    /// A malformed frame, with the framing layer's description.
+    Frame(&'static str),
+    /// A header block was fragmented across a receive boundary mid
+    /// CONTINUATION sequence (a documented simplification of this
+    /// endpoint, surfaced as an error rather than silent corruption).
+    HeaderBlockFragmented,
+}
+
+impl ConnError {
+    /// Human-readable description (stable across variants; used by the
+    /// layers above for failure accounting).
+    pub fn reason(&self) -> &'static str {
+        match self {
+            ConnError::BadPreface => "bad connection preface",
+            ConnError::ExpectedContinuation => "expected CONTINUATION",
+            ConnError::ContinuationWithoutHeaders => "CONTINUATION without HEADERS",
+            ConnError::ContinuationWrongStream => "CONTINUATION on wrong stream",
+            ConnError::PushDisabled => "PUSH_PROMISE with push disabled",
+            ConnError::OddPromisedStream => "odd promised stream id",
+            ConnError::DataOnUnknownStream => "DATA on unknown stream",
+            ConnError::HpackDecode => "HPACK decode error",
+            ConnError::FrameTooLarge => "frame exceeds SETTINGS_MAX_FRAME_SIZE",
+            ConnError::Frame(reason) => reason,
+            ConnError::HeaderBlockFragmented => "header block fragmented across receive boundary",
+        }
+    }
+
+    /// The GOAWAY error code this violation is answered with (§5.4.1).
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ConnError::HpackDecode => ErrorCode::CompressionError,
+            ConnError::FrameTooLarge => ErrorCode::FrameSizeError,
+            _ => ErrorCode::ProtocolError,
+        }
+    }
+}
+
+impl fmt::Display for ConnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.reason())
+    }
+}
+
+impl std::error::Error for ConnError {}
+
+/// A recoverable per-stream failure: the stream dies, the connection —
+/// and every other stream on it — continues (RFC 7540 §5.4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// The scheduler picked a stream id the connection no longer tracks
+    /// (e.g. reset between snapshot and pick). The scheduler is told the
+    /// stream closed; production continues with the remaining streams.
+    UnknownScheduled,
+    /// The peer reset the stream with this code.
+    ResetByPeer(ErrorCode),
+}
+
+impl StreamError {
+    /// Human-readable description.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            StreamError::UnknownScheduled => "scheduler picked unknown stream",
+            StreamError::ResetByPeer(_) => "stream reset by peer",
+        }
+    }
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::ResetByPeer(code) => write!(f, "stream reset by peer ({code:?})"),
+            other => f.write_str(other.reason()),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goaway_codes_match_rfc_sections() {
+        assert_eq!(ConnError::HpackDecode.code(), ErrorCode::CompressionError);
+        assert_eq!(ConnError::FrameTooLarge.code(), ErrorCode::FrameSizeError);
+        assert_eq!(ConnError::BadPreface.code(), ErrorCode::ProtocolError);
+        assert_eq!(ConnError::DataOnUnknownStream.code(), ErrorCode::ProtocolError);
+    }
+
+    #[test]
+    fn reasons_are_stable_strings() {
+        assert_eq!(ConnError::BadPreface.reason(), "bad connection preface");
+        assert_eq!(ConnError::Frame("bad flags").reason(), "bad flags");
+        assert_eq!(ConnError::Frame("bad flags").to_string(), "bad flags");
+        assert_eq!(StreamError::UnknownScheduled.reason(), "scheduler picked unknown stream");
+        assert!(StreamError::ResetByPeer(ErrorCode::Cancel).to_string().contains("Cancel"));
+    }
+}

@@ -13,12 +13,14 @@
 
 pub mod cache_digest;
 pub mod connection;
+pub mod error;
 pub mod frame;
 pub mod priority;
 pub mod scheduler;
 
 pub use cache_digest::CacheDigest;
 pub use connection::{Connection, Event, Role, StreamState};
+pub use error::{ConnError, StreamError};
 pub use frame::{
     ErrorCode, Frame, FrameError, PrioritySpec, Settings, DEFAULT_MAX_FRAME_SIZE, DEFAULT_WINDOW,
     PREFACE,

@@ -9,7 +9,9 @@
 
 use crate::interleave::InterleavingScheduler;
 use bytes::Bytes;
-use h2push_h2proto::{CacheDigest, Connection, DefaultScheduler, Event, Scheduler, Settings};
+use h2push_h2proto::{
+    CacheDigest, ConnError, Connection, DefaultScheduler, Event, Scheduler, Settings,
+};
 use h2push_hpack::Header;
 use h2push_netsim::SimTime;
 use h2push_strategies::Strategy;
@@ -71,6 +73,14 @@ pub struct ReplayServer {
     honor_cache_digest: bool,
     client_digest: Option<CacheDigest>,
     digest_suppressed: u32,
+    /// Protocol violations seen from the client (connection- and
+    /// stream-level). Under fault injection corrupted input is *data*, not
+    /// a bug: the connection answers with GOAWAY/RST and the count is
+    /// surfaced instead of panicking.
+    protocol_errors: u32,
+    /// The first fatal connection error, if any (the connection is dead
+    /// after it; remaining queued bytes — the GOAWAY — still drain).
+    fatal_error: Option<ConnError>,
 }
 
 impl ReplayServer {
@@ -100,6 +110,8 @@ impl ReplayServer {
             honor_cache_digest: true,
             client_digest: None,
             digest_suppressed: 0,
+            protocol_errors: 0,
+            fatal_error: None,
         }
     }
 
@@ -112,6 +124,16 @@ impl ReplayServer {
     /// Pushes skipped because the client's digest already covered them.
     pub fn digest_suppressed(&self) -> u32 {
         self.digest_suppressed
+    }
+
+    /// Protocol violations observed on this connection (0 on clean runs).
+    pub fn protocol_errors(&self) -> u32 {
+        self.protocol_errors
+    }
+
+    /// The fatal connection error that killed this connection, if any.
+    pub fn fatal_error(&self) -> Option<ConnError> {
+        self.fatal_error
     }
 
     /// The server group this instance answers for.
@@ -145,8 +167,17 @@ impl ReplayServer {
                 Event::Data { .. } | Event::PushPromise { .. } => {
                     // Clients send neither bodies nor pushes in the replay.
                 }
-                Event::ConnectionError { reason } => {
-                    panic!("replay server protocol error: {reason}")
+                Event::StreamError { .. } => {
+                    // One stream failed; the connection (and every other
+                    // stream on it) carries on.
+                    self.protocol_errors += 1;
+                }
+                Event::ConnectionError { error } => {
+                    // The connection has queued its GOAWAY and is dead;
+                    // record the cause and let the client's recovery
+                    // (reopen / retry) drive what happens next.
+                    self.protocol_errors += 1;
+                    self.fatal_error.get_or_insert(error);
                 }
             }
         }
@@ -470,5 +501,24 @@ mod tests {
             .sum();
         assert_eq!(push_bytes, 6_000 + 9_000);
         assert_eq!(client.stream_state(html), Some(StreamState::Closed));
+    }
+
+    #[test]
+    fn garbage_input_is_counted_not_fatal_to_the_process() {
+        // Corrupted client bytes (a botched preface) must not panic the
+        // replay: the server records the violation, answers GOAWAY, and
+        // the harness can keep driving other connections.
+        let p = page();
+        let mut server = server_for(&p, 0, Strategy::NoPush);
+        assert_eq!(server.protocol_errors(), 0);
+        server.on_bytes(b"GARBAGE / HTTP/1.1\r\n\r\nxxxxxxxx", SimTime::ZERO);
+        assert_eq!(server.protocol_errors(), 1);
+        assert_eq!(server.fatal_error(), Some(ConnError::BadPreface));
+        assert!(server.wants_send(), "the GOAWAY still drains");
+        let bytes = server.produce(usize::MAX);
+        assert!(!bytes.is_empty());
+        // Further input on the dead connection stays harmless.
+        server.on_bytes(b"more garbage", SimTime::ZERO);
+        assert_eq!(server.fatal_error(), Some(ConnError::BadPreface));
     }
 }

@@ -6,8 +6,10 @@
 //! confidence intervals at 95 % (Fig. 4) and 99.5 % (Fig. 6), and relative
 //! deltas against a baseline (Δ < 0 is better throughout the paper).
 
+pub mod fault;
 pub mod stats;
 
+pub use fault::{FaultObservation, LossRecovery};
 pub use stats::{cdf_points, percentile, RunStats};
 
 /// Relative change in percent of `value` against `baseline`

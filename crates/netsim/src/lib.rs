@@ -19,11 +19,13 @@
 //! threads, wall-clock reads or hash-order dependencies, in the style of
 //! event-driven stacks like smoltcp.
 
+pub mod fault;
 pub mod link;
 pub mod network;
 pub mod queue;
 pub mod time;
 
+pub use fault::{FaultSpec, FaultState, LinkFlap, LossModel, NetStats};
 pub use link::{Link, LinkSpec, Transmit};
 pub use network::{
     ConnId, Dir, NetEvent, Network, NetworkSpec, ServerId, ServerSpec, HEADER_OVERHEAD, MSS,

@@ -138,27 +138,32 @@ mod tests {
         m * 1_000_000
     }
 
+    /// Transmit a packet that the test expects to fit: `Transmit::Dropped`
+    /// is a countable outcome, so a surprise drop fails through the link's
+    /// own drop counter (with its value in the message) instead of a bare
+    /// `panic!` in the pump.
+    fn must_deliver(l: &mut Link, now: SimTime, bytes: usize) -> SimTime {
+        let out = l.transmit(now, bytes);
+        assert_eq!(l.drops(), 0, "drop-tail queue dropped the packet ({out:?})");
+        match out {
+            Transmit::Delivered(t) => t,
+            Transmit::Dropped => unreachable!("zero drops implies delivery"),
+        }
+    }
+
     #[test]
     fn serialization_plus_propagation() {
         let mut l = Link::new(LinkSpec::rated(mbit(16), SimDuration::from_millis(25)));
         // 1500 B at 16 Mbit/s = 750 µs, plus 25 ms propagation.
-        match l.transmit(SimTime::ZERO, 1500) {
-            Transmit::Delivered(t) => assert_eq!(t.as_micros(), 750 + 25_000),
-            Transmit::Dropped => panic!("unexpected drop"),
-        }
+        let t = must_deliver(&mut l, SimTime::ZERO, 1500);
+        assert_eq!(t.as_micros(), 750 + 25_000);
     }
 
     #[test]
     fn back_to_back_packets_queue() {
         let mut l = Link::new(LinkSpec::rated(mbit(16), SimDuration::ZERO));
-        let t1 = match l.transmit(SimTime::ZERO, 1500) {
-            Transmit::Delivered(t) => t,
-            _ => panic!(),
-        };
-        let t2 = match l.transmit(SimTime::ZERO, 1500) {
-            Transmit::Delivered(t) => t,
-            _ => panic!(),
-        };
+        let t1 = must_deliver(&mut l, SimTime::ZERO, 1500);
+        let t2 = must_deliver(&mut l, SimTime::ZERO, 1500);
         assert_eq!(t2.as_micros(), 2 * t1.as_micros());
     }
 
@@ -169,13 +174,9 @@ mod tests {
         let mut last = SimTime::ZERO;
         for _ in 0..10 {
             for _flow in 0..2 {
-                match l.transmit(SimTime::ZERO, 1000) {
-                    Transmit::Delivered(t) => {
-                        assert!(t > last);
-                        last = t;
-                    }
-                    _ => panic!(),
-                }
+                let t = must_deliver(&mut l, SimTime::ZERO, 1000);
+                assert!(t > last);
+                last = t;
             }
         }
         // 20 packets × 1000 B × 8 bits at 8 Mbit/s = 20 ms.
@@ -205,10 +206,8 @@ mod tests {
     #[test]
     fn infinite_link_only_propagates() {
         let mut l = Link::new(LinkSpec::infinite(SimDuration::from_millis(5)));
-        match l.transmit(SimTime::from_millis(1), 1_000_000) {
-            Transmit::Delivered(t) => assert_eq!(t, SimTime::from_millis(6)),
-            _ => panic!(),
-        }
+        let t = must_deliver(&mut l, SimTime::from_millis(1), 1_000_000);
+        assert_eq!(t, SimTime::from_millis(6));
         assert_eq!(l.queued_bytes(SimTime::ZERO), 0);
     }
 

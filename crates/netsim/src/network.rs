@@ -34,6 +34,7 @@
 //! [`NetEvent::SendReady`] whenever the congestion window has room, at which
 //! point the endpoint's scheduler picks the next frame.
 
+use crate::fault::{FaultSpec, FaultState, NetStats};
 use crate::link::{Link, LinkSpec, Transmit};
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
@@ -121,6 +122,12 @@ pub struct NetworkSpec {
     pub jitter: SimDuration,
     /// Seed for the loss and jitter processes.
     pub seed: u64,
+    /// Injected faults on the access links (loss models, extra jitter,
+    /// reordering, link flaps). The default injects nothing and leaves
+    /// every run byte-identical to a spec without the field; any non-empty
+    /// spec is driven by its own RNG stream derived from `seed`, so faulty
+    /// runs replay bit-identically too.
+    pub fault: FaultSpec,
 }
 
 impl NetworkSpec {
@@ -136,6 +143,7 @@ impl NetworkSpec {
             recv_window: 1024 * 1024,
             jitter: SimDuration::from_micros(120),
             seed: 0,
+            fault: FaultSpec::default(),
         }
     }
 
@@ -241,6 +249,10 @@ struct TcpDir {
     /// Loss events currently awaiting their RTO (so cwnd is halved once per
     /// burst, not once per lost packet).
     rtos_outstanding: u32,
+    /// Latest scheduled arrival on the access link for this direction —
+    /// the in-order delivery gate used only when reordering is injected
+    /// (TCP's reassembly queue holds later segments behind the straggler).
+    last_arrival: SimTime,
 }
 
 impl TcpDir {
@@ -255,6 +267,7 @@ impl TcpDir {
             pull_pending: false,
             srtt: None,
             rtos_outstanding: 0,
+            last_arrival: SimTime::ZERO,
         }
     }
 
@@ -321,6 +334,10 @@ pub struct Network {
     conns: Vec<Conn>,
     rng: XorShift,
     delivered_total: u64,
+    /// Fault process per access-link direction (up/down fade
+    /// independently); seeded from `spec.seed`, separate from `rng`.
+    fault_states: [FaultState; 2],
+    stats: NetStats,
 }
 
 impl Network {
@@ -329,6 +346,8 @@ impl Network {
         let client_up = Link::new(spec.client_up);
         let client_down = Link::new(spec.client_down);
         let rng = XorShift::new(spec.seed ^ 0xC0FFEE);
+        let fault_states =
+            [FaultState::new(spec.seed ^ 0xFA017A01), FaultState::new(spec.seed ^ 0xFA017A02)];
         Network {
             spec,
             now: SimTime::ZERO,
@@ -339,6 +358,8 @@ impl Network {
             conns: Vec::new(),
             rng,
             delivered_total: 0,
+            fault_states,
+            stats: NetStats::default(),
         }
     }
 
@@ -350,6 +371,12 @@ impl Network {
     /// Total application bytes delivered in both directions so far.
     pub fn delivered_total(&self) -> u64 {
         self.delivered_total
+    }
+
+    /// Fault and loss-recovery counters accumulated so far (data packets
+    /// seen, drops by cause, reorder holds, RTO retransmits).
+    pub fn stats(&self) -> NetStats {
+        self.stats
     }
 
     /// Register a server node and return its id.
@@ -449,6 +476,7 @@ impl Network {
                 None
             }
             Ev::Rto { conn, dir, bytes } => {
+                self.stats.retransmits += 1;
                 let d = &mut self.conns[conn].dirs[dir.idx()];
                 d.rtos_outstanding = d.rtos_outstanding.saturating_sub(1);
                 d.in_flight = d.in_flight.saturating_sub(bytes);
@@ -590,31 +618,89 @@ impl Network {
         self.transmit_hop(conn, dir, bytes, 0, kind);
     }
 
+    /// A lost data packet: charge the congestion controller and schedule
+    /// the retransmission one recovery delay later.
+    fn drop_data(&mut self, conn: usize, dir: Dir, bytes: usize) {
+        let delay = self.loss_recovery_delay(conn, dir);
+        self.conns[conn].dirs[dir.idx()].on_loss();
+        self.events.push(self.now + delay, Ev::Rto { conn, dir, bytes });
+    }
+
     fn transmit_hop(&mut self, conn: usize, dir: Dir, bytes: usize, hop: u8, kind: Kind) {
         let server = self.conns[conn].server;
-        // Path Up: client_up → server ingress. Path Down: server egress →
-        // client_down. Hop 0 is the first link in the direction of travel.
-        let (link, lossy): (&mut Link, bool) = match (dir, hop) {
-            (Dir::Up, 0) => (&mut self.client_up, true),
-            (Dir::Up, 1) => (&mut self.servers[server].1, false),
-            (Dir::Down, 0) => (&mut self.servers[server].2, false),
-            (Dir::Down, 1) => (&mut self.client_down, true),
-            _ => unreachable!("paths have exactly two hops"),
-        };
+        // Faults apply on the client access links only — the "lossy" hops.
+        let lossy = matches!((dir, hop), (Dir::Up, 0) | (Dir::Down, 1));
         let is_data = matches!(kind, Kind::Data { .. });
         let wire = bytes + if is_data { HEADER_OVERHEAD } else { 0 };
+        if lossy && is_data {
+            self.stats.data_packets += 1;
+        }
+        // Link flap: during an outage window the access link drops all data
+        // (recovered through the normal RTO path once the window passes) and
+        // holds control segments until the link returns.
+        if lossy && !self.spec.fault.flaps.is_empty() {
+            if let Some(flap) = self.spec.fault.active_flap(self.now).copied() {
+                if is_data {
+                    self.stats.drops_flap += 1;
+                    self.drop_data(conn, dir, bytes);
+                } else {
+                    let at = (flap.end() + SimDuration::from_micros(1000)).max(self.now);
+                    self.events.push(at, Ev::Hop { conn, dir, bytes, hop, kind });
+                }
+                return;
+            }
+        }
+        // Injected loss process; draws from the dedicated fault RNG (and
+        // only when a loss model is configured, so fault-free specs keep
+        // every RNG stream — and therefore every run — byte-identical).
+        let fault_loss =
+            lossy && is_data && self.fault_states[dir.idx()].drop_packet(&self.spec.fault);
+        // Path Up: client_up → server ingress. Path Down: server egress →
+        // client_down. Hop 0 is the first link in the direction of travel.
+        let link: &mut Link = match (dir, hop) {
+            (Dir::Up, 0) => &mut self.client_up,
+            (Dir::Up, 1) => &mut self.servers[server].1,
+            (Dir::Down, 0) => &mut self.servers[server].2,
+            (Dir::Down, 1) => &mut self.client_down,
+            _ => unreachable!("paths have exactly two hops"),
+        };
         let random_loss =
             lossy && is_data && self.spec.loss > 0.0 && { self.rng.next_f64() < self.spec.loss };
-        let outcome = if random_loss { Transmit::Dropped } else { link.transmit(self.now, wire) };
+        let outcome = if random_loss || fault_loss {
+            Transmit::Dropped
+        } else {
+            link.transmit(self.now, wire)
+        };
         match outcome {
             Transmit::Delivered(at) => {
-                let at = if self.spec.jitter.as_micros() > 0 {
+                let mut at = if self.spec.jitter.as_micros() > 0 {
                     at + SimDuration::from_micros(
                         (self.rng.next_f64() * self.spec.jitter.as_micros() as f64) as u64,
                     )
                 } else {
                     at
                 };
+                if lossy && !self.spec.fault.is_noop() {
+                    at += self.fault_states[dir.idx()].jitter(&self.spec.fault);
+                    if is_data {
+                        if let Some(hold) =
+                            self.fault_states[dir.idx()].reorder_hold(&self.spec.fault)
+                        {
+                            self.stats.reordered += 1;
+                            at += hold;
+                        }
+                        // In-order delivery gate: the simulator moves byte
+                        // counts FIFO, so a held packet stalls everything
+                        // behind it — exactly TCP's reassembly-queue
+                        // head-of-line blocking. Applied only when
+                        // reordering is injected.
+                        if self.spec.fault.reorder > 0.0 {
+                            let d = &mut self.conns[conn].dirs[dir.idx()];
+                            at = at.max(d.last_arrival);
+                            d.last_arrival = at;
+                        }
+                    }
+                }
                 self.events.push(at, Ev::Hop { conn, dir, bytes, hop, kind });
             }
             Transmit::Dropped => {
@@ -622,9 +708,14 @@ impl Network {
                 // ACK segments always get through (documented simplification
                 // — the DSL profile of the paper is loss-free anyway).
                 if is_data {
-                    let delay = self.loss_recovery_delay(conn, dir);
-                    self.conns[conn].dirs[dir.idx()].on_loss();
-                    self.events.push(self.now + delay, Ev::Rto { conn, dir, bytes });
+                    if random_loss {
+                        self.stats.drops_random += 1;
+                    } else if fault_loss {
+                        self.stats.drops_fault += 1;
+                    } else {
+                        self.stats.drops_queue += 1;
+                    }
+                    self.drop_data(conn, dir, bytes);
                 } else {
                     // Fall back to delivering after the queue drains: treat
                     // as if accepted (control segments are tiny).
@@ -840,6 +931,133 @@ mod tests {
         assert!(matches!(ev, NetEvent::Connected { .. }));
         let (_, ev) = net.step().unwrap();
         assert_eq!(ev, NetEvent::Delivered { conn: c, dir: Dir::Up, bytes: 100 });
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::{FaultSpec, LinkFlap};
+
+    /// Run a 300 KB download to completion; returns (delivery trace, stats).
+    fn download(spec: NetworkSpec) -> (Vec<(u64, usize)>, NetStats) {
+        let mut net = Network::new(spec);
+        let s = net.add_server(ServerSpec::default());
+        let c = net.connect(s);
+        let _ = net.step();
+        net.send(c, Dir::Down, 300_000);
+        let mut trace = Vec::new();
+        let mut steps = 0u32;
+        while let Some((t, ev)) = net.step() {
+            steps += 1;
+            assert!(steps < 1_000_000, "runaway simulation");
+            if let NetEvent::Delivered { dir: Dir::Down, bytes, .. } = ev {
+                trace.push((t.as_micros(), bytes));
+            }
+        }
+        (trace, net.stats())
+    }
+
+    #[test]
+    fn default_fault_spec_is_byte_identical_to_fault_free() {
+        // The noop FaultSpec must not perturb a single event timestamp.
+        let (a, sa) = download(NetworkSpec::dsl_testbed());
+        let (b, sb) =
+            download(NetworkSpec { fault: FaultSpec::default(), ..NetworkSpec::dsl_testbed() });
+        assert_eq!(a, b);
+        assert_eq!(sa.drops_fault, 0);
+        assert_eq!(sb.drops_fault, 0);
+    }
+
+    #[test]
+    fn gilbert_elliott_loss_recovers_and_counts() {
+        let mut spec = NetworkSpec::dsl_testbed();
+        spec.seed = 11;
+        spec.fault = FaultSpec::gilbert_elliott(0.02);
+        let (trace, stats) = download(spec);
+        let total: usize = trace.iter().map(|&(_, b)| b).sum();
+        assert_eq!(total, 300_000, "all bytes recovered despite burst loss");
+        assert!(stats.drops_fault > 0, "2% GE over ~200 packets should drop some: {stats:?}");
+        assert!(stats.retransmits >= stats.drops_fault, "every drop retransmits: {stats:?}");
+    }
+
+    #[test]
+    fn fault_runs_are_bit_identical_across_reruns() {
+        let mut spec = NetworkSpec::dsl_testbed();
+        spec.seed = 23;
+        spec.fault = FaultSpec::gilbert_elliott(0.05);
+        spec.fault.extra_jitter = SimDuration::from_micros(800);
+        spec.fault.reorder = 0.02;
+        spec.fault.reorder_hold = SimDuration::from_millis(3);
+        let (a, sa) = download(spec.clone());
+        let (b, sb) = download(spec);
+        assert_eq!(a, b, "same seed must replay identically");
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn different_seeds_differ_under_faults() {
+        let mut spec = NetworkSpec::dsl_testbed();
+        spec.fault = FaultSpec::gilbert_elliott(0.05);
+        spec.seed = 1;
+        let (a, _) = download(spec.clone());
+        spec.seed = 2;
+        let (b, _) = download(spec);
+        assert_ne!(a, b, "loss pattern should depend on the seed");
+    }
+
+    #[test]
+    fn link_flap_stalls_then_completes() {
+        let mut spec = NetworkSpec::dsl_testbed();
+        spec.fault = FaultSpec {
+            flaps: vec![LinkFlap {
+                start: SimTime::from_millis(200),
+                duration: SimDuration::from_millis(400),
+            }],
+            ..Default::default()
+        };
+        let (trace, stats) = download(spec);
+        let total: usize = trace.iter().map(|&(_, b)| b).sum();
+        assert_eq!(total, 300_000, "transfer survives the outage");
+        assert!(stats.drops_flap > 0, "packets in the window must have died: {stats:?}");
+        // Nothing lands inside the dead window (delivery = flap + one-way
+        // propagation; allow the 25 ms pipe to drain into it).
+        let in_window = trace.iter().filter(|&&(t, _)| (230_000..600_000).contains(&t)).count();
+        assert_eq!(in_window, 0, "deliveries during the outage: {in_window}");
+        let (clean, _) = download(NetworkSpec::dsl_testbed());
+        assert!(
+            trace.last().unwrap().0 > clean.last().unwrap().0 + 390_000,
+            "a 400 ms outage must cost roughly its length"
+        );
+    }
+
+    #[test]
+    fn reordering_preserves_in_order_byte_delivery() {
+        let mut spec = NetworkSpec::dsl_testbed();
+        spec.seed = 5;
+        spec.fault.reorder = 0.05;
+        spec.fault.reorder_hold = SimDuration::from_millis(5);
+        let (trace, stats) = download(spec);
+        let total: usize = trace.iter().map(|&(_, b)| b).sum();
+        assert_eq!(total, 300_000);
+        assert!(stats.reordered > 0, "5% over ~200 packets should hold a few: {stats:?}");
+        // The gate keeps arrival times monotonic.
+        for w in trace.windows(2) {
+            assert!(w[1].0 >= w[0].0, "delivery went backwards: {w:?}");
+        }
+    }
+
+    #[test]
+    fn extra_jitter_changes_timing_but_not_totals() {
+        let mut spec = NetworkSpec::dsl_testbed();
+        spec.seed = 3;
+        spec.fault.extra_jitter = SimDuration::from_millis(2);
+        let (jittered, stats) = download(spec);
+        let (clean, _) = download(NetworkSpec::dsl_testbed());
+        let totals = |t: &[(u64, usize)]| t.iter().map(|&(_, b)| b).sum::<usize>();
+        assert_eq!(totals(&jittered), totals(&clean));
+        assert_eq!(stats.drops_total(), 0, "jitter alone loses nothing");
+        assert_ne!(jittered, clean, "2 ms of jitter must move timestamps");
     }
 }
 

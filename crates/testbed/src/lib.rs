@@ -8,11 +8,15 @@
 //! conditions.
 
 pub mod adoption;
+pub mod chaos;
 pub mod experiments;
 pub mod harness;
 pub mod pool;
 pub mod replay;
 
+pub use chaos::{
+    default_matrix, observe, run_config_with_faults, run_fault_matrix, ChaosCell, FaultProfile,
+};
 pub use harness::{
     compute_push_order, run_config, run_many, run_many_serial, run_many_shared, run_once, Mode,
     PAPER_RUNS,

@@ -8,7 +8,8 @@
 use bytes::{Bytes, BytesMut};
 use h2push_browser::{Browser, BrowserAction, BrowserConfig, LoadResult, TransportMode};
 use h2push_netsim::{
-    ConnId, Dir, NetEvent, Network, NetworkSpec, ServerId, ServerSpec, SimDuration, SimTime,
+    ConnId, Dir, NetEvent, NetStats, Network, NetworkSpec, ServerId, ServerSpec, SimDuration,
+    SimTime,
 };
 use h2push_server::{H1ReplayServer, ReplayServer};
 use h2push_strategies::{RunTrace, Strategy};
@@ -79,6 +80,9 @@ pub struct ReplayOutcome {
     pub trace: RunTrace,
     /// Body bytes the main server pushed.
     pub server_pushed_bytes: u64,
+    /// Network-level fault and loss-recovery counters (all zero on a
+    /// fault-free link).
+    pub net: NetStats,
 }
 
 /// Replay failure modes.
@@ -402,6 +406,7 @@ pub fn replay_shared(
         load: browser.result(),
         server_pushed_bytes: main_server.map(|s| s.pushed_bytes()).unwrap_or(0),
         trace,
+        net: net.stats(),
     })
 }
 

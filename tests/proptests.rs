@@ -77,6 +77,34 @@ proptest! {
         let mut dec = Decoder::new();
         let _ = dec.decode(&data); // may Err, must not panic
     }
+
+    #[test]
+    fn truncated_header_blocks_never_panic(
+        headers in proptest::collection::vec(header_strategy(), 1..12),
+    ) {
+        // Truncated HEADERS payloads are exactly what a dying connection
+        // feeds the decoder; any prefix must decode or Err, never panic.
+        let mut enc = Encoder::new();
+        let block = enc.encode(&headers);
+        for cut in 0..block.len() {
+            let mut dec = Decoder::new();
+            let _ = dec.decode(&block[..cut]);
+        }
+    }
+
+    #[test]
+    fn bit_flipped_header_blocks_never_panic(
+        headers in proptest::collection::vec(header_strategy(), 1..12),
+        flip in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let mut enc = Encoder::new();
+        let mut block = enc.encode(&headers);
+        let i = flip % block.len();
+        block[i] ^= 1 << bit;
+        let mut dec = Decoder::new();
+        let _ = dec.decode(&block); // may Err or mis-decode, must not panic
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -135,6 +163,38 @@ proptest! {
     #[test]
     fn frame_decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64)) {
         let _ = Frame::decode(&data, DEFAULT_MAX_FRAME_SIZE);
+    }
+
+    #[test]
+    fn truncated_frames_err_and_never_panic(frame in frame_strategy()) {
+        // Every strict prefix of a valid frame is incomplete: decode must
+        // report an error (so the connection waits for more bytes or dies
+        // gracefully), never panic, and never fabricate a frame.
+        let mut buf = Vec::new();
+        frame.encode(&mut buf);
+        for cut in 0..buf.len() {
+            prop_assert!(
+                Frame::decode(&buf[..cut], 1 << 24).is_err(),
+                "prefix of {cut}/{} bytes decoded", buf.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flipped_frames_never_panic(
+        frame in frame_strategy(),
+        flip in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        // A single flipped bit models in-flight corruption surviving the
+        // checksum; the decoder may Err or produce a different (valid)
+        // frame, but must never panic or read out of bounds.
+        let mut buf = Vec::new();
+        frame.encode(&mut buf);
+        let i = flip % buf.len();
+        buf[i] ^= 1 << bit;
+        let _ = Frame::decode(&buf, DEFAULT_MAX_FRAME_SIZE);
+        let _ = Frame::decode(&buf, 1 << 24);
     }
 
     #[test]
