@@ -45,7 +45,7 @@ fn bench_replays(c: &mut Criterion) {
     });
 
     g.bench_function("setup_shared_page", |b| {
-        let inputs = ReplayInputs::new(realworld_site(1));
+        let inputs = ReplayInputs::from(realworld_site(1));
         let cfg = ReplayConfig::testbed(Strategy::NoPush);
         b.iter(|| black_box(replay_shared(&inputs, &cfg).unwrap()));
     });

@@ -8,7 +8,7 @@
 use h2push_bench::scale_from_args;
 use h2push_metrics::RunStats;
 use h2push_strategies::{critical_set, Strategy};
-use h2push_testbed::{run_many, Mode};
+use h2push_testbed::{Mode, ReplayInputs, RunPlan};
 use h2push_webmodel::realworld_site;
 
 fn main() {
@@ -22,12 +22,22 @@ fn main() {
         scale.runs
     );
     println!("{:>10} {:>14} {:>14}", "offset", "SpeedIndex", "PLT");
-    let base = run_many(&page, &Strategy::NoPush, Mode::Testbed, scale.runs, scale.seed);
+    let inputs = ReplayInputs::from(&page);
+    let measure = |strategy: Strategy| {
+        RunPlan::new(&inputs)
+            .strategy(strategy)
+            .mode(Mode::Testbed)
+            .reps(scale.runs)
+            .seed(scale.seed)
+            .run()
+            .into_outcomes()
+    };
+    let base = measure(Strategy::NoPush);
     let base_si = RunStats::of(&base.iter().map(|o| o.load.speed_index()).collect::<Vec<_>>()).mean;
     for offset in [1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072, page.html_size()] {
         let strategy =
             Strategy::Interleaved { offset, critical: critical.clone(), after: Vec::new() };
-        let outs = run_many(&page, &strategy, Mode::Testbed, scale.runs, scale.seed);
+        let outs = measure(strategy);
         let si = RunStats::of(&outs.iter().map(|o| o.load.speed_index()).collect::<Vec<_>>());
         let plt = RunStats::of(&outs.iter().map(|o| o.load.plt()).collect::<Vec<_>>());
         println!("{:>8}KB {:>10.0} ms {:>10.0} ms", offset / 1024, si.mean, plt.mean);

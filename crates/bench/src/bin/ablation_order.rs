@@ -7,7 +7,7 @@
 use h2push_bench::scale_from_args;
 use h2push_metrics::RunStats;
 use h2push_strategies::{push_all, Strategy};
-use h2push_testbed::{compute_push_order, run_many, Mode};
+use h2push_testbed::{compute_push_order, Mode, ReplayInputs, RunPlan};
 use h2push_webmodel::{generate_site, CorpusKind, ResourceType};
 
 fn main() {
@@ -25,8 +25,15 @@ fn main() {
         reversed.reverse();
         let mut images_first = order.clone();
         images_first.sort_by_key(|&id| (page.resource(id).rtype != ResourceType::Image, id));
+        let inputs = ReplayInputs::from(&page);
         let si = |strategy: Strategy| {
-            let outs = run_many(&page, &strategy, Mode::Testbed, scale.runs, scale.seed);
+            let outs = RunPlan::new(&inputs)
+                .strategy(strategy)
+                .mode(Mode::Testbed)
+                .reps(scale.runs)
+                .seed(scale.seed)
+                .run()
+                .into_outcomes();
             RunStats::of(&outs.iter().map(|o| o.load.speed_index()).collect::<Vec<_>>()).mean
         };
         let base = si(Strategy::NoPush);

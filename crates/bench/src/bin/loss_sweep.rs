@@ -28,7 +28,7 @@ fn main() {
     let profiles: Vec<FaultProfile> = std::iter::once(FaultProfile::none())
         .chain([0.005, 0.01, 0.02, 0.05].into_iter().map(FaultProfile::gilbert_elliott))
         .collect();
-    let inputs = ReplayInputs::new(page);
+    let inputs = ReplayInputs::from(page);
 
     println!(
         "Gilbert–Elliott loss sweep on {} ({} runs/cell, seed {})",

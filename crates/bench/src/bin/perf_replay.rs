@@ -8,9 +8,7 @@
 
 use h2push_bench::scale_from_args;
 use h2push_strategies::Strategy;
-use h2push_testbed::{
-    replay, run_config, run_many_serial, run_many_shared, Mode, ReplayInputs, ReplayOutcome,
-};
+use h2push_testbed::{replay, run_config, Mode, ReplayInputs, ReplayOutcome, RunPlan};
 use h2push_webmodel::{generate_site, CorpusKind, Page};
 use std::time::Instant;
 
@@ -62,24 +60,29 @@ fn main() {
     let cold_ms = t.elapsed().as_secs_f64() * 1e3;
 
     // Serial-shared: inputs built once per site, same run loop.
-    let inputs: Vec<ReplayInputs> = pages.iter().map(|p| ReplayInputs::new(p.clone())).collect();
-    let t = Instant::now();
-    let serial: Vec<Vec<ReplayOutcome>> = inputs
+    let inputs: Vec<ReplayInputs> = pages.iter().map(ReplayInputs::from).collect();
+    let plans: Vec<RunPlan> = inputs
         .iter()
-        .map(|i| run_many_serial(i, &strategy, Mode::Testbed, runs, scale.seed))
+        .map(|i| {
+            RunPlan::new(i)
+                .strategy(strategy.clone())
+                .mode(Mode::Testbed)
+                .reps(runs)
+                .seed(scale.seed)
+        })
         .collect();
+    let t = Instant::now();
+    let serial: Vec<Vec<ReplayOutcome>> =
+        plans.iter().map(|p| p.clone().serial().run().into_outcomes()).collect();
     let serial_ms = t.elapsed().as_secs_f64() * 1e3;
 
     // Parallel-shared: the production path (pool-scheduled repetitions).
     let t = Instant::now();
-    let parallel: Vec<Vec<ReplayOutcome>> = inputs
-        .iter()
-        .map(|i| run_many_shared(i, &strategy, Mode::Testbed, runs, scale.seed))
-        .collect();
+    let parallel: Vec<Vec<ReplayOutcome>> = plans.iter().map(|p| p.run().into_outcomes()).collect();
     let parallel_ms = t.elapsed().as_secs_f64() * 1e3;
 
     assert!(outcomes_equal(&cold, &serial), "shared inputs changed replay outputs");
-    assert!(outcomes_equal(&serial, &parallel), "parallel run_many changed replay outputs");
+    assert!(outcomes_equal(&serial, &parallel), "parallel RunPlan changed replay outputs");
 
     let results =
         [("serial_cold", cold_ms), ("serial_shared", serial_ms), ("parallel_shared", parallel_ms)]

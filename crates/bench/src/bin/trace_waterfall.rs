@@ -1,0 +1,353 @@
+//! Traced replay smoke: record a timeline, write the waterfall to
+//! `results/`, and (optionally) validate the JSON export against the
+//! checked-in schema.
+//!
+//! Runs a synthetic page under no-push and the planner's interleaved
+//! recommendation, prints the interleaved text waterfall, and writes
+//! `results/waterfall_<site>_<strategy>.{txt,json}` for both. With
+//! `--check-schema` it additionally re-reads every JSON it wrote, parses
+//! it with the built-in mini JSON reader and checks it against
+//! `results/waterfall.schema.json` (required keys, value types, item
+//! shapes) — the vendored serde_json has no dynamic `Value`, so the
+//! validator is self-contained here. CI's `trace-smoke` job runs this
+//! binary; any mismatch exits non-zero.
+//!
+//! Determinism is asserted on every invocation: the run is traced twice
+//! with the same seed and both timelines must be bit-identical.
+
+use h2push_core::PushPlanner;
+use h2push_strategies::Strategy;
+use h2push_testbed::{strategy_label, write_waterfall, ReplayInputs, RunPlan};
+use h2push_trace::Timeline;
+use h2push_webmodel::{synthetic_site, Page};
+use std::path::Path;
+
+// ---------------------------------------------------------------------------
+// Mini JSON reader + structural schema check (draft-07 subset: `type`,
+// `required`, `properties`, `items`; `type` may be a string or a list).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "boolean",
+            Json::Num(n) => {
+                if n.fract() == 0.0 {
+                    "integer"
+                } else {
+                    "number"
+                }
+            }
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("JSON parse error at byte {}: {what}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self
+                .bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| self.err("unterminated string"))?
+            {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc =
+                        self.bytes.get(self.pos).copied().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Copy the full UTF-8 sequence starting here.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            pairs.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser::new(s);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data"));
+    }
+    Ok(v)
+}
+
+/// Does `value` satisfy the schema node's `type` (string or list)?
+fn type_matches(value: &Json, ty: &Json) -> bool {
+    match ty {
+        Json::Str(t) => {
+            let actual = value.type_name();
+            actual == t || (t == "number" && actual == "integer")
+        }
+        Json::Arr(options) => options.iter().any(|t| type_matches(value, t)),
+        _ => false,
+    }
+}
+
+/// Validate `value` against a draft-07 subset schema node; errors collect
+/// into `errs` with a JSON-pointer-ish path.
+fn validate(value: &Json, schema: &Json, path: &str, errs: &mut Vec<String>) {
+    if let Some(ty) = schema.get("type") {
+        if !type_matches(value, ty) {
+            errs.push(format!("{path}: expected {ty:?}, got {}", value.type_name()));
+            return;
+        }
+    }
+    if let Some(Json::Arr(required)) = schema.get("required") {
+        for key in required {
+            if let Json::Str(key) = key {
+                if value.get(key).is_none() {
+                    errs.push(format!("{path}: missing required key \"{key}\""));
+                }
+            }
+        }
+    }
+    if let (Some(Json::Obj(props)), Json::Obj(pairs)) = (schema.get("properties"), value) {
+        for (key, sub) in props {
+            if let Some((_, v)) = pairs.iter().find(|(k, _)| k == key) {
+                validate(v, sub, &format!("{path}/{key}"), errs);
+            }
+        }
+    }
+    if let (Some(items), Json::Arr(elems)) = (schema.get("items"), value) {
+        for (i, v) in elems.iter().enumerate() {
+            validate(v, items, &format!("{path}/{i}"), errs);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The smoke run itself.
+// ---------------------------------------------------------------------------
+
+fn traced_timeline(inputs: &ReplayInputs, strategy: &Strategy, seed: u64) -> Timeline {
+    let out = RunPlan::new(inputs)
+        .strategy(strategy.clone())
+        .seed(seed)
+        .traced()
+        .run_one()
+        .expect("traced replay completes");
+    out.timeline.expect("traced run records a timeline")
+}
+
+fn main() {
+    let check_schema = std::env::args().any(|a| a == "--check-schema");
+    let seed = 42u64;
+    let page: Page = synthetic_site(7);
+    let inputs = ReplayInputs::from(&page);
+    let strategies = [Strategy::NoPush, PushPlanner::static_recommendation(&page)];
+
+    let results_dir = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"));
+    let mut json_paths = Vec::new();
+    for strategy in &strategies {
+        let tl = traced_timeline(&inputs, strategy, seed);
+        // Determinism gate: rerunning the same seed must reproduce the
+        // timeline bit for bit.
+        let again = traced_timeline(&inputs, strategy, seed);
+        assert_eq!(tl, again, "same-seed timelines diverged for {}", strategy_label(strategy));
+
+        let (txt, json) = write_waterfall(results_dir, &page, strategy, seed, &tl)
+            .expect("write waterfall files");
+        println!(
+            "{}: {} events -> {} / {}",
+            strategy_label(strategy),
+            tl.len(),
+            txt.display(),
+            json.display()
+        );
+        if matches!(strategy, Strategy::Interleaved { .. }) {
+            print!("{}", std::fs::read_to_string(&txt).unwrap());
+        }
+        json_paths.push(json);
+    }
+
+    if check_schema {
+        let schema_path = results_dir.join("waterfall.schema.json");
+        let schema_src = std::fs::read_to_string(&schema_path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", schema_path.display()));
+        let schema = parse_json(&schema_src).expect("schema is valid JSON");
+        for path in &json_paths {
+            let doc = parse_json(&std::fs::read_to_string(path).unwrap())
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            let mut errs = Vec::new();
+            validate(&doc, &schema, "", &mut errs);
+            if !errs.is_empty() {
+                eprintln!("{}: schema violations:", path.display());
+                for e in &errs {
+                    eprintln!("  {e}");
+                }
+                std::process::exit(1);
+            }
+            println!("{}: schema OK", path.display());
+        }
+    }
+}

@@ -32,6 +32,7 @@ use h2push_h2proto::{
 };
 use h2push_hpack::Header;
 use h2push_netsim::{SimDuration, SimTime};
+use h2push_trace::{conn_label, TraceEvent, TraceHandle};
 use h2push_webmodel::{Discovery, Page, ResourceId, ResourceType, ScriptMode};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -282,6 +283,7 @@ pub struct Browser {
     timeouts: u32,
     conn_errors: u32,
     actions: Vec<BrowserAction>,
+    trace: TraceHandle,
 }
 
 impl Browser {
@@ -367,7 +369,14 @@ impl Browser {
             timeouts: 0,
             conn_errors: 0,
             actions: Vec::new(),
+            trace: TraceHandle::off(),
         }
+    }
+
+    /// Attach a trace handle before [`Browser::start`]. Forwarded to every
+    /// HTTP/2 client connection the browser opens; purely observational.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Begin navigation: opens the main connection and requests the
@@ -509,11 +518,14 @@ impl Browser {
             return;
         }
         let slot = self.next_h2_slot.get(&group).copied().unwrap_or(0);
-        let conn = Connection::client(Settings {
+        let mut conn = Connection::client(Settings {
             enable_push: Some(self.cfg.enable_push),
             initial_window_size: Some(self.cfg.initial_window),
             ..Default::default()
         });
+        if self.trace.is_on() {
+            conn.set_trace(self.trace.clone(), conn_label(group, slot));
+        }
         self.conns.insert(group, ConnState { conn, chain: Vec::new(), digest_sent: false, slot });
         self.actions.push(BrowserAction::OpenConnection { group, slot });
     }
@@ -524,6 +536,7 @@ impl Browser {
         }
         self.res[rid.0].discovered = true;
         self.res[rid.0].timing.discovered.get_or_insert(now);
+        self.trace.emit_at(now.as_micros(), TraceEvent::ResourceDiscovered { resource: rid.0 });
         if self.res[rid.0].state != ResState::Undiscovered {
             // Already being pushed.
             return;
@@ -594,7 +607,8 @@ impl Browser {
         debug_assert_eq!(stream, spec_stream);
         self.stream_map.insert((group, stream), rid);
         self.requests += 1;
-        let _ = now;
+        self.trace
+            .emit_at(now.as_micros(), TraceEvent::RequestSent { resource: rid.0, group, stream });
     }
 
     /// Assign queued HTTP/1.1 fetches to idle pool slots, opening new
@@ -780,6 +794,7 @@ impl Browser {
     /// reopens on the next slot) and retry or fail every resource that was
     /// in flight on it.
     fn conn_failed(&mut self, group: usize, now: SimTime) {
+        self.trace.emit_at(now.as_micros(), TraceEvent::ConnError { group });
         if let Some(cs) = self.conns.remove(&group) {
             self.next_h2_slot.insert(group, cs.slot + 1);
         }
@@ -845,6 +860,7 @@ impl Browser {
             return;
         }
         self.res[rid.0].state = ResState::Failed;
+        self.trace.emit_at(now.as_micros(), TraceEvent::ResourceFailed { resource: rid.0 });
         if rid.0 == 0 {
             // The document itself is unrecoverable: keep whatever rendered.
             self.give_up(now);
@@ -891,8 +907,10 @@ impl Browser {
         self.parser_done = true;
         if self.dcl.is_none() {
             self.dcl = Some(now);
+            self.trace.emit_at(now.as_micros(), TraceEvent::DomContentLoaded);
         }
         self.onload = Some(now);
+        self.trace.emit_at(now.as_micros(), TraceEvent::Onload);
     }
 
     fn handle_push_promise(&mut self, group: usize, promised: u32, headers: &[Header]) {
@@ -921,11 +939,17 @@ impl Browser {
                 let cs = self.conns.get_mut(&group).expect("push on unknown group");
                 cs.conn.reset(promised, ErrorCode::Cancel);
                 self.cancelled_pushes += 1;
+                self.trace.emit(TraceEvent::PushCancelled { group, stream: promised });
             }
             Some(id) if self.res[id.0].state == ResState::Undiscovered => {
                 self.res[id.0].state = ResState::Fetching;
                 self.res[id.0].pushed = true;
                 self.stream_map.insert((group, promised), id);
+                self.trace.emit(TraceEvent::PushAccepted {
+                    resource: id.0,
+                    group,
+                    stream: promised,
+                });
                 // Chromium reprioritizes accepted pushes into its exclusive
                 // dependency chain by resource type, exactly like its own
                 // requests — otherwise later requests (which splice
@@ -944,6 +968,7 @@ impl Browser {
                 let cs = self.conns.get_mut(&group).expect("push on unknown group");
                 cs.conn.reset(promised, ErrorCode::Cancel);
                 self.cancelled_pushes += 1;
+                self.trace.emit(TraceEvent::PushCancelled { group, stream: promised });
             }
         }
     }
@@ -984,6 +1009,7 @@ impl Browser {
             info.state = ResState::Loaded;
             info.timing.loaded.get_or_insert(now);
             info.timing.pushed = info.pushed;
+            self.trace.emit_at(now.as_micros(), TraceEvent::ResourceLoaded { resource: rid.0 });
         }
         if info.pushed {
             self.pushed_count += 1;
@@ -1125,6 +1151,7 @@ impl Browser {
         }
         if self.dcl.is_none() {
             self.dcl = Some(now);
+            self.trace.emit_at(now.as_micros(), TraceEvent::DomContentLoaded);
         }
     }
 
@@ -1199,6 +1226,7 @@ impl Browser {
     fn finish_eval(&mut self, rid: ResourceId, now: SimTime) {
         self.res[rid.0].state = ResState::Evaluated;
         self.res[rid.0].timing.evaluated.get_or_insert(now);
+        self.trace.emit_at(now.as_micros(), TraceEvent::ResourceEvaluated { resource: rid.0 });
         let page = Arc::clone(&self.page);
         let r = page.resource(rid);
         // Children discovered by this resource.
@@ -1297,6 +1325,9 @@ impl Browser {
             let c = self.completeness();
             if c > self.last_completeness + 1e-12 {
                 self.last_completeness = c;
+                if self.first_paint.is_none() {
+                    self.trace.emit_at(now.as_micros(), TraceEvent::FirstPaint);
+                }
                 self.first_paint.get_or_insert(now);
                 self.paints.push(PaintSample { time: now, completeness: c });
             }
@@ -1310,6 +1341,7 @@ impl Browser {
             })
         {
             self.onload = Some(now);
+            self.trace.emit_at(now.as_micros(), TraceEvent::Onload);
             // Whatever is painted by onload is the final frame: close the
             // visual progress curve — unless resources failed, in which
             // case the curve honestly stays below 1.0 (SpeedIndex then
@@ -1317,6 +1349,9 @@ impl Browser {
             let any_failed = self.res.iter().any(|i| i.state == ResState::Failed);
             if !any_failed && self.last_completeness < 1.0 {
                 self.last_completeness = 1.0;
+                if self.first_paint.is_none() {
+                    self.trace.emit_at(now.as_micros(), TraceEvent::FirstPaint);
+                }
                 self.first_paint.get_or_insert(now);
                 self.paints.push(PaintSample { time: now, completeness: 1.0 });
             }

@@ -27,7 +27,7 @@ pub mod planner;
 pub use planner::{Candidate, Plan, PushPlanner};
 
 use h2push_strategies::Strategy;
-use h2push_testbed::{replay_shared, run_once, ReplayConfig, ReplayError, ReplayInputs};
+use h2push_testbed::{ReplayConfig, ReplayError, ReplayInputs, RunPlan};
 use h2push_webmodel::Page;
 
 /// Headline metrics of one deterministic replay.
@@ -51,7 +51,8 @@ pub struct Evaluation {
 /// on the same page, build [`ReplayInputs`] once and use
 /// [`evaluate_shared`].
 pub fn evaluate(page: &Page, strategy: Strategy) -> Result<Evaluation, ReplayError> {
-    summarize_outcome(run_once(page, strategy)?)
+    let run = RunPlan::new(page).config(ReplayConfig::testbed(strategy)).run_one()?;
+    summarize_outcome(run.outcome)
 }
 
 /// [`evaluate`] over pre-built shared inputs (no page clone, no re-record).
@@ -59,7 +60,8 @@ pub fn evaluate_shared(
     inputs: &ReplayInputs,
     strategy: Strategy,
 ) -> Result<Evaluation, ReplayError> {
-    summarize_outcome(replay_shared(inputs, &ReplayConfig::testbed(strategy))?)
+    let run = RunPlan::new(inputs).config(ReplayConfig::testbed(strategy)).run_one()?;
+    summarize_outcome(run.outcome)
 }
 
 fn summarize_outcome(out: h2push_testbed::ReplayOutcome) -> Result<Evaluation, ReplayError> {
@@ -97,7 +99,7 @@ mod tests {
     fn evaluate_shared_matches_evaluate() {
         let page = synthetic_site(7);
         let cold = evaluate(&page, Strategy::NoPush).unwrap();
-        let inputs = ReplayInputs::new(page);
+        let inputs = ReplayInputs::from(page);
         let shared = evaluate_shared(&inputs, Strategy::NoPush).unwrap();
         assert_eq!(cold, shared);
     }

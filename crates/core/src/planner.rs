@@ -7,7 +7,7 @@
 //! loop on top of the replay testbed.
 
 use h2push_strategies::{critical_set, interleave_offset, paper_strategy, PaperStrategy, Strategy};
-use h2push_testbed::{run_many, Mode};
+use h2push_testbed::{Mode, RunPlan};
 use h2push_webmodel::Page;
 
 /// A candidate strategy with its measured performance.
@@ -82,7 +82,13 @@ impl PushPlanner {
             .iter()
             .map(|&which| {
                 let (variant, strategy) = paper_strategy(page, which);
-                let outcomes = run_many(&variant, &strategy, Mode::Testbed, self.runs, self.seed);
+                let outcomes = RunPlan::new(&variant)
+                    .strategy(strategy.clone())
+                    .mode(Mode::Testbed)
+                    .reps(self.runs)
+                    .seed(self.seed)
+                    .run()
+                    .into_outcomes();
                 assert!(!outcomes.is_empty(), "all validation runs failed for {}", which.label());
                 let mut sis: Vec<f64> = outcomes.iter().map(|o| o.load.speed_index()).collect();
                 let mut plts: Vec<f64> = outcomes.iter().map(|o| o.load.plt()).collect();

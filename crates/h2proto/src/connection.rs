@@ -17,6 +17,7 @@ use crate::priority::PriorityTree;
 use crate::scheduler::{Scheduler, StreamSnapshot};
 use bytes::{Bytes, BytesMut};
 use h2push_hpack::{Decoder as HpackDecoder, Encoder as HpackEncoder, Header};
+use h2push_trace::{FrameKind as TraceFrameKind, TraceEvent, TraceHandle};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Which side of the connection this endpoint is.
@@ -133,6 +134,31 @@ pub struct Connection {
     conn_recv_consumed: usize,
     goaway_received: bool,
     dead: bool,
+    trace: TraceHandle,
+    /// Replay connection label stamped into trace events.
+    trace_conn: u32,
+}
+
+/// `(kind, stream, payload bytes)` of a frame, for trace stamping only.
+fn frame_meta(frame: &Frame) -> (TraceFrameKind, u32, u32) {
+    match frame {
+        Frame::Data { stream, len, .. } => (TraceFrameKind::Data, *stream, *len as u32),
+        Frame::Headers { stream, block, .. } => {
+            (TraceFrameKind::Headers, *stream, block.len() as u32)
+        }
+        Frame::Priority { stream, .. } => (TraceFrameKind::Priority, *stream, 5),
+        Frame::RstStream { stream, .. } => (TraceFrameKind::RstStream, *stream, 4),
+        Frame::Settings { .. } => (TraceFrameKind::Settings, 0, 0),
+        Frame::PushPromise { stream, block, .. } => {
+            (TraceFrameKind::PushPromise, *stream, block.len() as u32 + 4)
+        }
+        Frame::Ping { .. } => (TraceFrameKind::Ping, 0, 8),
+        Frame::GoAway { .. } => (TraceFrameKind::Goaway, 0, 8),
+        Frame::WindowUpdate { stream, .. } => (TraceFrameKind::WindowUpdate, *stream, 4),
+        Frame::Continuation { stream, block, .. } => {
+            (TraceFrameKind::Continuation, *stream, block.len() as u32)
+        }
+    }
 }
 
 impl Connection {
@@ -186,12 +212,29 @@ impl Connection {
             conn_recv_consumed: 0,
             goaway_received: false,
             dead: false,
+            trace: TraceHandle::off(),
+            trace_conn: 0,
         }
     }
 
     /// Our role.
     pub fn role(&self) -> Role {
         self.role
+    }
+
+    /// Attach a trace handle; `conn` is the label stamped into every frame
+    /// event from this endpoint. Timestamps come from the handle's shared
+    /// clock (frame encoding has no time parameter of its own).
+    pub fn set_trace(&mut self, trace: TraceHandle, conn: u32) {
+        self.trace = trace;
+        self.trace_conn = conn;
+    }
+
+    fn trace_role(&self) -> h2push_trace::Role {
+        match self.role {
+            Role::Client => h2push_trace::Role::Client,
+            Role::Server => h2push_trace::Role::Server,
+        }
     }
 
     /// The priority tree as currently negotiated.
@@ -225,6 +268,21 @@ impl Connection {
     }
 
     fn queue_frame(&mut self, frame: Frame) {
+        if self.trace.is_on() {
+            let (kind, stream, bytes) = frame_meta(&frame);
+            let end_stream = matches!(
+                frame,
+                Frame::Headers { end_stream: true, .. } | Frame::Data { end_stream: true, .. }
+            );
+            self.trace.emit(TraceEvent::FrameSent {
+                conn: self.trace_conn,
+                role: self.trace_role(),
+                stream,
+                kind,
+                bytes,
+                end_stream,
+            });
+        }
         let mut buf = Vec::new();
         frame.encode(&mut buf);
         self.control.push_back(Bytes::from(buf));
@@ -473,6 +531,21 @@ impl Connection {
             self.conn_send_window -= chunk as i64;
             let end_stream = s.out.fin && s.out.queued == 0;
             Frame::Data { stream: id, len: chunk, end_stream }.encode(&mut out);
+            if self.trace.is_on() {
+                self.trace.emit(TraceEvent::SchedulerPick {
+                    conn: self.trace_conn,
+                    stream: id,
+                    bytes: chunk as u32,
+                });
+                self.trace.emit(TraceEvent::FrameSent {
+                    conn: self.trace_conn,
+                    role: self.trace_role(),
+                    stream: id,
+                    kind: TraceFrameKind::Data,
+                    bytes: chunk as u32,
+                    end_stream,
+                });
+            }
             scheduler.charge(id, chunk, &self.tree);
             if end_stream {
                 self.close_send_side(id);
@@ -564,6 +637,16 @@ impl Connection {
         if pending.is_some() && !matches!(frame, Frame::Continuation { .. }) {
             return Err(ConnError::ExpectedContinuation);
         }
+        if self.trace.is_on() {
+            let (kind, stream, bytes) = frame_meta(&frame);
+            self.trace.emit(TraceEvent::FrameReceived {
+                conn: self.trace_conn,
+                role: self.trace_role(),
+                stream,
+                kind,
+                bytes,
+            });
+        }
         match frame {
             Frame::Settings { ack, settings } => {
                 if ack {
@@ -592,8 +675,20 @@ impl Connection {
             Frame::WindowUpdate { stream, increment } => {
                 if stream == 0 {
                     self.conn_send_window += increment as i64;
+                    self.trace.emit(TraceEvent::WindowUpdate {
+                        conn: self.trace_conn,
+                        role: self.trace_role(),
+                        stream: 0,
+                        increment,
+                    });
                 } else if let Some(s) = self.streams.get_mut(&stream) {
                     s.send_window += increment as i64;
+                    self.trace.emit(TraceEvent::WindowUpdate {
+                        conn: self.trace_conn,
+                        role: self.trace_role(),
+                        stream,
+                        increment,
+                    });
                 }
             }
             Frame::Priority { stream, spec } => {

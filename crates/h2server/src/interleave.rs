@@ -10,6 +10,7 @@
 //! head.
 
 use h2push_h2proto::{DefaultScheduler, PriorityTree, Scheduler, StreamSnapshot};
+use h2push_trace::{TraceEvent, TraceHandle};
 
 /// Scheduler phases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +35,7 @@ pub struct InterleavingScheduler {
     /// Pushed streams to interleave, in push order.
     critical: Vec<u32>,
     phase: Phase,
+    trace: TraceHandle,
 }
 
 impl InterleavingScheduler {
@@ -45,7 +47,14 @@ impl InterleavingScheduler {
             offset: offset as u64,
             critical: Vec::new(),
             phase: Phase::Head,
+            trace: TraceHandle::off(),
         }
+    }
+
+    /// Attach a trace handle; suspend/resume decisions are stamped with
+    /// the handle's shared clock (`pick` has no time parameter).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Register the parent (document) stream.
@@ -86,6 +95,10 @@ impl Scheduler for InterleavingScheduler {
                                 streams.iter().find(|s| s.id == parent).map(|s| s.sent);
                             if parent_sent.map(|s| s >= self.offset).unwrap_or(true) {
                                 self.phase = Phase::Critical;
+                                self.trace.emit(TraceEvent::InterleaveSuspend {
+                                    parent,
+                                    offset: self.offset,
+                                });
                                 continue;
                             }
                             // Parent exists but is flow-blocked below the
@@ -105,6 +118,9 @@ impl Scheduler for InterleavingScheduler {
                     // server promises them before any DATA is produced, so
                     // an empty list means there are none): resume.
                     self.phase = Phase::Resume;
+                    if let Some(parent) = self.parent {
+                        self.trace.emit(TraceEvent::InterleaveResume { parent });
+                    }
                     continue;
                 }
                 Phase::Resume => return self.inner.pick(streams, tree),

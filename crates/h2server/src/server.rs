@@ -15,6 +15,7 @@ use h2push_h2proto::{
 use h2push_hpack::Header;
 use h2push_netsim::SimTime;
 use h2push_strategies::Strategy;
+use h2push_trace::{TraceEvent, TraceHandle};
 use h2push_webmodel::{Page, RecordDb, ResourceId};
 use std::sync::Arc;
 
@@ -81,6 +82,9 @@ pub struct ReplayServer {
     /// The first fatal connection error, if any (the connection is dead
     /// after it; remaining queued bytes — the GOAWAY — still drain).
     fatal_error: Option<ConnError>,
+    trace: TraceHandle,
+    /// Replay connection label stamped into push events.
+    trace_conn: u32,
 }
 
 impl ReplayServer {
@@ -112,7 +116,20 @@ impl ReplayServer {
             digest_suppressed: 0,
             protocol_errors: 0,
             fatal_error: None,
+            trace: TraceHandle::off(),
+            trace_conn: 0,
         }
+    }
+
+    /// Attach a trace handle, forwarded to the HTTP/2 endpoint and the
+    /// scheduler; `conn` is the replay connection label.
+    pub fn set_trace(&mut self, trace: TraceHandle, conn: u32) {
+        self.conn.set_trace(trace.clone(), conn);
+        if let Some(il) = self.sched.interleaving() {
+            il.set_trace(trace.clone());
+        }
+        self.trace = trace;
+        self.trace_conn = conn;
     }
 
     /// Control whether `cache-digest` headers suppress pushes (on by
@@ -290,6 +307,13 @@ impl ReplayServer {
         let Some(promised) = self.conn.push_promise(parent, &req) else {
             return; // peer disabled push, or parent gone
         };
+        self.trace.emit(TraceEvent::PushPromised {
+            conn: self.trace_conn,
+            parent,
+            promised,
+            resource: rid.0,
+            critical,
+        });
         if critical {
             if let Some(il) = self.sched.interleaving() {
                 il.add_critical(promised);

@@ -38,6 +38,7 @@ use crate::fault::{FaultSpec, FaultState, NetStats};
 use crate::link::{Link, LinkSpec, Transmit};
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
+use h2push_trace::{DropCause, TraceEvent, TraceHandle};
 
 /// Maximum TCP segment payload (Ethernet MTU minus 40 bytes of headers).
 pub const MSS: usize = 1460;
@@ -338,6 +339,7 @@ pub struct Network {
     /// independently); seeded from `spec.seed`, separate from `rng`.
     fault_states: [FaultState; 2],
     stats: NetStats,
+    trace: TraceHandle,
 }
 
 impl Network {
@@ -360,7 +362,15 @@ impl Network {
             delivered_total: 0,
             fault_states,
             stats: NetStats::default(),
+            trace: TraceHandle::off(),
         }
+    }
+
+    /// Attach a trace handle. Observational only: emitting events draws no
+    /// randomness and schedules nothing, so traced and untraced runs of
+    /// the same spec are byte-identical.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Current simulation time.
@@ -477,6 +487,7 @@ impl Network {
             }
             Ev::Rto { conn, dir, bytes } => {
                 self.stats.retransmits += 1;
+                self.trace.emit_at(self.now.as_micros(), TraceEvent::Retransmit { conn });
                 let d = &mut self.conns[conn].dirs[dir.idx()];
                 d.rtos_outstanding = d.rtos_outstanding.saturating_sub(1);
                 d.in_flight = d.in_flight.saturating_sub(bytes);
@@ -509,6 +520,7 @@ impl Network {
             Kind::Handshake { left } => {
                 if left == 0 {
                     self.conns[conn].established = true;
+                    self.trace.emit_at(self.now.as_micros(), TraceEvent::Connected { conn });
                     self.try_transmit(conn, Dir::Up);
                     self.try_transmit(conn, Dir::Down);
                     Some(NetEvent::Connected { conn: ConnId(conn) })
@@ -642,6 +654,10 @@ impl Network {
             if let Some(flap) = self.spec.fault.active_flap(self.now).copied() {
                 if is_data {
                     self.stats.drops_flap += 1;
+                    self.trace.emit_at(
+                        self.now.as_micros(),
+                        TraceEvent::FaultDrop { conn, cause: DropCause::Flap },
+                    );
                     self.drop_data(conn, dir, bytes);
                 } else {
                     let at = (flap.end() + SimDuration::from_micros(1000)).max(self.now);
@@ -708,13 +724,17 @@ impl Network {
                 // ACK segments always get through (documented simplification
                 // — the DSL profile of the paper is loss-free anyway).
                 if is_data {
-                    if random_loss {
+                    let cause = if random_loss {
                         self.stats.drops_random += 1;
+                        DropCause::Random
                     } else if fault_loss {
                         self.stats.drops_fault += 1;
+                        DropCause::Fault
                     } else {
                         self.stats.drops_queue += 1;
-                    }
+                        DropCause::Queue
+                    };
+                    self.trace.emit_at(self.now.as_micros(), TraceEvent::FaultDrop { conn, cause });
                     self.drop_data(conn, dir, bytes);
                 } else {
                     // Fall back to delivering after the queue drains: treat

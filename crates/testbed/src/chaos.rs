@@ -11,8 +11,8 @@
 //! exactly.
 
 use crate::harness::{run_config, Mode};
-use crate::pool::parallel_indexed;
-use crate::replay::{replay_shared, ReplayConfig, ReplayInputs, ReplayOutcome};
+use crate::plan::RunPlan;
+use crate::replay::{ReplayConfig, ReplayInputs, ReplayOutcome};
 use h2push_metrics::{percentile, FaultObservation, LossRecovery};
 use h2push_netsim::{FaultSpec, SimDuration, SimTime};
 use h2push_strategies::Strategy;
@@ -96,8 +96,19 @@ pub fn default_matrix() -> Vec<FaultProfile> {
     ]
 }
 
+/// Layer `profile` onto an already-derived replay config: the profile's
+/// fault spec plus its browser hardening, leaving every other knob (and
+/// every RNG draw that produced it) untouched.
+pub fn apply_profile(cfg: &mut ReplayConfig, profile: &FaultProfile) {
+    cfg.network.fault = profile.fault.clone();
+    cfg.browser.resource_timeout = profile.resource_timeout;
+    cfg.browser.max_retries = profile.max_retries;
+    cfg.browser.load_deadline = profile.load_deadline;
+}
+
 /// [`run_config`] with `profile` layered on top: same per-run RNG draws,
 /// same network seed, plus the profile's fault spec and browser hardening.
+#[deprecated(note = "use `RunPlan::new(page).faults(profile)`, or `apply_profile` on a config")]
 pub fn run_config_with_faults(
     strategy: &Strategy,
     mode: Mode,
@@ -106,10 +117,7 @@ pub fn run_config_with_faults(
     profile: &FaultProfile,
 ) -> ReplayConfig {
     let mut cfg = run_config(strategy, mode, run_seed, page);
-    cfg.network.fault = profile.fault.clone();
-    cfg.browser.resource_timeout = profile.resource_timeout;
-    cfg.browser.max_retries = profile.max_retries;
-    cfg.browser.load_deadline = profile.load_deadline;
+    apply_profile(&mut cfg, profile);
     cfg
 }
 
@@ -174,19 +182,14 @@ pub fn run_fault_matrix(
     let mut cells = Vec::with_capacity(strategies.len() * profiles.len());
     for profile in profiles {
         for strategy in strategies {
-            let outcomes: Vec<ReplayOutcome> = parallel_indexed(runs, |r| {
-                let cfg = run_config_with_faults(
-                    strategy,
-                    Mode::Testbed,
-                    seed.wrapping_add(r as u64),
-                    &inputs.page,
-                    profile,
-                );
-                replay_shared(inputs, &cfg).ok()
-            })
-            .into_iter()
-            .flatten()
-            .collect();
+            let outcomes: Vec<ReplayOutcome> = RunPlan::new(inputs)
+                .strategy(strategy.clone())
+                .mode(Mode::Testbed)
+                .reps(runs)
+                .seed(seed)
+                .faults(profile.clone())
+                .run()
+                .into_outcomes();
             let mut recovery = LossRecovery::new();
             for out in &outcomes {
                 recovery.record(observe(out));
@@ -209,7 +212,20 @@ pub fn run_fault_matrix(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::replay::replay_shared;
     use h2push_webmodel::{PageBuilder, ResourceId, ResourceSpec};
+
+    fn with_profile(
+        strategy: &Strategy,
+        mode: Mode,
+        seed: u64,
+        page: &Page,
+        profile: &FaultProfile,
+    ) -> ReplayConfig {
+        let mut cfg = run_config(strategy, mode, seed, page);
+        apply_profile(&mut cfg, profile);
+        cfg
+    }
 
     fn page() -> Page {
         let mut b = PageBuilder::new("chaos", "chaos.test", 50_000, 4_000);
@@ -236,13 +252,12 @@ mod tests {
 
     #[test]
     fn zero_fault_profile_is_byte_identical_to_the_plain_harness() {
-        let inputs = ReplayInputs::new(page());
+        let inputs = ReplayInputs::from(page());
         let profile = FaultProfile::none();
         for strategy in &strategies() {
             for seed in [0u64, 7, 42] {
                 let plain = run_config(strategy, Mode::Testbed, seed, &inputs.page);
-                let faulted =
-                    run_config_with_faults(strategy, Mode::Testbed, seed, &inputs.page, &profile);
+                let faulted = with_profile(strategy, Mode::Testbed, seed, &inputs.page, &profile);
                 let a = replay_shared(&inputs, &plain).unwrap();
                 let b = replay_shared(&inputs, &faulted).unwrap();
                 assert_eq!(a.load, b.load, "strategy {strategy:?} seed {seed}");
@@ -260,7 +275,7 @@ mod tests {
         // The ISSUE acceptance check: a seeded 2 % Gilbert–Elliott profile
         // across the full strategy matrix completes without panics and two
         // reruns of the same seed agree on every output.
-        let inputs = ReplayInputs::new(page());
+        let inputs = ReplayInputs::from(page());
         let profile = FaultProfile::gilbert_elliott(0.02);
         let strategies = strategies();
         // Burst loss is rare by construction (mean burst every ~190
@@ -272,8 +287,7 @@ mod tests {
                 .iter()
                 .flat_map(|s| {
                     seeds.iter().map(|&seed| {
-                        let cfg =
-                            run_config_with_faults(s, Mode::Testbed, seed, &inputs.page, &profile);
+                        let cfg = with_profile(s, Mode::Testbed, seed, &inputs.page, &profile);
                         replay_shared(&inputs, &cfg).expect("faulty replay completes")
                     })
                 })
@@ -294,7 +308,7 @@ mod tests {
 
     #[test]
     fn fault_matrix_aggregates_per_cell() {
-        let inputs = ReplayInputs::new(page());
+        let inputs = ReplayInputs::from(page());
         let profiles = vec![FaultProfile::none(), FaultProfile::gilbert_elliott(0.02)];
         let strategies = vec![Strategy::NoPush];
         let cells = run_fault_matrix(&inputs, &strategies, &profiles, 3, 1);
@@ -314,8 +328,8 @@ mod tests {
 
     #[test]
     fn observe_bridges_net_and_load_counters() {
-        let inputs = ReplayInputs::new(page());
-        let cfg = run_config_with_faults(
+        let inputs = ReplayInputs::from(page());
+        let cfg = with_profile(
             &Strategy::NoPush,
             Mode::Testbed,
             3,

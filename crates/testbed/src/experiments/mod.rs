@@ -11,7 +11,8 @@ pub mod fig5;
 pub mod fig6;
 pub mod types_study;
 
-use crate::harness::{run_many, Mode};
+use crate::harness::Mode;
+use crate::plan::RunPlan;
 use crate::replay::ReplayOutcome;
 use h2push_metrics::RunStats;
 use h2push_strategies::Strategy;
@@ -64,7 +65,13 @@ pub fn measure(
     runs: usize,
     seed: u64,
 ) -> SiteMetrics {
-    let outcomes = run_many(page, strategy, mode, runs, seed);
+    let outcomes = RunPlan::new(page)
+        .strategy(strategy.clone())
+        .mode(mode)
+        .reps(runs)
+        .seed(seed)
+        .run()
+        .into_outcomes();
     summarize(&page.name, &outcomes)
 }
 
@@ -88,7 +95,7 @@ pub fn summarize(site: &str, outcomes: &[ReplayOutcome]) -> SiteMetrics {
 ///
 /// Built on the global worker-token pool: results land in per-worker
 /// buffers and are merged in index order, with no lock around the output,
-/// and a `run_many` nested inside `f` shares the same core budget instead
+/// and a `RunPlan::run` nested inside `f` shares the same core budget instead
 /// of oversubscribing.
 pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where

@@ -10,8 +10,8 @@
 //!   distance and server think time per run, and adds a little loss —
 //!   recreating the wild-measurement variance the testbed removes.
 
-use crate::pool::parallel_indexed;
-use crate::replay::{replay_shared, ReplayConfig, ReplayError, ReplayInputs, ReplayOutcome};
+use crate::plan::RunPlan;
+use crate::replay::{ReplayConfig, ReplayError, ReplayInputs, ReplayOutcome};
 use h2push_netsim::SimDuration;
 use h2push_strategies::{majority_order, RunTrace, Strategy};
 use h2push_webmodel::{Page, ResourceId};
@@ -69,9 +69,7 @@ pub fn run_config(strategy: &Strategy, mode: Mode, run_seed: u64, page: &Page) -
 
 /// Replay `page` `runs` times under `strategy`; failed runs are dropped
 /// (and must be rare — callers may assert on the count).
-///
-/// Records the page once, then runs the repetitions in parallel (see
-/// [`run_many_shared`]); results are identical to the serial path.
+#[deprecated(note = "use `RunPlan::new(page).strategy(…).mode(…).reps(…).seed(…).run()`")]
 pub fn run_many(
     page: &Page,
     strategy: &Strategy,
@@ -79,17 +77,17 @@ pub fn run_many(
     runs: usize,
     seed: u64,
 ) -> Vec<ReplayOutcome> {
-    run_many_shared(&ReplayInputs::new(page.clone()), strategy, mode, runs, seed)
+    RunPlan::new(page)
+        .strategy(strategy.clone())
+        .mode(mode)
+        .reps(runs)
+        .seed(seed)
+        .run()
+        .into_outcomes()
 }
 
 /// The parallel repetition loop over pre-built shared inputs.
-///
-/// Every run is seeded independently (`seed + r`) and each replay is a
-/// pure function of `(inputs, cfg)`, so executing the repetitions on
-/// worker threads and collecting them in run order is bit-identical to
-/// [`run_many_serial`]. Nested under a site-level `parallel_map`, the pool
-/// budget flattens (site × run) work onto the cores without
-/// oversubscription.
+#[deprecated(note = "use `RunPlan::new(inputs).strategy(…).mode(…).reps(…).seed(…).run()`")]
 pub fn run_many_shared(
     inputs: &ReplayInputs,
     strategy: &Strategy,
@@ -97,16 +95,17 @@ pub fn run_many_shared(
     runs: usize,
     seed: u64,
 ) -> Vec<ReplayOutcome> {
-    parallel_indexed(runs, |r| {
-        let cfg = run_config(strategy, mode, seed.wrapping_add(r as u64), &inputs.page);
-        replay_shared(inputs, &cfg).ok()
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+    RunPlan::new(inputs)
+        .strategy(strategy.clone())
+        .mode(mode)
+        .reps(runs)
+        .seed(seed)
+        .run()
+        .into_outcomes()
 }
 
 /// The serial reference loop (determinism tests, benchmark baseline).
+#[deprecated(note = "use `RunPlan::new(inputs).reps(…).serial().run()`")]
 pub fn run_many_serial(
     inputs: &ReplayInputs,
     strategy: &Strategy,
@@ -114,17 +113,20 @@ pub fn run_many_serial(
     runs: usize,
     seed: u64,
 ) -> Vec<ReplayOutcome> {
-    (0..runs)
-        .filter_map(|r| {
-            let cfg = run_config(strategy, mode, seed.wrapping_add(r as u64), &inputs.page);
-            replay_shared(inputs, &cfg).ok()
-        })
-        .collect()
+    RunPlan::new(inputs)
+        .strategy(strategy.clone())
+        .mode(mode)
+        .reps(runs)
+        .seed(seed)
+        .serial()
+        .run()
+        .into_outcomes()
 }
 
 /// Replay once in deterministic testbed conditions (seed 0).
+#[deprecated(note = "use `RunPlan::new(page).config(ReplayConfig::testbed(strategy)).run_one()`")]
 pub fn run_once(page: &Page, strategy: Strategy) -> Result<ReplayOutcome, ReplayError> {
-    replay_shared(&ReplayInputs::new(page.clone()), &ReplayConfig::testbed(strategy))
+    RunPlan::new(page).config(ReplayConfig::testbed(strategy)).run_one().map(|r| r.outcome)
 }
 
 /// §4.2 "Computing the Push Order": replay without push `runs` times,
@@ -132,12 +134,13 @@ pub fn run_once(page: &Page, strategy: Strategy) -> Result<ReplayOutcome, Replay
 /// Returns only pushable resources (the order is computed on the initial
 /// connection to the origin server, so everything in it is pushable).
 pub fn compute_push_order(page: &Page, runs: usize, seed: u64) -> Vec<ResourceId> {
-    let outcomes = run_many(page, &Strategy::NoPush, Mode::Testbed, runs, seed);
+    let outcomes = RunPlan::new(page).reps(runs).seed(seed).run().into_outcomes();
     let traces: Vec<RunTrace> = outcomes.into_iter().map(|o| o.trace).collect();
     majority_order(&traces).into_iter().filter(|&id| id != ResourceId(0)).collect()
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims must stay byte-identical to RunPlan
 mod tests {
     use super::*;
     use h2push_webmodel::{PageBuilder, ResourceSpec};
@@ -165,7 +168,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial_in_testbed_mode() {
-        let inputs = ReplayInputs::new(page());
+        let inputs = ReplayInputs::from(page());
         let strategy = Strategy::NoPush;
         let par = run_many_shared(&inputs, &strategy, Mode::Testbed, 9, 42);
         let ser = run_many_serial(&inputs, &strategy, Mode::Testbed, 9, 42);
@@ -174,7 +177,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial_in_internet_mode() {
-        let inputs = ReplayInputs::new(page());
+        let inputs = ReplayInputs::from(page());
         let strategy = Strategy::PushList { order: vec![ResourceId(1), ResourceId(2)] };
         let par = run_many_shared(&inputs, &strategy, Mode::Internet, 9, 7);
         let ser = run_many_serial(&inputs, &strategy, Mode::Internet, 9, 7);
@@ -185,7 +188,7 @@ mod tests {
     fn run_many_equals_shared_path() {
         let p = page();
         let via_page = run_many(&p, &Strategy::NoPush, Mode::Testbed, 3, 0);
-        let inputs = ReplayInputs::new(p);
+        let inputs = ReplayInputs::from(p);
         let via_inputs = run_many_shared(&inputs, &Strategy::NoPush, Mode::Testbed, 3, 0);
         assert_identical(&via_page, &via_inputs);
     }

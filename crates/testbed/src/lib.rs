@@ -11,17 +11,23 @@ pub mod adoption;
 pub mod chaos;
 pub mod experiments;
 pub mod harness;
+pub mod plan;
 pub mod pool;
 pub mod replay;
+pub mod waterfall;
 
+#[allow(deprecated)]
+pub use chaos::run_config_with_faults;
 pub use chaos::{
-    default_matrix, observe, run_config_with_faults, run_fault_matrix, ChaosCell, FaultProfile,
+    apply_profile, default_matrix, observe, run_fault_matrix, strategy_label, ChaosCell,
+    FaultProfile,
 };
-pub use harness::{
-    compute_push_order, run_config, run_many, run_many_serial, run_many_shared, run_once, Mode,
-    PAPER_RUNS,
-};
+pub use harness::{compute_push_order, run_config, Mode, PAPER_RUNS};
+#[allow(deprecated)]
+pub use harness::{run_many, run_many_serial, run_many_shared, run_once};
+pub use plan::{RunOutput, RunPlan, RunReport, TraceSpec};
 pub use pool::parallel_indexed;
 pub use replay::{
     replay, replay_shared, Protocol, ReplayConfig, ReplayError, ReplayInputs, ReplayOutcome,
 };
+pub use waterfall::write_waterfall;

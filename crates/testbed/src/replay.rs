@@ -13,6 +13,7 @@ use h2push_netsim::{
 };
 use h2push_server::{H1ReplayServer, ReplayServer};
 use h2push_strategies::{RunTrace, Strategy};
+use h2push_trace::{conn_label, TraceHandle};
 use h2push_webmodel::{Page, RecordDb, ResourceId};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -120,14 +121,40 @@ pub struct ReplayInputs {
 
 impl ReplayInputs {
     /// Record `page` once and wrap both halves for sharing.
+    #[deprecated(note = "pass the page to `RunPlan::new` (or use `ReplayInputs::from`)")]
     pub fn new(page: Page) -> Self {
-        Self::from_arc(Arc::new(page))
+        Self::from(page)
     }
 
     /// Same, for a page that is already shared.
+    #[deprecated(note = "pass the Arc to `RunPlan::new` (or use `ReplayInputs::from`)")]
     pub fn from_arc(page: Arc<Page>) -> Self {
+        Self::from(page)
+    }
+}
+
+impl From<Arc<Page>> for ReplayInputs {
+    fn from(page: Arc<Page>) -> Self {
         let db = Arc::new(RecordDb::record(&page));
         ReplayInputs { page, db }
+    }
+}
+
+impl From<Page> for ReplayInputs {
+    fn from(page: Page) -> Self {
+        Self::from(Arc::new(page))
+    }
+}
+
+impl From<&Page> for ReplayInputs {
+    fn from(page: &Page) -> Self {
+        Self::from(Arc::new(page.clone()))
+    }
+}
+
+impl From<&ReplayInputs> for ReplayInputs {
+    fn from(inputs: &ReplayInputs) -> Self {
+        inputs.clone()
     }
 }
 
@@ -223,7 +250,7 @@ impl AnyServer {
 /// of the same page should build [`ReplayInputs`] once and use
 /// [`replay_shared`].
 pub fn replay(page: &Page, cfg: &ReplayConfig) -> Result<ReplayOutcome, ReplayError> {
-    replay_shared(&ReplayInputs::new(page.clone()), cfg)
+    replay_shared(&ReplayInputs::from(page), cfg)
 }
 
 /// Replay `inputs` once under `cfg`, sharing (not cloning) the page and
@@ -232,8 +259,20 @@ pub fn replay_shared(
     inputs: &ReplayInputs,
     cfg: &ReplayConfig,
 ) -> Result<ReplayOutcome, ReplayError> {
+    replay_with_trace(inputs, cfg, &TraceHandle::off())
+}
+
+/// The replay engine proper. `trace` is injected into every subsystem;
+/// when it is off (the [`replay_shared`] path) each emission site costs a
+/// single branch, so traced and untraced runs take identical decisions.
+pub(crate) fn replay_with_trace(
+    inputs: &ReplayInputs,
+    cfg: &ReplayConfig,
+    trace: &TraceHandle,
+) -> Result<ReplayOutcome, ReplayError> {
     let page = &inputs.page;
     let mut net = Network::new(cfg.network.clone());
+    net.set_trace(trace.clone());
     let mut browser_cfg = cfg.browser.clone();
     browser_cfg.enable_push =
         cfg.protocol == Protocol::H2 && !matches!(cfg.strategy, Strategy::NoPush);
@@ -243,6 +282,7 @@ pub fn replay_shared(
         Protocol::H1 => TransportMode::H1,
     };
     let mut browser = Browser::new(Arc::clone(page), browser_cfg);
+    browser.set_trace(trace.clone());
     let mut servers: HashMap<(usize, usize), AnyServer> = HashMap::new();
     let mut conn_of_slot: HashMap<(usize, usize), ConnId> = HashMap::new();
     let mut ctx: HashMap<ConnId, ConnCtx> = HashMap::new();
@@ -283,6 +323,9 @@ pub fn replay_shared(
                                     &cfg.strategy,
                                 );
                                 s.set_honor_cache_digest(cfg.server_honors_digest);
+                                if trace.is_on() {
+                                    s.set_trace(trace.clone(), conn_label(group, slot));
+                                }
                                 AnyServer::H2(Box::new(s))
                             }
                             Protocol::H1 => {
@@ -342,6 +385,9 @@ pub fn replay_shared(
         let Some((t, ev)) = net.step() else {
             return Err(ReplayError::Stalled { at: net.now() });
         };
+        // Publish the shared trace clock so emission sites without a time
+        // parameter (endpoint state machines) stamp with event time.
+        trace.set_now(t.as_micros());
         if t > deadline {
             return Err(ReplayError::DeadlineExceeded);
         }
@@ -459,7 +505,7 @@ mod tests {
         let p = page();
         let cfg = ReplayConfig::testbed(Strategy::NoPush);
         let cold = replay(&p, &cfg).unwrap();
-        let inputs = ReplayInputs::new(p);
+        let inputs = ReplayInputs::from(p);
         let a = replay_shared(&inputs, &cfg).unwrap();
         let b = replay_shared(&inputs, &cfg).unwrap();
         assert_eq!(cold.load.plt(), a.load.plt());

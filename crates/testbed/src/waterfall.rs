@@ -1,0 +1,67 @@
+//! Write a traced run's waterfall to disk (`results/` by convention).
+//!
+//! The trace crate renders from primitives only; this module binds the
+//! render to the page (resource id → URL path) and the strategy (via the
+//! exhaustive [`strategy_label`]) and handles filenames. Both exports are
+//! deterministic, so re-running the same seed rewrites identical files.
+
+use crate::chaos::strategy_label;
+use h2push_strategies::Strategy;
+use h2push_trace::{Timeline, WaterfallMeta};
+use h2push_webmodel::Page;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// `"w1-wikipedia"` → `"w1-wikipedia"`, anything shell-hostile → `_`.
+fn slug(s: &str) -> String {
+    s.chars().map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' }).collect()
+}
+
+/// Render `timeline` as both text and JSON and write
+/// `waterfall_<site>_<strategy>.{txt,json}` under `dir` (created if
+/// missing). Returns the two paths written.
+pub fn write_waterfall(
+    dir: impl AsRef<Path>,
+    page: &Page,
+    strategy: &Strategy,
+    seed: u64,
+    timeline: &Timeline,
+) -> std::io::Result<(PathBuf, PathBuf)> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let label = strategy_label(strategy);
+    let meta = WaterfallMeta { site: &page.name, strategy: label, seed };
+    let names = |id: usize| page.resources.get(id).map(|r| r.path.clone());
+    let stem = format!("waterfall_{}_{}", slug(&page.name), slug(label));
+    let txt_path = dir.join(format!("{stem}.txt"));
+    let json_path = dir.join(format!("{stem}.json"));
+    fs::write(&txt_path, timeline.waterfall_text(&meta, &names))?;
+    fs::write(&json_path, timeline.waterfall_json(&meta, &names))?;
+    Ok((txt_path, json_path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::RunPlan;
+    use h2push_webmodel::{PageBuilder, ResourceSpec};
+
+    #[test]
+    fn writes_both_files_with_page_names() {
+        let mut b = PageBuilder::new("wf test", "wf.test", 30_000, 3_000);
+        b.resource(ResourceSpec::css(0, 10_000, 300, 0.4));
+        b.text_paint(8_000, 1.0);
+        let page = b.build();
+        let out = RunPlan::new(&page).traced().run_one().unwrap();
+        let tl = out.timeline.expect("traced");
+        let dir = std::env::temp_dir().join("h2push-wf-test");
+        let (txt, json) = write_waterfall(&dir, &page, &Strategy::NoPush, 0, &tl).unwrap();
+        let txt_s = fs::read_to_string(&txt).unwrap();
+        let json_s = fs::read_to_string(&json).unwrap();
+        assert!(txt.file_name().unwrap().to_str().unwrap().contains("wf_test_no-push"));
+        assert!(txt_s.contains("site=wf test strategy=no-push"));
+        assert!(json_s.contains("\"strategy\": \"no-push\""));
+        assert!(json_s.contains("\"onload_us\": "));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -7,13 +7,13 @@
 
 use h2push_strategies::{push_all, Strategy};
 use h2push_testbed::{
-    default_matrix, replay_shared, run_config, run_config_with_faults, run_fault_matrix,
-    FaultProfile, Mode, ReplayInputs,
+    apply_profile, default_matrix, replay_shared, run_config, run_fault_matrix, FaultProfile, Mode,
+    ReplayInputs, RunPlan,
 };
 use h2push_webmodel::{generate_site, CorpusKind};
 
 fn site(seed: u64) -> ReplayInputs {
-    ReplayInputs::new(generate_site(CorpusKind::Random, seed))
+    ReplayInputs::from(generate_site(CorpusKind::Random, seed))
 }
 
 #[test]
@@ -53,8 +53,8 @@ fn zero_fault_profile_reproduces_the_plain_harness_on_a_synthetic_site() {
     for strategy in [Strategy::NoPush, push_all(&inputs.page, &[])] {
         for seed in [0u64, 13] {
             let plain = run_config(&strategy, Mode::Testbed, seed, &inputs.page);
-            let faulted =
-                run_config_with_faults(&strategy, Mode::Testbed, seed, &inputs.page, &control);
+            let mut faulted = run_config(&strategy, Mode::Testbed, seed, &inputs.page);
+            apply_profile(&mut faulted, &control);
             let a = replay_shared(&inputs, &plain).unwrap();
             let b = replay_shared(&inputs, &faulted).unwrap();
             assert_eq!(a.load, b.load);
@@ -72,11 +72,16 @@ fn every_default_profile_survives_a_push_heavy_site() {
     let inputs = site(29);
     let strategy = push_all(&inputs.page, &[]);
     for profile in default_matrix() {
-        let cfg = run_config_with_faults(&strategy, Mode::Testbed, 901, &inputs.page, &profile);
-        let out = replay_shared(&inputs, &cfg)
-            .unwrap_or_else(|e| panic!("profile {} failed: {e}", profile.name));
+        let name = profile.name.clone();
+        let out = RunPlan::new(&inputs)
+            .strategy(strategy.clone())
+            .seed(901)
+            .faults(profile)
+            .run_one()
+            .unwrap_or_else(|e| panic!("profile {name} failed: {e}"))
+            .outcome;
         assert!(out.net.data_packets > 0);
         assert!(out.net.drops_total() <= out.net.data_packets);
-        assert!(out.load.onload.is_some(), "profile {}: no onload", profile.name);
+        assert!(out.load.onload.is_some(), "profile {name}: no onload");
     }
 }

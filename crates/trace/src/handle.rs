@@ -1,0 +1,155 @@
+//! The handle every subsystem holds, and the sinks it feeds.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when off.** The default handle is `None`; `emit` is one
+//!    branch. Components embed a handle unconditionally so no constructor
+//!    signatures change.
+//! 2. **Determinism.** A handle never supplies entropy or timing to the
+//!    simulation — it only *observes*. The sink sees events in emission
+//!    order with caller-provided timestamps.
+//! 3. **One clock, many emitters.** netsim and the browser know the
+//!    simulated `now` at every emission site and use [`TraceHandle::emit_at`].
+//!    The HTTP/2 endpoints do not (frame encoding has no time parameter),
+//!    so the replay loop publishes the simulation clock into the handle
+//!    with [`TraceHandle::set_now`] and endpoints stamp with
+//!    [`TraceHandle::emit`].
+//!
+//! Handles are `Rc`-shared and deliberately `!Send`: a traced replay is a
+//! single-threaded affair. Untraced replays (handle off) remain freely
+//! parallelizable.
+
+use crate::event::{Micros, TraceEvent};
+use crate::timeline::Timeline;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// Receives stamped events in emission order.
+pub trait TraceSink {
+    fn record(&mut self, at: Micros, ev: TraceEvent);
+}
+
+/// A sink that appends into a shared [`Timeline`], which the caller keeps
+/// a second `Rc` to and inspects after the run.
+pub struct SharedTimeline(pub Rc<RefCell<Timeline>>);
+
+impl TraceSink for SharedTimeline {
+    fn record(&mut self, at: Micros, ev: TraceEvent) {
+        self.0.borrow_mut().push(at, ev);
+    }
+}
+
+struct Ctl {
+    now: Cell<Micros>,
+    sink: RefCell<Box<dyn TraceSink>>,
+}
+
+/// A cheap, cloneable capability to emit trace events.
+///
+/// `TraceHandle::default()` (or [`TraceHandle::off`]) is the disabled
+/// handle: every operation is a no-op.
+#[derive(Clone, Default)]
+pub struct TraceHandle(Option<Rc<Ctl>>);
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() { "TraceHandle(on)" } else { "TraceHandle(off)" })
+    }
+}
+
+impl TraceHandle {
+    /// The disabled handle — all emissions are single-branch no-ops.
+    pub fn off() -> Self {
+        Self(None)
+    }
+
+    /// A handle feeding `sink`.
+    pub fn with_sink(sink: Box<dyn TraceSink>) -> Self {
+        Self(Some(Rc::new(Ctl { now: Cell::new(0), sink: RefCell::new(sink) })))
+    }
+
+    /// Is a sink attached?
+    pub fn is_on(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Publish the simulation clock for emitters without a time parameter.
+    pub fn set_now(&self, micros: Micros) {
+        if let Some(ctl) = &self.0 {
+            ctl.now.set(micros);
+        }
+    }
+
+    /// Emit stamped with the published clock (see [`TraceHandle::set_now`]).
+    pub fn emit(&self, ev: TraceEvent) {
+        if let Some(ctl) = &self.0 {
+            ctl.sink.borrow_mut().record(ctl.now.get(), ev);
+        }
+    }
+
+    /// Emit stamped with an explicit simulated time.
+    pub fn emit_at(&self, micros: Micros, ev: TraceEvent) {
+        if let Some(ctl) = &self.0 {
+            ctl.sink.borrow_mut().record(micros, ev);
+        }
+    }
+}
+
+/// A recording handle plus the shared [`Timeline`] it fills.
+///
+/// The returned handle is cloned into the simulation; the caller keeps the
+/// `Rc` and reads (or `take`s) the timeline once the run finishes.
+pub fn recording() -> (TraceHandle, Rc<RefCell<Timeline>>) {
+    let timeline = Rc::new(RefCell::new(Timeline::default()));
+    let handle = TraceHandle::with_sink(Box::new(SharedTimeline(Rc::clone(&timeline))));
+    (handle, timeline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_handle_records_nothing_and_is_default() {
+        let h = TraceHandle::default();
+        assert!(!h.is_on());
+        h.set_now(5);
+        h.emit(TraceEvent::Onload);
+        h.emit_at(9, TraceEvent::FirstPaint);
+        // Nothing observable — the point is simply that this compiles to
+        // no-ops and doesn't panic.
+        let h2 = TraceHandle::off();
+        assert!(!h2.is_on());
+    }
+
+    #[test]
+    fn recording_handle_stamps_with_shared_clock() {
+        let (h, tl) = recording();
+        assert!(h.is_on());
+        h.set_now(100);
+        h.emit(TraceEvent::FirstPaint);
+        h.set_now(250);
+        h.emit(TraceEvent::Onload);
+        h.emit_at(175, TraceEvent::DomContentLoaded);
+        let tl = tl.borrow();
+        assert_eq!(
+            tl.events(),
+            &[
+                (100, TraceEvent::FirstPaint),
+                (250, TraceEvent::Onload),
+                (175, TraceEvent::DomContentLoaded),
+            ]
+        );
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let (h, tl) = recording();
+        let h2 = h.clone();
+        h.set_now(1);
+        h.emit(TraceEvent::FirstPaint);
+        h2.emit(TraceEvent::Onload); // clock shared too
+        assert_eq!(tl.borrow().len(), 2);
+        assert_eq!(tl.borrow().events()[1], (1, TraceEvent::Onload));
+    }
+}

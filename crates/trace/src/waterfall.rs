@@ -1,0 +1,192 @@
+//! Waterfall rendering: a timeline as a per-resource table (text) and a
+//! machine-readable export (JSON, schema in `results/waterfall.schema.json`).
+//!
+//! JSON is written by hand — the export is flat and the crate stays
+//! dependency-free. Output is deterministic: rows are sorted by resource
+//! id, streams by `(conn, stream)`, and all numbers are integers.
+
+use crate::event::TraceEvent;
+use crate::timeline::Timeline;
+
+/// Maps a resource id to a display name; `None` renders as `res<N>`.
+pub type NameResolver<'a> = &'a dyn Fn(usize) -> Option<String>;
+
+/// Run identification stamped into every export.
+pub struct WaterfallMeta<'a> {
+    pub site: &'a str,
+    /// Stable strategy label (use `strategy_label` from the testbed).
+    pub strategy: &'a str,
+    pub seed: u64,
+}
+
+fn name_of(names: NameResolver<'_>, id: usize) -> String {
+    names(id).unwrap_or_else(|| format!("res{id}"))
+}
+
+impl Timeline {
+    /// A human-readable waterfall table.
+    pub fn waterfall_text(&self, meta: &WaterfallMeta<'_>, names: NameResolver<'_>) -> String {
+        let ms = |t: Option<u64>| match t {
+            Some(us) => format!("{:.1}", us as f64 / 1000.0),
+            None => "-".into(),
+        };
+        let mut out = format!(
+            "waterfall: site={} strategy={} seed={} ({} events)\n",
+            meta.site,
+            meta.strategy,
+            meta.seed,
+            self.len()
+        );
+        out.push_str(&format!(
+            "{:<24} {:>6} {:>9} {:>9} {:>9} {:>9} {:>5}\n",
+            "resource", "stream", "disc ms", "req ms", "load ms", "eval ms", "push"
+        ));
+        for r in self.resource_spans() {
+            out.push_str(&format!(
+                "{:<24} {:>6} {:>9} {:>9} {:>9} {:>9} {:>5}{}\n",
+                name_of(names, r.resource),
+                r.stream.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+                ms(r.discovered),
+                ms(r.requested),
+                ms(r.loaded),
+                ms(r.evaluated),
+                if r.pushed { "yes" } else { "" },
+                if r.failed { "  FAILED" } else { "" },
+            ));
+        }
+        let streams = self.stream_accounting();
+        if !streams.is_empty() {
+            out.push_str("per-stream bytes (server DATA):\n");
+            for s in streams {
+                out.push_str(&format!(
+                    "  conn {} stream {:>3}: {:>8} B in {:>3} frames, closed {}\n",
+                    s.conn,
+                    s.stream,
+                    s.data_bytes,
+                    s.data_frames,
+                    ms(s.closed_at)
+                ));
+            }
+        }
+        let drops = self.count(|e| matches!(e, TraceEvent::FaultDrop { .. }));
+        let rto = self.count(|e| matches!(e, TraceEvent::Retransmit { .. }));
+        if drops + rto > 0 {
+            out.push_str(&format!("faults: {drops} drops, {rto} retransmits\n"));
+        }
+        out
+    }
+
+    /// The JSON export, matching `results/waterfall.schema.json`.
+    pub fn waterfall_json(&self, meta: &WaterfallMeta<'_>, names: NameResolver<'_>) -> String {
+        let opt = |t: Option<u64>| t.map(|v| v.to_string()).unwrap_or_else(|| "null".into());
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"site\": {},\n", json_str(meta.site)));
+        out.push_str(&format!("  \"strategy\": {},\n", json_str(meta.strategy)));
+        out.push_str(&format!("  \"seed\": {},\n", meta.seed));
+        out.push_str(&format!("  \"events\": {},\n", self.len()));
+        out.push_str("  \"resources\": [\n");
+        let rows = self.resource_spans();
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": {}, \"name\": {}, \"discovered_us\": {}, \"requested_us\": {}, \
+                 \"loaded_us\": {}, \"evaluated_us\": {}, \"pushed\": {}, \"failed\": {}, \
+                 \"stream\": {}}}{}\n",
+                r.resource,
+                json_str(&name_of(names, r.resource)),
+                opt(r.discovered),
+                opt(r.requested),
+                opt(r.loaded),
+                opt(r.evaluated),
+                r.pushed,
+                r.failed,
+                r.stream.map(|s| s.to_string()).unwrap_or_else(|| "null".into()),
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"streams\": [\n");
+        let streams = self.stream_accounting();
+        for (i, s) in streams.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"conn\": {}, \"stream\": {}, \"data_bytes\": {}, \"data_frames\": {}, \
+                 \"closed_us\": {}}}{}\n",
+                s.conn,
+                s.stream,
+                s.data_bytes,
+                s.data_frames,
+                opt(s.closed_at),
+                if i + 1 < streams.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"milestones\": {{\"first_paint_us\": {}, \"dom_content_loaded_us\": {}, \
+             \"onload_us\": {}}},\n",
+            opt(self.first_at(|e| matches!(e, TraceEvent::FirstPaint))),
+            opt(self.first_at(|e| matches!(e, TraceEvent::DomContentLoaded))),
+            opt(self.first_at(|e| matches!(e, TraceEvent::Onload))),
+        ));
+        out.push_str(&format!(
+            "  \"faults\": {{\"drops\": {}, \"retransmits\": {}}}\n",
+            self.count(|e| matches!(e, TraceEvent::FaultDrop { .. })),
+            self.count(|e| matches!(e, TraceEvent::Retransmit { .. })),
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Timeline {
+        let mut tl = Timeline::default();
+        tl.push(0, TraceEvent::ResourceDiscovered { resource: 0 });
+        tl.push(10, TraceEvent::RequestSent { resource: 0, group: 0, stream: 1 });
+        tl.push(500, TraceEvent::ResourceLoaded { resource: 0 });
+        tl.push(900, TraceEvent::FirstPaint);
+        tl.push(1000, TraceEvent::Onload);
+        tl
+    }
+
+    #[test]
+    fn text_render_names_resources_and_milestones() {
+        let tl = sample();
+        let meta = WaterfallMeta { site: "s1", strategy: "no-push", seed: 7 };
+        let txt = tl.waterfall_text(&meta, &|id| (id == 0).then(|| "/index.html".into()));
+        assert!(txt.contains("/index.html"));
+        assert!(txt.contains("site=s1 strategy=no-push seed=7"));
+    }
+
+    #[test]
+    fn json_render_is_deterministic_and_escapes() {
+        let tl = sample();
+        let meta = WaterfallMeta { site: "a\"b", strategy: "no-push", seed: 7 };
+        let a = tl.waterfall_json(&meta, &|_| None);
+        let b = tl.waterfall_json(&meta, &|_| None);
+        assert_eq!(a, b);
+        assert!(a.contains("\"a\\\"b\""));
+        assert!(a.contains("\"onload_us\": 1000"));
+        assert!(a.contains("\"name\": \"res0\""));
+    }
+}

@@ -1,21 +1,27 @@
-//! Print a resource waterfall with and without Interleaving Push — the
-//! per-resource view behind the paper's Fig. 5/Fig. 6 analysis.
+//! Print a traced resource waterfall with and without Interleaving Push —
+//! the per-resource view behind the paper's Fig. 5/Fig. 6 analysis — and
+//! write the text + JSON exports under `results/`.
 //!
 //! ```sh
 //! cargo run --release --example waterfall [site-number 1..20]
 //! ```
 
 use h2push::strategies::{paper_strategy, PaperStrategy};
-use h2push::testbed::{replay, ReplayConfig};
-use h2push::webmodel::Discovery;
+use h2push::testbed::{write_waterfall, RunPlan};
 
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
     let page = h2push::webmodel::realworld_site(n);
+    let seed = 42u64;
     for which in [PaperStrategy::NoPush, PaperStrategy::PushCriticalOptimized] {
         let (variant, strategy) = paper_strategy(&page, which);
-        let out = replay(&variant, &ReplayConfig::testbed(strategy)).unwrap();
-        let l = &out.load;
+        let run = RunPlan::new(&variant)
+            .strategy(strategy.clone())
+            .seed(seed)
+            .traced()
+            .run_one()
+            .unwrap();
+        let l = &run.outcome.load;
         println!(
             "\n=== {} — {} === first paint {:.0} ms, SI {:.0} ms, PLT {:.0} ms",
             variant.name,
@@ -24,31 +30,9 @@ fn main() {
             l.speed_index(),
             l.plt()
         );
-        println!(
-            "{:>4} {:>6} {:>9} {:>6} {:>9} {:>9} {:>9}",
-            "id", "type", "size KB", "push", "disc ms", "loaded", "done"
-        );
-        for (i, r) in variant.resources.iter().enumerate().take(18) {
-            let w = l.waterfall[i];
-            let ms = |t: Option<h2push::netsim::SimTime>| {
-                t.map(|t| format!("{:.0}", t.as_millis_f64())).unwrap_or_else(|| "-".into())
-            };
-            let disc = match r.discovery {
-                Discovery::Html { .. } => "html",
-                Discovery::Css { .. } => "css",
-                Discovery::Script { .. } => "js",
-            };
-            println!(
-                "{:>4} {:>6} {:>9.1} {:>6} {:>9} {:>9} {:>9}  via {}",
-                i,
-                r.rtype.label(),
-                r.size as f64 / 1024.0,
-                if w.pushed { "yes" } else { "" },
-                ms(w.discovered),
-                ms(w.loaded),
-                ms(w.evaluated),
-                disc
-            );
-        }
+        let timeline = run.timeline.expect("traced run records a timeline");
+        let (txt, json) = write_waterfall("results", &variant, &strategy, seed, &timeline).unwrap();
+        print!("{}", std::fs::read_to_string(&txt).unwrap());
+        println!("wrote {} and {}", txt.display(), json.display());
     }
 }

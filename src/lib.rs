@@ -44,5 +44,7 @@ pub use h2push_server as server;
 pub use h2push_strategies as strategies;
 /// The record-and-replay testbed and all experiment drivers.
 pub use h2push_testbed as testbed;
+/// The zero-cost-when-off deterministic trace layer.
+pub use h2push_trace as trace;
 /// Website models, corpora and the record database.
 pub use h2push_webmodel as webmodel;

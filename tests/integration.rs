@@ -5,7 +5,7 @@ use h2push::core::{evaluate, PushPlanner};
 use h2push::strategies::{
     critical_set, interleave_offset, paper_strategy, push_all, PaperStrategy, Strategy,
 };
-use h2push::testbed::{compute_push_order, replay, run_many, Mode, ReplayConfig};
+use h2push::testbed::{compute_push_order, replay, Mode, ReplayConfig, RunPlan};
 use h2push::webmodel::{generate_site, realworld_site, synthetic_site, CorpusKind, RecordDb};
 
 #[test]
@@ -90,8 +90,9 @@ fn record_db_round_trip_preserves_replay() {
 #[test]
 fn testbed_mode_is_far_less_variable_than_internet_mode() {
     let page = generate_site(CorpusKind::PushUsers, 5);
-    let tb = run_many(&page, &Strategy::NoPush, Mode::Testbed, 9, 3);
-    let inet = run_many(&page, &Strategy::NoPush, Mode::Internet, 9, 3);
+    let plan = RunPlan::new(&page).reps(9).seed(3);
+    let tb = plan.clone().mode(Mode::Testbed).run().into_outcomes();
+    let inet = plan.mode(Mode::Internet).run().into_outcomes();
     assert!(tb.len() >= 8 && inet.len() >= 8, "runs must complete");
     let spread = |outs: &[h2push::testbed::ReplayOutcome]| {
         let p: Vec<f64> = outs.iter().map(|o| o.load.plt()).collect();
