@@ -1,16 +1,32 @@
-//! Replay hot-path baseline: serial-cold vs serial-shared vs
-//! parallel-shared over a fixed seeded corpus.
+//! Replay hot-path baseline: serial-cold vs serial-shared vs prepared vs
+//! parallel over a fixed seeded corpus.
 //!
-//! The three paths must produce identical PLT / SpeedIndex / traces — this
-//! binary asserts that — so the only difference is wall time. Results go to
-//! `BENCH_replay.json` at the repo root:
-//! `{wall_ms, runs_per_sec, speedup_vs_serial}` per path.
+//! All paths must produce identical PLT / SpeedIndex / traces — this
+//! binary asserts that — so the only difference is wall time. Each path is
+//! measured as best-of-N after a warmup pass (single-shot wall clock on a
+//! small grid is dominated by scheduler noise; the minimum over passes is
+//! the stable statistic). Sharing inputs must never lose to re-recording
+//! them, and the binary fails loudly if it does.
+//!
+//! Results go to `BENCH_replay.json` at the repo root:
+//! `{wall_ms, runs_per_sec, speedup_vs_serial}` per path plus a `meta`
+//! block (cores, rustc, git revision).
 
-use h2push_bench::scale_from_args;
+use h2push_bench::{scale_from_args, BenchMeta};
 use h2push_strategies::Strategy;
 use h2push_testbed::{replay, run_config, Mode, ReplayInputs, ReplayOutcome, RunPlan};
 use h2push_webmodel::{generate_site, CorpusKind, Page};
 use std::time::Instant;
+
+/// Measured passes per path (after one untimed warmup).
+const PASSES: usize = 5;
+
+/// Sharing may never be slower than re-recording; allow this much noise.
+/// Shared single-core containers show ±20 % wall-clock swings between
+/// whole invocations even on a best-of-5, so the gate is deliberately
+/// loose — it exists to catch structural regressions (sharing or
+/// preparation costing real work per rep), not scheduler jitter.
+const SHARED_TOLERANCE: f64 = 1.25;
 
 struct PathResult {
     label: &'static str,
@@ -32,6 +48,26 @@ fn outcomes_equal(a: &[Vec<ReplayOutcome>], b: &[Vec<ReplayOutcome>]) -> bool {
         })
 }
 
+type Grid = Vec<Vec<ReplayOutcome>>;
+type Path<'a> = (&'static str, Box<dyn FnMut() -> Grid + 'a>);
+
+/// One warmup call per path, then each path's best wall time over
+/// [`PASSES`] rounds. Rounds are interleaved (cold, shared, prepared,
+/// parallel, repeat) so machine-load drift during the measurement hits
+/// every path equally instead of penalising whichever ran last.
+fn measure(paths: &mut [Path<'_>]) -> (Vec<f64>, Vec<Grid>) {
+    let mut outs: Vec<Grid> = paths.iter_mut().map(|(_, f)| f()).collect();
+    let mut best = vec![f64::INFINITY; paths.len()];
+    for _ in 0..PASSES {
+        for (i, (_, f)) in paths.iter_mut().enumerate() {
+            let t = Instant::now();
+            outs[i] = f();
+            best[i] = best[i].min(t.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    (best, outs)
+}
+
 fn main() {
     let scale = scale_from_args();
     let sites = scale.sites.min(12);
@@ -40,26 +76,8 @@ fn main() {
         (0..sites).map(|i| generate_site(CorpusKind::Random, scale.seed ^ i as u64)).collect();
     let strategy = Strategy::NoPush;
     let total_runs = sites * runs;
-    println!("perf_replay: {sites} sites x {runs} runs (seed {})", scale.seed);
+    println!("perf_replay: {sites} sites x {runs} runs (seed {}, best of {PASSES})", scale.seed);
 
-    // Serial-cold: the pre-overhaul shape — every run re-clones the page
-    // and re-records the response DB through the public replay().
-    let t = Instant::now();
-    let cold: Vec<Vec<ReplayOutcome>> = pages
-        .iter()
-        .map(|p| {
-            (0..runs)
-                .filter_map(|r| {
-                    let cfg =
-                        run_config(&strategy, Mode::Testbed, scale.seed.wrapping_add(r as u64), p);
-                    replay(p, &cfg).ok()
-                })
-                .collect()
-        })
-        .collect();
-    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
-
-    // Serial-shared: inputs built once per site, same run loop.
     let inputs: Vec<ReplayInputs> = pages.iter().map(ReplayInputs::from).collect();
     let plans: Vec<RunPlan> = inputs
         .iter()
@@ -71,29 +89,89 @@ fn main() {
                 .seed(scale.seed)
         })
         .collect();
-    let t = Instant::now();
-    let serial: Vec<Vec<ReplayOutcome>> =
-        plans.iter().map(|p| p.clone().serial().run().into_outcomes()).collect();
-    let serial_ms = t.elapsed().as_secs_f64() * 1e3;
+    let prepared_plans: Vec<RunPlan> = plans.iter().map(|p| p.clone().prepared()).collect();
 
-    // Parallel-shared: the production path (pool-scheduled repetitions).
-    let t = Instant::now();
-    let parallel: Vec<Vec<ReplayOutcome>> = plans.iter().map(|p| p.run().into_outcomes()).collect();
-    let parallel_ms = t.elapsed().as_secs_f64() * 1e3;
+    let mut paths: [Path<'_>; 4] = [
+        // Serial-cold: the pre-overhaul shape — every run re-clones the
+        // page and re-records the response DB through the public replay().
+        (
+            "serial_cold",
+            Box::new(|| {
+                pages
+                    .iter()
+                    .map(|p| {
+                        (0..runs)
+                            .filter_map(|r| {
+                                let cfg = run_config(
+                                    &strategy,
+                                    Mode::Testbed,
+                                    scale.seed.wrapping_add(r as u64),
+                                    p,
+                                );
+                                replay(p, &cfg).ok()
+                            })
+                            .collect()
+                    })
+                    .collect()
+            }),
+        ),
+        // Serial-shared: inputs built once per site, same run loop.
+        (
+            "serial_shared",
+            Box::new(|| plans.iter().map(|p| p.clone().serial().run().into_outcomes()).collect()),
+        ),
+        // Serial-prepared: page-level precomputation (PreparedPage) shared
+        // across every rep of a site.
+        (
+            "serial_prepared",
+            Box::new(|| {
+                prepared_plans.iter().map(|p| p.clone().serial().run().into_outcomes()).collect()
+            }),
+        ),
+        // Parallel-prepared: the production path (pool-scheduled
+        // repetitions over the shared artifact).
+        (
+            "parallel_prepared",
+            Box::new(|| prepared_plans.iter().map(|p| p.run().into_outcomes()).collect()),
+        ),
+    ];
+    let (best, outs) = measure(&mut paths);
+    let (cold_ms, serial_ms, prepared_ms, parallel_ms) = (best[0], best[1], best[2], best[3]);
+    let (cold, serial, prepared, parallel) = (&outs[0], &outs[1], &outs[2], &outs[3]);
 
-    assert!(outcomes_equal(&cold, &serial), "shared inputs changed replay outputs");
-    assert!(outcomes_equal(&serial, &parallel), "parallel RunPlan changed replay outputs");
+    assert!(outcomes_equal(cold, serial), "shared inputs changed replay outputs");
+    assert!(outcomes_equal(serial, prepared), "PreparedPage changed replay outputs");
+    assert!(outcomes_equal(serial, parallel), "parallel RunPlan changed replay outputs");
+    // Sharing must never be slower than re-recording per rep. (Historic
+    // regression: a single-shot measurement once showed serial_shared at
+    // 0.86x serial_cold — scheduler noise, which best-of-N removes; a real
+    // regression now fails the bench.)
+    assert!(
+        serial_ms <= cold_ms * SHARED_TOLERANCE,
+        "serial_shared ({serial_ms:.1} ms) slower than serial_cold ({cold_ms:.1} ms): \
+         input sharing regressed"
+    );
+    assert!(
+        prepared_ms <= serial_ms * SHARED_TOLERANCE,
+        "serial_prepared ({prepared_ms:.1} ms) slower than serial_shared ({serial_ms:.1} ms): \
+         page-level precomputation regressed"
+    );
 
-    let results =
-        [("serial_cold", cold_ms), ("serial_shared", serial_ms), ("parallel_shared", parallel_ms)]
-            .map(|(label, wall_ms)| PathResult {
-                label,
-                wall_ms,
-                runs_per_sec: total_runs as f64 / (wall_ms / 1e3),
-                speedup_vs_serial: cold_ms / wall_ms,
-            });
+    let results = [
+        ("serial_cold", cold_ms),
+        ("serial_shared", serial_ms),
+        ("serial_prepared", prepared_ms),
+        ("parallel_prepared", parallel_ms),
+    ]
+    .map(|(label, wall_ms)| PathResult {
+        label,
+        wall_ms,
+        runs_per_sec: total_runs as f64 / (wall_ms / 1e3),
+        speedup_vs_serial: cold_ms / wall_ms,
+    });
 
     let mut json = String::from("{\n");
+    json.push_str(&format!("  {},\n", BenchMeta::capture().to_json()));
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
             "  \"{}\": {{\"wall_ms\": {:.1}, \"runs_per_sec\": {:.2}, \"speedup_vs_serial\": {:.2}}}{}\n",
@@ -104,7 +182,7 @@ fn main() {
             if i + 1 < results.len() { "," } else { "" },
         ));
         println!(
-            "{:16} {:9.1} ms  {:7.2} runs/s  {:5.2}x vs serial-cold",
+            "{:18} {:9.1} ms  {:7.2} runs/s  {:5.2}x vs serial-cold",
             r.label, r.wall_ms, r.runs_per_sec, r.speedup_vs_serial
         );
     }

@@ -1,0 +1,128 @@
+//! Grid-level sweep benchmark: strategies × sites × reps through one
+//! [`SweepPlan`], versus the same grid as independent [`RunPlan`]s.
+//!
+//! The sweep builds each site's `PreparedPage` exactly once and schedules
+//! the flattened grid as a single pool fan-out; the per-plan loop rebuilds
+//! per-site state per cell and drains the pool at every cell boundary.
+//! One cell is cross-checked outcome-for-outcome against a plain
+//! [`RunPlan`] (the CI `sweep-smoke` gate), and results go to
+//! `BENCH_sweep.json` at the repo root.
+
+use h2push_bench::{scale_from_args, BenchMeta};
+use h2push_strategies::Strategy;
+use h2push_testbed::{Mode, RunPlan, SweepPlan, SweepReport};
+use h2push_webmodel::{generate_site, CorpusKind, Page, ResourceId};
+use std::time::Instant;
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let sites = scale.sites.clamp(1, 6);
+    let runs = scale.runs;
+    let pages: Vec<Page> =
+        (0..sites).map(|i| generate_site(CorpusKind::Random, scale.seed ^ i as u64)).collect();
+    // Page-independent strategy columns (every generated site has a
+    // subresource 1, so the push list is always servable).
+    let strategies = vec![Strategy::NoPush, Strategy::PushList { order: vec![ResourceId(1)] }];
+    let n_strategies = strategies.len();
+    let total_runs = n_strategies * sites * runs;
+    println!(
+        "perf_sweep: {n_strategies} strategies x {sites} sites x {runs} reps (seed {})",
+        scale.seed
+    );
+
+    let plan = SweepPlan::new()
+        .strategies(strategies.clone())
+        .sites(pages.iter().cloned())
+        .reps(runs)
+        .seed(scale.seed)
+        .mode(Mode::Testbed);
+
+    // Warmup (fills the HPACK caches), then the measured sweep.
+    let _ = plan.run();
+    let t = Instant::now();
+    let report: SweepReport = plan.run();
+    let sweep_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // The same grid as independent RunPlans (no shared PreparedPage, one
+    // pool drain per cell).
+    let t = Instant::now();
+    let naive: Vec<_> = strategies
+        .iter()
+        .flat_map(|s| {
+            pages.iter().map(|p| {
+                RunPlan::new(p)
+                    .strategy(s.clone())
+                    .mode(Mode::Testbed)
+                    .reps(runs)
+                    .seed(scale.seed)
+                    .run()
+            })
+        })
+        .collect();
+    let naive_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Cross-check: every sweep cell must match its independent RunPlan
+    // outcome-for-outcome.
+    assert_eq!(report.cells.len(), naive.len(), "grid shape mismatch");
+    for (cell, plain) in report.cells.iter().zip(&naive) {
+        assert_eq!(cell.report.len(), plain.len(), "{}/{} rep count", cell.strategy, cell.site);
+        for (a, b) in cell.report.outcomes().zip(plain.outcomes()) {
+            assert_eq!(a.load, b.load, "{}/{} diverged", cell.strategy, cell.site);
+            assert_eq!(a.trace.order, b.trace.order);
+            assert_eq!(a.net, b.net);
+        }
+    }
+    println!("cross-check: {} cells byte-identical to plain RunPlan", report.cells.len());
+    if let Some(prep) = plan.prepared_for(0) {
+        let (hits, misses) = prep.hpack_cache().stats();
+        println!("hpack cache (site 0): {hits} hits / {misses} misses");
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  {},\n", BenchMeta::capture().to_json()));
+    json.push_str(&format!(
+        "  \"grid\": {{\"strategies\": {n_strategies}, \"sites\": {sites}, \"reps\": {runs}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"sweep\": {{\"wall_ms\": {:.1}, \"runs_per_sec\": {:.2}}},\n",
+        sweep_ms,
+        total_runs as f64 / (sweep_ms / 1e3)
+    ));
+    json.push_str(&format!(
+        "  \"per_plan\": {{\"wall_ms\": {:.1}, \"runs_per_sec\": {:.2}}},\n",
+        naive_ms,
+        total_runs as f64 / (naive_ms / 1e3)
+    ));
+    json.push_str("  \"cells\": [\n");
+    for (i, cell) in report.cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"strategy\": \"{}\", \"site\": \"{}\", \"reps\": {}, \
+             \"mean_plt_ms\": {:.1}, \"mean_speed_index\": {:.1}}}{}\n",
+            cell.strategy,
+            cell.site,
+            cell.report.len(),
+            mean(cell.report.outcomes().map(|o| o.load.plt())),
+            mean(cell.report.outcomes().map(|o| o.load.speed_index())),
+            if i + 1 < report.cells.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    std::fs::write(path, json).expect("write BENCH_sweep.json");
+    println!(
+        "sweep {:9.1} ms ({:.2} runs/s)  per-plan {:9.1} ms ({:.2} runs/s)",
+        sweep_ms,
+        total_runs as f64 / (sweep_ms / 1e3),
+        naive_ms,
+        total_runs as f64 / (naive_ms / 1e3)
+    );
+    println!("wrote {path}");
+}

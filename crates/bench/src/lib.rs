@@ -36,6 +36,51 @@ pub fn scale_from_args() -> Scale {
     scale
 }
 
+/// Machine and build provenance recorded into every benchmark artifact,
+/// so numbers in `BENCH_*.json` can be traced to the machine and revision
+/// that produced them.
+#[derive(Debug, Clone)]
+pub struct BenchMeta {
+    /// Logical cores available to the process.
+    pub cores: usize,
+    /// `rustc -V` output ("unknown" when the compiler is not on PATH).
+    pub rustc: String,
+    /// Short git revision ("unknown" outside a work tree).
+    pub git_rev: String,
+}
+
+impl BenchMeta {
+    /// Probe the environment. Never fails: missing tools degrade to
+    /// "unknown".
+    pub fn capture() -> Self {
+        let run = |cmd: &str, args: &[&str]| -> String {
+            std::process::Command::new(cmd)
+                .args(args)
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+                .filter(|s| !s.is_empty())
+                .unwrap_or_else(|| "unknown".to_string())
+        };
+        BenchMeta {
+            cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            rustc: run("rustc", &["-V"]),
+            git_rev: run("git", &["rev-parse", "--short", "HEAD"]),
+        }
+    }
+
+    /// The `"meta": {...}` JSON fragment (no trailing comma or newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "\"meta\": {{\"cores\": {}, \"rustc\": \"{}\", \"git_rev\": \"{}\"}}",
+            self.cores,
+            self.rustc.replace('"', "'"),
+            self.git_rev.replace('"', "'"),
+        )
+    }
+}
+
 /// Render CDF summary lines: the share of values below the given
 /// thresholds plus key percentiles — enough to redraw the paper's CDFs.
 pub fn cdf_summary(label: &str, values: &[f64], thresholds: &[f64]) {

@@ -30,7 +30,7 @@ use bytes::Bytes;
 use h2push_h2proto::{
     CacheDigest, Connection, ErrorCode, Event, FifoScheduler, PrioritySpec, Settings,
 };
-use h2push_hpack::Header;
+use h2push_hpack::{BlockCache, Header};
 use h2push_netsim::{SimDuration, SimTime};
 use h2push_trace::{conn_label, TraceEvent, TraceHandle};
 use h2push_webmodel::{Discovery, Page, ResourceId, ResourceType, ScriptMode};
@@ -164,6 +164,77 @@ enum StopKind {
     Inline(usize),
 }
 
+/// Pre-scanned, page-derived load inputs: parser stop points, the preload
+/// scanner's HTML reference index, the visual-weight total, and per-resource
+/// request header lists — everything [`Browser::new`] derives from the
+/// [`Page`] alone. A pure function of the page, so a sweep builds it once
+/// per site and shares it across every configuration and rep touching that
+/// page; [`Browser::new`] builds one lazily otherwise.
+#[derive(Debug)]
+pub struct PreparedScan {
+    /// Parser stop points (external blocking scripts + inline scripts),
+    /// sorted by document offset.
+    stops: Vec<(usize, StopKind)>,
+    /// HTML references sorted by offset, for the preload scanner.
+    html_refs: Vec<(usize, ResourceId)>,
+    inline_count: usize,
+    total_weight: f64,
+    /// Per-resource GET header lists, byte-identical to what
+    /// [`Browser::fetch`] would format live.
+    request_headers: Vec<Vec<Header>>,
+}
+
+impl PreparedScan {
+    /// Scan `page` once. Deterministic: depends only on the page.
+    pub fn build(page: &Page) -> Self {
+        let mut stops: Vec<(usize, StopKind)> = page
+            .resources
+            .iter()
+            .filter(|r| r.is_parser_blocking_script())
+            .filter_map(|r| match r.discovery {
+                Discovery::Html { offset } => Some((offset, StopKind::Script(r.id))),
+                _ => None,
+            })
+            .chain(
+                page.inline_scripts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.offset, StopKind::Inline(i))),
+            )
+            .collect();
+        stops.sort_by_key(|&(off, _)| off);
+        let mut html_refs: Vec<(usize, ResourceId)> = page
+            .resources
+            .iter()
+            .skip(1)
+            .filter_map(|r| match r.discovery {
+                Discovery::Html { offset } => Some((offset, r.id)),
+                _ => None,
+            })
+            .collect();
+        html_refs.sort_by_key(|&(off, id)| (off, id));
+        let request_headers = page
+            .resources
+            .iter()
+            .map(|r| {
+                vec![
+                    Header::new(":method", "GET"),
+                    Header::new(":scheme", "https"),
+                    Header::new(":authority", page.host_of(r.id)),
+                    Header::new(":path", &r.path),
+                ]
+            })
+            .collect();
+        PreparedScan {
+            stops,
+            html_refs,
+            inline_count: page.inline_scripts.len(),
+            total_weight: page.total_visual_weight(),
+            request_headers,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Blocked {
     /// Waiting for an external script to load/execute.
@@ -245,16 +316,16 @@ pub struct Browser {
     h1_seq: u64,
     res: Vec<ResInfo>,
     stream_map: HashMap<(usize, u32), ResourceId>,
+    // Page-derived scan data (stop points, reference index, request
+    // headers); shared across loads of the same page.
+    scan: Arc<PreparedScan>,
     // Parser state.
     available: usize,
     parsed: usize,
-    stops: Vec<(usize, StopKind)>,
     stop_idx: usize,
     blocked: Option<Blocked>,
     inline_done: Vec<bool>,
     parser_done: bool,
-    // HTML references sorted by offset, for the preload scanner.
-    html_refs: Vec<(usize, ResourceId)>,
     next_ref: usize,
     // Main thread.
     main_free_at: SimTime,
@@ -269,7 +340,8 @@ pub struct Browser {
     onload: Option<SimTime>,
     paints: Vec<PaintSample>,
     last_completeness: f64,
-    total_weight: f64,
+    /// Shared HPACK block cache applied to every connection opened.
+    hpack_cache: Option<BlockCache>,
     // Stats.
     pushed_bytes: u64,
     pushed_count: u32,
@@ -291,36 +363,15 @@ impl Browser {
     /// immutable input: repeated loads of the same page reuse one
     /// allocation instead of deep-cloning per run.
     pub fn new(page: Arc<Page>, cfg: BrowserConfig) -> Self {
+        let scan = Arc::new(PreparedScan::build(&page));
+        Browser::with_scan(page, cfg, scan)
+    }
+
+    /// Like [`Browser::new`], but reusing a [`PreparedScan`] built once for
+    /// this page — repeated loads skip the per-load page scan entirely.
+    pub fn with_scan(page: Arc<Page>, cfg: BrowserConfig, scan: Arc<PreparedScan>) -> Self {
         let n = page.resources.len();
-        // Parser stop points: external blocking scripts + inline scripts.
-        let mut stops: Vec<(usize, StopKind)> = page
-            .resources
-            .iter()
-            .filter(|r| r.is_parser_blocking_script())
-            .filter_map(|r| match r.discovery {
-                Discovery::Html { offset } => Some((offset, StopKind::Script(r.id))),
-                _ => None,
-            })
-            .chain(
-                page.inline_scripts
-                    .iter()
-                    .enumerate()
-                    .map(|(i, s)| (s.offset, StopKind::Inline(i))),
-            )
-            .collect();
-        stops.sort_by_key(|&(off, _)| off);
-        let mut html_refs: Vec<(usize, ResourceId)> = page
-            .resources
-            .iter()
-            .skip(1)
-            .filter_map(|r| match r.discovery {
-                Discovery::Html { offset } => Some((offset, r.id)),
-                _ => None,
-            })
-            .collect();
-        html_refs.sort_by_key(|&(off, id)| (off, id));
-        let inline_count = page.inline_scripts.len();
-        let total_weight = page.total_visual_weight();
+        let inline_count = scan.inline_count;
         Browser {
             res: (0..n)
                 .map(|_| ResInfo {
@@ -339,14 +390,13 @@ impl Browser {
             h1: HashMap::new(),
             h1_seq: 0,
             stream_map: HashMap::new(),
+            scan,
             available: 0,
             parsed: 0,
-            stops,
             stop_idx: 0,
             blocked: None,
             inline_done: vec![false; inline_count],
             parser_done: false,
-            html_refs,
             next_ref: 0,
             main_free_at: SimTime::ZERO,
             timers: HashMap::new(),
@@ -358,7 +408,7 @@ impl Browser {
             onload: None,
             paints: Vec::new(),
             last_completeness: 0.0,
-            total_weight,
+            hpack_cache: None,
             pushed_bytes: 0,
             pushed_count: 0,
             cancelled_pushes: 0,
@@ -377,6 +427,14 @@ impl Browser {
     /// HTTP/2 client connection the browser opens; purely observational.
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = trace;
+    }
+
+    /// Share a memoized HPACK block cache across loads of the same page.
+    /// Must be set before [`Browser::start`]; forwarded to every HTTP/2
+    /// client connection the browser opens. Encoded output is unchanged —
+    /// the cache only skips redundant encoding work.
+    pub fn set_hpack_block_cache(&mut self, cache: BlockCache) {
+        self.hpack_cache = Some(cache);
     }
 
     /// Begin navigation: opens the main connection and requests the
@@ -526,6 +584,9 @@ impl Browser {
         if self.trace.is_on() {
             conn.set_trace(self.trace.clone(), conn_label(group, slot));
         }
+        if let Some(cache) = &self.hpack_cache {
+            conn.set_hpack_block_cache(cache.clone());
+        }
         self.conns.insert(group, ConnState { conn, chain: Vec::new(), digest_sent: false, slot });
         self.actions.push(BrowserAction::OpenConnection { group, slot });
     }
@@ -576,24 +637,19 @@ impl Browser {
             return;
         }
         self.ensure_conn(group);
-        let host = self.page.host_of(rid).to_string();
-        let path = self.page.resource(rid).path.clone();
         let class = self.class_of(rid);
         let cs = self.conns.get_mut(&group).expect("just ensured");
-        let headers = vec![
-            Header::new(":method", "GET"),
-            Header::new(":scheme", "https"),
-            Header::new(":authority", &host),
-            Header::new(":path", &path),
-        ];
         // Reserve the id the connection will assign, then splice it into
         // the Chromium-style exclusive chain and send HEADERS with that
         // priority.
         let spec_stream = cs.conn.peek_next_stream_id();
         let spec = splice_into_chain(cs, spec_stream, class);
-        let mut headers = headers;
-        if !cs.digest_sent && !self.cfg.warm_cache.is_empty() {
+        // The common path sends the pre-built GET list; only the first
+        // request on a warm-cache connection appends a digest, built live.
+        let digest_headers;
+        let headers: &[Header] = if !cs.digest_sent && !self.cfg.warm_cache.is_empty() {
             cs.digest_sent = true;
+            let mut headers = self.scan.request_headers[rid.0].clone();
             let urls: Vec<String> = self
                 .cfg
                 .warm_cache
@@ -602,8 +658,12 @@ impl Browser {
                 .collect();
             let digest = CacheDigest::build(&urls, 7);
             headers.push(Header::new("cache-digest", &digest.to_hex()));
-        }
-        let stream = cs.conn.request(&headers, Some(spec));
+            digest_headers = headers;
+            &digest_headers
+        } else {
+            &self.scan.request_headers[rid.0]
+        };
+        let stream = cs.conn.request(headers, Some(spec));
         debug_assert_eq!(stream, spec_stream);
         self.stream_map.insert((group, stream), rid);
         self.requests += 1;
@@ -731,7 +791,9 @@ impl Browser {
     fn flush_conns(&mut self) {
         let mut sched = FifoScheduler;
         for (&group, cs) in self.conns.iter_mut() {
-            loop {
+            // `wants_send` is a cheap conservative pre-check: when it says
+            // no, `produce` would return empty, so skip the stream walk.
+            while cs.conn.wants_send() {
                 let bytes = cs.conn.produce(usize::MAX, &mut sched);
                 if bytes.is_empty() {
                     break;
@@ -1033,8 +1095,10 @@ impl Browser {
         } else {
             self.parsed.saturating_add(1).min(self.available)
         };
-        while self.next_ref < self.html_refs.len() && self.html_refs[self.next_ref].0 < horizon {
-            let (_, rid) = self.html_refs[self.next_ref];
+        while self.next_ref < self.scan.html_refs.len()
+            && self.scan.html_refs[self.next_ref].0 < horizon
+        {
+            let (_, rid) = self.scan.html_refs[self.next_ref];
             self.next_ref += 1;
             self.discover(rid, now);
         }
@@ -1058,7 +1122,7 @@ impl Browser {
                 return;
             }
             let limit = self.available;
-            let stop = self.stops.get(self.stop_idx).copied();
+            let stop = self.scan.stops.get(self.stop_idx).copied();
             match stop {
                 Some((off, kind)) if off < limit => {
                     self.parsed = self.parsed.max(off);
@@ -1291,7 +1355,7 @@ impl Browser {
     }
 
     fn completeness(&self) -> f64 {
-        if self.total_weight <= 0.0 {
+        if self.scan.total_weight <= 0.0 {
             return 1.0;
         }
         let mut done = 0.0;
@@ -1316,7 +1380,7 @@ impl Browser {
                 done += r.visual_weight;
             }
         }
-        (done / self.total_weight).min(1.0)
+        (done / self.scan.total_weight).min(1.0)
     }
 
     fn after_state_change(&mut self, now: SimTime) {

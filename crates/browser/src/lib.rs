@@ -12,7 +12,7 @@ pub mod engine;
 pub mod har;
 pub mod result;
 
-pub use engine::{Browser, BrowserAction, BrowserConfig, TransportMode};
+pub use engine::{Browser, BrowserAction, BrowserConfig, PreparedScan, TransportMode};
 pub use har::to_har;
 pub use result::{LoadResult, PaintSample, ResourceTiming};
 

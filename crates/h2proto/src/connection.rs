@@ -137,6 +137,14 @@ pub struct Connection {
     trace: TraceHandle,
     /// Replay connection label stamped into trace events.
     trace_conn: u32,
+    /// Persistent assembly buffer for [`Connection::produce`]; each call
+    /// writes into it and hands out a `split().freeze()` view, so
+    /// steady-state produces reuse capacity instead of growing a fresh Vec.
+    send_buf: BytesMut,
+    /// Persistent per-frame encode buffer for [`Connection::queue_frame`].
+    frame_buf: BytesMut,
+    /// Reused snapshot vector for the scheduler loop in `produce`.
+    snap_scratch: Vec<StreamSnapshot>,
 }
 
 /// `(kind, stream, payload bytes)` of a frame, for trace stamping only.
@@ -214,7 +222,17 @@ impl Connection {
             dead: false,
             trace: TraceHandle::off(),
             trace_conn: 0,
+            send_buf: BytesMut::new(),
+            frame_buf: BytesMut::new(),
+            snap_scratch: Vec::new(),
         }
+    }
+
+    /// Attach a shared HPACK block memo ([`h2push_hpack::BlockCache`]) to
+    /// this endpoint's encoder. Pure acceleration: encoded bytes are
+    /// identical with or without it.
+    pub fn set_hpack_block_cache(&mut self, cache: h2push_hpack::BlockCache) {
+        self.hpack_enc.set_block_cache(cache);
     }
 
     /// Our role.
@@ -283,9 +301,9 @@ impl Connection {
                 end_stream,
             });
         }
-        let mut buf = Vec::new();
-        frame.encode(&mut buf);
-        self.control.push_back(Bytes::from(buf));
+        debug_assert!(self.frame_buf.is_empty());
+        frame.encode_to(&mut self.frame_buf);
+        self.control.push_back(self.frame_buf.split().freeze());
     }
 
     // ----- client API -----
@@ -474,32 +492,25 @@ impl Connection {
     /// moved (not copied) out of the assembly buffer, so downstream layers
     /// can queue and re-slice it without further copies.
     pub fn produce(&mut self, max: usize, scheduler: &mut dyn Scheduler) -> Bytes {
-        let mut out = Vec::new();
+        debug_assert!(self.send_buf.is_empty());
         while let Some(front) = self.control.front() {
-            if !out.is_empty() && out.len() + front.len() > max {
+            if !self.send_buf.is_empty() && self.send_buf.len() + front.len() > max {
                 break;
             }
-            out.extend_from_slice(front);
+            self.send_buf.extend_from_slice(front);
             self.control.pop_front();
         }
-        while out.len() < max {
-            let snapshots: Vec<StreamSnapshot> = self
-                .streams
-                .iter()
-                .filter_map(|(&id, s)| {
-                    let sendable = self.sendable(s);
-                    if sendable > 0 {
-                        Some(StreamSnapshot {
-                            id,
-                            sendable,
-                            sent: s.out.sent,
-                            is_push: id % 2 == 0,
-                        })
-                    } else {
-                        None
-                    }
-                })
-                .collect();
+        let mut snapshots = std::mem::take(&mut self.snap_scratch);
+        while self.send_buf.len() < max {
+            snapshots.clear();
+            snapshots.extend(self.streams.iter().filter_map(|(&id, s)| {
+                let sendable = self.sendable(s);
+                if sendable > 0 {
+                    Some(StreamSnapshot { id, sendable, sent: s.out.sent, is_push: id % 2 == 0 })
+                } else {
+                    None
+                }
+            }));
             if snapshots.is_empty() {
                 break;
             }
@@ -521,7 +532,8 @@ impl Connection {
                 .queued
                 .min(self.conn_send_window.max(0) as usize)
                 .min(s.send_window.max(0) as usize);
-            let chunk = sendable.min(self.peer_max_frame_size).min(max - out.len().min(max));
+            let chunk =
+                sendable.min(self.peer_max_frame_size).min(max - self.send_buf.len().min(max));
             if chunk == 0 {
                 break;
             }
@@ -530,7 +542,7 @@ impl Connection {
             s.send_window -= chunk as i64;
             self.conn_send_window -= chunk as i64;
             let end_stream = s.out.fin && s.out.queued == 0;
-            Frame::Data { stream: id, len: chunk, end_stream }.encode(&mut out);
+            Frame::Data { stream: id, len: chunk, end_stream }.encode_to(&mut self.send_buf);
             if self.trace.is_on() {
                 self.trace.emit(TraceEvent::SchedulerPick {
                     conn: self.trace_conn,
@@ -553,7 +565,8 @@ impl Connection {
                 scheduler.stream_closed(id);
             }
         }
-        Bytes::from(out)
+        self.snap_scratch = snapshots;
+        self.send_buf.split().freeze()
     }
 
     // ----- receive path -----
@@ -561,6 +574,52 @@ impl Connection {
     /// Feed wire bytes from the peer.
     pub fn receive(&mut self, data: &[u8]) {
         if self.dead {
+            return;
+        }
+        // Fast path: nothing buffered from a previous batch — decode frames
+        // directly from `data` and buffer only an incomplete tail. This
+        // skips copying the whole batch (dominated by DATA filler) into
+        // `recv_buf`; the decoded frames and events are byte-identical to
+        // the buffered path below.
+        if self.preface_received && self.recv_buf.len() == self.recv_pos {
+            self.recv_buf.clear();
+            self.recv_pos = 0;
+            let mut pos = 0usize;
+            let mut pending: Option<PendingHeaders> = None;
+            loop {
+                let local_max = self
+                    .local_settings
+                    .max_frame_size
+                    .map(|v| v as usize)
+                    .unwrap_or(DEFAULT_MAX_FRAME_SIZE);
+                match Frame::decode(&data[pos..], local_max) {
+                    Ok((frame, used)) => {
+                        pos += used;
+                        if let Err(error) = self.handle_frame(frame, &mut pending) {
+                            self.fatal(error);
+                            return;
+                        }
+                    }
+                    Err(FrameError::Incomplete) => break,
+                    Err(FrameError::UnknownType { skip }) => {
+                        pos += skip;
+                    }
+                    Err(FrameError::TooLarge) => {
+                        self.fatal(ConnError::FrameTooLarge);
+                        return;
+                    }
+                    Err(FrameError::Protocol(reason)) => {
+                        self.fatal(ConnError::Frame(reason));
+                        return;
+                    }
+                }
+            }
+            if pos < data.len() {
+                self.recv_buf.extend_from_slice(&data[pos..]);
+            }
+            if pending.is_some() {
+                self.fatal(ConnError::HeaderBlockFragmented);
+            }
             return;
         }
         self.recv_buf.extend_from_slice(data);

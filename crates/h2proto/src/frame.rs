@@ -8,7 +8,7 @@
 //! block can be chunked into CONTINUATION frames — and re-queued on the
 //! connection's control queue — without copying the fragment payloads.
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 
 /// The 9-octet frame header length.
 pub const FRAME_HEADER_LEN: usize = 9;
@@ -208,20 +208,83 @@ pub enum FrameError {
     TooLarge,
 }
 
-fn put_u24(out: &mut Vec<u8>, v: usize) {
-    out.push((v >> 16) as u8);
-    out.push((v >> 8) as u8);
-    out.push(v as u8);
+/// The shared all-zero filler region DATA payloads are sliced from: body
+/// bytes are counted placeholders in this testbed, so every DATA payload is
+/// a window into this one static block instead of freshly zeroed memory.
+static ZERO_REGION: [u8; DEFAULT_MAX_FRAME_SIZE] = [0; DEFAULT_MAX_FRAME_SIZE];
+
+/// A zero-copy [`Bytes`] slice of the shared zero region
+/// (`n ≤ DEFAULT_MAX_FRAME_SIZE`) — pre-chunked DATA payload filler.
+pub fn zero_payload(n: usize) -> Bytes {
+    Bytes::from_static(&ZERO_REGION[..n])
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_be_bytes());
+/// An output buffer frames can serialize into. Implemented for `Vec<u8>`
+/// (the original API) and [`BytesMut`], which lets the connection send path
+/// reuse one buffer across calls and hand out `split().freeze()` views
+/// without copying.
+pub trait FrameBuf {
+    /// Append one byte.
+    fn put_byte(&mut self, b: u8);
+    /// Append a slice.
+    fn put_slice(&mut self, s: &[u8]);
+    /// Append `n` zero bytes (DATA filler).
+    fn put_zeros(&mut self, n: usize) {
+        let mut left = n;
+        while left > 0 {
+            let take = left.min(ZERO_REGION.len());
+            self.put_slice(&ZERO_REGION[..take]);
+            left -= take;
+        }
+    }
+    /// Bytes written so far.
+    fn buf_len(&self) -> usize;
 }
 
-fn header(out: &mut Vec<u8>, len: usize, ty: FrameType, flags: u8, stream: u32) {
+impl FrameBuf for Vec<u8> {
+    fn put_byte(&mut self, b: u8) {
+        self.push(b);
+    }
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+    fn put_zeros(&mut self, n: usize) {
+        self.resize(self.len() + n, 0);
+    }
+    fn buf_len(&self) -> usize {
+        self.len()
+    }
+}
+
+impl FrameBuf for BytesMut {
+    fn put_byte(&mut self, b: u8) {
+        self.extend_from_slice(&[b]);
+    }
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+    fn put_zeros(&mut self, n: usize) {
+        self.resize(self.len() + n, 0);
+    }
+    fn buf_len(&self) -> usize {
+        self.len()
+    }
+}
+
+fn put_u24<B: FrameBuf + ?Sized>(out: &mut B, v: usize) {
+    out.put_byte((v >> 16) as u8);
+    out.put_byte((v >> 8) as u8);
+    out.put_byte(v as u8);
+}
+
+fn put_u32<B: FrameBuf + ?Sized>(out: &mut B, v: u32) {
+    out.put_slice(&v.to_be_bytes());
+}
+
+fn header<B: FrameBuf + ?Sized>(out: &mut B, len: usize, ty: FrameType, flags: u8, stream: u32) {
     put_u24(out, len);
-    out.push(ty.code());
-    out.push(flags);
+    out.put_byte(ty.code());
+    out.put_byte(flags);
     put_u32(out, stream & 0x7fff_ffff);
 }
 
@@ -229,10 +292,16 @@ impl Frame {
     /// Serialize this frame, appending to `out`. DATA payload is filler
     /// zeros of the declared length.
     pub fn encode(&self, out: &mut Vec<u8>) {
+        self.encode_to(out);
+    }
+
+    /// Serialize into any [`FrameBuf`] (`Vec<u8>` or `BytesMut`); the wire
+    /// bytes are identical whichever buffer is used.
+    pub fn encode_to<B: FrameBuf + ?Sized>(&self, out: &mut B) {
         match self {
             Frame::Data { stream, len, end_stream } => {
                 header(out, *len, FrameType::Data, if *end_stream { 0x1 } else { 0 }, *stream);
-                out.resize(out.len() + len, 0);
+                out.put_zeros(*len);
             }
             Frame::Headers { stream, block, end_stream, end_headers, priority } => {
                 let mut flags = 0u8;
@@ -253,16 +322,16 @@ impl Frame {
                     let dep =
                         (p.depends_on & 0x7fff_ffff) | if p.exclusive { 0x8000_0000 } else { 0 };
                     put_u32(out, dep);
-                    out.push((p.weight - 1) as u8);
+                    out.put_byte((p.weight - 1) as u8);
                 }
-                out.extend_from_slice(block);
+                out.put_slice(block);
             }
             Frame::Priority { stream, spec } => {
                 header(out, 5, FrameType::Priority, 0, *stream);
                 let dep =
                     (spec.depends_on & 0x7fff_ffff) | if spec.exclusive { 0x8000_0000 } else { 0 };
                 put_u32(out, dep);
-                out.push((spec.weight - 1) as u8);
+                out.put_byte((spec.weight - 1) as u8);
             }
             Frame::RstStream { stream, code } => {
                 header(out, 4, FrameType::RstStream, 0, *stream);
@@ -295,17 +364,17 @@ impl Frame {
                     }
                 }
                 header(out, payload.len(), FrameType::Settings, if *ack { 0x1 } else { 0 }, 0);
-                out.extend_from_slice(&payload);
+                out.put_slice(&payload);
             }
             Frame::PushPromise { stream, promised, block, end_headers } => {
                 let flags = if *end_headers { 0x4 } else { 0 };
                 header(out, block.len() + 4, FrameType::PushPromise, flags, *stream);
                 put_u32(out, promised & 0x7fff_ffff);
-                out.extend_from_slice(block);
+                out.put_slice(block);
             }
             Frame::Ping { ack, payload } => {
                 header(out, 8, FrameType::Ping, if *ack { 0x1 } else { 0 }, 0);
-                out.extend_from_slice(payload);
+                out.put_slice(payload);
             }
             Frame::GoAway { last_stream, code } => {
                 header(out, 8, FrameType::GoAway, 0, 0);
@@ -319,7 +388,7 @@ impl Frame {
             Frame::Continuation { stream, block, end_headers } => {
                 let flags = if *end_headers { 0x4 } else { 0 };
                 header(out, block.len(), FrameType::Continuation, flags, *stream);
-                out.extend_from_slice(block);
+                out.put_slice(block);
             }
         }
     }

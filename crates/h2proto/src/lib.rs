@@ -22,8 +22,9 @@ pub use cache_digest::CacheDigest;
 pub use connection::{Connection, Event, Role, StreamState};
 pub use error::{ConnError, StreamError};
 pub use frame::{
-    ErrorCode, Frame, FrameError, PrioritySpec, Settings, DEFAULT_MAX_FRAME_SIZE, DEFAULT_WINDOW,
-    PREFACE,
+    zero_payload, ErrorCode, Frame, FrameError, PrioritySpec, Settings, DEFAULT_MAX_FRAME_SIZE,
+    DEFAULT_WINDOW, PREFACE,
 };
+pub use h2push_hpack::BlockCache;
 pub use priority::{PriorityTree, ROOT};
 pub use scheduler::{DefaultScheduler, FairScheduler, FifoScheduler, Scheduler, StreamSnapshot};

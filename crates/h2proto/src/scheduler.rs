@@ -60,6 +60,9 @@ pub struct DefaultScheduler {
     charged: HashMap<u32, u64>,
     /// Bytes charged per (parent node, child weight class).
     class_charged: HashMap<(u32, u16), u64>,
+    /// Scratch map rebuilt on every [`Scheduler::pick`]; kept across calls
+    /// so steady-state picks allocate nothing.
+    ready_scratch: HashMap<u32, usize>,
 }
 
 impl DefaultScheduler {
@@ -106,15 +109,19 @@ impl DefaultScheduler {
 
 impl Scheduler for DefaultScheduler {
     fn pick(&mut self, streams: &[StreamSnapshot], tree: &PriorityTree) -> Option<u32> {
-        let ready: HashMap<u32, usize> =
-            streams.iter().filter(|s| s.sendable > 0).map(|s| (s.id, s.sendable)).collect();
+        let mut ready = std::mem::take(&mut self.ready_scratch);
+        ready.clear();
+        ready.extend(streams.iter().filter(|s| s.sendable > 0).map(|s| (s.id, s.sendable)));
         if ready.is_empty() {
+            self.ready_scratch = ready;
             return None;
         }
         // Streams the tree doesn't know (e.g. no HEADERS seen yet) are
         // treated as root children implicitly by falling back to any ready
         // stream if the walk finds nothing.
-        self.pick_rec(ROOT, tree, &ready).or_else(|| ready.keys().min().copied())
+        let pick = self.pick_rec(ROOT, tree, &ready).or_else(|| ready.keys().min().copied());
+        self.ready_scratch = ready;
+        pick
     }
 
     fn charge(&mut self, stream: u32, bytes: usize, tree: &PriorityTree) {
@@ -148,6 +155,9 @@ impl Scheduler for DefaultScheduler {
 pub struct FairScheduler {
     charged: HashMap<u32, u64>,
     class_charged: HashMap<(u32, u16), u64>,
+    /// Scratch map rebuilt on every [`Scheduler::pick`] (see
+    /// [`DefaultScheduler`]).
+    ready_scratch: HashMap<u32, usize>,
 }
 
 impl FairScheduler {
@@ -209,12 +219,16 @@ impl FairScheduler {
 
 impl Scheduler for FairScheduler {
     fn pick(&mut self, streams: &[StreamSnapshot], tree: &PriorityTree) -> Option<u32> {
-        let ready: HashMap<u32, usize> =
-            streams.iter().filter(|s| s.sendable > 0).map(|s| (s.id, s.sendable)).collect();
+        let mut ready = std::mem::take(&mut self.ready_scratch);
+        ready.clear();
+        ready.extend(streams.iter().filter(|s| s.sendable > 0).map(|s| (s.id, s.sendable)));
         if ready.is_empty() {
+            self.ready_scratch = ready;
             return None;
         }
-        self.pick_rec(ROOT, tree, &ready).or_else(|| ready.keys().min().copied())
+        let pick = self.pick_rec(ROOT, tree, &ready).or_else(|| ready.keys().min().copied());
+        self.ready_scratch = ready;
+        pick
     }
 
     fn charge(&mut self, stream: u32, bytes: usize, tree: &PriorityTree) {

@@ -13,4 +13,4 @@ pub mod server;
 
 pub use h1server::H1ReplayServer;
 pub use interleave::InterleavingScheduler;
-pub use server::{ReplayServer, RequestObservation};
+pub use server::{Prepared, ReplayServer, RequestObservation};

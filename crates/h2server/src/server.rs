@@ -28,6 +28,49 @@ pub struct RequestObservation {
     pub at: SimTime,
 }
 
+/// Precomputed per-resource server metadata, shared across every
+/// connection of every repetition of a page.
+///
+/// The header lists are built exactly as the live path builds them, so a
+/// prepared server's wire output is byte-identical to an unprepared one —
+/// it just skips re-formatting `content-length`, the response header
+/// triple and the synthetic push request on every request.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// Response headers (`:status`/`content-type`/`content-length`) per
+    /// resource, indexed by [`ResourceId`].
+    resp_headers: Vec<Vec<Header>>,
+    /// Synthetic request headers a push promise carries, per resource.
+    push_req: Vec<Vec<Header>>,
+    /// Full URL per resource (cache-digest membership checks).
+    urls: Vec<String>,
+}
+
+impl Prepared {
+    /// Build the per-resource header lists for `page`.
+    pub fn build(page: &Page) -> Self {
+        let mut resp_headers = Vec::with_capacity(page.resources.len());
+        let mut push_req = Vec::with_capacity(page.resources.len());
+        let mut urls = Vec::with_capacity(page.resources.len());
+        for r in &page.resources {
+            let host = &page.origins[r.origin].host;
+            resp_headers.push(vec![
+                Header::new(":status", "200"),
+                Header::new("content-type", r.rtype.mime()),
+                Header::new("content-length", &r.size.to_string()),
+            ]);
+            push_req.push(vec![
+                Header::new(":method", "GET"),
+                Header::new(":scheme", "https"),
+                Header::new(":authority", host),
+                Header::new(":path", &r.path),
+            ]);
+            urls.push(r.url(host));
+        }
+        Prepared { resp_headers, push_req, urls }
+    }
+}
+
 /// The scheduler variants a replay server can run.
 enum Sched {
     /// h2o stock behaviour.
@@ -61,6 +104,8 @@ impl Sched {
 pub struct ReplayServer {
     page: Arc<Page>,
     db: Arc<RecordDb>,
+    /// Optional precomputed header lists; `None` formats headers live.
+    prepared: Option<Arc<Prepared>>,
     group: usize,
     conn: Connection,
     sched: Sched,
@@ -104,6 +149,7 @@ impl ReplayServer {
         ReplayServer {
             page,
             db,
+            prepared: None,
             group,
             conn: Connection::server(Settings::default()),
             sched,
@@ -136,6 +182,17 @@ impl ReplayServer {
     /// default; turn off to model digest-oblivious deployments).
     pub fn set_honor_cache_digest(&mut self, honor: bool) {
         self.honor_cache_digest = honor;
+    }
+
+    /// Attach precomputed header lists ([`Prepared::build`] of the same
+    /// page). Purely a fast path: responses are byte-identical either way.
+    pub fn set_prepared(&mut self, prepared: Arc<Prepared>) {
+        self.prepared = Some(prepared);
+    }
+
+    /// Share a memoized HPACK block cache with this connection's encoder.
+    pub fn set_hpack_block_cache(&mut self, cache: h2push_h2proto::BlockCache) {
+        self.conn.set_hpack_block_cache(cache);
     }
 
     /// Pushes skipped because the client's digest already covered them.
@@ -211,15 +268,17 @@ impl ReplayServer {
     }
 
     fn handle_request(&mut self, stream: u32, headers: &[Header], now: SimTime) {
-        let get = |n: &str| {
+        // Borrowed (Cow) header values: valid UTF-8 — the always case in a
+        // replay — costs no allocation.
+        let find = |n: &[u8]| {
             headers
                 .iter()
-                .find(|h| h.name == n.as_bytes())
-                .map(|h| String::from_utf8_lossy(&h.value).to_string())
-                .unwrap_or_default()
+                .find(|h| h.name == n)
+                .map(|h| String::from_utf8_lossy(&h.value))
+                .unwrap_or(std::borrow::Cow::Borrowed(""))
         };
-        let host = get(":authority");
-        let path = get(":path");
+        let host = find(b":authority");
+        let path = find(b":path");
         if let Some(d) = headers
             .iter()
             .find(|h| h.name == b"cache-digest")
@@ -273,38 +332,54 @@ impl ReplayServer {
             }
         }
 
-        // The response itself.
-        self.conn.respond(
-            stream,
-            &[
-                Header::new(":status", "200"),
-                Header::new("content-type", &rec.content_type),
-                Header::new("content-length", &rec.body_len.to_string()),
-            ],
-            false,
-        );
+        // The response itself. The prepared header list is byte-identical
+        // to the live formatting below (both derive from the same page).
+        match &self.prepared {
+            Some(p) => self.conn.respond(stream, &p.resp_headers[rec.resource.0], false),
+            None => self.conn.respond(
+                stream,
+                &[
+                    Header::new(":status", "200"),
+                    Header::new("content-type", &rec.content_type),
+                    Header::new("content-length", &rec.body_len.to_string()),
+                ],
+                false,
+            ),
+        }
         self.conn.queue_body(stream, rec.body_len, true);
     }
 
     fn start_push(&mut self, parent: u32, rid: ResourceId, critical: bool) {
         let page = Arc::clone(&self.page);
+        let prepared = self.prepared.clone();
         let r = page.resource(rid);
         let host = &page.origins[r.origin].host;
         if self.honor_cache_digest {
             if let Some(d) = &self.client_digest {
-                if d.contains(&r.url(host)) {
+                let covered = match &prepared {
+                    Some(p) => d.contains(&p.urls[rid.0]),
+                    None => d.contains(&r.url(host)),
+                };
+                if covered {
                     self.digest_suppressed += 1;
                     return;
                 }
             }
         }
-        let req = vec![
-            Header::new(":method", "GET"),
-            Header::new(":scheme", "https"),
-            Header::new(":authority", host),
-            Header::new(":path", &r.path),
-        ];
-        let Some(promised) = self.conn.push_promise(parent, &req) else {
+        let live_req;
+        let req: &[Header] = match &prepared {
+            Some(p) => &p.push_req[rid.0],
+            None => {
+                live_req = vec![
+                    Header::new(":method", "GET"),
+                    Header::new(":scheme", "https"),
+                    Header::new(":authority", host),
+                    Header::new(":path", &r.path),
+                ];
+                &live_req
+            }
+        };
+        let Some(promised) = self.conn.push_promise(parent, req) else {
             return; // peer disabled push, or parent gone
         };
         self.trace.emit(TraceEvent::PushPromised {
@@ -319,15 +394,18 @@ impl ReplayServer {
                 il.add_critical(promised);
             }
         }
-        self.conn.respond(
-            promised,
-            &[
-                Header::new(":status", "200"),
-                Header::new("content-type", r.rtype.mime()),
-                Header::new("content-length", &r.size.to_string()),
-            ],
-            false,
-        );
+        match &prepared {
+            Some(p) => self.conn.respond(promised, &p.resp_headers[rid.0], false),
+            None => self.conn.respond(
+                promised,
+                &[
+                    Header::new(":status", "200"),
+                    Header::new("content-type", r.rtype.mime()),
+                    Header::new("content-length", &r.size.to_string()),
+                ],
+                false,
+            ),
+        }
         self.conn.queue_body(promised, r.size, true);
         self.pushed_bytes += r.size as u64;
     }

@@ -1,9 +1,124 @@
-//! HPACK block encoder and decoder (RFC 7541 §6).
+//! HPACK block encoder and decoder (RFC 7541 §6), plus a memoizing
+//! [`BlockCache`] for replay workloads that encode the same header lists
+//! from identical encoder states over and over.
 
 use crate::huffman;
 use crate::integer;
 use crate::table::{Header, IndexTable, Match};
 use crate::Error;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Fowler–Noll–Vo 1a, 64-bit: deterministic across runs/platforms (unlike
+/// `DefaultHasher`), which the encoder-state fingerprint requires.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+pub(crate) fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+pub(crate) fn fnv1a_usize(hash: &mut u64, v: usize) {
+    fnv1a(hash, &(v as u64).to_le_bytes());
+}
+
+/// One memoized header block: the encoded bytes plus the dynamic-table
+/// insertions the live encoding performed, replayed verbatim on a cache hit
+/// so the encoder state after a hit is identical to a live encode.
+#[derive(Debug, Clone)]
+struct CachedBlock {
+    block: Vec<u8>,
+    inserts: Vec<Header>,
+}
+
+/// A shared memo of encoded header blocks, keyed by (encoder-state
+/// fingerprint, header-list hash).
+///
+/// The fingerprint covers the full observable encoder state — dynamic-table
+/// entries, size limits, pending size updates and Huffman policy — so a hit
+/// is only possible when a previous live encode ran from a byte-identical
+/// state. When connection histories diverge (different push strategies
+/// insert different entries), the fingerprint differs, the lookup misses,
+/// and the encoder transparently falls back to live encoding; the result is
+/// then memoized for the next repetition. Cache contents therefore affect
+/// speed, never bytes.
+///
+/// Cloning is shallow: clones share one map, which is how a page-level
+/// [`BlockCache`] is shared across every connection and repetition touching
+/// that page (the map is behind a `Mutex`; encodes are rare relative to
+/// simulation events, so contention is negligible).
+#[derive(Debug, Clone, Default)]
+pub struct BlockCache {
+    inner: Arc<BlockCacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct BlockCacheInner {
+    map: Mutex<HashMap<(u64, u64), CachedBlock>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BlockCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct (state, header-list) blocks memoized.
+    pub fn len(&self) -> usize {
+        self.inner.map.lock().unwrap().len()
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (hits, misses) since creation — diagnostics for benches/tests.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.inner.hits.load(Ordering::Relaxed), self.inner.misses.load(Ordering::Relaxed))
+    }
+
+    /// Deterministic hash of a header list (order-sensitive).
+    fn headers_hash(headers: &[Header]) -> u64 {
+        let mut h = FNV_OFFSET;
+        fnv1a_usize(&mut h, headers.len());
+        for hd in headers {
+            fnv1a_usize(&mut h, hd.name.len());
+            fnv1a(&mut h, &hd.name);
+            fnv1a_usize(&mut h, hd.value.len());
+            fnv1a(&mut h, &hd.value);
+        }
+        h
+    }
+}
+
+impl Encoder {
+    /// Deterministic fingerprint of everything that can influence the bytes
+    /// this encoder emits next: dynamic-table contents and limits, pending
+    /// size updates, and the Huffman policy.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        fnv1a(&mut h, &[self.policy as u8]);
+        fnv1a_usize(&mut h, self.pending_size_updates.len());
+        for &s in &self.pending_size_updates {
+            fnv1a_usize(&mut h, s);
+        }
+        self.table.fold_state(&mut h);
+        h
+    }
+
+    /// Attach a shared [`BlockCache`]; subsequent [`Encoder::encode`] calls
+    /// memoize through it.
+    pub fn set_block_cache(&mut self, cache: BlockCache) {
+        self.cache = Some(cache);
+    }
+}
 
 /// When the encoder applies Huffman coding to string literals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,6 +158,8 @@ pub struct Encoder {
     /// Pending dynamic-table size updates to emit at the start of the next
     /// block (§4.2).
     pending_size_updates: Vec<usize>,
+    /// Optional shared block memo; `None` means every block is encoded live.
+    cache: Option<BlockCache>,
 }
 
 impl Encoder {
@@ -52,6 +169,7 @@ impl Encoder {
             table: IndexTable::new(),
             policy: HuffmanPolicy::Auto,
             pending_size_updates: Vec::new(),
+            cache: None,
         }
     }
 
@@ -74,19 +192,48 @@ impl Encoder {
         &self.table
     }
 
-    /// Encode one header block.
+    /// Encode one header block. With a [`BlockCache`] attached, a block
+    /// already encoded from a byte-identical encoder state is returned from
+    /// the memo (replaying its recorded table insertions); otherwise the
+    /// block is encoded live and memoized.
     pub fn encode(&mut self, headers: &[Header]) -> Vec<u8> {
+        let Some(cache) = self.cache.clone() else {
+            return self.encode_live(headers, None);
+        };
+        let key = (self.fingerprint(), BlockCache::headers_hash(headers));
+        {
+            let map = cache.inner.map.lock().unwrap();
+            if let Some(entry) = map.get(&key) {
+                let block = entry.block.clone();
+                for h in &entry.inserts {
+                    self.table.insert(h.clone());
+                }
+                // The cached block already carries the size-update prefix
+                // the live encode emitted from this same state.
+                self.pending_size_updates.clear();
+                cache.inner.hits.fetch_add(1, Ordering::Relaxed);
+                return block;
+            }
+        }
+        cache.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let mut inserts = Vec::new();
+        let block = self.encode_live(headers, Some(&mut inserts));
+        cache.inner.map.lock().unwrap().insert(key, CachedBlock { block: block.clone(), inserts });
+        block
+    }
+
+    fn encode_live(&mut self, headers: &[Header], mut record: Option<&mut Vec<Header>>) -> Vec<u8> {
         let mut out = Vec::new();
         for size in self.pending_size_updates.drain(..) {
             integer::encode(size as u64, 5, 0x20, &mut out);
         }
         for h in headers {
-            self.encode_header(h, &mut out);
+            self.encode_header(h, &mut out, record.as_deref_mut());
         }
         out
     }
 
-    fn encode_header(&mut self, h: &Header, out: &mut Vec<u8>) {
+    fn encode_header(&mut self, h: &Header, out: &mut Vec<u8>, record: Option<&mut Vec<Header>>) {
         match self.table.find(h) {
             Match::Full(i) => {
                 // Indexed header field (§6.1): '1' + 7-bit index.
@@ -97,6 +244,9 @@ impl Encoder {
                 integer::encode(i as u64, 6, 0x40, out);
                 self.encode_string(&h.value, out);
                 self.table.insert(h.clone());
+                if let Some(rec) = record {
+                    rec.push(h.clone());
+                }
             }
             Match::None => {
                 // Literal with incremental indexing, new name.
@@ -104,21 +254,30 @@ impl Encoder {
                 self.encode_string(&h.name, out);
                 self.encode_string(&h.value, out);
                 self.table.insert(h.clone());
+                if let Some(rec) = record {
+                    rec.push(h.clone());
+                }
             }
         }
     }
 
     fn encode_string(&self, s: &[u8], out: &mut Vec<u8>) {
+        // One encoded_len pass serves both the Auto decision and the length
+        // prefix; Never skips the scan entirely.
+        let hlen = match self.policy {
+            HuffmanPolicy::Never => 0,
+            _ => huffman::encoded_len(s),
+        };
         let use_huffman = match self.policy {
             HuffmanPolicy::Never => false,
             HuffmanPolicy::Always => true,
             // "No shorter" rather than "strictly shorter": the RFC C.6.2
             // example Huffman-encodes "307" although both forms are 3
             // octets.
-            HuffmanPolicy::Auto => !s.is_empty() && huffman::encoded_len(s) <= s.len(),
+            HuffmanPolicy::Auto => !s.is_empty() && hlen <= s.len(),
         };
         if use_huffman {
-            integer::encode(huffman::encoded_len(s) as u64, 7, 0x80, out);
+            integer::encode(hlen as u64, 7, 0x80, out);
             huffman::encode(s, out);
         } else {
             integer::encode(s.len() as u64, 7, 0, out);
@@ -436,6 +595,97 @@ mod tests {
         let mut d = Decoder::new();
         // Literal with indexing, new name, claims a 10-byte name but ends.
         assert_eq!(d.decode(&[0x40, 0x0a, b'x']), Err(Error::Truncated));
+    }
+
+    /// Drive two encoders through the same block sequence, one memoized and
+    /// one live, asserting byte-identical output and identical end state.
+    fn assert_cache_transparent(blocks: &[Vec<Header>]) {
+        let cache = BlockCache::new();
+        // Two passes so the second pass hits the memo populated by the first.
+        for _ in 0..2 {
+            let mut live = Encoder::new();
+            let mut memo = Encoder::new();
+            memo.set_block_cache(cache.clone());
+            let mut dec = Decoder::new();
+            for hs in blocks {
+                let a = live.encode(hs);
+                let b = memo.encode(hs);
+                assert_eq!(a, b, "cached block differs from live encode");
+                assert_eq!(live.fingerprint(), memo.fingerprint());
+                assert_eq!(dec.decode(&b).unwrap(), *hs);
+            }
+        }
+    }
+
+    #[test]
+    fn block_cache_is_bytes_transparent() {
+        let blocks = vec![
+            vec![h(":method", "GET"), h(":path", "/"), h(":authority", "a.test")],
+            vec![h(":method", "GET"), h(":path", "/app.css"), h(":authority", "a.test")],
+            vec![h(":status", "200"), h("content-type", "text/css"), h("content-length", "1234")],
+            vec![h(":method", "GET"), h(":path", "/app.css"), h(":authority", "a.test")],
+        ];
+        assert_cache_transparent(&blocks);
+    }
+
+    #[test]
+    fn block_cache_hits_on_repeated_state() {
+        let cache = BlockCache::new();
+        let hs = vec![h(":method", "GET"), h(":path", "/x"), h(":authority", "h.test")];
+        let first = {
+            let mut e = Encoder::new();
+            e.set_block_cache(cache.clone());
+            e.encode(&hs)
+        };
+        let second = {
+            let mut e = Encoder::new();
+            e.set_block_cache(cache.clone());
+            e.encode(&hs)
+        };
+        assert_eq!(first, second);
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn block_cache_falls_back_on_divergent_state() {
+        let cache = BlockCache::new();
+        let hs = vec![h("x-a", "1")];
+        let mut warm = Encoder::new();
+        warm.set_block_cache(cache.clone());
+        warm.encode(&hs);
+
+        // An encoder whose dynamic table diverged must not see the memo.
+        let mut diverged = Encoder::new();
+        diverged.set_block_cache(cache.clone());
+        diverged.encode(&[h("x-other", "z")]); // different table now
+        let out = diverged.encode(&hs);
+        let mut reference = Encoder::new();
+        reference.encode(&[h("x-other", "z")]);
+        assert_eq!(out, reference.encode(&hs));
+        let (_, misses) = cache.stats();
+        assert_eq!(misses, 3);
+    }
+
+    #[test]
+    fn block_cache_covers_size_updates() {
+        // A pending size update is part of the fingerprint and of the
+        // cached bytes (C.6-style prefix).
+        let cache = BlockCache::new();
+        let hs = vec![h(":status", "302"), h("cache-control", "private")];
+        let encode_with_resize = || {
+            let mut e = Encoder::new();
+            e.set_block_cache(cache.clone());
+            e.set_table_size(256);
+            e.encode(&hs)
+        };
+        let a = encode_with_resize();
+        let b = encode_with_resize();
+        assert_eq!(a, b);
+        assert!(a[0] & 0xe0 == 0x20, "block starts with a size update");
+        let (hits, _) = cache.stats();
+        assert_eq!(hits, 1);
     }
 
     #[test]

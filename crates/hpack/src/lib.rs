@@ -11,7 +11,7 @@ pub mod huffman;
 pub mod integer;
 pub mod table;
 
-pub use codec::{Decoder, Encoder, HuffmanPolicy};
+pub use codec::{BlockCache, Decoder, Encoder, HuffmanPolicy};
 pub use table::{Header, IndexTable, Match, STATIC_TABLE};
 
 /// HPACK processing error; all of these are connection errors of type

@@ -198,6 +198,23 @@ impl IndexTable {
         self.entries.get(index - STATIC_TABLE.len() - 1).cloned().ok_or(crate::Error::InvalidIndex)
     }
 
+    /// Fold the complete observable table state — limits plus every dynamic
+    /// entry in index order — into `hash` (FNV-1a). Two tables with equal
+    /// folds behave identically for all future operations, which is what
+    /// the encoder-state fingerprint of [`crate::BlockCache`] relies on.
+    pub(crate) fn fold_state(&self, hash: &mut u64) {
+        use crate::codec::{fnv1a, fnv1a_usize};
+        fnv1a_usize(hash, self.max_size);
+        fnv1a_usize(hash, self.capacity_limit);
+        fnv1a_usize(hash, self.entries.len());
+        for e in &self.entries {
+            fnv1a_usize(hash, e.name.len());
+            fnv1a(hash, &e.name);
+            fnv1a_usize(hash, e.value.len());
+            fnv1a(hash, &e.value);
+        }
+    }
+
     /// Find the best index for `header`: an exact match if one exists,
     /// otherwise a name match. Static entries win ties (smaller indices
     /// compress better).

@@ -324,6 +324,17 @@ impl XorShift {
     }
 }
 
+thread_local! {
+    /// Recycled event-queue storage. A replay creates and drops one
+    /// [`Network`] per rep, and the event heap is the loop's largest
+    /// recurring allocation; dropped networks park their cleared queue
+    /// here and [`Network::new`] takes it back. A cleared queue is
+    /// indistinguishable from a fresh one (see [`EventQueue::clear`]), so
+    /// recycling cannot perturb determinism.
+    static QUEUE_POOL: std::cell::RefCell<Vec<EventQueue<Ev>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// The deterministic network simulator.
 pub struct Network {
     spec: NetworkSpec,
@@ -342,6 +353,23 @@ pub struct Network {
     trace: TraceHandle,
 }
 
+impl Drop for Network {
+    fn drop(&mut self) {
+        let mut q = std::mem::take(&mut self.events);
+        if q.capacity() == 0 {
+            return;
+        }
+        q.clear();
+        QUEUE_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            // A small cap bounds memory held by idle worker threads.
+            if pool.len() < 8 {
+                pool.push(q);
+            }
+        });
+    }
+}
+
 impl Network {
     /// Create a network with the given client access profile.
     pub fn new(spec: NetworkSpec) -> Self {
@@ -353,7 +381,7 @@ impl Network {
         Network {
             spec,
             now: SimTime::ZERO,
-            events: EventQueue::new(),
+            events: QUEUE_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default(),
             client_up,
             client_down,
             servers: Vec::new(),

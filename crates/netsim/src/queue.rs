@@ -65,6 +65,21 @@ impl<E> EventQueue<E> {
         self.heap.pop().map(|e| (e.at, e.event))
     }
 
+    /// Drop all pending events and reset the tie-break sequence, keeping
+    /// the heap's capacity. A cleared queue behaves exactly like a fresh
+    /// one — ordering is total over `(time, seq)`, so retained capacity
+    /// cannot affect pop order — which makes recycling queues across
+    /// simulation runs safe for determinism.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+    }
+
+    /// Allocated capacity of the underlying heap.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// The firing time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.at)

@@ -13,7 +13,9 @@ pub mod experiments;
 pub mod harness;
 pub mod plan;
 pub mod pool;
+pub mod prepared;
 pub mod replay;
+pub mod sweep;
 pub mod waterfall;
 
 #[allow(deprecated)]
@@ -27,7 +29,9 @@ pub use harness::{compute_push_order, run_config, Mode, PAPER_RUNS};
 pub use harness::{run_many, run_many_serial, run_many_shared, run_once};
 pub use plan::{RunOutput, RunPlan, RunReport, TraceSpec};
 pub use pool::parallel_indexed;
+pub use prepared::PreparedPage;
 pub use replay::{
     replay, replay_shared, Protocol, ReplayConfig, ReplayError, ReplayInputs, ReplayOutcome,
 };
+pub use sweep::{SweepCell, SweepPlan, SweepReport};
 pub use waterfall::write_waterfall;

@@ -196,6 +196,15 @@ impl RunPlan {
         self
     }
 
+    /// Precompute the page-level artifact ([`crate::PreparedPage`]) once
+    /// and share it across every rep: pre-scanned parser/reference
+    /// indices, pre-formatted header lists and a memoized HPACK block
+    /// cache. Outputs stay byte-identical to the unprepared plan.
+    pub fn prepared(mut self) -> Self {
+        self.inputs = self.inputs.prepared();
+        self
+    }
+
     /// Borrow the shared inputs (page + response DB) this plan replays.
     pub fn inputs(&self) -> &ReplayInputs {
         &self.inputs
@@ -220,7 +229,7 @@ impl RunPlan {
         }
     }
 
-    fn run_rep(&self, rep: usize) -> Result<RunOutput, ReplayError> {
+    pub(crate) fn run_rep(&self, rep: usize) -> Result<RunOutput, ReplayError> {
         let cfg = self.config_for(rep);
         match self.trace {
             TraceSpec::Off => replay_with_trace(&self.inputs, &cfg, &TraceHandle::off())

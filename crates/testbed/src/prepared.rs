@@ -1,0 +1,127 @@
+//! Page-level precomputation: the [`PreparedPage`] artifact.
+//!
+//! A replay spends a measurable slice of every repetition re-deriving
+//! facts that depend only on the page: the browser's parser stop points
+//! and preload-scanner reference index, the per-resource request and
+//! response header lists both endpoints format, and the HPACK blocks
+//! those lists encode to. A [`PreparedPage`] computes all of it once and
+//! shares it — across repetitions, configurations and worker threads —
+//! via `Arc` clones.
+//!
+//! **Bit-identity is the contract.** Every prepared component either
+//! stores exactly the bytes the live path would produce (header lists are
+//! built by the same formatting code) or memoizes keyed on the full
+//! producer state (HPACK blocks are keyed by the encoder-state
+//! fingerprint and fall back to live encoding on any miss — see
+//! `h2push_hpack::BlockCache`). A replay with a `PreparedPage` attached
+//! is therefore byte-identical to one without, which
+//! `tests/prepared.rs` asserts across strategies, tracing and fault
+//! profiles.
+//!
+//! Amortization (see DESIGN.md §8): per-page work happens here, once;
+//! per-config work is an `Arc` clone; the per-rep hot path reads shared
+//! immutable data and allocates almost nothing.
+
+use bytes::Bytes;
+use h2push_browser::PreparedScan;
+use h2push_hpack::BlockCache;
+use h2push_server::Prepared as ServerPrepared;
+use h2push_webmodel::Page;
+use std::sync::Arc;
+
+/// Everything about one page that replays can precompute and share.
+#[derive(Debug, Clone)]
+pub struct PreparedPage {
+    /// Browser-side scan: parser stops, HTML reference index, request
+    /// header lists.
+    pub(crate) scan: Arc<PreparedScan>,
+    /// Server-side response/push-request header lists and push URLs.
+    pub(crate) server: Arc<ServerPrepared>,
+    /// Memoized HPACK header blocks, shared by the client and every
+    /// server connection (keys carry the full encoder-state fingerprint,
+    /// so sharing across roles cannot alias).
+    pub(crate) hpack: BlockCache,
+    /// Per-resource response bodies pre-chunked into DATA-frame payload
+    /// slices (≤ `DEFAULT_MAX_FRAME_SIZE` each). Replay bodies are
+    /// synthetic zero-fill, so every chunk is a zero-copy view of one
+    /// static region (`h2push_h2proto::zero_payload`); the vector exists
+    /// so strategies that later carry recorded payloads slot in without
+    /// touching the replay loop.
+    pub(crate) bodies: Vec<Vec<Bytes>>,
+}
+
+impl PreparedPage {
+    /// Precompute everything for `page`. Deterministic: a pure function
+    /// of the page (the HPACK cache starts empty and fills as reps run).
+    pub fn build(page: &Arc<Page>) -> Self {
+        PreparedPage {
+            scan: Arc::new(PreparedScan::build(page)),
+            server: Arc::new(ServerPrepared::build(page)),
+            hpack: BlockCache::new(),
+            bodies: page
+                .resources
+                .iter()
+                .map(|r| {
+                    let mut chunks = Vec::new();
+                    let mut left = r.size;
+                    while left > 0 {
+                        let take = left.min(h2push_h2proto::DEFAULT_MAX_FRAME_SIZE);
+                        chunks.push(h2push_h2proto::zero_payload(take));
+                        left -= take;
+                    }
+                    chunks
+                })
+                .collect(),
+        }
+    }
+
+    /// Borrow the shared browser scan.
+    pub fn scan(&self) -> &Arc<PreparedScan> {
+        &self.scan
+    }
+
+    /// Borrow the shared server-side header lists.
+    pub fn server(&self) -> &Arc<ServerPrepared> {
+        &self.server
+    }
+
+    /// The shared HPACK block cache (clone to attach elsewhere).
+    pub fn hpack_cache(&self) -> &BlockCache {
+        &self.hpack
+    }
+
+    /// Pre-chunked body payload of resource `i` (zero-copy slices).
+    pub fn body(&self, i: usize) -> &[Bytes] {
+        &self.bodies[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2push_webmodel::{PageBuilder, ResourceSpec};
+
+    fn page() -> Arc<Page> {
+        let mut b = PageBuilder::new("prep", "prep.test", 30_000, 3_000);
+        b.resource(ResourceSpec::css(0, 10_000, 300, 0.4));
+        b.resource(ResourceSpec::image(0, 20_000, 8_000, true, 1.0));
+        b.text_paint(8_000, 1.0);
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn build_is_pure_and_bodies_match_sizes() {
+        let p = page();
+        let a = PreparedPage::build(&p);
+        let b = PreparedPage::build(&p);
+        assert_eq!(a.bodies.len(), p.resources.len());
+        for (chunks, r) in a.bodies.iter().zip(&p.resources) {
+            assert_eq!(chunks.iter().map(|c| c.len()).sum::<usize>(), r.size);
+            assert!(chunks.iter().all(|c| c.iter().all(|&x| x == 0)));
+        }
+        for (x, y) in a.bodies.iter().zip(&b.bodies) {
+            assert_eq!(x, y);
+        }
+        assert!(a.hpack.is_empty(), "cache starts cold");
+    }
+}

@@ -5,6 +5,7 @@
 //! emulated DSL access link, the browser loads the page, and we collect the
 //! timing metrics plus the server-side request trace.
 
+use crate::prepared::PreparedPage;
 use bytes::{Bytes, BytesMut};
 use h2push_browser::{Browser, BrowserAction, BrowserConfig, LoadResult, TransportMode};
 use h2push_netsim::{
@@ -117,6 +118,10 @@ pub struct ReplayInputs {
     pub page: Arc<Page>,
     /// Recorded responses for every resource of `page`.
     pub db: Arc<RecordDb>,
+    /// Page-level precomputation ([`PreparedPage`]); `None` runs the live
+    /// path. Attached with [`ReplayInputs::prepared`]; outputs are
+    /// byte-identical either way.
+    pub(crate) prepared: Option<Arc<PreparedPage>>,
 }
 
 impl ReplayInputs {
@@ -131,12 +136,33 @@ impl ReplayInputs {
     pub fn from_arc(page: Arc<Page>) -> Self {
         Self::from(page)
     }
+
+    /// Attach a freshly built [`PreparedPage`] (build once, share across
+    /// every rep and config touching this page). No observable output
+    /// changes — only per-rep work is skipped.
+    pub fn prepared(mut self) -> Self {
+        if self.prepared.is_none() {
+            self.prepared = Some(Arc::new(PreparedPage::build(&self.page)));
+        }
+        self
+    }
+
+    /// Attach an existing (shared) [`PreparedPage`].
+    pub fn with_prepared(mut self, prepared: Arc<PreparedPage>) -> Self {
+        self.prepared = Some(prepared);
+        self
+    }
+
+    /// The attached precomputation, if any.
+    pub fn prepared_page(&self) -> Option<&Arc<PreparedPage>> {
+        self.prepared.as_ref()
+    }
 }
 
 impl From<Arc<Page>> for ReplayInputs {
     fn from(page: Arc<Page>) -> Self {
         let db = Arc::new(RecordDb::record(&page));
-        ReplayInputs { page, db }
+        ReplayInputs { page, db, prepared: None }
     }
 }
 
@@ -281,7 +307,14 @@ pub(crate) fn replay_with_trace(
         Protocol::H2 => TransportMode::H2,
         Protocol::H1 => TransportMode::H1,
     };
-    let mut browser = Browser::new(Arc::clone(page), browser_cfg);
+    let mut browser = match &inputs.prepared {
+        Some(p) => {
+            let mut b = Browser::with_scan(Arc::clone(page), browser_cfg, Arc::clone(&p.scan));
+            b.set_hpack_block_cache(p.hpack.clone());
+            b
+        }
+        None => Browser::new(Arc::clone(page), browser_cfg),
+    };
     browser.set_trace(trace.clone());
     let mut servers: HashMap<(usize, usize), AnyServer> = HashMap::new();
     let mut conn_of_slot: HashMap<(usize, usize), ConnId> = HashMap::new();
@@ -323,6 +356,10 @@ pub(crate) fn replay_with_trace(
                                     &cfg.strategy,
                                 );
                                 s.set_honor_cache_digest(cfg.server_honors_digest);
+                                if let Some(p) = &inputs.prepared {
+                                    s.set_prepared(Arc::clone(&p.server));
+                                    s.set_hpack_block_cache(p.hpack.clone());
+                                }
                                 if trace.is_on() {
                                     s.set_trace(trace.clone(), conn_label(group, slot));
                                 }

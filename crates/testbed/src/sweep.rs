@@ -1,0 +1,282 @@
+//! Grid-level sweeps: strategies × sites × reps in one scheduling unit.
+//!
+//! The paper's evaluation is a grid — every push strategy against every
+//! recorded site, 31 repetitions each. Running that grid as independent
+//! [`RunPlan`]s wastes work twice over: each plan re-derives the
+//! page-level artifact its siblings already built, and each plan's
+//! parallel fan-out drains before the next plan starts, so the worker
+//! pool idles at every cell boundary. A [`SweepPlan`] fixes both: each
+//! site's [`PreparedPage`] is built exactly once and shared (an `Arc`
+//! clone) across every configuration touching that site, and the
+//! flattened `strategies × sites × reps` grid is scheduled as a single
+//! run of [`parallel_indexed`], merged back into per-cell reports in
+//! deterministic (strategy-major, site, rep) order.
+//!
+//! Every cell is byte-identical to the same cell run through a plain
+//! [`RunPlan`] with the same strategy, site, seed and mode — the CI
+//! `sweep-smoke` job cross-checks one cell on every push.
+
+use crate::chaos::strategy_label;
+use crate::harness::Mode;
+use crate::plan::{RunOutput, RunPlan, RunReport};
+use crate::pool::parallel_indexed;
+use crate::prepared::PreparedPage;
+use crate::replay::ReplayInputs;
+use h2push_strategies::Strategy;
+
+/// One grid cell: a (strategy, site) pair with its completed reps.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Label of the strategy ([`strategy_label`]).
+    pub strategy: String,
+    /// Site name ([`h2push_webmodel::Page::name`]).
+    pub site: String,
+    /// The completed reps, exactly as a plain [`RunPlan`] would report.
+    pub report: RunReport,
+}
+
+/// All cells of a sweep, strategy-major then site order.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// The grid cells in deterministic order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepReport {
+    /// Find a cell by strategy label and site name.
+    pub fn cell(&self, strategy: &str, site: &str) -> Option<&SweepCell> {
+        self.cells.iter().find(|c| c.strategy == strategy && c.site == site)
+    }
+
+    /// Total completed reps across the grid.
+    pub fn completed(&self) -> usize {
+        self.cells.iter().map(|c| c.report.len()).sum()
+    }
+}
+
+/// A whole measurement grid, built once and executed with
+/// [`SweepPlan::run`].
+///
+/// ```
+/// use h2push_testbed::SweepPlan;
+/// use h2push_strategies::Strategy;
+/// # use h2push_webmodel::{PageBuilder, ResourceSpec};
+/// # let mut b = PageBuilder::new("doc", "d.test", 30_000, 3_000);
+/// # b.resource(ResourceSpec::css(0, 10_000, 300, 0.4));
+/// # b.text_paint(8_000, 1.0);
+/// # let page = b.build();
+/// let report = SweepPlan::new()
+///     .strategy(Strategy::NoPush)
+///     .site(page)
+///     .reps(3)
+///     .seed(42)
+///     .run();
+/// assert_eq!(report.cells.len(), 1);
+/// assert_eq!(report.completed(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    strategies: Vec<Strategy>,
+    sites: Vec<ReplayInputs>,
+    reps: usize,
+    seed: u64,
+    mode: Mode,
+}
+
+impl Default for SweepPlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepPlan {
+    /// An empty grid: no strategies, no sites, 1 rep, seed 0, testbed
+    /// mode.
+    pub fn new() -> Self {
+        SweepPlan {
+            strategies: Vec::new(),
+            sites: Vec::new(),
+            reps: 1,
+            seed: 0,
+            mode: Mode::Testbed,
+        }
+    }
+
+    /// Add one strategy column.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategies.push(strategy);
+        self
+    }
+
+    /// Add several strategy columns.
+    pub fn strategies(mut self, strategies: impl IntoIterator<Item = Strategy>) -> Self {
+        self.strategies.extend(strategies);
+        self
+    }
+
+    /// Add one site row. The page is recorded and its [`PreparedPage`]
+    /// built here, exactly once — every cell of this row shares it.
+    pub fn site(mut self, page: impl Into<ReplayInputs>) -> Self {
+        self.sites.push(page.into().prepared());
+        self
+    }
+
+    /// Add several site rows (each prepared once, as with
+    /// [`SweepPlan::site`]).
+    pub fn sites<I, P>(mut self, pages: I) -> Self
+    where
+        I: IntoIterator<Item = P>,
+        P: Into<ReplayInputs>,
+    {
+        for p in pages {
+            self = self.site(p);
+        }
+        self
+    }
+
+    /// Repetitions per cell (the paper uses 31, [`crate::PAPER_RUNS`]).
+    pub fn reps(mut self, reps: usize) -> Self {
+        self.reps = reps;
+        self
+    }
+
+    /// Base seed; cell rep `r` replays under `seed + r`, independent of
+    /// which cell it belongs to — the same per-rep jitter a plain
+    /// [`RunPlan`] with this seed derives.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Testbed (deterministic) or Internet (stochastic) conditions.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The shared [`PreparedPage`] of site row `i` (for diagnostics, e.g.
+    /// HPACK cache hit rates after a run).
+    pub fn prepared_for(&self, i: usize) -> Option<&std::sync::Arc<PreparedPage>> {
+        self.sites.get(i).and_then(|s| s.prepared_page())
+    }
+
+    /// Execute the flattened grid on the worker pool and merge the
+    /// results back into per-cell reports in (strategy, site, rep) order.
+    /// Failed reps are dropped per cell, matching [`RunPlan::run`].
+    pub fn run(&self) -> SweepReport {
+        let plans: Vec<(String, String, RunPlan)> = self
+            .strategies
+            .iter()
+            .flat_map(|s| {
+                self.sites.iter().map(move |site| {
+                    let plan = RunPlan::new(site)
+                        .strategy(s.clone())
+                        .mode(self.mode)
+                        .reps(self.reps)
+                        .seed(self.seed);
+                    (strategy_label(s).to_string(), site.page.name.clone(), plan)
+                })
+            })
+            .collect();
+        let reps = self.reps.max(1);
+        // One flat fan-out: rep r of cell c is grid index c*reps + r, so
+        // the pool never drains between cells and the merge is a chunked
+        // walk in submission order.
+        let outs: Vec<Option<RunOutput>> = if self.reps == 0 {
+            Vec::new()
+        } else {
+            parallel_indexed(plans.len() * reps, |i| plans[i / reps].2.run_rep(i % reps).ok())
+        };
+        let mut outs = outs.into_iter();
+        let cells = plans
+            .iter()
+            .map(|(strategy, site, _)| SweepCell {
+                strategy: strategy.clone(),
+                site: site.clone(),
+                report: RunReport {
+                    runs: (0..self.reps).filter_map(|_| outs.next().flatten()).collect(),
+                },
+            })
+            .collect();
+        SweepReport { cells }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2push_strategies::push_all;
+    use h2push_webmodel::{Page, PageBuilder, ResourceSpec};
+
+    fn site_page(seed: u64) -> Page {
+        let mut b = PageBuilder::new(
+            &format!("sweep-{seed}"),
+            "sweep.test",
+            40_000 + seed as usize * 1_000,
+            4_000,
+        );
+        b.resource(ResourceSpec::css(0, 15_000, 300, 0.4));
+        b.resource(ResourceSpec::js(0, 20_000, 1_000, 10_000));
+        b.text_paint(8_000, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn grid_shape_and_order() {
+        let p0 = site_page(0);
+        let p1 = site_page(1);
+        let strategies = vec![Strategy::NoPush, push_all(&p0, &[])];
+        let report = SweepPlan::new().strategies(strategies).sites([p0, p1]).reps(2).seed(7).run();
+        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.completed(), 8);
+        let labels: Vec<(&str, &str)> =
+            report.cells.iter().map(|c| (c.strategy.as_str(), c.site.as_str())).collect();
+        assert_eq!(
+            labels,
+            vec![
+                ("no-push", "sweep-0"),
+                ("no-push", "sweep-1"),
+                ("push-list", "sweep-0"),
+                ("push-list", "sweep-1"),
+            ]
+        );
+    }
+
+    #[test]
+    fn cell_matches_plain_run_plan() {
+        let p = site_page(3);
+        let sweep =
+            SweepPlan::new().strategy(Strategy::NoPush).site(p.clone()).reps(3).seed(11).run();
+        let plain = RunPlan::new(&p).strategy(Strategy::NoPush).reps(3).seed(11).run();
+        let cell = sweep.cell("no-push", "sweep-3").expect("cell exists");
+        assert_eq!(cell.report.len(), plain.len());
+        for (a, b) in cell.report.outcomes().zip(plain.outcomes()) {
+            assert_eq!(a.load, b.load);
+            assert_eq!(a.trace.order, b.trace.order);
+            assert_eq!(a.net, b.net);
+        }
+    }
+
+    #[test]
+    fn prepared_page_is_shared_across_strategies() {
+        let p = site_page(4);
+        let plan = SweepPlan::new()
+            .strategies(vec![Strategy::NoPush, push_all(&p, &[])])
+            .site(p)
+            .reps(2)
+            .seed(5);
+        let prepared = plan.prepared_for(0).expect("site is prepared").clone();
+        let report = plan.run();
+        assert_eq!(report.completed(), 4);
+        let (hits, misses) = prepared.hpack_cache().stats();
+        assert!(hits + misses > 0, "the shared cache saw traffic");
+        assert!(hits > 0, "repetitions hit memoized blocks");
+    }
+
+    #[test]
+    fn empty_grid_is_empty() {
+        let report = SweepPlan::new().run();
+        assert!(report.cells.is_empty());
+        assert_eq!(report.completed(), 0);
+    }
+}

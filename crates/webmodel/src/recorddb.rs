@@ -9,7 +9,6 @@
 use crate::page::Page;
 use crate::types::ResourceId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// A recorded response.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -39,16 +38,17 @@ pub struct RecordDb {
     /// Site name (matches [`Page::name`]).
     pub site: String,
     entries: Vec<(RequestKey, RecordedResponse)>,
+    /// Entry indices sorted by `(host, path)`, so [`RecordDb::lookup`] is a
+    /// binary search over borrowed strings — no per-request key allocation.
     #[serde(skip)]
-    index: HashMap<RequestKey, usize>,
+    index: Vec<usize>,
 }
 
 impl RecordDb {
     /// Record a page: one entry per resource, keyed by its origin host and
     /// path.
     pub fn record(page: &Page) -> Self {
-        let mut db =
-            RecordDb { site: page.name.clone(), entries: Vec::new(), index: HashMap::new() };
+        let mut db = RecordDb { site: page.name.clone(), entries: Vec::new(), index: Vec::new() };
         for r in &page.resources {
             let key =
                 RequestKey { host: page.origins[r.origin].host.clone(), path: r.path.clone() };
@@ -58,9 +58,9 @@ impl RecordDb {
                 body_len: r.size,
                 resource: r.id,
             };
-            db.index.insert(key.clone(), db.entries.len());
             db.entries.push((key, resp));
         }
+        db.reindex();
         db
     }
 
@@ -74,15 +74,26 @@ impl RecordDb {
         self.entries.is_empty()
     }
 
-    /// Match a request, Mahimahi-style: exact host+path.
+    /// Match a request, Mahimahi-style: exact host+path. Allocation-free:
+    /// binary search against the sorted index with borrowed keys.
     pub fn lookup(&self, host: &str, path: &str) -> Option<&RecordedResponse> {
-        let key = RequestKey { host: host.to_string(), path: path.to_string() };
-        self.index.get(&key).map(|&i| &self.entries[i].1)
+        self.index
+            .binary_search_by(|&i| {
+                let k = &self.entries[i].0;
+                (k.host.as_str(), k.path.as_str()).cmp(&(host, path))
+            })
+            .ok()
+            .map(|pos| &self.entries[self.index[pos]].1)
     }
 
     /// Rebuild the lookup index (needed after deserialization).
     pub fn reindex(&mut self) {
-        self.index = self.entries.iter().enumerate().map(|(i, (k, _))| (k.clone(), i)).collect();
+        self.index = (0..self.entries.len()).collect();
+        let entries = &self.entries;
+        self.index.sort_by(|&a, &b| {
+            let (ka, kb) = (&entries[a].0, &entries[b].0);
+            (ka.host.as_str(), ka.path.as_str()).cmp(&(kb.host.as_str(), kb.path.as_str()))
+        });
     }
 
     /// Serialize to JSON.

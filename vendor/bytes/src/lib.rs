@@ -9,26 +9,48 @@
 use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
+/// Backing storage of a [`Bytes`]: either a borrowed `'static` slice
+/// (zero allocation, zero copy) or a shared heap buffer. Wrapping a `Vec`
+/// in the `Arc` directly (rather than `Arc<[u8]>`) matters: converting a
+/// `Vec` to `Arc<[u8]>` copies the payload into a fresh allocation, while
+/// `Arc<Vec<u8>>` just takes ownership.
+#[derive(Clone)]
+enum Data {
+    Static(&'static [u8]),
+    Shared(Arc<Vec<u8>>),
+}
+
+impl Data {
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Data::Static(s) => s,
+            Data::Shared(v) => v,
+        }
+    }
+}
+
 /// An immutable, cheaply cloneable slice of bytes.
 ///
-/// Internally an `Arc<[u8]>` plus a window; `clone()` bumps a refcount and
-/// `slice()` narrows the window, neither copies payload bytes.
+/// Internally shared storage plus a window; `clone()` bumps a refcount and
+/// `slice()` narrows the window, neither copies payload bytes. Empty and
+/// `'static`-backed buffers allocate nothing at all.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Data,
     start: usize,
     end: usize,
 }
 
 impl Bytes {
-    /// An empty buffer.
-    pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]), start: 0, end: 0 }
+    /// An empty buffer. Free: no allocation.
+    pub const fn new() -> Self {
+        Bytes { data: Data::Static(&[]), start: 0, end: 0 }
     }
 
-    /// Wrap a static slice (copied once into shared storage).
-    pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes::from(data.to_vec())
+    /// Wrap a static slice. O(1): borrowed, never copied.
+    pub const fn from_static(data: &'static [u8]) -> Self {
+        Bytes { data: Data::Static(data), start: 0, end: data.len() }
     }
 
     /// Copy a slice into a new shared buffer.
@@ -59,7 +81,7 @@ impl Bytes {
             Bound::Unbounded => self.len(),
         };
         assert!(lo <= hi && hi <= self.len(), "slice {lo}..{hi} out of range for {}", self.len());
-        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+        Bytes { data: self.data.clone(), start: self.start + lo, end: self.start + hi }
     }
 
     /// Split off and return the first `at` bytes; `self` keeps the rest.
@@ -86,8 +108,9 @@ impl Default for Bytes {
 
 impl Deref for Bytes {
     type Target = [u8];
+    #[inline]
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &self.data.as_slice()[self.start..self.end]
     }
 }
 
@@ -99,8 +122,11 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
+        if v.is_empty() {
+            return Bytes::new();
+        }
         let end = v.len();
-        Bytes { data: Arc::from(v.into_boxed_slice()), start: 0, end }
+        Bytes { data: Data::Shared(Arc::new(v)), start: 0, end }
     }
 }
 
