@@ -97,6 +97,10 @@ pub struct BrowserConfig {
     /// closed out as a *partial* result — PLT and SpeedIndex over what
     /// actually rendered.
     pub load_deadline: Option<SimDuration>,
+    /// Adversarial-peer resource limits for every HTTP/2 connection this
+    /// browser opens. Local enforcement only — never advertised in
+    /// SETTINGS, so the knob is inert on benign replays.
+    pub limits: h2push_h2proto::ConnLimits,
 }
 
 impl Default for BrowserConfig {
@@ -112,6 +116,7 @@ impl Default for BrowserConfig {
             max_retries: 2,
             retry_backoff: SimDuration::from_millis(500),
             load_deadline: None,
+            limits: h2push_h2proto::ConnLimits::new(),
         }
     }
 }
@@ -581,6 +586,7 @@ impl Browser {
             initial_window_size: Some(self.cfg.initial_window),
             ..Default::default()
         });
+        conn.set_limits(self.cfg.limits);
         if self.trace.is_on() {
             conn.set_trace(self.trace.clone(), conn_label(group, slot));
         }

@@ -13,6 +13,7 @@ use crate::frame::{
     ErrorCode, Frame, FrameError, PrioritySpec, Settings, DEFAULT_MAX_FRAME_SIZE, DEFAULT_WINDOW,
     PREFACE,
 };
+use crate::limits::ConnLimits;
 use crate::priority::PriorityTree;
 use crate::scheduler::{Scheduler, StreamSnapshot};
 use bytes::{Bytes, BytesMut};
@@ -134,6 +135,19 @@ pub struct Connection {
     conn_recv_consumed: usize,
     goaway_received: bool,
     dead: bool,
+    // Adversarial-peer enforcement (see [`ConnLimits`]). The counters are
+    // lifetime totals; benign replays stay far below every bound.
+    limits: ConnLimits,
+    resets_received: u32,
+    settings_received: u32,
+    pings_received: u32,
+    refused_streams: u32,
+    /// Highest peer-initiated stream id accepted (server side): client
+    /// stream ids must be odd and monotonically increasing (§5.1.1).
+    highest_peer_stream: u32,
+    /// Highest promised stream id seen (client side): promises must be
+    /// monotonically increasing too.
+    last_promised_id: u32,
     trace: TraceHandle,
     /// Replay connection label stamped into trace events.
     trace_conn: u32,
@@ -194,10 +208,19 @@ impl Connection {
     }
 
     fn new(role: Role, settings: Settings) -> Self {
+        let mut hpack_dec = HpackDecoder::new();
+        if let Some(hts) = settings.header_table_size {
+            // Our SETTINGS_HEADER_TABLE_SIZE caps the peer encoder's
+            // dynamic table; the decoder must accept size updates up to it.
+            hpack_dec.set_capacity_limit(hts as usize);
+        }
+        if let Some(mhls) = settings.max_header_list_size {
+            hpack_dec.set_max_header_list_size(mhls as usize);
+        }
         Connection {
             role,
             hpack_enc: HpackEncoder::new(),
-            hpack_dec: HpackDecoder::new(),
+            hpack_dec,
             streams: BTreeMap::new(),
             tree: PriorityTree::new(),
             control: VecDeque::new(),
@@ -220,6 +243,13 @@ impl Connection {
             conn_recv_consumed: 0,
             goaway_received: false,
             dead: false,
+            limits: ConnLimits::new(),
+            resets_received: 0,
+            settings_received: 0,
+            pings_received: 0,
+            refused_streams: 0,
+            highest_peer_stream: 0,
+            last_promised_id: 0,
             trace: TraceHandle::off(),
             trace_conn: 0,
             send_buf: BytesMut::new(),
@@ -238,6 +268,30 @@ impl Connection {
     /// Our role.
     pub fn role(&self) -> Role {
         self.role
+    }
+
+    /// Replace the adversarial-peer enforcement bounds (defaults are
+    /// [`ConnLimits::new`]). Limits are local policy only — nothing is
+    /// advertised on the wire, so benign byte streams are unaffected.
+    pub fn set_limits(&mut self, limits: ConnLimits) {
+        // The header-list bound is enforced inside the HPACK decoder
+        // (where decoded size is known before allocation). An explicit
+        // SETTINGS_MAX_HEADER_LIST_SIZE still takes precedence.
+        if self.local_settings.max_header_list_size.is_none() {
+            self.hpack_dec.set_max_header_list_size(limits.max_header_list_size);
+        }
+        self.limits = limits;
+    }
+
+    /// The enforcement bounds currently in effect.
+    pub fn limits(&self) -> &ConnLimits {
+        &self.limits
+    }
+
+    /// True once a fatal [`ConnError`] killed this endpoint: it will
+    /// ignore further input and produce at most its final GOAWAY.
+    pub fn is_dead(&self) -> bool {
+        self.dead
     }
 
     /// Attach a trace handle; `conn` is the label stamped into every frame
@@ -304,6 +358,24 @@ impl Connection {
         debug_assert!(self.frame_buf.is_empty());
         frame.encode_to(&mut self.frame_buf);
         self.control.push_back(self.frame_buf.split().freeze());
+        // Backpressure against response-forcing floods (PING acks,
+        // SETTINGS acks, RSTs queued faster than the link drains them).
+        // `fatal` itself queues a GOAWAY with `dead` already set, so this
+        // cannot recurse.
+        if self.control.len() > self.limits.max_control_frames && !self.dead {
+            self.fatal(ConnError::ControlQueueOverflow);
+        }
+    }
+
+    fn trace_limit_violation(&mut self, stream: u32, fatal: bool) {
+        if self.trace.is_on() {
+            self.trace.emit(TraceEvent::LimitViolation {
+                conn: self.trace_conn,
+                role: self.trace_role(),
+                stream,
+                fatal,
+            });
+        }
     }
 
     // ----- client API -----
@@ -365,6 +437,11 @@ impl Connection {
         if !parent_alive {
             return None;
         }
+        // Stream-id exhaustion (§5.1.1): ids above 2^31-1 cannot exist;
+        // a server that pushed that much simply stops pushing.
+        if self.next_push_id > 0x7fff_fffe {
+            return None;
+        }
         let id = self.next_push_id;
         self.next_push_id += 2;
         let block = Bytes::from(self.hpack_enc.encode(request_headers));
@@ -403,7 +480,9 @@ impl Connection {
             if s.state == StreamState::Closed {
                 return;
             }
-            s.out.queued += len;
+            // Saturating: a hostile application layer cannot overflow the
+            // byte counter into a panic.
+            s.out.queued = s.out.queued.saturating_add(len);
             s.out.fin |= fin;
         }
     }
@@ -599,6 +678,11 @@ impl Connection {
                             self.fatal(error);
                             return;
                         }
+                        if self.dead {
+                            // A limit tripped inside handle_frame (e.g.
+                            // control-queue backpressure); stop consuming.
+                            return;
+                        }
                     }
                     Err(FrameError::Incomplete) => break,
                     Err(FrameError::UnknownType { skip }) => {
@@ -648,6 +732,9 @@ impl Connection {
                         self.fatal(error);
                         return;
                     }
+                    if self.dead {
+                        return;
+                    }
                 }
                 Err(FrameError::Incomplete) => break,
                 Err(FrameError::UnknownType { skip }) => {
@@ -684,6 +771,9 @@ impl Connection {
         self.dead = true;
         self.recv_buf.clear();
         self.recv_pos = 0;
+        if error.is_limit_violation() {
+            self.trace_limit_violation(0, true);
+        }
         self.queue_frame(Frame::GoAway { last_stream: 0, code: error.code() });
         self.events.push_back(Event::ConnectionError { error });
     }
@@ -712,6 +802,12 @@ impl Connection {
                     self.events.push_back(Event::SettingsAck);
                     return Ok(());
                 }
+                // Each non-ack SETTINGS forces an ack from us: a churn
+                // attack amplifies unless bounded.
+                self.settings_received = self.settings_received.saturating_add(1);
+                if self.settings_received > self.limits.max_settings_frames {
+                    return Err(ConnError::SettingsFlood);
+                }
                 if let Some(push) = settings.enable_push {
                     self.peer_enable_push = push;
                 }
@@ -719,6 +815,11 @@ impl Connection {
                     self.peer_max_frame_size = (mfs as usize).clamp(16_384, 1 << 24);
                 }
                 if let Some(iw) = settings.initial_window_size {
+                    // §6.5.2: INITIAL_WINDOW_SIZE above 2^31-1 is a
+                    // flow-control error.
+                    if iw > 0x7fff_ffff {
+                        return Err(ConnError::FlowControlOverflow);
+                    }
                     let delta = iw as i64 - self.peer_initial_window;
                     self.peer_initial_window = iw as i64;
                     for s in self.streams.values_mut() {
@@ -732,7 +833,14 @@ impl Connection {
                 self.events.push_back(Event::Settings(settings));
             }
             Frame::WindowUpdate { stream, increment } => {
+                // §6.9.1: a sender must not let a flow-control window
+                // exceed 2^31-1; an update that would is FLOW_CONTROL_ERROR
+                // (fatal on stream 0, RST on a stream).
+                const MAX_WINDOW: i64 = 0x7fff_ffff;
                 if stream == 0 {
+                    if self.conn_send_window + increment as i64 > MAX_WINDOW {
+                        return Err(ConnError::FlowControlOverflow);
+                    }
                     self.conn_send_window += increment as i64;
                     self.trace.emit(TraceEvent::WindowUpdate {
                         conn: self.trace_conn,
@@ -741,6 +849,21 @@ impl Connection {
                         increment,
                     });
                 } else if let Some(s) = self.streams.get_mut(&stream) {
+                    if s.send_window + increment as i64 > MAX_WINDOW {
+                        s.state = StreamState::Closed;
+                        s.out.queued = 0;
+                        self.tree.remove(stream);
+                        self.trace_limit_violation(stream, false);
+                        self.queue_frame(Frame::RstStream {
+                            stream,
+                            code: ErrorCode::FlowControlError,
+                        });
+                        self.events.push_back(Event::StreamError {
+                            stream,
+                            error: StreamError::WindowOverflow,
+                        });
+                        return Ok(());
+                    }
                     s.send_window += increment as i64;
                     self.trace.emit(TraceEvent::WindowUpdate {
                         conn: self.trace_conn,
@@ -769,6 +892,12 @@ impl Connection {
                 if promised % 2 != 0 {
                     return Err(ConnError::OddPromisedStream);
                 }
+                // §5.1.1: stream ids are monotonically increasing; a
+                // promise reusing or rewinding ids is hostile.
+                if promised <= self.last_promised_id {
+                    return Err(ConnError::PromisedStreamIdNotIncreasing);
+                }
+                self.last_promised_id = promised;
                 let ph = PendingHeaders {
                     stream,
                     promised: Some(promised),
@@ -793,6 +922,13 @@ impl Connection {
                 buf.extend_from_slice(&ph.block);
                 buf.extend_from_slice(&block);
                 ph.block = buf.freeze();
+                // A CONTINUATION flood grows the compressed block without
+                // bound. Compressed HPACK is never larger than the decoded
+                // list it carries, so the §10.5.1 decoded-list cap is a
+                // sound bound on the fragment too.
+                if ph.block.len() > self.limits.max_header_list_size {
+                    return Err(ConnError::HeaderListTooLarge);
+                }
                 if end_headers {
                     self.finish_header_block(ph)?;
                 } else {
@@ -845,6 +981,13 @@ impl Connection {
                 }
             }
             Frame::RstStream { stream, code } => {
+                // Rapid-reset mitigation (cf. CVE-2023-44487): a peer that
+                // opens-and-cancels streams pays for each RST against a
+                // lifetime budget.
+                self.resets_received = self.resets_received.saturating_add(1);
+                if self.resets_received > self.limits.max_resets {
+                    return Err(ConnError::ResetFlood);
+                }
                 if let Some(s) = self.streams.get_mut(&stream) {
                     s.state = StreamState::Closed;
                     s.out.queued = 0;
@@ -854,6 +997,10 @@ impl Connection {
             }
             Frame::Ping { ack, payload } => {
                 if !ack {
+                    self.pings_received = self.pings_received.saturating_add(1);
+                    if self.pings_received > self.limits.max_pings {
+                        return Err(ConnError::PingFlood);
+                    }
                     self.queue_frame(Frame::Ping { ack: true, payload });
                 }
             }
@@ -866,9 +1013,35 @@ impl Connection {
     }
 
     fn finish_header_block(&mut self, ph: PendingHeaders) -> Result<(), ConnError> {
-        let headers = self.hpack_dec.decode(&ph.block).map_err(|_| ConnError::HpackDecode)?;
+        let headers = self.hpack_dec.decode(&ph.block).map_err(|e| match e {
+            // A header bomb (small wire bytes, huge decoded list) is a
+            // flood, not a compression defect.
+            h2push_hpack::Error::HeaderListTooLarge => ConnError::HeaderListTooLarge,
+            _ => ConnError::HpackDecode,
+        })?;
         match ph.promised {
             Some(promised) => {
+                // Reserved push streams count against the concurrency
+                // limit: a push-flooding server gets refusals, not
+                // unbounded stream-table growth.
+                let active =
+                    self.streams.values().filter(|s| s.state != StreamState::Closed).count();
+                if active >= self.limits.max_concurrent_streams as usize {
+                    self.refused_streams = self.refused_streams.saturating_add(1);
+                    if self.refused_streams > self.limits.max_concurrent_streams {
+                        return Err(ConnError::ConcurrentStreamsExceeded);
+                    }
+                    self.trace_limit_violation(promised, false);
+                    self.queue_frame(Frame::RstStream {
+                        stream: promised,
+                        code: ErrorCode::RefusedStream,
+                    });
+                    self.events.push_back(Event::StreamError {
+                        stream: promised,
+                        error: StreamError::RefusedByLimit,
+                    });
+                    return Ok(());
+                }
                 self.streams.insert(
                     promised,
                     Stream::new(StreamState::ReservedRemote, self.peer_initial_window),
@@ -880,10 +1053,50 @@ impl Connection {
                 self.events.push_back(Event::PushPromise { parent: ph.stream, promised, headers });
             }
             None => {
-                let entry = self.streams.entry(ph.stream).or_insert_with(|| {
-                    // A request HEADERS opens the stream (server side).
-                    Stream::new(StreamState::Open, self.peer_initial_window)
-                });
+                if !self.streams.contains_key(&ph.stream) {
+                    // A request HEADERS opens the stream (server side
+                    // only: a client's streams all originate locally or
+                    // via PUSH_PROMISE, so an unknown id is hostile).
+                    if self.role == Role::Client {
+                        return Err(ConnError::HeadersOnUnknownStream);
+                    }
+                    if ph.stream.is_multiple_of(2) {
+                        return Err(ConnError::Frame("client stream id must be odd"));
+                    }
+                    if ph.stream <= self.highest_peer_stream {
+                        return Err(ConnError::Frame("stream id not increasing"));
+                    }
+                    // §5.1.2: refuse streams above the concurrency limit
+                    // (RST REFUSED_STREAM, the stream-error path); a peer
+                    // that keeps opening past a full limit's worth of
+                    // refusals escalates to a connection error.
+                    let active =
+                        self.streams.values().filter(|s| s.state != StreamState::Closed).count();
+                    if active >= self.limits.max_concurrent_streams as usize {
+                        self.refused_streams = self.refused_streams.saturating_add(1);
+                        if self.refused_streams > self.limits.max_concurrent_streams {
+                            return Err(ConnError::ConcurrentStreamsExceeded);
+                        }
+                        self.trace_limit_violation(ph.stream, false);
+                        self.queue_frame(Frame::RstStream {
+                            stream: ph.stream,
+                            code: ErrorCode::RefusedStream,
+                        });
+                        self.events.push_back(Event::StreamError {
+                            stream: ph.stream,
+                            error: StreamError::RefusedByLimit,
+                        });
+                        return Ok(());
+                    }
+                    self.highest_peer_stream = ph.stream;
+                    self.streams.insert(
+                        ph.stream,
+                        Stream::new(StreamState::Open, self.peer_initial_window),
+                    );
+                }
+                let Some(entry) = self.streams.get_mut(&ph.stream) else {
+                    return Ok(()); // unreachable: inserted or present above
+                };
                 match entry.state {
                     StreamState::ReservedRemote => {
                         // Push response headers.
@@ -1364,8 +1577,10 @@ mod edge_tests {
     }
 
     #[test]
-    fn window_update_overflow_is_tolerated() {
-        // Many maximal WINDOW_UPDATEs must not panic via overflow.
+    fn window_update_overflow_is_a_typed_flow_control_error() {
+        // Maximal WINDOW_UPDATEs must not panic via overflow: the first
+        // increment that would push the window past 2^31-1 is answered
+        // with GOAWAY(FLOW_CONTROL_ERROR), §6.9.1.
         let mut c = Connection::client(Settings::default());
         let mut s = Connection::server(Settings::default());
         exchange(&mut c, &mut s);
@@ -1374,7 +1589,14 @@ mod edge_tests {
             Frame::WindowUpdate { stream: 0, increment: 0x7fff_ffff }.encode(&mut buf);
         }
         s.receive(&buf);
-        while s.poll_event().is_some() {}
+        let mut found = None;
+        while let Some(ev) = s.poll_event() {
+            if let Event::ConnectionError { error } = ev {
+                found = Some(error);
+            }
+        }
+        assert_eq!(found, Some(crate::error::ConnError::FlowControlOverflow));
+        assert!(s.is_dead());
     }
 
     /// A hostile scheduler that always picks a stream id nobody opened.
@@ -1455,6 +1677,248 @@ mod edge_tests {
             pos += used;
         }
         assert_eq!(goaway, Some(ErrorCode::ProtocolError));
+    }
+
+    #[test]
+    fn rapid_reset_flood_trips_typed_error() {
+        let mut s = Connection::server(Settings::default());
+        s.set_limits(crate::ConnLimits::strict());
+        let mut c = Connection::client(Settings::default());
+        exchange(&mut c, &mut s);
+        while s.poll_event().is_some() {}
+        let mut buf = Vec::new();
+        for i in 0..40u32 {
+            Frame::RstStream { stream: 2 * i + 1, code: ErrorCode::Cancel }.encode(&mut buf);
+        }
+        s.receive(&buf);
+        let mut found = None;
+        while let Some(ev) = s.poll_event() {
+            if let Event::ConnectionError { error } = ev {
+                found = Some(error);
+            }
+        }
+        assert_eq!(found, Some(crate::error::ConnError::ResetFlood));
+        // The GOAWAY carries ENHANCE_YOUR_CALM.
+        let wire = s.produce(usize::MAX, &mut FifoScheduler);
+        let mut pos = 0;
+        let mut goaway = None;
+        while pos < wire.len() {
+            let (frame, used) = Frame::decode(&wire[pos..], 1 << 24).unwrap();
+            if let Frame::GoAway { code, .. } = frame {
+                goaway = Some(code);
+            }
+            pos += used;
+        }
+        assert_eq!(goaway, Some(ErrorCode::EnhanceYourCalm));
+    }
+
+    #[test]
+    fn ping_and_settings_floods_trip_typed_errors() {
+        for (mk, want) in [
+            (
+                (|buf: &mut Vec<u8>| Frame::Ping { ack: false, payload: [0; 8] }.encode(buf))
+                    as fn(&mut Vec<u8>),
+                crate::error::ConnError::PingFlood,
+            ),
+            (
+                (|buf: &mut Vec<u8>| {
+                    Frame::Settings { ack: false, settings: Settings::default() }.encode(buf)
+                }) as fn(&mut Vec<u8>),
+                crate::error::ConnError::SettingsFlood,
+            ),
+        ] {
+            let mut s = Connection::server(Settings::default());
+            s.set_limits(crate::ConnLimits::strict());
+            let mut c = Connection::client(Settings::default());
+            exchange(&mut c, &mut s);
+            while s.poll_event().is_some() {}
+            let mut buf = Vec::new();
+            for _ in 0..20 {
+                mk(&mut buf);
+            }
+            s.receive(&buf);
+            let mut found = None;
+            while let Some(ev) = s.poll_event() {
+                if let Event::ConnectionError { error } = ev {
+                    found = Some(error);
+                }
+            }
+            assert_eq!(found, Some(want));
+        }
+    }
+
+    #[test]
+    fn concurrency_limit_refuses_excess_streams_but_keeps_connection() {
+        let mut s = Connection::server(Settings::default());
+        s.set_limits(crate::ConnLimits::strict()); // 8 concurrent streams
+        let mut c = Connection::client(Settings::default());
+        for i in 0..12 {
+            c.request(&request_headers(), None);
+            let _ = i;
+        }
+        exchange(&mut c, &mut s);
+        let mut refused = Vec::new();
+        let mut fatal = false;
+        while let Some(ev) = s.poll_event() {
+            match ev {
+                Event::StreamError { stream, error: crate::error::StreamError::RefusedByLimit } => {
+                    refused.push(stream)
+                }
+                Event::ConnectionError { .. } => fatal = true,
+                _ => {}
+            }
+        }
+        assert_eq!(refused.len(), 4, "streams 9..12 refused: {refused:?}");
+        assert!(!fatal, "refusals alone must not kill the connection");
+        // The client saw RST(REFUSED_STREAM) for each refused stream.
+        let mut resets = 0;
+        while let Some(ev) = c.poll_event() {
+            if let Event::Reset { code: ErrorCode::RefusedStream, .. } = ev {
+                resets += 1;
+            }
+        }
+        assert_eq!(resets, 4);
+        // Accepted streams still serve.
+        s.respond(1, &[h(":status", "200")], true);
+        exchange(&mut c, &mut s);
+        let mut ok = false;
+        while let Some(ev) = c.poll_event() {
+            if matches!(ev, Event::Headers { stream: 1, .. }) {
+                ok = true;
+            }
+        }
+        assert!(ok, "stream 1 answered despite refusals");
+    }
+
+    #[test]
+    fn header_bomb_is_a_header_list_error() {
+        let mut s = Connection::server(Settings::default());
+        s.set_limits(crate::ConnLimits::strict()); // 16 KiB header list
+        let mut c = Connection::client(Settings::default());
+        exchange(&mut c, &mut s);
+        while s.poll_event().is_some() {}
+        let mut headers = request_headers();
+        headers.push(h("cookie", &"x".repeat(64 * 1024)));
+        c.request(&headers, None);
+        let wire = c.produce(usize::MAX, &mut FifoScheduler);
+        s.receive(&wire);
+        let mut found = None;
+        while let Some(ev) = s.poll_event() {
+            if let Event::ConnectionError { error } = ev {
+                found = Some(error);
+            }
+        }
+        assert_eq!(found, Some(crate::error::ConnError::HeaderListTooLarge));
+    }
+
+    #[test]
+    fn stream_window_overflow_resets_only_that_stream() {
+        let mut c = Connection::client(Settings::default());
+        let mut s = Connection::server(Settings::default());
+        c.request(&request_headers(), None);
+        exchange(&mut c, &mut s);
+        while s.poll_event().is_some() {}
+        let mut buf = Vec::new();
+        Frame::WindowUpdate { stream: 1, increment: 0x7fff_ffff }.encode(&mut buf);
+        s.receive(&buf);
+        let mut stream_err = None;
+        let mut fatal = false;
+        while let Some(ev) = s.poll_event() {
+            match ev {
+                Event::StreamError { stream, error } => stream_err = Some((stream, error)),
+                Event::ConnectionError { .. } => fatal = true,
+                _ => {}
+            }
+        }
+        assert_eq!(stream_err, Some((1, crate::error::StreamError::WindowOverflow)));
+        assert!(!fatal);
+        assert_eq!(s.stream_state(1), Some(StreamState::Closed));
+        // The RST carries FLOW_CONTROL_ERROR.
+        let wire = s.produce(usize::MAX, &mut FifoScheduler);
+        let mut pos = 0;
+        let mut rst = None;
+        while pos < wire.len() {
+            let (frame, used) = Frame::decode(&wire[pos..], 1 << 24).unwrap();
+            if let Frame::RstStream { stream, code } = frame {
+                rst = Some((stream, code));
+            }
+            pos += used;
+        }
+        assert_eq!(rst, Some((1, ErrorCode::FlowControlError)));
+    }
+
+    #[test]
+    fn non_increasing_promised_id_is_rejected() {
+        let mut c = Connection::client(Settings::default());
+        let mut s = Connection::server(Settings::default());
+        c.request(&request_headers(), None);
+        exchange(&mut c, &mut s);
+        while c.poll_event().is_some() {}
+        // Hand-craft two promises with the same id.
+        let mut enc = h2push_hpack::Encoder::new();
+        let block: Bytes = enc.encode(&request_headers()).into();
+        let mut buf = Vec::new();
+        Frame::PushPromise { stream: 1, promised: 2, block: block.clone(), end_headers: true }
+            .encode(&mut buf);
+        Frame::PushPromise { stream: 1, promised: 2, block, end_headers: true }.encode(&mut buf);
+        c.receive(&buf);
+        let mut found = None;
+        while let Some(ev) = c.poll_event() {
+            if let Event::ConnectionError { error } = ev {
+                found = Some(error);
+            }
+        }
+        assert_eq!(found, Some(crate::error::ConnError::PromisedStreamIdNotIncreasing));
+    }
+
+    #[test]
+    fn headers_on_unknown_stream_is_error_on_client() {
+        let mut c = Connection::client(Settings::default());
+        let mut s = Connection::server(Settings::default());
+        exchange(&mut c, &mut s);
+        while c.poll_event().is_some() {}
+        // Server-sent HEADERS on a stream the client never opened.
+        let mut enc = h2push_hpack::Encoder::new();
+        let block: Bytes = enc.encode(&[h(":status", "200")]).into();
+        let mut buf = Vec::new();
+        Frame::Headers { stream: 7, block, end_stream: true, end_headers: true, priority: None }
+            .encode(&mut buf);
+        c.receive(&buf);
+        let mut found = None;
+        while let Some(ev) = c.poll_event() {
+            if let Event::ConnectionError { error } = ev {
+                found = Some(error);
+            }
+        }
+        assert_eq!(found, Some(crate::error::ConnError::HeadersOnUnknownStream));
+    }
+
+    #[test]
+    fn ping_flood_cannot_balloon_the_control_queue() {
+        // Even below the PING flood budget, the outbound queue of acks is
+        // bounded by max_control_frames.
+        let mut s = Connection::server(Settings::default());
+        let mut limits = crate::ConnLimits::strict();
+        limits.max_pings = u32::MAX; // isolate the queue bound
+        s.set_limits(limits);
+        let mut c = Connection::client(Settings::default());
+        exchange(&mut c, &mut s);
+        while s.poll_event().is_some() {}
+        let mut buf = Vec::new();
+        for _ in 0..10_000 {
+            Frame::Ping { ack: false, payload: [1; 8] }.encode(&mut buf);
+        }
+        s.receive(&buf);
+        let mut found = None;
+        while let Some(ev) = s.poll_event() {
+            if let Event::ConnectionError { error } = ev {
+                found = Some(error);
+            }
+        }
+        assert_eq!(found, Some(crate::error::ConnError::ControlQueueOverflow));
+        // The queue stopped growing at the bound (plus the final GOAWAY).
+        let wire = s.produce(usize::MAX, &mut FifoScheduler);
+        assert!(wire.len() < 300 * 17, "queue kept ballooning: {} bytes", wire.len());
     }
 
     #[test]

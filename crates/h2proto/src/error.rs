@@ -43,6 +43,35 @@ pub enum ConnError {
     /// CONTINUATION sequence (a documented simplification of this
     /// endpoint, surfaced as an error rather than silent corruption).
     HeaderBlockFragmented,
+    /// A WINDOW_UPDATE would push the connection-level send window past
+    /// 2^31-1 (§6.9.1) — FLOW_CONTROL_ERROR.
+    FlowControlOverflow,
+    /// A decoded header list exceeded SETTINGS_MAX_HEADER_LIST_SIZE
+    /// (§10.5.1) — treated as a flood, ENHANCE_YOUR_CALM.
+    HeaderListTooLarge,
+    /// HEADERS opened a stream on a client connection that never
+    /// requested it (server-initiated non-push stream, §5.1.1).
+    HeadersOnUnknownStream,
+    /// The peer opened more concurrent streams than
+    /// SETTINGS_MAX_CONCURRENT_STREAMS allows after being refused
+    /// repeatedly (§5.1.2) — ENHANCE_YOUR_CALM.
+    ConcurrentStreamsExceeded,
+    /// PUSH_PROMISE promised a stream id not above every previous
+    /// promise (§5.1.1: stream ids must be monotonically increasing).
+    PromisedStreamIdNotIncreasing,
+    /// RST_STREAM arrival rate exceeded the rapid-reset mitigation
+    /// budget (cf. CVE-2023-44487) — ENHANCE_YOUR_CALM.
+    ResetFlood,
+    /// SETTINGS arrival rate exceeded the churn mitigation budget —
+    /// ENHANCE_YOUR_CALM.
+    SettingsFlood,
+    /// PING arrival rate exceeded the mitigation budget —
+    /// ENHANCE_YOUR_CALM.
+    PingFlood,
+    /// Outbound control-frame queue exceeded its bound: the peer forces
+    /// responses (PING acks, SETTINGS acks, RSTs) faster than the link
+    /// drains them — ENHANCE_YOUR_CALM.
+    ControlQueueOverflow,
 }
 
 impl ConnError {
@@ -61,6 +90,15 @@ impl ConnError {
             ConnError::FrameTooLarge => "frame exceeds SETTINGS_MAX_FRAME_SIZE",
             ConnError::Frame(reason) => reason,
             ConnError::HeaderBlockFragmented => "header block fragmented across receive boundary",
+            ConnError::FlowControlOverflow => "flow-control window overflow",
+            ConnError::HeaderListTooLarge => "header list exceeds SETTINGS_MAX_HEADER_LIST_SIZE",
+            ConnError::HeadersOnUnknownStream => "HEADERS on unknown stream",
+            ConnError::ConcurrentStreamsExceeded => "concurrent stream limit exceeded",
+            ConnError::PromisedStreamIdNotIncreasing => "promised stream id not increasing",
+            ConnError::ResetFlood => "RST_STREAM flood (rapid reset)",
+            ConnError::SettingsFlood => "SETTINGS flood",
+            ConnError::PingFlood => "PING flood",
+            ConnError::ControlQueueOverflow => "control queue overflow",
         }
     }
 
@@ -69,8 +107,31 @@ impl ConnError {
         match self {
             ConnError::HpackDecode => ErrorCode::CompressionError,
             ConnError::FrameTooLarge => ErrorCode::FrameSizeError,
+            ConnError::FlowControlOverflow => ErrorCode::FlowControlError,
+            ConnError::HeaderListTooLarge
+            | ConnError::ConcurrentStreamsExceeded
+            | ConnError::ResetFlood
+            | ConnError::SettingsFlood
+            | ConnError::PingFlood
+            | ConnError::ControlQueueOverflow => ErrorCode::EnhanceYourCalm,
             _ => ErrorCode::ProtocolError,
         }
+    }
+
+    /// True for the flood/limit class of violations (the adversarial-peer
+    /// mitigations, as opposed to plain framing errors).
+    pub fn is_limit_violation(&self) -> bool {
+        matches!(
+            self,
+            ConnError::FlowControlOverflow
+                | ConnError::HeaderListTooLarge
+                | ConnError::ConcurrentStreamsExceeded
+                | ConnError::PromisedStreamIdNotIncreasing
+                | ConnError::ResetFlood
+                | ConnError::SettingsFlood
+                | ConnError::PingFlood
+                | ConnError::ControlQueueOverflow
+        )
     }
 }
 
@@ -92,6 +153,12 @@ pub enum StreamError {
     UnknownScheduled,
     /// The peer reset the stream with this code.
     ResetByPeer(ErrorCode),
+    /// The stream was refused (RST REFUSED_STREAM) because accepting it
+    /// would exceed SETTINGS_MAX_CONCURRENT_STREAMS (§5.1.2).
+    RefusedByLimit,
+    /// A WINDOW_UPDATE would push this stream's send window past 2^31-1
+    /// (§6.9.1) — the stream is reset with FLOW_CONTROL_ERROR.
+    WindowOverflow,
 }
 
 impl StreamError {
@@ -100,6 +167,8 @@ impl StreamError {
         match self {
             StreamError::UnknownScheduled => "scheduler picked unknown stream",
             StreamError::ResetByPeer(_) => "stream reset by peer",
+            StreamError::RefusedByLimit => "stream refused by concurrency limit",
+            StreamError::WindowOverflow => "stream flow-control window overflow",
         }
     }
 }
@@ -125,6 +194,20 @@ mod tests {
         assert_eq!(ConnError::FrameTooLarge.code(), ErrorCode::FrameSizeError);
         assert_eq!(ConnError::BadPreface.code(), ErrorCode::ProtocolError);
         assert_eq!(ConnError::DataOnUnknownStream.code(), ErrorCode::ProtocolError);
+        assert_eq!(ConnError::FlowControlOverflow.code(), ErrorCode::FlowControlError);
+        assert_eq!(ConnError::ResetFlood.code(), ErrorCode::EnhanceYourCalm);
+        assert_eq!(ConnError::HeaderListTooLarge.code(), ErrorCode::EnhanceYourCalm);
+        assert_eq!(ConnError::HeadersOnUnknownStream.code(), ErrorCode::ProtocolError);
+    }
+
+    #[test]
+    fn limit_violations_are_classified() {
+        assert!(ConnError::ResetFlood.is_limit_violation());
+        assert!(ConnError::FlowControlOverflow.is_limit_violation());
+        assert!(!ConnError::BadPreface.is_limit_violation());
+        assert!(!ConnError::HpackDecode.is_limit_violation());
+        assert_eq!(StreamError::RefusedByLimit.reason(), "stream refused by concurrency limit");
+        assert_eq!(StreamError::WindowOverflow.reason(), "stream flow-control window overflow");
     }
 
     #[test]

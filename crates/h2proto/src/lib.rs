@@ -15,6 +15,7 @@ pub mod cache_digest;
 pub mod connection;
 pub mod error;
 pub mod frame;
+pub mod limits;
 pub mod priority;
 pub mod scheduler;
 
@@ -26,5 +27,6 @@ pub use frame::{
     DEFAULT_WINDOW, PREFACE,
 };
 pub use h2push_hpack::BlockCache;
+pub use limits::ConnLimits;
 pub use priority::{PriorityTree, ROOT};
 pub use scheduler::{DefaultScheduler, FairScheduler, FifoScheduler, Scheduler, StreamSnapshot};

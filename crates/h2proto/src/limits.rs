@@ -1,0 +1,107 @@
+//! Resource limits against adversarial peers (RFC 7540 §10.5).
+//!
+//! A well-behaved replay never comes near any of these bounds — the
+//! defaults are deliberately generous so that enforcement is *inert* on
+//! benign workloads (no extra frames, no changed bytes). They exist for
+//! the hostile peer: rapid-reset floods (CVE-2023-44487), SETTINGS/PING
+//! churn, header bombs, window-overflow and stream-exhaustion attacks all
+//! hit a typed [`crate::ConnError`]/[`crate::StreamError`] instead of
+//! unbounded memory growth or a panic.
+//!
+//! The limits are purely *local* policy: they are **not** advertised in
+//! SETTINGS (which would change wire bytes and break byte-identical
+//! replay against earlier revisions); the endpoint simply refuses to be
+//! abused past them.
+
+/// Local enforcement bounds for one [`crate::Connection`] endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnLimits {
+    /// Peer-opened streams that may be concurrently non-closed (§5.1.2).
+    /// Excess streams are refused (RST `REFUSED_STREAM`); a peer that
+    /// keeps pushing past the refusals escalates to
+    /// [`crate::ConnError::ConcurrentStreamsExceeded`].
+    pub max_concurrent_streams: u32,
+    /// Maximum decoded size of one header list (name + value + 32 per
+    /// field, §10.5.1). Violations are
+    /// [`crate::ConnError::HeaderListTooLarge`].
+    pub max_header_list_size: usize,
+    /// Total RST_STREAM frames accepted from the peer before the
+    /// connection declares a rapid-reset flood
+    /// ([`crate::ConnError::ResetFlood`]).
+    pub max_resets: u32,
+    /// Total non-ack SETTINGS frames accepted before
+    /// [`crate::ConnError::SettingsFlood`].
+    pub max_settings_frames: u32,
+    /// Total non-ack PING frames accepted before
+    /// [`crate::ConnError::PingFlood`].
+    pub max_pings: u32,
+    /// Outbound control-queue depth (frames) before
+    /// [`crate::ConnError::ControlQueueOverflow`] — the peer is forcing
+    /// responses (acks, RSTs) faster than the link drains them.
+    pub max_control_frames: usize,
+}
+
+impl ConnLimits {
+    /// The enforcement defaults: far above anything a benign replay
+    /// produces, far below what an abuser needs.
+    pub fn new() -> Self {
+        ConnLimits {
+            max_concurrent_streams: 1024,
+            max_header_list_size: 1 << 20,
+            max_resets: 8192,
+            max_settings_frames: 1024,
+            max_pings: 4096,
+            max_control_frames: 65_536,
+        }
+    }
+
+    /// Effectively-unlimited bounds (for differential tests proving that
+    /// enforcement is inert on benign workloads).
+    pub fn permissive() -> Self {
+        ConnLimits {
+            max_concurrent_streams: u32::MAX,
+            max_header_list_size: usize::MAX,
+            max_resets: u32::MAX,
+            max_settings_frames: u32::MAX,
+            max_pings: u32::MAX,
+            max_control_frames: usize::MAX,
+        }
+    }
+
+    /// Tight bounds for abuse tests: every class of attack trips after a
+    /// handful of frames.
+    pub fn strict() -> Self {
+        ConnLimits {
+            max_concurrent_streams: 8,
+            max_header_list_size: 16 * 1024,
+            max_resets: 16,
+            max_settings_frames: 8,
+            max_pings: 8,
+            max_control_frames: 256,
+        }
+    }
+}
+
+impl Default for ConnLimits {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_between_strict_and_permissive() {
+        let d = ConnLimits::new();
+        let s = ConnLimits::strict();
+        let p = ConnLimits::permissive();
+        assert!(s.max_concurrent_streams < d.max_concurrent_streams);
+        assert!(d.max_concurrent_streams < p.max_concurrent_streams);
+        assert!(s.max_resets < d.max_resets && d.max_resets < p.max_resets);
+        assert!(s.max_control_frames < d.max_control_frames);
+        assert!(d.max_control_frames < p.max_control_frames);
+        assert_eq!(ConnLimits::default(), d);
+    }
+}

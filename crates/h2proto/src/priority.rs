@@ -91,9 +91,17 @@ impl PriorityTree {
         let spec = self.sanitize(id, spec);
         if spec.exclusive {
             // All children of the new parent become children of `id`.
-            let moved = std::mem::take(&mut self.nodes.get_mut(&spec.depends_on).unwrap().children);
+            // (`sanitize` guarantees the parent exists; stay panic-free
+            // regardless — adversarial inputs reach this path.)
+            let moved = self
+                .nodes
+                .get_mut(&spec.depends_on)
+                .map(|p| std::mem::take(&mut p.children))
+                .unwrap_or_default();
             for c in &moved {
-                self.nodes.get_mut(c).unwrap().parent = id;
+                if let Some(n) = self.nodes.get_mut(c) {
+                    n.parent = id;
+                }
             }
             self.nodes
                 .insert(id, Node { parent: spec.depends_on, weight: spec.weight, children: moved });
@@ -103,7 +111,9 @@ impl PriorityTree {
                 Node { parent: spec.depends_on, weight: spec.weight, children: Vec::new() },
             );
         }
-        self.nodes.get_mut(&spec.depends_on).unwrap().children.push(id);
+        if let Some(p) = self.nodes.get_mut(&spec.depends_on) {
+            p.children.push(id);
+        }
     }
 
     /// Change the priority of an existing stream (§5.3.3).
@@ -117,19 +127,29 @@ impl PriorityTree {
         // descendant to `id`'s current parent (non-exclusively), keeping its
         // weight.
         if self.is_descendant(spec.depends_on, id) {
-            let old_parent = self.nodes[&id].parent;
+            let old_parent = self.nodes.get(&id).map(|n| n.parent).unwrap_or(ROOT);
             self.detach(spec.depends_on);
             self.attach(spec.depends_on, old_parent);
             spec = self.sanitize(id, spec); // parent may have been clamped
         }
         self.detach(id);
-        self.nodes.get_mut(&id).unwrap().weight = spec.weight;
+        if let Some(n) = self.nodes.get_mut(&id) {
+            n.weight = spec.weight;
+        }
         if spec.exclusive {
-            let moved = std::mem::take(&mut self.nodes.get_mut(&spec.depends_on).unwrap().children);
+            let moved = self
+                .nodes
+                .get_mut(&spec.depends_on)
+                .map(|p| std::mem::take(&mut p.children))
+                .unwrap_or_default();
             for c in &moved {
-                self.nodes.get_mut(c).unwrap().parent = id;
+                if let Some(n) = self.nodes.get_mut(c) {
+                    n.parent = id;
+                }
             }
-            self.nodes.get_mut(&id).unwrap().children.extend(moved);
+            if let Some(n) = self.nodes.get_mut(&id) {
+                n.children.extend(moved);
+            }
         }
         self.attach(id, spec.depends_on);
     }
@@ -142,15 +162,25 @@ impl PriorityTree {
         if id == ROOT || !self.nodes.contains_key(&id) {
             return;
         }
-        let node = self.nodes.remove(&id).unwrap();
+        let Some(node) = self.nodes.remove(&id) else { return };
         let parent = node.parent;
         // Replace `id` in the parent's child list with `id`'s children,
-        // preserving position (keeps sibling order deterministic).
-        let pc = &mut self.nodes.get_mut(&parent).unwrap().children;
-        let pos = pc.iter().position(|&c| c == id).unwrap();
-        pc.splice(pos..=pos, node.children.iter().copied());
+        // preserving position (keeps sibling order deterministic). If the
+        // parent is somehow gone the orphans reattach to the root.
+        let parent = if self.nodes.contains_key(&parent) { parent } else { ROOT };
+        if let Some(p) = self.nodes.get_mut(&parent) {
+            let pc = &mut p.children;
+            match pc.iter().position(|&c| c == id) {
+                Some(pos) => {
+                    pc.splice(pos..=pos, node.children.iter().copied());
+                }
+                None => pc.extend(node.children.iter().copied()),
+            }
+        }
         for c in &node.children {
-            self.nodes.get_mut(c).unwrap().parent = parent;
+            if let Some(n) = self.nodes.get_mut(c) {
+                n.parent = parent;
+            }
         }
     }
 
@@ -168,7 +198,7 @@ impl PriorityTree {
             // Sort children by weight descending (stable on insertion order),
             // pushed reversed so the heaviest pops first.
             let mut kids: Vec<u32> = self.children(n).to_vec();
-            kids.sort_by_key(|&c| std::cmp::Reverse(self.nodes[&c].weight));
+            kids.sort_by_key(|&c| std::cmp::Reverse(self.weight(c).unwrap_or(16)));
             for &k in kids.iter().rev() {
                 stack.push(k);
             }
@@ -195,15 +225,21 @@ impl PriorityTree {
 
     /// Unlink `id` from its parent's child list (the node itself stays).
     fn detach(&mut self, id: u32) {
-        let parent = self.nodes[&id].parent;
-        let pc = &mut self.nodes.get_mut(&parent).unwrap().children;
-        pc.retain(|&c| c != id);
+        let Some(parent) = self.nodes.get(&id).map(|n| n.parent) else { return };
+        if let Some(p) = self.nodes.get_mut(&parent) {
+            p.children.retain(|&c| c != id);
+        }
     }
 
     /// Link `id` under `parent` (appended to the child list).
     fn attach(&mut self, id: u32, parent: u32) {
-        self.nodes.get_mut(&id).unwrap().parent = parent;
-        self.nodes.get_mut(&parent).unwrap().children.push(id);
+        let parent = if self.nodes.contains_key(&parent) { parent } else { ROOT };
+        if let Some(n) = self.nodes.get_mut(&id) {
+            n.parent = parent;
+        }
+        if let Some(p) = self.nodes.get_mut(&parent) {
+            p.children.push(id);
+        }
     }
 
     fn sanitize(&self, id: u32, mut spec: PrioritySpec) -> PrioritySpec {

@@ -208,7 +208,9 @@ impl FairScheduler {
                     / (wa as u64 * na as u64) as f64;
                 let vb = *self.class_charged.get(&(node, wb)).unwrap_or(&0) as f64
                     / (wb as u64 * nb as u64) as f64;
-                va.partial_cmp(&vb).unwrap().then(wb.cmp(&wa))
+                // `total_cmp` keeps this panic-free even if a hostile
+                // weight combination produced a NaN ratio.
+                va.total_cmp(&vb).then(wb.cmp(&wa))
             })
             .map(|&(w, _)| w)?;
         let best =

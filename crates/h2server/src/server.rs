@@ -195,6 +195,13 @@ impl ReplayServer {
         self.conn.set_hpack_block_cache(cache);
     }
 
+    /// Override the endpoint's adversarial-peer resource limits
+    /// ([`h2push_h2proto::ConnLimits`]); purely local policy, never
+    /// advertised on the wire.
+    pub fn set_limits(&mut self, limits: h2push_h2proto::ConnLimits) {
+        self.conn.set_limits(limits);
+    }
+
     /// Pushes skipped because the client's digest already covered them.
     pub fn digest_suppressed(&self) -> u32 {
         self.digest_suppressed

@@ -63,6 +63,16 @@ struct BlockCacheInner {
     misses: AtomicU64,
 }
 
+/// Lock a cache map, recovering from poisoning: a panicking replay that a
+/// sweep cell caught with `catch_unwind` must not disable the shared cache
+/// for every other cell (the map is never left mid-mutation — each guard
+/// scope performs one complete get or insert).
+fn lock_map(
+    m: &Mutex<HashMap<(u64, u64), CachedBlock>>,
+) -> std::sync::MutexGuard<'_, HashMap<(u64, u64), CachedBlock>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 impl BlockCache {
     /// An empty cache.
     pub fn new() -> Self {
@@ -71,7 +81,7 @@ impl BlockCache {
 
     /// Number of distinct (state, header-list) blocks memoized.
     pub fn len(&self) -> usize {
-        self.inner.map.lock().unwrap().len()
+        lock_map(&self.inner.map).len()
     }
 
     /// True when nothing has been memoized yet.
@@ -183,8 +193,12 @@ impl Encoder {
     /// encoded block.
     pub fn set_table_size(&mut self, size: usize) {
         self.table.set_capacity_limit(size);
-        self.table.set_max_size(size).expect("limit was just raised");
-        self.pending_size_updates.push(size);
+        // Cannot fail: the capacity limit was just raised to `size`. Kept
+        // panic-free anyway — a failed resize skips the wire announcement
+        // rather than poisoning the encoder.
+        if self.table.set_max_size(size).is_ok() {
+            self.pending_size_updates.push(size);
+        }
     }
 
     /// Dynamic table size (for tests / diagnostics).
@@ -202,7 +216,7 @@ impl Encoder {
         };
         let key = (self.fingerprint(), BlockCache::headers_hash(headers));
         {
-            let map = cache.inner.map.lock().unwrap();
+            let map = lock_map(&cache.inner.map);
             if let Some(entry) = map.get(&key) {
                 let block = entry.block.clone();
                 for h in &entry.inserts {
@@ -218,7 +232,7 @@ impl Encoder {
         cache.inner.misses.fetch_add(1, Ordering::Relaxed);
         let mut inserts = Vec::new();
         let block = self.encode_live(headers, Some(&mut inserts));
-        cache.inner.map.lock().unwrap().insert(key, CachedBlock { block: block.clone(), inserts });
+        lock_map(&cache.inner.map).insert(key, CachedBlock { block: block.clone(), inserts });
         block
     }
 
@@ -312,6 +326,12 @@ impl Decoder {
         self.table.set_capacity_limit(limit);
     }
 
+    /// Set the maximum decoded size of one header block (the local
+    /// endpoint's SETTINGS_MAX_HEADER_LIST_SIZE, RFC 7540 §6.5.2).
+    pub fn set_max_header_list_size(&mut self, limit: usize) {
+        self.max_header_list_size = limit;
+    }
+
     /// Dynamic table (for tests / diagnostics).
     pub fn table(&self) -> &IndexTable {
         &self.table
@@ -357,7 +377,7 @@ impl Decoder {
                 seen_field = true;
             }
             if listed > self.max_header_list_size {
-                return Err(Error::IntegerOverflow);
+                return Err(Error::HeaderListTooLarge);
             }
         }
         Ok(headers)

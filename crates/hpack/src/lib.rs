@@ -28,6 +28,9 @@ pub enum Error {
     InvalidIndex,
     /// A dynamic table size update exceeded the protocol maximum.
     SizeUpdateTooLarge,
+    /// A decoded block exceeded the configured maximum header-list size
+    /// (a header bomb: small wire bytes, huge decoded size).
+    HeaderListTooLarge,
 }
 
 impl std::fmt::Display for Error {
@@ -38,6 +41,7 @@ impl std::fmt::Display for Error {
             Error::InvalidHuffman => write!(f, "invalid Huffman data"),
             Error::InvalidIndex => write!(f, "invalid table index"),
             Error::SizeUpdateTooLarge => write!(f, "dynamic table size update above limit"),
+            Error::HeaderListTooLarge => write!(f, "decoded header list above size limit"),
         }
     }
 }

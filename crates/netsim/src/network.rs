@@ -351,6 +351,11 @@ pub struct Network {
     fault_states: [FaultState; 2],
     stats: NetStats,
     trace: TraceHandle,
+    /// Internal events processed over the network's lifetime — the
+    /// watchdog currency: any livelock (e.g. an adversarial peer forcing
+    /// a ping-pong that never quiesces) burns events without bound, so a
+    /// budget on this counter bounds every run.
+    events_processed: u64,
 }
 
 impl Drop for Network {
@@ -391,6 +396,7 @@ impl Network {
             fault_states,
             stats: NetStats::default(),
             trace: TraceHandle::off(),
+            events_processed: 0,
         }
     }
 
@@ -409,6 +415,13 @@ impl Network {
     /// Total application bytes delivered in both directions so far.
     pub fn delivered_total(&self) -> u64 {
         self.delivered_total
+    }
+
+    /// Internal simulation events processed so far (monotonic). The replay
+    /// watchdog budgets this counter: unlike sim-time, it grows on every
+    /// scheduled action, so even a zero-delay livelock exhausts it.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Fault and loss-recovery counters accumulated so far (data packets
@@ -489,6 +502,7 @@ impl Network {
         while let Some((t, ev)) = self.events.pop() {
             debug_assert!(t >= self.now, "time must be monotonic");
             self.now = t;
+            self.events_processed += 1;
             if let Some(public) = self.process(ev) {
                 return Some((t, public));
             }

@@ -8,6 +8,7 @@
 //! conditions.
 
 pub mod adoption;
+pub mod badpeer;
 pub mod chaos;
 pub mod experiments;
 pub mod harness;
@@ -18,6 +19,10 @@ pub mod replay;
 pub mod sweep;
 pub mod waterfall;
 
+pub use badpeer::{
+    attack_client, attack_server, run_attack, run_suite, AttackKind, AttackOutcome, AttackScript,
+    Victim,
+};
 #[allow(deprecated)]
 pub use chaos::run_config_with_faults;
 pub use chaos::{
@@ -33,5 +38,5 @@ pub use prepared::PreparedPage;
 pub use replay::{
     replay, replay_shared, Protocol, ReplayConfig, ReplayError, ReplayInputs, ReplayOutcome,
 };
-pub use sweep::{SweepCell, SweepPlan, SweepReport};
+pub use sweep::{CellFailure, FailureKind, SweepCell, SweepPlan, SweepReport};
 pub use waterfall::write_waterfall;

@@ -116,6 +116,7 @@ pub struct RunPlan {
     trace: TraceSpec,
     explicit: Option<ReplayConfig>,
     serial: bool,
+    limits: Option<h2push_h2proto::ConnLimits>,
 }
 
 impl RunPlan {
@@ -136,6 +137,7 @@ impl RunPlan {
             trace: TraceSpec::Off,
             explicit: None,
             serial: false,
+            limits: None,
         }
     }
 
@@ -188,6 +190,15 @@ impl RunPlan {
         self
     }
 
+    /// Override the adversarial-peer resource limits applied to both
+    /// endpoints of every connection (defaults to
+    /// [`h2push_h2proto::ConnLimits::new`]). Local policy only: benign
+    /// replays are byte-identical under any choice.
+    pub fn limits(mut self, limits: h2push_h2proto::ConnLimits) -> Self {
+        self.limits = Some(limits);
+        self
+    }
+
     /// Run the reps on the calling thread in order instead of the worker
     /// pool. Results are bit-identical either way; this exists for
     /// baseline benchmarking.
@@ -212,7 +223,7 @@ impl RunPlan {
 
     /// The replay configuration rep `r` will run under.
     pub fn config_for(&self, rep: usize) -> ReplayConfig {
-        match &self.explicit {
+        let mut cfg = match &self.explicit {
             Some(cfg) => cfg.clone(),
             None => {
                 let mut cfg = run_config(
@@ -226,7 +237,11 @@ impl RunPlan {
                 }
                 cfg
             }
+        };
+        if let Some(l) = self.limits {
+            cfg.limits = l;
         }
+        cfg
     }
 
     pub(crate) fn run_rep(&self, rep: usize) -> Result<RunOutput, ReplayError> {

@@ -53,6 +53,19 @@ pub struct ReplayConfig {
     pub server_honors_digest: bool,
     /// Abort the replay after this much simulated time.
     pub deadline: SimDuration,
+    /// Watchdog: abort the replay once the netsim loop has processed this
+    /// many internal events. Sim-time deadlines cannot catch a zero-delay
+    /// livelock (two endpoints ping-ponging frames without advancing the
+    /// clock past the deadline check granularity is still bounded, but an
+    /// adversarial peer can force unbounded *work* per unit sim-time); the
+    /// event budget bounds work directly. The default is far above any
+    /// benign replay.
+    pub watchdog_events: u64,
+    /// Adversarial-peer resource limits applied to *both* endpoints of
+    /// every HTTP/2 connection in the replay. Purely local enforcement —
+    /// never advertised in SETTINGS — so swapping limits never changes
+    /// wire bytes on benign workloads (asserted by the equality suite).
+    pub limits: h2push_h2proto::ConnLimits,
 }
 
 impl ReplayConfig {
@@ -68,6 +81,8 @@ impl ReplayConfig {
             warm_cache: Vec::new(),
             server_honors_digest: true,
             deadline: SimDuration::from_millis(180_000),
+            watchdog_events: 50_000_000,
+            limits: h2push_h2proto::ConnLimits::new(),
         }
     }
 }
@@ -95,6 +110,10 @@ pub enum ReplayError {
     Stalled { at: SimTime },
     /// The deadline passed.
     DeadlineExceeded,
+    /// The event-count watchdog fired: the netsim loop processed more
+    /// internal events than [`ReplayConfig::watchdog_events`] allows —
+    /// the run was livelocking (adversarial input or a wiring bug).
+    Watchdog { events: u64 },
 }
 
 impl std::fmt::Display for ReplayError {
@@ -102,6 +121,9 @@ impl std::fmt::Display for ReplayError {
         match self {
             ReplayError::Stalled { at } => write!(f, "replay stalled at {at}"),
             ReplayError::DeadlineExceeded => write!(f, "replay deadline exceeded"),
+            ReplayError::Watchdog { events } => {
+                write!(f, "watchdog fired after {events} simulation events")
+            }
         }
     }
 }
@@ -307,6 +329,7 @@ pub(crate) fn replay_with_trace(
         Protocol::H2 => TransportMode::H2,
         Protocol::H1 => TransportMode::H1,
     };
+    browser_cfg.limits = cfg.limits;
     let mut browser = match &inputs.prepared {
         Some(p) => {
             let mut b = Browser::with_scan(Arc::clone(page), browser_cfg, Arc::clone(&p.scan));
@@ -356,6 +379,7 @@ pub(crate) fn replay_with_trace(
                                     &cfg.strategy,
                                 );
                                 s.set_honor_cache_digest(cfg.server_honors_digest);
+                                s.set_limits(cfg.limits);
                                 if let Some(p) = &inputs.prepared {
                                     s.set_prepared(Arc::clone(&p.server));
                                     s.set_hpack_block_cache(p.hpack.clone());
@@ -427,6 +451,11 @@ pub(crate) fn replay_with_trace(
         trace.set_now(t.as_micros());
         if t > deadline {
             return Err(ReplayError::DeadlineExceeded);
+        }
+        if net.events_processed() > cfg.watchdog_events {
+            let events = net.events_processed();
+            trace.emit(h2push_trace::TraceEvent::WatchdogFired { events });
+            return Err(ReplayError::Watchdog { events });
         }
         match ev {
             NetEvent::Connected { conn } => {
@@ -549,6 +578,30 @@ mod tests {
         assert_eq!(cold.load.speed_index(), a.load.speed_index());
         assert_eq!(cold.trace.order, a.trace.order);
         assert_eq!(a.load.plt(), b.load.plt());
+        assert_eq!(a.trace.order, b.trace.order);
+    }
+
+    #[test]
+    fn watchdog_aborts_runaway_replays() {
+        let mut cfg = ReplayConfig::testbed(Strategy::NoPush);
+        cfg.watchdog_events = 10; // no page loads in 10 simulation events
+        match replay(&page(), &cfg) {
+            Err(ReplayError::Watchdog { events }) => assert!(events > 10),
+            other => panic!("expected watchdog, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_watchdog_budget_is_inert() {
+        // The default budget is far above what a benign replay consumes:
+        // outputs are identical to a watchdog-free notion of the run.
+        let p = page();
+        let cfg = ReplayConfig::testbed(Strategy::NoPush);
+        let a = replay(&p, &cfg).unwrap();
+        let mut huge = ReplayConfig::testbed(Strategy::NoPush);
+        huge.watchdog_events = u64::MAX;
+        let b = replay(&p, &huge).unwrap();
+        assert_eq!(a.load, b.load);
         assert_eq!(a.trace.order, b.trace.order);
     }
 

@@ -149,6 +149,14 @@ pub enum TraceEvent {
     Onload,
     /// A connection attempt failed at the transport layer.
     ConnError { group: usize },
+
+    // ---- adversarial-peer hardening ----
+    /// An endpoint detected a resource-limit or flood violation; `fatal`
+    /// distinguishes GOAWAY (connection dies) from RST (stream dies).
+    LimitViolation { conn: u32, role: Role, stream: u32, fatal: bool },
+    /// The replay watchdog tripped: the netsim loop exceeded its
+    /// event-count budget and the run was aborted.
+    WatchdogFired { events: u64 },
 }
 
 impl TraceEvent {
@@ -176,6 +184,8 @@ impl TraceEvent {
             TraceEvent::DomContentLoaded => "dom-content-loaded",
             TraceEvent::Onload => "onload",
             TraceEvent::ConnError { .. } => "conn-error",
+            TraceEvent::LimitViolation { .. } => "limit-violation",
+            TraceEvent::WatchdogFired { .. } => "watchdog-fired",
         }
     }
 }

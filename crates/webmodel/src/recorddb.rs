@@ -23,6 +23,61 @@ pub struct RecordedResponse {
     pub resource: ResourceId,
 }
 
+/// Why a record database failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// The JSON did not parse.
+    Json(String),
+    /// Two entries share one `(host, path)` key — replay lookups would
+    /// silently pick one of them.
+    DuplicateKey {
+        /// `:authority` of the colliding entries.
+        host: String,
+        /// `:path` of the colliding entries.
+        path: String,
+    },
+    /// A recorded 200 response with a zero-length body: nothing to
+    /// replay, and a zero-byte transfer would corrupt timing metrics.
+    EmptyBody {
+        /// `:authority` of the offending entry.
+        host: String,
+        /// `:path` of the offending entry.
+        path: String,
+    },
+    /// An entry references a resource the page does not define.
+    DanglingResource {
+        /// `:authority` of the offending entry.
+        host: String,
+        /// `:path` of the offending entry.
+        path: String,
+        /// The out-of-range resource id.
+        resource: ResourceId,
+        /// Number of resources the page actually has.
+        page_resources: usize,
+    },
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Json(e) => write!(f, "record DB JSON error: {e}"),
+            RecordError::DuplicateKey { host, path } => {
+                write!(f, "duplicate record for {host}{path}")
+            }
+            RecordError::EmptyBody { host, path } => {
+                write!(f, "zero-length 200 body recorded for {host}{path}")
+            }
+            RecordError::DanglingResource { host, path, resource, page_resources } => write!(
+                f,
+                "record for {host}{path} references resource {} but the page has {}",
+                resource.0, page_resources
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
 /// A request key: authority plus path.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RequestKey {
@@ -101,11 +156,65 @@ impl RecordDb {
         serde_json::to_string_pretty(self).expect("record DB serializes")
     }
 
-    /// Deserialize from JSON (and reindex).
+    /// Deserialize from JSON (and reindex). Performs **no** validation;
+    /// prefer [`RecordDb::load_json`] for untrusted corpora.
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
         let mut db: RecordDb = serde_json::from_str(s)?;
         db.reindex();
         Ok(db)
+    }
+
+    /// Deserialize from JSON and validate the database's internal
+    /// invariants ([`RecordDb::validate`]). This is the loading path for
+    /// recorded corpora coming from disk: a malformed or internally
+    /// inconsistent database is a typed [`RecordError`], not a silent
+    /// lookup anomaly mid-replay.
+    pub fn load_json(s: &str) -> Result<Self, RecordError> {
+        let db = Self::from_json(s).map_err(|e| RecordError::Json(e.to_string()))?;
+        db.validate()?;
+        Ok(db)
+    }
+
+    /// Check internal invariants: no duplicate `(host, path)` keys and
+    /// no zero-length 200 bodies.
+    pub fn validate(&self) -> Result<(), RecordError> {
+        // The index is sorted by key, so duplicates are adjacent.
+        for w in self.index.windows(2) {
+            let (a, b) = (&self.entries[w[0]].0, &self.entries[w[1]].0);
+            if a == b {
+                return Err(RecordError::DuplicateKey {
+                    host: a.host.clone(),
+                    path: a.path.clone(),
+                });
+            }
+        }
+        for (key, resp) in &self.entries {
+            if resp.status == 200 && resp.body_len == 0 {
+                return Err(RecordError::EmptyBody {
+                    host: key.host.clone(),
+                    path: key.path.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`RecordDb::validate`], plus cross-checks against the page the
+    /// database claims to record: every entry's resource id must exist.
+    pub fn validate_against(&self, page: &Page) -> Result<(), RecordError> {
+        self.validate()?;
+        let n = page.resources.len();
+        for (key, resp) in &self.entries {
+            if resp.resource.0 >= n {
+                return Err(RecordError::DanglingResource {
+                    host: key.host.clone(),
+                    path: key.path.clone(),
+                    resource: resp.resource,
+                    page_resources: n,
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -140,6 +249,67 @@ mod tests {
         let js_path = p.resources[2].path.clone();
         assert!(db.lookup("cdn.example.org", &js_path).is_some());
         assert!(db.lookup("example.org", &js_path).is_none());
+    }
+
+    #[test]
+    fn recorded_pages_validate_clean() {
+        let p = page();
+        let db = RecordDb::record(&p);
+        assert_eq!(db.validate(), Ok(()));
+        assert_eq!(db.validate_against(&p), Ok(()));
+        assert!(RecordDb::load_json(&db.to_json()).is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_are_a_typed_error() {
+        let mut db = RecordDb::record(&page());
+        let dup = db.entries[0].clone();
+        db.entries.push(dup);
+        db.reindex();
+        match db.validate() {
+            Err(RecordError::DuplicateKey { host, path }) => {
+                assert_eq!(host, "example.org");
+                assert_eq!(path, "/");
+            }
+            other => panic!("expected DuplicateKey, got {other:?}"),
+        }
+        assert!(matches!(
+            RecordDb::load_json(&db.to_json()),
+            Err(RecordError::DuplicateKey { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_length_bodies_are_a_typed_error() {
+        let mut db = RecordDb::record(&page());
+        db.entries[1].1.body_len = 0;
+        db.reindex();
+        assert!(matches!(db.validate(), Err(RecordError::EmptyBody { .. })));
+    }
+
+    #[test]
+    fn dangling_resource_refs_are_a_typed_error() {
+        let p = page();
+        let mut db = RecordDb::record(&p);
+        db.entries[2].1.resource = ResourceId(99);
+        db.reindex();
+        // Internally consistent…
+        assert_eq!(db.validate(), Ok(()));
+        // …but not against the page it claims to record.
+        match db.validate_against(&p) {
+            Err(RecordError::DanglingResource { resource, page_resources, .. }) => {
+                assert_eq!(resource, ResourceId(99));
+                assert_eq!(page_resources, 3);
+            }
+            other => panic!("expected DanglingResource, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_a_typed_error() {
+        assert!(matches!(RecordDb::load_json("{nope"), Err(RecordError::Json(_))));
+        let err = RecordError::Json("x".into()).to_string();
+        assert!(err.contains("JSON"));
     }
 
     #[test]

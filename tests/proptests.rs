@@ -211,17 +211,147 @@ proptest! {
         let mut decoded = Vec::new();
         for chunk in wire.chunks(cut) {
             buf.extend_from_slice(chunk);
-            loop {
-                match Frame::decode(&buf, 1 << 24) {
-                    Ok((f, used)) => {
-                        buf.drain(..used);
-                        decoded.push(f);
-                    }
-                    Err(_) => break,
-                }
+            while let Ok((f, used)) = Frame::decode(&buf, 1 << 24) {
+                buf.drain(..used);
+                decoded.push(f);
             }
         }
         prop_assert_eq!(decoded, frames);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adversarial frame sequences against a live endpoint
+// ---------------------------------------------------------------------
+
+use h2push::h2proto::{ConnLimits, Connection, Event, Settings, PREFACE};
+
+/// Structure-aware hostile input: valid frame shapes (including the
+/// control frames the benign [`frame_strategy`] omits) with adversarial
+/// parameter ranges, so the fuzz reaches the enforcement paths instead of
+/// dying at the framing layer.
+fn adversarial_frame_strategy() -> impl Strategy<Value = Frame> {
+    let stream = 0u32..64;
+    prop_oneof![
+        // Benign shapes, listed thrice to keep the mix mostly-valid (the
+        // vendored prop_oneof has no weighted arms).
+        frame_strategy(),
+        frame_strategy(),
+        frame_strategy(),
+        (any::<bool>(), prop_oneof![Just(None), (0u32..0xffff_ffff).prop_map(Some)]).prop_map(
+            |(ack, iw)| Frame::Settings {
+                ack,
+                settings: Settings { initial_window_size: iw, ..Settings::default() },
+            }
+        ),
+        (any::<bool>(), any::<u64>())
+            .prop_map(|(ack, payload)| Frame::Ping { ack, payload: payload.to_be_bytes() }),
+        (0u32..100).prop_map(|ls| Frame::GoAway { last_stream: ls, code: ErrorCode::NoError }),
+        (stream.clone(), proptest::collection::vec(any::<u8>(), 0..64), any::<bool>()).prop_map(
+            |(s, block, eh)| Frame::Continuation {
+                stream: s,
+                block: block.into(),
+                end_headers: eh,
+            }
+        ),
+        (stream.clone(), 1u32..0xffff_ffff)
+            .prop_map(|(s, inc)| Frame::WindowUpdate { stream: s, increment: inc }),
+        stream.prop_map(|s| Frame::RstStream { stream: s, code: ErrorCode::Cancel }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn server_endpoint_survives_arbitrary_frame_sequences(
+        frames in proptest::collection::vec(adversarial_frame_strategy(), 0..40),
+        garbage in proptest::collection::vec(any::<u8>(), 0..64),
+        cut in 1usize..600,
+        strict in any::<bool>(),
+    ) {
+        // The core robustness property: any frame sequence — valid,
+        // hostile, or trailing garbage, under any chunking and any limit
+        // profile — may kill the connection with a *typed* error, but must
+        // never panic and must always drain in bounded work (the in-proc
+        // analogue of the replay watchdog).
+        let mut srv = Connection::server(Settings::default());
+        srv.set_limits(if strict { ConnLimits::strict() } else { ConnLimits::new() });
+        let mut sched = DefaultScheduler::new();
+        let mut wire = PREFACE.to_vec();
+        Frame::Settings { ack: false, settings: Settings::default() }.encode(&mut wire);
+        for f in &frames {
+            f.encode(&mut wire);
+        }
+        wire.extend_from_slice(&garbage);
+
+        let mut fatals = 0u32;
+        let mut rounds = 0u64;
+        for chunk in wire.chunks(cut) {
+            srv.receive(chunk);
+            while let Some(ev) = srv.poll_event() {
+                rounds += 1;
+                prop_assert!(rounds < 1_000_000, "event livelock");
+                if let Event::ConnectionError { .. } = ev {
+                    fatals += 1;
+                }
+            }
+            loop {
+                rounds += 1;
+                prop_assert!(rounds < 1_000_000, "produce livelock");
+                if srv.produce(usize::MAX, &mut sched).is_empty() {
+                    break;
+                }
+            }
+        }
+        // At most one fatal error per connection lifetime, and a dead
+        // connection knows it is dead.
+        prop_assert!(fatals <= 1, "{fatals} connection errors surfaced");
+        if fatals == 1 {
+            prop_assert!(srv.is_dead());
+        }
+    }
+
+    #[test]
+    fn client_endpoint_survives_arbitrary_frame_sequences(
+        frames in proptest::collection::vec(adversarial_frame_strategy(), 0..32),
+        cut in 1usize..400,
+    ) {
+        // Same property from the browser's side: a hostile *server* can
+        // push promises, flood control frames, or talk garbage; the
+        // client endpoint stays panic-free and bounded.
+        let mut cli = Connection::client(Settings::default());
+        cli.set_limits(ConnLimits::strict());
+        let mut sched = DefaultScheduler::new();
+        cli.request(
+            &[
+                Header::new(":method", "GET"),
+                Header::new(":scheme", "https"),
+                Header::new(":authority", "fuzz.test"),
+                Header::new(":path", "/"),
+            ],
+            None,
+        );
+        let mut wire = Vec::new();
+        Frame::Settings { ack: false, settings: Settings::default() }.encode(&mut wire);
+        for f in &frames {
+            f.encode(&mut wire);
+        }
+        let mut rounds = 0u64;
+        for chunk in wire.chunks(cut) {
+            cli.receive(chunk);
+            while cli.poll_event().is_some() {
+                rounds += 1;
+                prop_assert!(rounds < 1_000_000, "event livelock");
+            }
+            loop {
+                rounds += 1;
+                prop_assert!(rounds < 1_000_000, "produce livelock");
+                if cli.produce(usize::MAX, &mut sched).is_empty() {
+                    break;
+                }
+            }
+        }
     }
 }
 
