@@ -1,5 +1,5 @@
 //! Replay hot-path baseline: serial-cold vs serial-shared vs prepared vs
-//! parallel over a fixed seeded corpus.
+//! parallel over a fixed seeded corpus, plus a worker-scaling sweep.
 //!
 //! All paths must produce identical PLT / SpeedIndex / traces — this
 //! binary asserts that — so the only difference is wall time. Each path is
@@ -8,18 +8,37 @@
 //! the stable statistic). Sharing inputs must never lose to re-recording
 //! them, and the binary fails loudly if it does.
 //!
+//! The scaling sweep re-runs the parallel path with the pool pinned to
+//! 1, 2 and 4 total worker threads ([`h2push_testbed::set_worker_threads`])
+//! and records runs/s for each width; outcomes stay byte-identical at any
+//! width. On a single-core host the parallel-beats-serial expectation is
+//! meaningless, so the artifact marks it `"skipped_single_core": true`
+//! instead of asserting it.
+//!
+//! Flags beyond the common scale arguments:
+//! - `--threads N` pins the pool for the main measurement.
+//! - `--gate` compares `serial_prepared.runs_per_sec` against the
+//!   committed `BENCH_replay.json` and fails on a >10 % regression
+//!   instead of rewriting the artifact (the CI perf gate).
+//!
 //! Results go to `BENCH_replay.json` at the repo root:
 //! `{wall_ms, runs_per_sec, speedup_vs_serial}` per path plus a `meta`
-//! block (cores, rustc, git revision).
+//! block (cores, threads, rustc, git revision) and the `scaling` table.
 
-use h2push_bench::{scale_from_args, BenchMeta};
+use h2push_bench::{bench_args, BenchMeta};
 use h2push_strategies::Strategy;
-use h2push_testbed::{replay, run_config, Mode, ReplayInputs, ReplayOutcome, RunPlan};
+use h2push_testbed::{
+    replay, run_config, set_worker_threads, Mode, ReplayInputs, ReplayOutcome, RunPlan,
+};
 use h2push_webmodel::{generate_site, CorpusKind, Page};
 use std::time::Instant;
 
 /// Measured passes per path (after one untimed warmup).
 const PASSES: usize = 5;
+
+/// Measured passes per scaling width (the sweep re-runs one path three
+/// times; a smaller N keeps its cost proportionate).
+const SCALING_PASSES: usize = 3;
 
 /// Sharing may never be slower than re-recording; allow this much noise.
 /// Shared single-core containers show ±20 % wall-clock swings between
@@ -27,6 +46,20 @@ const PASSES: usize = 5;
 /// loose — it exists to catch structural regressions (sharing or
 /// preparation costing real work per rep), not scheduler jitter.
 const SHARED_TOLERANCE: f64 = 1.25;
+
+/// `--gate`: fail when `serial_prepared` drops more than this fraction
+/// below the committed baseline.
+const GATE_TOLERANCE: f64 = 0.10;
+
+/// Fresh measurement attempts a below-floor gate reading earns before it
+/// counts as a real regression (noise on shared runners routinely exceeds
+/// the gate tolerance; a real slowdown fails every attempt).
+const GATE_RETRIES: usize = 2;
+
+/// Multicore scaling floor: with 2 workers the parallel path must deliver
+/// at least this speedup over 1 worker (only asserted when the host
+/// actually has more than one core).
+const SCALING_FLOOR_2W: f64 = 1.7;
 
 struct PathResult {
     label: &'static str,
@@ -68,15 +101,35 @@ fn measure(paths: &mut [Path<'_>]) -> (Vec<f64>, Vec<Grid>) {
     (best, outs)
 }
 
+/// Pull `"runs_per_sec": X` out of `path_label`'s object in a committed
+/// `BENCH_replay.json` (our own single-line-per-path format; no JSON
+/// parser needed or wanted here).
+fn baseline_runs_per_sec(json: &str, path_label: &str) -> Option<f64> {
+    let line = json.lines().find(|l| l.trim_start().starts_with(&format!("\"{path_label}\"")))?;
+    let tail = line.split("\"runs_per_sec\":").nth(1)?;
+    let num: String = tail
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
 fn main() {
-    let scale = scale_from_args();
+    let args = bench_args();
+    let scale = args.scale;
+    set_worker_threads(args.threads);
     let sites = scale.sites.min(12);
     let runs = scale.runs;
     let pages: Vec<Page> =
         (0..sites).map(|i| generate_site(CorpusKind::Random, scale.seed ^ i as u64)).collect();
     let strategy = Strategy::NoPush;
     let total_runs = sites * runs;
-    println!("perf_replay: {sites} sites x {runs} runs (seed {}, best of {PASSES})", scale.seed);
+    let meta = BenchMeta::capture();
+    println!(
+        "perf_replay: {sites} sites x {runs} runs (seed {}, best of {PASSES}, {} threads)",
+        scale.seed, meta.threads
+    );
 
     let inputs: Vec<ReplayInputs> = pages.iter().map(ReplayInputs::from).collect();
     let plans: Vec<RunPlan> = inputs
@@ -156,6 +209,57 @@ fn main() {
         "serial_prepared ({prepared_ms:.1} ms) slower than serial_shared ({serial_ms:.1} ms): \
          page-level precomputation regressed"
     );
+    // A pool that costs more than it parallelizes is a bug — but only on
+    // hosts where it *can* parallelize. On one core the parallel path
+    // degrades (correctly) to serial plus pool bookkeeping, so the
+    // expectation is recorded as skipped rather than asserted.
+    let single_core = meta.cores <= 1;
+    if !single_core {
+        assert!(
+            parallel_ms <= prepared_ms * SHARED_TOLERANCE,
+            "parallel_prepared ({parallel_ms:.1} ms) slower than serial_prepared \
+             ({prepared_ms:.1} ms) on a {}-core host: pool scheduling regressed",
+            meta.cores
+        );
+    }
+
+    // Worker-scaling sweep: the same prepared parallel path pinned to 1,
+    // 2 and 4 total threads. Byte-equality must hold at every width; the
+    // speedup is only asserted where the host can actually scale.
+    let mut scaling: Vec<(usize, f64, f64)> = Vec::new(); // (threads, wall_ms, runs/s)
+    for &threads in &[1usize, 2, 4] {
+        set_worker_threads(Some(threads));
+        let run_path =
+            || -> Grid { prepared_plans.iter().map(|p| p.run().into_outcomes()).collect() };
+        let first = run_path(); // warmup (and equality probe)
+        assert!(
+            outcomes_equal(serial, &first),
+            "parallel outcomes diverged from serial at {threads} worker threads"
+        );
+        let mut best = f64::INFINITY;
+        for _ in 0..SCALING_PASSES {
+            let t = Instant::now();
+            let out = run_path();
+            best = best.min(t.elapsed().as_secs_f64() * 1e3);
+            assert!(
+                outcomes_equal(serial, &out),
+                "parallel outcomes diverged from serial at {threads} worker threads"
+            );
+        }
+        scaling.push((threads, best, total_runs as f64 / (best / 1e3)));
+    }
+    set_worker_threads(args.threads);
+    let one_worker_ms = scaling[0].1;
+    if !single_core {
+        let two_worker_ms = scaling[1].1;
+        let speedup = one_worker_ms / two_worker_ms;
+        assert!(
+            speedup >= SCALING_FLOOR_2W,
+            "2-worker speedup {speedup:.2}x below the {SCALING_FLOOR_2W}x floor \
+             on a {}-core host",
+            meta.cores
+        );
+    }
 
     let results = [
         ("serial_cold", cold_ms),
@@ -171,24 +275,92 @@ fn main() {
     });
 
     let mut json = String::from("{\n");
-    json.push_str(&format!("  {},\n", BenchMeta::capture().to_json()));
-    for (i, r) in results.iter().enumerate() {
+    json.push_str(&format!("  {},\n", meta.to_json()));
+    for r in results.iter() {
+        let skipped = if r.label == "parallel_prepared" && single_core {
+            ", \"skipped_single_core\": true"
+        } else {
+            ""
+        };
         json.push_str(&format!(
-            "  \"{}\": {{\"wall_ms\": {:.1}, \"runs_per_sec\": {:.2}, \"speedup_vs_serial\": {:.2}}}{}\n",
+            "  \"{}\": {{\"wall_ms\": {:.1}, \"runs_per_sec\": {:.2}, \
+             \"speedup_vs_serial\": {:.2}{}}},\n",
+            r.label, r.wall_ms, r.runs_per_sec, r.speedup_vs_serial, skipped,
+        ));
+        println!(
+            "{:18} {:9.1} ms  {:7.2} runs/s  {:5.2}x vs serial-cold{}",
             r.label,
             r.wall_ms,
             r.runs_per_sec,
             r.speedup_vs_serial,
-            if i + 1 < results.len() { "," } else { "" },
-        ));
-        println!(
-            "{:18} {:9.1} ms  {:7.2} runs/s  {:5.2}x vs serial-cold",
-            r.label, r.wall_ms, r.runs_per_sec, r.speedup_vs_serial
+            if skipped.is_empty() { "" } else { "  (single core: no parallel expectation)" },
         );
     }
-    json.push('}');
-    json.push('\n');
+    json.push_str("  \"scaling\": {");
+    for (i, (threads, wall_ms, rps)) in scaling.iter().enumerate() {
+        json.push_str(&format!(
+            "\"threads_{threads}\": {{\"wall_ms\": {wall_ms:.1}, \"runs_per_sec\": {rps:.2}, \
+             \"speedup_vs_1_thread\": {:.2}}}{}",
+            one_worker_ms / wall_ms,
+            if i + 1 < scaling.len() { ", " } else { "" },
+        ));
+        println!(
+            "scaling {threads} thread(s): {wall_ms:9.1} ms  {rps:7.2} runs/s  {:5.2}x vs 1 thread",
+            one_worker_ms / wall_ms
+        );
+    }
+    json.push_str("}\n}\n");
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replay.json");
-    std::fs::write(path, json).expect("write BENCH_replay.json");
-    println!("wrote {path}");
+    if args.gate {
+        // CI perf gate: compare against the committed artifact, never
+        // rewrite it. Absolute runs/s differ across machines, so the gate
+        // is only meaningful against a baseline from comparable hardware;
+        // the committed baseline comes from the slowest container in use.
+        let committed = std::fs::read_to_string(path).expect("read committed BENCH_replay.json");
+        let base = baseline_runs_per_sec(&committed, "serial_prepared")
+            .expect("committed BENCH_replay.json has serial_prepared.runs_per_sec");
+        let mut now = results[2].runs_per_sec;
+        let floor = base * (1.0 - GATE_TOLERANCE);
+        // Shared CI runners are noisy well beyond the gate tolerance, so a
+        // reading below the floor earns fresh best-of-PASSES re-measurements
+        // before it counts as a regression: a genuinely slow build fails
+        // every attempt, a scheduler hiccup doesn't.
+        for attempt in 0..GATE_RETRIES {
+            if now >= floor {
+                break;
+            }
+            println!(
+                "perf gate: {now:.2} runs/s below floor {floor:.2}, \
+                 re-measuring (attempt {}/{GATE_RETRIES})",
+                attempt + 1
+            );
+            let mut best = f64::INFINITY;
+            for _ in 0..PASSES {
+                let t = Instant::now();
+                let out: Grid = prepared_plans
+                    .iter()
+                    .map(|p| p.clone().serial().run().into_outcomes())
+                    .collect();
+                best = best.min(t.elapsed().as_secs_f64() * 1e3);
+                assert!(outcomes_equal(serial, &out), "re-measured outcomes diverged");
+            }
+            now = now.max(total_runs as f64 / (best / 1e3));
+        }
+        println!(
+            "perf gate: serial_prepared {now:.2} runs/s vs committed {base:.2} \
+             (floor {floor:.2})"
+        );
+        assert!(
+            now >= floor,
+            "perf gate failed: serial_prepared {now:.2} runs/s is more than \
+             {:.0}% below the committed baseline {base:.2} across {GATE_RETRIES} \
+             re-measurements",
+            GATE_TOLERANCE * 100.0
+        );
+        println!("perf gate passed");
+    } else {
+        std::fs::write(path, json).expect("write BENCH_replay.json");
+        println!("wrote {path}");
+    }
 }

@@ -8,32 +8,63 @@
 
 use h2push_testbed::experiments::Scale;
 
-/// Parse the common CLI arguments into a [`Scale`].
-pub fn scale_from_args() -> Scale {
+/// Everything the common CLI surface can express: the grid [`Scale`],
+/// an optional worker-thread pin (`--threads N`), and gate mode
+/// (`--gate`: compare against the committed baseline and fail on
+/// regression instead of rewriting it).
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    pub scale: Scale,
+    /// Total worker threads to pin the testbed pool to (calling thread
+    /// included); `None` leaves the `available_parallelism` default.
+    pub threads: Option<usize>,
+    /// Compare against the committed benchmark artifact instead of
+    /// overwriting it.
+    pub gate: bool,
+}
+
+/// Parse the common CLI arguments.
+pub fn bench_args() -> BenchArgs {
     let args: Vec<String> = std::env::args().collect();
-    let mut scale = Scale { sites: 40, runs: 11, seed: 42 };
+    let mut out =
+        BenchArgs { scale: Scale { sites: 40, runs: 11, seed: 42 }, threads: None, gate: false };
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => scale = Scale::quick(),
-            "--paper" => scale = Scale::paper(),
+            "--quick" => out.scale = Scale::quick(),
+            "--paper" => out.scale = Scale::paper(),
             "--sites" => {
                 i += 1;
-                scale.sites = args[i].parse().expect("--sites N");
+                out.scale.sites = args[i].parse().expect("--sites N");
             }
             "--runs" => {
                 i += 1;
-                scale.runs = args[i].parse().expect("--runs N");
+                out.scale.runs = args[i].parse().expect("--runs N");
             }
             "--seed" => {
                 i += 1;
-                scale.seed = args[i].parse().expect("--seed N");
+                out.scale.seed = args[i].parse().expect("--seed N");
             }
-            other => panic!("unknown argument {other} (try --quick/--paper/--sites/--runs/--seed)"),
+            "--threads" => {
+                i += 1;
+                let n: usize = args[i].parse().expect("--threads N");
+                assert!(n >= 1, "--threads needs at least one thread");
+                out.threads = Some(n);
+            }
+            "--gate" => out.gate = true,
+            other => panic!(
+                "unknown argument {other} \
+                 (try --quick/--paper/--sites/--runs/--seed/--threads/--gate)"
+            ),
         }
         i += 1;
     }
-    scale
+    out
+}
+
+/// Parse the common CLI arguments into a [`Scale`].
+pub fn scale_from_args() -> Scale {
+    bench_args().scale
 }
 
 /// Machine and build provenance recorded into every benchmark artifact,
@@ -43,6 +74,9 @@ pub fn scale_from_args() -> Scale {
 pub struct BenchMeta {
     /// Logical cores available to the process.
     pub cores: usize,
+    /// Effective worker-thread budget of the testbed pool (calling
+    /// thread included) when the numbers were produced.
+    pub threads: usize,
     /// `rustc -V` output ("unknown" when the compiler is not on PATH).
     pub rustc: String,
     /// Short git revision ("unknown" outside a work tree).
@@ -65,6 +99,7 @@ impl BenchMeta {
         };
         BenchMeta {
             cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            threads: h2push_testbed::worker_threads(),
             rustc: run("rustc", &["-V"]),
             git_rev: run("git", &["rev-parse", "--short", "HEAD"]),
         }
@@ -73,8 +108,9 @@ impl BenchMeta {
     /// The `"meta": {...}` JSON fragment (no trailing comma or newline).
     pub fn to_json(&self) -> String {
         format!(
-            "\"meta\": {{\"cores\": {}, \"rustc\": \"{}\", \"git_rev\": \"{}\"}}",
+            "\"meta\": {{\"cores\": {}, \"threads\": {}, \"rustc\": \"{}\", \"git_rev\": \"{}\"}}",
             self.cores,
+            self.threads,
             self.rustc.replace('"', "'"),
             self.git_rev.replace('"', "'"),
         )

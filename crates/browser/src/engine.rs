@@ -30,11 +30,12 @@ use bytes::Bytes;
 use h2push_h2proto::{
     CacheDigest, Connection, ErrorCode, Event, FifoScheduler, PrioritySpec, Settings,
 };
+use h2push_hpack::FxHashMap;
 use h2push_hpack::{BlockCache, Header};
 use h2push_netsim::{SimDuration, SimTime};
 use h2push_trace::{conn_label, TraceEvent, TraceHandle};
 use h2push_webmodel::{Discovery, Page, ResourceId, ResourceType, ScriptMode};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Request priority classes, highest first (Chromium's five buckets).
@@ -317,10 +318,10 @@ pub struct Browser {
     page: Arc<Page>,
     cfg: BrowserConfig,
     conns: BTreeMap<usize, ConnState>,
-    h1: HashMap<usize, H1Pool>,
+    h1: FxHashMap<usize, H1Pool>,
     h1_seq: u64,
     res: Vec<ResInfo>,
-    stream_map: HashMap<(usize, u32), ResourceId>,
+    stream_map: FxHashMap<(usize, u32), ResourceId>,
     // Page-derived scan data (stop points, reference index, request
     // headers); shared across loads of the same page.
     scan: Arc<PreparedScan>,
@@ -334,7 +335,7 @@ pub struct Browser {
     next_ref: usize,
     // Main thread.
     main_free_at: SimTime,
-    timers: HashMap<u64, TimerKind>,
+    timers: FxHashMap<u64, TimerKind>,
     next_token: u64,
     // Deferred scripts pending execution after parse end.
     defer_queue: Vec<ResourceId>,
@@ -354,7 +355,7 @@ pub struct Browser {
     requests: u32,
     // Fault handling.
     /// Next slot for a replacement HTTP/2 connection, per group.
-    next_h2_slot: HashMap<usize, usize>,
+    next_h2_slot: FxHashMap<usize, usize>,
     partial: bool,
     retries: u32,
     timeouts: u32,
@@ -392,9 +393,9 @@ impl Browser {
             page,
             cfg,
             conns: BTreeMap::new(),
-            h1: HashMap::new(),
+            h1: FxHashMap::default(),
             h1_seq: 0,
-            stream_map: HashMap::new(),
+            stream_map: FxHashMap::default(),
             scan,
             available: 0,
             parsed: 0,
@@ -404,7 +405,7 @@ impl Browser {
             parser_done: false,
             next_ref: 0,
             main_free_at: SimTime::ZERO,
-            timers: HashMap::new(),
+            timers: FxHashMap::default(),
             next_token: 1,
             defer_queue: Vec::new(),
             connect_end: None,
@@ -418,7 +419,7 @@ impl Browser {
             pushed_count: 0,
             cancelled_pushes: 0,
             requests: 0,
-            next_h2_slot: HashMap::new(),
+            next_h2_slot: FxHashMap::default(),
             partial: false,
             retries: 0,
             timeouts: 0,

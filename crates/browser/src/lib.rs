@@ -21,9 +21,9 @@ mod tests {
     use super::*;
     use h2push_h2proto::{Connection, DefaultScheduler, Event, Settings};
     use h2push_hpack::Header;
-    use h2push_netsim::{SimDuration, SimTime};
+    use h2push_netsim::{EventQueue, SimDuration, SimTime};
     use h2push_webmodel::{Page, PageBuilder, RecordDb, ResourceId, ResourceSpec};
-    use std::collections::{BinaryHeap, HashMap, VecDeque};
+    use std::collections::{HashMap, VecDeque};
     use std::sync::Arc;
 
     /// A zero-latency in-memory harness: instant network, per-group replay
@@ -40,7 +40,11 @@ mod tests {
         /// (a stalled origin, for exercising timeouts and retries).
         blackhole: Vec<ResourceId>,
         servers: HashMap<usize, (Connection, DefaultScheduler)>,
-        timers: BinaryHeap<std::cmp::Reverse<(SimTime, u64)>>,
+        /// Pending timer tokens on the shared simulator queue — the same
+        /// timing-wheel `EventQueue` the full testbed schedules with, so
+        /// MiniBed's tie-break (insertion order at equal instants) matches
+        /// the real bed instead of a hand-rolled heap's token order.
+        timers: EventQueue<u64>,
         now: SimTime,
         connect_latency: SimDuration,
     }
@@ -54,7 +58,7 @@ mod tests {
                 push_trigger: ResourceId(0),
                 blackhole: Vec::new(),
                 servers: HashMap::new(),
-                timers: BinaryHeap::new(),
+                timers: EventQueue::new(),
                 now: SimTime::ZERO,
                 connect_latency: SimDuration::from_millis(30),
             }
@@ -85,7 +89,7 @@ mod tests {
                             }
                         }
                         BrowserAction::SetTimer { at, token } => {
-                            self.timers.push(std::cmp::Reverse((at, token)));
+                            self.timers.push(at, token);
                         }
                     }
                 }
@@ -93,7 +97,7 @@ mod tests {
                     return browser.result();
                 }
                 // Advance the clock: earliest of timer or pending connect.
-                let next_timer = self.timers.peek().map(|r| r.0 .0);
+                let next_timer = self.timers.peek_time();
                 let next_conn = connects.iter().map(|c| c.0).min();
                 match (next_timer, next_conn) {
                     (Some(t), Some(c)) if c <= t => {
@@ -104,7 +108,7 @@ mod tests {
                     }
                     (Some(t), _) => {
                         self.now = t;
-                        let std::cmp::Reverse((_, token)) = self.timers.pop().unwrap();
+                        let (_, token) = self.timers.pop().unwrap();
                         pending.extend(browser.on_timer(token, self.now));
                     }
                     (None, Some(c)) => {

@@ -16,10 +16,11 @@ use crate::frame::{
 use crate::limits::ConnLimits;
 use crate::priority::PriorityTree;
 use crate::scheduler::{Scheduler, StreamSnapshot};
+use crate::stream_slab::StreamSlab;
 use bytes::{Bytes, BytesMut};
 use h2push_hpack::{Decoder as HpackDecoder, Encoder as HpackEncoder, Header};
 use h2push_trace::{FrameKind as TraceFrameKind, TraceEvent, TraceHandle};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Which side of the connection this endpoint is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,7 +113,7 @@ pub struct Connection {
     role: Role,
     hpack_enc: HpackEncoder,
     hpack_dec: HpackDecoder,
-    streams: BTreeMap<u32, Stream>,
+    streams: StreamSlab<Stream>,
     tree: PriorityTree,
     control: VecDeque<Bytes>,
     recv_buf: Vec<u8>,
@@ -221,7 +222,7 @@ impl Connection {
             role,
             hpack_enc: HpackEncoder::new(),
             hpack_dec,
-            streams: BTreeMap::new(),
+            streams: take_recycled_slab(),
             tree: PriorityTree::new(),
             control: VecDeque::new(),
             recv_buf: Vec::new(),
@@ -326,17 +327,17 @@ impl Connection {
 
     /// State of `stream`, if known.
     pub fn stream_state(&self, stream: u32) -> Option<StreamState> {
-        self.streams.get(&stream).map(|s| s.state)
+        self.streams.get(stream).map(|s| s.state)
     }
 
     /// Body bytes already sent on `stream`.
     pub fn bytes_sent(&self, stream: u32) -> u64 {
-        self.streams.get(&stream).map(|s| s.out.sent).unwrap_or(0)
+        self.streams.get(stream).map(|s| s.out.sent).unwrap_or(0)
     }
 
     /// Body bytes queued but not yet sent on `stream`.
     pub fn bytes_queued(&self, stream: u32) -> usize {
-        self.streams.get(&stream).map(|s| s.out.queued).unwrap_or(0)
+        self.streams.get(stream).map(|s| s.out.queued).unwrap_or(0)
     }
 
     fn queue_frame(&mut self, frame: Frame) {
@@ -408,7 +409,7 @@ impl Connection {
 
     /// Reset a stream (e.g. cancel an unwanted push with CANCEL).
     pub fn reset(&mut self, stream: u32, code: ErrorCode) {
-        if let Some(s) = self.streams.get_mut(&stream) {
+        if let Some(s) = self.streams.get_mut(stream) {
             if s.state != StreamState::Closed {
                 s.state = StreamState::Closed;
                 s.out.queued = 0;
@@ -431,7 +432,7 @@ impl Connection {
             return None;
         }
         let parent_alive = matches!(
-            self.streams.get(&parent).map(|s| s.state),
+            self.streams.get(parent).map(|s| s.state),
             Some(StreamState::Open) | Some(StreamState::HalfClosedRemote)
         );
         if !parent_alive {
@@ -459,7 +460,7 @@ impl Connection {
         assert_eq!(self.role, Role::Server);
         let block = Bytes::from(self.hpack_enc.encode(headers));
         self.queue_header_block(stream, block, end_stream, None, None);
-        if let Some(s) = self.streams.get_mut(&stream) {
+        if let Some(s) = self.streams.get_mut(stream) {
             s.out.headers_sent = true;
             match (s.state, end_stream) {
                 (StreamState::ReservedLocal, false) => s.state = StreamState::HalfClosedRemote,
@@ -476,7 +477,7 @@ impl Connection {
     /// Queue `len` body bytes on `stream`; `fin` marks the end of the
     /// response. Actual emission is driven by [`Connection::produce`].
     pub fn queue_body(&mut self, stream: u32, len: usize, fin: bool) {
-        if let Some(s) = self.streams.get_mut(&stream) {
+        if let Some(s) = self.streams.get_mut(stream) {
             if s.state == StreamState::Closed {
                 return;
             }
@@ -488,7 +489,7 @@ impl Connection {
     }
 
     fn close_send_side(&mut self, stream: u32) {
-        if let Some(s) = self.streams.get_mut(&stream) {
+        if let Some(s) = self.streams.get_mut(stream) {
             s.state = match s.state {
                 StreamState::Open => StreamState::HalfClosedLocal,
                 StreamState::HalfClosedRemote | StreamState::ReservedLocal => StreamState::Closed,
@@ -582,7 +583,7 @@ impl Connection {
         let mut snapshots = std::mem::take(&mut self.snap_scratch);
         while self.send_buf.len() < max {
             snapshots.clear();
-            snapshots.extend(self.streams.iter().filter_map(|(&id, s)| {
+            snapshots.extend(self.streams.iter().filter_map(|(id, s)| {
                 let sendable = self.sendable(s);
                 if sendable > 0 {
                     Some(StreamSnapshot { id, sendable, sent: s.out.sent, is_push: id % 2 == 0 })
@@ -594,7 +595,7 @@ impl Connection {
                 break;
             }
             let Some(id) = scheduler.pick(&snapshots, &self.tree) else { break };
-            let Some(s) = self.streams.get_mut(&id) else {
+            let Some(s) = self.streams.get_mut(id) else {
                 // The scheduler picked an id the connection no longer
                 // tracks (stale policy state). Fail the pick, tell the
                 // scheduler the stream is gone, and keep the connection —
@@ -848,7 +849,7 @@ impl Connection {
                         stream: 0,
                         increment,
                     });
-                } else if let Some(s) = self.streams.get_mut(&stream) {
+                } else if let Some(s) = self.streams.get_mut(stream) {
                     if s.send_window + increment as i64 > MAX_WINDOW {
                         s.state = StreamState::Closed;
                         s.out.queued = 0;
@@ -946,7 +947,7 @@ impl Connection {
                 }
                 // Single borrow of the stream: the WINDOW_UPDATE is queued
                 // after it ends, so no re-lookup (and no unwrap) is needed.
-                let (known, window_inc) = match self.streams.get_mut(&stream) {
+                let (known, window_inc) = match self.streams.get_mut(stream) {
                     Some(s) if s.state == StreamState::Closed => {
                         // Data raced our RST; ignore at stream level.
                         (false, None)
@@ -988,7 +989,7 @@ impl Connection {
                 if self.resets_received > self.limits.max_resets {
                     return Err(ConnError::ResetFlood);
                 }
-                if let Some(s) = self.streams.get_mut(&stream) {
+                if let Some(s) = self.streams.get_mut(stream) {
                     s.state = StreamState::Closed;
                     s.out.queued = 0;
                 }
@@ -1053,7 +1054,7 @@ impl Connection {
                 self.events.push_back(Event::PushPromise { parent: ph.stream, promised, headers });
             }
             None => {
-                if !self.streams.contains_key(&ph.stream) {
+                if !self.streams.contains_key(ph.stream) {
                     // A request HEADERS opens the stream (server side
                     // only: a client's streams all originate locally or
                     // via PUSH_PROMISE, so an unknown id is hostile).
@@ -1094,7 +1095,7 @@ impl Connection {
                         Stream::new(StreamState::Open, self.peer_initial_window),
                     );
                 }
-                let Some(entry) = self.streams.get_mut(&ph.stream) else {
+                let Some(entry) = self.streams.get_mut(ph.stream) else {
                     return Ok(()); // unreachable: inserted or present above
                 };
                 match entry.state {
@@ -1132,6 +1133,43 @@ impl Connection {
     /// Next pending application event.
     pub fn poll_event(&mut self) -> Option<Event> {
         self.events.pop_front()
+    }
+}
+
+/// Connections retired per thread whose stream-slab allocation is kept
+/// for the next endpoint. A sweep rep builds a client/server pair per
+/// origin, so a small pool flattens per-rep allocator traffic.
+const SLAB_POOL_CAP: usize = 8;
+/// Dense slots pre-reserved per parity when no recycled slab is available
+/// — enough for every benign page replay in the corpus.
+const SLAB_INITIAL_SLOTS: usize = 64;
+
+thread_local! {
+    static SLAB_POOL: std::cell::RefCell<Vec<StreamSlab<Stream>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn take_recycled_slab() -> StreamSlab<Stream> {
+    SLAB_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_else(|| StreamSlab::with_capacity(SLAB_INITIAL_SLOTS))
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        let mut slab = std::mem::take(&mut self.streams);
+        if slab.capacity() == 0 {
+            // The placeholder left by a previous take (or a slab that
+            // never carried a stream) is not worth pooling.
+            return;
+        }
+        slab.reset();
+        SLAB_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < SLAB_POOL_CAP {
+                pool.push(slab);
+            }
+        });
     }
 }
 

@@ -18,6 +18,7 @@ pub mod frame;
 pub mod limits;
 pub mod priority;
 pub mod scheduler;
+pub(crate) mod stream_slab;
 
 pub use cache_digest::CacheDigest;
 pub use connection::{Connection, Event, Role, StreamState};

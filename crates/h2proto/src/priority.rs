@@ -9,7 +9,7 @@
 //! frames are only scheduled when the parent has nothing to send (Fig. 5a).
 
 use crate::frame::PrioritySpec;
-use std::collections::HashMap;
+use h2push_hpack::FxHashMap;
 
 /// The root pseudo-stream id.
 pub const ROOT: u32 = 0;
@@ -35,13 +35,13 @@ struct Node {
 /// ```
 #[derive(Debug, Clone)]
 pub struct PriorityTree {
-    nodes: HashMap<u32, Node>,
+    nodes: FxHashMap<u32, Node>,
 }
 
 impl PriorityTree {
     /// Tree containing only the root.
     pub fn new() -> Self {
-        let mut nodes = HashMap::new();
+        let mut nodes = FxHashMap::default();
         nodes.insert(ROOT, Node { parent: ROOT, weight: 256, children: Vec::new() });
         PriorityTree { nodes }
     }

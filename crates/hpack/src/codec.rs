@@ -2,11 +2,11 @@
 //! [`BlockCache`] for replay workloads that encode the same header lists
 //! from identical encoder states over and over.
 
+use crate::fx::FxHashMap;
 use crate::huffman;
 use crate::integer;
 use crate::table::{Header, IndexTable, Match};
 use crate::Error;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -49,27 +49,45 @@ struct CachedBlock {
 ///
 /// Cloning is shallow: clones share one map, which is how a page-level
 /// [`BlockCache`] is shared across every connection and repetition touching
-/// that page (the map is behind a `Mutex`; encodes are rare relative to
-/// simulation events, so contention is negligible).
+/// that page. The map is split into [`SHARDS`] independently-locked
+/// shards selected by key hash, so parallel repetitions encoding
+/// different blocks never serialize on one mutex; keys are already
+/// FNV-mixed fingerprints, making the shard index and the in-shard
+/// [`FxHashMap`] lookup both one multiply away.
 #[derive(Debug, Clone, Default)]
 pub struct BlockCache {
     inner: Arc<BlockCacheInner>,
 }
 
-#[derive(Debug, Default)]
+/// Shard count (power of two). Sized for worker counts up to the teens:
+/// with 16 shards and uniform keys, two workers collide on a lock with
+/// probability 1/16 per encode.
+const SHARDS: usize = 16;
+
+type ShardMap = FxHashMap<(u64, u64), CachedBlock>;
+
+#[derive(Debug)]
 struct BlockCacheInner {
-    map: Mutex<HashMap<(u64, u64), CachedBlock>>,
+    shards: [Mutex<ShardMap>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-/// Lock a cache map, recovering from poisoning: a panicking replay that a
-/// sweep cell caught with `catch_unwind` must not disable the shared cache
-/// for every other cell (the map is never left mid-mutation — each guard
-/// scope performs one complete get or insert).
-fn lock_map(
-    m: &Mutex<HashMap<(u64, u64), CachedBlock>>,
-) -> std::sync::MutexGuard<'_, HashMap<(u64, u64), CachedBlock>> {
+impl Default for BlockCacheInner {
+    fn default() -> Self {
+        BlockCacheInner {
+            shards: std::array::from_fn(|_| Mutex::new(ShardMap::default())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Lock one cache shard, recovering from poisoning: a panicking replay
+/// that a sweep cell caught with `catch_unwind` must not disable the
+/// shared cache for every other cell (a shard is never left mid-mutation
+/// — each guard scope performs one complete get or insert).
+fn lock_shard(m: &Mutex<ShardMap>) -> std::sync::MutexGuard<'_, ShardMap> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -79,9 +97,17 @@ impl BlockCache {
         Self::default()
     }
 
+    /// The shard holding `key`. Both key halves are FNV-mixed already;
+    /// fold them so the shard index uses different bits than the in-shard
+    /// bucket index.
+    fn shard(&self, key: (u64, u64)) -> &Mutex<ShardMap> {
+        let h = key.0 ^ key.1.rotate_left(32);
+        &self.inner.shards[((h >> 57) as usize) & (SHARDS - 1)]
+    }
+
     /// Number of distinct (state, header-list) blocks memoized.
     pub fn len(&self) -> usize {
-        lock_map(&self.inner.map).len()
+        self.inner.shards.iter().map(|s| lock_shard(s).len()).sum()
     }
 
     /// True when nothing has been memoized yet.
@@ -216,7 +242,7 @@ impl Encoder {
         };
         let key = (self.fingerprint(), BlockCache::headers_hash(headers));
         {
-            let map = lock_map(&cache.inner.map);
+            let map = lock_shard(cache.shard(key));
             if let Some(entry) = map.get(&key) {
                 let block = entry.block.clone();
                 for h in &entry.inserts {
@@ -232,7 +258,7 @@ impl Encoder {
         cache.inner.misses.fetch_add(1, Ordering::Relaxed);
         let mut inserts = Vec::new();
         let block = self.encode_live(headers, Some(&mut inserts));
-        lock_map(&cache.inner.map).insert(key, CachedBlock { block: block.clone(), inserts });
+        lock_shard(cache.shard(key)).insert(key, CachedBlock { block: block.clone(), inserts });
         block
     }
 

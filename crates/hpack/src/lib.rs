@@ -7,11 +7,13 @@
 //! validated against the RFC's Appendix C test vectors.
 
 pub mod codec;
+pub mod fx;
 pub mod huffman;
 pub mod integer;
 pub mod table;
 
 pub use codec::{BlockCache, Decoder, Encoder, HuffmanPolicy};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use table::{Header, IndexTable, Match, STATIC_TABLE};
 
 /// HPACK processing error; all of these are connection errors of type

@@ -1,44 +1,384 @@
-//! Deterministic event queue.
+//! Deterministic event queue: a hierarchical timing wheel with a
+//! binary-heap reference backend.
 //!
-//! A binary heap keyed by `(SimTime, sequence)` — the sequence number breaks
-//! ties between events scheduled for the same instant in *insertion order*,
-//! which makes the simulation fully deterministic regardless of heap
-//! internals.
+//! Ordering is total over `(SimTime, sequence)` — the sequence number
+//! breaks ties between events scheduled for the same instant in
+//! *insertion order*, which makes the simulation fully deterministic
+//! regardless of the backing structure.
+//!
+//! The default backend is a three-level timing wheel sized for the
+//! simulator's event mix (µs-scale packet hops, ms-scale think timers,
+//! second-scale RTOs and deadlines):
+//!
+//! * level 0 — 1024 slots × 1 µs (≈ 1 ms window). One slot is one exact
+//!   microsecond, so FIFO order within a slot *is* `(time, seq)` order.
+//! * level 1 — 256 slots × 1.024 ms (≈ 262 ms window).
+//! * level 2 — 256 slots × ≈ 262 ms (≈ 67 s window).
+//! * an unsorted overflow list beyond that, plus a small "past" heap for
+//!   events pushed behind the pop frontier (never hit by the simulator,
+//!   which schedules monotonically, but required for arbitrary
+//!   push/pop interleavings — the equivalence proptests exercise it).
+//!
+//! Pushes route by distance from the current window; pops find the next
+//! occupied slot through per-level occupancy bitmaps and cascade one
+//! higher-level slot down only when a window empties, so each event is
+//! touched at most three times. Every structure is recycled by
+//! [`EventQueue::clear`] with its allocations intact, which is what makes
+//! the thread-local queue pool in `network.rs` allocation-free at steady
+//! state.
+//!
+//! [`EventQueue::with_heap`] keeps the original binary-heap
+//! implementation alive as a reference: the proptest suite in
+//! `tests/queue_equiv.rs` pops both backends in lockstep over arbitrary
+//! interleavings and asserts identical sequences.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 struct Entry<E> {
-    at: SimTime,
+    at: u64,
     seq: u64,
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
+/// Min-heap adapter over [`Entry`] (used by the heap backend and the
+/// wheel's past-frontier spill).
+struct Rev<E>(Entry<E>);
+
+impl<E> PartialEq for Rev<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.0.at == other.0.at && self.0.seq == other.0.seq
     }
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
+impl<E> Eq for Rev<E> {}
+impl<E> PartialOrd for Rev<E> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Entry<E> {
+impl<E> Ord for Rev<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want the earliest event first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        // Reverse: BinaryHeap is a max-heap, we want the earliest first.
+        (other.0.at, other.0.seq).cmp(&(self.0.at, self.0.seq))
     }
+}
+
+const L0_BITS: u32 = 10;
+const L1_BITS: u32 = 8;
+const L2_BITS: u32 = 8;
+/// 1024 slots × 1 µs.
+const L0_SLOTS: usize = 1 << L0_BITS;
+/// 256 slots × 1.024 ms.
+const L1_SLOTS: usize = 1 << L1_BITS;
+/// 256 slots × ≈ 262 ms.
+const L2_SLOTS: usize = 1 << L2_BITS;
+const L1_SHIFT: u32 = L0_BITS;
+const L2_SHIFT: u32 = L0_BITS + L1_BITS;
+const L0_SPAN: u64 = 1 << L0_BITS;
+
+/// First set bit at or after `from`. `summary` holds one bit per word of
+/// `words` (bit w set iff `words[w] != 0`), so a scan over a sparse or
+/// empty bitmap is one masked summary lookup instead of a word-by-word
+/// walk — the common case on the pop path, where level-0 is empty most
+/// of the time between cascades.
+fn next_bit(summary: u64, words: &[u64], from: usize) -> Option<usize> {
+    let w0 = from >> 6;
+    if w0 >= words.len() {
+        return None;
+    }
+    let cur = words[w0] & (!0u64 << (from & 63));
+    if cur != 0 {
+        return Some((w0 << 6) + cur.trailing_zeros() as usize);
+    }
+    // Jump straight to the next nonempty word (words.len() ≤ 16 < 64, so
+    // the shift below cannot overflow).
+    let rest = summary & (!0u64 << (w0 + 1));
+    if rest == 0 {
+        return None;
+    }
+    let w = rest.trailing_zeros() as usize;
+    Some((w << 6) + words[w].trailing_zeros() as usize)
+}
+
+#[inline]
+fn set_bit(words: &mut [u64], summary: &mut u64, s: usize) {
+    words[s >> 6] |= 1 << (s & 63);
+    *summary |= 1 << (s >> 6);
+}
+
+#[inline]
+fn clear_bit(words: &mut [u64], summary: &mut u64, s: usize) {
+    let w = s >> 6;
+    words[w] &= !(1 << (s & 63));
+    if words[w] == 0 {
+        *summary &= !(1 << w);
+    }
+}
+
+struct Wheel<E> {
+    /// Slot storage, allocated lazily on the first push so that the
+    /// `mem::take` placeholder in `Network::drop` stays allocation-free.
+    l0: Vec<VecDeque<Entry<E>>>,
+    l1: Vec<VecDeque<Entry<E>>>,
+    l2: Vec<VecDeque<Entry<E>>>,
+    bm0: [u64; L0_SLOTS / 64],
+    bm1: [u64; L1_SLOTS / 64],
+    bm2: [u64; L2_SLOTS / 64],
+    /// One-bit-per-word summaries of the bitmaps above.
+    sm0: u64,
+    sm1: u64,
+    sm2: u64,
+    /// Cursors: slots below the cursor in the current window are drained.
+    c0: usize,
+    c1: usize,
+    c2: usize,
+    /// Absolute time of slot 0 of each level's current window.
+    l0_start: u64,
+    l1_start: u64,
+    l2_start: u64,
+    /// Events pushed behind the pop frontier (earlier than anything the
+    /// wheel can still index). Empty under monotone scheduling.
+    past: BinaryHeap<Rev<E>>,
+    /// Events beyond the level-2 horizon, unsorted.
+    overflow: Vec<Entry<E>>,
+}
+
+impl<E> Wheel<E> {
+    fn new() -> Self {
+        Wheel {
+            l0: Vec::new(),
+            l1: Vec::new(),
+            l2: Vec::new(),
+            bm0: [0; L0_SLOTS / 64],
+            bm1: [0; L1_SLOTS / 64],
+            bm2: [0; L2_SLOTS / 64],
+            sm0: 0,
+            sm1: 0,
+            sm2: 0,
+            c0: 0,
+            c1: 0,
+            c2: 0,
+            l0_start: 0,
+            l1_start: 0,
+            l2_start: 0,
+            past: BinaryHeap::new(),
+            overflow: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, e: Entry<E>) {
+        if self.l0.is_empty() {
+            self.l0.resize_with(L0_SLOTS, VecDeque::new);
+            self.l1.resize_with(L1_SLOTS, VecDeque::new);
+            self.l2.resize_with(L2_SLOTS, VecDeque::new);
+        }
+        let t = e.at;
+        // A `None` frontier means the cursor ran past u64::MAX: every
+        // representable time is behind it.
+        let behind = match self.l0_start.checked_add(self.c0 as u64) {
+            Some(frontier) => t < frontier,
+            None => true,
+        };
+        if behind {
+            self.past.push(Rev(e));
+            return;
+        }
+        // All subtractions below are safe: t ≥ frontier ≥ l0_start ≥
+        // l1_start ≥ l2_start (each window opens inside its parent slot).
+        if t - self.l0_start < L0_SPAN {
+            let s = (t - self.l0_start) as usize;
+            set_bit(&mut self.bm0, &mut self.sm0, s);
+            self.l0[s].push_back(e);
+        } else if (t - self.l1_start) >> L1_SHIFT < L1_SLOTS as u64 {
+            let s = ((t - self.l1_start) >> L1_SHIFT) as usize;
+            set_bit(&mut self.bm1, &mut self.sm1, s);
+            self.l1[s].push_back(e);
+        } else if (t - self.l2_start) >> L2_SHIFT < L2_SLOTS as u64 {
+            let s = ((t - self.l2_start) >> L2_SHIFT) as usize;
+            set_bit(&mut self.bm2, &mut self.sm2, s);
+            self.l2[s].push_back(e);
+        } else {
+            self.overflow.push(e);
+        }
+    }
+
+    /// Advance the cursors to the earliest occupied level-0 slot,
+    /// cascading one higher-level slot down per iteration. Returns false
+    /// when everything outside `past` is empty.
+    ///
+    /// Cascades preserve `(time, seq)` order: a parent slot's entries are
+    /// re-distributed in insertion order, and direct pushes can only land
+    /// in a child window *after* it has been opened (and its parent slot
+    /// fully drained), so same-instant entries always append in seq order.
+    fn locate(&mut self) -> bool {
+        loop {
+            if let Some(s) = next_bit(self.sm0, &self.bm0, self.c0) {
+                self.c0 = s;
+                return true;
+            }
+            if let Some(s) = next_bit(self.sm1, &self.bm1, self.c1) {
+                // Open level-1 slot `s` as the new level-0 window.
+                self.l0_start = self.l1_start + ((s as u64) << L1_SHIFT);
+                self.c0 = 0;
+                self.c1 = s + 1;
+                clear_bit(&mut self.bm1, &mut self.sm1, s);
+                let mut buf = std::mem::take(&mut self.l1[s]);
+                for e in buf.drain(..) {
+                    let i = (e.at - self.l0_start) as usize;
+                    set_bit(&mut self.bm0, &mut self.sm0, i);
+                    self.l0[i].push_back(e);
+                }
+                self.l1[s] = buf; // hand the buffer back for reuse
+                continue;
+            }
+            if let Some(s) = next_bit(self.sm2, &self.bm2, self.c2) {
+                // Open level-2 slot `s` as the new level-1 window.
+                self.l1_start = self.l2_start + ((s as u64) << L2_SHIFT);
+                self.c1 = 0;
+                self.l0_start = self.l1_start;
+                self.c0 = 0;
+                self.c2 = s + 1;
+                clear_bit(&mut self.bm2, &mut self.sm2, s);
+                let mut buf = std::mem::take(&mut self.l2[s]);
+                for e in buf.drain(..) {
+                    let i = ((e.at - self.l1_start) >> L1_SHIFT) as usize;
+                    set_bit(&mut self.bm1, &mut self.sm1, i);
+                    self.l1[i].push_back(e);
+                }
+                self.l2[s] = buf;
+                continue;
+            }
+            if !self.overflow.is_empty() {
+                // Re-anchor the whole wheel at the earliest far event and
+                // pull everything inside the new level-2 horizon in,
+                // preserving insertion order.
+                let min = self.overflow.iter().map(|e| e.at).min().expect("nonempty");
+                self.l2_start = min;
+                self.l1_start = min;
+                self.l0_start = min;
+                self.c0 = 0;
+                self.c1 = 0;
+                self.c2 = 0;
+                let mut keep = Vec::new();
+                for e in self.overflow.drain(..) {
+                    let d = (e.at - self.l2_start) >> L2_SHIFT;
+                    if d < L2_SLOTS as u64 {
+                        let i = d as usize;
+                        set_bit(&mut self.bm2, &mut self.sm2, i);
+                        self.l2[i].push_back(e);
+                    } else {
+                        keep.push(e);
+                    }
+                }
+                self.overflow = keep;
+                continue;
+            }
+            return false;
+        }
+    }
+
+    fn pop_slot(&mut self) -> Entry<E> {
+        let s = self.c0;
+        let e = self.l0[s].pop_front().expect("located slot is nonempty");
+        if self.l0[s].is_empty() {
+            clear_bit(&mut self.bm0, &mut self.sm0, s);
+            self.c0 = s + 1;
+        }
+        e
+    }
+
+    fn pop(&mut self) -> Option<Entry<E>> {
+        // Fast path for the simulator's steady state: nothing behind the
+        // frontier and the cursor already resting on an occupied slot
+        // (same-instant bursts, cascaded slots being drained).
+        if self.past.is_empty()
+            && self.c0 < L0_SLOTS
+            && self.bm0[self.c0 >> 6] & (1 << (self.c0 & 63)) != 0
+        {
+            return Some(self.pop_slot());
+        }
+        let in_wheel = self.locate();
+        match (in_wheel, self.past.peek()) {
+            (false, None) => None,
+            (true, None) => Some(self.pop_slot()),
+            (false, Some(_)) => self.past.pop().map(|r| r.0),
+            (true, Some(p)) => {
+                let front = self.l0[self.c0].front().expect("located slot is nonempty");
+                if (p.0.at, p.0.seq) < (front.at, front.seq) {
+                    self.past.pop().map(|r| r.0)
+                } else {
+                    Some(self.pop_slot())
+                }
+            }
+        }
+    }
+
+    /// Earliest `(at, seq)` without mutating the wheel (`peek_time` takes
+    /// `&self`). Falls back to scanning the first occupied higher-level
+    /// slot — all earlier slots are provably empty, so its minimum is the
+    /// wheel's minimum.
+    fn peek(&self) -> Option<(u64, u64)> {
+        let wheel = if let Some(s) = next_bit(self.sm0, &self.bm0, self.c0) {
+            self.l0[s].front().map(|e| (e.at, e.seq))
+        } else if let Some(s) = next_bit(self.sm1, &self.bm1, self.c1) {
+            self.l1[s].iter().map(|e| (e.at, e.seq)).min()
+        } else if let Some(s) = next_bit(self.sm2, &self.bm2, self.c2) {
+            self.l2[s].iter().map(|e| (e.at, e.seq)).min()
+        } else {
+            self.overflow.iter().map(|e| (e.at, e.seq)).min()
+        };
+        let past = self.past.peek().map(|r| (r.0.at, r.0.seq));
+        match (wheel, past) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn clear(&mut self) {
+        while let Some(s) = next_bit(self.sm0, &self.bm0, 0) {
+            self.l0[s].clear();
+            clear_bit(&mut self.bm0, &mut self.sm0, s);
+        }
+        while let Some(s) = next_bit(self.sm1, &self.bm1, 0) {
+            self.l1[s].clear();
+            clear_bit(&mut self.bm1, &mut self.sm1, s);
+        }
+        while let Some(s) = next_bit(self.sm2, &self.bm2, 0) {
+            self.l2[s].clear();
+            clear_bit(&mut self.bm2, &mut self.sm2, s);
+        }
+        self.past.clear();
+        self.overflow.clear();
+        self.c0 = 0;
+        self.c1 = 0;
+        self.c2 = 0;
+        self.l0_start = 0;
+        self.l1_start = 0;
+        self.l2_start = 0;
+    }
+}
+
+enum Backend<E> {
+    /// Boxed: the wheel's slot arrays are tens of kilobytes, and queues
+    /// move by value through the thread-local recycling pool.
+    Wheel(Box<Wheel<E>>),
+    Heap(BinaryHeap<Rev<E>>),
 }
 
 /// A time-ordered queue of simulation events.
 ///
-/// Events scheduled for the same instant pop in the order they were pushed.
+/// Events scheduled for the same instant pop in the order they were
+/// pushed. The default backend is the timing wheel; [`EventQueue::with_heap`]
+/// selects the binary-heap reference implementation (identical pop
+/// sequences, asserted by the equivalence proptests).
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backend: Backend<E>,
     next_seq: u64,
+    len: usize,
+    /// High-water entry count — a cheap allocation proxy so the recycling
+    /// pool can tell a used queue from a fresh placeholder.
+    high_water: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -48,51 +388,89 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Create an empty queue.
+    /// Create an empty queue (timing-wheel backend).
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            backend: Backend::Wheel(Box::new(Wheel::new())),
+            next_seq: 0,
+            len: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Create an empty queue backed by the original binary heap. The
+    /// reference implementation for lockstep equivalence tests; pop
+    /// sequences are identical to [`EventQueue::new`].
+    pub fn with_heap() -> Self {
+        EventQueue { backend: Backend::Heap(BinaryHeap::new()), next_seq: 0, len: 0, high_water: 0 }
     }
 
     /// Schedule `event` to fire at `at`.
     pub fn push(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        self.len += 1;
+        self.high_water = self.high_water.max(self.len);
+        let entry = Entry { at: at.as_micros(), seq, event };
+        match &mut self.backend {
+            Backend::Wheel(w) => w.push(entry),
+            Backend::Heap(h) => h.push(Rev(entry)),
+        }
     }
 
     /// Remove and return the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.at, e.event))
+        let e = match &mut self.backend {
+            Backend::Wheel(w) => w.pop(),
+            Backend::Heap(h) => h.pop().map(|r| r.0),
+        }?;
+        self.len -= 1;
+        Some((SimTime(e.at), e.event))
     }
 
     /// Drop all pending events and reset the tie-break sequence, keeping
-    /// the heap's capacity. A cleared queue behaves exactly like a fresh
+    /// every allocation. A cleared queue behaves exactly like a fresh
     /// one — ordering is total over `(time, seq)`, so retained capacity
     /// cannot affect pop order — which makes recycling queues across
     /// simulation runs safe for determinism.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.backend {
+            Backend::Wheel(w) => w.clear(),
+            Backend::Heap(h) => h.clear(),
+        }
         self.next_seq = 0;
+        self.len = 0;
     }
 
-    /// Allocated capacity of the underlying heap.
+    /// Allocation proxy: nonzero once the queue has ever held an event.
+    /// (For the heap backend this is the heap's real capacity; the wheel
+    /// reports its high-water entry count, which survives [`clear`]
+    /// exactly like retained capacity does.)
+    ///
+    /// [`clear`]: EventQueue::clear
     pub fn capacity(&self) -> usize {
-        self.heap.capacity()
+        match &self.backend {
+            Backend::Wheel(_) => self.high_water,
+            Backend::Heap(h) => h.capacity(),
+        }
     }
 
     /// The firing time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        match &self.backend {
+            Backend::Wheel(w) => w.peek().map(|(at, _)| SimTime(at)),
+            Backend::Heap(h) => h.peek().map(|r| SimTime(r.0.at)),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -100,39 +478,129 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
 
+    fn both() -> [EventQueue<u64>; 2] {
+        [EventQueue::new(), EventQueue::with_heap()]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_millis(30), "c");
-        q.push(SimTime::from_millis(10), "a");
-        q.push(SimTime::from_millis(20), "b");
-        assert_eq!(q.pop(), Some((SimTime::from_millis(10), "a")));
-        assert_eq!(q.pop(), Some((SimTime::from_millis(20), "b")));
-        assert_eq!(q.pop(), Some((SimTime::from_millis(30), "c")));
-        assert_eq!(q.pop(), None);
+        for mut q in [EventQueue::new(), EventQueue::with_heap()] {
+            q.push(SimTime::from_millis(30), "c");
+            q.push(SimTime::from_millis(10), "a");
+            q.push(SimTime::from_millis(20), "b");
+            assert_eq!(q.pop(), Some((SimTime::from_millis(10), "a")));
+            assert_eq!(q.pop(), Some((SimTime::from_millis(20), "b")));
+            assert_eq!(q.pop(), Some((SimTime::from_millis(30), "c")));
+            assert_eq!(q.pop(), None);
+        }
     }
 
     #[test]
     fn ties_break_in_insertion_order() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_millis(5);
-        for i in 0..100 {
-            q.push(t, i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop().unwrap().1, i);
+        for mut q in both() {
+            let t = SimTime::from_millis(5);
+            for i in 0..100 {
+                q.push(t, i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop().unwrap().1, i);
+            }
         }
     }
 
     #[test]
     fn peek_time_matches_pop() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
-        q.push(SimTime::from_millis(7), ());
-        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
-        q.pop();
-        assert!(q.is_empty());
+        for mut q in [EventQueue::new(), EventQueue::with_heap()] {
+            assert_eq!(q.peek_time(), None);
+            q.push(SimTime::from_millis(7), ());
+            assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+            assert_eq!(q.len(), 1);
+            assert!(!q.is_empty());
+            q.pop();
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn far_future_and_interleaved_pops() {
+        // Times spanning every level: same-µs burst, level-1, level-2,
+        // overflow, and a push behind the frontier after a pop.
+        for mut q in both() {
+            q.push(SimTime(3), 3);
+            q.push(SimTime(70_000_000), 70); // ≈ 70 s: beyond level 2
+            q.push(SimTime(500_000), 500); // level 2
+            q.push(SimTime(2_000), 2); // level 1
+            q.push(SimTime(3), 4); // same instant, later seq
+            assert_eq!(q.pop(), Some((SimTime(3), 3)));
+            assert_eq!(q.pop(), Some((SimTime(3), 4)));
+            q.push(SimTime(1), 1); // behind the frontier
+            assert_eq!(q.pop(), Some((SimTime(1), 1)));
+            assert_eq!(q.pop(), Some((SimTime(2_000), 2)));
+            assert_eq!(q.peek_time(), Some(SimTime(500_000)));
+            assert_eq!(q.pop(), Some((SimTime(500_000), 500)));
+            assert_eq!(q.pop(), Some((SimTime(70_000_000), 70)));
+            assert_eq!(q.pop(), None);
+        }
+    }
+
+    #[test]
+    fn cleared_queue_behaves_like_fresh() {
+        for mut q in both() {
+            for i in 0..50 {
+                q.push(SimTime(i * 997 % 4000), i);
+            }
+            q.pop();
+            q.clear();
+            assert!(q.is_empty());
+            assert_eq!(q.pop(), None);
+            // Seq restarts: same-instant ordering matches a fresh queue.
+            q.push(SimTime(9), 1);
+            q.push(SimTime(9), 2);
+            assert_eq!(q.pop(), Some((SimTime(9), 1)));
+            assert_eq!(q.pop(), Some((SimTime(9), 2)));
+        }
+    }
+
+    #[test]
+    fn capacity_is_nonzero_after_use() {
+        for mut q in both() {
+            assert_eq!(q.capacity(), 0);
+            q.push(SimTime(1), 0);
+            q.pop();
+            q.clear();
+            assert!(q.capacity() > 0, "recycling pool needs a used-queue signal");
+        }
+    }
+
+    #[test]
+    fn wheel_matches_heap_on_a_dense_schedule() {
+        let mut wheel = EventQueue::new();
+        let mut heap = EventQueue::with_heap();
+        // Deterministic pseudo-random mix of pushes and pops.
+        let mut x: u64 = 0x2545F491;
+        for i in 0..5_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x % 3 == 0 {
+                assert_eq!(wheel.pop(), heap.pop());
+            } else {
+                let t = match x % 7 {
+                    0..=2 => x % 1_000,                // level 0
+                    3 | 4 => x % 200_000,              // level 1
+                    5 => x % 50_000_000,               // level 2
+                    _ => 60_000_000 + x % 100_000_000, // overflow
+                };
+                wheel.push(SimTime(t), i);
+                heap.push(SimTime(t), i);
+            }
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

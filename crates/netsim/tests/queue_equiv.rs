@@ -1,0 +1,126 @@
+//! Lockstep equivalence: the timing-wheel `EventQueue` and the
+//! binary-heap reference backend must produce identical pop sequences
+//! for arbitrary push/pop/clear interleavings — including same-instant
+//! bursts, far-future overflow times and pushes behind the pop frontier
+//! (which a monotone simulator never issues, but the wheel must still
+//! order correctly).
+
+use h2push_netsim::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push one event at the given absolute microsecond.
+    Push(u64),
+    /// Push `n` events at the same instant (tie-break stress).
+    Burst(u64, u8),
+    /// Pop once and compare.
+    Pop,
+    /// Drain up to `n` events.
+    PopMany(u8),
+    /// Reset both queues (seq restarts; recycled state must be inert).
+    Clear,
+}
+
+/// Times spanning every wheel level: level-0 (µs), level-1 (ms),
+/// level-2 (sub-minute), the overflow list, and u64 extremes.
+fn time_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        0u64..1_024,
+        0u64..262_144,
+        0u64..67_000_000,
+        0u64..10_000_000_000,
+        (u64::MAX - 1_000)..=u64::MAX,
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        time_strategy().prop_map(Op::Push),
+        (time_strategy(), 1u8..12).prop_map(|(t, n)| Op::Burst(t, n)),
+        Just(Op::Pop),
+        (1u8..20).prop_map(Op::PopMany),
+        Just(Op::Clear),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn wheel_and_heap_pop_identically(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        let mut heap: EventQueue<u64> = EventQueue::with_heap();
+        let mut tag = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Push(t) => {
+                    wheel.push(SimTime(t), tag);
+                    heap.push(SimTime(t), tag);
+                    tag += 1;
+                }
+                Op::Burst(t, n) => {
+                    for _ in 0..n {
+                        wheel.push(SimTime(t), tag);
+                        heap.push(SimTime(t), tag);
+                        tag += 1;
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(wheel.pop(), heap.pop());
+                }
+                Op::PopMany(n) => {
+                    for _ in 0..n {
+                        prop_assert_eq!(wheel.pop(), heap.pop());
+                    }
+                }
+                Op::Clear => {
+                    wheel.clear();
+                    heap.clear();
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.is_empty(), heap.is_empty());
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+        }
+        // Drain whatever is left in lockstep.
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn cleared_and_recycled_queues_match_fresh_ones(
+        first in proptest::collection::vec((time_strategy(), Just(())), 1..60),
+        second in proptest::collection::vec(time_strategy(), 1..60),
+    ) {
+        // Fill + partially drain + clear a wheel, then check the recycled
+        // instance pops the second schedule exactly like a fresh queue.
+        let mut recycled: EventQueue<u64> = EventQueue::new();
+        for (i, (t, ())) in first.iter().enumerate() {
+            recycled.push(SimTime(*t), i as u64);
+        }
+        for _ in 0..first.len() / 2 {
+            recycled.pop();
+        }
+        recycled.clear();
+
+        let mut fresh: EventQueue<u64> = EventQueue::new();
+        for (i, t) in second.iter().enumerate() {
+            recycled.push(SimTime(*t), i as u64);
+            fresh.push(SimTime(*t), i as u64);
+        }
+        loop {
+            let (a, b) = (recycled.pop(), fresh.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -8,8 +8,8 @@
 //! the browser's priority tree as the server observed it); the vote ranks
 //! resources by their median observed position.
 
+use h2push_hpack::FxHashMap;
 use h2push_webmodel::ResourceId;
-use std::collections::HashMap;
 
 /// The (server-observed) request order of one replay run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,7 +26,7 @@ pub fn majority_order(traces: &[RunTrace]) -> Vec<ResourceId> {
     if traces.is_empty() {
         return Vec::new();
     }
-    let mut positions: HashMap<ResourceId, Vec<usize>> = HashMap::new();
+    let mut positions: FxHashMap<ResourceId, Vec<usize>> = FxHashMap::default();
     let mut universe: Vec<ResourceId> = Vec::new();
     for t in traces {
         for (pos, &id) in t.order.iter().enumerate() {
@@ -44,7 +44,7 @@ pub fn majority_order(traces: &[RunTrace]) -> Vec<ResourceId> {
         }
         v.sort_unstable();
     }
-    let first_trace_pos: HashMap<ResourceId, usize> =
+    let first_trace_pos: FxHashMap<ResourceId, usize> =
         traces[0].order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
     let median = |v: &Vec<usize>| -> f64 {
         let n = v.len();

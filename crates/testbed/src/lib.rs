@@ -33,7 +33,7 @@ pub use harness::{compute_push_order, run_config, Mode, PAPER_RUNS};
 #[allow(deprecated)]
 pub use harness::{run_many, run_many_serial, run_many_shared, run_once};
 pub use plan::{RunOutput, RunPlan, RunReport, TraceSpec};
-pub use pool::parallel_indexed;
+pub use pool::{parallel_indexed, set_worker_threads, worker_threads};
 pub use prepared::PreparedPage;
 pub use replay::{
     replay, replay_shared, Protocol, ReplayConfig, ReplayError, ReplayInputs, ReplayOutcome,

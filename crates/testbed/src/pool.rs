@@ -14,8 +14,30 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// calls (the calling threads themselves are not counted).
 static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
 
+/// Explicit worker budget (total threads, calling thread included);
+/// `0` means "derive from `available_parallelism`".
+static WORKER_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
 fn cores() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Pin the process-wide worker budget to exactly `threads` total threads
+/// (the calling thread counts as one, so `Some(1)` forces fully serial
+/// execution and `Some(4)` allows three extra workers — even above the
+/// physical core count, which the scaling bench uses to prove
+/// byte-equality at any width). `None` restores the default
+/// `available_parallelism` budget.
+pub fn set_worker_threads(threads: Option<usize>) {
+    WORKER_THREADS_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The effective total worker budget (calling thread included).
+pub fn worker_threads() -> usize {
+    match WORKER_THREADS_OVERRIDE.load(Ordering::Relaxed) {
+        0 => cores(),
+        n => n,
+    }
 }
 
 /// A claim on `0..=want` worker slots; dropping it returns them.
@@ -31,8 +53,8 @@ impl Drop for WorkerTokens {
 
 fn claim(want: usize) -> WorkerTokens {
     // Each claimant's own thread works too, so the extra-thread budget is
-    // one less than the core count.
-    let cap = cores().saturating_sub(1);
+    // one less than the total thread budget.
+    let cap = worker_threads().saturating_sub(1);
     let mut cur = ACTIVE_WORKERS.load(Ordering::Relaxed);
     loop {
         let take = want.min(cap.saturating_sub(cur));
@@ -132,13 +154,37 @@ mod tests {
         assert_eq!(parallel_indexed(1, |i| i + 7), vec![7]);
     }
 
+    /// Serializes the tests that read or write the global thread budget.
+    static BUDGET_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn claims_never_exceed_request_or_budget() {
-        let cap = cores().saturating_sub(1);
+        let _g = BUDGET_LOCK.lock().unwrap();
+        let cap = worker_threads().saturating_sub(1);
         let t = claim(1_000);
         assert!(t.0 <= 1_000.min(cap));
         // A second claim on top of the first stays within the budget too.
         let t2 = claim(1_000);
         assert!(t.0 + t2.0 <= cap);
+    }
+
+    #[test]
+    fn thread_override_pins_the_budget() {
+        let _g = BUDGET_LOCK.lock().unwrap();
+        set_worker_threads(Some(1));
+        let t = claim(8);
+        assert_eq!(t.0, 0, "one total thread means no extra workers");
+        drop(t);
+        set_worker_threads(Some(3));
+        let t = claim(8);
+        assert!(t.0 <= 2, "three total threads allow at most two extras");
+        drop(t);
+        set_worker_threads(None);
+        assert_eq!(worker_threads(), cores());
+        // The override may exceed the physical core count: the scaling
+        // bench uses that to prove byte-equality at any width.
+        set_worker_threads(Some(64));
+        assert_eq!(worker_threads(), 64);
+        set_worker_threads(None);
     }
 }

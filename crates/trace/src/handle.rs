@@ -39,9 +39,28 @@ impl TraceSink for SharedTimeline {
     }
 }
 
+/// Where a handle delivers events. The timeline variant is the hot path:
+/// an emission is one `RefCell` borrow and a `Vec` push of a `Copy` pair —
+/// no box, no virtual dispatch, no serialization. Arbitrary sinks keep the
+/// `dyn` route for extensibility (file writers, assertion probes).
+enum Sink {
+    Timeline(Rc<RefCell<Timeline>>),
+    Dyn(RefCell<Box<dyn TraceSink>>),
+}
+
+impl Sink {
+    #[inline]
+    fn record(&self, at: Micros, ev: TraceEvent) {
+        match self {
+            Sink::Timeline(tl) => tl.borrow_mut().push(at, ev),
+            Sink::Dyn(sink) => sink.borrow_mut().record(at, ev),
+        }
+    }
+}
+
 struct Ctl {
     now: Cell<Micros>,
-    sink: RefCell<Box<dyn TraceSink>>,
+    sink: Sink,
 }
 
 /// A cheap, cloneable capability to emit trace events.
@@ -63,9 +82,16 @@ impl TraceHandle {
         Self(None)
     }
 
-    /// A handle feeding `sink`.
+    /// A handle feeding `sink` through dynamic dispatch. For timeline
+    /// recording prefer [`recording`], which takes the devirtualized path.
     pub fn with_sink(sink: Box<dyn TraceSink>) -> Self {
-        Self(Some(Rc::new(Ctl { now: Cell::new(0), sink: RefCell::new(sink) })))
+        Self(Some(Rc::new(Ctl { now: Cell::new(0), sink: Sink::Dyn(RefCell::new(sink)) })))
+    }
+
+    /// A handle appending straight into `timeline` — no boxed sink in
+    /// between, so each event is a branch, a borrow and a `Vec` push.
+    pub fn with_timeline(timeline: Rc<RefCell<Timeline>>) -> Self {
+        Self(Some(Rc::new(Ctl { now: Cell::new(0), sink: Sink::Timeline(timeline) })))
     }
 
     /// Is a sink attached?
@@ -83,14 +109,14 @@ impl TraceHandle {
     /// Emit stamped with the published clock (see [`TraceHandle::set_now`]).
     pub fn emit(&self, ev: TraceEvent) {
         if let Some(ctl) = &self.0 {
-            ctl.sink.borrow_mut().record(ctl.now.get(), ev);
+            ctl.sink.record(ctl.now.get(), ev);
         }
     }
 
     /// Emit stamped with an explicit simulated time.
     pub fn emit_at(&self, micros: Micros, ev: TraceEvent) {
         if let Some(ctl) = &self.0 {
-            ctl.sink.borrow_mut().record(micros, ev);
+            ctl.sink.record(micros, ev);
         }
     }
 }
@@ -100,8 +126,10 @@ impl TraceHandle {
 /// The returned handle is cloned into the simulation; the caller keeps the
 /// `Rc` and reads (or `take`s) the timeline once the run finishes.
 pub fn recording() -> (TraceHandle, Rc<RefCell<Timeline>>) {
-    let timeline = Rc::new(RefCell::new(Timeline::default()));
-    let handle = TraceHandle::with_sink(Box::new(SharedTimeline(Rc::clone(&timeline))));
+    // Pre-size for a typical traced page replay (a few thousand frame,
+    // timer and paint events) so recording never reallocates mid-run.
+    let timeline = Rc::new(RefCell::new(Timeline::with_capacity(4096)));
+    let handle = TraceHandle::with_timeline(Rc::clone(&timeline));
     (handle, timeline)
 }
 

@@ -43,6 +43,17 @@ pub struct ResourceSpan {
 }
 
 impl Timeline {
+    /// An empty timeline with room for `cap` events before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Timeline { events: Vec::with_capacity(cap) }
+    }
+
+    /// Drop all events but keep the allocation, so a recycled timeline
+    /// records the next run without reallocating.
+    pub fn reset(&mut self) {
+        self.events.clear();
+    }
+
     pub fn push(&mut self, at: Micros, ev: TraceEvent) {
         self.events.push((at, ev));
     }
