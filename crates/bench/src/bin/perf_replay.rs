@@ -115,6 +115,17 @@ fn baseline_runs_per_sec(json: &str, path_label: &str) -> Option<f64> {
     num.parse().ok()
 }
 
+/// Fail `--gate` with a one-line actionable error instead of a panic
+/// backtrace when the committed baseline is missing or malformed.
+fn gate_unusable(msg: &str) -> ! {
+    eprintln!(
+        "perf gate: {msg}\nperf gate: regenerate it with \
+         `cargo run --release -p h2push-bench --bin perf_replay` (no --gate) \
+         and commit BENCH_replay.json"
+    );
+    std::process::exit(1);
+}
+
 fn main() {
     let args = bench_args();
     let scale = args.scale;
@@ -317,9 +328,16 @@ fn main() {
         // rewrite it. Absolute runs/s differ across machines, so the gate
         // is only meaningful against a baseline from comparable hardware;
         // the committed baseline comes from the slowest container in use.
-        let committed = std::fs::read_to_string(path).expect("read committed BENCH_replay.json");
-        let base = baseline_runs_per_sec(&committed, "serial_prepared")
-            .expect("committed BENCH_replay.json has serial_prepared.runs_per_sec");
+        let committed = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => gate_unusable(&format!("cannot read committed baseline {path}: {e}")),
+        };
+        let base = match baseline_runs_per_sec(&committed, "serial_prepared") {
+            Some(b) => b,
+            None => gate_unusable(&format!(
+                "committed baseline {path} is malformed: no serial_prepared.runs_per_sec"
+            )),
+        };
         let mut now = results[2].runs_per_sec;
         let floor = base * (1.0 - GATE_TOLERANCE);
         // Shared CI runners are noisy well beyond the gate tolerance, so a

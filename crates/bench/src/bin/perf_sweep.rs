@@ -7,23 +7,58 @@
 //! One cell is cross-checked outcome-for-outcome against a plain
 //! [`RunPlan`] (the CI `sweep-smoke` gate), and results go to
 //! `BENCH_sweep.json` at the repo root.
+//!
+//! Crash safety: `--checkpoint PATH` journals every completed cell so a
+//! killed run loses only the cells in flight; `--resume PATH` replays the
+//! journal and executes only the remainder (byte-identical to an
+//! uninterrupted run — the CI `resume-smoke` job kills and resumes this
+//! very binary). The JSON artifact carries a machine-readable `failures`
+//! section: per-cell failure-kind counts plus the retry classification of
+//! each failed rep.
 
-use h2push_bench::{scale_from_args, BenchMeta};
+use h2push_bench::{bench_args, BenchMeta};
 use h2push_strategies::Strategy;
-use h2push_testbed::{Mode, RunPlan, SweepPlan, SweepReport};
+use h2push_testbed::{set_worker_threads, Mode, RunPlan, SweepCell, SweepPlan, SweepReport};
 use h2push_webmodel::{generate_site, CorpusKind, Page, ResourceId};
 use std::time::Instant;
 
-fn mean(values: impl Iterator<Item = f64>) -> f64 {
-    let v: Vec<f64> = values.collect();
-    if v.is_empty() {
-        return 0.0;
+/// The per-cell `"failures"` JSON fragment: kind-label counts plus one
+/// entry per failed rep with its retry classification.
+fn failures_json(cell: &SweepCell) -> String {
+    let mut kinds: Vec<(&'static str, usize)> = Vec::new();
+    for f in &cell.failures {
+        let label = f.kind.label();
+        match kinds.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, n)) => *n += 1,
+            None => kinds.push((label, 1)),
+        }
     }
-    v.iter().sum::<f64>() / v.len() as f64
+    let counts: Vec<String> = kinds.iter().map(|(l, n)| format!("\"{l}\": {n}")).collect();
+    let reps: Vec<String> = cell
+        .failures
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"rep\": {}, \"kind\": \"{}\", \"retries\": {}, \"class\": \"{}\"}}",
+                f.rep,
+                f.kind.label(),
+                f.retries,
+                f.class.label(),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"counts\": {{{}}}, \"reps\": [{}], \"recovered\": {}}}",
+        counts.join(", "),
+        reps.join(", "),
+        cell.recovered.len(),
+    )
 }
 
 fn main() {
-    let scale = scale_from_args();
+    let args = bench_args();
+    let scale = args.scale;
+    set_worker_threads(args.threads);
     let sites = scale.sites.clamp(1, 6);
     let runs = scale.runs;
     let pages: Vec<Page> =
@@ -45,10 +80,34 @@ fn main() {
         .seed(scale.seed)
         .mode(Mode::Testbed);
 
-    // Warmup (fills the HPACK caches), then the measured sweep.
+    // Warmup (fills the HPACK caches), then the measured sweep. With a
+    // journal the measured run also pays per-cell encode+fsync, which is
+    // the honest cost of crash safety.
     let _ = plan.run();
     let t = Instant::now();
-    let report: SweepReport = plan.run();
+    let report: SweepReport = match (&args.resume, &args.checkpoint) {
+        (Some(path), _) => {
+            println!("resuming journaled sweep from {path}");
+            match plan.resume(path) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("perf_sweep: cannot resume: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        (None, Some(path)) => {
+            println!("journaling completed cells to {path}");
+            match plan.checkpoint(path) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("perf_sweep: cannot checkpoint: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        (None, None) => plan.run(),
+    };
     let sweep_ms = t.elapsed().as_secs_f64() * 1e3;
 
     // The same grid as independent RunPlans (no shared PreparedPage, one
@@ -112,17 +171,28 @@ fn main() {
         naive_ms,
         total_runs as f64 / (naive_ms / 1e3)
     ));
+    json.push_str(&format!(
+        "  \"failures\": {{\"failed_reps\": {}, \"recovered_reps\": {}, \"failed_cells\": {}}},\n",
+        report.failed(),
+        report.recovered(),
+        report.failed_cells().count(),
+    ));
     json.push_str("  \"cells\": [\n");
     for (i, cell) in report.cells.iter().enumerate() {
+        // All-failed cells have no PLT observations; report 0.0 rather
+        // than panicking the reporter (RunStats::try_of at the boundary).
+        let mean_plt = cell.stats.plt_stats().map(|s| s.mean).unwrap_or(0.0);
+        let mean_si = cell.stats.speed_index_stats().map(|s| s.mean).unwrap_or(0.0);
         json.push_str(&format!(
-            "    {{\"strategy\": \"{}\", \"site\": \"{}\", \"reps\": {}, \"failed\": {}, \
-             \"mean_plt_ms\": {:.1}, \"mean_speed_index\": {:.1}}}{}\n",
+            "    {{\"strategy\": \"{}\", \"site\": \"{}\", \"reps\": {}, \"partial\": {}, \
+             \"mean_plt_ms\": {:.1}, \"mean_speed_index\": {:.1}, \"failures\": {}}}{}\n",
             cell.strategy,
             cell.site,
-            cell.report.len(),
-            cell.failures.len(),
-            mean(cell.report.outcomes().map(|o| o.load.plt())),
-            mean(cell.report.outcomes().map(|o| o.load.speed_index())),
+            cell.stats.n,
+            cell.stats.partial,
+            mean_plt,
+            mean_si,
+            failures_json(cell),
             if i + 1 < report.cells.len() { "," } else { "" },
         ));
     }

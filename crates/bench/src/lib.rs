@@ -21,13 +21,24 @@ pub struct BenchArgs {
     /// Compare against the committed benchmark artifact instead of
     /// overwriting it.
     pub gate: bool,
+    /// Journal every completed sweep cell to this path
+    /// (`SweepPlan::checkpoint`) so a killed run can be resumed.
+    pub checkpoint: Option<String>,
+    /// Resume a journaled sweep from this path (`SweepPlan::resume`);
+    /// a missing file starts a fresh checkpointed run there.
+    pub resume: Option<String>,
 }
 
 /// Parse the common CLI arguments.
 pub fn bench_args() -> BenchArgs {
     let args: Vec<String> = std::env::args().collect();
-    let mut out =
-        BenchArgs { scale: Scale { sites: 40, runs: 11, seed: 42 }, threads: None, gate: false };
+    let mut out = BenchArgs {
+        scale: Scale { sites: 40, runs: 11, seed: 42 },
+        threads: None,
+        gate: false,
+        checkpoint: None,
+        resume: None,
+    };
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -52,9 +63,18 @@ pub fn bench_args() -> BenchArgs {
                 out.threads = Some(n);
             }
             "--gate" => out.gate = true,
+            "--checkpoint" => {
+                i += 1;
+                out.checkpoint = Some(args.get(i).expect("--checkpoint PATH").clone());
+            }
+            "--resume" => {
+                i += 1;
+                out.resume = Some(args.get(i).expect("--resume PATH").clone());
+            }
             other => panic!(
                 "unknown argument {other} \
-                 (try --quick/--paper/--sites/--runs/--seed/--threads/--gate)"
+                 (try --quick/--paper/--sites/--runs/--seed/--threads/--gate\
+                 /--checkpoint/--resume)"
             ),
         }
         i += 1;

@@ -8,9 +8,11 @@
 
 pub mod fault;
 pub mod stats;
+pub mod streaming;
 
 pub use fault::{FaultObservation, LossRecovery};
 pub use stats::{cdf_points, percentile, RunStats};
+pub use streaming::StreamingHist;
 
 /// Relative change in percent of `value` against `baseline`
 /// (−50 ⇒ halved; the paper plots these as "avg. relative changes").

@@ -32,7 +32,17 @@ pub struct RunStats {
 impl RunStats {
     /// Compute the summary of `values`. Panics on an empty slice.
     pub fn of(values: &[f64]) -> RunStats {
-        assert!(!values.is_empty(), "no observations");
+        Self::try_of(values).expect("no observations")
+    }
+
+    /// Non-panicking [`RunStats::of`]: `None` on an empty slice. Sweep
+    /// aggregation boundaries use this so a cell whose every rep failed
+    /// (all-panic, all-watchdog) reports "no data" instead of tearing
+    /// down the reporter.
+    pub fn try_of(values: &[f64]) -> Option<RunStats> {
+        if values.is_empty() {
+            return None;
+        }
         let n = values.len();
         let mean = values.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
@@ -43,7 +53,7 @@ impl RunStats {
         let std_dev = var.sqrt();
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        RunStats {
+        Some(RunStats {
             n,
             mean,
             median: percentile_sorted(&sorted, 50.0),
@@ -51,7 +61,7 @@ impl RunStats {
             std_err: std_dev / (n as f64).sqrt(),
             min: sorted[0],
             max: sorted[n - 1],
-        }
+        })
     }
 
     /// Student-t confidence interval of the mean at `level` ∈ {0.95,
@@ -197,6 +207,13 @@ mod tests {
         assert_eq!(s.max, 5.0);
         assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
         assert!((s.std_err - (2.5f64).sqrt() / 5.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_of_handles_empty_and_agrees_with_of() {
+        assert_eq!(RunStats::try_of(&[]), None);
+        let values = [3.0, 1.0, 2.0];
+        assert_eq!(RunStats::try_of(&values), Some(RunStats::of(&values)));
     }
 
     #[test]

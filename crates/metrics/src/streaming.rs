@@ -1,0 +1,278 @@
+//! Bounded-memory, mergeable aggregation for population-scale sweeps.
+//!
+//! A 10^5–10^6-cell grid cannot retain every per-rep output just to report
+//! percentiles at the end. [`StreamingHist`] is the mergeable alternative:
+//! a fixed-bin counting histogram whose state is independent of how many
+//! observations flow through it and — because bin counts are integers and
+//! merging is elementwise addition — independent of the order or grouping
+//! in which observations arrive. A sweep folded cell-by-cell, chunk-by-
+//! chunk, or resumed from a checkpoint journal produces bit-identical
+//! bins, so streaming-mode percentiles match the retained-mode computation
+//! exactly (the equality the checkpoint suite asserts).
+//!
+//! Quantization: values are attributed to bins of `bin_width`, so a
+//! percentile is exact to within one bin (1 ms at the default PLT
+//! configuration). `min`/`max`/`count` are tracked exactly.
+
+/// A deterministic fixed-bin histogram over `[0, max_value)` plus one
+/// overflow bin. All state is integer counts (plus exact min/max), so two
+/// hists fed the same multiset of observations are identical regardless
+/// of insertion order, and [`StreamingHist::merge`] is associative and
+/// commutative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingHist {
+    bin_width: f64,
+    /// `bins[i]` counts values in `[i*bin_width, (i+1)*bin_width)`; the
+    /// final slot counts overflow (`>= max_value`) including non-finite
+    /// values.
+    bins: Vec<u64>,
+    count: u64,
+    /// Exact extrema (f64::INFINITY / NEG_INFINITY when empty).
+    min: f64,
+    max: f64,
+}
+
+impl StreamingHist {
+    /// A histogram with bins of `bin_width` covering `[0, max_value)`.
+    /// Values at or beyond `max_value` (and negative or non-finite values)
+    /// land in the overflow bin and are reported via exact min/max.
+    pub fn new(bin_width: f64, max_value: f64) -> StreamingHist {
+        assert!(bin_width > 0.0 && bin_width.is_finite(), "bin width must be positive");
+        assert!(max_value > 0.0 && max_value.is_finite(), "range must be positive");
+        let n = (max_value / bin_width).ceil() as usize;
+        StreamingHist {
+            bin_width,
+            bins: vec![0; n + 1],
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The default configuration for PLT/SpeedIndex in milliseconds:
+    /// 1 ms bins up to the replay deadline (180 s).
+    pub fn millis_default() -> StreamingHist {
+        StreamingHist::new(1.0, 180_000.0)
+    }
+
+    /// Fold one observation in.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        let last = self.bins.len() - 1;
+        let idx = if v.is_finite() && v >= 0.0 {
+            ((v / self.bin_width) as usize).min(last)
+        } else {
+            last
+        };
+        self.bins[idx] += 1;
+    }
+
+    /// Merge another histogram of the same configuration (elementwise bin
+    /// addition — associative, commutative, and exact).
+    ///
+    /// Panics if the configurations differ; merging hists with different
+    /// bins would silently misattribute counts.
+    pub fn merge(&mut self, other: &StreamingHist) {
+        assert_eq!(self.bin_width, other.bin_width, "bin width mismatch");
+        assert_eq!(self.bins.len(), other.bins.len(), "bin count mismatch");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Observations folded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact minimum observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The `p`-th percentile (0..=100), `None` when empty. The rank
+    /// convention matches [`crate::percentile`] (linear in rank); the
+    /// value is interpolated within the bin holding that rank, so the
+    /// result is exact to within one bin width. Ranks landing in the
+    /// overflow bin report the exact maximum.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (p / 100.0).clamp(0.0, 1.0) * (self.count - 1) as f64;
+        let mut before = 0u64;
+        for (i, &n) in self.bins.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            // Observations in this bin occupy ranks [before, before+n).
+            if rank < (before + n) as f64 || before + n == self.count {
+                if i == self.bins.len() - 1 {
+                    return Some(self.max);
+                }
+                // Spread the bin's observations evenly across its span.
+                let frac = ((rank - before as f64) / n as f64).clamp(0.0, 1.0);
+                let lo = i as f64 * self.bin_width;
+                return Some((lo + frac * self.bin_width).min(self.max).max(self.min));
+            }
+            before += n;
+        }
+        Some(self.max)
+    }
+
+    /// Median shorthand.
+    pub fn p50(&self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile shorthand.
+    pub fn p90(&self) -> Option<f64> {
+        self.percentile(90.0)
+    }
+
+    /// 99th percentile shorthand.
+    pub fn p99(&self) -> Option<f64> {
+        self.percentile(99.0)
+    }
+
+    /// Empirical CDF as `(bin upper edge, cumulative fraction)` for every
+    /// non-empty bin — the paper's "CDF (sites)" plots at population
+    /// scale. The overflow bin reports the exact maximum as its edge.
+    pub fn cdf(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        if self.count == 0 {
+            return out;
+        }
+        let mut cum = 0u64;
+        let last = self.bins.len() - 1;
+        for (i, &n) in self.bins.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cum += n;
+            let edge = if i == last { self.max } else { (i + 1) as f64 * self.bin_width };
+            out.push((edge, cum as f64 / self.count as f64));
+        }
+        out
+    }
+
+    /// The raw bin counts (final slot is the overflow bin) — for tests
+    /// and serialization.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_hist_reports_nothing() {
+        let h = StreamingHist::new(1.0, 100.0);
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert!(h.cdf().is_empty());
+    }
+
+    #[test]
+    fn merge_equals_sequential_fold() {
+        let values: Vec<f64> = (0..1000).map(|i| (i * 37 % 500) as f64 + 0.25).collect();
+        let mut whole = StreamingHist::new(1.0, 600.0);
+        for &v in &values {
+            whole.record(v);
+        }
+        // Split into uneven chunks, fold each, merge in reverse order.
+        let mut parts: Vec<StreamingHist> = Vec::new();
+        for chunk in values.chunks(137) {
+            let mut h = StreamingHist::new(1.0, 600.0);
+            for &v in chunk {
+                h.record(v);
+            }
+            parts.push(h);
+        }
+        let mut merged = StreamingHist::new(1.0, 600.0);
+        for part in parts.iter().rev() {
+            merged.merge(part);
+        }
+        assert_eq!(whole, merged, "merge must be order-independent and exact");
+        assert_eq!(whole.count(), 1000);
+    }
+
+    #[test]
+    fn percentiles_are_within_one_bin_of_exact() {
+        let values: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let mut h = StreamingHist::new(1.0, 200.0);
+        for &v in &values {
+            h.record(v);
+        }
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            let exact = crate::percentile(&values, p);
+            let approx = h.percentile(p).unwrap();
+            assert!(
+                (exact - approx).abs() <= 1.0,
+                "p{p}: hist {approx} vs exact {exact} differ by more than one bin"
+            );
+        }
+        assert_eq!(h.min(), Some(0.0));
+        assert_eq!(h.max(), Some(100.0));
+    }
+
+    #[test]
+    fn overflow_and_pathological_values_land_in_the_overflow_bin() {
+        let mut h = StreamingHist::new(1.0, 10.0);
+        h.record(5.0);
+        h.record(1e9);
+        h.record(-3.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 4);
+        let last = *h.bins().last().unwrap();
+        assert_eq!(last, 3, "overflow, negative and NaN all counted out-of-range");
+        assert_eq!(h.max(), Some(1e9));
+        // p100 in the overflow bin reports the exact maximum.
+        assert_eq!(h.percentile(100.0), Some(1e9));
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let mut h = StreamingHist::new(10.0, 100.0);
+        for v in [5.0, 15.0, 15.0, 95.0, 400.0] {
+            h.record(v);
+        }
+        let cdf = h.cdf();
+        assert!(cdf.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 <= w[1].0));
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        assert_eq!(cdf.last().unwrap().0, 400.0, "overflow edge is the exact max");
+    }
+
+    #[test]
+    fn single_value_percentiles_collapse() {
+        let mut h = StreamingHist::millis_default();
+        h.record(1234.5);
+        for p in [0.0, 50.0, 100.0] {
+            let v = h.percentile(p).unwrap();
+            assert!((v - 1234.5).abs() <= 1.0, "p{p} = {v}");
+        }
+    }
+}

@@ -10,6 +10,7 @@
 pub mod adoption;
 pub mod badpeer;
 pub mod chaos;
+pub mod checkpoint;
 pub mod experiments;
 pub mod harness;
 pub mod plan;
@@ -29,6 +30,7 @@ pub use chaos::{
     apply_profile, default_matrix, observe, run_fault_matrix, strategy_label, ChaosCell,
     FaultProfile,
 };
+pub use checkpoint::{GridIdentity, JournalScan, ResumeError, SweepJournal};
 pub use harness::{compute_push_order, run_config, Mode, PAPER_RUNS};
 #[allow(deprecated)]
 pub use harness::{run_many, run_many_serial, run_many_shared, run_once};
@@ -38,5 +40,8 @@ pub use prepared::PreparedPage;
 pub use replay::{
     replay, replay_shared, Protocol, ReplayConfig, ReplayError, ReplayInputs, ReplayOutcome,
 };
-pub use sweep::{CellFailure, FailureKind, SweepCell, SweepPlan, SweepReport};
+pub use sweep::{
+    CellFailure, CellStats, FailureKind, PopulationStats, RecoveredRep, RetryClass, SweepCell,
+    SweepPlan, SweepReport,
+};
 pub use waterfall::write_waterfall;

@@ -58,7 +58,7 @@ pub enum TraceSpec {
 }
 
 /// One completed repetition: the outcome plus its timeline when traced.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunOutput {
     /// End-state aggregates, identical to what the shimmed entry points
     /// return.
@@ -69,7 +69,7 @@ pub struct RunOutput {
 
 /// All completed repetitions of a [`RunPlan`], in rep order. Failed reps
 /// (stall / deadline) are dropped, matching the old `run_many` contract.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
     /// The completed runs in rep order.
     pub runs: Vec<RunOutput>,
@@ -117,6 +117,7 @@ pub struct RunPlan {
     explicit: Option<ReplayConfig>,
     serial: bool,
     limits: Option<h2push_h2proto::ConnLimits>,
+    watchdog: Option<u64>,
 }
 
 impl RunPlan {
@@ -138,6 +139,7 @@ impl RunPlan {
             explicit: None,
             serial: false,
             limits: None,
+            watchdog: None,
         }
     }
 
@@ -199,6 +201,15 @@ impl RunPlan {
         self
     }
 
+    /// Override the netsim event-watchdog budget applied to every rep
+    /// (defaults to the [`ReplayConfig`] default). Mainly for tests that
+    /// need a deterministic non-panic failure; benign replays never come
+    /// near the default budget.
+    pub fn watchdog_events(mut self, events: u64) -> Self {
+        self.watchdog = Some(events);
+        self
+    }
+
     /// Run the reps on the calling thread in order instead of the worker
     /// pool. Results are bit-identical either way; this exists for
     /// baseline benchmarking.
@@ -240,6 +251,9 @@ impl RunPlan {
         };
         if let Some(l) = self.limits {
             cfg.limits = l;
+        }
+        if let Some(events) = self.watchdog {
+            cfg.watchdog_events = events;
         }
         cfg
     }

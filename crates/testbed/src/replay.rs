@@ -88,7 +88,7 @@ impl ReplayConfig {
 }
 
 /// What a replay produced.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReplayOutcome {
     /// Browser-side measurements.
     pub load: LoadResult,

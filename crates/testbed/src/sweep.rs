@@ -1,4 +1,5 @@
-//! Grid-level sweeps: strategies × sites × reps in one scheduling unit.
+//! Grid-level sweeps: strategies × sites × reps in one scheduling unit,
+//! crash-safe and memory-bounded.
 //!
 //! The paper's evaluation is a grid — every push strategy against every
 //! recorded site, 31 repetitions each. Running that grid as independent
@@ -12,18 +13,50 @@
 //! run of [`parallel_indexed`], merged back into per-cell reports in
 //! deterministic (strategy-major, site, rep) order.
 //!
+//! Population-scale grids (10^5–10^6 cells, ROADMAP) add two demands the
+//! flat fan-out cannot meet:
+//!
+//! * **Crash safety** — [`SweepPlan::checkpoint`] journals every
+//!   completed cell to an append-only, checksummed file
+//!   ([`crate::checkpoint::SweepJournal`]); [`SweepPlan::resume`] replays
+//!   it, refuses a journal from a different grid, and reschedules only
+//!   the remainder. Interrupted-then-resumed is byte-identical to
+//!   uninterrupted (same [`SweepReport`], same cell order) because every
+//!   rep is a pure function of `(inputs, strategy, mode, seed + rep)`
+//!   and the journal encoding is lossless.
+//! * **Bounded memory** — [`SweepPlan::streaming`] folds each cell's
+//!   per-rep outputs into compact [`CellStats`] scalars and drops the
+//!   [`RunOutput`]s; population percentiles come from the mergeable
+//!   fixed-bin [`StreamingHist`] ([`SweepReport::population`]), whose
+//!   integer bins make the streaming-mode percentiles match the
+//!   retained-mode computation exactly.
+//!
+//! Failed reps never abort the grid. A panic is caught at the rep
+//! boundary and — because the simulator is deterministic — retried
+//! exactly once to classify it: failing again proves the panic is
+//! deterministic ([`RetryClass::Deterministic`]); succeeding means it was
+//! environmental and the rep counts as completed (recorded in
+//! [`SweepCell::recovered`]). Watchdog, stall and deadline failures are
+//! never retried — rerunning a deterministic simulation cannot change
+//! them ([`RetryClass::NotRetried`]).
+//!
 //! Every cell is byte-identical to the same cell run through a plain
 //! [`RunPlan`] with the same strategy, site, seed and mode — the CI
 //! `sweep-smoke` job cross-checks one cell on every push.
 
-use crate::chaos::strategy_label;
+use crate::chaos::{strategy_label, FaultProfile};
+use crate::checkpoint::{self, GridIdentity, ResumeError, SweepJournal};
 use crate::harness::Mode;
 use crate::plan::{RunOutput, RunPlan, RunReport};
-use crate::pool::parallel_indexed;
+use crate::pool::{parallel_indexed, worker_threads};
 use crate::prepared::PreparedPage;
 use crate::replay::{ReplayError, ReplayInputs};
+use h2push_metrics::{RunStats, StreamingHist};
 use h2push_strategies::Strategy;
+use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
 
 /// Why one rep of one cell failed (classification of
 /// [`CellFailure::kind`]).
@@ -55,6 +88,16 @@ impl FailureKind {
             FailureKind::Deadline => "deadline",
         }
     }
+
+    /// Whether the retry policy re-runs this failure once. Only panics
+    /// qualify: the rep may have tripped over transient process state
+    /// (allocator pressure, a poisoned thread-local), and one retry
+    /// separates that from a deterministic bug. Watchdog/stall/deadline
+    /// come out of the deterministic simulation itself — rerunning the
+    /// same pure function cannot change them.
+    pub fn retryable(&self) -> bool {
+        matches!(self, FailureKind::Panic(_))
+    }
 }
 
 impl From<ReplayError> for FailureKind {
@@ -67,28 +110,119 @@ impl From<ReplayError> for FailureKind {
     }
 }
 
-/// One failed rep inside a cell.
+/// What the retry policy concluded about a failed rep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryClass {
+    /// The failure kind is never retried (watchdog/stall/deadline: the
+    /// deterministic sim would reproduce it exactly).
+    NotRetried,
+    /// Retried once and failed again — the failure is deterministic, not
+    /// environmental.
+    Deterministic,
+}
+
+impl RetryClass {
+    /// Short stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RetryClass::NotRetried => "not-retried",
+            RetryClass::Deterministic => "deterministic",
+        }
+    }
+}
+
+/// One failed rep inside a cell (after the retry policy ran).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CellFailure {
     /// Which repetition failed (0-based).
     pub rep: usize,
-    /// Why.
+    /// Why (the final attempt's failure).
     pub kind: FailureKind,
+    /// Retries spent on this rep (0 or 1 under the current policy).
+    pub retries: u32,
+    /// What the retry policy concluded.
+    pub class: RetryClass,
+}
+
+/// A rep that failed with a retryable error but completed on retry — the
+/// failure was environmental, and the rep's output is in the report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredRep {
+    /// Which repetition recovered (0-based).
+    pub rep: usize,
+    /// Retries it took (1 under the current policy).
+    pub retries: u32,
+}
+
+/// Compact per-cell aggregates, computed for every cell in both retained
+/// and streaming mode. In streaming mode this is all that survives a
+/// cell: per-rep metric scalars (16 bytes per rep) instead of full
+/// [`RunOutput`]s with waterfalls and paint curves.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CellStats {
+    /// Completed reps (including recovered ones).
+    pub n: u32,
+    /// Completed reps whose load never reached onload (no PLT/SpeedIndex
+    /// folded for them).
+    pub partial: u32,
+    /// PLT in ms of every finished rep, in rep order.
+    pub plt: Vec<f64>,
+    /// SpeedIndex in ms of every finished rep, in rep order.
+    pub speed_index: Vec<f64>,
+    /// Total server-pushed body bytes across completed reps.
+    pub pushed_bytes: u64,
+}
+
+impl CellStats {
+    /// Fold the completed runs of one cell.
+    pub fn of(runs: &[RunOutput]) -> CellStats {
+        let mut s = CellStats { n: runs.len() as u32, ..CellStats::default() };
+        for run in runs {
+            let load = &run.outcome.load;
+            if load.finished() {
+                s.plt.push(load.plt());
+                s.speed_index.push(load.speed_index());
+            } else {
+                s.partial += 1;
+            }
+            s.pushed_bytes += run.outcome.server_pushed_bytes;
+        }
+        s
+    }
+
+    /// Summary statistics of the cell's PLTs — `None` when every rep
+    /// failed or was partial, so an all-failed cell cannot panic the
+    /// reporter ([`RunStats::try_of`]).
+    pub fn plt_stats(&self) -> Option<RunStats> {
+        RunStats::try_of(&self.plt)
+    }
+
+    /// Summary statistics of the cell's SpeedIndexes (same contract).
+    pub fn speed_index_stats(&self) -> Option<RunStats> {
+        RunStats::try_of(&self.speed_index)
+    }
 }
 
 /// One grid cell: a (strategy, site) pair with its completed reps.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepCell {
     /// Label of the strategy ([`strategy_label`]).
     pub strategy: String,
     /// Site name ([`h2push_webmodel::Page::name`]).
     pub site: String,
     /// The completed reps, exactly as a plain [`RunPlan`] would report.
+    /// Empty in streaming mode (the outputs were folded into `stats` and
+    /// dropped).
     pub report: RunReport,
-    /// Reps that did not complete, with their classified causes. A
-    /// failed rep never aborts the grid: siblings in this cell and every
-    /// other cell still run.
+    /// Compact aggregates of the completed reps (always populated).
+    pub stats: CellStats,
+    /// Reps that did not complete, with their classified causes and
+    /// retry accounting. A failed rep never aborts the grid: siblings in
+    /// this cell and every other cell still run.
     pub failures: Vec<CellFailure>,
+    /// Reps that failed once but completed on retry (environmental
+    /// failures — their outputs are in `report`/`stats`).
+    pub recovered: Vec<RecoveredRep>,
 }
 
 impl SweepCell {
@@ -97,13 +231,17 @@ impl SweepCell {
         self.failures.is_empty()
     }
 
-    /// Human-readable status: `"ok (31 reps)"` or
-    /// `"2/31 failed (panic×1, watchdog×1)"`.
+    /// Human-readable status: `"ok (31 reps)"`, `"ok (31 reps, 1
+    /// recovered)"` or `"2/31 failed (panic\u{d7}1, watchdog\u{d7}1)"`.
     pub fn status(&self) -> String {
         if self.failures.is_empty() {
-            return format!("ok ({} reps)", self.report.len());
+            return if self.recovered.is_empty() {
+                format!("ok ({} reps)", self.stats.n)
+            } else {
+                format!("ok ({} reps, {} recovered)", self.stats.n, self.recovered.len())
+            };
         }
-        let total = self.report.len() + self.failures.len();
+        let total = self.stats.n as usize + self.failures.len();
         let mut counts: Vec<(&'static str, usize)> = Vec::new();
         for f in &self.failures {
             let label = f.kind.label();
@@ -117,11 +255,25 @@ impl SweepCell {
     }
 }
 
+/// Population-level distributions over every completed rep of the grid —
+/// the "millions of users" statistics (percentiles, CDFs) the scenario
+/// engine reports instead of per-cell means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationStats {
+    /// PLT distribution (ms) over all finished reps.
+    pub plt: StreamingHist,
+    /// SpeedIndex distribution (ms) over all finished reps.
+    pub speed_index: StreamingHist,
+}
+
 /// All cells of a sweep, strategy-major then site order.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SweepReport {
     /// The grid cells in deterministic order.
     pub cells: Vec<SweepCell>,
+    /// Whether per-rep outputs were dropped after folding
+    /// ([`SweepPlan::streaming`]).
+    pub streaming: bool,
 }
 
 impl SweepReport {
@@ -132,12 +284,17 @@ impl SweepReport {
 
     /// Total completed reps across the grid.
     pub fn completed(&self) -> usize {
-        self.cells.iter().map(|c| c.report.len()).sum()
+        self.cells.iter().map(|c| c.stats.n as usize).sum()
     }
 
     /// Total failed reps across the grid.
     pub fn failed(&self) -> usize {
         self.cells.iter().map(|c| c.failures.len()).sum()
+    }
+
+    /// Total reps that recovered on retry across the grid.
+    pub fn recovered(&self) -> usize {
+        self.cells.iter().map(|c| c.recovered.len()).sum()
     }
 
     /// True when no rep of any cell failed.
@@ -148,6 +305,38 @@ impl SweepReport {
     /// Cells with at least one failed rep.
     pub fn failed_cells(&self) -> impl Iterator<Item = &SweepCell> {
         self.cells.iter().filter(|c| !c.is_clean())
+    }
+
+    /// Fold every cell's per-rep metrics into population-level
+    /// histograms. Identical for a retained, streaming, or resumed run of
+    /// the same grid: the histogram state is integer bin counts, so the
+    /// fold is exact and independent of execution chunking.
+    pub fn population(&self) -> PopulationStats {
+        let mut plt = StreamingHist::millis_default();
+        let mut speed_index = StreamingHist::millis_default();
+        for c in &self.cells {
+            for &v in &c.stats.plt {
+                plt.record(v);
+            }
+            for &v in &c.stats.speed_index {
+                speed_index.record(v);
+            }
+        }
+        PopulationStats { plt, speed_index }
+    }
+
+    /// The lossless canonical encoding of every cell (the journal record
+    /// format, concatenated in grid order). Two reports are byte-for-byte
+    /// identical iff these bytes are equal — the equality the
+    /// checkpoint/resume suite asserts.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (i, c) in self.cells.iter().enumerate() {
+            let rec = checkpoint::encode_cell(i as u32, c);
+            out.extend_from_slice(&(rec.len() as u32).to_le_bytes());
+            out.extend_from_slice(&rec);
+        }
+        out
     }
 
     /// One status line per cell — the partial-results view a sweep
@@ -161,8 +350,23 @@ impl SweepReport {
     }
 }
 
+/// One cell's raw execution outcome before it becomes a [`SweepCell`].
+#[derive(Default)]
+struct CellOutcome {
+    runs: Vec<RunOutput>,
+    failures: Vec<CellFailure>,
+    recovered: Vec<RecoveredRep>,
+}
+
+/// One rep's outcome after the retry policy ran.
+enum RepResult {
+    Done { out: Box<RunOutput>, retries: u32 },
+    Failed { kind: FailureKind, retries: u32, class: RetryClass },
+}
+
 /// A whole measurement grid, built once and executed with
-/// [`SweepPlan::run`].
+/// [`SweepPlan::run`] (in-memory), [`SweepPlan::checkpoint`] (journaled)
+/// or [`SweepPlan::resume`] (journaled, replaying completed cells).
 ///
 /// ```
 /// use h2push_testbed::SweepPlan;
@@ -188,7 +392,15 @@ pub struct SweepPlan {
     reps: usize,
     seed: u64,
     mode: Mode,
+    faults: Option<FaultProfile>,
+    streaming: bool,
+    chunk: Option<usize>,
+    watchdog: Option<u64>,
     panic_cell: Option<usize>,
+    flaky_cell: Option<usize>,
+    flaky_seen: Arc<Mutex<HashSet<(usize, usize)>>>,
+    kill_after: Option<usize>,
+    halt_after: Option<usize>,
 }
 
 impl Default for SweepPlan {
@@ -199,7 +411,7 @@ impl Default for SweepPlan {
 
 impl SweepPlan {
     /// An empty grid: no strategies, no sites, 1 rep, seed 0, testbed
-    /// mode.
+    /// mode, retained aggregation.
     pub fn new() -> Self {
         SweepPlan {
             strategies: Vec::new(),
@@ -207,16 +419,53 @@ impl SweepPlan {
             reps: 1,
             seed: 0,
             mode: Mode::Testbed,
+            faults: None,
+            streaming: false,
+            chunk: None,
+            watchdog: None,
             panic_cell: None,
+            flaky_cell: None,
+            flaky_seen: Arc::new(Mutex::new(HashSet::new())),
+            kill_after: None,
+            halt_after: None,
         }
     }
 
-    /// Test support: make every rep of flat cell index `cell`
-    /// (strategy-major) panic deliberately, to prove the isolation layer
-    /// contains it. Not for measurement runs.
+    /// Test support: make every attempt of every rep of flat cell index
+    /// `cell` (strategy-major) panic deliberately, to prove the isolation
+    /// and retry-classification layers contain it. Not for measurement
+    /// runs.
     #[doc(hidden)]
     pub fn inject_panic_in_cell(mut self, cell: usize) -> Self {
         self.panic_cell = Some(cell);
+        self
+    }
+
+    /// Test support: make the *first* attempt of each rep of cell `cell`
+    /// panic and every retry succeed — the environmental-failure shape
+    /// the retry policy exists to recover.
+    #[doc(hidden)]
+    pub fn inject_flaky_in_cell(mut self, cell: usize) -> Self {
+        self.flaky_cell = Some(cell);
+        self
+    }
+
+    /// Test support: SIGKILL the whole process immediately after the
+    /// `n`-th cell record reaches the journal — the CI `resume-smoke`
+    /// crash. Only meaningful with [`SweepPlan::checkpoint`]/`resume`.
+    #[doc(hidden)]
+    pub fn kill_after_journaled(mut self, n: usize) -> Self {
+        self.kill_after = Some(n);
+        self
+    }
+
+    /// Test support: stop scheduling after the `n`-th cell record reaches
+    /// the journal and return the partial report — an in-process stand-in
+    /// for a kill at an arbitrary cell boundary (the kill-resume equality
+    /// test sweeps this over every boundary).
+    #[doc(hidden)]
+    pub fn halt_after_journaled(mut self, n: usize) -> Self {
+        self.halt_after = Some(n);
         self
     }
 
@@ -272,81 +521,300 @@ impl SweepPlan {
         self
     }
 
+    /// Layer a chaos [`FaultProfile`] onto every cell's derived per-rep
+    /// configs (part of the grid identity: a journal written under one
+    /// profile refuses to resume under another).
+    pub fn faults(mut self, profile: FaultProfile) -> Self {
+        self.faults = Some(profile);
+        self
+    }
+
+    /// Drop per-rep outputs after folding them into [`CellStats`] and
+    /// the population histograms: cells keep 16 bytes per rep instead of
+    /// full waterfalls, so a 10^5-cell grid runs in bounded memory. The
+    /// grid executes in bounded chunks, and [`SweepReport::population`]
+    /// reports percentiles identical to the retained-mode computation.
+    pub fn streaming(mut self) -> Self {
+        self.streaming = true;
+        self
+    }
+
+    /// Override the netsim event-watchdog budget of every rep (the
+    /// [`crate::ReplayConfig::watchdog_events`] knob, mainly for tests
+    /// that need a deterministic non-panic failure).
+    pub fn watchdog_events(mut self, events: u64) -> Self {
+        self.watchdog = Some(events);
+        self
+    }
+
+    /// Cells per execution chunk in journaled/streaming runs (defaults
+    /// to `max(2 × worker threads, 4)`). Smaller chunks journal more
+    /// often (less work lost to a kill) but drain the pool more often.
+    pub fn chunk_cells(mut self, cells: usize) -> Self {
+        self.chunk = Some(cells.max(1));
+        self
+    }
+
     /// The shared [`PreparedPage`] of site row `i` (for diagnostics, e.g.
     /// HPACK cache hit rates after a run).
     pub fn prepared_for(&self, i: usize) -> Option<&std::sync::Arc<PreparedPage>> {
         self.sites.get(i).and_then(|s| s.prepared_page())
     }
 
+    /// The identity a journal of this grid carries: an FNV-1a fingerprint
+    /// over every input that shapes the results (strategy set, site set —
+    /// names and full page content — reps, seed, mode, fault profile,
+    /// aggregation mode), plus a one-line summary for error messages.
+    pub fn identity(&self) -> GridIdentity {
+        use std::fmt::Write as _;
+        let mut desc = String::from("h2push-sweep-grid-v1\n");
+        for s in &self.strategies {
+            let _ = writeln!(desc, "strategy {s:?}");
+        }
+        for site in &self.sites {
+            let page_fp = checkpoint::fnv1a(format!("{:?}", site.page).as_bytes());
+            let _ = writeln!(desc, "site {} {page_fp:016x}", site.page.name);
+        }
+        let _ = writeln!(desc, "reps {} seed {} mode {:?}", self.reps, self.seed, self.mode);
+        let _ = writeln!(desc, "faults {:?}", self.faults);
+        let _ = writeln!(desc, "streaming {}", self.streaming);
+        let hash = checkpoint::fnv1a(desc.as_bytes());
+        let summary = format!(
+            "{} strategies \u{d7} {} sites \u{d7} {} reps, seed {}, {:?} mode, faults {}, {} \
+             aggregation, grid {hash:016x}",
+            self.strategies.len(),
+            self.sites.len(),
+            self.reps,
+            self.seed,
+            self.mode,
+            self.faults.as_ref().map(|f| f.name.as_str()).unwrap_or("none"),
+            if self.streaming { "streaming" } else { "retained" },
+        );
+        GridIdentity { hash, summary }
+    }
+
     /// Execute the flattened grid on the worker pool and merge the
     /// results back into per-cell reports in (strategy, site, rep) order.
     ///
     /// Every rep is isolated: a panic is caught at the rep boundary
-    /// (before it can tear down the pool worker), classified together
-    /// with watchdog/stall/deadline errors into [`CellFailure`] records
-    /// on its cell, and the rest of the grid completes normally.
+    /// (before it can tear down the pool worker), run through the retry
+    /// policy, classified together with watchdog/stall/deadline errors
+    /// into [`CellFailure`] records on its cell, and the rest of the grid
+    /// completes normally.
     pub fn run(&self) -> SweepReport {
-        let plans: Vec<(String, String, RunPlan)> = self
-            .strategies
+        self.execute(None).expect("in-memory sweeps perform no I/O")
+    }
+
+    /// Run the grid with a fresh crash-safe journal at `path` (truncating
+    /// any previous journal there). Every completed cell is appended and
+    /// fsynced before the grid moves on, so a kill costs at most the
+    /// cells in flight.
+    pub fn checkpoint(&self, path: impl AsRef<Path>) -> Result<SweepReport, ResumeError> {
+        let journal = SweepJournal::create(path.as_ref(), &self.identity())?;
+        self.execute(Some((journal, Vec::new())))
+    }
+
+    /// Resume a journaled sweep: replay the journal at `path`, skip the
+    /// cells it already holds, execute only the remainder (appending them
+    /// to the same journal), and return the full report — byte-identical
+    /// to an uninterrupted run of the same grid. Refuses a journal whose
+    /// grid identity does not match this plan
+    /// ([`ResumeError::IdentityMismatch`]); tolerates a torn final record
+    /// and checksum-corrupt records (those cells re-run). A missing file
+    /// starts a fresh checkpointed run.
+    pub fn resume(&self, path: impl AsRef<Path>) -> Result<SweepReport, ResumeError> {
+        let path = path.as_ref();
+        if !path.exists() {
+            return self.checkpoint(path);
+        }
+        let (journal, records, _scan) = SweepJournal::load(path, &self.identity())?;
+        let done: Vec<(u32, SweepCell)> =
+            records.iter().filter_map(|r| checkpoint::decode_cell(r)).collect();
+        self.execute(Some((journal, done)))
+    }
+
+    fn build_plans(&self) -> Vec<(String, String, RunPlan)> {
+        self.strategies
             .iter()
             .flat_map(|s| {
                 self.sites.iter().map(move |site| {
-                    let plan = RunPlan::new(site)
+                    let mut plan = RunPlan::new(site)
                         .strategy(s.clone())
                         .mode(self.mode)
                         .reps(self.reps)
                         .seed(self.seed);
+                    if let Some(profile) = &self.faults {
+                        plan = plan.faults(profile.clone());
+                    }
+                    if let Some(events) = self.watchdog {
+                        plan = plan.watchdog_events(events);
+                    }
                     (strategy_label(s).to_string(), site.page.name.clone(), plan)
                 })
             })
-            .collect();
-        let reps = self.reps.max(1);
-        let panic_cell = self.panic_cell;
-        // One flat fan-out: rep r of cell c is grid index c*reps + r, so
-        // the pool never drains between cells and the merge is a chunked
-        // walk in submission order. The catch_unwind sits *inside* the
-        // work closure: the pool joins its workers with a panic check,
-        // so an escaped panic would abort the whole grid.
-        let outs: Vec<Result<RunOutput, FailureKind>> = if self.reps == 0 {
-            Vec::new()
-        } else {
-            parallel_indexed(plans.len() * reps, |i| {
-                let caught = catch_unwind(AssertUnwindSafe(|| {
-                    if panic_cell == Some(i / reps) {
-                        panic!("injected sweep-cell panic (cell {})", i / reps);
-                    }
-                    plans[i / reps].2.run_rep(i % reps)
-                }));
-                match caught {
-                    Ok(Ok(out)) => Ok(out),
-                    Ok(Err(e)) => Err(FailureKind::from(e)),
-                    Err(payload) => Err(FailureKind::Panic(panic_message(payload.as_ref()))),
-                }
-            })
-        };
-        let mut outs = outs.into_iter();
-        let cells = plans
-            .iter()
-            .map(|(strategy, site, _)| {
-                let mut runs = Vec::new();
-                let mut failures = Vec::new();
-                for rep in 0..self.reps {
-                    match outs.next() {
-                        Some(Ok(out)) => runs.push(out),
-                        Some(Err(kind)) => failures.push(CellFailure { rep, kind }),
-                        None => {}
-                    }
-                }
-                SweepCell {
-                    strategy: strategy.clone(),
-                    site: site.clone(),
-                    report: RunReport { runs },
-                    failures,
-                }
-            })
-            .collect();
-        SweepReport { cells }
+            .collect()
     }
+
+    /// One rep attempt, isolated behind `catch_unwind` (the pool joins
+    /// its workers with a panic check, so an escaped panic would abort
+    /// the whole grid).
+    fn attempt(
+        &self,
+        plans: &[(String, String, RunPlan)],
+        cell: usize,
+        rep: usize,
+    ) -> Result<RunOutput, FailureKind> {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            if self.panic_cell == Some(cell) {
+                panic!("injected sweep-cell panic (cell {cell})");
+            }
+            if self.flaky_cell == Some(cell)
+                && self.flaky_seen.lock().expect("flaky set").insert((cell, rep))
+            {
+                panic!("injected flaky panic (cell {cell} rep {rep})");
+            }
+            plans[cell].2.run_rep(rep)
+        }));
+        match caught {
+            Ok(Ok(out)) => Ok(out),
+            Ok(Err(e)) => Err(FailureKind::from(e)),
+            Err(payload) => Err(FailureKind::Panic(panic_message(payload.as_ref()))),
+        }
+    }
+
+    /// The retry policy: panics get exactly one retry to classify
+    /// deterministic-vs-environmental; simulation failures get none.
+    fn run_rep_with_retry(
+        &self,
+        plans: &[(String, String, RunPlan)],
+        cell: usize,
+        rep: usize,
+    ) -> RepResult {
+        match self.attempt(plans, cell, rep) {
+            Ok(out) => RepResult::Done { out: Box::new(out), retries: 0 },
+            Err(kind) if !kind.retryable() => {
+                RepResult::Failed { kind, retries: 0, class: RetryClass::NotRetried }
+            }
+            Err(_) => match self.attempt(plans, cell, rep) {
+                Ok(out) => RepResult::Done { out: Box::new(out), retries: 1 },
+                Err(kind) => {
+                    RepResult::Failed { kind, retries: 1, class: RetryClass::Deterministic }
+                }
+            },
+        }
+    }
+
+    /// Execute the cells at `idxs` as one flat (cell × rep) fan-out and
+    /// fold the results back per cell.
+    fn exec_cells(&self, plans: &[(String, String, RunPlan)], idxs: &[usize]) -> Vec<CellOutcome> {
+        if self.reps == 0 {
+            return idxs.iter().map(|_| CellOutcome::default()).collect();
+        }
+        let reps = self.reps;
+        let results: Vec<RepResult> = parallel_indexed(idxs.len() * reps, |i| {
+            self.run_rep_with_retry(plans, idxs[i / reps], i % reps)
+        });
+        let mut results = results.into_iter();
+        idxs.iter()
+            .map(|_| {
+                let mut cell = CellOutcome::default();
+                for rep in 0..reps {
+                    match results.next().expect("one result per rep") {
+                        RepResult::Done { out, retries } => {
+                            if retries > 0 {
+                                cell.recovered.push(RecoveredRep { rep, retries });
+                            }
+                            cell.runs.push(*out);
+                        }
+                        RepResult::Failed { kind, retries, class } => {
+                            cell.failures.push(CellFailure { rep, kind, retries, class });
+                        }
+                    }
+                }
+                cell
+            })
+            .collect()
+    }
+
+    fn make_cell(&self, strategy: &str, site: &str, outcome: CellOutcome) -> SweepCell {
+        let stats = CellStats::of(&outcome.runs);
+        let runs = if self.streaming { Vec::new() } else { outcome.runs };
+        SweepCell {
+            strategy: strategy.to_string(),
+            site: site.to_string(),
+            report: RunReport { runs },
+            stats,
+            failures: outcome.failures,
+            recovered: outcome.recovered,
+        }
+    }
+
+    /// The executor behind `run`/`checkpoint`/`resume`. `journal` carries
+    /// the open journal plus the cells already replayed from it.
+    ///
+    /// Without a journal and without streaming, the whole grid is one
+    /// flat fan-out (the pool never drains between cells). Journaled or
+    /// streaming runs execute in bounded chunks: each chunk's cells are
+    /// journaled/folded as soon as the chunk completes, which bounds both
+    /// the work a kill can lose and the outputs held in memory. Chunking
+    /// cannot change results — every rep is a pure function of its cell
+    /// and rep index.
+    fn execute(
+        &self,
+        journal: Option<(SweepJournal, Vec<(u32, SweepCell)>)>,
+    ) -> Result<SweepReport, ResumeError> {
+        let plans = self.build_plans();
+        let n = plans.len();
+        let mut cells: Vec<Option<SweepCell>> = (0..n).map(|_| None).collect();
+        let (mut journal, done) = match journal {
+            Some((j, done)) => (Some(j), done),
+            None => (None, Vec::new()),
+        };
+        // Last record wins: a cell journaled twice (corruption re-run)
+        // replays to its most recent contents.
+        for (idx, cell) in done {
+            if let Some(slot) = cells.get_mut(idx as usize) {
+                *slot = Some(cell);
+            }
+        }
+        let missing: Vec<usize> = (0..n).filter(|&i| cells[i].is_none()).collect();
+        let chunk = if self.streaming || journal.is_some() {
+            self.chunk.unwrap_or_else(|| (worker_threads() * 2).max(4))
+        } else {
+            missing.len().max(1)
+        };
+        let mut journaled = 0usize;
+        'grid: for batch in missing.chunks(chunk) {
+            let outcomes = self.exec_cells(&plans, batch);
+            for (&idx, outcome) in batch.iter().zip(outcomes) {
+                let (strategy, site, _) = &plans[idx];
+                let cell = self.make_cell(strategy, site, outcome);
+                if let Some(j) = journal.as_mut() {
+                    j.append(&checkpoint::encode_cell(idx as u32, &cell))?;
+                    journaled += 1;
+                    if self.kill_after == Some(journaled) {
+                        kill_self();
+                    }
+                }
+                cells[idx] = Some(cell);
+                if journal.is_some() && self.halt_after == Some(journaled) {
+                    break 'grid;
+                }
+            }
+        }
+        // A halted (test-hook) run returns only the journaled prefix; a
+        // completed run always has every slot filled.
+        Ok(SweepReport { cells: cells.into_iter().flatten().collect(), streaming: self.streaming })
+    }
+}
+
+/// SIGKILL the current process — no destructors, no flushes, exactly the
+/// crash the journal must survive. Test support for the resume suite.
+fn kill_self() -> ! {
+    let _ =
+        std::process::Command::new("kill").args(["-9", &std::process::id().to_string()]).status();
+    // If no `kill` binary exists, die ungracefully anyway.
+    std::process::abort();
 }
 
 /// Best-effort extraction of a panic payload's message.
@@ -413,6 +881,13 @@ mod tests {
             assert_eq!(a.trace.order, b.trace.order);
             assert_eq!(a.net, b.net);
         }
+        // The compact stats agree with the retained outputs.
+        assert_eq!(cell.stats.n, 3);
+        assert_eq!(cell.stats.partial, 0);
+        let plts: Vec<f64> = plain.outcomes().map(|o| o.load.plt()).collect();
+        assert_eq!(cell.stats.plt, plts);
+        let stats = cell.stats.plt_stats().expect("3 finished reps");
+        assert_eq!(stats.n, 3);
     }
 
     #[test]
@@ -439,7 +914,7 @@ mod tests {
     }
 
     #[test]
-    fn a_panicking_cell_is_isolated_and_classified() {
+    fn a_panicking_cell_is_isolated_and_classified_deterministic() {
         let p0 = site_page(5);
         let p1 = site_page(6);
         // Silence the default panic hook for the injected panics; restore
@@ -458,11 +933,15 @@ mod tests {
         assert_eq!(report.cells.len(), 2);
         let bad = &report.cells[0];
         let good = &report.cells[1];
-        // The poisoned cell reports every rep as a classified panic…
+        // The poisoned cell reports every rep as a classified panic that
+        // was retried once and reproduced — deterministic.
         assert_eq!(bad.report.len(), 0);
         assert_eq!(bad.failures.len(), 2);
         assert_eq!(bad.failures[0].rep, 0);
         assert!(matches!(&bad.failures[0].kind, FailureKind::Panic(m) if m.contains("injected")));
+        assert_eq!(bad.failures[0].retries, 1);
+        assert_eq!(bad.failures[0].class, RetryClass::Deterministic);
+        assert!(bad.recovered.is_empty());
         assert!(!bad.is_clean());
         assert!(bad.status().contains("2/2 failed"));
         assert!(bad.status().contains("panic"));
@@ -474,6 +953,62 @@ mod tests {
         assert!(!report.is_complete());
         assert_eq!(report.failed_cells().count(), 1);
         assert!(report.render_status().contains("ok (2 reps)"));
+    }
+
+    #[test]
+    fn a_flaky_cell_recovers_on_retry() {
+        let p0 = site_page(8);
+        let p1 = site_page(9);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let flaky = SweepPlan::new()
+            .strategy(Strategy::NoPush)
+            .sites([p0.clone(), p1.clone()])
+            .reps(2)
+            .seed(3)
+            .inject_flaky_in_cell(0)
+            .run();
+        std::panic::set_hook(hook);
+
+        // Every rep completed — the first attempts' panics were
+        // environmental and the retries brought them back.
+        assert!(flaky.is_complete());
+        assert_eq!(flaky.completed(), 4);
+        assert_eq!(flaky.recovered(), 2);
+        let cell = &flaky.cells[0];
+        assert_eq!(
+            cell.recovered,
+            vec![RecoveredRep { rep: 0, retries: 1 }, RecoveredRep { rep: 1, retries: 1 },]
+        );
+        assert!(cell.status().contains("2 recovered"));
+        // Recovered outputs are byte-identical to an undisturbed run.
+        let clean =
+            SweepPlan::new().strategy(Strategy::NoPush).sites([p0, p1]).reps(2).seed(3).run();
+        for (a, b) in cell.report.outcomes().zip(clean.cells[0].report.outcomes()) {
+            assert_eq!(a.load, b.load);
+            assert_eq!(a.net, b.net);
+        }
+    }
+
+    #[test]
+    fn watchdog_failures_are_never_retried() {
+        let report = SweepPlan::new()
+            .strategy(Strategy::NoPush)
+            .site(site_page(10))
+            .reps(2)
+            .seed(1)
+            .watchdog_events(10)
+            .run();
+        assert_eq!(report.failed(), 2);
+        let cell = &report.cells[0];
+        for f in &cell.failures {
+            assert!(matches!(f.kind, FailureKind::Watchdog { .. }));
+            assert_eq!(f.retries, 0, "deterministic sim failures get no retry");
+            assert_eq!(f.class, RetryClass::NotRetried);
+        }
+        assert_eq!(FailureKind::Watchdog { events: 9 }.label(), "watchdog");
+        assert!(!FailureKind::Watchdog { events: 9 }.retryable());
+        assert!(FailureKind::Panic(String::new()).retryable());
     }
 
     #[test]
@@ -489,10 +1024,6 @@ mod tests {
 
     #[test]
     fn replay_errors_classify_without_aborting_the_grid() {
-        // A one-event watchdog budget makes every rep of the first
-        // strategy… actually of every cell fail with Watchdog; prove the
-        // classification path by running a deadline-zero plan through the
-        // sweep. Simplest deterministic failure: FailureKind::from.
         assert_eq!(
             FailureKind::from(ReplayError::Watchdog { events: 9 }),
             FailureKind::Watchdog { events: 9 }
@@ -504,5 +1035,67 @@ mod tests {
         );
         assert_eq!(FailureKind::Watchdog { events: 9 }.label(), "watchdog");
         assert_eq!(FailureKind::Panic(String::new()).label(), "panic");
+        assert_eq!(RetryClass::NotRetried.label(), "not-retried");
+        assert_eq!(RetryClass::Deterministic.label(), "deterministic");
+    }
+
+    #[test]
+    fn streaming_mode_drops_outputs_but_keeps_identical_statistics() {
+        let p0 = site_page(20);
+        let p1 = site_page(21);
+        let strategies = vec![Strategy::NoPush, push_all(&p0, &[])];
+        let base = SweepPlan::new().strategies(strategies).sites([p0, p1]).reps(3).seed(13);
+        let retained = base.clone().run();
+        let streamed = base.streaming().run();
+
+        assert!(streamed.streaming);
+        assert_eq!(streamed.cells.len(), retained.cells.len());
+        for (s, r) in streamed.cells.iter().zip(&retained.cells) {
+            assert!(s.report.is_empty(), "streaming cells drop per-rep outputs");
+            assert!(!r.report.is_empty());
+            assert_eq!(s.stats, r.stats, "folded scalars are identical");
+        }
+        // Population percentiles are bit-identical between the modes.
+        let sp = streamed.population();
+        let rp = retained.population();
+        assert_eq!(sp, rp);
+        assert_eq!(sp.plt.count(), 12);
+        assert!(sp.plt.p50().is_some());
+        assert!(sp.plt.p99().unwrap() >= sp.plt.p50().unwrap());
+        assert!(!sp.plt.cdf().is_empty());
+    }
+
+    #[test]
+    fn grid_identity_is_sensitive_to_every_knob() {
+        let p = site_page(30);
+        let base = SweepPlan::new().strategy(Strategy::NoPush).site(p.clone()).reps(3).seed(1);
+        let id = base.identity();
+        assert_eq!(id, base.identity(), "identity is stable");
+        assert_ne!(id.hash, base.clone().reps(4).identity().hash);
+        assert_ne!(id.hash, base.clone().seed(2).identity().hash);
+        assert_ne!(id.hash, base.clone().mode(Mode::Internet).identity().hash);
+        assert_ne!(id.hash, base.clone().streaming().identity().hash);
+        assert_ne!(id.hash, base.clone().strategy(push_all(&p, &[])).identity().hash);
+        assert_ne!(id.hash, base.clone().site(site_page(31)).identity().hash);
+        assert_ne!(id.hash, base.clone().faults(FaultProfile::bernoulli(0.02)).identity().hash);
+        assert!(id.summary.contains("1 strategies"));
+    }
+
+    #[test]
+    fn all_failed_cells_report_no_stats_instead_of_panicking() {
+        let report = SweepPlan::new()
+            .strategy(Strategy::NoPush)
+            .site(site_page(40))
+            .reps(2)
+            .seed(1)
+            .watchdog_events(10)
+            .run();
+        let cell = &report.cells[0];
+        assert_eq!(cell.stats.n, 0);
+        assert_eq!(cell.stats.plt_stats(), None, "RunStats::try_of at the boundary");
+        assert_eq!(cell.stats.speed_index_stats(), None);
+        let pop = report.population();
+        assert!(pop.plt.is_empty());
+        assert_eq!(pop.plt.p50(), None);
     }
 }

@@ -1,0 +1,94 @@
+//! Kill-resume equality with a real SIGKILL.
+//!
+//! `tests/checkpoint.rs` proves resume equality with an in-process halt
+//! at every cell boundary; this test proves it against the genuine
+//! failure mode: the whole process destroyed by an uncatchable signal —
+//! no destructors, no flushes, no atexit. The test re-spawns its own
+//! binary as a child (selected via an environment variable), lets the
+//! child journal two cells and SIGKILL itself, verifies the child
+//! actually died by signal 9, then resumes from the orphaned journal and
+//! demands byte equality with an uninterrupted run.
+
+use h2push_strategies::{push_all, Strategy};
+use h2push_testbed::SweepPlan;
+use h2push_webmodel::{Page, PageBuilder, ResourceSpec};
+use std::fs;
+use std::path::PathBuf;
+
+/// Selects the child role and carries the journal path.
+const CHILD_ENV: &str = "H2PUSH_RESUME_KILL_CHILD";
+
+fn site_page(seed: u64) -> Page {
+    let mut b = PageBuilder::new(
+        &format!("kill-{seed}"),
+        "kill.test",
+        40_000 + seed as usize * 1_000,
+        4_000,
+    );
+    b.resource(ResourceSpec::css(0, 15_000, 300, 0.4));
+    b.resource(ResourceSpec::js(0, 20_000, 1_000, 10_000));
+    b.text_paint(8_000, 1.0);
+    b.build()
+}
+
+/// The exact grid both processes build (2 strategies × 2 sites × 2 reps).
+fn grid() -> SweepPlan {
+    let p0 = site_page(0);
+    let p1 = site_page(1);
+    let push = push_all(&p0, &[]);
+    SweepPlan::new().strategies(vec![Strategy::NoPush, push]).sites([p0, p1]).reps(2).seed(19)
+}
+
+/// Child role: journal two of the four cells, then SIGKILL ourselves.
+/// Runs inside the `#[test]` harness of the re-spawned binary; if the
+/// kill works this function never returns.
+fn run_child(path: &str) {
+    let _ = grid().kill_after_journaled(2).checkpoint(path);
+    unreachable!("the child must die by SIGKILL before the sweep completes");
+}
+
+#[test]
+fn sigkilled_sweep_resumes_byte_identical() {
+    let path: PathBuf =
+        std::env::temp_dir().join(format!("h2push-{}-resume-kill.journal", std::process::id()));
+    if let Ok(p) = std::env::var(CHILD_ENV) {
+        run_child(&p);
+    }
+    let _ = fs::remove_file(&path);
+
+    // Re-run this very test binary as the child, filtered to this test so
+    // the child reaches run_child() and nothing else.
+    let exe = std::env::current_exe().expect("test binary path");
+    let status = std::process::Command::new(exe)
+        .arg("sigkilled_sweep_resumes_byte_identical")
+        .arg("--test-threads=1")
+        .env(CHILD_ENV, path.display().to_string())
+        .status()
+        .expect("spawn child sweep");
+
+    // The child must have died by SIGKILL — not exited, not panicked.
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        assert_eq!(status.signal(), Some(9), "child was SIGKILLed mid-grid: {status:?}");
+    }
+    #[cfg(not(unix))]
+    assert!(!status.success());
+
+    // The orphaned journal holds exactly the two durable cells.
+    let plan = grid();
+    let partial = fs::metadata(&path).expect("journal survives the kill");
+    assert!(partial.len() > 0);
+
+    let resumed = plan.resume(&path).expect("resume from the killed run's journal");
+    assert_eq!(resumed.cells.len(), 4);
+    assert!(resumed.is_complete());
+
+    let baseline = plan.run();
+    assert_eq!(
+        resumed.canonical_bytes(),
+        baseline.canonical_bytes(),
+        "SIGKILLed-then-resumed must be byte-identical to uninterrupted"
+    );
+    fs::remove_file(&path).ok();
+}
