@@ -1,0 +1,100 @@
+//! `h2push-load` — loopback load client for a running `h2push-serve`.
+//!
+//! Drives the real `h2push-browser` engine over real TCP connections to
+//! one address and reports the same `LoadResult` a simulated replay
+//! produces: PLT, SpeedIndex, push counters. Exits non-zero when the
+//! load does not finish (or when `--expect-push` is set and nothing
+//! arrived via push), so CI can use it as an assertion.
+//!
+//! ```text
+//! h2push-load --addr HOST:PORT [--corpus top|random|push-users]
+//!             [--seed N] [--no-push] [--timeout SECS] [--expect-push]
+//! ```
+//!
+//! The `(corpus, seed)` pair must match the server's — client and server
+//! regenerate the same deterministic page instead of transferring a
+//! manifest.
+
+use h2push_browser::BrowserConfig;
+use h2push_testbed::load_page;
+use h2push_webmodel::{generate_site, CorpusKind};
+use std::net::ToSocketAddrs;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn die(msg: &str) -> ! {
+    eprintln!("h2push-load: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut kind = "random".to_string();
+    let mut seed = 7u64;
+    let mut enable_push = true;
+    let mut timeout = 30u64;
+    let mut expect_push = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val =
+            |flag: &str| args.next().unwrap_or_else(|| die(&format!("{flag} needs a value")));
+        match flag.as_str() {
+            "--addr" => addr = Some(val("--addr")),
+            "--corpus" => kind = val("--corpus"),
+            "--seed" => {
+                seed = val("--seed").parse().unwrap_or_else(|_| die("--seed needs a number"))
+            }
+            "--no-push" => enable_push = false,
+            "--timeout" => {
+                timeout = val("--timeout").parse().unwrap_or_else(|_| die("--timeout: seconds"))
+            }
+            "--expect-push" => expect_push = true,
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let addr = addr.unwrap_or_else(|| die("--addr HOST:PORT is required"));
+    let sockaddr = addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut a| a.next())
+        .unwrap_or_else(|| die(&format!("cannot resolve {addr}")));
+
+    let kind = match kind.as_str() {
+        "top" => CorpusKind::Top,
+        "random" => CorpusKind::Random,
+        "push-users" => CorpusKind::PushUsers,
+        other => die(&format!("unknown corpus {other:?} (top|random|push-users)")),
+    };
+    let page = Arc::new(generate_site(kind, seed));
+
+    let cfg = BrowserConfig { enable_push, ..BrowserConfig::default() };
+    let report = load_page(sockaddr, Arc::clone(&page), cfg, Duration::from_secs(timeout))
+        .unwrap_or_else(|e| die(&format!("load {addr}: {e}")));
+
+    let load = &report.load;
+    println!(
+        "site {}: finished={} partial={} requests={} pushed={} ({} B, {} cancelled)",
+        load.site,
+        load.finished(),
+        load.partial,
+        load.requests,
+        load.pushed_count,
+        load.pushed_bytes,
+        load.cancelled_pushes,
+    );
+    println!("wire: {} conns, {} B in, {} B out", report.conns, report.bytes_in, report.bytes_out);
+    if load.finished() {
+        println!("plt {:.1} ms, speed index {:.1} ms", load.plt(), load.speed_index());
+    }
+
+    if !load.finished() {
+        eprintln!("h2push-load: load did not finish within {timeout}s");
+        std::process::exit(1);
+    }
+    if expect_push && load.pushed_count == 0 {
+        eprintln!("h2push-load: expected pushed resources, got none");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,105 @@
+//! `h2push-serve` — serve a webmodel corpus site over real TCP with any
+//! push strategy, on the sans-IO live runtime.
+//!
+//! The serving half of live mode (the counterpart of `h2push-load`): the
+//! same `ReplayServer` state machine the simulator replays answers real
+//! sockets, so a strategy measured in the testbed can be exercised
+//! against a real client byte-for-byte.
+//!
+//! ```text
+//! h2push-serve [--addr 127.0.0.1:0] [--corpus top|random|push-users]
+//!              [--seed N] [--strategy no-push|push-all|push-first:N]
+//!              [--duration SECS]
+//! ```
+//!
+//! Prints `listening <addr>` once bound (scriptable: `--addr 127.0.0.1:0`
+//! picks a free port) and serves until the duration elapses (default:
+//! forever). On exit, prints the accumulated server stats.
+
+use h2push_strategies::{push_all, push_first_n, Strategy};
+use h2push_testbed::LiveServer;
+use h2push_webmodel::{generate_site, CorpusKind, Page};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn corpus(name: &str) -> CorpusKind {
+    match name {
+        "top" => CorpusKind::Top,
+        "random" => CorpusKind::Random,
+        "push-users" => CorpusKind::PushUsers,
+        other => die(&format!("unknown corpus {other:?} (top|random|push-users)")),
+    }
+}
+
+fn strategy(name: &str, page: &Page) -> Strategy {
+    if let Some(n) = name.strip_prefix("push-first:") {
+        let n: usize = n.parse().unwrap_or_else(|_| die("push-first:N needs a number"));
+        return push_first_n(page, &[], n);
+    }
+    match name {
+        "no-push" => Strategy::NoPush,
+        "push-all" => push_all(page, &[]),
+        other => die(&format!("unknown strategy {other:?} (no-push|push-all|push-first:N)")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("h2push-serve: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut kind = "random".to_string();
+    let mut seed = 7u64;
+    let mut strat = "push-all".to_string();
+    let mut duration: Option<u64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val =
+            |flag: &str| args.next().unwrap_or_else(|| die(&format!("{flag} needs a value")));
+        match flag.as_str() {
+            "--addr" => addr = val("--addr"),
+            "--corpus" => kind = val("--corpus"),
+            "--seed" => {
+                seed = val("--seed").parse().unwrap_or_else(|_| die("--seed needs a number"))
+            }
+            "--strategy" => strat = val("--strategy"),
+            "--duration" => {
+                duration =
+                    Some(val("--duration").parse().unwrap_or_else(|_| die("--duration: seconds")))
+            }
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let page = Arc::new(generate_site(corpus(&kind), seed));
+    let strategy = strategy(&strat, &page);
+    let pushing = strategy.pushed_resources().len();
+
+    let mut server = LiveServer::bind(addr.as_str(), Arc::clone(&page), strategy)
+        .unwrap_or_else(|e| die(&format!("bind {addr}: {e}")));
+    if let Some(secs) = duration {
+        server.set_deadline(Duration::from_secs(secs));
+    }
+    let bound = server.local_addr().expect("local addr");
+    println!("listening {bound}");
+    println!(
+        "site {} ({} resources, {} origins), strategy {strat} ({pushing} pushed)",
+        page.name,
+        page.resources.len(),
+        page.server_group_count(),
+    );
+
+    let stats = server.run().unwrap_or_else(|e| die(&format!("serve loop: {e}")));
+    println!(
+        "served: {} conns, {} requests, {} B in, {} B out, {} B pushed, {} protocol errors",
+        stats.accepted,
+        stats.requests,
+        stats.bytes_in,
+        stats.bytes_out,
+        stats.pushed_bytes,
+        stats.protocol_errors,
+    );
+}

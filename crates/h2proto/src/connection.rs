@@ -160,6 +160,12 @@ pub struct Connection {
     frame_buf: BytesMut,
     /// Reused snapshot vector for the scheduler loop in `produce`.
     snap_scratch: Vec<StreamSnapshot>,
+    /// A header block mid-assembly across CONTINUATION frames whose tail
+    /// has not arrived yet. Carried across [`Connection::receive`] calls:
+    /// chunk boundaries are transport artifacts the sans-IO contract says
+    /// the machine must not observe (a live TCP read can split a block
+    /// anywhere).
+    pending_headers: Option<PendingHeaders>,
 }
 
 /// `(kind, stream, payload bytes)` of a frame, for trace stamping only.
@@ -256,6 +262,7 @@ impl Connection {
             send_buf: BytesMut::new(),
             frame_buf: BytesMut::new(),
             snap_scratch: Vec::new(),
+            pending_headers: None,
         }
     }
 
@@ -665,7 +672,7 @@ impl Connection {
             self.recv_buf.clear();
             self.recv_pos = 0;
             let mut pos = 0usize;
-            let mut pending: Option<PendingHeaders> = None;
+            let mut pending = self.pending_headers.take();
             loop {
                 let local_max = self
                     .local_settings
@@ -702,9 +709,9 @@ impl Connection {
             if pos < data.len() {
                 self.recv_buf.extend_from_slice(&data[pos..]);
             }
-            if pending.is_some() {
-                self.fatal(ConnError::HeaderBlockFragmented);
-            }
+            // An unfinished CONTINUATION sequence simply waits for the
+            // next batch, like any other partial frame.
+            self.pending_headers = pending;
             return;
         }
         self.recv_buf.extend_from_slice(data);
@@ -719,7 +726,7 @@ impl Connection {
             self.recv_pos = PREFACE.len();
             self.preface_received = true;
         }
-        let mut pending: Option<PendingHeaders> = None;
+        let mut pending = self.pending_headers.take();
         loop {
             let local_max = self
                 .local_settings
@@ -757,15 +764,25 @@ impl Connection {
             self.recv_buf.drain(..self.recv_pos);
             self.recv_pos = 0;
         }
-        if pending.is_some() {
-            // A header block is split across a TCP segment boundary mid
-            // CONTINUATION sequence: keep state? For simplicity we require
-            // header blocks to arrive within one receive() batch only when
-            // fragmented across CONTINUATION frames *and* segments. In the
-            // testbed header blocks are far below one segment, so this is a
-            // non-issue; fail loudly if it ever changes.
-            self.fatal(ConnError::HeaderBlockFragmented);
+        self.pending_headers = pending;
+    }
+
+    /// The sans-IO action surface (see [`crate::sansio`]): feed a chunk of
+    /// received wire bytes and return every [`Event`] it produced, in
+    /// order. Equivalent to [`receive`](Self::receive) followed by
+    /// draining [`poll_event`](Self::poll_event) — use this form when the
+    /// runtime wants the whole batch of actions at once (the badpeer
+    /// fingerprint suite drives victims this way), and the incremental
+    /// pair when events must be handled interleaved with other work (the
+    /// browser engine). The connection needs no clock, so no timestamp is
+    /// taken: time-dependent behaviour lives in the layers above.
+    pub fn feed_bytes(&mut self, bytes: &[u8]) -> Vec<Event> {
+        self.receive(bytes);
+        let mut events = Vec::with_capacity(self.events.len());
+        while let Some(ev) = self.poll_event() {
+            events.push(ev);
         }
+        events
     }
 
     fn fatal(&mut self, error: ConnError) {

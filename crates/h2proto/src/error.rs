@@ -39,10 +39,6 @@ pub enum ConnError {
     FrameTooLarge,
     /// A malformed frame, with the framing layer's description.
     Frame(&'static str),
-    /// A header block was fragmented across a receive boundary mid
-    /// CONTINUATION sequence (a documented simplification of this
-    /// endpoint, surfaced as an error rather than silent corruption).
-    HeaderBlockFragmented,
     /// A WINDOW_UPDATE would push the connection-level send window past
     /// 2^31-1 (§6.9.1) — FLOW_CONTROL_ERROR.
     FlowControlOverflow,
@@ -89,7 +85,6 @@ impl ConnError {
             ConnError::HpackDecode => "HPACK decode error",
             ConnError::FrameTooLarge => "frame exceeds SETTINGS_MAX_FRAME_SIZE",
             ConnError::Frame(reason) => reason,
-            ConnError::HeaderBlockFragmented => "header block fragmented across receive boundary",
             ConnError::FlowControlOverflow => "flow-control window overflow",
             ConnError::HeaderListTooLarge => "header list exceeds SETTINGS_MAX_HEADER_LIST_SIZE",
             ConnError::HeadersOnUnknownStream => "HEADERS on unknown stream",

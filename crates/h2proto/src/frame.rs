@@ -11,7 +11,7 @@
 use bytes::{Bytes, BytesMut};
 
 /// The 9-octet frame header length.
-pub const FRAME_HEADER_LEN: usize = 9;
+pub(crate) const FRAME_HEADER_LEN: usize = 9;
 /// Default and minimum SETTINGS_MAX_FRAME_SIZE.
 pub const DEFAULT_MAX_FRAME_SIZE: usize = 16_384;
 /// Default flow-control window (connection and stream).
@@ -21,7 +21,7 @@ pub const PREFACE: &[u8] = b"PRI * HTTP/2.0\r\n\r\nSM\r\n\r\n";
 
 /// Frame type registry (§6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FrameType {
+pub(crate) enum FrameType {
     Data,
     Headers,
     Priority,
@@ -223,7 +223,7 @@ pub fn zero_payload(n: usize) -> Bytes {
 /// (the original API) and [`BytesMut`], which lets the connection send path
 /// reuse one buffer across calls and hand out `split().freeze()` views
 /// without copying.
-pub trait FrameBuf {
+pub(crate) trait FrameBuf {
     /// Append one byte.
     fn put_byte(&mut self, b: u8);
     /// Append a slice.
@@ -237,8 +237,6 @@ pub trait FrameBuf {
             left -= take;
         }
     }
-    /// Bytes written so far.
-    fn buf_len(&self) -> usize;
 }
 
 impl FrameBuf for Vec<u8> {
@@ -251,9 +249,6 @@ impl FrameBuf for Vec<u8> {
     fn put_zeros(&mut self, n: usize) {
         self.resize(self.len() + n, 0);
     }
-    fn buf_len(&self) -> usize {
-        self.len()
-    }
 }
 
 impl FrameBuf for BytesMut {
@@ -265,9 +260,6 @@ impl FrameBuf for BytesMut {
     }
     fn put_zeros(&mut self, n: usize) {
         self.resize(self.len() + n, 0);
-    }
-    fn buf_len(&self) -> usize {
-        self.len()
     }
 }
 
@@ -297,7 +289,7 @@ impl Frame {
 
     /// Serialize into any [`FrameBuf`] (`Vec<u8>` or `BytesMut`); the wire
     /// bytes are identical whichever buffer is used.
-    pub fn encode_to<B: FrameBuf + ?Sized>(&self, out: &mut B) {
+    pub(crate) fn encode_to<B: FrameBuf + ?Sized>(&self, out: &mut B) {
         match self {
             Frame::Data { stream, len, end_stream } => {
                 header(out, *len, FrameType::Data, if *end_stream { 0x1 } else { 0 }, *stream);

@@ -7,9 +7,12 @@
 //! scheduler — the policy surface on which the paper builds Interleaving
 //! Push.
 //!
-//! The [`connection::Connection`] endpoint is a synchronous poll-style
-//! state machine: wire bytes in/out plus an event queue, designed to sit on
-//! top of the deterministic `h2push-netsim` byte pipes.
+//! The [`connection::Connection`] endpoint is a sans-IO state machine
+//! (see [`sansio`]): wire bytes in via [`Connection::feed_bytes`] /
+//! [`Connection::receive`], wire bytes out via `produce`, decoded
+//! [`Event`]s as the action stream — no socket, queue or clock ownership,
+//! so the same endpoint runs under the deterministic `h2push-netsim`
+//! harness and the live TCP runtime unchanged.
 
 pub mod cache_digest;
 pub mod connection;
@@ -17,6 +20,7 @@ pub mod error;
 pub mod frame;
 pub mod limits;
 pub mod priority;
+pub mod sansio;
 pub mod scheduler;
 pub(crate) mod stream_slab;
 

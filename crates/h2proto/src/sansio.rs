@@ -1,0 +1,81 @@
+//! # The sans-IO contract
+//!
+//! Every protocol endpoint in this workspace — the HTTP/2
+//! [`Connection`](crate::Connection), the replay servers in
+//! `h2push-server`, and the browser's per-connection drivers — is a *pure
+//! state machine over bytes*: it owns no socket, no queue, no clock and no
+//! thread. The surrounding runtime (the deterministic netsim harness or
+//! the live TCP runtime in `h2push-testbed`) is a thin adapter that
+//! shuttles bytes and timestamps between a transport and the machine.
+//!
+//! The contract has three legs:
+//!
+//! 1. **Input**: `feed_bytes(bytes, now)` hands the machine a chunk of
+//!    received wire bytes plus the current time. The machine may consume
+//!    any prefix, buffer the rest internally, and update its state; it
+//!    never blocks and never performs IO. Chunk boundaries carry no
+//!    meaning — feeding one big buffer or the same bytes split at any
+//!    points yields the same state (reassembly is the machine's job).
+//! 2. **Output**: `wants_output()` is a cheap check for pending transmit
+//!    bytes; `poll_output(max, now)` produces up to `max` wire bytes. The
+//!    runtime decides when to call it (readiness, simulated send windows)
+//!    and what to do with the buffer; an empty return means "nothing to
+//!    send right now" (possibly flow-control blocked, not necessarily
+//!    idle).
+//! 3. **Time**: `now` is injected on every call as **microseconds since
+//!    an arbitrary epoch** ([`Micros`]). The simulator passes sim-time;
+//!    the live runtime passes a monotonic wall-clock offset. Machines
+//!    never read a clock, so a replayed exchange is bit-identical no
+//!    matter which runtime drives it.
+//!
+//! Machines that *initiate* work (the browser) additionally return typed
+//! actions from their input methods — open a connection, send bytes,
+//! arm a timer — instead of performing them; see
+//! `h2push_browser::BrowserAction`. [`Connection`](crate::Connection)
+//! exposes the same shape at the frame level:
+//! [`Connection::feed_bytes`](crate::Connection::feed_bytes) returns the
+//! decoded [`Event`](crate::Event)s, and `produce(max, scheduler)` is its
+//! `poll_output` with the scheduling policy made explicit.
+
+use bytes::Bytes;
+
+/// Time injected into a sans-IO state machine: microseconds since an
+/// arbitrary per-run epoch. The deterministic harness passes sim-time
+/// (`SimTime::as_micros`); the live runtime passes the monotonic offset
+/// from its start instant. Machines only ever compare and subtract these.
+pub type Micros = u64;
+
+/// One endpoint of a byte-stream transport, sans-IO: fed received bytes,
+/// polled for transmit bytes, with time injected per call.
+///
+/// Implemented by the replay servers (`h2push-server`); both the netsim
+/// adapter and the live TCP runtime in `h2push-testbed` drive servers
+/// exclusively through this trait, which is what guarantees the two
+/// runtimes exercise identical protocol behaviour.
+pub trait Endpoint {
+    /// Feed a chunk of received wire bytes at time `now`. Never blocks;
+    /// never performs IO. Chunk boundaries are meaningless.
+    fn feed_bytes(&mut self, bytes: &[u8], now: Micros);
+
+    /// Cheap conservative check: `false` guarantees `poll_output` would
+    /// return empty right now.
+    fn wants_output(&self) -> bool;
+
+    /// Produce up to `max` transmit bytes at time `now`. Empty means
+    /// nothing is currently sendable (idle *or* flow-control blocked).
+    fn poll_output(&mut self, max: usize, now: Micros) -> Bytes;
+}
+
+impl<T: Endpoint + ?Sized> Endpoint for Box<T> {
+    fn feed_bytes(&mut self, bytes: &[u8], now: Micros) {
+        (**self).feed_bytes(bytes, now)
+    }
+
+    fn wants_output(&self) -> bool {
+        (**self).wants_output()
+    }
+
+    fn poll_output(&mut self, max: usize, now: Micros) -> Bytes {
+        (**self).poll_output(max, now)
+    }
+}

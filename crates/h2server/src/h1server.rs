@@ -54,6 +54,23 @@ impl H1ReplayServer {
     }
 }
 
+/// Sans-IO transport surface — see `h2push_h2proto::sansio`. The H1
+/// server ignores time entirely; the impl exists so the runtimes can
+/// drive both protocols through one trait object.
+impl h2push_h2proto::sansio::Endpoint for H1ReplayServer {
+    fn feed_bytes(&mut self, bytes: &[u8], now: h2push_h2proto::sansio::Micros) {
+        self.on_bytes(bytes, SimTime(now));
+    }
+
+    fn wants_output(&self) -> bool {
+        self.wants_send()
+    }
+
+    fn poll_output(&mut self, max: usize, _now: h2push_h2proto::sansio::Micros) -> Bytes {
+        self.produce(max)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

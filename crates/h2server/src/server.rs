@@ -274,6 +274,15 @@ impl ReplayServer {
         self.conn.produce(max, self.sched.as_dyn())
     }
 
+    /// Build a live-mode server for `page`: the strategy is armed
+    /// unconditionally (every live connection may receive the document
+    /// request, and only the one that does triggers pushes), so the same
+    /// instance answers any origin of the page by host+path lookup.
+    pub fn live(page: Arc<Page>, db: Arc<RecordDb>, strategy: &Strategy) -> Self {
+        let main_group = page.server_group_of(ResourceId(0));
+        Self::new(page, db, main_group, strategy)
+    }
+
     fn handle_request(&mut self, stream: u32, headers: &[Header], now: SimTime) {
         // Borrowed (Cow) header values: valid UTF-8 — the always case in a
         // replay — costs no allocation.
@@ -415,6 +424,24 @@ impl ReplayServer {
         }
         self.conn.queue_body(promised, r.size, true);
         self.pushed_bytes += r.size as u64;
+    }
+}
+
+/// The sans-IO transport surface (`h2push_h2proto::sansio`): both the
+/// netsim adapter and the live TCP runtime drive a replay server through
+/// exactly these three calls, so the wire behaviour cannot diverge
+/// between the simulated and the real transport.
+impl h2push_h2proto::sansio::Endpoint for ReplayServer {
+    fn feed_bytes(&mut self, bytes: &[u8], now: h2push_h2proto::sansio::Micros) {
+        self.on_bytes(bytes, SimTime(now));
+    }
+
+    fn wants_output(&self) -> bool {
+        self.wants_send()
+    }
+
+    fn poll_output(&mut self, max: usize, _now: h2push_h2proto::sansio::Micros) -> Bytes {
+        self.produce(max)
     }
 }
 

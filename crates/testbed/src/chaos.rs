@@ -10,12 +10,15 @@
 //! [`FaultProfile::none`] profile reproduces the fault-free harness
 //! exactly.
 
-use crate::harness::{run_config, Mode};
+#[cfg(test)]
+use crate::harness::run_config;
+use crate::harness::Mode;
 use crate::plan::RunPlan;
 use crate::replay::{ReplayConfig, ReplayInputs, ReplayOutcome};
 use h2push_metrics::{percentile, FaultObservation, LossRecovery};
 use h2push_netsim::{FaultSpec, SimDuration, SimTime};
 use h2push_strategies::Strategy;
+#[cfg(test)]
 use h2push_webmodel::Page;
 
 /// A named fault scenario plus the browser hardening that goes with it.
@@ -104,21 +107,6 @@ pub fn apply_profile(cfg: &mut ReplayConfig, profile: &FaultProfile) {
     cfg.browser.resource_timeout = profile.resource_timeout;
     cfg.browser.max_retries = profile.max_retries;
     cfg.browser.load_deadline = profile.load_deadline;
-}
-
-/// [`run_config`] with `profile` layered on top: same per-run RNG draws,
-/// same network seed, plus the profile's fault spec and browser hardening.
-#[deprecated(note = "use `RunPlan::new(page).faults(profile)`, or `apply_profile` on a config")]
-pub fn run_config_with_faults(
-    strategy: &Strategy,
-    mode: Mode,
-    run_seed: u64,
-    page: &Page,
-    profile: &FaultProfile,
-) -> ReplayConfig {
-    let mut cfg = run_config(strategy, mode, run_seed, page);
-    apply_profile(&mut cfg, profile);
-    cfg
 }
 
 /// Bridge one replay outcome into the metrics crate's per-run

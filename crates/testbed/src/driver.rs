@@ -1,0 +1,374 @@
+//! The netsim adapter: hosts the sans-IO endpoints on the simulated
+//! network.
+//!
+//! Everything protocol-shaped lives in the state machines (browser,
+//! replay servers, `h2push-h2proto` connections); everything
+//! transport-shaped lives in `h2push-netsim`. This module is the thin
+//! layer between them — it owns the event loop and does exactly four
+//! things:
+//!
+//! * shuttle delivered bytes into the machines
+//!   ([`Endpoint::feed_bytes`] / `Browser::on_bytes`) stamped with
+//!   sim-time,
+//! * shuttle produced bytes ([`Endpoint::poll_output`] /
+//!   `BrowserAction::SendBytes`) into the simulated TCP pipes,
+//! * realize browser actions (open connections, arm timers) against the
+//!   simulator, and
+//! * police the run: deadline, stall detection and the event watchdog.
+//!
+//! The live TCP runtime (`crate::live`) is the same adapter shape over
+//! real sockets; the equality suite in `tests/sansio_golden.rs` pins this
+//! loop's outputs bit-for-bit.
+
+use crate::replay::{Protocol, ReplayConfig, ReplayError, ReplayInputs, ReplayOutcome};
+use bytes::{Bytes, BytesMut};
+use h2push_browser::{Browser, BrowserAction};
+use h2push_h2proto::sansio::Endpoint;
+use h2push_netsim::{ConnId, Dir, NetEvent, Network, ServerId, ServerSpec, SimTime};
+use h2push_server::{H1ReplayServer, ReplayServer};
+use h2push_strategies::{RunTrace, Strategy};
+use h2push_trace::{conn_label, TraceHandle};
+use h2push_webmodel::ResourceId;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// One direction of an in-flight TCP stream: a FIFO of `Bytes` chunks.
+/// Producers queue their output buffers as-is (no copy); deliveries pop
+/// by byte count, slicing the front chunk in place via O(1) `split_to`.
+#[derive(Default)]
+struct ByteFifo {
+    chunks: VecDeque<Bytes>,
+    len: usize,
+}
+
+impl ByteFifo {
+    fn push(&mut self, b: Bytes) {
+        self.len += b.len();
+        self.chunks.push_back(b);
+    }
+
+    /// Pop up to `max` bytes as one contiguous buffer. A delivery that
+    /// spans queued chunks concatenates them so the receiver still sees
+    /// exactly one `feed_bytes` call per network delivery.
+    fn pop(&mut self, max: usize) -> Bytes {
+        let take = max.min(self.len);
+        if take == 0 {
+            return Bytes::new();
+        }
+        self.len -= take;
+        let front = self.chunks.front_mut().expect("non-empty fifo");
+        if take <= front.len() {
+            let out = front.split_to(take);
+            if front.is_empty() {
+                self.chunks.pop_front();
+            }
+            return out;
+        }
+        let mut buf = BytesMut::with_capacity(take);
+        let mut rem = take;
+        while rem > 0 {
+            let front = self.chunks.front_mut().expect("non-empty fifo");
+            let n = rem.min(front.len());
+            buf.extend_from_slice(&front.split_to(n));
+            if front.is_empty() {
+                self.chunks.pop_front();
+            }
+            rem -= n;
+        }
+        buf.freeze()
+    }
+}
+
+/// Per-connection adapter state: which browser (group, slot) the netsim
+/// connection belongs to, plus the bytes handed to the simulator but not
+/// yet delivered, per direction.
+struct ConnCtx {
+    group: usize,
+    slot: usize,
+    /// Bytes handed to netsim (up = client→server) not yet delivered.
+    up: ByteFifo,
+    down: ByteFifo,
+}
+
+/// A per-connection replay server of either protocol. (Boxed: the H2
+/// server carries the page, record DB and scheduler state and is much
+/// larger than the H1 half.)
+enum AnyServer {
+    H2(Box<ReplayServer>),
+    H1(H1ReplayServer),
+}
+
+impl AnyServer {
+    fn h2(&self) -> Option<&ReplayServer> {
+        match self {
+            AnyServer::H2(s) => Some(s),
+            AnyServer::H1(_) => None,
+        }
+    }
+}
+
+/// Both protocols present the same sans-IO face to the driver.
+impl Endpoint for AnyServer {
+    fn feed_bytes(&mut self, bytes: &[u8], now: u64) {
+        match self {
+            AnyServer::H2(s) => s.feed_bytes(bytes, now),
+            AnyServer::H1(s) => s.feed_bytes(bytes, now),
+        }
+    }
+
+    fn wants_output(&self) -> bool {
+        match self {
+            AnyServer::H2(s) => s.wants_output(),
+            AnyServer::H1(s) => s.wants_output(),
+        }
+    }
+
+    fn poll_output(&mut self, max: usize, now: u64) -> Bytes {
+        match self {
+            AnyServer::H2(s) => s.poll_output(max, now),
+            AnyServer::H1(s) => s.poll_output(max, now),
+        }
+    }
+}
+
+/// The adapter proper: simulated network on one side, sans-IO machines on
+/// the other.
+struct SimDriver<'a> {
+    inputs: &'a ReplayInputs,
+    cfg: &'a ReplayConfig,
+    trace: &'a TraceHandle,
+    net: Network,
+    browser: Browser,
+    servers: HashMap<(usize, usize), AnyServer>,
+    conn_of_slot: HashMap<(usize, usize), ConnId>,
+    ctx: HashMap<ConnId, ConnCtx>,
+    /// Browser actions not yet realized against the simulator.
+    queue: VecDeque<BrowserAction>,
+}
+
+impl SimDriver<'_> {
+    /// Realize queued browser actions against the simulator; handling one
+    /// may enqueue more.
+    fn drain_actions(&mut self) {
+        while let Some(a) = self.queue.pop_front() {
+            match a {
+                BrowserAction::OpenConnection { group, slot } => self.open_connection(group, slot),
+                BrowserAction::SendBytes { group, slot, bytes } => {
+                    let conn = self.conn_of_slot[&(group, slot)];
+                    let c = self.ctx.get_mut(&conn).expect("unknown conn");
+                    self.net.send(conn, Dir::Up, bytes.len());
+                    c.up.push(bytes);
+                }
+                BrowserAction::SetTimer { at, token } => {
+                    self.net.schedule(at, token);
+                }
+            }
+        }
+    }
+
+    /// A new (group, slot): connect through the simulated access link and
+    /// stand up the matching replay server behind it.
+    fn open_connection(&mut self, group: usize, slot: usize) {
+        let cfg = self.cfg;
+        let spec = match cfg.server_extra_delay.get(&group) {
+            Some(&d) => ServerSpec::with_extra_delay(d),
+            None => ServerSpec { think: cfg.server_think, ..Default::default() },
+        };
+        let sid: ServerId = self.net.add_server(spec);
+        let conn = self.net.connect(sid);
+        self.conn_of_slot.insert((group, slot), conn);
+        self.ctx.insert(
+            conn,
+            ConnCtx { group, slot, up: ByteFifo::default(), down: ByteFifo::default() },
+        );
+        let server = match cfg.protocol {
+            Protocol::H2 => {
+                let mut s = ReplayServer::new(
+                    Arc::clone(&self.inputs.page),
+                    Arc::clone(&self.inputs.db),
+                    group,
+                    &cfg.strategy,
+                );
+                s.set_honor_cache_digest(cfg.server_honors_digest);
+                s.set_limits(cfg.limits);
+                if let Some(p) = &self.inputs.prepared {
+                    s.set_prepared(Arc::clone(&p.server));
+                    s.set_hpack_block_cache(p.hpack.clone());
+                }
+                if self.trace.is_on() {
+                    s.set_trace(self.trace.clone(), conn_label(group, slot));
+                }
+                AnyServer::H2(Box::new(s))
+            }
+            Protocol::H1 => AnyServer::H1(H1ReplayServer::new(Arc::clone(&self.inputs.db))),
+        };
+        self.servers.insert((group, slot), server);
+    }
+
+    /// Pull response bytes from a server while the TCP window has room.
+    fn pump_server(&mut self, conn: ConnId, key: (usize, usize)) {
+        loop {
+            if !self.servers.get(&key).expect("server exists").wants_output() {
+                self.net.set_hungry(conn, Dir::Down, false);
+                break;
+            }
+            match self.net.set_hungry(conn, Dir::Down, true) {
+                Some(window) => {
+                    let now = self.net.now().as_micros();
+                    let bytes =
+                        self.servers.get_mut(&key).expect("server exists").poll_output(window, now);
+                    if bytes.is_empty() {
+                        // Flow-control (H2-level) blocked: wait for
+                        // client window updates.
+                        self.net.set_hungry(conn, Dir::Down, false);
+                        break;
+                    }
+                    let c = self.ctx.get_mut(&conn).expect("ctx");
+                    self.net.send(conn, Dir::Down, bytes.len());
+                    c.down.push(bytes);
+                }
+                None => break, // TCP window full; SendReady will fire
+            }
+        }
+    }
+
+    /// The event loop: step the simulator, dispatch each transport event
+    /// into the machines, realize the actions that come back.
+    fn run(mut self) -> Result<ReplayOutcome, ReplayError> {
+        let cfg = self.cfg;
+        let deadline = SimTime::ZERO + cfg.deadline;
+        let actions = self.browser.start(self.net.now());
+        self.queue.extend(actions);
+        self.drain_actions();
+
+        loop {
+            if self.browser.done() {
+                break;
+            }
+            let Some((t, ev)) = self.net.step() else {
+                return Err(ReplayError::Stalled { at: self.net.now() });
+            };
+            // Publish the shared trace clock so emission sites without a
+            // time parameter (endpoint state machines) stamp with event
+            // time.
+            self.trace.set_now(t.as_micros());
+            if t > deadline {
+                return Err(ReplayError::DeadlineExceeded);
+            }
+            if self.net.events_processed() > cfg.watchdog_events {
+                let events = self.net.events_processed();
+                self.trace.emit(h2push_trace::TraceEvent::WatchdogFired { events });
+                return Err(ReplayError::Watchdog { events });
+            }
+            match ev {
+                NetEvent::Connected { conn } => {
+                    let (group, slot) = (self.ctx[&conn].group, self.ctx[&conn].slot);
+                    let actions = self.browser.on_connected(group, slot, t);
+                    self.queue.extend(actions);
+                    self.drain_actions();
+                    self.pump_server(conn, (group, slot));
+                }
+                NetEvent::Delivered { conn, dir: Dir::Up, bytes } => {
+                    let (group, slot) = (self.ctx[&conn].group, self.ctx[&conn].slot);
+                    let chunk = self.ctx.get_mut(&conn).expect("ctx").up.pop(bytes);
+                    self.servers
+                        .get_mut(&(group, slot))
+                        .expect("server")
+                        .feed_bytes(&chunk, t.as_micros());
+                    self.pump_server(conn, (group, slot));
+                }
+                NetEvent::Delivered { conn, dir: Dir::Down, bytes } => {
+                    let (group, slot) = (self.ctx[&conn].group, self.ctx[&conn].slot);
+                    let chunk = self.ctx.get_mut(&conn).expect("ctx").down.pop(bytes);
+                    let actions = self.browser.on_bytes(group, slot, &chunk, t);
+                    self.queue.extend(actions);
+                    self.drain_actions();
+                    // The browser may have ACKed at the H2 level (window
+                    // updates) — give the server a chance to continue.
+                    self.pump_server(conn, (group, slot));
+                }
+                NetEvent::SendReady { conn, dir: Dir::Down, .. } => {
+                    let (group, slot) = (self.ctx[&conn].group, self.ctx[&conn].slot);
+                    self.pump_server(conn, (group, slot));
+                }
+                NetEvent::SendReady { .. } => {
+                    // The browser sends eagerly; it never registers hunger.
+                }
+                NetEvent::App { token } => {
+                    let actions = self.browser.on_timer(token, t);
+                    self.queue.extend(actions);
+                    self.drain_actions();
+                    // Timers can trigger new requests on any connection;
+                    // make sure all servers with pending output are
+                    // pulling. Pump in (group, slot) order — HashMap
+                    // iteration order varies per instance and must not
+                    // leak into the simulation.
+                    let mut pending: Vec<((usize, usize), ConnId)> =
+                        self.conn_of_slot.iter().map(|(&k, &c)| (k, c)).collect();
+                    pending.sort_unstable_by_key(|&(k, _)| k);
+                    for (key, conn) in pending {
+                        if self.servers.get(&key).map(|s| s.wants_output()).unwrap_or(false) {
+                            self.pump_server(conn, key);
+                        }
+                    }
+                }
+            }
+        }
+
+        let main_group = self.inputs.page.server_group_of(ResourceId(0));
+        let main_server = self.servers.get(&(main_group, 0)).and_then(|s| s.h2());
+        let trace = RunTrace {
+            order: main_server
+                .map(|s| s.observations().iter().map(|o| o.resource).collect())
+                .unwrap_or_default(),
+        };
+        Ok(ReplayOutcome {
+            load: self.browser.result(),
+            server_pushed_bytes: main_server.map(|s| s.pushed_bytes()).unwrap_or(0),
+            trace,
+            net: self.net.stats(),
+        })
+    }
+}
+
+/// Run one replay of `inputs` under `cfg` on the simulated network,
+/// emitting into `trace` (a no-op handle costs one branch per site).
+pub(crate) fn drive(
+    inputs: &ReplayInputs,
+    cfg: &ReplayConfig,
+    trace: &TraceHandle,
+) -> Result<ReplayOutcome, ReplayError> {
+    let mut net = Network::new(cfg.network.clone());
+    net.set_trace(trace.clone());
+    let mut browser_cfg = cfg.browser.clone();
+    browser_cfg.enable_push =
+        cfg.protocol == Protocol::H2 && !matches!(cfg.strategy, Strategy::NoPush);
+    browser_cfg.warm_cache = cfg.warm_cache.clone();
+    browser_cfg.transport = match cfg.protocol {
+        Protocol::H2 => h2push_browser::TransportMode::H2,
+        Protocol::H1 => h2push_browser::TransportMode::H1,
+    };
+    browser_cfg.limits = cfg.limits;
+    let mut browser = match &inputs.prepared {
+        Some(p) => {
+            let mut b =
+                Browser::with_scan(Arc::clone(&inputs.page), browser_cfg, Arc::clone(&p.scan));
+            b.set_hpack_block_cache(p.hpack.clone());
+            b
+        }
+        None => Browser::new(Arc::clone(&inputs.page), browser_cfg),
+    };
+    browser.set_trace(trace.clone());
+    SimDriver {
+        inputs,
+        cfg,
+        trace,
+        net,
+        browser,
+        servers: HashMap::new(),
+        conn_of_slot: HashMap::new(),
+        ctx: HashMap::new(),
+        queue: VecDeque::new(),
+    }
+    .run()
+}

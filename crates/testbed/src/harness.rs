@@ -11,7 +11,9 @@
 //!   recreating the wild-measurement variance the testbed removes.
 
 use crate::plan::RunPlan;
-use crate::replay::{ReplayConfig, ReplayError, ReplayInputs, ReplayOutcome};
+use crate::replay::ReplayConfig;
+#[cfg(test)]
+use crate::replay::{ReplayInputs, ReplayOutcome};
 use h2push_netsim::SimDuration;
 use h2push_strategies::{majority_order, RunTrace, Strategy};
 use h2push_webmodel::{Page, ResourceId};
@@ -67,68 +69,6 @@ pub fn run_config(strategy: &Strategy, mode: Mode, run_seed: u64, page: &Page) -
     cfg
 }
 
-/// Replay `page` `runs` times under `strategy`; failed runs are dropped
-/// (and must be rare — callers may assert on the count).
-#[deprecated(note = "use `RunPlan::new(page).strategy(…).mode(…).reps(…).seed(…).run()`")]
-pub fn run_many(
-    page: &Page,
-    strategy: &Strategy,
-    mode: Mode,
-    runs: usize,
-    seed: u64,
-) -> Vec<ReplayOutcome> {
-    RunPlan::new(page)
-        .strategy(strategy.clone())
-        .mode(mode)
-        .reps(runs)
-        .seed(seed)
-        .run()
-        .into_outcomes()
-}
-
-/// The parallel repetition loop over pre-built shared inputs.
-#[deprecated(note = "use `RunPlan::new(inputs).strategy(…).mode(…).reps(…).seed(…).run()`")]
-pub fn run_many_shared(
-    inputs: &ReplayInputs,
-    strategy: &Strategy,
-    mode: Mode,
-    runs: usize,
-    seed: u64,
-) -> Vec<ReplayOutcome> {
-    RunPlan::new(inputs)
-        .strategy(strategy.clone())
-        .mode(mode)
-        .reps(runs)
-        .seed(seed)
-        .run()
-        .into_outcomes()
-}
-
-/// The serial reference loop (determinism tests, benchmark baseline).
-#[deprecated(note = "use `RunPlan::new(inputs).reps(…).serial().run()`")]
-pub fn run_many_serial(
-    inputs: &ReplayInputs,
-    strategy: &Strategy,
-    mode: Mode,
-    runs: usize,
-    seed: u64,
-) -> Vec<ReplayOutcome> {
-    RunPlan::new(inputs)
-        .strategy(strategy.clone())
-        .mode(mode)
-        .reps(runs)
-        .seed(seed)
-        .serial()
-        .run()
-        .into_outcomes()
-}
-
-/// Replay once in deterministic testbed conditions (seed 0).
-#[deprecated(note = "use `RunPlan::new(page).config(ReplayConfig::testbed(strategy)).run_one()`")]
-pub fn run_once(page: &Page, strategy: Strategy) -> Result<ReplayOutcome, ReplayError> {
-    RunPlan::new(page).config(ReplayConfig::testbed(strategy)).run_one().map(|r| r.outcome)
-}
-
 /// §4.2 "Computing the Push Order": replay without push `runs` times,
 /// trace the requests the main server sees, majority-vote the order.
 /// Returns only pushable resources (the order is computed on the initial
@@ -140,10 +80,22 @@ pub fn compute_push_order(page: &Page, runs: usize, seed: u64) -> Vec<ResourceId
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the shims must stay byte-identical to RunPlan
 mod tests {
     use super::*;
     use h2push_webmodel::{PageBuilder, ResourceSpec};
+
+    fn runs(
+        inputs: &ReplayInputs,
+        strategy: &Strategy,
+        mode: Mode,
+        reps: usize,
+        seed: u64,
+        serial: bool,
+    ) -> Vec<ReplayOutcome> {
+        let plan = RunPlan::new(inputs).strategy(strategy.clone()).mode(mode).reps(reps).seed(seed);
+        let plan = if serial { plan.serial() } else { plan };
+        plan.run().into_outcomes()
+    }
 
     fn page() -> Page {
         let mut b = PageBuilder::new("harness-par", "hp.test", 45_000, 4_000);
@@ -170,8 +122,8 @@ mod tests {
     fn parallel_matches_serial_in_testbed_mode() {
         let inputs = ReplayInputs::from(page());
         let strategy = Strategy::NoPush;
-        let par = run_many_shared(&inputs, &strategy, Mode::Testbed, 9, 42);
-        let ser = run_many_serial(&inputs, &strategy, Mode::Testbed, 9, 42);
+        let par = runs(&inputs, &strategy, Mode::Testbed, 9, 42, false);
+        let ser = runs(&inputs, &strategy, Mode::Testbed, 9, 42, true);
         assert_identical(&par, &ser);
     }
 
@@ -179,17 +131,18 @@ mod tests {
     fn parallel_matches_serial_in_internet_mode() {
         let inputs = ReplayInputs::from(page());
         let strategy = Strategy::PushList { order: vec![ResourceId(1), ResourceId(2)] };
-        let par = run_many_shared(&inputs, &strategy, Mode::Internet, 9, 7);
-        let ser = run_many_serial(&inputs, &strategy, Mode::Internet, 9, 7);
+        let par = runs(&inputs, &strategy, Mode::Internet, 9, 7, false);
+        let ser = runs(&inputs, &strategy, Mode::Internet, 9, 7, true);
         assert_identical(&par, &ser);
     }
 
     #[test]
-    fn run_many_equals_shared_path() {
+    fn plan_from_page_equals_shared_inputs_path() {
         let p = page();
-        let via_page = run_many(&p, &Strategy::NoPush, Mode::Testbed, 3, 0);
+        let via_page =
+            RunPlan::new(&p).strategy(Strategy::NoPush).reps(3).seed(0).run().into_outcomes();
         let inputs = ReplayInputs::from(p);
-        let via_inputs = run_many_shared(&inputs, &Strategy::NoPush, Mode::Testbed, 3, 0);
+        let via_inputs = runs(&inputs, &Strategy::NoPush, Mode::Testbed, 3, 0, false);
         assert_identical(&via_page, &via_inputs);
     }
 }

@@ -11,8 +11,11 @@ pub mod adoption;
 pub mod badpeer;
 pub mod chaos;
 pub mod checkpoint;
+pub(crate) mod driver;
 pub mod experiments;
 pub mod harness;
+#[cfg(unix)]
+pub mod live;
 pub mod plan;
 pub mod pool;
 pub mod prepared;
@@ -24,16 +27,14 @@ pub use badpeer::{
     attack_client, attack_server, run_attack, run_suite, AttackKind, AttackOutcome, AttackScript,
     Victim,
 };
-#[allow(deprecated)]
-pub use chaos::run_config_with_faults;
 pub use chaos::{
     apply_profile, default_matrix, observe, run_fault_matrix, strategy_label, ChaosCell,
     FaultProfile,
 };
 pub use checkpoint::{GridIdentity, JournalScan, ResumeError, SweepJournal};
 pub use harness::{compute_push_order, run_config, Mode, PAPER_RUNS};
-#[allow(deprecated)]
-pub use harness::{run_many, run_many_serial, run_many_shared, run_once};
+#[cfg(unix)]
+pub use live::{load_page, LiveLoadReport, LiveServer, LiveServerHandle, LiveServerStats};
 pub use plan::{RunOutput, RunPlan, RunReport, TraceSpec};
 pub use pool::{parallel_indexed, set_worker_threads, worker_threads};
 pub use prepared::PreparedPage;

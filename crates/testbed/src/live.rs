@@ -1,0 +1,481 @@
+//! Live TCP serving mode: the sans-IO machines on real sockets.
+//!
+//! The paper's testbed serves real browsers over real TCP; this module is
+//! our equivalent of that half of the methodology. It hosts exactly the
+//! same state machines the simulator drives — [`ReplayServer`] behind
+//! [`h2push_h2proto::sansio::Endpoint`], the `h2push-browser` action
+//! machine as the load client — on a small readiness runtime built
+//! directly on `poll(2)` and non-blocking `std::net` sockets (the
+//! container has no mio; the FFI below is the whole "event library").
+//!
+//! Layering mirrors [`crate::driver`]: the runtime owns sockets, buffers
+//! and the clock; the machines own every protocol decision. Time is
+//! injected as microseconds since the runtime's start instant, so the
+//! machines cannot tell the difference between the wall clock and
+//! sim-time — which is the point: a strategy measured in the simulator
+//! can be served to a real client byte-for-byte.
+//!
+//! * [`LiveServer`] — binds a listener and answers every accepted
+//!   connection from a page's [`RecordDb`] with the configured push
+//!   strategy (push fires on whichever connection requests the base
+//!   document, exactly as in the sim).
+//! * [`load_page`] — the loopback load client: drives a real [`Browser`]
+//!   over TCP connections to one address and returns its [`LoadResult`].
+
+use bytes::Bytes;
+use h2push_browser::{Browser, BrowserAction, BrowserConfig, LoadResult, TransportMode};
+use h2push_h2proto::sansio::Endpoint;
+use h2push_netsim::SimTime;
+use h2push_server::ReplayServer;
+use h2push_strategies::Strategy;
+use h2push_webmodel::{Page, RecordDb};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---- poll(2) FFI ---------------------------------------------------------
+// std already links libc; declaring the one syscall wrapper we need avoids
+// pulling in an event library. Layout per POSIX (and linux's poll.h).
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: std::ffi::c_ulong, timeout: std::ffi::c_int)
+        -> std::ffi::c_int;
+}
+
+/// Block until an fd is ready or `timeout` elapses; EINTR retries.
+fn poll_fds(fds: &mut [PollFd], timeout: Duration) -> io::Result<usize> {
+    let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+    loop {
+        let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, ms) };
+        if n >= 0 {
+            return Ok(n as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// Read-buffer granularity for both halves of the runtime.
+const READ_CHUNK: usize = 64 * 1024;
+/// How many produced-but-unsent bytes a server connection may buffer
+/// before the runtime stops polling its machine for more output.
+const HIGH_WATER: usize = 1 << 20;
+/// Poll tick when nothing else bounds the wait (shutdown-flag latency).
+const TICK: Duration = Duration::from_millis(25);
+
+/// Flush as much of `out` into `stream` as the socket accepts right now.
+/// Returns false when the connection is unusable (reset / broken pipe).
+fn flush_out(stream: &mut TcpStream, out: &mut VecDeque<Bytes>, sent: &mut u64) -> bool {
+    while let Some(front) = out.front_mut() {
+        match stream.write(front) {
+            Ok(0) => return false,
+            Ok(n) => {
+                *sent += n as u64;
+                if n == front.len() {
+                    out.pop_front();
+                } else {
+                    let _ = front.split_to(n);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+fn queued_len(out: &VecDeque<Bytes>) -> usize {
+    out.iter().map(|b| b.len()).sum()
+}
+
+// ---- server --------------------------------------------------------------
+
+/// Counters a [`LiveServer`] run accumulates (totals over every
+/// connection, including ones already closed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveServerStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Wire bytes received from clients.
+    pub bytes_in: u64,
+    /// Wire bytes written to clients.
+    pub bytes_out: u64,
+    /// Requests answered (server-side observations).
+    pub requests: u64,
+    /// Response-body bytes queued on push streams.
+    pub pushed_bytes: u64,
+    /// Protocol violations observed (0 with a well-behaved client).
+    pub protocol_errors: u64,
+}
+
+/// Remote control for a running [`LiveServer`]: signal shutdown from
+/// another thread (the run loop notices within one poll tick).
+#[derive(Debug, Clone)]
+pub struct LiveServerHandle {
+    stop: Arc<AtomicBool>,
+}
+
+impl LiveServerHandle {
+    /// Ask the server loop to finish; `LiveServer::run` then returns its
+    /// stats.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+/// One accepted connection: a socket plus its sans-IO replay server.
+struct ServerConn {
+    stream: TcpStream,
+    machine: ReplayServer,
+    out: VecDeque<Bytes>,
+    dead: bool,
+}
+
+/// A live push server for one page: every accepted TCP connection gets a
+/// full [`ReplayServer`] answering any of the page's origins by
+/// host+path, with the push strategy armed (it fires only on the
+/// connection that requests the base document — same rule as the sim).
+pub struct LiveServer {
+    listener: TcpListener,
+    page: Arc<Page>,
+    db: Arc<RecordDb>,
+    strategy: Strategy,
+    stop: Arc<AtomicBool>,
+    deadline: Option<Duration>,
+}
+
+impl LiveServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and prepare to serve `page`
+    /// under `strategy`. The record database is built once here and
+    /// shared by every connection.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        page: Arc<Page>,
+        strategy: Strategy,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let db = Arc::new(RecordDb::record(&page));
+        Ok(LiveServer {
+            listener,
+            page,
+            db,
+            strategy,
+            stop: Arc::new(AtomicBool::new(false)),
+            deadline: None,
+        })
+    }
+
+    /// The bound address (port resolved when binding `:0`).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for stopping the run loop from another thread.
+    pub fn handle(&self) -> LiveServerHandle {
+        LiveServerHandle { stop: Arc::clone(&self.stop) }
+    }
+
+    /// Stop serving after `d`, even without a [`LiveServerHandle::stop`].
+    pub fn set_deadline(&mut self, d: Duration) {
+        self.deadline = Some(d);
+    }
+
+    /// Serve until stopped (handle or deadline). Consumes the server;
+    /// returns the accumulated stats.
+    pub fn run(self) -> io::Result<LiveServerStats> {
+        let epoch = Instant::now();
+        let mut stats = LiveServerStats::default();
+        let mut conns: Vec<ServerConn> = Vec::new();
+        let mut buf = vec![0u8; READ_CHUNK];
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            if let Some(d) = self.deadline {
+                if epoch.elapsed() >= d {
+                    break;
+                }
+            }
+            let mut fds = Vec::with_capacity(conns.len() + 1);
+            fds.push(PollFd { fd: self.listener.as_raw_fd(), events: POLLIN, revents: 0 });
+            for c in &conns {
+                let mut events = POLLIN;
+                if !c.out.is_empty() {
+                    events |= POLLOUT;
+                }
+                fds.push(PollFd { fd: c.stream.as_raw_fd(), events, revents: 0 });
+            }
+            poll_fds(&mut fds, TICK)?;
+
+            // New connections. `fds` covers only the pre-accept conns;
+            // ones accepted now are first served on the next tick.
+            let polled = conns.len();
+            if fds[0].revents & POLLIN != 0 {
+                loop {
+                    match self.listener.accept() {
+                        Ok((stream, _peer)) => {
+                            stream.set_nonblocking(true)?;
+                            let _ = stream.set_nodelay(true);
+                            stats.accepted += 1;
+                            conns.push(ServerConn {
+                                stream,
+                                machine: ReplayServer::live(
+                                    Arc::clone(&self.page),
+                                    Arc::clone(&self.db),
+                                    &self.strategy,
+                                ),
+                                out: VecDeque::new(),
+                                dead: false,
+                            });
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+
+            // Existing connections: feed readable bytes, drain output.
+            for (i, c) in conns.iter_mut().take(polled).enumerate() {
+                let re = fds[i + 1].revents;
+                if re & (POLLERR | POLLHUP) != 0 && re & POLLIN == 0 {
+                    c.dead = true;
+                    continue;
+                }
+                let now = epoch.elapsed().as_micros() as u64;
+                if re & POLLIN != 0 {
+                    loop {
+                        match c.stream.read(&mut buf) {
+                            Ok(0) => {
+                                c.dead = true;
+                                break;
+                            }
+                            Ok(n) => {
+                                stats.bytes_in += n as u64;
+                                c.machine.feed_bytes(&buf[..n], now);
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                            Err(_) => {
+                                c.dead = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                // Pull transmit bytes from the machine up to the high
+                //-water mark, then flush what the socket accepts.
+                while !c.dead && queued_len(&c.out) < HIGH_WATER && c.machine.wants_output() {
+                    let bytes = c.machine.poll_output(READ_CHUNK, now);
+                    if bytes.is_empty() {
+                        break; // flow-control blocked on the H2 level
+                    }
+                    c.out.push_back(bytes);
+                }
+                if !c.dead && !flush_out(&mut c.stream, &mut c.out, &mut stats.bytes_out) {
+                    c.dead = true;
+                }
+            }
+
+            // Harvest and drop finished connections.
+            for c in conns.iter().filter(|c| c.dead) {
+                stats.requests += c.machine.observations().len() as u64;
+                stats.pushed_bytes += c.machine.pushed_bytes();
+                stats.protocol_errors += u64::from(c.machine.protocol_errors());
+            }
+            conns.retain(|c| !c.dead);
+        }
+        for c in &conns {
+            stats.requests += c.machine.observations().len() as u64;
+            stats.pushed_bytes += c.machine.pushed_bytes();
+            stats.protocol_errors += u64::from(c.machine.protocol_errors());
+        }
+        Ok(stats)
+    }
+}
+
+// ---- load client ---------------------------------------------------------
+
+/// What a live page load produced.
+#[derive(Debug, Clone)]
+pub struct LiveLoadReport {
+    /// The browser's measurements — same type, same semantics as a
+    /// simulated replay's `ReplayOutcome::load`.
+    pub load: LoadResult,
+    /// Wire bytes received across all connections.
+    pub bytes_in: u64,
+    /// Wire bytes sent across all connections.
+    pub bytes_out: u64,
+    /// TCP connections opened.
+    pub conns: u32,
+}
+
+struct ClientConn {
+    stream: TcpStream,
+    out: VecDeque<Bytes>,
+    dead: bool,
+}
+
+/// Load `page` from the live server at `addr` with a real [`Browser`]
+/// over real TCP, returning once `onload` fires or `timeout` elapses
+/// (the report's `load.partial` / `finished()` tell which).
+///
+/// Every server group of the page maps to the same address — the
+/// loopback stand-in for the paper's per-origin server IPs; the browser
+/// still opens its per-group connections and addresses each origin by
+/// `:authority`, which is how the server routes.
+pub fn load_page(
+    addr: SocketAddr,
+    page: Arc<Page>,
+    mut cfg: BrowserConfig,
+    timeout: Duration,
+) -> io::Result<LiveLoadReport> {
+    cfg.transport = TransportMode::H2;
+    let epoch = Instant::now();
+    let now_us = |e: &Instant| e.elapsed().as_micros() as u64;
+    let mut browser = Browser::new(page, cfg);
+    let mut conns: HashMap<(usize, usize), ClientConn> = HashMap::new();
+    // (fire-at µs, token), min-ordered via Reverse.
+    let mut timers: BinaryHeap<std::cmp::Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut queue: VecDeque<BrowserAction> = browser.start(SimTime(0)).into();
+    let mut bytes_in = 0u64;
+    let mut bytes_out = 0u64;
+    let mut opened = 0u32;
+    let mut buf = vec![0u8; READ_CHUNK];
+
+    while !browser.done() && epoch.elapsed() < timeout {
+        // Realize actions; opening a connection completes synchronously
+        // on loopback, so on_connected cascades more actions in place.
+        while let Some(a) = queue.pop_front() {
+            match a {
+                BrowserAction::OpenConnection { group, slot } => {
+                    let stream = TcpStream::connect(addr)?;
+                    let _ = stream.set_nodelay(true);
+                    stream.set_nonblocking(true)?;
+                    conns.insert(
+                        (group, slot),
+                        ClientConn { stream, out: VecDeque::new(), dead: false },
+                    );
+                    opened += 1;
+                    let actions = browser.on_connected(group, slot, SimTime(now_us(&epoch)));
+                    queue.extend(actions);
+                }
+                BrowserAction::SendBytes { group, slot, bytes } => {
+                    if let Some(c) = conns.get_mut(&(group, slot)) {
+                        if !c.dead {
+                            c.out.push_back(bytes);
+                            if !flush_out(&mut c.stream, &mut c.out, &mut bytes_out) {
+                                c.dead = true;
+                            }
+                        }
+                    }
+                }
+                BrowserAction::SetTimer { at, token } => {
+                    timers.push(std::cmp::Reverse((at.as_micros(), token)));
+                }
+            }
+        }
+        if browser.done() {
+            break;
+        }
+
+        // Fire due timers.
+        let now = now_us(&epoch);
+        let mut fired = false;
+        while let Some(&std::cmp::Reverse((at, token))) = timers.peek() {
+            if at > now {
+                break;
+            }
+            timers.pop();
+            let actions = browser.on_timer(token, SimTime(now));
+            queue.extend(actions);
+            fired = true;
+        }
+        if fired {
+            continue; // realize the new actions before blocking
+        }
+
+        // Wait for readiness, the next timer, or the tick.
+        let wait = match timers.peek() {
+            Some(&std::cmp::Reverse((at, _))) => {
+                Duration::from_micros(at.saturating_sub(now)).min(TICK)
+            }
+            None => TICK,
+        };
+        let mut keys: Vec<(usize, usize)> = Vec::with_capacity(conns.len());
+        let mut fds: Vec<PollFd> = Vec::with_capacity(conns.len());
+        for (&key, c) in conns.iter() {
+            if c.dead {
+                continue;
+            }
+            let mut events = POLLIN;
+            if !c.out.is_empty() {
+                events |= POLLOUT;
+            }
+            keys.push(key);
+            fds.push(PollFd { fd: c.stream.as_raw_fd(), events, revents: 0 });
+        }
+        if fds.is_empty() {
+            std::thread::sleep(wait);
+            continue;
+        }
+        poll_fds(&mut fds, wait)?;
+
+        for (key, fd) in keys.iter().zip(&fds) {
+            let c = conns.get_mut(key).expect("conn exists");
+            if fd.revents & POLLIN != 0 {
+                loop {
+                    match c.stream.read(&mut buf) {
+                        Ok(0) => {
+                            c.dead = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            bytes_in += n as u64;
+                            let t = SimTime(now_us(&epoch));
+                            let actions = browser.on_bytes(key.0, key.1, &buf[..n], t);
+                            queue.extend(actions);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            c.dead = true;
+                            break;
+                        }
+                    }
+                }
+            } else if fd.revents & (POLLERR | POLLHUP) != 0 {
+                c.dead = true;
+            }
+            if !c.dead
+                && fd.revents & POLLOUT != 0
+                && !flush_out(&mut c.stream, &mut c.out, &mut bytes_out)
+            {
+                c.dead = true;
+            }
+        }
+    }
+
+    Ok(LiveLoadReport { load: browser.result(), bytes_in, bytes_out, conns: opened })
+}

@@ -2,10 +2,9 @@
 //! engine.
 //!
 //! PR 1 (perf) and PR 2 (chaos) grew six near-duplicate free functions
-//! (`replay`, `replay_shared`, `run_many`, `run_many_shared`,
-//! `run_many_serial`, `run_once`, plus `run_config_with_faults`); adding
-//! tracing would have doubled them again. A `RunPlan` names every knob
-//! once:
+//! (`replay`, `replay_shared`, a `run_many` family, plus
+//! `run_config_with_faults`); adding tracing would have doubled them
+//! again. Those shims are gone; a `RunPlan` names every knob once:
 //!
 //! ```
 //! use h2push_testbed::{Mode, RunPlan};
@@ -28,9 +27,9 @@
 //!
 //! * **Derived configs** (the default): rep `r` replays under
 //!   [`run_config`]`(strategy, mode, seed + r, page)`, optionally with a
-//!   [`FaultProfile`] layered on — byte-identical to the old
-//!   `run_many_shared` / `run_config_with_faults` paths, which are now
-//!   shims over this.
+//!   [`FaultProfile`] layered on — byte-identical to the retired
+//!   `run_many_shared` / `run_config_with_faults` entry points this
+//!   replaced.
 //! * **Explicit config** ([`RunPlan::config`]): every rep replays under
 //!   the given [`ReplayConfig`] verbatim (no per-rep jitter) — the old
 //!   `replay`/`run_once` behaviour.
@@ -68,7 +67,7 @@ pub struct RunOutput {
 }
 
 /// All completed repetitions of a [`RunPlan`], in rep order. Failed reps
-/// (stall / deadline) are dropped, matching the old `run_many` contract.
+/// (stall / deadline) are dropped.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
     /// The completed runs in rep order.
@@ -91,8 +90,7 @@ impl RunReport {
         self.runs.iter().map(|r| &r.outcome)
     }
 
-    /// Consume the report into the bare outcome vector the deprecated
-    /// `run_many` family used to return.
+    /// Consume the report into the bare outcome vector.
     pub fn into_outcomes(self) -> Vec<ReplayOutcome> {
         self.runs.into_iter().map(|r| r.outcome).collect()
     }
@@ -275,8 +273,7 @@ impl RunPlan {
         }
     }
 
-    /// Execute rep 0 only. The common single-measurement path; the
-    /// deprecated `replay`/`run_once` shims call this.
+    /// Execute rep 0 only. The common single-measurement path.
     pub fn run_one(&self) -> Result<RunOutput, ReplayError> {
         self.run_rep(0)
     }

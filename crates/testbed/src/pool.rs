@@ -1,8 +1,9 @@
 //! A tiny scoped-thread worker pool with a *global* concurrency budget.
 //!
 //! Experiment drivers nest parallelism two deep: `parallel_map` fans out
-//! over sites while `run_many` fans out over the 31 repetitions of each
-//! site. A naive nested spawn would oversubscribe the machine quadratically;
+//! over sites while [`RunPlan`](crate::RunPlan) fans out over the 31
+//! repetitions of each site. A naive nested spawn would oversubscribe the
+//! machine quadratically;
 //! instead every `parallel_indexed` call claims worker tokens from one
 //! process-wide budget (`available_parallelism`), and a call that gets no
 //! tokens simply runs serially on its caller's thread. The effect is a

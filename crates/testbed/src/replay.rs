@@ -4,19 +4,18 @@
 //! page's server groups become independent replay servers behind the
 //! emulated DSL access link, the browser loads the page, and we collect the
 //! timing metrics plus the server-side request trace.
+//!
+//! This module holds the replay's *vocabulary* — configuration, inputs,
+//! outcome and error types; the event loop itself is the sans-IO netsim
+//! adapter in [`crate::driver`].
 
 use crate::prepared::PreparedPage;
-use bytes::{Bytes, BytesMut};
-use h2push_browser::{Browser, BrowserAction, BrowserConfig, LoadResult, TransportMode};
-use h2push_netsim::{
-    ConnId, Dir, NetEvent, NetStats, Network, NetworkSpec, ServerId, ServerSpec, SimDuration,
-    SimTime,
-};
-use h2push_server::{H1ReplayServer, ReplayServer};
+use h2push_browser::{BrowserConfig, LoadResult};
+use h2push_netsim::{NetStats, NetworkSpec, SimDuration, SimTime};
 use h2push_strategies::{RunTrace, Strategy};
-use h2push_trace::{conn_label, TraceHandle};
+use h2push_trace::TraceHandle;
 use h2push_webmodel::{Page, RecordDb, ResourceId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Which protocol the replay runs over.
@@ -147,18 +146,6 @@ pub struct ReplayInputs {
 }
 
 impl ReplayInputs {
-    /// Record `page` once and wrap both halves for sharing.
-    #[deprecated(note = "pass the page to `RunPlan::new` (or use `ReplayInputs::from`)")]
-    pub fn new(page: Page) -> Self {
-        Self::from(page)
-    }
-
-    /// Same, for a page that is already shared.
-    #[deprecated(note = "pass the Arc to `RunPlan::new` (or use `ReplayInputs::from`)")]
-    pub fn from_arc(page: Arc<Page>) -> Self {
-        Self::from(page)
-    }
-
     /// Attach a freshly built [`PreparedPage`] (build once, share across
     /// every rep and config touching this page). No observable output
     /// changes — only per-rep work is skipped.
@@ -206,92 +193,6 @@ impl From<&ReplayInputs> for ReplayInputs {
     }
 }
 
-/// One direction of an in-flight TCP stream: a FIFO of `Bytes` chunks.
-/// Producers queue their output buffers as-is (no copy); deliveries pop
-/// by byte count, slicing the front chunk in place via O(1) `split_to`.
-#[derive(Default)]
-struct ByteFifo {
-    chunks: VecDeque<Bytes>,
-    len: usize,
-}
-
-impl ByteFifo {
-    fn push(&mut self, b: Bytes) {
-        self.len += b.len();
-        self.chunks.push_back(b);
-    }
-
-    /// Pop up to `max` bytes as one contiguous buffer. A delivery that
-    /// spans queued chunks concatenates them so the receiver still sees
-    /// exactly one `on_bytes` call per network delivery.
-    fn pop(&mut self, max: usize) -> Bytes {
-        let take = max.min(self.len);
-        if take == 0 {
-            return Bytes::new();
-        }
-        self.len -= take;
-        let front = self.chunks.front_mut().expect("non-empty fifo");
-        if take <= front.len() {
-            let out = front.split_to(take);
-            if front.is_empty() {
-                self.chunks.pop_front();
-            }
-            return out;
-        }
-        let mut buf = BytesMut::with_capacity(take);
-        let mut rem = take;
-        while rem > 0 {
-            let front = self.chunks.front_mut().expect("non-empty fifo");
-            let n = rem.min(front.len());
-            buf.extend_from_slice(&front.split_to(n));
-            if front.is_empty() {
-                self.chunks.pop_front();
-            }
-            rem -= n;
-        }
-        buf.freeze()
-    }
-}
-
-struct ConnCtx {
-    group: usize,
-    slot: usize,
-    /// Bytes handed to netsim (up = client→server) not yet delivered.
-    up: ByteFifo,
-    down: ByteFifo,
-}
-
-/// A per-connection replay server of either protocol. (Boxed: the H2
-/// server carries the page, record DB and scheduler state and is much
-/// larger than the H1 half.)
-enum AnyServer {
-    H2(Box<ReplayServer>),
-    H1(H1ReplayServer),
-}
-
-impl AnyServer {
-    fn on_bytes(&mut self, bytes: &[u8], now: SimTime) {
-        match self {
-            AnyServer::H2(s) => s.on_bytes(bytes, now),
-            AnyServer::H1(s) => s.on_bytes(bytes, now),
-        }
-    }
-
-    fn wants_send(&self) -> bool {
-        match self {
-            AnyServer::H2(s) => s.wants_send(),
-            AnyServer::H1(s) => s.wants_send(),
-        }
-    }
-
-    fn produce(&mut self, max: usize) -> Bytes {
-        match self {
-            AnyServer::H2(s) => s.produce(max),
-            AnyServer::H1(s) => s.produce(max),
-        }
-    }
-}
-
 /// Replay `page` once under `cfg`.
 ///
 /// Convenience wrapper that records the page on every call; repeated runs
@@ -310,216 +211,16 @@ pub fn replay_shared(
     replay_with_trace(inputs, cfg, &TraceHandle::off())
 }
 
-/// The replay engine proper. `trace` is injected into every subsystem;
-/// when it is off (the [`replay_shared`] path) each emission site costs a
-/// single branch, so traced and untraced runs take identical decisions.
+/// The replay engine proper — the sans-IO netsim adapter
+/// ([`crate::driver`]). `trace` is injected into every subsystem; when it
+/// is off (the [`replay_shared`] path) each emission site costs a single
+/// branch, so traced and untraced runs take identical decisions.
 pub(crate) fn replay_with_trace(
     inputs: &ReplayInputs,
     cfg: &ReplayConfig,
     trace: &TraceHandle,
 ) -> Result<ReplayOutcome, ReplayError> {
-    let page = &inputs.page;
-    let mut net = Network::new(cfg.network.clone());
-    net.set_trace(trace.clone());
-    let mut browser_cfg = cfg.browser.clone();
-    browser_cfg.enable_push =
-        cfg.protocol == Protocol::H2 && !matches!(cfg.strategy, Strategy::NoPush);
-    browser_cfg.warm_cache = cfg.warm_cache.clone();
-    browser_cfg.transport = match cfg.protocol {
-        Protocol::H2 => TransportMode::H2,
-        Protocol::H1 => TransportMode::H1,
-    };
-    browser_cfg.limits = cfg.limits;
-    let mut browser = match &inputs.prepared {
-        Some(p) => {
-            let mut b = Browser::with_scan(Arc::clone(page), browser_cfg, Arc::clone(&p.scan));
-            b.set_hpack_block_cache(p.hpack.clone());
-            b
-        }
-        None => Browser::new(Arc::clone(page), browser_cfg),
-    };
-    browser.set_trace(trace.clone());
-    let mut servers: HashMap<(usize, usize), AnyServer> = HashMap::new();
-    let mut conn_of_slot: HashMap<(usize, usize), ConnId> = HashMap::new();
-    let mut ctx: HashMap<ConnId, ConnCtx> = HashMap::new();
-    let main_group = page.server_group_of(ResourceId(0));
-    let deadline = SimTime::ZERO + cfg.deadline;
-
-    let actions = browser.start(net.now());
-    let mut queue: VecDeque<BrowserAction> = actions.into();
-
-    // Process browser actions; may enqueue more via the closure-free loop.
-    macro_rules! drain_actions {
-        () => {
-            while let Some(a) = queue.pop_front() {
-                match a {
-                    BrowserAction::OpenConnection { group, slot } => {
-                        let spec = match cfg.server_extra_delay.get(&group) {
-                            Some(&d) => ServerSpec::with_extra_delay(d),
-                            None => ServerSpec { think: cfg.server_think, ..Default::default() },
-                        };
-                        let sid: ServerId = net.add_server(spec);
-                        let conn = net.connect(sid);
-                        conn_of_slot.insert((group, slot), conn);
-                        ctx.insert(
-                            conn,
-                            ConnCtx {
-                                group,
-                                slot,
-                                up: ByteFifo::default(),
-                                down: ByteFifo::default(),
-                            },
-                        );
-                        let server = match cfg.protocol {
-                            Protocol::H2 => {
-                                let mut s = ReplayServer::new(
-                                    Arc::clone(&inputs.page),
-                                    Arc::clone(&inputs.db),
-                                    group,
-                                    &cfg.strategy,
-                                );
-                                s.set_honor_cache_digest(cfg.server_honors_digest);
-                                s.set_limits(cfg.limits);
-                                if let Some(p) = &inputs.prepared {
-                                    s.set_prepared(Arc::clone(&p.server));
-                                    s.set_hpack_block_cache(p.hpack.clone());
-                                }
-                                if trace.is_on() {
-                                    s.set_trace(trace.clone(), conn_label(group, slot));
-                                }
-                                AnyServer::H2(Box::new(s))
-                            }
-                            Protocol::H1 => {
-                                AnyServer::H1(H1ReplayServer::new(Arc::clone(&inputs.db)))
-                            }
-                        };
-                        servers.insert((group, slot), server);
-                    }
-                    BrowserAction::SendBytes { group, slot, bytes } => {
-                        let conn = conn_of_slot[&(group, slot)];
-                        let c = ctx.get_mut(&conn).expect("unknown conn");
-                        net.send(conn, Dir::Up, bytes.len());
-                        c.up.push(bytes);
-                    }
-                    BrowserAction::SetTimer { at, token } => {
-                        net.schedule(at, token);
-                    }
-                }
-            }
-        };
-    }
-
-    // Pull response bytes from a server while the TCP window has room.
-    macro_rules! pump_server {
-        ($conn:expr, $key:expr) => {{
-            loop {
-                let server = servers.get_mut(&$key).expect("server exists");
-                if !server.wants_send() {
-                    net.set_hungry($conn, Dir::Down, false);
-                    break;
-                }
-                match net.set_hungry($conn, Dir::Down, true) {
-                    Some(window) => {
-                        let bytes = server.produce(window);
-                        if bytes.is_empty() {
-                            // Flow-control (H2-level) blocked: wait for
-                            // client window updates.
-                            net.set_hungry($conn, Dir::Down, false);
-                            break;
-                        }
-                        let c = ctx.get_mut(&$conn).expect("ctx");
-                        net.send($conn, Dir::Down, bytes.len());
-                        c.down.push(bytes);
-                    }
-                    None => break, // TCP window full; SendReady will fire
-                }
-            }
-        }};
-    }
-
-    drain_actions!();
-
-    loop {
-        if browser.done() {
-            break;
-        }
-        let Some((t, ev)) = net.step() else {
-            return Err(ReplayError::Stalled { at: net.now() });
-        };
-        // Publish the shared trace clock so emission sites without a time
-        // parameter (endpoint state machines) stamp with event time.
-        trace.set_now(t.as_micros());
-        if t > deadline {
-            return Err(ReplayError::DeadlineExceeded);
-        }
-        if net.events_processed() > cfg.watchdog_events {
-            let events = net.events_processed();
-            trace.emit(h2push_trace::TraceEvent::WatchdogFired { events });
-            return Err(ReplayError::Watchdog { events });
-        }
-        match ev {
-            NetEvent::Connected { conn } => {
-                let (group, slot) = (ctx[&conn].group, ctx[&conn].slot);
-                queue.extend(browser.on_connected(group, slot, t));
-                drain_actions!();
-                pump_server!(conn, (group, slot));
-            }
-            NetEvent::Delivered { conn, dir: Dir::Up, bytes } => {
-                let (group, slot) = (ctx[&conn].group, ctx[&conn].slot);
-                let chunk = ctx.get_mut(&conn).expect("ctx").up.pop(bytes);
-                servers.get_mut(&(group, slot)).expect("server").on_bytes(&chunk, t);
-                pump_server!(conn, (group, slot));
-            }
-            NetEvent::Delivered { conn, dir: Dir::Down, bytes } => {
-                let (group, slot) = (ctx[&conn].group, ctx[&conn].slot);
-                let chunk = ctx.get_mut(&conn).expect("ctx").down.pop(bytes);
-                queue.extend(browser.on_bytes(group, slot, &chunk, t));
-                drain_actions!();
-                // The browser may have ACKed at the H2 level (window
-                // updates) — give the server a chance to continue.
-                pump_server!(conn, (group, slot));
-            }
-            NetEvent::SendReady { conn, dir: Dir::Down, .. } => {
-                let (group, slot) = (ctx[&conn].group, ctx[&conn].slot);
-                pump_server!(conn, (group, slot));
-            }
-            NetEvent::SendReady { .. } => {
-                // The browser sends eagerly; it never registers hunger.
-            }
-            NetEvent::App { token } => {
-                queue.extend(browser.on_timer(token, t));
-                drain_actions!();
-                // Timers can trigger new requests on any connection; make
-                // sure all servers with pending output are pulling. Pump in
-                // (group, slot) order — HashMap iteration order varies per
-                // instance and must not leak into the simulation.
-                let mut pending: Vec<((usize, usize), ConnId)> =
-                    conn_of_slot.iter().map(|(&k, &c)| (k, c)).collect();
-                pending.sort_unstable_by_key(|&(k, _)| k);
-                for (key, conn) in pending {
-                    if servers.get(&key).map(|s| s.wants_send()).unwrap_or(false) {
-                        pump_server!(conn, key);
-                    }
-                }
-            }
-        }
-    }
-
-    let main_server = servers.get(&(main_group, 0)).and_then(|s| match s {
-        AnyServer::H2(s) => Some(s),
-        AnyServer::H1(_) => None,
-    });
-    let trace = RunTrace {
-        order: main_server
-            .map(|s| s.observations().iter().map(|o| o.resource).collect())
-            .unwrap_or_default(),
-    };
-    Ok(ReplayOutcome {
-        load: browser.result(),
-        server_pushed_bytes: main_server.map(|s| s.pushed_bytes()).unwrap_or(0),
-        trace,
-        net: net.stats(),
-    })
+    crate::driver::drive(inputs, cfg, trace)
 }
 
 #[cfg(test)]

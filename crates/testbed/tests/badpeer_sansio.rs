@@ -1,0 +1,193 @@
+//! The attack catalogue driven through the sans-IO surface alone.
+//!
+//! The canonical badpeer harness (`run_suite`) pumps each scripted attack
+//! through its own drain loops. This suite feeds the *same compiled
+//! chunks* straight into the new sans-IO entry points instead —
+//! [`Endpoint::feed_bytes`] / [`Endpoint::poll_output`] on a
+//! [`ReplayServer`] victim, [`Connection::feed_bytes`] on a client victim
+//! — with no harness in between, and asserts every kind dies with (or
+//! survives to) the same typed [`ConnError`] as the canonical suite.
+//!
+//! That is the point of the sans-IO contract: the harness owns nothing
+//! the protocol outcome depends on, so removing it must change nothing.
+
+use h2push_h2proto::sansio::{Endpoint, Micros};
+use h2push_h2proto::{
+    ConnError, ConnLimits, Connection, DefaultScheduler, Event, PrioritySpec, Settings,
+};
+use h2push_hpack::Header;
+use h2push_server::ReplayServer;
+use h2push_strategies::Strategy;
+use h2push_testbed::{run_suite, AttackKind, AttackScript, Victim};
+use h2push_webmodel::{PageBuilder, RecordDb, ResourceId, ResourceSpec};
+use std::sync::Arc;
+
+/// Same shape as the harness's internal attack page: a small single-origin
+/// site so the victim server has real content and a live push strategy.
+fn attack_page() -> h2push_webmodel::Page {
+    let mut b = PageBuilder::new("badpeer", "bad.test", 20_000, 2_000);
+    b.resource(ResourceSpec::css(0, 6_000, 200, 0.5));
+    b.resource(ResourceSpec::js(0, 8_000, 900, 4_000));
+    b.text_paint(4_000, 1.0);
+    b.build()
+}
+
+/// The benign request the attack splices into (same headers as the
+/// canonical harness, so the victim's HPACK state is identical).
+fn benign_request() -> Vec<Header> {
+    vec![
+        Header::new(":method", "GET"),
+        Header::new(":scheme", "https"),
+        Header::new(":authority", "bad.test"),
+        Header::new(":path", "/"),
+        Header::new("user-agent", "badpeer-harness"),
+    ]
+}
+
+/// Drain the victim's transmit side through the trait: poll until it has
+/// nothing to say. Output is discarded — the attacker never reads it.
+fn drain(victim: &mut dyn Endpoint, now: Micros) {
+    while victim.wants_output() {
+        if victim.poll_output(usize::MAX, now).is_empty() {
+            break;
+        }
+    }
+}
+
+/// A server-victim attack through `Endpoint` only: benign request in via
+/// `feed_bytes`, attack chunks in via `feed_bytes`, replies out via
+/// `poll_output`. Returns the typed fatal error (None = absorbed).
+fn server_victim_fatal(script: &AttackScript) -> Option<ConnError> {
+    let page = Arc::new(attack_page());
+    let db = Arc::new(RecordDb::record(&page));
+    let mut srv =
+        ReplayServer::new(page, db, 0, &Strategy::PushList { order: vec![ResourceId(1)] });
+    srv.set_limits(ConnLimits::strict());
+    let mut now: Micros = 0;
+
+    // Benign splice-in from a real client connection, as in the harness.
+    let mut cli = Connection::client(Settings::default());
+    let mut sched = DefaultScheduler::new();
+    cli.request(&benign_request(), Some(PrioritySpec::default()));
+    loop {
+        let out = cli.produce(usize::MAX, &mut sched);
+        if out.is_empty() {
+            break;
+        }
+        Endpoint::feed_bytes(&mut srv, &out, now);
+    }
+    drain(&mut srv, now);
+
+    for chunk in script.compile() {
+        now += 100;
+        Endpoint::feed_bytes(&mut srv, &chunk, now);
+        drain(&mut srv, now);
+    }
+    srv.fatal_error()
+}
+
+/// A client-victim attack through `Connection::feed_bytes` only: the
+/// returned event stream is the whole observable outcome.
+fn client_victim_fatal(script: &AttackScript) -> Option<ConnError> {
+    let mut cli = Connection::client(Settings::default());
+    cli.set_limits(ConnLimits::strict());
+    let mut sched = DefaultScheduler::new();
+    let mut fatal = None;
+
+    cli.request(&benign_request(), Some(PrioritySpec::default()));
+    while !cli.produce(usize::MAX, &mut sched).is_empty() {}
+
+    for chunk in script.compile() {
+        for ev in cli.feed_bytes(&chunk) {
+            if let Event::ConnectionError { error } = ev {
+                fatal.get_or_insert(error);
+            }
+        }
+        while !cli.produce(usize::MAX, &mut sched).is_empty() {}
+    }
+    fatal
+}
+
+#[test]
+fn all_eleven_attacks_reach_the_same_typed_errors_through_feed_bytes() {
+    let seed = 42u64;
+    let canonical = run_suite(seed, ConnLimits::strict());
+    assert_eq!(canonical.len(), AttackKind::ALL.len());
+
+    for outcome in &canonical {
+        let script = AttackScript::new(outcome.kind, outcome.seed);
+        let sansio_fatal = match outcome.kind.victim() {
+            Victim::Server => server_victim_fatal(&script),
+            Victim::Client => client_victim_fatal(&script),
+        };
+        assert_eq!(
+            sansio_fatal,
+            outcome.fatal,
+            "{}: sans-IO feed_bytes path diverged from the canonical suite",
+            outcome.kind.label(),
+        );
+        assert_eq!(outcome.victim, outcome.kind.victim());
+    }
+
+    // The catalogue's known typed outcomes, pinned explicitly so a change
+    // in either path (not just a joint drift) fails loudly.
+    let fatal_of =
+        |kind: AttackKind| canonical.iter().find(|o| o.kind == kind).expect("kind in suite").fatal;
+    assert_eq!(fatal_of(AttackKind::RapidReset), Some(ConnError::ResetFlood));
+    assert_eq!(fatal_of(AttackKind::SettingsChurn), Some(ConnError::SettingsFlood));
+    assert_eq!(fatal_of(AttackKind::PingFlood), Some(ConnError::PingFlood));
+    assert_eq!(fatal_of(AttackKind::HpackBomb), Some(ConnError::HeaderListTooLarge));
+    assert_eq!(fatal_of(AttackKind::ContinuationFlood), Some(ConnError::HeaderListTooLarge));
+    assert_eq!(fatal_of(AttackKind::WindowOverflow), Some(ConnError::FlowControlOverflow));
+    assert_eq!(
+        fatal_of(AttackKind::StreamIdExhaustion),
+        Some(ConnError::ConcurrentStreamsExceeded)
+    );
+    assert_eq!(fatal_of(AttackKind::OversizedFrame), Some(ConnError::FrameTooLarge));
+    assert_eq!(fatal_of(AttackKind::TruncatedFrame), None);
+    assert_eq!(fatal_of(AttackKind::UnknownFrames), None);
+}
+
+#[test]
+fn chunk_boundaries_are_meaningless_to_feed_bytes() {
+    // The sans-IO contract: re-chunking the same byte stream cannot
+    // change the outcome. Re-split every attack's chunks byte-by-byte.
+    for kind in AttackKind::ALL {
+        if kind.victim() != Victim::Server {
+            continue;
+        }
+        let script = AttackScript::new(kind, 42);
+        let whole = server_victim_fatal(&script);
+
+        let page = Arc::new(attack_page());
+        let db = Arc::new(RecordDb::record(&page));
+        let mut srv =
+            ReplayServer::new(page, db, 0, &Strategy::PushList { order: vec![ResourceId(1)] });
+        srv.set_limits(ConnLimits::strict());
+        let mut cli = Connection::client(Settings::default());
+        let mut sched = DefaultScheduler::new();
+        cli.request(&benign_request(), Some(PrioritySpec::default()));
+        loop {
+            let out = cli.produce(usize::MAX, &mut sched);
+            if out.is_empty() {
+                break;
+            }
+            Endpoint::feed_bytes(&mut srv, &out, 0);
+        }
+        drain(&mut srv, 0);
+        let mut now: Micros = 0;
+        for chunk in script.compile() {
+            now += 100;
+            for b in chunk.iter() {
+                Endpoint::feed_bytes(&mut srv, &[*b], now);
+            }
+            drain(&mut srv, now);
+        }
+        assert_eq!(
+            srv.fatal_error(),
+            whole,
+            "{}: outcome depends on chunk boundaries",
+            kind.label(),
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Live-mode acceptance: the sans-IO machines complete a real page load
+//! over real loopback TCP, with server push crossing the wire.
+//!
+//! This is the PR's live-serving gate — the same `ReplayServer` and
+//! `Browser` state machines the simulator drives, re-hosted on the
+//! `poll(2)` runtime, must agree with each other byte-for-byte well
+//! enough to finish a full corpus-site load and deliver pushed
+//! resources.
+#![cfg(unix)]
+
+use h2push_browser::BrowserConfig;
+use h2push_strategies::{push_all, Strategy};
+use h2push_testbed::{load_page, LiveServer};
+use h2push_webmodel::{generate_site, CorpusKind};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn serve_and_load(
+    page: Arc<h2push_webmodel::Page>,
+    strategy: Strategy,
+) -> (h2push_testbed::LiveLoadReport, h2push_testbed::LiveServerStats) {
+    let mut server =
+        LiveServer::bind("127.0.0.1:0", Arc::clone(&page), strategy).expect("bind loopback");
+    // Belt and braces: the handle stops the server, the deadline bounds a
+    // wedged test run.
+    server.set_deadline(Duration::from_secs(60));
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let report = load_page(addr, page, BrowserConfig::default(), Duration::from_secs(30))
+        .expect("live load");
+    handle.stop();
+    let stats = server_thread.join().expect("server thread").expect("server run");
+    (report, stats)
+}
+
+#[test]
+fn loopback_load_completes_with_push() {
+    let page = Arc::new(generate_site(CorpusKind::Random, 7));
+    let strategy = push_all(&page, &[]);
+    let (report, stats) = serve_and_load(Arc::clone(&page), strategy);
+
+    assert!(report.load.finished(), "live load did not reach onload: {:?}", report.load);
+    assert!(!report.load.partial, "live load was partial");
+    assert_eq!(report.load.failed_resources, 0, "live load dropped resources");
+    assert!(report.load.pushed_count > 0, "no resources arrived via push");
+    assert!(report.load.pushed_bytes > 0, "push streams carried no bytes");
+    // Push can satisfy a group's resources before its connection is ever
+    // needed, so only the origin connection is guaranteed.
+    assert!(report.conns >= 1, "no connections opened");
+
+    assert!(stats.accepted >= report.conns as u64, "server missed connections");
+    assert!(stats.pushed_bytes > 0, "server pushed nothing");
+    assert_eq!(stats.protocol_errors, 0, "server saw protocol errors from our own browser");
+    // Both ends count wire bytes; they watched the same sockets.
+    assert_eq!(stats.bytes_out, report.bytes_in, "server-sent vs client-received bytes");
+    assert_eq!(stats.bytes_in, report.bytes_out, "client-sent vs server-received bytes");
+}
+
+#[test]
+fn loopback_load_completes_without_push() {
+    let page = Arc::new(generate_site(CorpusKind::Random, 11));
+    let (report, stats) = serve_and_load(Arc::clone(&page), Strategy::NoPush);
+
+    assert!(report.load.finished(), "no-push live load did not finish: {:?}", report.load);
+    assert_eq!(report.load.pushed_count, 0, "NoPush strategy pushed anyway");
+    assert_eq!(stats.pushed_bytes, 0);
+    assert_eq!(stats.protocol_errors, 0);
+}

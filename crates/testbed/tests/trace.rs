@@ -1,8 +1,8 @@
 //! The PR's acceptance gates, end to end through the public API:
 //!
 //! 1. `RunPlan` with no trace sink reproduces the PR-1/PR-2 entry points
-//!    byte-identically (the deprecated shims ARE the new path, asserted
-//!    against the raw `run_config` + `replay_shared` loop too).
+//!    byte-identically (asserted against the raw `run_config` +
+//!    `replay_shared` loop).
 //! 2. Attaching a trace sink never perturbs the simulation: traced and
 //!    untraced runs of the same seed agree on every output, with and
 //!    without injected faults.
@@ -50,14 +50,6 @@ fn untraced_runplan_reproduces_the_old_entry_points_byte_identically() {
     assert_eq!(raw.len(), via_plan.len());
     for (a, b) in raw.iter().zip(&via_plan) {
         assert_outcomes_identical(a, b, "raw loop vs RunPlan");
-    }
-
-    // The deprecated shims must be the same bytes as well.
-    #[allow(deprecated)]
-    let via_shim = h2push_testbed::run_many_shared(&inputs, &strategy, Mode::Testbed, reps, seed);
-    assert_eq!(via_shim.len(), via_plan.len());
-    for (a, b) in via_shim.iter().zip(&via_plan) {
-        assert_outcomes_identical(a, b, "run_many_shared shim vs RunPlan");
     }
 }
 

@@ -24,6 +24,18 @@
 //! println!("SpeedIndex {:.0} → {:.0} ms", baseline.speed_index, plan.speed_index);
 //! ```
 
+// The blessed top-level surface: everything a typical experiment touches,
+// importable without naming a subsystem crate. Anything deeper is reachable
+// through the module aliases below, but is not part of the stable surface.
+pub use h2push_browser::{Browser, BrowserConfig, LoadResult};
+pub use h2push_core::{evaluate, Evaluation, PushPlanner};
+pub use h2push_strategies::Strategy;
+#[cfg(unix)]
+pub use h2push_testbed::{load_page, LiveLoadReport, LiveServer, LiveServerHandle};
+pub use h2push_testbed::{Mode, ReplayInputs, ReplayOutcome, RunPlan, SweepPlan, SweepReport};
+pub use h2push_trace::{Timeline, TraceHandle};
+pub use h2push_webmodel::{generate_site, CorpusKind, Page};
+
 /// Chromium-64-like browser load/render model.
 pub use h2push_browser as browser;
 /// The paper's contribution: evaluation API, interleaving push, planning.
