@@ -13,7 +13,8 @@
 //! and records runs/s for each width; outcomes stay byte-identical at any
 //! width. On a single-core host the parallel-beats-serial expectation is
 //! meaningless, so the artifact marks it `"skipped_single_core": true`
-//! instead of asserting it.
+//! instead of asserting it, and the scaling sweep itself is skipped and
+//! recorded as `"scaling": {"skipped_single_core": true}`.
 //!
 //! Flags beyond the common scale arguments:
 //! - `--threads N` pins the pool for the main measurement.
@@ -134,7 +135,7 @@ fn main() {
     let runs = scale.runs;
     let pages: Vec<Page> =
         (0..sites).map(|i| generate_site(CorpusKind::Random, scale.seed ^ i as u64)).collect();
-    let strategy = Strategy::NoPush;
+    let strategy = std::sync::Arc::new(Strategy::NoPush);
     let total_runs = sites * runs;
     let meta = BenchMeta::capture();
     println!(
@@ -236,32 +237,35 @@ fn main() {
 
     // Worker-scaling sweep: the same prepared parallel path pinned to 1,
     // 2 and 4 total threads. Byte-equality must hold at every width; the
-    // speedup is only asserted where the host can actually scale.
+    // speedup is only asserted where the host can actually scale. On a
+    // single-core host every width degenerates to the same serial schedule,
+    // so the whole sweep is skipped and recorded as such rather than
+    // burning three widths' worth of passes measuring pool bookkeeping.
     let mut scaling: Vec<(usize, f64, f64)> = Vec::new(); // (threads, wall_ms, runs/s)
-    for &threads in &[1usize, 2, 4] {
-        set_worker_threads(Some(threads));
-        let run_path =
-            || -> Grid { prepared_plans.iter().map(|p| p.run().into_outcomes()).collect() };
-        let first = run_path(); // warmup (and equality probe)
-        assert!(
-            outcomes_equal(serial, &first),
-            "parallel outcomes diverged from serial at {threads} worker threads"
-        );
-        let mut best = f64::INFINITY;
-        for _ in 0..SCALING_PASSES {
-            let t = Instant::now();
-            let out = run_path();
-            best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    if !single_core {
+        for &threads in &[1usize, 2, 4] {
+            set_worker_threads(Some(threads));
+            let run_path =
+                || -> Grid { prepared_plans.iter().map(|p| p.run().into_outcomes()).collect() };
+            let first = run_path(); // warmup (and equality probe)
             assert!(
-                outcomes_equal(serial, &out),
+                outcomes_equal(serial, &first),
                 "parallel outcomes diverged from serial at {threads} worker threads"
             );
+            let mut best = f64::INFINITY;
+            for _ in 0..SCALING_PASSES {
+                let t = Instant::now();
+                let out = run_path();
+                best = best.min(t.elapsed().as_secs_f64() * 1e3);
+                assert!(
+                    outcomes_equal(serial, &out),
+                    "parallel outcomes diverged from serial at {threads} worker threads"
+                );
+            }
+            scaling.push((threads, best, total_runs as f64 / (best / 1e3)));
         }
-        scaling.push((threads, best, total_runs as f64 / (best / 1e3)));
-    }
-    set_worker_threads(args.threads);
-    let one_worker_ms = scaling[0].1;
-    if !single_core {
+        set_worker_threads(args.threads);
+        let one_worker_ms = scaling[0].1;
         let two_worker_ms = scaling[1].1;
         let speedup = one_worker_ms / two_worker_ms;
         assert!(
@@ -308,17 +312,24 @@ fn main() {
         );
     }
     json.push_str("  \"scaling\": {");
-    for (i, (threads, wall_ms, rps)) in scaling.iter().enumerate() {
-        json.push_str(&format!(
-            "\"threads_{threads}\": {{\"wall_ms\": {wall_ms:.1}, \"runs_per_sec\": {rps:.2}, \
-             \"speedup_vs_1_thread\": {:.2}}}{}",
-            one_worker_ms / wall_ms,
-            if i + 1 < scaling.len() { ", " } else { "" },
-        ));
-        println!(
-            "scaling {threads} thread(s): {wall_ms:9.1} ms  {rps:7.2} runs/s  {:5.2}x vs 1 thread",
-            one_worker_ms / wall_ms
-        );
+    if single_core {
+        json.push_str("\"skipped_single_core\": true");
+        println!("scaling sweep skipped (single core: widths cannot diverge)");
+    } else {
+        let one_worker_ms = scaling[0].1;
+        for (i, (threads, wall_ms, rps)) in scaling.iter().enumerate() {
+            json.push_str(&format!(
+                "\"threads_{threads}\": {{\"wall_ms\": {wall_ms:.1}, \"runs_per_sec\": {rps:.2}, \
+                 \"speedup_vs_1_thread\": {:.2}}}{}",
+                one_worker_ms / wall_ms,
+                if i + 1 < scaling.len() { ", " } else { "" },
+            ));
+            println!(
+                "scaling {threads} thread(s): {wall_ms:9.1} ms  {rps:7.2} runs/s  \
+                 {:5.2}x vs 1 thread",
+                one_worker_ms / wall_ms
+            );
+        }
     }
     json.push_str("}\n}\n");
 

@@ -87,6 +87,55 @@ pub fn scale_from_args() -> Scale {
     bench_args().scale
 }
 
+/// Allocation counting behind the `count-allocs` feature: a global
+/// allocator delegating to [`std::alloc::System`] with one relaxed atomic
+/// increment per `alloc`/`alloc_zeroed`/`realloc`. Only the `alloc_gate`
+/// binary wants it; every other build keeps the plain system allocator
+/// (the feature is off by default, so the counter costs nothing in
+/// normal benchmarks).
+#[cfg(feature = "count-allocs")]
+pub mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// The system allocator plus a relaxed allocation counter. Frees are
+    /// not counted: the gate's currency is "new heap blocks per run", and
+    /// a recycled context's whole point is to stop minting them.
+    pub struct CountingAlloc;
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc_zeroed(layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    /// Heap allocations since process start. Sample before and after a
+    /// region; the difference is that region's allocation count.
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
 /// Machine and build provenance recorded into every benchmark artifact,
 /// so numbers in `BENCH_*.json` can be traced to the machine and revision
 /// that produced them.
@@ -101,6 +150,11 @@ pub struct BenchMeta {
     pub rustc: String,
     /// Short git revision ("unknown" outside a work tree).
     pub git_rev: String,
+    /// Steady-state heap allocations per replay, measured by the
+    /// `alloc_gate` binary under the `count-allocs` allocator. `None`
+    /// everywhere else — only the gate can measure it, and it stamps the
+    /// figure into the committed artifact after the perf paths run.
+    pub allocs_per_run: Option<u64>,
 }
 
 impl BenchMeta {
@@ -122,13 +176,19 @@ impl BenchMeta {
             threads: h2push_testbed::worker_threads(),
             rustc: run("rustc", &["-V"]),
             git_rev: run("git", &["rev-parse", "--short", "HEAD"]),
+            allocs_per_run: None,
         }
     }
 
     /// The `"meta": {...}` JSON fragment (no trailing comma or newline).
     pub fn to_json(&self) -> String {
+        let allocs = match self.allocs_per_run {
+            Some(n) => format!(", \"allocs_per_run\": {n}"),
+            None => String::new(),
+        };
         format!(
-            "\"meta\": {{\"cores\": {}, \"threads\": {}, \"rustc\": \"{}\", \"git_rev\": \"{}\"}}",
+            "\"meta\": {{\"cores\": {}, \"threads\": {}, \"rustc\": \"{}\", \
+             \"git_rev\": \"{}\"{allocs}}}",
             self.cores,
             self.threads,
             self.rustc.replace('"', "'"),

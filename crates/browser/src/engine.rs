@@ -31,7 +31,7 @@ use h2push_h2proto::{
     CacheDigest, Connection, ErrorCode, Event, FifoScheduler, PrioritySpec, Settings,
 };
 use h2push_hpack::FxHashMap;
-use h2push_hpack::{BlockCache, Header};
+use h2push_hpack::{BlockCache, DecodeCache, Header};
 use h2push_netsim::{SimDuration, SimTime};
 use h2push_trace::{conn_label, TraceEvent, TraceHandle};
 use h2push_webmodel::{Discovery, Page, ResourceId, ResourceType, ScriptMode};
@@ -348,6 +348,8 @@ pub struct Browser {
     last_completeness: f64,
     /// Shared HPACK block cache applied to every connection opened.
     hpack_cache: Option<BlockCache>,
+    /// Shared HPACK decode cache applied to every connection opened.
+    hpack_decode_cache: Option<DecodeCache>,
     // Stats.
     pushed_bytes: u64,
     pushed_count: u32,
@@ -362,6 +364,14 @@ pub struct Browser {
     conn_errors: u32,
     actions: Vec<BrowserAction>,
     trace: TraceHandle,
+    /// Retired HTTP/2 connection machines (from [`Browser::reset`] or a
+    /// failed connection), recycled by `ensure_conn` instead of building a
+    /// fresh [`Connection`] per open.
+    spare_conns: Vec<ConnState>,
+    /// Retired HTTP/1.1 connection machines, recycled by `h1_dispatch`.
+    spare_h1: Vec<h2push_h1::H1ClientConn>,
+    /// Retired (emptied) HTTP/1.1 pools, recycled per group.
+    spare_h1_pools: Vec<H1Pool>,
 }
 
 impl Browser {
@@ -415,6 +425,7 @@ impl Browser {
             paints: Vec::new(),
             last_completeness: 0.0,
             hpack_cache: None,
+            hpack_decode_cache: None,
             pushed_bytes: 0,
             pushed_count: 0,
             cancelled_pushes: 0,
@@ -426,6 +437,86 @@ impl Browser {
             conn_errors: 0,
             actions: Vec::new(),
             trace: TraceHandle::off(),
+            spare_conns: Vec::new(),
+            spare_h1: Vec::new(),
+            spare_h1_pools: Vec::new(),
+        }
+    }
+
+    /// Recycle this browser into a fresh one for a new load: equivalent to
+    /// [`Browser::with_scan`] but reusing every buffer of the previous
+    /// life. Connection machines are parked and re-issued by `ensure_conn`
+    /// through the exact construction path a cold browser uses, so a
+    /// recycled browser's wire behaviour is byte-identical to a fresh one.
+    pub fn reset(&mut self, page: Arc<Page>, cfg: BrowserConfig, scan: Arc<PreparedScan>) {
+        let n = page.resources.len();
+        let inline_count = scan.inline_count;
+        self.res.clear();
+        self.res.extend((0..n).map(|_| ResInfo {
+            state: ResState::Undiscovered,
+            discovered: false,
+            pushed: false,
+            received: 0,
+            eval_scheduled: false,
+            attempts: 0,
+            timing: ResourceTiming::default(),
+        }));
+        self.page = page;
+        self.cfg = cfg;
+        while let Some((_, cs)) = self.conns.pop_first() {
+            self.park_conn(cs);
+        }
+        for (_, mut pool) in self.h1.drain() {
+            pool.queue.clear();
+            for slot in pool.slots.drain(..) {
+                if self.spare_h1.len() < 16 {
+                    self.spare_h1.push(slot.conn);
+                }
+            }
+            if self.spare_h1_pools.len() < 8 {
+                self.spare_h1_pools.push(pool);
+            }
+        }
+        self.h1_seq = 0;
+        self.stream_map.clear();
+        self.scan = scan;
+        self.available = 0;
+        self.parsed = 0;
+        self.stop_idx = 0;
+        self.blocked = None;
+        self.inline_done.clear();
+        self.inline_done.resize(inline_count, false);
+        self.parser_done = false;
+        self.next_ref = 0;
+        self.main_free_at = SimTime::ZERO;
+        self.timers.clear();
+        self.next_token = 1;
+        self.defer_queue.clear();
+        self.connect_end = None;
+        self.first_paint = None;
+        self.dcl = None;
+        self.onload = None;
+        self.paints.clear();
+        self.last_completeness = 0.0;
+        self.hpack_cache = None;
+        self.hpack_decode_cache = None;
+        self.pushed_bytes = 0;
+        self.pushed_count = 0;
+        self.cancelled_pushes = 0;
+        self.requests = 0;
+        self.next_h2_slot.clear();
+        self.partial = false;
+        self.retries = 0;
+        self.timeouts = 0;
+        self.conn_errors = 0;
+        self.actions.clear();
+        self.trace = TraceHandle::off();
+    }
+
+    fn park_conn(&mut self, mut cs: ConnState) {
+        if self.spare_conns.len() < 8 {
+            cs.chain.clear();
+            self.spare_conns.push(cs);
         }
     }
 
@@ -441,6 +532,30 @@ impl Browser {
     /// the cache only skips redundant encoding work.
     pub fn set_hpack_block_cache(&mut self, cache: BlockCache) {
         self.hpack_cache = Some(cache);
+    }
+
+    /// Share a memoized HPACK decode cache across loads of the same page.
+    /// Must be set before [`Browser::start`]; forwarded to every HTTP/2
+    /// client connection the browser opens. Decoded headers are unchanged —
+    /// the cache only skips redundant decoding work.
+    pub fn set_hpack_decode_cache(&mut self, cache: DecodeCache) {
+        self.hpack_decode_cache = Some(cache);
+    }
+
+    /// Hand back an action buffer returned by [`start`] / [`on_bytes`] /
+    /// [`on_connected`] / [`on_timer`] once its actions are consumed. The
+    /// engine reuses the capacity, so a driver that recycles keeps the
+    /// steady-state event loop allocation-free.
+    ///
+    /// [`start`]: Browser::start
+    /// [`on_bytes`]: Browser::on_bytes
+    /// [`on_connected`]: Browser::on_connected
+    /// [`on_timer`]: Browser::on_timer
+    pub fn recycle_actions(&mut self, mut spare: Vec<BrowserAction>) {
+        spare.clear();
+        if spare.capacity() > self.actions.capacity() {
+            self.actions = spare;
+        }
     }
 
     /// Begin navigation: opens the main connection and requests the
@@ -582,19 +697,38 @@ impl Browser {
             return;
         }
         let slot = self.next_h2_slot.get(&group).copied().unwrap_or(0);
-        let mut conn = Connection::client(Settings {
+        let settings = Settings {
             enable_push: Some(self.cfg.enable_push),
             initial_window_size: Some(self.cfg.initial_window),
             ..Default::default()
-        });
-        conn.set_limits(self.cfg.limits);
+        };
+        // A parked machine reset into the client role is byte-identical to
+        // a fresh `Connection::client` (see `reset_client`).
+        let mut cs = match self.spare_conns.pop() {
+            Some(mut cs) => {
+                cs.conn.reset_client(settings);
+                cs.digest_sent = false;
+                cs
+            }
+            None => ConnState {
+                conn: Connection::client(settings),
+                chain: Vec::new(),
+                digest_sent: false,
+                slot,
+            },
+        };
+        cs.slot = slot;
+        cs.conn.set_limits(self.cfg.limits);
         if self.trace.is_on() {
-            conn.set_trace(self.trace.clone(), conn_label(group, slot));
+            cs.conn.set_trace(self.trace.clone(), conn_label(group, slot));
         }
         if let Some(cache) = &self.hpack_cache {
-            conn.set_hpack_block_cache(cache.clone());
+            cs.conn.set_hpack_block_cache(cache.clone());
         }
-        self.conns.insert(group, ConnState { conn, chain: Vec::new(), digest_sent: false, slot });
+        if let Some(cache) = &self.hpack_decode_cache {
+            cs.conn.set_hpack_decode_cache(cache.clone());
+        }
+        self.conns.insert(group, cs);
         self.actions.push(BrowserAction::OpenConnection { group, slot });
     }
 
@@ -636,7 +770,9 @@ impl Browser {
             let class = self.class_of(rid);
             let seq = self.h1_seq;
             self.h1_seq += 1;
-            let pool = self.h1.entry(group).or_default();
+            let spare_pools = &mut self.spare_h1_pools;
+            let pool =
+                self.h1.entry(group).or_insert_with(|| spare_pools.pop().unwrap_or_default());
             pool.queue.push((class, seq, rid));
             pool.queue.sort();
             self.requests += 1;
@@ -682,7 +818,10 @@ impl Browser {
     /// connections up to the per-origin limit.
     fn h1_dispatch(&mut self, group: usize) {
         loop {
-            let pool = self.h1.entry(group).or_default();
+            let spare_pools = &mut self.spare_h1_pools;
+            let spare_conns = &mut self.spare_h1;
+            let pool =
+                self.h1.entry(group).or_insert_with(|| spare_pools.pop().unwrap_or_default());
             if pool.queue.is_empty() {
                 return;
             }
@@ -694,11 +833,16 @@ impl Browser {
             let slot = match idle {
                 Some(i) => i,
                 None if live < H1_POOL_SIZE => {
-                    pool.slots.push(H1Slot {
-                        conn: h2push_h1::H1ClientConn::new(),
-                        current: None,
-                        dead: false,
-                    });
+                    // A parked machine reset is byte-identical to a fresh
+                    // `H1ClientConn::new` (see `H1ClientConn::reset`).
+                    let conn = match spare_conns.pop() {
+                        Some(mut c) => {
+                            c.reset();
+                            c
+                        }
+                        None => h2push_h1::H1ClientConn::new(),
+                    };
+                    pool.slots.push(H1Slot { conn, current: None, dead: false });
                     let slot = pool.slots.len() - 1;
                     self.actions.push(BrowserAction::OpenConnection { group, slot });
                     slot
@@ -866,6 +1010,7 @@ impl Browser {
         self.trace.emit_at(now.as_micros(), TraceEvent::ConnError { group });
         if let Some(cs) = self.conns.remove(&group) {
             self.next_h2_slot.insert(group, cs.slot + 1);
+            self.park_conn(cs);
         }
         let orphaned: Vec<(usize, u32)> =
             self.stream_map.keys().filter(|&&(g, _)| g == group).copied().collect();

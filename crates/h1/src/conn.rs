@@ -76,6 +76,14 @@ impl H1ClientConn {
         self.state == ClientState::Idle
     }
 
+    /// Return to the fresh-idle state, retaining buffer capacity.
+    pub fn reset(&mut self) {
+        self.state = ClientState::Idle;
+        self.out.clear();
+        self.buf.clear();
+        self.events.clear();
+    }
+
     /// Queue a GET. Panics if the connection is busy (the pool's job is to
     /// never do that).
     pub fn send_request(&mut self, host: &str, path: &str, extra: &[(&str, &str)]) {
@@ -161,6 +169,15 @@ impl H1ServerConn {
     /// A fresh connection.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Return to the fresh state, retaining buffer capacity.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.requests.clear();
+        self.out_head.clear();
+        self.out_body.clear();
+        self.dead = false;
     }
 
     /// Feed received bytes; completed requests become pollable.

@@ -11,7 +11,7 @@
 use crate::error::{ConnError, StreamError};
 use crate::frame::{
     ErrorCode, Frame, FrameError, PrioritySpec, Settings, DEFAULT_MAX_FRAME_SIZE, DEFAULT_WINDOW,
-    PREFACE,
+    FRAME_HEADER_LEN, PREFACE,
 };
 use crate::limits::ConnLimits;
 use crate::priority::PriorityTree;
@@ -21,6 +21,7 @@ use bytes::{Bytes, BytesMut};
 use h2push_hpack::{Decoder as HpackDecoder, Encoder as HpackEncoder, Header};
 use h2push_trace::{FrameKind as TraceFrameKind, TraceEvent, TraceHandle};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Which side of the connection this endpoint is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,10 +83,12 @@ pub enum Event {
     Settings(Settings),
     /// Peer acknowledged our SETTINGS.
     SettingsAck,
-    /// A complete header block arrived on `stream`.
-    Headers { stream: u32, headers: Vec<Header>, end_stream: bool },
+    /// A complete header block arrived on `stream`. The list is shared
+    /// (`Arc`) so event delivery never copies header bytes; consumers that
+    /// need ownership clone the slice explicitly.
+    Headers { stream: u32, headers: Arc<[Header]>, end_stream: bool },
     /// The peer promised to push `promised` in response to `parent`.
-    PushPromise { parent: u32, promised: u32, headers: Vec<Header> },
+    PushPromise { parent: u32, promised: u32, headers: Arc<[Header]> },
     /// Body bytes arrived.
     Data { stream: u32, len: usize, end_stream: bool },
     /// Peer reset a stream.
@@ -195,23 +198,101 @@ impl Connection {
     /// — set `enable_push: Some(false)` for the paper's *no push* baseline.
     pub fn client(settings: Settings) -> Self {
         let mut c = Self::new(Role::Client, settings);
-        let mut preface = PREFACE.to_vec();
-        Frame::Settings { ack: false, settings: c.local_settings }.encode(&mut preface);
-        c.control.push_back(Bytes::from(preface));
-        c.preface_sent = true;
-        // Mirror Chromium: open the connection-level window generously so
-        // stream windows are the effective limit.
-        c.queue_frame(Frame::WindowUpdate { stream: 0, increment: 15 * 1024 * 1024 });
+        c.queue_client_preface();
         c
     }
 
     /// Create the server half.
     pub fn server(settings: Settings) -> Self {
         let mut c = Self::new(Role::Server, settings);
-        c.queue_frame(Frame::Settings { ack: false, settings: c.local_settings });
-        c.queue_frame(Frame::WindowUpdate { stream: 0, increment: 15 * 1024 * 1024 });
-        c.preface_sent = true;
+        c.queue_server_preface();
         c
+    }
+
+    /// Queue the client connection preface: the 24-octet magic and our
+    /// SETTINGS as one chunk, then the generous connection-window update.
+    /// Assembled in `frame_buf` so a recycled connection reuses capacity.
+    fn queue_client_preface(&mut self) {
+        debug_assert!(self.frame_buf.is_empty());
+        self.frame_buf.extend_from_slice(PREFACE);
+        Frame::Settings { ack: false, settings: self.local_settings }
+            .encode_to(&mut self.frame_buf);
+        self.control.push_back(self.frame_buf.split().freeze());
+        self.preface_sent = true;
+        // Mirror Chromium: open the connection-level window generously so
+        // stream windows are the effective limit.
+        self.queue_frame(Frame::WindowUpdate { stream: 0, increment: 15 * 1024 * 1024 });
+    }
+
+    /// Queue the server half's opening SETTINGS and window update.
+    fn queue_server_preface(&mut self) {
+        self.queue_frame(Frame::Settings { ack: false, settings: self.local_settings });
+        self.queue_frame(Frame::WindowUpdate { stream: 0, increment: 15 * 1024 * 1024 });
+        self.preface_sent = true;
+    }
+
+    /// Recycle this endpoint into the state [`Connection::client`]
+    /// `(settings)` constructs, retaining every container allocation
+    /// (buffers, stream slab, tables, queues). Observable behavior is
+    /// byte-identical to a freshly constructed client.
+    pub fn reset_client(&mut self, settings: Settings) {
+        self.role = Role::Client;
+        self.reset_common(settings);
+        self.queue_client_preface();
+    }
+
+    /// Recycle this endpoint into the state [`Connection::server`]
+    /// `(settings)` constructs; see [`Connection::reset_client`].
+    pub fn reset_server(&mut self, settings: Settings) {
+        self.role = Role::Server;
+        self.reset_common(settings);
+        self.queue_server_preface();
+    }
+
+    /// Clear-don't-drop restoration of every field `Connection::new` sets.
+    /// Kept in that function's field order so the two stay in sync.
+    fn reset_common(&mut self, settings: Settings) {
+        self.hpack_enc.reset();
+        self.hpack_dec.reset();
+        if let Some(hts) = settings.header_table_size {
+            self.hpack_dec.set_capacity_limit(hts as usize);
+        }
+        if let Some(mhls) = settings.max_header_list_size {
+            self.hpack_dec.set_max_header_list_size(mhls as usize);
+        }
+        self.streams.reset();
+        self.tree.reset();
+        self.control.clear();
+        self.recv_buf.clear();
+        self.recv_pos = 0;
+        self.events.clear();
+        self.next_stream_id = 1;
+        self.next_push_id = 2;
+        self.preface_sent = false;
+        self.preface_received = self.role == Role::Client;
+        self.peer_enable_push = true;
+        self.peer_max_frame_size = DEFAULT_MAX_FRAME_SIZE;
+        self.peer_initial_window = DEFAULT_WINDOW;
+        self.conn_send_window = DEFAULT_WINDOW;
+        self.local_initial_window =
+            settings.initial_window_size.map(|v| v as i64).unwrap_or(DEFAULT_WINDOW);
+        self.local_settings = settings;
+        self.conn_recv_consumed = 0;
+        self.goaway_received = false;
+        self.dead = false;
+        self.limits = ConnLimits::new();
+        self.resets_received = 0;
+        self.settings_received = 0;
+        self.pings_received = 0;
+        self.refused_streams = 0;
+        self.highest_peer_stream = 0;
+        self.last_promised_id = 0;
+        self.trace = TraceHandle::off();
+        self.trace_conn = 0;
+        self.send_buf.clear();
+        self.frame_buf.clear();
+        self.snap_scratch.clear();
+        self.pending_headers = None;
     }
 
     fn new(role: Role, settings: Settings) -> Self {
@@ -271,6 +352,13 @@ impl Connection {
     /// identical with or without it.
     pub fn set_hpack_block_cache(&mut self, cache: h2push_hpack::BlockCache) {
         self.hpack_enc.set_block_cache(cache);
+    }
+
+    /// Attach a shared decode memo ([`h2push_hpack::DecodeCache`]) to this
+    /// endpoint's decoder. Pure acceleration, like the block cache:
+    /// decoded lists and table state are identical with or without it.
+    pub fn set_hpack_decode_cache(&mut self, cache: h2push_hpack::DecodeCache) {
+        self.hpack_dec.set_decode_cache(cache);
     }
 
     /// Our role.
@@ -399,7 +487,7 @@ impl Connection {
         assert_eq!(self.role, Role::Client, "only clients open requests");
         let id = self.next_stream_id;
         self.next_stream_id += 2;
-        let block = Bytes::from(self.hpack_enc.encode(headers));
+        let block = self.hpack_enc.encode_bytes(headers);
         self.queue_header_block(id, block, true, priority, None);
         // Requests in the replay have no body: half-closed (local) at once.
         self.streams
@@ -452,7 +540,7 @@ impl Connection {
         }
         let id = self.next_push_id;
         self.next_push_id += 2;
-        let block = Bytes::from(self.hpack_enc.encode(request_headers));
+        let block = self.hpack_enc.encode_bytes(request_headers);
         self.queue_push_promise(parent, id, block);
         self.streams.insert(id, Stream::new(StreamState::ReservedLocal, self.peer_initial_window));
         // h2o treats the pushed stream as a child of the stream that
@@ -465,7 +553,7 @@ impl Connection {
     /// response has no body.
     pub fn respond(&mut self, stream: u32, headers: &[Header], end_stream: bool) {
         assert_eq!(self.role, Role::Server);
-        let block = Bytes::from(self.hpack_enc.encode(headers));
+        let block = self.hpack_enc.encode_bytes(headers);
         self.queue_header_block(stream, block, end_stream, None, None);
         if let Some(s) = self.streams.get_mut(stream) {
             s.out.headers_sent = true;
@@ -593,7 +681,7 @@ impl Connection {
             snapshots.extend(self.streams.iter().filter_map(|(id, s)| {
                 let sendable = self.sendable(s);
                 if sendable > 0 {
-                    Some(StreamSnapshot { id, sendable, sent: s.out.sent, is_push: id % 2 == 0 })
+                    Some(StreamSnapshot { id, sendable, sent: s.out.sent, is_push: id.is_multiple_of(2) })
                 } else {
                     None
                 }
@@ -629,6 +717,13 @@ impl Connection {
             s.send_window -= chunk as i64;
             self.conn_send_window -= chunk as i64;
             let end_stream = s.out.fin && s.out.queued == 0;
+            // Exact reserve, not amortized growth: doubling would push a
+            // recycled buffer's capacity past the recycle pool's cap and
+            // lose it, so capacities converge on the real burst size and
+            // steady-state DATA bursts never grow the buffer.
+            if chunk + FRAME_HEADER_LEN > self.send_buf.capacity() - self.send_buf.len() {
+                self.send_buf.reserve_exact(chunk + FRAME_HEADER_LEN);
+            }
             Frame::Data { stream: id, len: chunk, end_stream }.encode_to(&mut self.send_buf);
             if self.trace.is_on() {
                 self.trace.emit(TraceEvent::SchedulerPick {
@@ -1031,7 +1126,7 @@ impl Connection {
     }
 
     fn finish_header_block(&mut self, ph: PendingHeaders) -> Result<(), ConnError> {
-        let headers = self.hpack_dec.decode(&ph.block).map_err(|e| match e {
+        let headers = self.hpack_dec.decode_shared(&ph.block).map_err(|e| match e {
             // A header bomb (small wire bytes, huge decoded list) is a
             // flood, not a compression defect.
             h2push_hpack::Error::HeaderListTooLarge => ConnError::HeaderListTooLarge,
@@ -1181,7 +1276,11 @@ impl Drop for Connection {
             return;
         }
         slab.reset();
-        SLAB_POOL.with(|p| {
+        // `try_with`: a Connection can be dropped from another
+        // thread-local's destructor (the testbed parks a whole replay
+        // context per thread), at which point SLAB_POOL may already be
+        // torn down — then the slab is simply freed instead of parked.
+        let _ = SLAB_POOL.try_with(|p| {
             let mut pool = p.borrow_mut();
             if pool.len() < SLAB_POOL_CAP {
                 pool.push(slab);

@@ -330,33 +330,37 @@ impl Frame {
                 put_u32(out, code.code());
             }
             Frame::Settings { ack, settings } => {
-                let mut payload = Vec::new();
+                // Six defined settings at six octets each: a stack buffer
+                // keeps connection setup allocation-free.
+                fn put(buf: &mut [u8; 36], n: &mut usize, id: u16, v: u32) {
+                    buf[*n..*n + 2].copy_from_slice(&id.to_be_bytes());
+                    buf[*n + 2..*n + 6].copy_from_slice(&v.to_be_bytes());
+                    *n += 6;
+                }
+                let mut payload = [0u8; 36];
+                let mut n = 0usize;
                 if !ack {
-                    let mut put = |id: u16, v: u32| {
-                        payload.extend_from_slice(&id.to_be_bytes());
-                        payload.extend_from_slice(&v.to_be_bytes());
-                    };
                     if let Some(v) = settings.header_table_size {
-                        put(0x1, v);
+                        put(&mut payload, &mut n, 0x1, v);
                     }
                     if let Some(v) = settings.enable_push {
-                        put(0x2, v as u32);
+                        put(&mut payload, &mut n, 0x2, v as u32);
                     }
                     if let Some(v) = settings.max_concurrent_streams {
-                        put(0x3, v);
+                        put(&mut payload, &mut n, 0x3, v);
                     }
                     if let Some(v) = settings.initial_window_size {
-                        put(0x4, v);
+                        put(&mut payload, &mut n, 0x4, v);
                     }
                     if let Some(v) = settings.max_frame_size {
-                        put(0x5, v);
+                        put(&mut payload, &mut n, 0x5, v);
                     }
                     if let Some(v) = settings.max_header_list_size {
-                        put(0x6, v);
+                        put(&mut payload, &mut n, 0x6, v);
                     }
                 }
-                header(out, payload.len(), FrameType::Settings, if *ack { 0x1 } else { 0 }, 0);
-                out.put_slice(&payload);
+                header(out, n, FrameType::Settings, if *ack { 0x1 } else { 0 }, 0);
+                out.put_slice(&payload[..n]);
             }
             Frame::PushPromise { stream, promised, block, end_headers } => {
                 let flags = if *end_headers { 0x4 } else { 0 };
@@ -387,9 +391,23 @@ impl Frame {
 
     /// Serialized length of this frame including the 9-octet header.
     pub fn encoded_len(&self) -> usize {
-        let mut buf = Vec::new();
-        self.encode(&mut buf);
-        buf.len()
+        /// A [`FrameBuf`] that only counts — `encoded_len` without a heap
+        /// buffer.
+        struct LenCount(usize);
+        impl FrameBuf for LenCount {
+            fn put_byte(&mut self, _b: u8) {
+                self.0 += 1;
+            }
+            fn put_slice(&mut self, s: &[u8]) {
+                self.0 += s.len();
+            }
+            fn put_zeros(&mut self, n: usize) {
+                self.0 += n;
+            }
+        }
+        let mut c = LenCount(0);
+        self.encode_to(&mut c);
+        c.0
     }
 
     /// Try to decode one frame from the start of `buf`.

@@ -36,14 +36,65 @@ struct Node {
 #[derive(Debug, Clone)]
 pub struct PriorityTree {
     nodes: FxHashMap<u32, Node>,
+    /// Child-list buffers salvaged from removed nodes; [`insert`] reuses
+    /// them so a recycled tree builds each run's streams without touching
+    /// the allocator.
+    ///
+    /// [`insert`]: PriorityTree::insert
+    spare: Vec<Vec<u32>>,
 }
+
+/// Child-list buffers kept for reuse — enough for every concurrent stream
+/// of a page load.
+const SPARE_CHILD_VECS: usize = 32;
 
 impl PriorityTree {
     /// Tree containing only the root.
     pub fn new() -> Self {
         let mut nodes = FxHashMap::default();
         nodes.insert(ROOT, Node { parent: ROOT, weight: 256, children: Vec::new() });
-        PriorityTree { nodes }
+        PriorityTree { nodes, spare: Vec::new() }
+    }
+
+    /// Restore the state of [`PriorityTree::new`] — only the root — while
+    /// keeping the node map's capacity, the root's child-list buffer, and
+    /// the removed nodes' child-list buffers (parked for reuse).
+    pub fn reset(&mut self) {
+        let spare = &mut self.spare;
+        self.nodes.retain(|&id, n| {
+            if id == ROOT {
+                return true;
+            }
+            if spare.len() < SPARE_CHILD_VECS && n.children.capacity() > 0 {
+                let mut v = std::mem::take(&mut n.children);
+                v.clear();
+                spare.push(v);
+            }
+            false
+        });
+        match self.nodes.get_mut(&ROOT) {
+            Some(root) => {
+                root.parent = ROOT;
+                root.weight = 256;
+                root.children.clear();
+            }
+            None => {
+                self.nodes.insert(ROOT, Node { parent: ROOT, weight: 256, children: Vec::new() });
+            }
+        }
+    }
+
+    /// A child-list buffer: parked capacity when available, fresh otherwise.
+    fn take_spare(&mut self) -> Vec<u32> {
+        self.spare.pop().unwrap_or_default()
+    }
+
+    /// Park a child-list buffer for the next [`insert`](PriorityTree::insert).
+    fn give_spare(&mut self, mut v: Vec<u32>) {
+        if v.capacity() > 0 && self.spare.len() < SPARE_CHILD_VECS {
+            v.clear();
+            self.spare.push(v);
+        }
     }
 
     /// Whether `id` is in the tree.
@@ -93,10 +144,11 @@ impl PriorityTree {
             // All children of the new parent become children of `id`.
             // (`sanitize` guarantees the parent exists; stay panic-free
             // regardless — adversarial inputs reach this path.)
+            let repl = self.take_spare();
             let moved = self
                 .nodes
                 .get_mut(&spec.depends_on)
-                .map(|p| std::mem::take(&mut p.children))
+                .map(|p| std::mem::replace(&mut p.children, repl))
                 .unwrap_or_default();
             for c in &moved {
                 if let Some(n) = self.nodes.get_mut(c) {
@@ -106,10 +158,8 @@ impl PriorityTree {
             self.nodes
                 .insert(id, Node { parent: spec.depends_on, weight: spec.weight, children: moved });
         } else {
-            self.nodes.insert(
-                id,
-                Node { parent: spec.depends_on, weight: spec.weight, children: Vec::new() },
-            );
+            let children = self.take_spare();
+            self.nodes.insert(id, Node { parent: spec.depends_on, weight: spec.weight, children });
         }
         if let Some(p) = self.nodes.get_mut(&spec.depends_on) {
             p.children.push(id);
@@ -137,10 +187,11 @@ impl PriorityTree {
             n.weight = spec.weight;
         }
         if spec.exclusive {
+            let repl = self.take_spare();
             let moved = self
                 .nodes
                 .get_mut(&spec.depends_on)
-                .map(|p| std::mem::take(&mut p.children))
+                .map(|p| std::mem::replace(&mut p.children, repl))
                 .unwrap_or_default();
             for c in &moved {
                 if let Some(n) = self.nodes.get_mut(c) {
@@ -148,8 +199,9 @@ impl PriorityTree {
                 }
             }
             if let Some(n) = self.nodes.get_mut(&id) {
-                n.children.extend(moved);
+                n.children.extend(moved.iter().copied());
             }
+            self.give_spare(moved);
         }
         self.attach(id, spec.depends_on);
     }
@@ -182,6 +234,7 @@ impl PriorityTree {
                 n.parent = parent;
             }
         }
+        self.give_spare(node.children);
     }
 
     /// Depth-first order of all streams, parents before children, siblings

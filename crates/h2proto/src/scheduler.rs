@@ -71,6 +71,13 @@ impl DefaultScheduler {
         Self::default()
     }
 
+    /// Clear all accounting, retaining map capacity for reuse.
+    pub fn reset(&mut self) {
+        self.charged.clear();
+        self.class_charged.clear();
+        self.ready_scratch.clear();
+    }
+
     fn subtree_sendable(
         &self,
         node: u32,
@@ -270,7 +277,7 @@ mod tests {
     use crate::frame::PrioritySpec;
 
     fn snap(id: u32, sendable: usize) -> StreamSnapshot {
-        StreamSnapshot { id, sendable, sent: 0, is_push: id % 2 == 0 }
+        StreamSnapshot { id, sendable, sent: 0, is_push: id.is_multiple_of(2) }
     }
 
     fn spec(dep: u32, weight: u16, excl: bool) -> PrioritySpec {

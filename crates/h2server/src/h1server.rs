@@ -24,6 +24,14 @@ impl H1ReplayServer {
         H1ReplayServer { db, conn: H1ServerConn::new(), served: 0 }
     }
 
+    /// Recycle into a fresh connection server answering from `db`,
+    /// retaining the H1 machine's buffers.
+    pub fn reset(&mut self, db: Arc<RecordDb>) {
+        self.db = db;
+        self.conn.reset();
+        self.served = 0;
+    }
+
     /// Responses served on this connection.
     pub fn served(&self) -> u32 {
         self.served

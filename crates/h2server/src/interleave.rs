@@ -57,6 +57,16 @@ impl InterleavingScheduler {
         self.trace = trace;
     }
 
+    /// Return to the fresh state with a new offset, retaining capacity.
+    pub fn reset(&mut self, offset: usize) {
+        self.inner.reset();
+        self.parent = None;
+        self.offset = offset as u64;
+        self.critical.clear();
+        self.phase = Phase::Head;
+        self.trace = TraceHandle::off();
+    }
+
     /// Register the parent (document) stream.
     pub fn set_parent(&mut self, stream: u32) {
         self.parent = Some(stream);
@@ -144,7 +154,7 @@ mod tests {
     use h2push_h2proto::PrioritySpec;
 
     fn snap(id: u32, sendable: usize, sent: u64) -> StreamSnapshot {
-        StreamSnapshot { id, sendable, sent, is_push: id % 2 == 0 }
+        StreamSnapshot { id, sendable, sent, is_push: id.is_multiple_of(2) }
     }
 
     fn tree_with_push() -> PriorityTree {

@@ -109,7 +109,9 @@ pub struct ReplayServer {
     group: usize,
     conn: Connection,
     sched: Sched,
-    strategy: Strategy,
+    /// The armed strategy; `None` on groups that never push, so firing it
+    /// on the document request is an `Arc` refbump, not a deep clone.
+    strategy: Option<Arc<Strategy>>,
     html_stream: Option<u32>,
     observations: Vec<RequestObservation>,
     pushed_bytes: u64,
@@ -135,13 +137,13 @@ pub struct ReplayServer {
 impl ReplayServer {
     /// Create the server for `group`. The strategy only fires on the group
     /// serving the document (group of origin 0); other groups never push.
-    /// `page` and `db` are shared, pre-built inputs; the strategy is cloned
-    /// only when this group actually executes it.
-    pub fn new(page: Arc<Page>, db: Arc<RecordDb>, group: usize, strategy: &Strategy) -> Self {
+    /// `page` and `db` are shared, pre-built inputs; the strategy is an
+    /// `Arc` refbump, never a deep clone.
+    pub fn new(page: Arc<Page>, db: Arc<RecordDb>, group: usize, strategy: &Arc<Strategy>) -> Self {
         let main_group = page.server_group_of(ResourceId(0));
-        let effective = if group == main_group { strategy.clone() } else { Strategy::NoPush };
-        let sched = match &effective {
-            Strategy::Interleaved { offset, .. } => {
+        let effective = Self::arm(group, main_group, strategy);
+        let sched = match effective.as_deref() {
+            Some(Strategy::Interleaved { offset, .. }) => {
                 Sched::Interleaving(InterleavingScheduler::new(*offset))
             }
             _ => Sched::Default(DefaultScheduler::new()),
@@ -165,6 +167,57 @@ impl ReplayServer {
             trace: TraceHandle::off(),
             trace_conn: 0,
         }
+    }
+
+    /// The strategy armed on `group`: the real one on the document's
+    /// group, nothing elsewhere.
+    fn arm(group: usize, main_group: usize, strategy: &Arc<Strategy>) -> Option<Arc<Strategy>> {
+        if group == main_group {
+            Some(Arc::clone(strategy))
+        } else {
+            None
+        }
+    }
+
+    /// Recycle this instance into a fresh server for (possibly different)
+    /// inputs: equivalent to [`ReplayServer::new`] but reusing every buffer
+    /// the previous life grew — the HTTP/2 connection, the scheduler maps
+    /// and the observation log are cleared, not reallocated.
+    pub fn reset(
+        &mut self,
+        page: Arc<Page>,
+        db: Arc<RecordDb>,
+        group: usize,
+        strategy: &Arc<Strategy>,
+    ) {
+        let main_group = page.server_group_of(ResourceId(0));
+        let effective = Self::arm(group, main_group, strategy);
+        match (effective.as_deref(), &mut self.sched) {
+            (Some(Strategy::Interleaved { offset, .. }), Sched::Interleaving(il)) => {
+                il.reset(*offset)
+            }
+            (Some(Strategy::Interleaved { offset, .. }), sched) => {
+                *sched = Sched::Interleaving(InterleavingScheduler::new(*offset))
+            }
+            (_, Sched::Default(d)) => d.reset(),
+            (_, sched) => *sched = Sched::Default(DefaultScheduler::new()),
+        }
+        self.page = page;
+        self.db = db;
+        self.prepared = None;
+        self.group = group;
+        self.conn.reset_server(Settings::default());
+        self.strategy = effective;
+        self.html_stream = None;
+        self.observations.clear();
+        self.pushed_bytes = 0;
+        self.honor_cache_digest = true;
+        self.client_digest = None;
+        self.digest_suppressed = 0;
+        self.protocol_errors = 0;
+        self.fatal_error = None;
+        self.trace = TraceHandle::off();
+        self.trace_conn = 0;
     }
 
     /// Attach a trace handle, forwarded to the HTTP/2 endpoint and the
@@ -193,6 +246,11 @@ impl ReplayServer {
     /// Share a memoized HPACK block cache with this connection's encoder.
     pub fn set_hpack_block_cache(&mut self, cache: h2push_h2proto::BlockCache) {
         self.conn.set_hpack_block_cache(cache);
+    }
+
+    /// Share a memoized HPACK decode cache with this connection's decoder.
+    pub fn set_hpack_decode_cache(&mut self, cache: h2push_hpack::DecodeCache) {
+        self.conn.set_hpack_decode_cache(cache);
     }
 
     /// Override the endpoint's adversarial-peer resource limits
@@ -278,7 +336,7 @@ impl ReplayServer {
     /// unconditionally (every live connection may receive the document
     /// request, and only the one that does triggers pushes), so the same
     /// instance answers any origin of the page by host+path lookup.
-    pub fn live(page: Arc<Page>, db: Arc<RecordDb>, strategy: &Strategy) -> Self {
+    pub fn live(page: Arc<Page>, db: Arc<RecordDb>, strategy: &Arc<Strategy>) -> Self {
         let main_group = page.server_group_of(ResourceId(0));
         Self::new(page, db, main_group, strategy)
     }
@@ -324,25 +382,29 @@ impl ReplayServer {
                 il.set_parent(stream);
             }
             // Fire the strategy: promises go out before the document's
-            // response so the client cannot race requests for them.
-            match self.strategy.clone() {
-                Strategy::NoPush => {}
-                Strategy::PushList { order } => {
-                    for rid in order {
-                        self.start_push(stream, rid, false);
+            // response so the client cannot race requests for them. The
+            // `Arc` clone is a refbump that releases the borrow on `self`.
+            if let Some(strategy) = self.strategy.clone() {
+                match &*strategy {
+                    Strategy::NoPush => {}
+                    Strategy::PushList { order } => {
+                        for &rid in order {
+                            self.start_push(stream, rid, false);
+                        }
                     }
-                }
-                Strategy::Interleaved { critical, after, .. } => {
-                    // All promises go out up front (h2o promises before the
-                    // referencing bytes); only the critical list takes part
-                    // in the hard switch. The `after` pushes stay ordinary
-                    // children of the document stream, so the stock tree
-                    // scheduling delivers them once the document finished.
-                    for rid in critical {
-                        self.start_push(stream, rid, true);
-                    }
-                    for rid in after {
-                        self.start_push(stream, rid, false);
+                    Strategy::Interleaved { critical, after, .. } => {
+                        // All promises go out up front (h2o promises before
+                        // the referencing bytes); only the critical list
+                        // takes part in the hard switch. The `after` pushes
+                        // stay ordinary children of the document stream, so
+                        // the stock tree scheduling delivers them once the
+                        // document finished.
+                        for &rid in critical {
+                            self.start_push(stream, rid, true);
+                        }
+                        for &rid in after {
+                            self.start_push(stream, rid, false);
+                        }
                     }
                 }
             }
@@ -462,7 +524,7 @@ mod tests {
     }
 
     fn server_for(p: &Arc<Page>, group: usize, strategy: Strategy) -> ReplayServer {
-        ReplayServer::new(Arc::clone(p), Arc::new(RecordDb::record(p)), group, &strategy)
+        ReplayServer::new(Arc::clone(p), Arc::new(RecordDb::record(p)), group, &Arc::new(strategy))
     }
 
     /// Drive a raw h2proto client against the server; returns collected
@@ -631,7 +693,7 @@ mod tests {
         let push_bytes: usize = events
             .iter()
             .filter_map(|e| match e {
-                h2push_h2proto::Event::Data { stream, len, .. } if stream % 2 == 0 => Some(*len),
+                h2push_h2proto::Event::Data { stream, len, .. } if stream.is_multiple_of(2) => Some(*len),
                 _ => None,
             })
             .sum();

@@ -7,6 +7,7 @@ use crate::huffman;
 use crate::integer;
 use crate::table::{Header, IndexTable, Match};
 use crate::Error;
+use bytes::Bytes;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -28,10 +29,30 @@ pub(crate) fn fnv1a_usize(hash: &mut u64, v: usize) {
 
 /// One memoized header block: the encoded bytes plus the dynamic-table
 /// insertions the live encoding performed, replayed verbatim on a cache hit
-/// so the encoder state after a hit is identical to a live encode.
+/// so the encoder state after a hit is identical to a live encode. The
+/// block is a [`Bytes`] so a hit hands out a reference-counted view — no
+/// per-hit copy.
 #[derive(Debug, Clone)]
 struct CachedBlock {
-    block: Vec<u8>,
+    block: Bytes,
+    inserts: Vec<Header>,
+}
+
+/// One memoized decode: the decoded header list (shared via `Arc` so a hit
+/// allocates nothing) plus the table effects the live decode performed —
+/// dynamic-table size updates followed by insertions, replayed in that
+/// order on a hit (§4.2 guarantees updates precede fields).
+#[derive(Debug, Clone)]
+struct CachedDecode {
+    headers: Arc<[Header]>,
+    size_updates: Vec<usize>,
+    inserts: Vec<Header>,
+}
+
+/// Table effects recorded during a live decode for later replay.
+#[derive(Debug, Default)]
+struct DecodeRecord {
+    size_updates: Vec<usize>,
     inserts: Vec<Header>,
 }
 
@@ -56,7 +77,18 @@ struct CachedBlock {
 /// [`FxHashMap`] lookup both one multiply away.
 #[derive(Debug, Clone, Default)]
 pub struct BlockCache {
-    inner: Arc<BlockCacheInner>,
+    inner: Arc<Sharded<CachedBlock>>,
+}
+
+/// A shared memo of *decoded* header blocks, keyed by (decoder-state
+/// fingerprint, block-bytes hash) — the receive-side twin of
+/// [`BlockCache`], with the same transparency contract: a hit is only
+/// possible when a previous live decode ran from a byte-identical decoder
+/// state on byte-identical input, and the hit replays the live decode's
+/// table effects verbatim. Cache contents affect speed, never bytes.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeCache {
+    inner: Arc<Sharded<CachedDecode>>,
 }
 
 /// Shard count (power of two). Sized for worker counts up to the teens:
@@ -64,19 +96,18 @@ pub struct BlockCache {
 /// probability 1/16 per encode.
 const SHARDS: usize = 16;
 
-type ShardMap = FxHashMap<(u64, u64), CachedBlock>;
-
+/// The sharded, independently-locked map both caches are built on.
 #[derive(Debug)]
-struct BlockCacheInner {
-    shards: [Mutex<ShardMap>; SHARDS],
+struct Sharded<V> {
+    shards: [Mutex<FxHashMap<(u64, u64), V>>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-impl Default for BlockCacheInner {
+impl<V> Default for Sharded<V> {
     fn default() -> Self {
-        BlockCacheInner {
-            shards: std::array::from_fn(|_| Mutex::new(ShardMap::default())),
+        Sharded {
+            shards: std::array::from_fn(|_| Mutex::new(FxHashMap::default())),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -87,8 +118,28 @@ impl Default for BlockCacheInner {
 /// that a sweep cell caught with `catch_unwind` must not disable the
 /// shared cache for every other cell (a shard is never left mid-mutation
 /// — each guard scope performs one complete get or insert).
-fn lock_shard(m: &Mutex<ShardMap>) -> std::sync::MutexGuard<'_, ShardMap> {
+fn lock_shard<V>(
+    m: &Mutex<FxHashMap<(u64, u64), V>>,
+) -> std::sync::MutexGuard<'_, FxHashMap<(u64, u64), V>> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl<V> Sharded<V> {
+    /// The shard holding `key`. Both key halves are FNV-mixed already;
+    /// fold them so the shard index uses different bits than the in-shard
+    /// bucket index.
+    fn shard(&self, key: (u64, u64)) -> &Mutex<FxHashMap<(u64, u64), V>> {
+        let h = key.0 ^ key.1.rotate_left(32);
+        &self.shards[((h >> 57) as usize) & (SHARDS - 1)]
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock_shard(s).len()).sum()
+    }
+
+    fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
 }
 
 impl BlockCache {
@@ -97,17 +148,9 @@ impl BlockCache {
         Self::default()
     }
 
-    /// The shard holding `key`. Both key halves are FNV-mixed already;
-    /// fold them so the shard index uses different bits than the in-shard
-    /// bucket index.
-    fn shard(&self, key: (u64, u64)) -> &Mutex<ShardMap> {
-        let h = key.0 ^ key.1.rotate_left(32);
-        &self.inner.shards[((h >> 57) as usize) & (SHARDS - 1)]
-    }
-
     /// Number of distinct (state, header-list) blocks memoized.
     pub fn len(&self) -> usize {
-        self.inner.shards.iter().map(|s| lock_shard(s).len()).sum()
+        self.inner.len()
     }
 
     /// True when nothing has been memoized yet.
@@ -117,7 +160,7 @@ impl BlockCache {
 
     /// (hits, misses) since creation — diagnostics for benches/tests.
     pub fn stats(&self) -> (u64, u64) {
-        (self.inner.hits.load(Ordering::Relaxed), self.inner.misses.load(Ordering::Relaxed))
+        self.inner.stats()
     }
 
     /// Deterministic hash of a header list (order-sensitive).
@@ -130,6 +173,36 @@ impl BlockCache {
             fnv1a_usize(&mut h, hd.value.len());
             fnv1a(&mut h, &hd.value);
         }
+        h
+    }
+}
+
+impl DecodeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct (state, block-bytes) decodes memoized.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (hits, misses) since creation — diagnostics for benches/tests.
+    pub fn stats(&self) -> (u64, u64) {
+        self.inner.stats()
+    }
+
+    /// Deterministic hash of the wire bytes of one block.
+    fn block_hash(block: &[u8]) -> u64 {
+        let mut h = FNV_OFFSET;
+        fnv1a_usize(&mut h, block.len());
+        fnv1a(&mut h, block);
         h
     }
 }
@@ -237,16 +310,23 @@ impl Encoder {
     /// the memo (replaying its recorded table insertions); otherwise the
     /// block is encoded live and memoized.
     pub fn encode(&mut self, headers: &[Header]) -> Vec<u8> {
+        self.encode_bytes(headers).to_vec()
+    }
+
+    /// [`Encoder::encode`] returning a reference-counted [`Bytes`] view:
+    /// a cache hit hands out the memoized buffer without copying it, so
+    /// steady-state encoding of a previously-seen block allocates nothing.
+    pub fn encode_bytes(&mut self, headers: &[Header]) -> Bytes {
         let Some(cache) = self.cache.clone() else {
-            return self.encode_live(headers, None);
+            return Bytes::from(self.encode_live(headers, None));
         };
         let key = (self.fingerprint(), BlockCache::headers_hash(headers));
         {
-            let map = lock_shard(cache.shard(key));
+            let map = lock_shard(cache.inner.shard(key));
             if let Some(entry) = map.get(&key) {
                 let block = entry.block.clone();
                 for h in &entry.inserts {
-                    self.table.insert(h.clone());
+                    self.table.insert_from(&h.name, &h.value);
                 }
                 // The cached block already carries the size-update prefix
                 // the live encode emitted from this same state.
@@ -257,9 +337,20 @@ impl Encoder {
         }
         cache.inner.misses.fetch_add(1, Ordering::Relaxed);
         let mut inserts = Vec::new();
-        let block = self.encode_live(headers, Some(&mut inserts));
-        lock_shard(cache.shard(key)).insert(key, CachedBlock { block: block.clone(), inserts });
+        let block = Bytes::from(self.encode_live(headers, Some(&mut inserts)));
+        lock_shard(cache.inner.shard(key))
+            .insert(key, CachedBlock { block: block.clone(), inserts });
         block
+    }
+
+    /// Restore the state of [`Encoder::new`] — empty default-sized table,
+    /// no pending size updates, no cache attached — while keeping the
+    /// table's container allocations for reuse.
+    pub fn reset(&mut self) {
+        self.table.reset(4096);
+        self.policy = HuffmanPolicy::Auto;
+        self.pending_size_updates.clear();
+        self.cache = None;
     }
 
     fn encode_live(&mut self, headers: &[Header], mut record: Option<&mut Vec<Header>>) -> Vec<u8> {
@@ -339,12 +430,14 @@ pub struct Decoder {
     /// Guard against header bombs: maximum decoded size of one block
     /// (sum of name+value+32 per field, like SETTINGS_MAX_HEADER_LIST_SIZE).
     max_header_list_size: usize,
+    /// Optional shared decode memo; `None` means every block decodes live.
+    cache: Option<DecodeCache>,
 }
 
 impl Decoder {
     /// Decoder with the default 4096-octet table.
     pub fn new() -> Self {
-        Decoder { table: IndexTable::new(), max_header_list_size: 1 << 20 }
+        Decoder { table: IndexTable::new(), max_header_list_size: 1 << 20, cache: None }
     }
 
     /// Raise or lower the protocol ceiling on the peer's table size.
@@ -358,13 +451,86 @@ impl Decoder {
         self.max_header_list_size = limit;
     }
 
+    /// Attach a shared [`DecodeCache`]; subsequent
+    /// [`Decoder::decode_shared`] calls memoize through it.
+    pub fn set_decode_cache(&mut self, cache: DecodeCache) {
+        self.cache = Some(cache);
+    }
+
+    /// Restore the state of [`Decoder::new`] while keeping the table's
+    /// container allocations for reuse.
+    pub fn reset(&mut self) {
+        self.table.reset(4096);
+        self.max_header_list_size = 1 << 20;
+        self.cache = None;
+    }
+
+    /// Deterministic fingerprint of everything that can influence what this
+    /// decoder produces next: dynamic-table contents and limits plus the
+    /// header-list size bound.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        fnv1a_usize(&mut h, self.max_header_list_size);
+        self.table.fold_state(&mut h);
+        h
+    }
+
     /// Dynamic table (for tests / diagnostics).
     pub fn table(&self) -> &IndexTable {
         &self.table
     }
 
+    /// Decode one complete header block into a shared list. With a
+    /// [`DecodeCache`] attached, a block already decoded from a
+    /// byte-identical decoder state is returned from the memo (replaying
+    /// its recorded size updates and table insertions); otherwise the block
+    /// decodes live and is memoized. Only successful decodes are cached, so
+    /// error behavior is exactly [`Decoder::decode`]'s.
+    pub fn decode_shared(&mut self, buf: &[u8]) -> Result<Arc<[Header]>, Error> {
+        let Some(cache) = self.cache.clone() else {
+            return self.decode_inner(buf, None).map(Arc::from);
+        };
+        let key = (self.fingerprint(), DecodeCache::block_hash(buf));
+        {
+            let map = lock_shard(cache.inner.shard(key));
+            if let Some(entry) = map.get(&key) {
+                let headers = entry.headers.clone();
+                // Replay the live decode's table effects in live order:
+                // §4.2 puts every size update before the first field.
+                for &s in &entry.size_updates {
+                    self.table.set_max_size(s)?;
+                }
+                for h in &entry.inserts {
+                    self.table.insert_from(&h.name, &h.value);
+                }
+                cache.inner.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(headers);
+            }
+        }
+        cache.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let mut rec = DecodeRecord::default();
+        let headers: Arc<[Header]> = self.decode_inner(buf, Some(&mut rec))?.into();
+        lock_shard(cache.inner.shard(key)).insert(
+            key,
+            CachedDecode {
+                headers: headers.clone(),
+                size_updates: rec.size_updates,
+                inserts: rec.inserts,
+            },
+        );
+        Ok(headers)
+    }
+
     /// Decode one complete header block.
     pub fn decode(&mut self, buf: &[u8]) -> Result<Vec<Header>, Error> {
+        self.decode_inner(buf, None)
+    }
+
+    fn decode_inner(
+        &mut self,
+        buf: &[u8],
+        mut record: Option<&mut DecodeRecord>,
+    ) -> Result<Vec<Header>, Error> {
         let mut headers = Vec::new();
         let mut listed = 0usize;
         let mut seen_field = false;
@@ -384,6 +550,9 @@ impl Decoder {
                 let h = self.read_literal(buf, &mut pos, idx as usize)?;
                 listed += h.table_size();
                 self.table.insert(h.clone());
+                if let Some(rec) = record.as_deref_mut() {
+                    rec.inserts.push(h.clone());
+                }
                 headers.push(h);
                 seen_field = true;
             } else if b & 0xe0 == 0x20 {
@@ -393,6 +562,9 @@ impl Decoder {
                 }
                 let size = integer::decode(buf, &mut pos, 5)?;
                 self.table.set_max_size(size as usize)?;
+                if let Some(rec) = record.as_deref_mut() {
+                    rec.size_updates.push(size as usize);
+                }
             } else {
                 // Literal without indexing (0000) or never indexed (0001):
                 // both decode identically and do not touch the table.
@@ -732,6 +904,84 @@ mod tests {
         assert!(a[0] & 0xe0 == 0x20, "block starts with a size update");
         let (hits, _) = cache.stats();
         assert_eq!(hits, 1);
+    }
+
+    /// Drive two decoders through the same block sequence, one memoized and
+    /// one live, asserting identical decoded lists and identical end state.
+    fn assert_decode_cache_transparent(blocks: &[Vec<Header>]) {
+        let cache = DecodeCache::new();
+        // Two passes so the second pass hits the memo populated by the first.
+        for _ in 0..2 {
+            let mut enc_a = Encoder::new();
+            let mut enc_b = Encoder::new();
+            let mut live = Decoder::new();
+            let mut memo = Decoder::new();
+            memo.set_decode_cache(cache.clone());
+            for hs in blocks {
+                let wire = enc_a.encode(hs);
+                assert_eq!(wire, enc_b.encode(hs));
+                let a = live.decode(&wire).unwrap();
+                let b = memo.decode_shared(&wire).unwrap();
+                assert_eq!(a.as_slice(), &b[..], "cached decode differs from live decode");
+                assert_eq!(live.fingerprint(), memo.fingerprint());
+            }
+        }
+        assert!(cache.stats().0 > 0, "second pass must hit the memo");
+    }
+
+    #[test]
+    fn decode_cache_is_bytes_transparent() {
+        let blocks = vec![
+            vec![h(":method", "GET"), h(":path", "/"), h(":authority", "a.test")],
+            vec![h(":method", "GET"), h(":path", "/app.css"), h(":authority", "a.test")],
+            vec![h(":status", "200"), h("content-type", "text/css"), h("content-length", "1234")],
+            vec![h(":method", "GET"), h(":path", "/app.css"), h(":authority", "a.test")],
+        ];
+        assert_decode_cache_transparent(&blocks);
+    }
+
+    #[test]
+    fn decode_cache_covers_size_updates() {
+        // A block with a size-update prefix replays the update on a hit.
+        let mut enc = Encoder::new();
+        enc.set_table_size(256);
+        let wire = enc.encode(&[h(":status", "302"), h("cache-control", "private")]);
+        assert!(wire[0] & 0xe0 == 0x20, "block starts with a size update");
+        let cache = DecodeCache::new();
+        let states: Vec<(usize, usize)> = (0..2)
+            .map(|_| {
+                let mut d = Decoder::new();
+                d.set_decode_cache(cache.clone());
+                d.decode_shared(&wire).unwrap();
+                (d.table().len(), d.table().max_size())
+            })
+            .collect();
+        assert_eq!(states[0], states[1]);
+        assert_eq!(states[0].1, 256);
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn codec_reset_restores_fresh_state() {
+        let blocks = vec![
+            vec![h(":method", "GET"), h(":path", "/x"), h(":authority", "r.test")],
+            vec![h("x-custom", "one"), h("x-custom", "two")],
+        ];
+        let mut enc = Encoder::new();
+        let mut dec = Decoder::new();
+        let first: Vec<Vec<u8>> = blocks.iter().map(|b| enc.encode(b)).collect();
+        for w in &first {
+            dec.decode(w).unwrap();
+        }
+        enc.reset();
+        dec.reset();
+        assert_eq!(enc.fingerprint(), Encoder::new().fingerprint());
+        assert_eq!(dec.fingerprint(), Decoder::new().fingerprint());
+        let second: Vec<Vec<u8>> = blocks.iter().map(|b| enc.encode(b)).collect();
+        assert_eq!(first, second, "reset encoder must re-produce identical bytes");
+        for (w, b) in second.iter().zip(&blocks) {
+            assert_eq!(dec.decode(w).unwrap(), *b);
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@ pub mod huffman;
 pub mod integer;
 pub mod table;
 
-pub use codec::{BlockCache, Decoder, Encoder, HuffmanPolicy};
+pub use codec::{BlockCache, DecodeCache, Decoder, Encoder, HuffmanPolicy};
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use table::{Header, IndexTable, Match, STATIC_TABLE};
 

@@ -111,7 +111,14 @@ pub struct IndexTable {
     /// The protocol ceiling for `max_size` (SETTINGS_HEADER_TABLE_SIZE on
     /// the decoder side).
     capacity_limit: usize,
+    /// Retired entries whose name/value buffers are reused by
+    /// [`IndexTable::insert_from`]. Invisible to every observable table
+    /// operation (lookups, folds, eviction accounting).
+    free: Vec<Header>,
 }
+
+/// Retired entries kept for reuse; beyond this they are simply dropped.
+const FREE_LIST_CAP: usize = 64;
 
 impl IndexTable {
     /// Create a table with the HTTP/2 default size of 4096 octets.
@@ -121,7 +128,31 @@ impl IndexTable {
 
     /// Create a table whose size and ceiling are both `limit`.
     pub fn with_limit(limit: usize) -> Self {
-        IndexTable { entries: VecDeque::new(), size: 0, max_size: limit, capacity_limit: limit }
+        IndexTable {
+            entries: VecDeque::new(),
+            size: 0,
+            max_size: limit,
+            capacity_limit: limit,
+            free: Vec::new(),
+        }
+    }
+
+    /// Restore the state of [`IndexTable::with_limit`]`(limit)` while
+    /// keeping every container allocation (entry ring, freelist, retired
+    /// name/value buffers) for the next use.
+    pub fn reset(&mut self, limit: usize) {
+        while let Some(h) = self.entries.pop_back() {
+            self.park(h);
+        }
+        self.size = 0;
+        self.max_size = limit;
+        self.capacity_limit = limit;
+    }
+
+    fn park(&mut self, h: Header) {
+        if self.free.len() < FREE_LIST_CAP {
+            self.free.push(h);
+        }
     }
 
     /// Current dynamic table size in octets (§4.1 accounting).
@@ -173,10 +204,29 @@ impl IndexTable {
         self.evict();
     }
 
+    /// [`IndexTable::insert`] from borrowed name/value bytes, reusing a
+    /// retired entry's buffers when one is available. Identical observable
+    /// behavior; zero allocations in steady state.
+    pub fn insert_from(&mut self, name: &[u8], value: &[u8]) {
+        match self.free.pop() {
+            Some(mut h) => {
+                h.name.clear();
+                h.name.extend_from_slice(name);
+                h.value.clear();
+                h.value.extend_from_slice(value);
+                self.insert(h);
+            }
+            None => self.insert(Header { name: name.to_vec(), value: value.to_vec() }),
+        }
+    }
+
     fn evict(&mut self) {
         while self.size > self.max_size {
             match self.entries.pop_back() {
-                Some(h) => self.size -= h.table_size(),
+                Some(h) => {
+                    self.size -= h.table_size();
+                    self.park(h);
+                }
                 None => {
                     // Inserting an oversized entry leaves an empty table.
                     self.size = 0;

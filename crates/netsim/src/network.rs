@@ -365,7 +365,11 @@ impl Drop for Network {
             return;
         }
         q.clear();
-        QUEUE_POOL.with(|p| {
+        // `try_with`: a Network can be dropped from another thread-local's
+        // destructor (the testbed parks a whole replay context per thread),
+        // at which point QUEUE_POOL may already be torn down — then the
+        // queue storage is simply freed instead of parked.
+        let _ = QUEUE_POOL.try_with(|p| {
             let mut pool = p.borrow_mut();
             // A small cap bounds memory held by idle worker threads.
             if pool.len() < 8 {
@@ -398,6 +402,29 @@ impl Network {
             trace: TraceHandle::off(),
             events_processed: 0,
         }
+    }
+
+    /// Recycle this network into a fresh one for `spec`: equivalent to
+    /// [`Network::new`] but retaining the event heap, the server table and
+    /// the connection table capacity. Every piece of observable state —
+    /// clock, RNG streams, fault processes, links, counters — is re-derived
+    /// exactly as `new` derives it, so a recycled network replays
+    /// byte-identically to a freshly constructed one.
+    pub fn reset(&mut self, spec: NetworkSpec) {
+        self.client_up = Link::new(spec.client_up);
+        self.client_down = Link::new(spec.client_down);
+        self.rng = XorShift::new(spec.seed ^ 0xC0FFEE);
+        self.fault_states =
+            [FaultState::new(spec.seed ^ 0xFA017A01), FaultState::new(spec.seed ^ 0xFA017A02)];
+        self.spec = spec;
+        self.now = SimTime::ZERO;
+        self.events.clear();
+        self.servers.clear();
+        self.conns.clear();
+        self.delivered_total = 0;
+        self.stats = NetStats::default();
+        self.trace = TraceHandle::off();
+        self.events_processed = 0;
     }
 
     /// Attach a trace handle. Observational only: emitting events draws no
@@ -1003,7 +1030,11 @@ mod fault_tests {
 
     /// Run a 300 KB download to completion; returns (delivery trace, stats).
     fn download(spec: NetworkSpec) -> (Vec<(u64, usize)>, NetStats) {
-        let mut net = Network::new(spec);
+        let net = Network::new(spec);
+        download_in(net)
+    }
+
+    fn download_in(mut net: Network) -> (Vec<(u64, usize)>, NetStats) {
         let s = net.add_server(ServerSpec::default());
         let c = net.connect(s);
         let _ = net.step();
@@ -1055,6 +1086,27 @@ mod fault_tests {
         let (b, sb) = download(spec);
         assert_eq!(a, b, "same seed must replay identically");
         assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn recycled_network_is_byte_identical_to_fresh() {
+        // A network that already lived a whole (different) run, then reset
+        // into a faulty spec, must replay exactly like a cold construction.
+        let mut spec = NetworkSpec::dsl_testbed();
+        spec.seed = 9;
+        spec.fault = FaultSpec::gilbert_elliott(0.02);
+        spec.fault.extra_jitter = SimDuration::from_micros(500);
+        let (fresh, fresh_stats) = download(spec.clone());
+        let mut net = Network::new(NetworkSpec::cable());
+        let s = net.add_server(ServerSpec::default());
+        let c = net.connect(s);
+        let _ = net.step();
+        net.send(c, Dir::Down, 50_000);
+        while net.step().is_some() {}
+        net.reset(spec);
+        let (recycled, recycled_stats) = download_in(net);
+        assert_eq!(fresh, recycled, "recycled network diverged from fresh");
+        assert_eq!(fresh_stats, recycled_stats);
     }
 
     #[test]

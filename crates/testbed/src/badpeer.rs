@@ -399,19 +399,66 @@ impl AttackOutcome {
 /// below this; hitting it means the victim livelocked.
 const ROUND_BUDGET: u32 = 10_000;
 
+/// A recyclable set of attack victims: the attack page, its record DB, a
+/// full [`ReplayServer`], the benign splice-in client and a client-victim
+/// [`Connection`]. The badpeer twin of the replay engine's
+/// [`crate::ReplayCtx`] — every machine resets in place between runs
+/// (clear-don't-drop), so a recycled attack run allocates almost nothing
+/// and is bit-identical to a cold one (asserted in this module's tests).
+pub struct AttackCtx {
+    page: Arc<Page>,
+    db: Arc<RecordDb>,
+    strategy: Arc<Strategy>,
+    srv: Box<ReplayServer>,
+    splice: Connection,
+    splice_sched: DefaultScheduler,
+    cli: Connection,
+    cli_sched: DefaultScheduler,
+}
+
+impl Default for AttackCtx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AttackCtx {
+    /// Fresh victims; the first run through them behaves exactly like the
+    /// standalone entry points.
+    pub fn new() -> Self {
+        let page = Arc::new(attack_page());
+        let db = Arc::new(RecordDb::record(&page));
+        let strategy = Arc::new(Strategy::PushList { order: vec![ResourceId(1)] });
+        let srv = Box::new(ReplayServer::new(Arc::clone(&page), Arc::clone(&db), 0, &strategy));
+        AttackCtx {
+            page,
+            db,
+            strategy,
+            srv,
+            splice: Connection::client(Settings::default()),
+            splice_sched: DefaultScheduler::new(),
+            cli: Connection::client(Settings::default()),
+            cli_sched: DefaultScheduler::new(),
+        }
+    }
+}
+
 /// Run a script against a full [`ReplayServer`] victim (the replay
 /// datapath: HPACK, scheduler, record DB, response generation). A benign
 /// request is exchanged first; the attack is spliced into the same byte
 /// stream.
 pub fn attack_server(script: &AttackScript, limits: ConnLimits) -> AttackOutcome {
-    let page = Arc::new(attack_page());
-    let db = Arc::new(RecordDb::record(&page));
-    let mut srv = ReplayServer::new(
-        Arc::clone(&page),
-        db,
-        0,
-        &Strategy::PushList { order: vec![ResourceId(1)] },
-    );
+    attack_server_in(script, limits, &mut AttackCtx::new())
+}
+
+/// [`attack_server`] against `ctx`'s recycled victim server.
+pub fn attack_server_in(
+    script: &AttackScript,
+    limits: ConnLimits,
+    ctx: &mut AttackCtx,
+) -> AttackOutcome {
+    ctx.srv.reset(Arc::clone(&ctx.page), Arc::clone(&ctx.db), 0, &ctx.strategy);
+    let srv = &mut ctx.srv;
     srv.set_limits(limits);
 
     let mut fp = Fnv::new();
@@ -420,30 +467,31 @@ pub fn attack_server(script: &AttackScript, limits: ConnLimits) -> AttackOutcome
 
     // Benign splice-in: a real client issues a real request, so the
     // victim's HPACK and stream state are mid-flight when the attack hits.
-    let mut cli = Connection::client(Settings::default());
-    let mut cli_sched = DefaultScheduler::new();
+    ctx.splice.reset_client(Settings::default());
+    ctx.splice_sched.reset();
+    let cli = &mut ctx.splice;
     cli.request(&benign_request(), Some(PrioritySpec::default()));
     loop {
-        let out = cli.produce(usize::MAX, &mut cli_sched);
+        let out = cli.produce(usize::MAX, &mut ctx.splice_sched);
         if out.is_empty() {
             break;
         }
         fp.update(b"c>", &out);
         srv.on_bytes(&out, now);
     }
-    drain_server(&mut srv, &mut fp, &mut rounds, &mut now);
+    drain_server(srv, &mut fp, &mut rounds, &mut now);
 
     // The splice: attacker bytes on the same connection.
     for chunk in script.compile() {
         fp.update(b"a>", &chunk);
         now += h2push_netsim::SimDuration::from_micros(100);
         srv.on_bytes(&chunk, now);
-        drain_server(&mut srv, &mut fp, &mut rounds, &mut now);
+        drain_server(srv, &mut fp, &mut rounds, &mut now);
         if rounds >= ROUND_BUDGET {
             break;
         }
     }
-    drain_server(&mut srv, &mut fp, &mut rounds, &mut now);
+    drain_server(srv, &mut fp, &mut rounds, &mut now);
 
     let fatal = srv.fatal_error();
     AttackOutcome {
@@ -462,9 +510,20 @@ pub fn attack_server(script: &AttackScript, limits: ConnLimits) -> AttackOutcome
 /// Run a script against a client [`Connection`] victim, after it has
 /// issued its first (benign) request.
 pub fn attack_client(script: &AttackScript, limits: ConnLimits) -> AttackOutcome {
-    let mut cli = Connection::client(Settings::default());
+    attack_client_in(script, limits, &mut AttackCtx::new())
+}
+
+/// [`attack_client`] against `ctx`'s recycled victim connection.
+pub fn attack_client_in(
+    script: &AttackScript,
+    limits: ConnLimits,
+    ctx: &mut AttackCtx,
+) -> AttackOutcome {
+    ctx.cli.reset_client(Settings::default());
+    ctx.cli_sched.reset();
+    let cli = &mut ctx.cli;
     cli.set_limits(limits);
-    let mut sched = DefaultScheduler::new();
+    let sched = &mut ctx.cli_sched;
     let mut fp = Fnv::new();
     let mut rounds = 0u32;
     let mut stream_errors = 0u32;
@@ -495,12 +554,12 @@ pub fn attack_client(script: &AttackScript, limits: ConnLimits) -> AttackOutcome
             fp.update(b"v>", &out);
         }
     };
-    drain(&mut cli, &mut sched, &mut fp, &mut rounds, &mut stream_errors, &mut fatal);
+    drain(cli, sched, &mut fp, &mut rounds, &mut stream_errors, &mut fatal);
 
     for chunk in script.compile() {
         fp.update(b"a>", &chunk);
         cli.receive(&chunk);
-        drain(&mut cli, &mut sched, &mut fp, &mut rounds, &mut stream_errors, &mut fatal);
+        drain(cli, sched, &mut fp, &mut rounds, &mut stream_errors, &mut fatal);
         if rounds >= ROUND_BUDGET {
             break;
         }
@@ -527,6 +586,18 @@ pub fn run_attack(script: &AttackScript, limits: ConnLimits) -> AttackOutcome {
     }
 }
 
+/// [`run_attack`] against `ctx`'s recycled victims.
+pub fn run_attack_in(
+    script: &AttackScript,
+    limits: ConnLimits,
+    ctx: &mut AttackCtx,
+) -> AttackOutcome {
+    match script.kind.victim() {
+        Victim::Server => attack_server_in(script, limits, ctx),
+        Victim::Client => attack_client_in(script, limits, ctx),
+    }
+}
+
 /// The standard CI suite: every catalogue kind at its default intensity,
 /// seeds derived from `seed`.
 pub fn suite(seed: u64) -> Vec<AttackScript> {
@@ -540,6 +611,13 @@ pub fn suite(seed: u64) -> Vec<AttackScript> {
 /// Run the whole suite under `limits`; one outcome per kind.
 pub fn run_suite(seed: u64, limits: ConnLimits) -> Vec<AttackOutcome> {
     suite(seed).iter().map(|s| run_attack(s, limits)).collect()
+}
+
+/// [`run_suite`] through one recycled [`AttackCtx`]: every attack reuses
+/// the same victim machines, reset between scripts. Outcomes are
+/// bit-identical to the cold suite.
+pub fn run_suite_in(seed: u64, limits: ConnLimits, ctx: &mut AttackCtx) -> Vec<AttackOutcome> {
+    suite(seed).iter().map(|s| run_attack_in(s, limits, ctx)).collect()
 }
 
 fn drain_server(srv: &mut ReplayServer, fp: &mut Fnv, rounds: &mut u32, now: &mut SimTime) {
@@ -645,6 +723,26 @@ mod tests {
         for (a, b) in first.iter().zip(&second) {
             assert!(a.completed, "{} livelocked", a.kind.label());
             assert_eq!(a, b, "{} not reproducible", a.kind.label());
+        }
+    }
+
+    #[test]
+    fn recycled_victims_reproduce_every_fingerprint_and_typed_error() {
+        // All 11 catalogue attacks, twice, through ONE recycled context:
+        // the second pass must reach the same typed errors and FNV
+        // fingerprints as the first, and both must equal the cold suite
+        // (fresh victims per attack).
+        let limits = ConnLimits::strict();
+        let cold = run_suite(42, limits);
+        let mut ctx = AttackCtx::new();
+        let first = run_suite_in(42, limits, &mut ctx);
+        let second = run_suite_in(42, limits, &mut ctx);
+        assert_eq!(first.len(), AttackKind::ALL.len());
+        for ((a, b), c) in first.iter().zip(&second).zip(&cold) {
+            assert_eq!(a, b, "{} differs on the recycled second pass", a.kind.label());
+            assert_eq!(a, c, "{} recycled differs from cold", a.kind.label());
+            assert_eq!(a.fatal, c.fatal, "{} typed error drifted", a.kind.label());
+            assert_eq!(a.fingerprint, c.fingerprint);
         }
     }
 

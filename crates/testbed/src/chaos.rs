@@ -204,7 +204,7 @@ mod tests {
     use h2push_webmodel::{PageBuilder, ResourceId, ResourceSpec};
 
     fn with_profile(
-        strategy: &Strategy,
+        strategy: &std::sync::Arc<Strategy>,
         mode: Mode,
         seed: u64,
         page: &Page,
@@ -226,15 +226,15 @@ mod tests {
         b.build()
     }
 
-    fn strategies() -> Vec<Strategy> {
+    fn strategies() -> Vec<std::sync::Arc<Strategy>> {
         vec![
-            Strategy::NoPush,
-            Strategy::PushList { order: vec![ResourceId(1), ResourceId(2)] },
-            Strategy::Interleaved {
+            std::sync::Arc::new(Strategy::NoPush),
+            std::sync::Arc::new(Strategy::PushList { order: vec![ResourceId(1), ResourceId(2)] }),
+            std::sync::Arc::new(Strategy::Interleaved {
                 offset: 6_000,
                 critical: vec![ResourceId(1)],
                 after: vec![ResourceId(3)],
-            },
+            }),
         ]
     }
 
@@ -318,7 +318,7 @@ mod tests {
     fn observe_bridges_net_and_load_counters() {
         let inputs = ReplayInputs::from(page());
         let cfg = with_profile(
-            &Strategy::NoPush,
+            &std::sync::Arc::new(Strategy::NoPush),
             Mode::Testbed,
             3,
             &inputs.page,

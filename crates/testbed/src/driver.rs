@@ -16,19 +16,29 @@
 //!   simulator, and
 //! * police the run: deadline, stall detection and the event watchdog.
 //!
+//! The machinery a run needs — browser engine, network, per-connection
+//! servers and byte FIFOs — lives in a [`ReplayCtx`] and is *recycled*
+//! between runs instead of reconstructed: every component resets in place
+//! (clear-don't-drop, keeping its buffers) through the same code path a
+//! cold construction takes, so a recycled run is byte-identical to a
+//! fresh one (asserted across strategies, faults, modes and tracing in
+//! `tests/recycle.rs`). [`drive`] recycles a thread-local context
+//! automatically; [`drive_in`] lets callers own the context's lifetime.
+//!
 //! The live TCP runtime (`crate::live`) is the same adapter shape over
 //! real sockets; the equality suite in `tests/sansio_golden.rs` pins this
 //! loop's outputs bit-for-bit.
 
 use crate::replay::{Protocol, ReplayConfig, ReplayError, ReplayInputs, ReplayOutcome};
 use bytes::{Bytes, BytesMut};
-use h2push_browser::{Browser, BrowserAction};
+use h2push_browser::{Browser, BrowserAction, PreparedScan};
 use h2push_h2proto::sansio::Endpoint;
 use h2push_netsim::{ConnId, Dir, NetEvent, Network, ServerId, ServerSpec, SimTime};
 use h2push_server::{H1ReplayServer, ReplayServer};
 use h2push_strategies::{RunTrace, Strategy};
 use h2push_trace::{conn_label, TraceHandle};
 use h2push_webmodel::ResourceId;
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -45,6 +55,11 @@ impl ByteFifo {
     fn push(&mut self, b: Bytes) {
         self.len += b.len();
         self.chunks.push_back(b);
+    }
+
+    fn clear(&mut self) {
+        self.chunks.clear();
+        self.len = 0;
     }
 
     /// Pop up to `max` bytes as one contiguous buffer. A delivery that
@@ -131,19 +146,146 @@ impl Endpoint for AnyServer {
     }
 }
 
+/// How many parked components a context keeps between runs. Replays open
+/// one connection per (group, slot); real pages stay well under this.
+const SPARE_CAP: usize = 16;
+
+/// The run context: every piece of per-rep machinery a replay needs,
+/// recycled between repetitions instead of reconstructed.
+///
+/// A context owns the browser engine, the simulated network (with its
+/// pooled event queue), the per-connection replay servers and byte FIFOs
+/// of its last run, plus the driver's scratch buffers. Starting a run
+/// resets each component in place — clear-don't-drop, retaining every
+/// container allocation — through the same setup path a cold construction
+/// takes, which is what makes the steady state allocation-free *and*
+/// byte-identical to fresh construction (the recycled-vs-cold equality
+/// suite in `tests/recycle.rs` pins both).
+///
+/// The reset runs at the *beginning* of each run, not the end: a context
+/// whose previous run panicked or errored out mid-flight is healed by the
+/// next `begin_run`, never poisoned.
+#[derive(Default)]
+pub struct ReplayCtx {
+    net: Option<Network>,
+    browser: Option<Browser>,
+    servers: HashMap<(usize, usize), AnyServer>,
+    conn_of_slot: HashMap<(usize, usize), ConnId>,
+    conns: HashMap<ConnId, ConnCtx>,
+    queue: VecDeque<BrowserAction>,
+    /// Parked H2 replay servers from the previous run, reissued (via
+    /// `ReplayServer::reset`) by `open_connection`. The box is the
+    /// point: it is `AnyServer::H2`'s own allocation, parked and
+    /// reissued whole so recycling never re-boxes.
+    #[allow(clippy::vec_box)]
+    spare_h2: Vec<Box<ReplayServer>>,
+    /// Parked H1 replay servers, reissued via `H1ReplayServer::reset`.
+    spare_h1: Vec<H1ReplayServer>,
+    /// Parked per-connection FIFO pairs (chunk deques retained).
+    spare_conns: Vec<ConnCtx>,
+    /// Scratch for the timer-event server pump ordering.
+    pending: Vec<((usize, usize), ConnId)>,
+}
+
+impl ReplayCtx {
+    /// A fresh, empty context. The first run through it constructs its
+    /// machinery cold; every later run recycles.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Park last run's per-connection state and reset the long-lived
+    /// machines for a new `(inputs, cfg, trace)` run.
+    fn begin_run(&mut self, inputs: &ReplayInputs, cfg: &ReplayConfig, trace: &TraceHandle) {
+        for (_, server) in self.servers.drain() {
+            match server {
+                AnyServer::H2(s) => {
+                    if self.spare_h2.len() < SPARE_CAP {
+                        self.spare_h2.push(s);
+                    }
+                }
+                AnyServer::H1(s) => {
+                    if self.spare_h1.len() < SPARE_CAP {
+                        self.spare_h1.push(s);
+                    }
+                }
+            }
+        }
+        for (_, mut c) in self.conns.drain() {
+            if self.spare_conns.len() < SPARE_CAP {
+                c.up.clear();
+                c.down.clear();
+                self.spare_conns.push(c);
+            }
+        }
+        self.conn_of_slot.clear();
+        self.queue.clear();
+        self.pending.clear();
+
+        match &mut self.net {
+            Some(n) => n.reset(cfg.network.clone()),
+            None => self.net = Some(Network::new(cfg.network.clone())),
+        }
+        let net = self.net.as_mut().expect("net initialised");
+        net.set_trace(trace.clone());
+
+        let mut browser_cfg = cfg.browser.clone();
+        browser_cfg.enable_push =
+            cfg.protocol == Protocol::H2 && !matches!(*cfg.strategy, Strategy::NoPush);
+        browser_cfg.warm_cache = cfg.warm_cache.clone();
+        browser_cfg.transport = match cfg.protocol {
+            Protocol::H2 => h2push_browser::TransportMode::H2,
+            Protocol::H1 => h2push_browser::TransportMode::H1,
+        };
+        browser_cfg.limits = cfg.limits;
+        // `Browser::new` is exactly `with_scan` over a freshly built scan,
+        // so cold and recycled paths share one construction route.
+        let scan = match &inputs.prepared {
+            Some(p) => Arc::clone(&p.scan),
+            None => Arc::new(PreparedScan::build(&inputs.page)),
+        };
+        match &mut self.browser {
+            Some(b) => b.reset(Arc::clone(&inputs.page), browser_cfg, scan),
+            None => {
+                self.browser = Some(Browser::with_scan(Arc::clone(&inputs.page), browser_cfg, scan))
+            }
+        }
+        let browser = self.browser.as_mut().expect("browser initialised");
+        if let Some(p) = &inputs.prepared {
+            browser.set_hpack_block_cache(p.hpack.clone());
+            browser.set_hpack_decode_cache(p.hpack_decode.clone());
+        }
+        browser.set_trace(trace.clone());
+    }
+}
+
+thread_local! {
+    /// The context [`drive`] recycles: one per thread, living as long as
+    /// the thread. Worker-pool threads span one fan-out call, so a
+    /// worker's whole chunk of reps shares one context; a caller thread
+    /// running serial measurements keeps recycling across calls.
+    static THREAD_CTX: RefCell<ReplayCtx> = RefCell::new(ReplayCtx::new());
+}
+
 /// The adapter proper: simulated network on one side, sans-IO machines on
-/// the other.
+/// the other. All state is borrowed from a [`ReplayCtx`]; the driver
+/// itself is stackless glue.
 struct SimDriver<'a> {
     inputs: &'a ReplayInputs,
     cfg: &'a ReplayConfig,
     trace: &'a TraceHandle,
-    net: Network,
-    browser: Browser,
-    servers: HashMap<(usize, usize), AnyServer>,
-    conn_of_slot: HashMap<(usize, usize), ConnId>,
-    ctx: HashMap<ConnId, ConnCtx>,
+    net: &'a mut Network,
+    browser: &'a mut Browser,
+    servers: &'a mut HashMap<(usize, usize), AnyServer>,
+    conn_of_slot: &'a mut HashMap<(usize, usize), ConnId>,
+    ctx: &'a mut HashMap<ConnId, ConnCtx>,
     /// Browser actions not yet realized against the simulator.
-    queue: VecDeque<BrowserAction>,
+    queue: &'a mut VecDeque<BrowserAction>,
+    #[allow(clippy::vec_box)] // parked `AnyServer::H2` boxes, reissued whole
+    spare_h2: &'a mut Vec<Box<ReplayServer>>,
+    spare_h1: &'a mut Vec<H1ReplayServer>,
+    spare_conns: &'a mut Vec<ConnCtx>,
+    pending: &'a mut Vec<((usize, usize), ConnId)>,
 }
 
 impl SimDriver<'_> {
@@ -167,7 +309,10 @@ impl SimDriver<'_> {
     }
 
     /// A new (group, slot): connect through the simulated access link and
-    /// stand up the matching replay server behind it.
+    /// stand up the matching replay server behind it. Server machines and
+    /// FIFO pairs come from the context's spare pools when available; a
+    /// recycled server goes through `reset` into exactly the state a
+    /// freshly constructed one starts in.
     fn open_connection(&mut self, group: usize, slot: usize) {
         let cfg = self.cfg;
         let spec = match cfg.server_extra_delay.get(&group) {
@@ -177,30 +322,52 @@ impl SimDriver<'_> {
         let sid: ServerId = self.net.add_server(spec);
         let conn = self.net.connect(sid);
         self.conn_of_slot.insert((group, slot), conn);
-        self.ctx.insert(
-            conn,
-            ConnCtx { group, slot, up: ByteFifo::default(), down: ByteFifo::default() },
-        );
+        let (up, down) = match self.spare_conns.pop() {
+            Some(c) => (c.up, c.down),
+            None => Default::default(),
+        };
+        self.ctx.insert(conn, ConnCtx { group, slot, up, down });
         let server = match cfg.protocol {
             Protocol::H2 => {
-                let mut s = ReplayServer::new(
-                    Arc::clone(&self.inputs.page),
-                    Arc::clone(&self.inputs.db),
-                    group,
-                    &cfg.strategy,
-                );
+                let mut s = match self.spare_h2.pop() {
+                    Some(mut s) => {
+                        s.reset(
+                            Arc::clone(&self.inputs.page),
+                            Arc::clone(&self.inputs.db),
+                            group,
+                            &cfg.strategy,
+                        );
+                        s
+                    }
+                    None => Box::new(ReplayServer::new(
+                        Arc::clone(&self.inputs.page),
+                        Arc::clone(&self.inputs.db),
+                        group,
+                        &cfg.strategy,
+                    )),
+                };
                 s.set_honor_cache_digest(cfg.server_honors_digest);
                 s.set_limits(cfg.limits);
                 if let Some(p) = &self.inputs.prepared {
                     s.set_prepared(Arc::clone(&p.server));
                     s.set_hpack_block_cache(p.hpack.clone());
+                    s.set_hpack_decode_cache(p.hpack_decode.clone());
                 }
                 if self.trace.is_on() {
                     s.set_trace(self.trace.clone(), conn_label(group, slot));
                 }
-                AnyServer::H2(Box::new(s))
+                AnyServer::H2(s)
             }
-            Protocol::H1 => AnyServer::H1(H1ReplayServer::new(Arc::clone(&self.inputs.db))),
+            Protocol::H1 => {
+                let s = match self.spare_h1.pop() {
+                    Some(mut s) => {
+                        s.reset(Arc::clone(&self.inputs.db));
+                        s
+                    }
+                    None => H1ReplayServer::new(Arc::clone(&self.inputs.db)),
+                };
+                AnyServer::H1(s)
+            }
         };
         self.servers.insert((group, slot), server);
     }
@@ -232,14 +399,22 @@ impl SimDriver<'_> {
         }
     }
 
+    /// Queue a batch of browser actions, return the emptied buffer to the
+    /// engine (capacity reuse — see [`Browser::recycle_actions`]), and
+    /// realize the queue.
+    fn intake(&mut self, mut actions: Vec<BrowserAction>) {
+        self.queue.extend(actions.drain(..));
+        self.browser.recycle_actions(actions);
+        self.drain_actions();
+    }
+
     /// The event loop: step the simulator, dispatch each transport event
     /// into the machines, realize the actions that come back.
     fn run(mut self) -> Result<ReplayOutcome, ReplayError> {
         let cfg = self.cfg;
         let deadline = SimTime::ZERO + cfg.deadline;
         let actions = self.browser.start(self.net.now());
-        self.queue.extend(actions);
-        self.drain_actions();
+        self.intake(actions);
 
         loop {
             if self.browser.done() {
@@ -264,8 +439,7 @@ impl SimDriver<'_> {
                 NetEvent::Connected { conn } => {
                     let (group, slot) = (self.ctx[&conn].group, self.ctx[&conn].slot);
                     let actions = self.browser.on_connected(group, slot, t);
-                    self.queue.extend(actions);
-                    self.drain_actions();
+                    self.intake(actions);
                     self.pump_server(conn, (group, slot));
                 }
                 NetEvent::Delivered { conn, dir: Dir::Up, bytes } => {
@@ -281,8 +455,7 @@ impl SimDriver<'_> {
                     let (group, slot) = (self.ctx[&conn].group, self.ctx[&conn].slot);
                     let chunk = self.ctx.get_mut(&conn).expect("ctx").down.pop(bytes);
                     let actions = self.browser.on_bytes(group, slot, &chunk, t);
-                    self.queue.extend(actions);
-                    self.drain_actions();
+                    self.intake(actions);
                     // The browser may have ACKed at the H2 level (window
                     // updates) — give the server a chance to continue.
                     self.pump_server(conn, (group, slot));
@@ -296,21 +469,24 @@ impl SimDriver<'_> {
                 }
                 NetEvent::App { token } => {
                     let actions = self.browser.on_timer(token, t);
-                    self.queue.extend(actions);
-                    self.drain_actions();
+                    self.intake(actions);
                     // Timers can trigger new requests on any connection;
                     // make sure all servers with pending output are
                     // pulling. Pump in (group, slot) order — HashMap
                     // iteration order varies per instance and must not
-                    // leak into the simulation.
-                    let mut pending: Vec<((usize, usize), ConnId)> =
-                        self.conn_of_slot.iter().map(|(&k, &c)| (k, c)).collect();
+                    // leak into the simulation. The sort scratch lives in
+                    // the context, so steady-state timer events allocate
+                    // nothing.
+                    let mut pending = std::mem::take(self.pending);
+                    pending.clear();
+                    pending.extend(self.conn_of_slot.iter().map(|(&k, &c)| (k, c)));
                     pending.sort_unstable_by_key(|&(k, _)| k);
-                    for (key, conn) in pending {
+                    for &(key, conn) in &pending {
                         if self.servers.get(&key).map(|s| s.wants_output()).unwrap_or(false) {
                             self.pump_server(conn, key);
                         }
                     }
+                    *self.pending = pending;
                 }
             }
         }
@@ -331,44 +507,56 @@ impl SimDriver<'_> {
     }
 }
 
-/// Run one replay of `inputs` under `cfg` on the simulated network,
-/// emitting into `trace` (a no-op handle costs one branch per site).
+/// Run one replay of `inputs` under `cfg` inside `ctx`, emitting into
+/// `trace` (a no-op handle costs one branch per site). The context is
+/// reset-and-recycled at entry; see [`ReplayCtx`].
+pub(crate) fn drive_in(
+    inputs: &ReplayInputs,
+    cfg: &ReplayConfig,
+    trace: &TraceHandle,
+    ctx: &mut ReplayCtx,
+) -> Result<ReplayOutcome, ReplayError> {
+    ctx.begin_run(inputs, cfg, trace);
+    let ReplayCtx {
+        net,
+        browser,
+        servers,
+        conn_of_slot,
+        conns,
+        queue,
+        spare_h2,
+        spare_h1,
+        spare_conns,
+        pending,
+    } = ctx;
+    SimDriver {
+        inputs,
+        cfg,
+        trace,
+        net: net.as_mut().expect("net initialised"),
+        browser: browser.as_mut().expect("browser initialised"),
+        servers,
+        conn_of_slot,
+        ctx: conns,
+        queue,
+        spare_h2,
+        spare_h1,
+        spare_conns,
+        pending,
+    }
+    .run()
+}
+
+/// Run one replay of `inputs` under `cfg`, recycling the calling thread's
+/// [`ReplayCtx`]. Re-entrant calls (a replay started from inside a replay)
+/// fall back to a fresh context rather than aliasing the borrowed one.
 pub(crate) fn drive(
     inputs: &ReplayInputs,
     cfg: &ReplayConfig,
     trace: &TraceHandle,
 ) -> Result<ReplayOutcome, ReplayError> {
-    let mut net = Network::new(cfg.network.clone());
-    net.set_trace(trace.clone());
-    let mut browser_cfg = cfg.browser.clone();
-    browser_cfg.enable_push =
-        cfg.protocol == Protocol::H2 && !matches!(cfg.strategy, Strategy::NoPush);
-    browser_cfg.warm_cache = cfg.warm_cache.clone();
-    browser_cfg.transport = match cfg.protocol {
-        Protocol::H2 => h2push_browser::TransportMode::H2,
-        Protocol::H1 => h2push_browser::TransportMode::H1,
-    };
-    browser_cfg.limits = cfg.limits;
-    let mut browser = match &inputs.prepared {
-        Some(p) => {
-            let mut b =
-                Browser::with_scan(Arc::clone(&inputs.page), browser_cfg, Arc::clone(&p.scan));
-            b.set_hpack_block_cache(p.hpack.clone());
-            b
-        }
-        None => Browser::new(Arc::clone(&inputs.page), browser_cfg),
-    };
-    browser.set_trace(trace.clone());
-    SimDriver {
-        inputs,
-        cfg,
-        trace,
-        net,
-        browser,
-        servers: HashMap::new(),
-        conn_of_slot: HashMap::new(),
-        ctx: HashMap::new(),
-        queue: VecDeque::new(),
-    }
-    .run()
+    THREAD_CTX.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ctx) => drive_in(inputs, cfg, trace, &mut ctx),
+        Err(_) => drive_in(inputs, cfg, trace, &mut ReplayCtx::new()),
+    })
 }

@@ -19,6 +19,7 @@ use h2push_strategies::{majority_order, RunTrace, Strategy};
 use h2push_webmodel::{Page, ResourceId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Where the measurement runs: the controlled testbed or "the Internet".
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,9 +34,15 @@ pub enum Mode {
 pub const PAPER_RUNS: usize = 31;
 
 /// Build the per-run replay configuration for `(mode, run_seed)`.
-/// The strategy is cloned exactly once, here — callers keep theirs.
-pub fn run_config(strategy: &Strategy, mode: Mode, run_seed: u64, page: &Page) -> ReplayConfig {
-    let mut cfg = ReplayConfig::testbed(strategy.clone());
+/// The strategy is shared by reference count — deriving a config never
+/// deep-clones the order vectors, however many reps a plan fans out.
+pub fn run_config(
+    strategy: &Arc<Strategy>,
+    mode: Mode,
+    run_seed: u64,
+    page: &Page,
+) -> ReplayConfig {
+    let mut cfg = ReplayConfig::testbed(Arc::clone(strategy));
     let mut rng = StdRng::seed_from_u64(run_seed);
     cfg.network.seed = run_seed;
     match mode {

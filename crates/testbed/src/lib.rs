@@ -24,14 +24,15 @@ pub mod sweep;
 pub mod waterfall;
 
 pub use badpeer::{
-    attack_client, attack_server, run_attack, run_suite, AttackKind, AttackOutcome, AttackScript,
-    Victim,
+    attack_client, attack_client_in, attack_server, attack_server_in, run_attack, run_attack_in,
+    run_suite, run_suite_in, AttackCtx, AttackKind, AttackOutcome, AttackScript, Victim,
 };
 pub use chaos::{
     apply_profile, default_matrix, observe, run_fault_matrix, strategy_label, ChaosCell,
     FaultProfile,
 };
 pub use checkpoint::{GridIdentity, JournalScan, ResumeError, SweepJournal};
+pub use driver::ReplayCtx;
 pub use harness::{compute_push_order, run_config, Mode, PAPER_RUNS};
 #[cfg(unix)]
 pub use live::{load_page, LiveLoadReport, LiveServer, LiveServerHandle, LiveServerStats};
@@ -39,7 +40,8 @@ pub use plan::{RunOutput, RunPlan, RunReport, TraceSpec};
 pub use pool::{parallel_indexed, set_worker_threads, worker_threads};
 pub use prepared::PreparedPage;
 pub use replay::{
-    replay, replay_shared, Protocol, ReplayConfig, ReplayError, ReplayInputs, ReplayOutcome,
+    replay, replay_in, replay_shared, Protocol, ReplayConfig, ReplayError, ReplayInputs,
+    ReplayOutcome,
 };
 pub use sweep::{
     CellFailure, CellStats, FailureKind, PopulationStats, RecoveredRep, RetryClass, SweepCell,

@@ -159,7 +159,7 @@ pub struct LiveServer {
     listener: TcpListener,
     page: Arc<Page>,
     db: Arc<RecordDb>,
-    strategy: Strategy,
+    strategy: Arc<Strategy>,
     stop: Arc<AtomicBool>,
     deadline: Option<Duration>,
 }
@@ -171,7 +171,7 @@ impl LiveServer {
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
         page: Arc<Page>,
-        strategy: Strategy,
+        strategy: impl Into<Arc<Strategy>>,
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -180,7 +180,7 @@ impl LiveServer {
             listener,
             page,
             db,
-            strategy,
+            strategy: strategy.into(),
             stop: Arc::new(AtomicBool::new(false)),
             deadline: None,
         })

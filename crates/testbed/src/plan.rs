@@ -40,11 +40,13 @@
 //! [`ReplayOutcome`]s (equality-tested in `tests/trace.rs`).
 
 use crate::chaos::{apply_profile, FaultProfile};
+use crate::driver::ReplayCtx;
 use crate::harness::{run_config, Mode};
 use crate::pool::parallel_indexed;
 use crate::replay::{replay_with_trace, ReplayConfig, ReplayError, ReplayInputs, ReplayOutcome};
 use h2push_strategies::Strategy;
 use h2push_trace::{recording, Timeline, TraceHandle};
+use std::sync::Arc;
 
 /// What a [`RunPlan`] records while it runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -106,7 +108,7 @@ impl RunReport {
 #[derive(Debug, Clone)]
 pub struct RunPlan {
     inputs: ReplayInputs,
-    strategy: Strategy,
+    strategy: Arc<Strategy>,
     mode: Mode,
     reps: usize,
     seed: u64,
@@ -128,7 +130,7 @@ impl RunPlan {
     pub fn new(page: impl Into<ReplayInputs>) -> Self {
         RunPlan {
             inputs: page.into(),
-            strategy: Strategy::NoPush,
+            strategy: Arc::new(Strategy::NoPush),
             mode: Mode::Testbed,
             reps: 1,
             seed: 0,
@@ -141,9 +143,10 @@ impl RunPlan {
         }
     }
 
-    /// Push strategy under test.
-    pub fn strategy(mut self, strategy: Strategy) -> Self {
-        self.strategy = strategy;
+    /// Push strategy under test (an owned [`Strategy`] or a shared
+    /// `Arc<Strategy>` — per-rep configs share it by reference count).
+    pub fn strategy(mut self, strategy: impl Into<Arc<Strategy>>) -> Self {
+        self.strategy = strategy.into();
         self
     }
 
@@ -257,13 +260,34 @@ impl RunPlan {
     }
 
     pub(crate) fn run_rep(&self, rep: usize) -> Result<RunOutput, ReplayError> {
+        // The engine recycles a thread-local context under the hood, so
+        // every worker's chunk of reps already runs allocation-free after
+        // its first rep.
+        self.rep_with(rep, |cfg, trace| replay_with_trace(&self.inputs, cfg, trace))
+    }
+
+    /// Execute rep `rep` inside an explicit, caller-owned [`ReplayCtx`],
+    /// recycling its machinery instead of reconstructing it. Outcomes are
+    /// byte-identical to [`RunPlan::run`] / [`RunPlan::run_one`]; this
+    /// entry point exists for callers that pin one context per thread for
+    /// a whole measurement (the allocation-gate bench, the equality suite).
+    pub fn run_rep_in(&self, rep: usize, ctx: &mut ReplayCtx) -> Result<RunOutput, ReplayError> {
+        self.rep_with(rep, |cfg, trace| crate::driver::drive_in(&self.inputs, cfg, trace, ctx))
+    }
+
+    fn rep_with(
+        &self,
+        rep: usize,
+        mut run: impl FnMut(&ReplayConfig, &TraceHandle) -> Result<ReplayOutcome, ReplayError>,
+    ) -> Result<RunOutput, ReplayError> {
         let cfg = self.config_for(rep);
         match self.trace {
-            TraceSpec::Off => replay_with_trace(&self.inputs, &cfg, &TraceHandle::off())
-                .map(|outcome| RunOutput { outcome, timeline: None }),
+            TraceSpec::Off => {
+                run(&cfg, &TraceHandle::off()).map(|outcome| RunOutput { outcome, timeline: None })
+            }
             TraceSpec::Timeline => {
                 let (handle, shared) = recording();
-                let outcome = replay_with_trace(&self.inputs, &cfg, &handle)?;
+                let outcome = run(&cfg, &handle)?;
                 drop(handle); // last sink reference; the timeline is now unique
                 let timeline = std::rc::Rc::try_unwrap(shared)
                     .map(|cell| cell.into_inner())

@@ -24,7 +24,7 @@
 
 use bytes::Bytes;
 use h2push_browser::PreparedScan;
-use h2push_hpack::BlockCache;
+use h2push_hpack::{BlockCache, DecodeCache};
 use h2push_server::Prepared as ServerPrepared;
 use h2push_webmodel::Page;
 use std::sync::Arc;
@@ -41,6 +41,13 @@ pub struct PreparedPage {
     /// server connection (keys carry the full encoder-state fingerprint,
     /// so sharing across roles cannot alias).
     pub(crate) hpack: BlockCache,
+    /// Memoized HPACK *decode* results, the receive-side twin of `hpack`:
+    /// shared by the client and every server connection (keys carry the
+    /// decoder-state fingerprint plus the block hash, so sharing across
+    /// roles cannot alias). Decoded headers are identical with or without
+    /// it — the cache only skips redundant decoding work and the header
+    /// allocations that come with it.
+    pub(crate) hpack_decode: DecodeCache,
     /// Per-resource response bodies pre-chunked into DATA-frame payload
     /// slices (≤ `DEFAULT_MAX_FRAME_SIZE` each). Replay bodies are
     /// synthetic zero-fill, so every chunk is a zero-copy view of one
@@ -58,6 +65,7 @@ impl PreparedPage {
             scan: Arc::new(PreparedScan::build(page)),
             server: Arc::new(ServerPrepared::build(page)),
             hpack: BlockCache::new(),
+            hpack_decode: DecodeCache::new(),
             bodies: page
                 .resources
                 .iter()
@@ -88,6 +96,11 @@ impl PreparedPage {
     /// The shared HPACK block cache (clone to attach elsewhere).
     pub fn hpack_cache(&self) -> &BlockCache {
         &self.hpack
+    }
+
+    /// The shared HPACK decode cache (clone to attach elsewhere).
+    pub fn hpack_decode_cache(&self) -> &DecodeCache {
+        &self.hpack_decode
     }
 
     /// Pre-chunked body payload of resource `i` (zero-copy slices).

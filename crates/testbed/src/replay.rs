@@ -36,8 +36,11 @@ pub struct ReplayConfig {
     pub network: NetworkSpec,
     /// Browser knobs (push enablement is derived from the strategy).
     pub browser: BrowserConfig,
-    /// The push strategy under test.
-    pub strategy: Strategy,
+    /// The push strategy under test. Shared (`Arc`) because one strategy
+    /// typically serves every rep, connection and worker thread of a
+    /// measurement: deriving a per-rep config or standing up a per-group
+    /// server is a pointer bump, never a deep clone of the order vectors.
+    pub strategy: Arc<Strategy>,
     /// Protocol to replay over.
     pub protocol: Protocol,
     /// Extra one-way delay per server group (internet mode gives far-away
@@ -68,12 +71,13 @@ pub struct ReplayConfig {
 }
 
 impl ReplayConfig {
-    /// The paper's deterministic testbed profile for `strategy`.
-    pub fn testbed(strategy: Strategy) -> Self {
+    /// The paper's deterministic testbed profile for `strategy` (accepts
+    /// an owned [`Strategy`] or an already-shared `Arc<Strategy>`).
+    pub fn testbed(strategy: impl Into<Arc<Strategy>>) -> Self {
         ReplayConfig {
             network: NetworkSpec::dsl_testbed(),
             browser: BrowserConfig::default(),
-            strategy,
+            strategy: strategy.into(),
             protocol: Protocol::H2,
             server_extra_delay: HashMap::new(),
             server_think: SimDuration::ZERO,
@@ -209,6 +213,22 @@ pub fn replay_shared(
     cfg: &ReplayConfig,
 ) -> Result<ReplayOutcome, ReplayError> {
     replay_with_trace(inputs, cfg, &TraceHandle::off())
+}
+
+/// Replay `inputs` once under `cfg` inside an explicit, caller-owned
+/// [`ReplayCtx`](crate::ReplayCtx). The context's machinery (browser,
+/// network, servers, byte FIFOs) is recycled from its previous run instead
+/// of reconstructed; outcomes are byte-identical to [`replay_shared`]
+/// (asserted across strategies, faults and modes in `tests/recycle.rs`).
+/// [`replay_shared`] itself recycles through a thread-local context — this
+/// entry point exists for callers that want to own the context's lifetime,
+/// like the allocation-gate bench.
+pub fn replay_in(
+    inputs: &ReplayInputs,
+    cfg: &ReplayConfig,
+    ctx: &mut crate::driver::ReplayCtx,
+) -> Result<ReplayOutcome, ReplayError> {
+    crate::driver::drive_in(inputs, cfg, &TraceHandle::off(), ctx)
 }
 
 /// The replay engine proper — the sans-IO netsim adapter
@@ -489,7 +509,7 @@ mod h1_tests {
     fn h1_ignores_push_strategies() {
         let p = page();
         let mut cfg = h1_config();
-        cfg.strategy = h2push_strategies::push_all(&p, &[]);
+        cfg.strategy = h2push_strategies::push_all(&p, &[]).into();
         let out = replay(&p, &cfg).unwrap();
         assert!(out.load.finished());
         assert_eq!(out.load.pushed_count, 0);

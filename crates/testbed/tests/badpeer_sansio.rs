@@ -60,8 +60,12 @@ fn drain(victim: &mut dyn Endpoint, now: Micros) {
 fn server_victim_fatal(script: &AttackScript) -> Option<ConnError> {
     let page = Arc::new(attack_page());
     let db = Arc::new(RecordDb::record(&page));
-    let mut srv =
-        ReplayServer::new(page, db, 0, &Strategy::PushList { order: vec![ResourceId(1)] });
+    let mut srv = ReplayServer::new(
+        page,
+        db,
+        0,
+        &Arc::new(Strategy::PushList { order: vec![ResourceId(1)] }),
+    );
     srv.set_limits(ConnLimits::strict());
     let mut now: Micros = 0;
 
@@ -161,8 +165,12 @@ fn chunk_boundaries_are_meaningless_to_feed_bytes() {
 
         let page = Arc::new(attack_page());
         let db = Arc::new(RecordDb::record(&page));
-        let mut srv =
-            ReplayServer::new(page, db, 0, &Strategy::PushList { order: vec![ResourceId(1)] });
+        let mut srv = ReplayServer::new(
+            page,
+            db,
+            0,
+            &Arc::new(Strategy::PushList { order: vec![ResourceId(1)] }),
+        );
         srv.set_limits(ConnLimits::strict());
         let mut cli = Connection::client(Settings::default());
         let mut sched = DefaultScheduler::new();

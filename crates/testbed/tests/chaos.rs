@@ -50,7 +50,7 @@ fn default_matrix_completes_on_synthetic_sites_and_reruns_bit_identically() {
 fn zero_fault_profile_reproduces_the_plain_harness_on_a_synthetic_site() {
     let inputs = site(3);
     let control = FaultProfile::none();
-    for strategy in [Strategy::NoPush, push_all(&inputs.page, &[])] {
+    for strategy in [Strategy::NoPush, push_all(&inputs.page, &[])].map(std::sync::Arc::new) {
         for seed in [0u64, 13] {
             let plain = run_config(&strategy, Mode::Testbed, seed, &inputs.page);
             let mut faulted = run_config(&strategy, Mode::Testbed, seed, &inputs.page);

@@ -1,0 +1,152 @@
+//! Recycled-vs-cold equality: a [`ReplayCtx`] reused across repetitions —
+//! and across *unrelated* pages, strategies, protocols and fault profiles —
+//! must produce byte-identical outputs to a context constructed fresh for
+//! every run. This is the contract that makes run-context recycling a pure
+//! performance optimisation: the allocation gate may assume recycled runs
+//! are THE runs.
+//!
+//! Matrix covered here: {NoPush, PushList, Interleaved} × {Testbed,
+//! Internet} × {fault-free, 2% Gilbert-Elliott} × {traced, untraced} ×
+//! {prepared, unprepared} × {H2, H1}, plus cross-page contamination
+//! (one context serving two different sites alternately).
+
+use h2push_strategies::Strategy;
+use h2push_testbed::{
+    replay_in, replay_shared, FaultProfile, Mode, Protocol, ReplayConfig, ReplayCtx, ReplayInputs,
+    RunPlan,
+};
+use h2push_webmodel::{Page, PageBuilder, ResourceId, ResourceSpec};
+
+const REPS: usize = 3;
+
+fn page() -> Page {
+    let mut b = PageBuilder::new("recycle", "rc.test", 55_000, 4_000);
+    let third = b.origin("cdn.other.net", 1, false);
+    b.resource(ResourceSpec::css(0, 15_000, 300, 0.4)); // 1
+    b.resource(ResourceSpec::js(0, 22_000, 1_000, 14_000)); // 2
+    b.resource(ResourceSpec::image(0, 28_000, 9_000, true, 1.5)); // 3
+    b.resource(ResourceSpec::js_async(third, 8_000, 25_000, 4_000)); // 4
+    b.text_paint(8_000, 1.0);
+    b.text_paint(30_000, 1.0);
+    b.build()
+}
+
+fn other_page() -> Page {
+    let mut b = PageBuilder::new("recycle-b", "rb.test", 90_000, 6_000);
+    b.resource(ResourceSpec::css(0, 25_000, 500, 0.3)); // 1
+    b.resource(ResourceSpec::image(0, 45_000, 18_000, true, 2.0)); // 2
+    b.text_paint(12_000, 1.0);
+    b.build()
+}
+
+fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::NoPush,
+        Strategy::PushList { order: vec![ResourceId(1), ResourceId(2)] },
+        Strategy::Interleaved {
+            offset: 6_000,
+            critical: vec![ResourceId(1)],
+            after: vec![ResourceId(3)],
+        },
+    ]
+}
+
+/// The tentpole contract: one context recycled across every rep of every
+/// cell of the full strategy × mode × fault × preparation matrix agrees
+/// byte-for-byte with a context built fresh per rep. The persistent
+/// context deliberately crosses cell boundaries so stale state from one
+/// configuration would poison the next and fail loudly here.
+#[test]
+fn recycled_ctx_matches_cold_ctx_across_the_matrix() {
+    let p = page();
+    let mut warm = ReplayCtx::new();
+    for strategy in strategies() {
+        for mode in [Mode::Testbed, Mode::Internet] {
+            for faults in [None, Some(FaultProfile::gilbert_elliott(0.02))] {
+                for prepared in [false, true] {
+                    let mut plan =
+                        RunPlan::new(&p).strategy(strategy.clone()).mode(mode).seed(11).reps(REPS);
+                    if let Some(f) = &faults {
+                        plan = plan.faults(f.clone());
+                    }
+                    if prepared {
+                        plan = plan.prepared();
+                    }
+                    for rep in 0..REPS {
+                        let cold = plan.run_rep_in(rep, &mut ReplayCtx::new());
+                        let recycled = plan.run_rep_in(rep, &mut warm);
+                        assert_eq!(
+                            cold,
+                            recycled,
+                            "recycled ctx diverged: strategy {strategy:?} mode {mode:?} \
+                             faults {} prepared {prepared} rep {rep}",
+                            faults.is_some(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Traced runs through a recycled context carry the same timelines (and
+/// outcomes) as traced runs through fresh contexts, and as the public
+/// pooled path.
+#[test]
+fn recycled_ctx_preserves_traced_timelines() {
+    let p = page();
+    let plan = RunPlan::new(&p)
+        .strategy(Strategy::PushList { order: vec![ResourceId(1)] })
+        .seed(7)
+        .reps(REPS)
+        .traced();
+    let pooled = plan.run();
+    assert_eq!(pooled.len(), REPS);
+    let mut warm = ReplayCtx::new();
+    for rep in 0..REPS {
+        let cold = plan.run_rep_in(rep, &mut ReplayCtx::new()).expect("cold rep");
+        let recycled = plan.run_rep_in(rep, &mut warm).expect("recycled rep");
+        assert_eq!(cold, recycled, "traced rep {rep} diverged under recycling");
+        assert_eq!(&pooled.runs[rep], &recycled, "pooled path diverged at rep {rep}");
+        assert!(recycled.timeline.as_ref().is_some_and(|t| !t.is_empty()));
+    }
+}
+
+/// HTTP/1.1 replays recycle through the same context type (spare H1
+/// connections, shared FIFOs) and must agree with the public entry point.
+#[test]
+fn recycled_ctx_matches_cold_over_h1() {
+    let p = page();
+    let inputs = ReplayInputs::from(&p);
+    let mut cfg = ReplayConfig::testbed(Strategy::NoPush);
+    cfg.protocol = Protocol::H1;
+    let mut warm = ReplayCtx::new();
+    for rep in 0..REPS {
+        let cold = replay_shared(&inputs, &cfg).expect("cold h1");
+        let recycled = replay_in(&inputs, &cfg, &mut warm).expect("recycled h1");
+        assert_eq!(cold, recycled, "h1 rep {rep} diverged under recycling");
+    }
+}
+
+/// Alternating two unrelated pages — and protocols — through one context
+/// must not leak state between them: each load agrees with a fresh-context
+/// load of the same page every time.
+#[test]
+fn recycled_ctx_does_not_leak_state_across_pages_or_protocols() {
+    let a = ReplayInputs::from(&page()).prepared();
+    let b = ReplayInputs::from(&other_page());
+    let cfg_h2 = ReplayConfig::testbed(Strategy::PushList { order: vec![ResourceId(1)] });
+    let mut cfg_h1 = ReplayConfig::testbed(Strategy::NoPush);
+    cfg_h1.protocol = Protocol::H1;
+    let mut warm = ReplayCtx::new();
+    for round in 0..REPS {
+        for (inputs, cfg) in [(&a, &cfg_h2), (&b, &cfg_h2), (&a, &cfg_h1), (&b, &cfg_h1)] {
+            let cold = replay_in(inputs, cfg, &mut ReplayCtx::new()).expect("cold");
+            let recycled = replay_in(inputs, cfg, &mut warm).expect("recycled");
+            assert_eq!(
+                cold, recycled,
+                "round {round}: context leaked state across pages/protocols"
+            );
+        }
+    }
+}

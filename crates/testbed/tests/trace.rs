@@ -32,7 +32,7 @@ fn assert_outcomes_identical(a: &ReplayOutcome, b: &ReplayOutcome, what: &str) {
 #[test]
 fn untraced_runplan_reproduces_the_old_entry_points_byte_identically() {
     let inputs = site(21);
-    let strategy = push_all(&inputs.page, &[]);
+    let strategy = std::sync::Arc::new(push_all(&inputs.page, &[]));
     let (reps, seed) = (4usize, 17u64);
 
     // The raw PR-1 loop: run_config + replay_shared per rep.

@@ -168,6 +168,7 @@ fn cmd_sites() {
 
 fn cmd_replay(page: &Page, o: &Opts) {
     let (variant, strategy) = resolve_strategy(page, &o.strategy);
+    let strategy = std::sync::Arc::new(strategy);
     let mut plts = Vec::new();
     let mut sis = Vec::new();
     let mut pushed = 0u64;

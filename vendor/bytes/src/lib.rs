@@ -5,9 +5,75 @@
 //! [`Bytes`] — an immutable, reference-counted byte slice whose `clone()`
 //! and `slice()` are O(1) — and [`BytesMut`] — a growable scratch buffer
 //! that can be frozen into a `Bytes` without copying.
+//!
+//! # Recycling
+//!
+//! Unlike upstream `bytes`, both types circulate their backing storage
+//! through a thread-local pool so a steady-state producer/consumer loop
+//! allocates nothing:
+//!
+//! * [`BytesMut`] owns a uniquely-held `Arc<Vec<u8>>`, so
+//!   [`BytesMut::freeze`] moves the `Arc` into the [`Bytes`] — no copy
+//!   *and no allocation* (upstream's `freeze` needs a fresh shared
+//!   header per buffer).
+//! * Dropping the last [`Bytes`] referencing a heap buffer — or a
+//!   [`BytesMut`] that was never frozen — returns the `Arc` and its
+//!   capacity to the pool instead of freeing them.
+//! * [`BytesMut::new`] / [`with_capacity`](BytesMut::with_capacity)
+//!   draw from the pool before asking the allocator.
+//!
+//! The net effect: `write → split().freeze() → consume → drop` cycles
+//! reuse warm buffers after the first few iterations. The pool is
+//! bounded (entry capacity and entry count) and accessed with
+//! `LocalKey::try_with`, so drops that run during thread-local teardown
+//! degrade to plain frees instead of aborting.
 
 use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
+
+/// Thread-local recycle pool of uniquely-owned heap buffers. Private:
+/// [`Bytes`]/[`BytesMut`] drops feed it and [`BytesMut`] construction
+/// drains it; callers never see it.
+mod pool {
+    use std::cell::RefCell;
+    use std::sync::Arc;
+
+    /// Entries kept per thread. Enough for every in-flight wire chunk of
+    /// a replay context; beyond this, drops free as usual.
+    const MAX_POOLED: usize = 64;
+
+    /// Largest per-entry capacity worth keeping. Bigger one-off buffers
+    /// (bulk payloads) would pin memory for little reuse.
+    const MAX_CAP: usize = 1 << 17;
+
+    thread_local! {
+        static POOL: RefCell<Vec<Arc<Vec<u8>>>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Pop a pooled buffer (unique, cleared). `None` when the pool is
+    /// empty or this thread is tearing down.
+    pub(crate) fn take() -> Option<Arc<Vec<u8>>> {
+        POOL.try_with(|p| p.borrow_mut().pop()).ok().flatten()
+    }
+
+    /// Offer a buffer back. Kept only when `arc` is the last reference
+    /// (so reuse can't alias a live view), its capacity is modest, and
+    /// the pool has room; otherwise it drops here. `try_with`: a `Bytes`
+    /// dropped from another thread-local's destructor must not abort.
+    pub(crate) fn give(mut arc: Arc<Vec<u8>>) {
+        let Some(v) = Arc::get_mut(&mut arc) else { return };
+        if v.capacity() > MAX_CAP {
+            return;
+        }
+        v.clear();
+        let _ = POOL.try_with(move |p| {
+            let mut p = p.borrow_mut();
+            if p.len() < MAX_POOLED {
+                p.push(arc);
+            }
+        });
+    }
+}
 
 /// Backing storage of a [`Bytes`]: either a borrowed `'static` slice
 /// (zero allocation, zero copy) or a shared heap buffer. Wrapping a `Vec`
@@ -34,7 +100,8 @@ impl Data {
 ///
 /// Internally shared storage plus a window; `clone()` bumps a refcount and
 /// `slice()` narrows the window, neither copies payload bytes. Empty and
-/// `'static`-backed buffers allocate nothing at all.
+/// `'static`-backed buffers allocate nothing at all. Dropping the last
+/// reference to a heap buffer recycles it (see the crate docs).
 #[derive(Clone)]
 pub struct Bytes {
     data: Data,
@@ -53,9 +120,11 @@ impl Bytes {
         Bytes { data: Data::Static(data), start: 0, end: data.len() }
     }
 
-    /// Copy a slice into a new shared buffer.
+    /// Copy a slice into a shared buffer (pooled when one is warm).
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes::from(data.to_vec())
+        let mut m = BytesMut::with_capacity(data.len());
+        m.extend_from_slice(data);
+        m.freeze()
     }
 
     /// Number of bytes in view.
@@ -96,6 +165,19 @@ impl Bytes {
     pub fn truncate(&mut self, len: usize) {
         if len < self.len() {
             self.end = self.start + len;
+        }
+    }
+}
+
+impl Drop for Bytes {
+    /// Recycle the heap buffer when this was the last reference. The
+    /// window doesn't matter — only full ownership of the storage does,
+    /// and `pool::give` verifies that via the refcount.
+    fn drop(&mut self) {
+        if matches!(self.data, Data::Shared(_)) {
+            if let Data::Shared(arc) = std::mem::replace(&mut self.data, Data::Static(&[])) {
+                pool::give(arc);
+            }
         }
     }
 }
@@ -163,7 +245,7 @@ impl PartialEq<[u8]> for Bytes {
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        &self[..] == &other[..]
+        self[..] == other[..]
     }
 }
 
@@ -182,121 +264,206 @@ impl<'a> IntoIterator for &'a Bytes {
 }
 
 /// A growable byte buffer, freezable into an immutable [`Bytes`].
-#[derive(Clone, Default, PartialEq, Eq)]
+///
+/// Backed by a uniquely-held `Arc<Vec<u8>>` drawn from the recycle pool:
+/// [`freeze`](BytesMut::freeze) hands the `Arc` straight to the `Bytes`
+/// (no allocation, no copy), and dropping an unfrozen buffer returns it
+/// to the pool. The `Option` is an implementation detail of `Drop`; it
+/// is `Some` at every public-API boundary.
 pub struct BytesMut {
-    buf: Vec<u8>,
+    buf: Option<Arc<Vec<u8>>>,
 }
 
 impl BytesMut {
-    /// An empty buffer.
+    /// An empty buffer (pooled storage when available).
     pub fn new() -> Self {
-        BytesMut { buf: Vec::new() }
+        Self::with_capacity(0)
     }
 
     /// An empty buffer with room for `cap` bytes.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { buf: Vec::with_capacity(cap) }
+        let buf = match pool::take() {
+            Some(mut arc) => {
+                let v = Arc::get_mut(&mut arc).expect("pooled buffers are unique");
+                debug_assert!(v.is_empty());
+                if v.capacity() < cap {
+                    v.reserve(cap - v.len());
+                }
+                arc
+            }
+            None => Arc::new(Vec::with_capacity(cap)),
+        };
+        BytesMut { buf: Some(buf) }
+    }
+
+    /// The backing vector. Uniqueness is a type invariant: the pool only
+    /// stores sole-owner `Arc`s and nothing else hands out clones, so
+    /// `get_mut` cannot fail.
+    #[inline]
+    fn vec(&mut self) -> &mut Vec<u8> {
+        Arc::get_mut(self.buf.as_mut().expect("present until drop")).expect("uniquely owned")
+    }
+
+    #[inline]
+    fn slice_ref(&self) -> &Vec<u8> {
+        self.buf.as_ref().expect("present until drop")
     }
 
     /// Number of bytes written.
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.slice_ref().len()
     }
 
     /// True when nothing has been written.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.slice_ref().is_empty()
+    }
+
+    /// Capacity of the backing storage.
+    pub fn capacity(&self) -> usize {
+        self.slice_ref().capacity()
     }
 
     /// Reserve room for `additional` more bytes.
     pub fn reserve(&mut self, additional: usize) {
-        self.buf.reserve(additional)
+        self.vec().reserve(additional)
+    }
+
+    /// Reserve exactly `additional` more bytes — no amortized overshoot,
+    /// so recycled buffers converge on their real working size.
+    pub fn reserve_exact(&mut self, additional: usize) {
+        self.vec().reserve_exact(additional)
     }
 
     /// Append a slice.
     pub fn extend_from_slice(&mut self, data: &[u8]) {
-        self.buf.extend_from_slice(data)
+        self.vec().extend_from_slice(data)
     }
 
     /// Append a single byte.
     pub fn put_u8(&mut self, b: u8) {
-        self.buf.push(b)
+        self.vec().push(b)
     }
 
     /// Append a slice (`bytes`-style alias of [`extend_from_slice`]).
     ///
     /// [`extend_from_slice`]: BytesMut::extend_from_slice
     pub fn put_slice(&mut self, data: &[u8]) {
-        self.buf.extend_from_slice(data)
+        self.vec().extend_from_slice(data)
     }
 
     /// Resize to `len` bytes, filling with `fill`.
     pub fn resize(&mut self, len: usize, fill: u8) {
-        self.buf.resize(len, fill)
+        self.vec().resize(len, fill)
     }
 
     /// Shorten to `len` bytes.
     pub fn truncate(&mut self, len: usize) {
-        self.buf.truncate(len)
+        self.vec().truncate(len)
     }
 
     /// Remove all bytes, keeping capacity.
     pub fn clear(&mut self) {
-        self.buf.clear()
+        self.vec().clear()
     }
 
     /// Split off and return the first `at` bytes; `self` keeps the rest.
+    ///
+    /// Unlike upstream this copies (both halves need unique storage and
+    /// the backing buffer can't be cut in two); no hot path uses it.
     pub fn split_to(&mut self, at: usize) -> BytesMut {
-        let rest = self.buf.split_off(at);
-        BytesMut { buf: std::mem::replace(&mut self.buf, rest) }
+        let mut head = BytesMut::with_capacity(at);
+        head.extend_from_slice(&self.slice_ref()[..at]);
+        self.vec().drain(..at);
+        head
     }
 
-    /// Take the entire contents, leaving `self` empty (capacity kept 0).
+    /// Take the entire contents, leaving `self` an empty buffer (freshly
+    /// drawn from the pool, so its capacity is warm in steady state).
     pub fn split(&mut self) -> BytesMut {
-        BytesMut { buf: std::mem::take(&mut self.buf) }
+        std::mem::replace(self, BytesMut::new())
     }
 
     /// Freeze into an immutable, shareable [`Bytes`]. Consumes the buffer
-    /// without copying payload bytes.
-    pub fn freeze(self) -> Bytes {
-        Bytes::from(self.buf)
+    /// without copying payload bytes — and without allocating: the shared
+    /// header moves from the `BytesMut` into the `Bytes`.
+    pub fn freeze(mut self) -> Bytes {
+        let arc = self.buf.take().expect("present until drop");
+        if arc.is_empty() {
+            pool::give(arc);
+            return Bytes::new();
+        }
+        let end = arc.len();
+        Bytes { data: Data::Shared(arc), start: 0, end }
     }
 }
+
+impl Drop for BytesMut {
+    /// An unfrozen scratch buffer still recycles its storage.
+    fn drop(&mut self) {
+        if let Some(arc) = self.buf.take() {
+            pool::give(arc);
+        }
+    }
+}
+
+impl Default for BytesMut {
+    fn default() -> Self {
+        BytesMut::new()
+    }
+}
+
+impl Clone for BytesMut {
+    fn clone(&self) -> Self {
+        let mut c = BytesMut::with_capacity(self.len());
+        c.extend_from_slice(self);
+        c
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+impl Eq for BytesMut {}
 
 impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.buf
+        self.slice_ref()
     }
 }
 
 impl DerefMut for BytesMut {
     fn deref_mut(&mut self) -> &mut [u8] {
-        &mut self.buf
+        self.vec()
     }
 }
 
 impl AsRef<[u8]> for BytesMut {
     fn as_ref(&self) -> &[u8] {
-        &self.buf
+        self
     }
 }
 
 impl Extend<u8> for BytesMut {
     fn extend<T: IntoIterator<Item = u8>>(&mut self, iter: T) {
-        self.buf.extend(iter)
+        self.vec().extend(iter)
     }
 }
 
 impl From<Vec<u8>> for BytesMut {
     fn from(buf: Vec<u8>) -> Self {
-        BytesMut { buf }
+        BytesMut { buf: Some(Arc::new(buf)) }
     }
 }
 
 impl From<&[u8]> for BytesMut {
     fn from(s: &[u8]) -> Self {
-        BytesMut { buf: s.to_vec() }
+        let mut m = BytesMut::with_capacity(s.len());
+        m.extend_from_slice(s);
+        m
     }
 }
 
@@ -352,5 +519,28 @@ mod tests {
         let all = m.split();
         assert!(m.is_empty());
         assert_eq!(&all[..], b" world");
+    }
+
+    #[test]
+    fn freeze_reuses_storage_without_allocating_headers() {
+        // A write → freeze → drop cycle recycles: the second cycle's
+        // buffer arrives with the first cycle's capacity already there.
+        let mut m = BytesMut::new();
+        m.extend_from_slice(&[7u8; 1024]);
+        let frozen = m.split().freeze();
+        assert_eq!(frozen.len(), 1024);
+        drop(frozen); // last reference → storage returns to the pool
+        let m2 = BytesMut::with_capacity(16);
+        assert!(m2.slice_ref().capacity() >= 1024, "pooled capacity not reused");
+    }
+
+    #[test]
+    fn shared_views_are_not_recycled_under_a_live_reader() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"payload");
+        let a = m.split().freeze();
+        let b = a.clone();
+        drop(a); // refcount 2 → 1: must NOT pool while `b` is live
+        assert_eq!(&b[..], b"payload");
     }
 }
