@@ -2,9 +2,18 @@
 //!
 //! Drives the real `h2push-browser` engine over real TCP connections to
 //! one address and reports the same `LoadResult` a simulated replay
-//! produces: PLT, SpeedIndex, push counters. Exits non-zero when the
-//! load does not finish (or when `--expect-push` is set and nothing
-//! arrived via push), so CI can use it as an assertion.
+//! produces: PLT, SpeedIndex, push counters. Exit codes make the server's
+//! supervision decisions scriptable:
+//!
+//! * `0` — load finished (and pushed, if `--expect-push`).
+//! * `1` — load did not finish within the timeout (no server-side close
+//!   observed — a plain stall).
+//! * `2` — usage / IO error (bad flags, unresolvable address; a refused
+//!   connect reports the server as gone or draining).
+//! * `3` — the server **shed** a connection: closed before a single
+//!   response byte arrived (the accept-gate signature).
+//! * `4` — the server closed a connection mid-load: a supervision
+//!   timeout or abuse defense fired.
 //!
 //! ```text
 //! h2push-load --addr HOST:PORT [--corpus top|random|push-users]
@@ -71,7 +80,12 @@ fn main() {
 
     let cfg = BrowserConfig { enable_push, ..BrowserConfig::default() };
     let report = load_page(sockaddr, Arc::clone(&page), cfg, Duration::from_secs(timeout))
-        .unwrap_or_else(|e| die(&format!("load {addr}: {e}")));
+        .unwrap_or_else(|e| {
+            if e.kind() == std::io::ErrorKind::ConnectionRefused {
+                die(&format!("connect {addr}: refused (server gone or draining)"));
+            }
+            die(&format!("load {addr}: {e}"))
+        });
 
     let load = &report.load;
     println!(
@@ -90,6 +104,22 @@ fn main() {
     }
 
     if !load.finished() {
+        // A distinct code and a one-line reason per supervision outcome,
+        // so CI can assert *why* a load failed, not just that it did.
+        if report.shed_conns > 0 {
+            eprintln!(
+                "h2push-load: server shed {} connection(s) (closed before any response byte)",
+                report.shed_conns,
+            );
+            std::process::exit(3);
+        }
+        if report.closed_conns > 0 {
+            eprintln!(
+                "h2push-load: server closed {} connection(s) mid-load (timeout or abuse defense)",
+                report.closed_conns,
+            );
+            std::process::exit(4);
+        }
         eprintln!("h2push-load: load did not finish within {timeout}s");
         std::process::exit(1);
     }

@@ -4,21 +4,32 @@
 //! The serving half of live mode (the counterpart of `h2push-load`): the
 //! same `ReplayServer` state machine the simulator replays answers real
 //! sockets, so a strategy measured in the testbed can be exercised
-//! against a real client byte-for-byte.
+//! against a real client byte-for-byte — under the live supervision
+//! layer (accept gate, lifecycle deadlines, bounded output queues).
 //!
 //! ```text
 //! h2push-serve [--addr 127.0.0.1:0] [--corpus top|random|push-users]
 //!              [--seed N] [--strategy no-push|push-all|push-first:N]
 //!              [--duration SECS]
+//!              [--limits default|strict|permissive] [--max-conns N]
+//!              [--preface-timeout-ms N] [--header-timeout-ms N]
+//!              [--idle-timeout-ms N] [--write-stall-ms N]
+//!              [--max-queue-bytes N] [--drain-ms N]
+//!              [--stats-json PATH]
 //! ```
 //!
 //! Prints `listening <addr>` once bound (scriptable: `--addr 127.0.0.1:0`
 //! picks a free port) and serves until the duration elapses (default:
-//! forever). On exit, prints the accumulated server stats.
+//! forever), then drains gracefully. On exit, prints the accumulated
+//! server stats; `--stats-json` additionally writes them — including the
+//! per-close-reason counters and every typed connection error — as JSON.
 
+use h2push_h2proto::ConnLimits;
 use h2push_strategies::{push_all, push_first_n, Strategy};
-use h2push_testbed::LiveServer;
+use h2push_testbed::{LiveLimits, LiveServer, LiveServerStats};
 use h2push_webmodel::{generate_site, CorpusKind, Page};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -48,28 +59,103 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Hand-rolled JSON (the workspace carries no serde); every emitted field
+/// is a number, a string literal, or a map of those.
+fn stats_json(stats: &LiveServerStats) -> String {
+    let mut errors: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for close in &stats.close_log {
+        if let Some(e) = close.error {
+            *errors.entry(e.reason()).or_insert(0) += 1;
+        }
+    }
+    let mut reasons: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for close in &stats.close_log {
+        *reasons.entry(close.reason.label()).or_insert(0) += 1;
+    }
+    let map_json = |m: &BTreeMap<&'static str, u64>| {
+        let mut s = String::from("{");
+        for (i, (k, v)) in m.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{k}\": {v}");
+        }
+        s.push('}');
+        s
+    };
+    let c = &stats.closed;
+    format!(
+        "{{\n  \"accepted\": {},\n  \"shed\": {},\n  \"bytes_in\": {},\n  \"bytes_out\": {},\n  \
+         \"requests\": {},\n  \"pushed_bytes\": {},\n  \"protocol_errors\": {},\n  \
+         \"max_queued_bytes\": {},\n  \"closed\": {{\"clean\": {}, \"protocol_error\": {}, \
+         \"timeout\": {}, \"shed\": {}, \"write_stall\": {}, \"io_error\": {}, \
+         \"drain_killed\": {}}},\n  \"close_reasons\": {},\n  \"conn_errors\": {}\n}}\n",
+        stats.accepted,
+        stats.shed,
+        stats.bytes_in,
+        stats.bytes_out,
+        stats.requests,
+        stats.pushed_bytes,
+        stats.protocol_errors,
+        stats.max_queued_bytes,
+        c.clean,
+        c.protocol_error,
+        c.timeout,
+        c.shed,
+        c.write_stall,
+        c.io_error,
+        c.drain_killed,
+        map_json(&reasons),
+        map_json(&errors),
+    )
+}
+
 fn main() {
     let mut addr = "127.0.0.1:0".to_string();
     let mut kind = "random".to_string();
     let mut seed = 7u64;
     let mut strat = "push-all".to_string();
     let mut duration: Option<u64> = None;
+    let mut limits = LiveLimits::new();
+    let mut stats_path: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut val =
             |flag: &str| args.next().unwrap_or_else(|| die(&format!("{flag} needs a value")));
+        let mut num = |flag: &str| -> u64 {
+            val(flag).parse().unwrap_or_else(|_| die(&format!("{flag} needs a number")))
+        };
         match flag.as_str() {
             "--addr" => addr = val("--addr"),
             "--corpus" => kind = val("--corpus"),
-            "--seed" => {
-                seed = val("--seed").parse().unwrap_or_else(|_| die("--seed needs a number"))
-            }
+            "--seed" => seed = num("--seed"),
             "--strategy" => strat = val("--strategy"),
-            "--duration" => {
-                duration =
-                    Some(val("--duration").parse().unwrap_or_else(|_| die("--duration: seconds")))
+            "--duration" => duration = Some(num("--duration")),
+            "--limits" => {
+                limits.conn = match val("--limits").as_str() {
+                    "default" => ConnLimits::new(),
+                    "strict" => ConnLimits::strict(),
+                    "permissive" => ConnLimits::permissive(),
+                    other => die(&format!("unknown limits {other:?} (default|strict|permissive)")),
+                }
             }
+            "--max-conns" => limits.max_conns = num("--max-conns") as usize,
+            "--preface-timeout-ms" => {
+                limits.preface_timeout = Duration::from_millis(num("--preface-timeout-ms"))
+            }
+            "--header-timeout-ms" => {
+                limits.header_timeout = Duration::from_millis(num("--header-timeout-ms"))
+            }
+            "--idle-timeout-ms" => {
+                limits.idle_timeout = Duration::from_millis(num("--idle-timeout-ms"))
+            }
+            "--write-stall-ms" => {
+                limits.write_stall_timeout = Duration::from_millis(num("--write-stall-ms"))
+            }
+            "--max-queue-bytes" => limits.max_queued_bytes = num("--max-queue-bytes") as usize,
+            "--drain-ms" => limits.drain_deadline = Duration::from_millis(num("--drain-ms")),
+            "--stats-json" => stats_path = Some(val("--stats-json")),
             other => die(&format!("unknown flag {other:?}")),
         }
     }
@@ -80,6 +166,7 @@ fn main() {
 
     let mut server = LiveServer::bind(addr.as_str(), Arc::clone(&page), strategy)
         .unwrap_or_else(|e| die(&format!("bind {addr}: {e}")));
+    server.set_limits(limits);
     if let Some(secs) = duration {
         server.set_deadline(Duration::from_secs(secs));
     }
@@ -94,12 +181,23 @@ fn main() {
 
     let stats = server.run().unwrap_or_else(|e| die(&format!("serve loop: {e}")));
     println!(
-        "served: {} conns, {} requests, {} B in, {} B out, {} B pushed, {} protocol errors",
+        "served: {} conns ({} shed), {} requests, {} B in, {} B out, {} B pushed, {} protocol errors",
         stats.accepted,
+        stats.shed,
         stats.requests,
         stats.bytes_in,
         stats.bytes_out,
         stats.pushed_bytes,
         stats.protocol_errors,
     );
+    let c = &stats.closed;
+    println!(
+        "closed: {} clean, {} protocol, {} timeout, {} shed, {} write-stall, {} io, {} drain-killed",
+        c.clean, c.protocol_error, c.timeout, c.shed, c.write_stall, c.io_error, c.drain_killed,
+    );
+    if let Some(path) = stats_path {
+        std::fs::write(&path, stats_json(&stats))
+            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        println!("stats written to {path}");
+    }
 }

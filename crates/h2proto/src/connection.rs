@@ -420,6 +420,14 @@ impl Connection {
         self.goaway_received
     }
 
+    /// True once the peer's connection preface has been received. Client
+    /// connections are born `true` (only servers expect the 24-octet
+    /// magic); on a server this is the live runtime's accept-to-preface
+    /// supervision signal.
+    pub fn preface_received(&self) -> bool {
+        self.preface_received
+    }
+
     /// State of `stream`, if known.
     pub fn stream_state(&self, stream: u32) -> Option<StreamState> {
         self.streams.get(stream).map(|s| s.state)
@@ -681,7 +689,12 @@ impl Connection {
             snapshots.extend(self.streams.iter().filter_map(|(id, s)| {
                 let sendable = self.sendable(s);
                 if sendable > 0 {
-                    Some(StreamSnapshot { id, sendable, sent: s.out.sent, is_push: id.is_multiple_of(2) })
+                    Some(StreamSnapshot {
+                        id,
+                        sendable,
+                        sent: s.out.sent,
+                        is_push: id.is_multiple_of(2),
+                    })
                 } else {
                     None
                 }

@@ -275,6 +275,18 @@ impl ReplayServer {
         self.fatal_error
     }
 
+    /// True once the client's 24-octet connection preface has arrived
+    /// (the live runtime's accept-to-preface supervision signal).
+    pub fn preface_received(&self) -> bool {
+        self.conn.preface_received()
+    }
+
+    /// True once a fatal [`ConnError`] killed the connection: it ignores
+    /// further input and produces at most its final GOAWAY.
+    pub fn is_dead(&self) -> bool {
+        self.conn.is_dead()
+    }
+
     /// The server group this instance answers for.
     pub fn group(&self) -> usize {
         self.group
@@ -693,7 +705,9 @@ mod tests {
         let push_bytes: usize = events
             .iter()
             .filter_map(|e| match e {
-                h2push_h2proto::Event::Data { stream, len, .. } if stream.is_multiple_of(2) => Some(*len),
+                h2push_h2proto::Event::Data { stream, len, .. } if stream.is_multiple_of(2) => {
+                    Some(*len)
+                }
                 _ => None,
             })
             .sum();

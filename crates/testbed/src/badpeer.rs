@@ -633,7 +633,9 @@ fn drain_server(srv: &mut ReplayServer, fp: &mut Fnv, rounds: &mut u32, now: &mu
 }
 
 /// The benign request the splice rides on (matches [`attack_page`]).
-fn benign_request() -> Vec<Header> {
+/// Public so the live badpeer suite replays the identical splice over
+/// real TCP.
+pub fn benign_request() -> Vec<Header> {
     vec![
         Header::new(":method", "GET"),
         Header::new(":scheme", "https"),
@@ -644,8 +646,9 @@ fn benign_request() -> Vec<Header> {
 }
 
 /// A small single-origin page so the victim server has real content (and
-/// a real push strategy) behind it.
-fn attack_page() -> Page {
+/// a real push strategy) behind it. Public so the live badpeer suite
+/// serves the identical page over real TCP.
+pub fn attack_page() -> Page {
     let mut b = PageBuilder::new("badpeer", "bad.test", 20_000, 2_000);
     b.resource(ResourceSpec::css(0, 6_000, 200, 0.5));
     b.resource(ResourceSpec::js(0, 8_000, 900, 4_000));

@@ -24,8 +24,9 @@ pub mod sweep;
 pub mod waterfall;
 
 pub use badpeer::{
-    attack_client, attack_client_in, attack_server, attack_server_in, run_attack, run_attack_in,
-    run_suite, run_suite_in, AttackCtx, AttackKind, AttackOutcome, AttackScript, Victim,
+    attack_client, attack_client_in, attack_page, attack_server, attack_server_in, benign_request,
+    run_attack, run_attack_in, run_suite, run_suite_in, AttackCtx, AttackKind, AttackOutcome,
+    AttackScript, Victim,
 };
 pub use chaos::{
     apply_profile, default_matrix, observe, run_fault_matrix, strategy_label, ChaosCell,
@@ -35,7 +36,10 @@ pub use checkpoint::{GridIdentity, JournalScan, ResumeError, SweepJournal};
 pub use driver::ReplayCtx;
 pub use harness::{compute_push_order, run_config, Mode, PAPER_RUNS};
 #[cfg(unix)]
-pub use live::{load_page, LiveLoadReport, LiveServer, LiveServerHandle, LiveServerStats};
+pub use live::{
+    load_page, CloseCounts, CloseReason, ConnClose, LiveLimits, LiveLoadReport, LiveServer,
+    LiveServerHandle, LiveServerStats, TimeoutKind,
+};
 pub use plan::{RunOutput, RunPlan, RunReport, TraceSpec};
 pub use pool::{parallel_indexed, set_worker_threads, worker_threads};
 pub use prepared::PreparedPage;

@@ -21,10 +21,49 @@
 //!   document, exactly as in the sim).
 //! * [`load_page`] — the loopback load client: drives a real [`Browser`]
 //!   over TCP connections to one address and returns its [`LoadResult`].
+//!
+//! # Supervision
+//!
+//! Real networks contain peers the simulator never models: clients that
+//! connect and say nothing, that stop reading mid-response, that flood or
+//! reset or vanish. Every accepted connection therefore lives under a
+//! supervisor ([`LiveLimits`]) with a typed lifecycle:
+//!
+//! ```text
+//!            accept            preface           first request
+//!   (gate) ────────► Preface ─────────► Handshake ─────────► Active
+//!     │ over            │ preface_timeout   │ header_timeout   │ idle_timeout
+//!     │ max_conns       ▼                   ▼                  ▼
+//!     ▼               Timeout(Preface)  Timeout(Header)   Timeout(Idle)
+//!    Shed
+//!
+//!   any state ──peer EOF──► Clean        any state ──ConnError──► ProtocolError
+//!   any state ──socket error──► IoError
+//!   out queued, no write progress for write_stall_timeout ──► WriteStall
+//!   still open at drain deadline after stop() ──► DrainKilled
+//! ```
+//!
+//! Each close is recorded once, with its [`CloseReason`] and the
+//! machine's typed [`ConnError`] (if any), in
+//! [`LiveServerStats::close_log`] — so the badpeer attack catalogue can
+//! assert the *same* typed errors over real TCP as over in-memory
+//! `feed_bytes`. Per-connection output is bounded by
+//! `max_queued_bytes`: the runtime polls the machine only while there is
+//! room, so a slow reader (the classic slow-read attack: grant a huge
+//! flow-control window, never drain the socket) costs a bounded queue and
+//! is closed for [`CloseReason::WriteStall`] when the socket makes no
+//! progress for `write_stall_timeout`.
+//!
+//! [`LiveServerHandle::stop`] triggers a *graceful drain*: the listener
+//! closes immediately (no new work), in-flight connections keep being
+//! served until their peers finish and hang up, and whatever is still
+//! open at `drain_deadline` is flushed once and killed. `run()` then
+//! returns the complete [`LiveServerStats`].
 
 use bytes::Bytes;
 use h2push_browser::{Browser, BrowserAction, BrowserConfig, LoadResult, TransportMode};
 use h2push_h2proto::sansio::Endpoint;
+use h2push_h2proto::{ConnError, ConnLimits};
 use h2push_netsim::SimTime;
 use h2push_server::ReplayServer;
 use h2push_strategies::Strategy;
@@ -33,7 +72,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -59,10 +98,18 @@ extern "C" {
         -> std::ffi::c_int;
 }
 
-/// Block until an fd is ready or `timeout` elapses; EINTR retries.
+/// Block until an fd is ready or `timeout` elapses. EINTR retries resume
+/// with the *remaining* fraction of the timeout, and sub-millisecond
+/// waits round up to 1 ms so a short timer never degenerates into a
+/// `poll(0)` busy-spin.
 fn poll_fds(fds: &mut [PollFd], timeout: Duration) -> io::Result<usize> {
-    let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+    let deadline = Instant::now() + timeout;
     loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        let mut ms = left.as_millis().min(i32::MAX as u128) as i32;
+        if ms == 0 && !left.is_zero() {
+            ms = 1;
+        }
         let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, ms) };
         if n >= 0 {
             return Ok(n as usize);
@@ -76,20 +123,31 @@ fn poll_fds(fds: &mut [PollFd], timeout: Duration) -> io::Result<usize> {
 
 /// Read-buffer granularity for both halves of the runtime.
 const READ_CHUNK: usize = 64 * 1024;
-/// How many produced-but-unsent bytes a server connection may buffer
-/// before the runtime stops polling its machine for more output.
-const HIGH_WATER: usize = 1 << 20;
-/// Poll tick when nothing else bounds the wait (shutdown-flag latency).
+/// Poll tick when nothing else bounds the wait (shutdown-flag latency and
+/// supervision-deadline granularity).
 const TICK: Duration = Duration::from_millis(25);
 
 /// Flush as much of `out` into `stream` as the socket accepts right now.
-/// Returns false when the connection is unusable (reset / broken pipe).
-fn flush_out(stream: &mut TcpStream, out: &mut VecDeque<Bytes>, sent: &mut u64) -> bool {
+/// Partial writes drop exactly the written prefix (zero-copy `split_to`)
+/// and keep the remainder queued; `WouldBlock` leaves the queue intact;
+/// EINTR retries. `out_len` mirrors the queue's byte total incrementally.
+/// Returns `(alive, progressed)`: `alive == false` means the connection
+/// is unusable (reset / broken pipe), `progressed` whether at least one
+/// byte left the queue (the write-stall supervision signal).
+fn flush_out(
+    stream: &mut TcpStream,
+    out: &mut VecDeque<Bytes>,
+    out_len: &mut usize,
+    sent: &mut u64,
+) -> (bool, bool) {
+    let mut progressed = false;
     while let Some(front) = out.front_mut() {
         match stream.write(front) {
-            Ok(0) => return false,
+            Ok(0) => return (false, progressed),
             Ok(n) => {
                 *sent += n as u64;
+                *out_len -= n;
+                progressed = true;
                 if n == front.len() {
                     out.pop_front();
                 } else {
@@ -98,24 +156,183 @@ fn flush_out(stream: &mut TcpStream, out: &mut VecDeque<Bytes>, sent: &mut u64) 
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(_) => return false,
+            Err(_) => return (false, progressed),
         }
     }
-    true
+    (true, progressed)
 }
 
-fn queued_len(out: &VecDeque<Bytes>) -> usize {
-    out.iter().map(|b| b.len()).sum()
+// ---- supervision policy --------------------------------------------------
+
+/// Which supervision deadline a connection missed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutKind {
+    /// Accepted but never completed the 24-octet client preface.
+    Preface,
+    /// Preface arrived but no request did.
+    HeaderReceive,
+    /// A served connection with nothing queued and no traffic.
+    Idle,
 }
 
-// ---- server --------------------------------------------------------------
+/// Why the live runtime retired a connection (the typed end of the
+/// per-connection lifecycle; see the module-level state diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// Peer closed cleanly (EOF) after a well-behaved exchange.
+    Clean,
+    /// The machine died of a fatal [`ConnError`]; its GOAWAY was flushed.
+    ProtocolError,
+    /// A supervision deadline expired.
+    Timeout(TimeoutKind),
+    /// Refused at the accept gate: `max_conns` connections were already
+    /// being served (the newcomer is shed, deterministically).
+    Shed,
+    /// Output queued but the socket made no progress for
+    /// `write_stall_timeout` — the slow-read / slowloris defense.
+    WriteStall,
+    /// Hard socket error (reset, broken pipe).
+    IoError,
+    /// Still open when the graceful-drain deadline expired.
+    DrainKilled,
+}
+
+impl CloseReason {
+    /// Stable label (stats JSON, CI output).
+    pub fn label(self) -> &'static str {
+        match self {
+            CloseReason::Clean => "clean",
+            CloseReason::ProtocolError => "protocol_error",
+            CloseReason::Timeout(TimeoutKind::Preface) => "timeout_preface",
+            CloseReason::Timeout(TimeoutKind::HeaderReceive) => "timeout_header",
+            CloseReason::Timeout(TimeoutKind::Idle) => "timeout_idle",
+            CloseReason::Shed => "shed",
+            CloseReason::WriteStall => "write_stall",
+            CloseReason::IoError => "io_error",
+            CloseReason::DrainKilled => "drain_killed",
+        }
+    }
+}
+
+/// Supervision policy for a [`LiveServer`]: the protocol-level
+/// [`ConnLimits`] armed on every accepted machine, plus the
+/// transport-level bounds the sans-IO machines cannot enforce themselves
+/// (they own no socket and no clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveLimits {
+    /// RFC 7540 resource limits armed on each connection's machine.
+    pub conn: ConnLimits,
+    /// Accept gate: connections served concurrently before newcomers are
+    /// shed (accepted then immediately closed, so the client sees EOF
+    /// instead of hanging in the backlog).
+    pub max_conns: usize,
+    /// Accept-to-preface deadline.
+    pub preface_timeout: Duration,
+    /// Preface-to-first-request deadline.
+    pub header_timeout: Duration,
+    /// No-traffic deadline after the first request was served.
+    pub idle_timeout: Duration,
+    /// Queued output with no write progress for this long closes the
+    /// connection ([`CloseReason::WriteStall`]).
+    pub write_stall_timeout: Duration,
+    /// Per-connection output-queue bound (bytes): the machine is polled
+    /// for more output only while the queue is below this, so one slow
+    /// reader costs at most this much buffered memory (plus at most one
+    /// frame of overshoot — frames are atomic on the wire).
+    pub max_queued_bytes: usize,
+    /// Grace period after `stop()` for in-flight connections to finish
+    /// before they are flushed once and killed.
+    pub drain_deadline: Duration,
+}
+
+impl LiveLimits {
+    /// Defaults: generous enough that a well-behaved loopback load never
+    /// trips anything, tight enough that every abuse class is bounded.
+    pub fn new() -> Self {
+        LiveLimits {
+            conn: ConnLimits::new(),
+            max_conns: 1024,
+            preface_timeout: Duration::from_secs(5),
+            header_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(60),
+            write_stall_timeout: Duration::from_secs(10),
+            max_queued_bytes: 1 << 20,
+            drain_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Default for LiveLimits {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-close-reason counters (one bump per retired connection).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CloseCounts {
+    /// Peer EOF after a well-behaved exchange.
+    pub clean: u64,
+    /// Fatal typed [`ConnError`]s (GOAWAY sent).
+    pub protocol_error: u64,
+    /// All three supervision deadlines combined (the close log keeps the
+    /// [`TimeoutKind`]s distinct).
+    pub timeout: u64,
+    /// Refused at the accept gate.
+    pub shed: u64,
+    /// Slow readers closed for write stall.
+    pub write_stall: u64,
+    /// Hard socket errors.
+    pub io_error: u64,
+    /// Killed at the graceful-drain deadline.
+    pub drain_killed: u64,
+}
+
+impl CloseCounts {
+    fn bump(&mut self, reason: CloseReason) {
+        match reason {
+            CloseReason::Clean => self.clean += 1,
+            CloseReason::ProtocolError => self.protocol_error += 1,
+            CloseReason::Timeout(_) => self.timeout += 1,
+            CloseReason::Shed => self.shed += 1,
+            CloseReason::WriteStall => self.write_stall += 1,
+            CloseReason::IoError => self.io_error += 1,
+            CloseReason::DrainKilled => self.drain_killed += 1,
+        }
+    }
+
+    /// Total retired connections.
+    pub fn total(&self) -> u64 {
+        self.clean
+            + self.protocol_error
+            + self.timeout
+            + self.shed
+            + self.write_stall
+            + self.io_error
+            + self.drain_killed
+    }
+}
+
+/// One retired connection, in retirement order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnClose {
+    /// Why the runtime retired it.
+    pub reason: CloseReason,
+    /// The machine's typed fatal error, if it died of one — the same
+    /// [`ConnError`] the in-memory sans-IO harness reports for the same
+    /// byte stream.
+    pub error: Option<ConnError>,
+}
 
 /// Counters a [`LiveServer`] run accumulates (totals over every
 /// connection, including ones already closed).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LiveServerStats {
-    /// Connections accepted.
+    /// Connections admitted past the accept gate.
     pub accepted: u64,
+    /// Connections refused at the accept gate (also counted in
+    /// `closed.shed`).
+    pub shed: u64,
     /// Wire bytes received from clients.
     pub bytes_in: u64,
     /// Wire bytes written to clients.
@@ -126,42 +343,118 @@ pub struct LiveServerStats {
     pub pushed_bytes: u64,
     /// Protocol violations observed (0 with a well-behaved client).
     pub protocol_errors: u64,
+    /// Peak per-connection output-queue depth (bytes) seen across the
+    /// run — never exceeds [`LiveLimits::max_queued_bytes`] by more than
+    /// one wire frame.
+    pub max_queued_bytes: usize,
+    /// Per-close-reason counters.
+    pub closed: CloseCounts,
+    /// Every retired connection with its reason and typed error.
+    pub close_log: Vec<ConnClose>,
 }
 
 /// Remote control for a running [`LiveServer`]: signal shutdown from
-/// another thread (the run loop notices within one poll tick).
+/// another thread (the run loop notices within one poll tick) and watch
+/// accept progress.
 #[derive(Debug, Clone)]
 pub struct LiveServerHandle {
     stop: Arc<AtomicBool>,
+    accepted: Arc<AtomicU64>,
 }
 
 impl LiveServerHandle {
-    /// Ask the server loop to finish; `LiveServer::run` then returns its
-    /// stats.
+    /// Ask the server loop to drain: the listener closes immediately,
+    /// in-flight connections are served to completion (or killed at the
+    /// drain deadline), then `LiveServer::run` returns its stats.
     pub fn stop(&self) {
         self.stop.store(true, Ordering::Relaxed);
     }
+
+    /// Connections admitted so far (live view of the run loop).
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
 }
 
-/// One accepted connection: a socket plus its sans-IO replay server.
+/// One accepted connection: a socket, its sans-IO replay server, and the
+/// supervision state the machine cannot own (it has no socket and no
+/// clock).
 struct ServerConn {
     stream: TcpStream,
     machine: ReplayServer,
     out: VecDeque<Bytes>,
-    dead: bool,
+    /// Byte total of `out`, maintained incrementally.
+    out_len: usize,
+    /// µs timestamps for the lifecycle deadlines.
+    accepted_at: u64,
+    preface_at: Option<u64>,
+    first_request_at: Option<u64>,
+    /// Last read or write progress (idle supervision).
+    last_progress_at: u64,
+    /// Since when queued output has made no progress (write-stall
+    /// supervision); `None` while the queue is empty or moving.
+    stalled_since: Option<u64>,
+    close: Option<CloseReason>,
+}
+
+impl ServerConn {
+    fn new(stream: TcpStream, machine: ReplayServer, now: u64) -> Self {
+        ServerConn {
+            stream,
+            machine,
+            out: VecDeque::new(),
+            out_len: 0,
+            accepted_at: now,
+            preface_at: None,
+            first_request_at: None,
+            last_progress_at: now,
+            stalled_since: None,
+            close: None,
+        }
+    }
+
+    /// First expired supervision deadline, if any.
+    fn expired(&self, now: u64, lim: &LiveLimits) -> Option<CloseReason> {
+        let over = |since: u64, d: Duration| now.saturating_sub(since) >= d.as_micros() as u64;
+        if let Some(since) = self.stalled_since {
+            if over(since, lim.write_stall_timeout) {
+                return Some(CloseReason::WriteStall);
+            }
+        }
+        match (self.preface_at, self.first_request_at) {
+            (None, _) if over(self.accepted_at, lim.preface_timeout) => {
+                Some(CloseReason::Timeout(TimeoutKind::Preface))
+            }
+            (Some(p), None) if over(p, lim.header_timeout) => {
+                Some(CloseReason::Timeout(TimeoutKind::HeaderReceive))
+            }
+            (Some(_), Some(_))
+                if self.out_len == 0
+                    && !self.machine.wants_output()
+                    && over(self.last_progress_at, lim.idle_timeout) =>
+            {
+                Some(CloseReason::Timeout(TimeoutKind::Idle))
+            }
+            _ => None,
+        }
+    }
 }
 
 /// A live push server for one page: every accepted TCP connection gets a
 /// full [`ReplayServer`] answering any of the page's origins by
 /// host+path, with the push strategy armed (it fires only on the
-/// connection that requests the base document — same rule as the sim).
+/// connection that requests the base document — same rule as the sim)
+/// and the [`LiveLimits`] supervisor watching the transport.
 pub struct LiveServer {
-    listener: TcpListener,
+    listener: Option<TcpListener>,
+    addr: SocketAddr,
     page: Arc<Page>,
     db: Arc<RecordDb>,
     strategy: Arc<Strategy>,
     stop: Arc<AtomicBool>,
+    accepted: Arc<AtomicU64>,
     deadline: Option<Duration>,
+    limits: LiveLimits,
 }
 
 impl LiveServer {
@@ -175,50 +468,91 @@ impl LiveServer {
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
         let db = Arc::new(RecordDb::record(&page));
         Ok(LiveServer {
-            listener,
+            listener: Some(listener),
+            addr,
             page,
             db,
             strategy: strategy.into(),
             stop: Arc::new(AtomicBool::new(false)),
+            accepted: Arc::new(AtomicU64::new(0)),
             deadline: None,
+            limits: LiveLimits::new(),
         })
     }
 
     /// The bound address (port resolved when binding `:0`).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
-        self.listener.local_addr()
+        Ok(self.addr)
     }
 
     /// A handle for stopping the run loop from another thread.
     pub fn handle(&self) -> LiveServerHandle {
-        LiveServerHandle { stop: Arc::clone(&self.stop) }
+        LiveServerHandle { stop: Arc::clone(&self.stop), accepted: Arc::clone(&self.accepted) }
     }
 
-    /// Stop serving after `d`, even without a [`LiveServerHandle::stop`].
+    /// Begin draining after `d`, even without a [`LiveServerHandle::stop`].
     pub fn set_deadline(&mut self, d: Duration) {
         self.deadline = Some(d);
     }
 
-    /// Serve until stopped (handle or deadline). Consumes the server;
-    /// returns the accumulated stats.
-    pub fn run(self) -> io::Result<LiveServerStats> {
+    /// Replace the supervision policy (defaults are [`LiveLimits::new`]).
+    pub fn set_limits(&mut self, limits: LiveLimits) {
+        self.limits = limits;
+    }
+
+    /// The supervision policy in effect.
+    pub fn limits(&self) -> &LiveLimits {
+        &self.limits
+    }
+
+    /// Serve until stopped (handle or deadline), then drain gracefully.
+    /// Consumes the server; returns the accumulated stats.
+    pub fn run(mut self) -> io::Result<LiveServerStats> {
         let epoch = Instant::now();
+        let lim = self.limits;
         let mut stats = LiveServerStats::default();
         let mut conns: Vec<ServerConn> = Vec::new();
         let mut buf = vec![0u8; READ_CHUNK];
+        let mut drain_started: Option<Duration> = None;
         loop {
-            if self.stop.load(Ordering::Relaxed) {
-                break;
+            let elapsed = epoch.elapsed();
+            if drain_started.is_none()
+                && (self.stop.load(Ordering::Relaxed)
+                    || self.deadline.is_some_and(|d| elapsed >= d))
+            {
+                // Graceful drain: stop accepting first (close the
+                // listener socket), then keep serving what's in flight.
+                drain_started = Some(elapsed);
+                self.listener = None;
             }
-            if let Some(d) = self.deadline {
-                if epoch.elapsed() >= d {
+            if let Some(started) = drain_started {
+                if conns.is_empty() {
+                    break;
+                }
+                if elapsed - started >= lim.drain_deadline {
+                    // Deadline: one last flush each, then kill the rest.
+                    for c in conns.iter_mut() {
+                        let _ = flush_out(
+                            &mut c.stream,
+                            &mut c.out,
+                            &mut c.out_len,
+                            &mut stats.bytes_out,
+                        );
+                        c.close.get_or_insert(CloseReason::DrainKilled);
+                    }
+                    harvest(&mut conns, &mut stats);
                     break;
                 }
             }
-            let mut fds = Vec::with_capacity(conns.len() + 1);
-            fds.push(PollFd { fd: self.listener.as_raw_fd(), events: POLLIN, revents: 0 });
+
+            let base = usize::from(self.listener.is_some());
+            let mut fds = Vec::with_capacity(conns.len() + base);
+            if let Some(l) = &self.listener {
+                fds.push(PollFd { fd: l.as_raw_fd(), events: POLLIN, revents: 0 });
+            }
             for c in &conns {
                 let mut events = POLLIN;
                 if !c.out.is_empty() {
@@ -230,24 +564,44 @@ impl LiveServer {
 
             // New connections. `fds` covers only the pre-accept conns;
             // ones accepted now are first served on the next tick.
-            let polled = conns.len();
-            if fds[0].revents & POLLIN != 0 {
+            let polled = fds.len() - base;
+            if base == 1 && fds[0].revents & POLLIN != 0 {
+                let listener = self.listener.as_ref().expect("listener polled");
                 loop {
-                    match self.listener.accept() {
+                    match listener.accept() {
                         Ok((stream, _peer)) => {
-                            stream.set_nonblocking(true)?;
+                            let now = epoch.elapsed().as_micros() as u64;
+                            if conns.len() >= lim.max_conns {
+                                // Deterministic shed policy: the newcomer
+                                // is refused. Accepting then dropping (vs
+                                // leaving it in the backlog) hands the
+                                // client an immediate EOF and keeps the
+                                // listener from staying readable forever.
+                                stats.shed += 1;
+                                stats.closed.bump(CloseReason::Shed);
+                                stats
+                                    .close_log
+                                    .push(ConnClose { reason: CloseReason::Shed, error: None });
+                                drop(stream);
+                                continue;
+                            }
+                            if stream.set_nonblocking(true).is_err() {
+                                stats.closed.bump(CloseReason::IoError);
+                                stats
+                                    .close_log
+                                    .push(ConnClose { reason: CloseReason::IoError, error: None });
+                                continue;
+                            }
                             let _ = stream.set_nodelay(true);
                             stats.accepted += 1;
-                            conns.push(ServerConn {
-                                stream,
-                                machine: ReplayServer::live(
-                                    Arc::clone(&self.page),
-                                    Arc::clone(&self.db),
-                                    &self.strategy,
-                                ),
-                                out: VecDeque::new(),
-                                dead: false,
-                            });
+                            self.accepted.fetch_add(1, Ordering::Relaxed);
+                            let mut machine = ReplayServer::live(
+                                Arc::clone(&self.page),
+                                Arc::clone(&self.db),
+                                &self.strategy,
+                            );
+                            machine.set_limits(lim.conn);
+                            conns.push(ServerConn::new(stream, machine, now));
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                         Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -256,63 +610,118 @@ impl LiveServer {
                 }
             }
 
-            // Existing connections: feed readable bytes, drain output.
+            // Existing connections: feed readable bytes, pump machine
+            // output under the queue bound, flush, supervise.
             for (i, c) in conns.iter_mut().take(polled).enumerate() {
-                let re = fds[i + 1].revents;
-                if re & (POLLERR | POLLHUP) != 0 && re & POLLIN == 0 {
-                    c.dead = true;
+                if c.close.is_some() {
                     continue;
                 }
+                let re = fds[i + base].revents;
                 let now = epoch.elapsed().as_micros() as u64;
                 if re & POLLIN != 0 {
                     loop {
                         match c.stream.read(&mut buf) {
                             Ok(0) => {
-                                c.dead = true;
+                                c.close = Some(CloseReason::Clean);
                                 break;
                             }
                             Ok(n) => {
                                 stats.bytes_in += n as u64;
+                                c.last_progress_at = now;
                                 c.machine.feed_bytes(&buf[..n], now);
                             }
                             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                             Err(_) => {
-                                c.dead = true;
+                                c.close = Some(CloseReason::IoError);
                                 break;
                             }
                         }
                     }
+                } else if re & (POLLERR | POLLHUP) != 0 {
+                    c.close = Some(CloseReason::IoError);
                 }
-                // Pull transmit bytes from the machine up to the high
-                //-water mark, then flush what the socket accepts.
-                while !c.dead && queued_len(&c.out) < HIGH_WATER && c.machine.wants_output() {
-                    let bytes = c.machine.poll_output(READ_CHUNK, now);
+                if c.preface_at.is_none() && c.machine.preface_received() {
+                    c.preface_at = Some(now);
+                }
+                if c.first_request_at.is_none() && !c.machine.observations().is_empty() {
+                    c.first_request_at = Some(now);
+                }
+
+                // Pull transmit bytes from the machine only while the
+                // queue has room — the per-connection memory bound.
+                while c.close.is_none() && c.machine.wants_output() {
+                    // Saturating: frames are atomic, so a poll can land a
+                    // few bytes past the cap — the next iteration must see
+                    // zero room, not a wrapped-around "infinite" budget.
+                    let room = lim.max_queued_bytes.saturating_sub(c.out_len);
+                    if room == 0 {
+                        break;
+                    }
+                    let bytes = c.machine.poll_output(room.min(READ_CHUNK), now);
                     if bytes.is_empty() {
                         break; // flow-control blocked on the H2 level
                     }
+                    c.out_len += bytes.len();
+                    stats.max_queued_bytes = stats.max_queued_bytes.max(c.out_len);
                     c.out.push_back(bytes);
                 }
-                if !c.dead && !flush_out(&mut c.stream, &mut c.out, &mut stats.bytes_out) {
-                    c.dead = true;
+                if c.close.is_none() && !c.out.is_empty() {
+                    let (alive, progressed) =
+                        flush_out(&mut c.stream, &mut c.out, &mut c.out_len, &mut stats.bytes_out);
+                    if progressed {
+                        c.last_progress_at = now;
+                    }
+                    if !alive {
+                        c.close = Some(CloseReason::IoError);
+                    }
+                }
+                // Write-stall tracking: armed while bytes sit unqueued,
+                // cleared by any progress (or an emptied queue).
+                if c.out_len == 0 || c.last_progress_at == now {
+                    c.stalled_since = None;
+                } else if c.stalled_since.is_none() {
+                    c.stalled_since = Some(now);
+                }
+                // A dead machine whose GOAWAY is fully flushed is done.
+                if c.close.is_none()
+                    && c.machine.is_dead()
+                    && c.out.is_empty()
+                    && !c.machine.wants_output()
+                {
+                    c.close = Some(CloseReason::ProtocolError);
+                }
+                if c.close.is_none() {
+                    if let Some(reason) = c.expired(now, &lim) {
+                        c.close = Some(reason);
+                    }
                 }
             }
 
-            // Harvest and drop finished connections.
-            for c in conns.iter().filter(|c| c.dead) {
-                stats.requests += c.machine.observations().len() as u64;
-                stats.pushed_bytes += c.machine.pushed_bytes();
-                stats.protocol_errors += u64::from(c.machine.protocol_errors());
-            }
-            conns.retain(|c| !c.dead);
-        }
-        for c in &conns {
-            stats.requests += c.machine.observations().len() as u64;
-            stats.pushed_bytes += c.machine.pushed_bytes();
-            stats.protocol_errors += u64::from(c.machine.protocol_errors());
+            harvest(&mut conns, &mut stats);
         }
         Ok(stats)
     }
+}
+
+/// Retire every closed connection: fold its machine's counters into the
+/// stats and record the typed close exactly once.
+fn harvest(conns: &mut Vec<ServerConn>, stats: &mut LiveServerStats) {
+    conns.retain_mut(|c| {
+        let Some(mut reason) = c.close else { return true };
+        let error = c.machine.fatal_error();
+        // A machine that died of a protocol violation reports it as such
+        // even when the transport saw the peer hang up first.
+        if error.is_some() && reason == CloseReason::Clean {
+            reason = CloseReason::ProtocolError;
+        }
+        stats.requests += c.machine.observations().len() as u64;
+        stats.pushed_bytes += c.machine.pushed_bytes();
+        stats.protocol_errors += u64::from(c.machine.protocol_errors());
+        stats.closed.bump(reason);
+        stats.close_log.push(ConnClose { reason, error });
+        false
+    });
 }
 
 // ---- load client ---------------------------------------------------------
@@ -329,11 +738,19 @@ pub struct LiveLoadReport {
     pub bytes_out: u64,
     /// TCP connections opened.
     pub conns: u32,
+    /// Connections the server closed before a single response byte
+    /// arrived — the accept-gate shed signature.
+    pub shed_conns: u32,
+    /// Connections the server closed (EOF, reset) after traffic but
+    /// before the load finished — the timeout / abuse-defense signature.
+    pub closed_conns: u32,
 }
 
 struct ClientConn {
     stream: TcpStream,
     out: VecDeque<Bytes>,
+    out_len: usize,
+    bytes_in: u64,
     dead: bool,
 }
 
@@ -362,7 +779,22 @@ pub fn load_page(
     let mut bytes_in = 0u64;
     let mut bytes_out = 0u64;
     let mut opened = 0u32;
+    let mut shed_conns = 0u32;
+    let mut closed_conns = 0u32;
     let mut buf = vec![0u8; READ_CHUNK];
+
+    // Classify a peer-initiated close: before any response byte it is the
+    // accept-gate shed signature, after traffic a mid-load close.
+    let classify = |c: &mut ClientConn, shed: &mut u32, closed: &mut u32| {
+        if !c.dead {
+            c.dead = true;
+            if c.bytes_in == 0 {
+                *shed += 1;
+            } else {
+                *closed += 1;
+            }
+        }
+    };
 
     while !browser.done() && epoch.elapsed() < timeout {
         // Realize actions; opening a connection completes synchronously
@@ -375,7 +807,13 @@ pub fn load_page(
                     stream.set_nonblocking(true)?;
                     conns.insert(
                         (group, slot),
-                        ClientConn { stream, out: VecDeque::new(), dead: false },
+                        ClientConn {
+                            stream,
+                            out: VecDeque::new(),
+                            out_len: 0,
+                            bytes_in: 0,
+                            dead: false,
+                        },
                     );
                     opened += 1;
                     let actions = browser.on_connected(group, slot, SimTime(now_us(&epoch)));
@@ -384,9 +822,16 @@ pub fn load_page(
                 BrowserAction::SendBytes { group, slot, bytes } => {
                     if let Some(c) = conns.get_mut(&(group, slot)) {
                         if !c.dead {
+                            c.out_len += bytes.len();
                             c.out.push_back(bytes);
-                            if !flush_out(&mut c.stream, &mut c.out, &mut bytes_out) {
-                                c.dead = true;
+                            let (alive, _) = flush_out(
+                                &mut c.stream,
+                                &mut c.out,
+                                &mut c.out_len,
+                                &mut bytes_out,
+                            );
+                            if !alive {
+                                classify(c, &mut shed_conns, &mut closed_conns);
                             }
                         }
                     }
@@ -448,11 +893,12 @@ pub fn load_page(
                 loop {
                     match c.stream.read(&mut buf) {
                         Ok(0) => {
-                            c.dead = true;
+                            classify(c, &mut shed_conns, &mut closed_conns);
                             break;
                         }
                         Ok(n) => {
                             bytes_in += n as u64;
+                            c.bytes_in += n as u64;
                             let t = SimTime(now_us(&epoch));
                             let actions = browser.on_bytes(key.0, key.1, &buf[..n], t);
                             queue.extend(actions);
@@ -460,22 +906,32 @@ pub fn load_page(
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                         Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                         Err(_) => {
-                            c.dead = true;
+                            classify(c, &mut shed_conns, &mut closed_conns);
                             break;
                         }
                     }
                 }
             } else if fd.revents & (POLLERR | POLLHUP) != 0 {
-                c.dead = true;
+                classify(c, &mut shed_conns, &mut closed_conns);
             }
-            if !c.dead
-                && fd.revents & POLLOUT != 0
-                && !flush_out(&mut c.stream, &mut c.out, &mut bytes_out)
-            {
-                c.dead = true;
+            if !c.dead && fd.revents & POLLOUT != 0 {
+                let (alive, _) =
+                    flush_out(&mut c.stream, &mut c.out, &mut c.out_len, &mut bytes_out);
+                if !alive {
+                    classify(c, &mut shed_conns, &mut closed_conns);
+                }
             }
         }
     }
 
-    Ok(LiveLoadReport { load: browser.result(), bytes_in, bytes_out, conns: opened })
+    // A connection the server closed after the load finished is not a
+    // failure; the counters above only accumulate while loading.
+    Ok(LiveLoadReport {
+        load: browser.result(),
+        bytes_in,
+        bytes_out,
+        conns: opened,
+        shed_conns,
+        closed_conns,
+    })
 }

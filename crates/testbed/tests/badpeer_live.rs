@@ -1,0 +1,411 @@
+//! The badpeer attack catalogue over real TCP.
+//!
+//! The sans-IO contract promises that the harness owns nothing the
+//! protocol outcome depends on — `badpeer_sansio.rs` proved that for
+//! in-memory `feed_bytes`. This suite closes the loop over an actual
+//! socket: every scripted attack replays its recorded wire bytes against
+//! a [`LiveServer`] (or, for the client-victim kind, from a malicious
+//! TCP listener against a real client `Connection`) and must die with —
+//! or survive to — the *same typed [`ConnError`]* the canonical
+//! in-memory suite reports, while the supervision layer records the
+//! close in [`LiveServerStats::close_log`].
+//!
+//! It also exercises the two defenses only a transport can witness:
+//! a slow reader pinned under the output-queue bound until the
+//! write-stall deadline retires it, and a server that keeps completing
+//! well-behaved loads while the full catalogue fires at it.
+#![cfg(unix)]
+
+use h2push_browser::BrowserConfig;
+use h2push_h2proto::{
+    ConnError, ConnLimits, Connection, DefaultScheduler, Event, Frame, PrioritySpec, Settings,
+};
+use h2push_strategies::Strategy;
+use h2push_testbed::{
+    attack_page, benign_request, load_page, run_suite, AttackKind, AttackOutcome, AttackScript,
+    CloseReason, LiveLimits, LiveServer, LiveServerStats, Victim,
+};
+use h2push_webmodel::{PageBuilder, ResourceId};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The benign splice-in every server-victim script rides on, as raw wire
+/// bytes: preface, SETTINGS and one GET from a real client `Connection` —
+/// byte-identical to what the canonical harness feeds first.
+fn benign_splice() -> Vec<u8> {
+    let mut cli = Connection::client(Settings::default());
+    let mut sched = DefaultScheduler::new();
+    cli.request(&benign_request(), Some(PrioritySpec::default()));
+    let mut v = Vec::new();
+    loop {
+        let out = cli.produce(usize::MAX, &mut sched);
+        if out.is_empty() {
+            break;
+        }
+        v.extend_from_slice(&out);
+    }
+    v
+}
+
+/// Write that tolerates the victim hanging up mid-stream (a server that
+/// already died of the attack closes the socket; the remaining attack
+/// bytes have nowhere to go and that is fine). Returns false once the
+/// peer is gone.
+fn write_lossy(s: &mut TcpStream, bytes: &[u8]) -> bool {
+    s.write_all(bytes).is_ok()
+}
+
+/// Read until EOF (or a reset, which equally proves the peer retired the
+/// connection), bounded so a wedged server fails the test instead of
+/// hanging it.
+fn read_to_eof(s: &mut TcpStream, label: &str) {
+    s.set_read_timeout(Some(Duration::from_millis(100))).unwrap();
+    let mut buf = [0u8; 16 * 1024];
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        match s.read(&mut buf) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+        assert!(Instant::now() < deadline, "{label}: victim never closed the connection");
+    }
+}
+
+/// One server-victim attack over a real socket: fresh [`LiveServer`] on
+/// the canonical attack page with strict limits, benign splice then the
+/// compiled chunks, half-close, drain. Returns the run's stats.
+fn attack_live_server(script: &AttackScript) -> LiveServerStats {
+    let page = Arc::new(attack_page());
+    let mut server =
+        LiveServer::bind("127.0.0.1:0", page, Strategy::PushList { order: vec![ResourceId(1)] })
+            .expect("bind loopback");
+    let mut limits = LiveLimits::new();
+    limits.conn = ConnLimits::strict();
+    limits.drain_deadline = Duration::from_secs(5);
+    server.set_limits(limits);
+    server.set_deadline(Duration::from_secs(30));
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let mut s = TcpStream::connect(addr).expect("connect");
+    let _ = s.set_nodelay(true);
+    if write_lossy(&mut s, &benign_splice()) {
+        for chunk in script.compile() {
+            if !write_lossy(&mut s, &chunk) {
+                break;
+            }
+        }
+    }
+    let _ = s.shutdown(Shutdown::Write);
+    read_to_eof(&mut s, script.kind.label());
+    drop(s);
+
+    handle.stop();
+    server_thread.join().expect("server thread").expect("server run")
+}
+
+#[test]
+fn server_victim_attacks_reach_same_typed_errors_over_tcp() {
+    let canonical = run_suite(42, ConnLimits::strict());
+    let server_victims: Vec<&AttackOutcome> =
+        canonical.iter().filter(|o| o.victim == Victim::Server).collect();
+    assert_eq!(server_victims.len(), 10, "catalogue shape changed");
+
+    for outcome in server_victims {
+        let script = AttackScript::new(outcome.kind, outcome.seed);
+        let stats = attack_live_server(&script);
+        assert_eq!(
+            stats.close_log.len(),
+            1,
+            "{}: expected exactly one retired connection, got {:?}",
+            outcome.kind.label(),
+            stats.close_log,
+        );
+        let close = &stats.close_log[0];
+        assert_eq!(
+            close.error,
+            outcome.fatal,
+            "{}: typed error over TCP diverged from the sans-IO suite",
+            outcome.kind.label(),
+        );
+        if outcome.fatal.is_some() {
+            assert_eq!(
+                close.reason,
+                CloseReason::ProtocolError,
+                "{}: fatal attack not closed as a protocol error",
+                outcome.kind.label(),
+            );
+            assert_eq!(stats.closed.protocol_error, 1);
+        } else {
+            // Absorbed attacks end with our half-close: a clean EOF.
+            assert_eq!(
+                close.reason,
+                CloseReason::Clean,
+                "{}: absorbed attack should close clean",
+                outcome.kind.label(),
+            );
+            assert_eq!(stats.closed.clean, 1);
+        }
+    }
+}
+
+#[test]
+fn client_victim_attack_reaches_same_typed_error_over_tcp() {
+    let canonical = run_suite(42, ConnLimits::strict());
+    let outcome = canonical
+        .iter()
+        .find(|o| o.kind == AttackKind::PushAfterGoaway)
+        .expect("client-victim kind in suite");
+    assert_eq!(outcome.victim, Victim::Client);
+    let chunks = AttackScript::new(outcome.kind, outcome.seed).compile();
+
+    // The malicious server: one accepted connection, drain the client's
+    // opening burst first (dropping unread received bytes would RST the
+    // socket and could destroy our own attack bytes in flight), then the
+    // scripted chunks, then half-close and wait for the client to go.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind attacker");
+    let addr = listener.local_addr().unwrap();
+    let attacker = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().expect("accept victim");
+        s.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        let mut buf = [0u8; 16 * 1024];
+        let mut seen = 0usize;
+        let start = Instant::now();
+        while start.elapsed() < Duration::from_secs(5) {
+            match s.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => seen += n,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if seen > 0 {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        for chunk in &chunks {
+            if s.write_all(chunk).is_err() {
+                break;
+            }
+        }
+        let _ = s.shutdown(Shutdown::Write);
+        let start = Instant::now();
+        while start.elapsed() < Duration::from_secs(10) {
+            match s.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    });
+
+    // The victim: a real client `Connection` with strict limits, driven
+    // over the socket exactly as the sans-IO path drives feed_bytes.
+    let mut s = TcpStream::connect(addr).expect("connect attacker");
+    let mut cli = Connection::client(Settings::default());
+    cli.set_limits(ConnLimits::strict());
+    let mut sched = DefaultScheduler::new();
+    cli.request(&benign_request(), Some(PrioritySpec::default()));
+    loop {
+        let out = cli.produce(usize::MAX, &mut sched);
+        if out.is_empty() {
+            break;
+        }
+        if !write_lossy(&mut s, &out) {
+            break;
+        }
+    }
+
+    s.set_read_timeout(Some(Duration::from_millis(100))).unwrap();
+    let mut fatal: Option<ConnError> = None;
+    let mut buf = [0u8; 16 * 1024];
+    let deadline = Instant::now() + Duration::from_secs(15);
+    'recv: while Instant::now() < deadline {
+        match s.read(&mut buf) {
+            Ok(0) => break 'recv,
+            Ok(n) => {
+                for ev in cli.feed_bytes(&buf[..n]) {
+                    if let Event::ConnectionError { error } = ev {
+                        fatal.get_or_insert(error);
+                    }
+                }
+                loop {
+                    let out = cli.produce(usize::MAX, &mut sched);
+                    if out.is_empty() {
+                        break;
+                    }
+                    if !write_lossy(&mut s, &out) {
+                        break 'recv;
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break 'recv,
+        }
+    }
+    drop(s);
+    attacker.join().expect("attacker thread");
+
+    assert_eq!(
+        fatal, outcome.fatal,
+        "push-after-goaway: typed error over TCP diverged from the sans-IO suite"
+    );
+}
+
+#[test]
+fn server_keeps_serving_wellbehaved_loads_under_attack() {
+    let page = Arc::new(attack_page());
+    let mut server = LiveServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&page),
+        Strategy::PushList { order: vec![ResourceId(1)] },
+    )
+    .expect("bind loopback");
+    let mut limits = LiveLimits::new();
+    limits.conn = ConnLimits::strict();
+    server.set_limits(limits);
+    server.set_deadline(Duration::from_secs(60));
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // One attacker cycling the whole server-victim catalogue over TCP...
+    let attacker = std::thread::spawn(move || {
+        for kind in AttackKind::ALL {
+            if kind.victim() != Victim::Server {
+                continue;
+            }
+            let script = AttackScript::new(kind, 42);
+            let mut s = TcpStream::connect(addr).expect("attacker connect");
+            if write_lossy(&mut s, &benign_splice()) {
+                for chunk in script.compile() {
+                    if !write_lossy(&mut s, &chunk) {
+                        break;
+                    }
+                }
+            }
+            let _ = s.shutdown(Shutdown::Write);
+            read_to_eof(&mut s, kind.label());
+        }
+    });
+
+    // ...while well-behaved loads keep completing against the same server.
+    for round in 0..3 {
+        let report =
+            load_page(addr, Arc::clone(&page), BrowserConfig::default(), Duration::from_secs(30))
+                .expect("live load under attack");
+        assert!(
+            report.load.finished(),
+            "load {round} did not finish while the catalogue was firing: {:?}",
+            report.load,
+        );
+        assert!(!report.load.partial, "load {round} was partial under attack");
+        assert_eq!(report.shed_conns, 0, "well-behaved load was shed");
+        assert_eq!(report.closed_conns, 0, "well-behaved load was cut off");
+    }
+
+    attacker.join().expect("attacker thread");
+    handle.stop();
+    let stats = server_thread.join().expect("server thread").expect("server run");
+
+    // 8 of the 10 server-victim kinds die of a typed error; the two
+    // absorbed kinds and the three loads close clean.
+    let errored = stats.close_log.iter().filter(|c| c.error.is_some()).count();
+    assert_eq!(errored, 8, "typed-error close count off: {:?}", stats.close_log);
+    assert_eq!(stats.closed.protocol_error, 8);
+    assert!(stats.closed.clean >= 5, "clean closes missing: {:?}", stats.closed);
+    assert!(stats.requests >= 3, "loads did not reach the server");
+    assert_eq!(stats.closed.drain_killed, 0);
+}
+
+#[test]
+fn slow_reader_is_closed_for_write_stall_under_bounded_memory() {
+    // A page big enough that neither the kernel's socket buffers nor the
+    // bounded output queue can absorb it: the socket must stall.
+    let mut b = PageBuilder::new("slowread", "slow.test", 16_000_000, 2_000);
+    b.text_paint(4_000, 1.0);
+    let page = Arc::new(b.build());
+
+    let mut server =
+        LiveServer::bind("127.0.0.1:0", Arc::clone(&page), Strategy::NoPush).expect("bind");
+    let mut limits = LiveLimits::new();
+    limits.max_queued_bytes = 256 * 1024;
+    limits.write_stall_timeout = Duration::from_millis(300);
+    limits.drain_deadline = Duration::from_secs(1);
+    server.set_limits(limits);
+    server.set_deadline(Duration::from_secs(30));
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // The slow-read attack: request the huge document, grant the server a
+    // giant flow-control window (so H2 flow control cannot save it — only
+    // the transport-level defense can), then never read a byte.
+    let mut s = TcpStream::connect(addr).expect("connect");
+    let mut cli = Connection::client(Settings {
+        initial_window_size: Some(0x7fff_ffff),
+        ..Settings::default()
+    });
+    let mut sched = DefaultScheduler::new();
+    cli.request(
+        &[
+            h2push_hpack::Header::new(":method", "GET"),
+            h2push_hpack::Header::new(":scheme", "https"),
+            h2push_hpack::Header::new(":authority", "slow.test"),
+            h2push_hpack::Header::new(":path", "/"),
+        ],
+        Some(PrioritySpec::default()),
+    );
+    loop {
+        let out = cli.produce(usize::MAX, &mut sched);
+        if out.is_empty() {
+            break;
+        }
+        s.write_all(&out).expect("write request");
+    }
+    let mut wu = Vec::new();
+    Frame::WindowUpdate { stream: 0, increment: 0x7000_0000 }.encode(&mut wu);
+    s.write_all(&wu).expect("write window grant");
+
+    // Go silent. The write-stall deadline (300 ms) must retire the
+    // connection long before this wait runs out.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.accepted() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    std::thread::sleep(Duration::from_millis(1_500));
+    handle.stop();
+    let stats = server_thread.join().expect("server thread").expect("server run");
+    drop(s);
+
+    assert_eq!(stats.closed.write_stall, 1, "slow reader not closed for write stall: {stats:?}");
+    assert!(
+        stats.close_log.iter().any(|c| c.reason == CloseReason::WriteStall),
+        "no write-stall close in the log: {:?}",
+        stats.close_log,
+    );
+    assert_eq!(stats.closed.drain_killed, 0, "stall was only caught by the drain deadline");
+    // The per-connection memory bound held: frames are atomic, so the
+    // queue may overshoot the cap by at most one max-size frame.
+    let bound = 256 * 1024 + h2push_h2proto::DEFAULT_MAX_FRAME_SIZE + 9;
+    assert!(
+        stats.max_queued_bytes <= bound,
+        "output queue exceeded its bound: {} B > {} B",
+        stats.max_queued_bytes,
+        bound,
+    );
+    assert!(stats.max_queued_bytes > 0, "server never queued output at all");
+}

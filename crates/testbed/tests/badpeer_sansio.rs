@@ -15,34 +15,11 @@ use h2push_h2proto::sansio::{Endpoint, Micros};
 use h2push_h2proto::{
     ConnError, ConnLimits, Connection, DefaultScheduler, Event, PrioritySpec, Settings,
 };
-use h2push_hpack::Header;
 use h2push_server::ReplayServer;
 use h2push_strategies::Strategy;
-use h2push_testbed::{run_suite, AttackKind, AttackScript, Victim};
-use h2push_webmodel::{PageBuilder, RecordDb, ResourceId, ResourceSpec};
+use h2push_testbed::{attack_page, benign_request, run_suite, AttackKind, AttackScript, Victim};
+use h2push_webmodel::{RecordDb, ResourceId};
 use std::sync::Arc;
-
-/// Same shape as the harness's internal attack page: a small single-origin
-/// site so the victim server has real content and a live push strategy.
-fn attack_page() -> h2push_webmodel::Page {
-    let mut b = PageBuilder::new("badpeer", "bad.test", 20_000, 2_000);
-    b.resource(ResourceSpec::css(0, 6_000, 200, 0.5));
-    b.resource(ResourceSpec::js(0, 8_000, 900, 4_000));
-    b.text_paint(4_000, 1.0);
-    b.build()
-}
-
-/// The benign request the attack splices into (same headers as the
-/// canonical harness, so the victim's HPACK state is identical).
-fn benign_request() -> Vec<Header> {
-    vec![
-        Header::new(":method", "GET"),
-        Header::new(":scheme", "https"),
-        Header::new(":authority", "bad.test"),
-        Header::new(":path", "/"),
-        Header::new("user-agent", "badpeer-harness"),
-    ]
-}
 
 /// Drain the victim's transmit side through the trait: poll until it has
 /// nothing to say. Output is discarded — the attacker never reads it.

@@ -9,11 +9,14 @@
 #![cfg(unix)]
 
 use h2push_browser::BrowserConfig;
+use h2push_h2proto::{Connection, DefaultScheduler, PrioritySpec, Settings};
 use h2push_strategies::{push_all, Strategy};
-use h2push_testbed::{load_page, LiveServer};
-use h2push_webmodel::{generate_site, CorpusKind};
+use h2push_testbed::{load_page, CloseReason, LiveLimits, LiveServer, TimeoutKind};
+use h2push_webmodel::{generate_site, CorpusKind, PageBuilder, ResourceSpec};
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn serve_and_load(
     page: Arc<h2push_webmodel::Page>,
@@ -67,4 +70,183 @@ fn loopback_load_completes_without_push() {
     assert_eq!(report.load.pushed_count, 0, "NoPush strategy pushed anyway");
     assert_eq!(stats.pushed_bytes, 0);
     assert_eq!(stats.protocol_errors, 0);
+}
+
+/// A small single-origin page (one connection, so drain and supervision
+/// tests have no per-group connect races).
+fn single_origin_page(html: usize) -> Arc<h2push_webmodel::Page> {
+    let mut b = PageBuilder::new("live-single", "live.test", html, 2_000);
+    b.resource(ResourceSpec::css(0, 6_000, 200, 0.5));
+    b.resource(ResourceSpec::js(0, 8_000, 900, 4_000));
+    b.text_paint(4_000, 1.0);
+    Arc::new(b.build())
+}
+
+#[test]
+fn graceful_drain_finishes_inflight_load_and_closes_listener() {
+    let page = single_origin_page(600_000);
+    let strategy = push_all(&page, &[]);
+    let mut server =
+        LiveServer::bind("127.0.0.1:0", Arc::clone(&page), strategy).expect("bind loopback");
+    let mut limits = LiveLimits::new();
+    limits.drain_deadline = Duration::from_secs(20);
+    server.set_limits(limits);
+    server.set_deadline(Duration::from_secs(60));
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let load_page_arc = Arc::clone(&page);
+    let load_thread = std::thread::spawn(move || {
+        load_page(addr, load_page_arc, BrowserConfig::default(), Duration::from_secs(30))
+    });
+
+    // stop() mid-load: wait until the browser's connection is accepted,
+    // then ask the server to drain while responses are still in flight.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.accepted() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(handle.accepted() >= 1, "load never connected");
+    handle.stop();
+
+    let report = load_thread.join().expect("load thread").expect("live load");
+    assert!(report.load.finished(), "in-flight load was cut off by drain: {:?}", report.load);
+    assert!(!report.load.partial);
+
+    let stats = server_thread.join().expect("server thread").expect("server run");
+    assert_eq!(stats.closed.drain_killed, 0, "drain killed a finishing load");
+    assert!(stats.closed.clean >= 1, "drained connection was not closed clean: {stats:?}");
+    assert_eq!(stats.bytes_out, report.bytes_in, "drain lost queued bytes");
+
+    // The listener socket is closed: new connections are refused.
+    assert!(TcpStream::connect(addr).is_err(), "listener still accepting after drain completed");
+}
+
+#[test]
+fn accept_gate_sheds_above_max_conns() {
+    let page = single_origin_page(20_000);
+    let mut server =
+        LiveServer::bind("127.0.0.1:0", Arc::clone(&page), Strategy::NoPush).expect("bind");
+    let mut limits = LiveLimits::new();
+    limits.max_conns = 1;
+    server.set_limits(limits);
+    server.set_deadline(Duration::from_secs(30));
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let first = TcpStream::connect(addr).expect("first connect");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.accepted() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(handle.accepted(), 1, "first connection not admitted");
+
+    // The gate is full: the second connection is accepted then
+    // immediately closed — the client observes EOF, not a hang.
+    let mut second = TcpStream::connect(addr).expect("second connect");
+    second.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = [0u8; 64];
+    assert_eq!(second.read(&mut buf).expect("shed read"), 0, "shed conn did not see EOF");
+
+    drop(first);
+    drop(second);
+    handle.stop();
+    let stats = server_thread.join().expect("server thread").expect("run");
+    assert_eq!(stats.accepted, 1);
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.closed.shed, 1);
+    assert!(stats.close_log.iter().any(|c| c.reason == CloseReason::Shed && c.error.is_none()));
+}
+
+#[test]
+fn preface_header_and_idle_deadlines_close_silent_conns() {
+    let page = single_origin_page(20_000);
+    let mut server =
+        LiveServer::bind("127.0.0.1:0", Arc::clone(&page), Strategy::NoPush).expect("bind");
+    let mut limits = LiveLimits::new();
+    limits.preface_timeout = Duration::from_millis(150);
+    limits.header_timeout = Duration::from_millis(200);
+    limits.idle_timeout = Duration::from_millis(200);
+    limits.drain_deadline = Duration::from_secs(5);
+    server.set_limits(limits);
+    server.set_deadline(Duration::from_secs(30));
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let read_to_eof = |s: &mut TcpStream, label: &str| {
+        s.set_read_timeout(Some(Duration::from_millis(100))).unwrap();
+        let mut buf = [0u8; 4096];
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match s.read(&mut buf) {
+                Ok(0) => return,
+                Ok(_) => {}
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                // A reset also proves the server retired the conn.
+                Err(_) => return,
+            }
+            assert!(Instant::now() < deadline, "{label}: server never closed the conn");
+        }
+    };
+
+    // 1. Silent peer: never sends the preface.
+    let mut silent = TcpStream::connect(addr).expect("silent connect");
+    read_to_eof(&mut silent, "preface timeout");
+
+    // 2. Preface but no request: a real client Connection with no
+    //    request queued emits exactly preface + SETTINGS.
+    let mut noreq = TcpStream::connect(addr).expect("preface-only connect");
+    let mut cli = Connection::client(Settings::default());
+    let mut sched = DefaultScheduler::new();
+    loop {
+        let out = cli.produce(usize::MAX, &mut sched);
+        if out.is_empty() {
+            break;
+        }
+        noreq.write_all(&out).expect("write preface");
+    }
+    read_to_eof(&mut noreq, "header timeout");
+
+    // 3. A full request, then silence: idle supervision retires it.
+    let mut idle = TcpStream::connect(addr).expect("idle connect");
+    let mut cli = Connection::client(Settings::default());
+    let mut sched = DefaultScheduler::new();
+    cli.request(
+        &[
+            h2push_hpack::Header::new(":method", "GET"),
+            h2push_hpack::Header::new(":scheme", "https"),
+            h2push_hpack::Header::new(":authority", "live.test"),
+            h2push_hpack::Header::new(":path", "/"),
+        ],
+        Some(PrioritySpec::default()),
+    );
+    loop {
+        let out = cli.produce(usize::MAX, &mut sched);
+        if out.is_empty() {
+            break;
+        }
+        idle.write_all(&out).expect("write request");
+    }
+    read_to_eof(&mut idle, "idle timeout");
+
+    handle.stop();
+    let stats = server_thread.join().expect("server thread").expect("run");
+    let timeouts: Vec<TimeoutKind> = stats
+        .close_log
+        .iter()
+        .filter_map(|c| match c.reason {
+            CloseReason::Timeout(kind) => Some(kind),
+            _ => None,
+        })
+        .collect();
+    assert!(timeouts.contains(&TimeoutKind::Preface), "no preface timeout: {stats:?}");
+    assert!(timeouts.contains(&TimeoutKind::HeaderReceive), "no header timeout: {stats:?}");
+    assert!(timeouts.contains(&TimeoutKind::Idle), "no idle timeout: {stats:?}");
+    assert_eq!(stats.closed.timeout, 3);
 }

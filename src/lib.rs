@@ -31,7 +31,10 @@ pub use h2push_browser::{Browser, BrowserConfig, LoadResult};
 pub use h2push_core::{evaluate, Evaluation, PushPlanner};
 pub use h2push_strategies::Strategy;
 #[cfg(unix)]
-pub use h2push_testbed::{load_page, LiveLoadReport, LiveServer, LiveServerHandle};
+pub use h2push_testbed::{
+    load_page, CloseReason, LiveLimits, LiveLoadReport, LiveServer, LiveServerHandle,
+    LiveServerStats,
+};
 pub use h2push_testbed::{Mode, ReplayInputs, ReplayOutcome, RunPlan, SweepPlan, SweepReport};
 pub use h2push_trace::{Timeline, TraceHandle};
 pub use h2push_webmodel::{generate_site, CorpusKind, Page};
